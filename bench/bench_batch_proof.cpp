@@ -1,0 +1,67 @@
+// Batch-proof extension: how much of CBS's O(m log n) response the shared
+// path prefixes recover. The paper ships m independent paths; a batch proof
+// carries each needed sibling once.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "crypto/hash_function.h"
+#include "merkle/batch_proof.h"
+#include "merkle/proof.h"
+#include "merkle/tree.h"
+
+using namespace ugc;
+
+namespace {
+
+std::vector<Bytes> make_leaves(std::uint64_t n) {
+  std::vector<Bytes> leaves;
+  leaves.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Bytes leaf(16);
+    put_u64_be(i, leaf.data());
+    put_u64_be(i ^ 0xabcdef, leaf.data() + 8);
+    leaves.push_back(std::move(leaf));
+  }
+  return leaves;
+}
+
+}  // namespace
+
+int main() {
+  const auto& h = default_hash();
+
+  std::printf("== batch proofs vs m independent paths (16-byte results) ==\n\n");
+  std::printf("%-8s %-6s %14s %14s %10s %12s %12s\n", "n", "m",
+              "indep sibs", "batch sibs", "saved", "indep B", "batch B");
+
+  for (const std::uint64_t n : {std::uint64_t{1} << 10, std::uint64_t{1} << 14,
+                                std::uint64_t{1} << 18}) {
+    const MerkleTree tree = MerkleTree::build(make_leaves(n), h);
+    for (const std::size_t m : {14u, 33u, 64u, 128u, 512u}) {
+      Rng rng(n ^ m);
+      std::vector<LeafIndex> indices;
+      std::size_t independent_bytes = 0;
+      for (std::size_t k = 0; k < m; ++k) {
+        indices.push_back(LeafIndex{rng.uniform(n)});
+        independent_bytes += tree.prove(indices.back()).payload_bytes() + 8;
+      }
+      const std::size_t independent_sibs = m * tree.height();
+
+      const BatchProof batch = make_batch_proof(tree, indices);
+      const double saved =
+          100.0 * (1.0 - static_cast<double>(batch.siblings.size()) /
+                             static_cast<double>(independent_sibs));
+
+      std::printf("2^%-6u %-6zu %14zu %14zu %9.1f%% %12zu %12zu\n",
+                  tree.height(), m, independent_sibs, batch.siblings.size(),
+                  saved, independent_bytes, batch.payload_bytes());
+    }
+  }
+
+  std::printf("\nsavings scale with m/n: at the paper's m = 33..128 on large "
+              "trees the shared prefix near the root recovers ~20-50%% of "
+              "the siblings; for auditing whole subtrees (m >> 100) the "
+              "batch form approaches O(m + log n).\n");
+  return 0;
+}

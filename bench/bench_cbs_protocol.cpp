@@ -1,0 +1,124 @@
+// End-to-end protocol micro-benchmarks: the participant's commit (domain
+// sweep + tree build), the proof round, the supervisor's verification, and
+// the NI-CBS equivalents. Run with a cheap f so the protocol overhead —
+// not the workload — dominates.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/cbs.h"
+#include "core/nicbs.h"
+#include "workloads/keysearch.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace ugc;
+
+Task bench_task(std::uint64_t n) {
+  return Task::make(TaskId{1}, Domain(0, n),
+                    std::make_shared<KeySearchFunction>(1, 9));
+}
+
+void BM_CbsCommit(benchmark::State& state) {
+  const Task task = bench_task(static_cast<std::uint64_t>(state.range(0)));
+  CbsConfig config;
+  for (auto _ : state) {
+    CbsParticipant participant(task, config, make_honest_policy());
+    benchmark::DoNotOptimize(participant.commit());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CbsCommit)->Range(1 << 8, 1 << 16);
+
+void BM_CbsRespond(benchmark::State& state) {
+  const std::uint64_t n = 1 << 14;
+  const Task task = bench_task(n);
+  CbsConfig config;
+  config.sample_count = static_cast<std::size_t>(state.range(0));
+  CbsParticipant participant(task, config, make_honest_policy());
+  participant.commit();
+  Rng rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    SampleChallenge challenge{task.id, {}};
+    for (std::size_t k = 0; k < config.sample_count; ++k) {
+      challenge.samples.push_back(LeafIndex{rng.uniform(n)});
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(participant.respond(challenge));
+  }
+}
+BENCHMARK(BM_CbsRespond)->Arg(14)->Arg(33)->Arg(128);
+
+void BM_CbsFullExchange(benchmark::State& state) {
+  const Task task = bench_task(static_cast<std::uint64_t>(state.range(0)));
+  CbsConfig config;
+  config.sample_count = 33;
+  const auto verifier = std::make_shared<RecomputeVerifier>(task.f);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_cbs_exchange(
+        task, config, make_honest_policy(), verifier, seed++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CbsFullExchange)->Range(1 << 8, 1 << 14);
+
+void BM_NiCbsProve(benchmark::State& state) {
+  const Task task = bench_task(static_cast<std::uint64_t>(state.range(0)));
+  NiCbsConfig config;
+  config.sample_count = 33;
+  for (auto _ : state) {
+    NiCbsParticipant participant(task, config, make_honest_policy());
+    benchmark::DoNotOptimize(participant.prove());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_NiCbsProve)->Range(1 << 8, 1 << 14);
+
+void BM_NiCbsVerify(benchmark::State& state) {
+  const std::uint64_t n = 1 << 14;
+  const Task task = bench_task(n);
+  NiCbsConfig config;
+  config.sample_count = static_cast<std::size_t>(state.range(0));
+  NiCbsParticipant participant(task, config, make_honest_policy());
+  const NiCbsProof proof = participant.prove();
+  const auto verifier = std::make_shared<RecomputeVerifier>(task.f);
+  for (auto _ : state) {
+    NiCbsSupervisor supervisor(task, config, verifier);
+    benchmark::DoNotOptimize(supervisor.verify(proof));
+  }
+}
+BENCHMARK(BM_NiCbsVerify)->Arg(14)->Arg(33)->Arg(128);
+
+// Supervisor verification with the cheap factoring verifier vs recompute:
+// the Step-4 cost asymmetry the paper calls out.
+void BM_VerifySampleCheapVsRecompute(benchmark::State& state) {
+  const bool cheap = state.range(0) == 1;
+  const WorkloadBundle bundle =
+      WorkloadRegistry::global().make("factoring", 3);
+  const Task task = Task::make(TaskId{1}, Domain(0, 1 << 10), bundle.f,
+                               bundle.screener);
+  NiCbsConfig config;
+  config.sample_count = 33;
+  NiCbsParticipant participant(task, config, make_honest_policy());
+  const NiCbsProof proof = participant.prove();
+  const auto verifier = cheap
+                            ? bundle.verifier
+                            : std::shared_ptr<const ResultVerifier>(
+                                  std::make_shared<RecomputeVerifier>(bundle.f));
+  for (auto _ : state) {
+    NiCbsSupervisor supervisor(task, config, verifier);
+    benchmark::DoNotOptimize(supervisor.verify(proof));
+  }
+  state.SetLabel(cheap ? "miller-rabin verifier" : "recompute verifier");
+}
+BENCHMARK(BM_VerifySampleCheapVsRecompute)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Communication cost: naive / sampling O(n) result upload vs CBS
+// O(m log n) — the paper's core efficiency claim (§1, §3).
+//
+// Small n: measured wire bytes from the simulated grid (every envelope
+// included). Large n: the closed-form payload model, which the measured
+// rows validate. Ends with the paper's 64-bit-password example (§3):
+// "about 16 million terabytes" for the naive upload.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/analysis.h"
+#include "grid/latency.h"
+#include "grid/simulation.h"
+
+using namespace ugc;
+
+namespace {
+
+std::uint64_t measured_upload(SchemeKind kind, std::uint64_t n) {
+  GridConfig config;
+  config.domain_end = n;
+  config.participant_count = 1;  // single worker isolates the upload path
+  config.seed = 3;
+  config.scheme.kind = kind;
+  config.scheme.naive.sample_count = 33;
+  config.scheme.cbs.sample_count = 33;
+  config.scheme.nicbs.sample_count = 33;
+  const GridRunResult result = run_grid_simulation(config);
+  // Bytes sent by the participant (node 0): uploads, commitments, proofs.
+  return result.network.bytes_sent(GridNodeId{0});
+}
+
+std::string human(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB", "PB", "EB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 6) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, units[unit]);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kResultSize = 16;
+  constexpr std::size_t kDigestSize = 32;
+  constexpr std::size_t kSamples = 33;
+
+  std::printf("== Participant upload: naive O(n) vs CBS O(m log n) ==\n");
+  std::printf("result size %zu B, digest %zu B, m = %zu\n\n", kResultSize,
+              kDigestSize, kSamples);
+
+  std::printf("--- measured on the simulated grid (all envelopes included) "
+              "---\n");
+  std::printf("%-10s %16s %16s %16s %9s\n", "n", "naive (B)", "cbs (B)",
+              "ni-cbs (B)", "ratio");
+  for (unsigned log_n = 8; log_n <= 16; log_n += 2) {
+    const std::uint64_t n = std::uint64_t{1} << log_n;
+    const std::uint64_t naive = measured_upload(SchemeKind::kNaiveSampling, n);
+    const std::uint64_t cbs = measured_upload(SchemeKind::kCbs, n);
+    const std::uint64_t nicbs = measured_upload(SchemeKind::kNiCbs, n);
+    std::printf("2^%-8u %16llu %16llu %16llu %8.1fx\n", log_n,
+                static_cast<unsigned long long>(naive),
+                static_cast<unsigned long long>(cbs),
+                static_cast<unsigned long long>(nicbs),
+                static_cast<double>(naive) / static_cast<double>(cbs));
+  }
+
+  std::printf("\n--- closed-form payload model (validated above) ---\n");
+  std::printf("%-10s %16s %16s %9s\n", "n", "naive", "cbs", "ratio");
+  for (unsigned log_n = 20; log_n <= 40; log_n += 4) {
+    const std::uint64_t n = std::uint64_t{1} << log_n;
+    const double naive = upload_bytes_all_results(n, kResultSize);
+    const double cbs = cbs_upload_bytes(n, kSamples, kResultSize, kDigestSize);
+    std::printf("2^%-8u %16s %16s %8.0fx\n", log_n, human(naive).c_str(),
+                human(cbs).c_str(), naive / cbs);
+  }
+
+  std::printf("\n--- the paper's 64-bit password example (§3) ---\n");
+  const double naive64 = upload_bytes_all_results(0, 0) +
+                         std::pow(2.0, 64);  // 1-byte results over 2^64 keys
+  const double cbs64 =
+      cbs_upload_bytes(std::uint64_t{1} << 63, 50, 1, kDigestSize) * 2.0;
+  std::printf("naive upload:  %s (paper: ~16 million terabytes)\n",
+              human(naive64).c_str());
+  std::printf("CBS, m = 50:   %s\n", human(cbs64).c_str());
+
+  // "Very few networks can handle such a heavy network load" (§3): turn the
+  // byte counts into wall-clock on a 10 Mbit/s volunteer uplink.
+  const LinkProfile uplink{1.25e6, 0.05};
+  std::printf("\n--- time on a 10 Mbit/s uplink (latency model) ---\n");
+  for (unsigned log_n : {20u, 30u, 40u}) {
+    const std::uint64_t n = std::uint64_t{1} << log_n;
+    const double naive_s = uplink.transfer_seconds(
+        static_cast<std::uint64_t>(upload_bytes_all_results(n, kResultSize)),
+        1);
+    const double cbs_s = uplink.transfer_seconds(
+        static_cast<std::uint64_t>(
+            cbs_upload_bytes(n, kSamples, kResultSize, kDigestSize)),
+        2);
+    std::printf("n = 2^%-3u  naive: %14.1f s (%.1f days)   CBS: %6.3f s\n",
+                log_n, naive_s, naive_s / 86400.0, cbs_s);
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Eq. 5: defeating the NI-CBS retry attack by making the sample generator
+// g = MD5^k expensive enough that (1/r^m)·m·Cg >= n·Cf.
+//
+// Measures real costs (ns) of f and of one MD5 round on this machine,
+// derives the required k for a parameter grid, and validates the two sides
+// of the paper's trade: the attack becomes more expensive than honest work,
+// while the honest participant's overhead stays ~r^m of the task.
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "core/analysis.h"
+#include "crypto/hash_function.h"
+#include "crypto/iterated_hash.h"
+#include "workloads/keysearch.h"
+#include "workloads/registry.h"
+
+using namespace ugc;
+
+namespace {
+
+double measure_f_cost_ns(const ComputeFunction& f, int reps = 400) {
+  Stopwatch timer;
+  std::uint8_t sink = 0;
+  for (int i = 0; i < reps; ++i) {
+    sink = static_cast<std::uint8_t>(
+        sink ^ f.evaluate(static_cast<std::uint64_t>(i))[0]);
+  }
+  volatile std::uint8_t keep = sink;
+  (void)keep;
+  return static_cast<double>(timer.elapsed_ns()) / reps;
+}
+
+}  // namespace
+
+int main() {
+  const auto md5 = make_hash(HashAlgorithm::kMd5);
+  const double md5_ns = measure_hash_cost_ns(*md5, 16, 20000);
+
+  std::printf("== Eq. 5: pricing the retry attack out ==\n\n");
+  std::printf("measured MD5 cost: %.0f ns/op\n", md5_ns);
+
+  std::printf("\nmeasured f costs:\n");
+  for (const char* name : {"test", "keysearch", "signal-scan",
+                           "molecule-screen", "factoring"}) {
+    const WorkloadBundle bundle = WorkloadRegistry::global().make(name, 1);
+    std::printf("  %-16s %10.0f ns/eval\n", name,
+                measure_f_cost_ns(*bundle.f));
+  }
+
+  // The defense table: required k = iterations of MD5 for g, for the
+  // keysearch workload.
+  const WorkloadBundle keysearch = WorkloadRegistry::global().make("keysearch", 1);
+  const double cf_ns = measure_f_cost_ns(*keysearch.f);
+
+  std::printf("\n--- required g = MD5^k (keysearch, Cf = %.0f ns) ---\n",
+              cf_ns);
+  std::printf("%-10s %-6s %-4s %14s %16s %16s\n", "n", "r", "m", "k",
+              "attack/task", "honest ovh");
+  struct Cell {
+    std::uint64_t n;
+    double r;
+    std::size_t m;
+  };
+  const Cell cells[] = {
+      {1 << 20, 0.5, 8},  {1 << 20, 0.5, 16}, {1 << 20, 0.9, 16},
+      {1 << 20, 0.9, 32}, {1 << 30, 0.9, 32}, {1 << 30, 0.99, 64},
+  };
+  for (const Cell& cell : cells) {
+    const std::uint64_t k = iterations_for_defense(cell.r, cell.m, cell.n,
+                                                   cf_ns, md5_ns);
+    const double cg_ns = static_cast<double>(k) * md5_ns;
+    // Expected attack cost / task cost (>= 1 by construction).
+    const double attack_over_task =
+        expected_retry_attempts(cell.r, cell.m) *
+        static_cast<double>(cell.m) * cg_ns /
+        (static_cast<double>(cell.n) * cf_ns);
+    const double overhead =
+        honest_sample_gen_overhead(cell.m, cg_ns, cell.n, cf_ns);
+    std::printf("%-10llu %-6.2f %-4zu %14llu %15.2fx %16.3g\n",
+                static_cast<unsigned long long>(cell.n), cell.r, cell.m,
+                static_cast<unsigned long long>(k), attack_over_task,
+                overhead);
+  }
+
+  // Wall-clock demonstration at toy scale: with k tuned for r=0.5, m=4 and
+  // n=256, one expected attack (1/r^m = 16 attempts) costs at least as much
+  // g-time as the honest task costs f-time.
+  std::printf("\n--- wall-clock check at toy scale ---\n");
+  const std::uint64_t n = 256;
+  const double r = 0.5;
+  const std::size_t m = 4;
+  const std::uint64_t k = iterations_for_defense(r, m, n, cf_ns, md5_ns);
+  const auto g = make_iterated_hash(HashAlgorithm::kMd5, k);
+
+  Stopwatch task_timer;
+  for (std::uint64_t x = 0; x < n; ++x) {
+    (void)keysearch.f->evaluate(x);
+  }
+  const double task_ns = static_cast<double>(task_timer.elapsed_ns());
+
+  const double attempts = expected_retry_attempts(r, m);
+  Stopwatch g_timer;
+  Bytes chain = to_bytes("root");
+  const std::uint64_t g_calls =
+      static_cast<std::uint64_t>(attempts * static_cast<double>(m));
+  for (std::uint64_t i = 0; i < g_calls; ++i) {
+    chain = g->hash(chain);
+  }
+  const double attack_ns = static_cast<double>(g_timer.elapsed_ns());
+
+  std::printf("k = %llu; honest task: %.2f ms; expected attack (g only): "
+              "%.2f ms -> attack/task = %.2fx\n",
+              static_cast<unsigned long long>(k), task_ns / 1e6,
+              attack_ns / 1e6, attack_ns / task_ns);
+  return attack_ns >= task_ns * 0.8 ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// Hash substrate throughput: MD5 / SHA-1 / SHA-256 across payload sizes,
+// plus the iterated g = MD5^k used by the Eq. 5 defense. These numbers give
+// Cg and the hash term of the CBS build cost their units.
+
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.h"
+#include "crypto/hash_function.h"
+#include "crypto/iterated_hash.h"
+#include "crypto/md5.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace {
+
+using namespace ugc;
+
+template <typename Hash>
+void BM_OneShot(benchmark::State& state) {
+  const Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hash::hash(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_Md5(benchmark::State& state) { BM_OneShot<Md5>(state); }
+void BM_Sha1(benchmark::State& state) { BM_OneShot<Sha1>(state); }
+void BM_Sha256(benchmark::State& state) { BM_OneShot<Sha256>(state); }
+
+BENCHMARK(BM_Md5)->Arg(16)->Arg(64)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_Sha1)->Arg(16)->Arg(64)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_Sha256)->Arg(16)->Arg(64)->Arg(1024)->Arg(65536);
+
+// The Merkle inner-node operation: hash of two concatenated digests.
+void BM_MerkleNodeHash(benchmark::State& state) {
+  const Bytes left(32, 0xaa);
+  const Bytes right(32, 0xbb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        default_hash().hash(concat_bytes(left, right)));
+  }
+}
+BENCHMARK(BM_MerkleNodeHash);
+
+// g = MD5^k, the cost-tuned sample generator (Eq. 5).
+void BM_IteratedMd5(benchmark::State& state) {
+  const auto g = make_iterated_hash(HashAlgorithm::kMd5,
+                                    static_cast<std::uint64_t>(state.range(0)));
+  const Bytes root(32, 0xcd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g->hash(root));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_IteratedMd5)->Arg(1)->Arg(64)->Arg(1024)->Arg(16384);
+
+// Incremental hashing, the streaming-builder path.
+void BM_Sha256Incremental(benchmark::State& state) {
+  const Bytes chunk(static_cast<std::size_t>(state.range(0)), 0x11);
+  for (auto _ : state) {
+    Sha256 sha;
+    for (int i = 0; i < 16; ++i) {
+      sha.update(chunk);
+    }
+    benchmark::DoNotOptimize(sha.finish());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16 *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256Incremental)->Arg(64)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Merkle substrate micro-benchmarks: commitment build (full and streaming),
+// proof generation (full and §3.3 partial trees), verification (the
+// supervisor's Λ reconstruction), and the single-leaf update that makes the
+// §4.2 retry attack cheap.
+
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.h"
+#include "crypto/hash_function.h"
+#include "merkle/partial_tree.h"
+#include "merkle/proof.h"
+#include "merkle/streaming_builder.h"
+#include "merkle/tree.h"
+
+namespace {
+
+using namespace ugc;
+
+std::vector<Bytes> make_leaves(std::uint64_t n) {
+  std::vector<Bytes> leaves;
+  leaves.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Bytes leaf(16);
+    put_u64_be(i, leaf.data());
+    put_u64_be(i * 0x9e3779b97f4a7c15ULL, leaf.data() + 8);
+    leaves.push_back(std::move(leaf));
+  }
+  return leaves;
+}
+
+void BM_TreeBuild(benchmark::State& state) {
+  const auto leaves = make_leaves(static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MerkleTree::build(leaves, default_hash()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_TreeBuild)->Range(1 << 8, 1 << 18);
+
+void BM_StreamingBuild(benchmark::State& state) {
+  const auto leaves = make_leaves(static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    StreamingMerkleBuilder builder(default_hash());
+    for (const Bytes& leaf : leaves) {
+      builder.add_leaf(leaf);
+    }
+    benchmark::DoNotOptimize(builder.finish());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_StreamingBuild)->Range(1 << 8, 1 << 18);
+
+void BM_Prove(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  const MerkleTree tree = MerkleTree::build(make_leaves(n), default_hash());
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.prove(LeafIndex{i++ % n}));
+  }
+}
+BENCHMARK(BM_Prove)->Range(1 << 8, 1 << 18);
+
+void BM_VerifyProof(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  const MerkleTree tree = MerkleTree::build(make_leaves(n), default_hash());
+  const MerkleProof proof = tree.prove(LeafIndex{n / 2});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify_proof(proof, tree.root(), default_hash()));
+  }
+}
+BENCHMARK(BM_VerifyProof)->Range(1 << 8, 1 << 18);
+
+void BM_UpdateLeaf(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  MerkleTree tree = MerkleTree::build(make_leaves(n), default_hash());
+  Bytes value(16, 0xef);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    put_u64_be(i, value.data());
+    tree.update_leaf(LeafIndex{i++ % n}, value, default_hash());
+    benchmark::DoNotOptimize(tree.root());
+  }
+}
+BENCHMARK(BM_UpdateLeaf)->Range(1 << 8, 1 << 18);
+
+// §3.3: proving from a partial tree rebuilds a 2^ℓ-leaf subtree.
+void BM_PartialTreeProve(benchmark::State& state) {
+  const std::uint64_t n = 1 << 14;
+  const unsigned ell = static_cast<unsigned>(state.range(0));
+  const auto leaves = make_leaves(n);
+  const auto provider = [&leaves](LeafIndex i) { return leaves[i.value]; };
+  const PartialMerkleTree tree =
+      PartialMerkleTree::build(n, ell, provider, default_hash());
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.prove(LeafIndex{(i++ * 977) % n}, provider, default_hash()));
+  }
+  state.counters["stored_nodes"] =
+      static_cast<double>(tree.stored_node_count());
+}
+BENCHMARK(BM_PartialTreeProve)->DenseRange(0, 12, 3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

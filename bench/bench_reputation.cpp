@@ -1,0 +1,76 @@
+// Reputation over repeated rounds: how quickly per-round CBS verdicts purge
+// cheaters from the roster, and how much assigned work they burn before
+// that happens — the long-horizon picture the paper's one-shot analysis
+// abstracts away.
+
+#include <cstdio>
+
+#include "grid/reputation.h"
+
+using namespace ugc;
+
+namespace {
+
+TournamentConfig base_tournament(double cheat_r, std::size_t cheaters) {
+  TournamentConfig config;
+  config.base.domain_end = 1 << 10;
+  config.base.workload = "test";
+  config.base.participant_count = 8;
+  config.base.seed = 97;
+  config.base.scheme.kind = SchemeKind::kCbs;
+  config.base.scheme.cbs.sample_count = 33;
+  for (std::size_t c = 0; c < cheaters; ++c) {
+    config.base.cheaters.push_back({c * 2 + 1, cheat_r, 0.0, 0});
+  }
+  config.rounds = 8;
+  config.reputation = {1.0, 1.0, 0.5, 2};
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== reputation tournaments: 8 participants, 8 rounds, CBS "
+              "m = 33 ==\n\n");
+  std::printf("%-10s %-9s %14s %16s %18s\n", "cheat r", "cheaters",
+              "purged after", "final roster", "false bans");
+
+  for (const double r : {0.2, 0.5, 0.8, 0.95}) {
+    for (const std::size_t cheaters : {1u, 3u}) {
+      const TournamentConfig config = base_tournament(r, cheaters);
+      const TournamentResult result = run_reputation_tournament(config);
+
+      std::size_t banned = 0;
+      std::size_t false_bans = 0;
+      for (std::size_t p = 0; p < result.final_banned.size(); ++p) {
+        if (!result.final_banned[p]) {
+          continue;
+        }
+        ++banned;
+        const bool is_cheater = p % 2 == 1 && (p / 2) < cheaters;
+        if (!is_cheater) {
+          ++false_bans;
+        }
+      }
+      std::printf("%-10.2f %-9zu %11zu rds %13zu/8 %18zu\n", r, cheaters,
+                  result.cheaters_purged_after,
+                  8 - banned, false_bans);
+    }
+  }
+
+  std::printf("\nround-by-round view (r = 0.5, 3 cheaters):\n");
+  const TournamentResult detail =
+      run_reputation_tournament(base_tournament(0.5, 3));
+  std::printf("%-7s %10s %14s %14s\n", "round", "active", "cheat rejected",
+              "cheat accepted");
+  for (std::size_t round = 0; round < detail.rounds.size(); ++round) {
+    const TournamentRound& r = detail.rounds[round];
+    std::printf("%-7zu %10zu %14zu %14zu\n", round + 1,
+                r.active_participants, r.cheater_tasks_rejected,
+                r.cheater_tasks_accepted);
+  }
+  std::printf("\neven a 95%%-honest cheater is purged within a few rounds: "
+              "every round is an independent (r)^m escape trial, and the "
+              "ledger only needs a couple of rejections.\n");
+  return 0;
+}

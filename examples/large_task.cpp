@@ -1,0 +1,69 @@
+// Large tasks on small machines — the §3.3 storage tradeoff in practice.
+//
+// A participant takes a 2^20-input task. Storing the full Merkle tree costs
+// ~2 M nodes; with the partial tree it keeps only the top levels and
+// rebuilds one small subtree per challenged sample. This example commits the
+// same task at several storage levels ℓ and reports memory vs proof-time vs
+// the paper's rco = 2m/S prediction — all through the public CBS API.
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "core/analysis.h"
+#include "core/cbs.h"
+#include "merkle/tree.h"
+#include "workloads/keysearch.h"
+
+using namespace ugc;
+
+int main() {
+  constexpr std::uint64_t kN = 1 << 20;
+  constexpr std::size_t kSamples = 33;
+
+  const auto f = std::make_shared<KeySearchFunction>(/*work_factor=*/1, 13);
+  const Task task = Task::make(TaskId{1}, Domain(0, kN), f);
+  const auto verifier = std::make_shared<RecomputeVerifier>(f);
+
+  std::printf("== one participant, n = 2^20, m = %zu samples ==\n\n",
+              kSamples);
+  std::printf("%-5s %14s %12s %12s %14s\n", "ell", "stored nodes",
+              "commit s", "respond s", "rco (= 2m/S)");
+
+  for (const unsigned ell : {0u, 4u, 8u, 12u}) {
+    CbsConfig config;
+    config.sample_count = kSamples;
+    config.tree.storage_subtree_height = ell;
+
+    Stopwatch commit_timer;
+    CbsParticipant participant(task, config, make_honest_policy());
+    CbsSupervisor supervisor(task, config, verifier, Rng(2));
+    const Commitment commitment = participant.commit();
+    const double commit_s = commit_timer.elapsed_seconds();
+
+    const SampleChallenge challenge = supervisor.challenge(commitment);
+    Stopwatch respond_timer;
+    const ProofResponse response = participant.respond(challenge);
+    const double respond_s = respond_timer.elapsed_seconds();
+
+    const Verdict verdict = supervisor.verify(response);
+    if (!verdict.accepted()) {
+      std::printf("unexpected rejection: %s\n", verdict.detail.c_str());
+      return 1;
+    }
+
+    const double stored =
+        (ell == tree_height(kN))
+            ? 1.0
+            : static_cast<double>(
+                  (std::uint64_t{2} << (tree_height(kN) - ell)) - 1);
+    std::printf("%-5u %14.0f %12.2f %12.3f %14.6f\n", ell, stored, commit_s,
+                respond_s, rco_from_levels(kSamples, tree_height(kN), ell));
+  }
+
+  std::printf(
+      "\nthe commitment itself is O(n) work regardless of storage; only the "
+      "respond step pays the 2^ell rebuild, and the paper's rco predicts "
+      "exactly the measured recompute fraction (bench_fig3 validates the "
+      "meter).\n");
+  return 0;
+}

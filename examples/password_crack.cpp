@@ -1,0 +1,69 @@
+// Password cracking on a simulated grid — the paper's running example.
+//
+// A supervisor splits a 2^16 key space across 8 participants. One of them
+// cheats (computes half its share and guesses the rest). The example runs
+// the same scenario under naive sampling (O(n) upload) and CBS
+// (O(m log n) upload), showing that both catch the cheater but CBS moves
+// orders of magnitude fewer bytes.
+
+#include <cstdio>
+
+#include "grid/simulation.h"
+#include "workloads/registry.h"
+
+using namespace ugc;
+
+namespace {
+
+GridRunResult run_scheme(SchemeKind kind, bool verbose) {
+  GridConfig config;
+  config.domain_begin = 0;
+  config.domain_end = 1 << 16;
+  config.workload = "keysearch";
+  config.workload_seed = 7;
+  config.participant_count = 8;
+  config.seed = 2024;
+  config.scheme.kind = kind;
+  config.scheme.naive.sample_count = 33;
+  config.scheme.cbs.sample_count = 33;
+  config.cheaters = {{3, 0.5, 0.0, 0}};  // participant 3 does half the work
+
+  const GridRunResult result = run_grid_simulation(config);
+  if (verbose) {
+    for (const ParticipantOutcome& outcome : result.outcomes) {
+      std::printf("  participant %zu (%s): %s\n", outcome.participant_index,
+                  outcome.was_cheater ? "cheater" : "honest ",
+                  outcome.accepted ? "accepted" : "REJECTED");
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Cracking a password across an 8-node grid ==\n");
+  std::printf("key space 2^16, participant 3 cheats with r=0.5\n\n");
+
+  std::printf("--- naive sampling (participants upload ALL results) ---\n");
+  const GridRunResult naive = run_scheme(SchemeKind::kNaiveSampling, true);
+  std::printf("  cheater caught: %s | upload traffic: %llu bytes\n\n",
+              naive.cheater_tasks_rejected > 0 ? "yes" : "NO",
+              static_cast<unsigned long long>(naive.network.total_bytes));
+
+  std::printf("--- CBS (commit, then prove m=33 samples) ---\n");
+  const GridRunResult cbs = run_scheme(SchemeKind::kCbs, true);
+  std::printf("  cheater caught: %s | upload traffic: %llu bytes\n\n",
+              cbs.cheater_tasks_rejected > 0 ? "yes" : "NO",
+              static_cast<unsigned long long>(cbs.network.total_bytes));
+
+  std::printf("CBS moved %.1fx fewer bytes than the naive upload.\n",
+              static_cast<double>(naive.network.total_bytes) /
+                  static_cast<double>(cbs.network.total_bytes));
+
+  if (!cbs.hits.empty()) {
+    std::printf("cracked: %s (reported by an accepted participant)\n",
+                cbs.hits.front().report.c_str());
+  }
+  return 0;
+}

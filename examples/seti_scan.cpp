@@ -1,0 +1,65 @@
+// SETI-style signal scanning through a GRACE broker — why NI-CBS exists.
+//
+// In brokered architectures (the paper's §4 motivation) the supervisor
+// cannot talk to participants directly, so the interactive CBS challenge
+// round has to be relayed. Non-interactive CBS derives the samples from the
+// commitment itself: one self-contained proof, no challenge round. This
+// example scans synthetic sky blocks for chirps under both schemes, behind
+// a broker, and compares message counts.
+
+#include <cstdio>
+
+#include "grid/simulation.h"
+
+using namespace ugc;
+
+namespace {
+
+GridRunResult run_scheme(SchemeKind kind) {
+  GridConfig config;
+  config.domain_begin = 0;
+  config.domain_end = 2048;  // 2048 sky blocks
+  config.workload = "signal-scan";
+  config.workload_seed = 31;
+  config.participant_count = 4;
+  config.use_broker = true;  // supervisor never sees the participants
+  config.seed = 99;
+  config.scheme.kind = kind;
+  config.scheme.cbs.sample_count = 33;
+  config.scheme.nicbs.sample_count = 33;
+  config.cheaters = {{0, 0.6, 0.0, 0}};
+  return run_grid_simulation(config);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== SETI-style scan behind a GRACE resource broker ==\n");
+  std::printf("2048 sky blocks, 4 hidden participants, one cheater (r=0.6)\n\n");
+
+  const GridRunResult cbs = run_scheme(SchemeKind::kCbs);
+  const GridRunResult nicbs = run_scheme(SchemeKind::kNiCbs);
+
+  std::printf("%-28s %10s %10s\n", "", "CBS", "NI-CBS");
+  std::printf("%-28s %10llu %10llu\n", "messages through broker",
+              static_cast<unsigned long long>(cbs.network.total_messages),
+              static_cast<unsigned long long>(nicbs.network.total_messages));
+  std::printf("%-28s %10llu %10llu\n", "total bytes",
+              static_cast<unsigned long long>(cbs.network.total_bytes),
+              static_cast<unsigned long long>(nicbs.network.total_bytes));
+  std::printf("%-28s %10zu %10zu\n", "cheater tasks rejected",
+              cbs.cheater_tasks_rejected, nicbs.cheater_tasks_rejected);
+  std::printf("%-28s %10zu %10zu\n", "signals confirmed", cbs.hits.size(),
+              nicbs.hits.size());
+
+  std::printf("\ndetected signals (NI-CBS run):\n");
+  for (const ScreenerHit& hit : nicbs.hits) {
+    std::printf("  %s\n", hit.report.c_str());
+  }
+
+  std::printf(
+      "\nNI-CBS removed the challenge round: %llu fewer broker messages.\n",
+      static_cast<unsigned long long>(cbs.network.total_messages -
+                                      nicbs.network.total_messages));
+  return 0;
+}

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ugc {
+
+// The library's byte-buffer vocabulary types. Owning buffers are Bytes;
+// read-only views at API boundaries are BytesView (per I.13 / SL guidance:
+// pass spans, not pointer+length pairs).
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+inline Bytes to_bytes(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+inline std::string to_string(BytesView data) {
+  return std::string(reinterpret_cast<const char*>(data.data()), data.size());
+}
+
+inline void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+inline Bytes concat_bytes(BytesView a, BytesView b) {
+  Bytes out;
+  out.reserve(a.size() + b.size());
+  append(out, a);
+  append(out, b);
+  return out;
+}
+
+inline bool equal_bytes(BytesView a, BytesView b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+// Big-endian fixed-width integer store/load, used wherever a digest has to be
+// interpreted as an integer (NI-CBS sample derivation) or a length serialized.
+inline void put_u64_be(std::uint64_t value, std::uint8_t* out) {
+  for (int i = 7; i >= 0; --i) {
+    out[i] = static_cast<std::uint8_t>(value & 0xff);
+    value >>= 8;
+  }
+}
+
+inline std::uint64_t read_u64_be(const std::uint8_t* in) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value = (value << 8) | in[i];
+  }
+  return value;
+}
+
+inline void put_u32_be(std::uint32_t value, std::uint8_t* out) {
+  out[0] = static_cast<std::uint8_t>(value >> 24);
+  out[1] = static_cast<std::uint8_t>(value >> 16);
+  out[2] = static_cast<std::uint8_t>(value >> 8);
+  out[3] = static_cast<std::uint8_t>(value);
+}
+
+inline std::uint32_t read_u32_be(const std::uint8_t* in) {
+  return (static_cast<std::uint32_t>(in[0]) << 24) |
+         (static_cast<std::uint32_t>(in[1]) << 16) |
+         (static_cast<std::uint32_t>(in[2]) << 8) |
+         static_cast<std::uint32_t>(in[3]);
+}
+
+}  // namespace ugc

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ugc {
+
+// Base class for programming/usage errors thrown by the library.
+//
+// Protocol-level failures (e.g. a participant failing verification, a message
+// that decodes but fails a semantic check) are modelled as *data* carried in
+// result types, not as exceptions; exceptions signal misuse of an API or a
+// broken invariant.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+namespace detail {
+
+inline void format_parts(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void format_parts(std::ostringstream& out, const T& first, const Rest&... rest) {
+  out << first;
+  format_parts(out, rest...);
+}
+
+}  // namespace detail
+
+// Builds a string from streamable parts. Kept here (rather than using
+// std::format) because libstdc++ 12 does not ship <format>.
+template <typename... Parts>
+std::string concat(const Parts&... parts) {
+  std::ostringstream out;
+  detail::format_parts(out, parts...);
+  return out.str();
+}
+
+// Throws ugc::Error with a message built from `parts` when `condition` is
+// false. This is the library's argument/invariant check, used at public API
+// boundaries.
+template <typename... Parts>
+void check(bool condition, const Parts&... parts) {
+  if (!condition) {
+    throw Error(concat(parts...));
+  }
+}
+
+}  // namespace ugc

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace ugc {
+
+// Lower-case hexadecimal encoding of a byte buffer.
+std::string to_hex(BytesView data);
+
+// Decodes a hex string (case-insensitive). Throws ugc::Error on odd length or
+// non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+}  // namespace ugc

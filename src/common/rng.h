@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/bytes.h"
+
+namespace ugc {
+
+// Deterministic pseudo-random generator (xoshiro256**, seeded via splitmix64).
+//
+// All randomness in the library flows through an injected Rng so that every
+// protocol run, Monte-Carlo experiment, and test is reproducible from a seed.
+// Satisfies std::uniform_random_bit_generator, so it composes with <random>
+// distributions where needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  // Next raw 64-bit output.
+  std::uint64_t next();
+  result_type operator()() { return next(); }
+
+  // Uniform integer in [0, bound). Unbiased (rejection sampling).
+  // Requires bound > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double unit_real();
+
+  // True with probability p (p clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  // n uniformly random bytes.
+  Bytes bytes(std::size_t n);
+
+  // Derives an independent child generator; the parent advances. Used to give
+  // each simulated node / participant its own stream.
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace ugc

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ugc {
+
+// Minimal steady-clock stopwatch used by benches and cost calibration.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  double elapsed_seconds() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ugc

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace ugc {
+
+// Index of an input within a participant's domain D = {x_0 .. x_{n-1}}.
+// (0-based; the paper writes 1-based indices.) A strong type so that leaf
+// indices, raw inputs, and byte counts cannot be mixed up at API boundaries.
+struct LeafIndex {
+  std::uint64_t value{0};
+
+  friend constexpr auto operator<=>(const LeafIndex&, const LeafIndex&) = default;
+};
+
+// Identifier of a task handed to one participant.
+struct TaskId {
+  std::uint64_t value{0};
+
+  friend constexpr auto operator<=>(const TaskId&, const TaskId&) = default;
+};
+
+// Identifier of a node (supervisor / participant / broker) in the simulated
+// grid.
+struct GridNodeId {
+  std::uint32_t value{0};
+
+  friend constexpr auto operator<=>(const GridNodeId&, const GridNodeId&) = default;
+};
+
+}  // namespace ugc
+
+template <>
+struct std::hash<ugc::LeafIndex> {
+  std::size_t operator()(const ugc::LeafIndex& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<ugc::TaskId> {
+  std::size_t operator()(const ugc::TaskId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<ugc::GridNodeId> {
+  std::size_t operator()(const ugc::GridNodeId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,117 @@
+#include "core/analysis.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "merkle/tree.h"
+
+namespace ugc {
+
+namespace {
+
+void check_probability(double p, const char* name) {
+  check(p >= 0.0 && p <= 1.0, name, " must be in [0, 1], got ", p);
+}
+
+}  // namespace
+
+double cheat_success_probability(double honesty_ratio, double guess_accuracy,
+                                 std::size_t sample_count) {
+  check_probability(honesty_ratio, "honesty_ratio");
+  check_probability(guess_accuracy, "guess_accuracy");
+  const double per_sample =
+      honesty_ratio + (1.0 - honesty_ratio) * guess_accuracy;
+  return std::pow(per_sample, static_cast<double>(sample_count));
+}
+
+std::optional<std::size_t> required_sample_size(double epsilon,
+                                                double honesty_ratio,
+                                                double guess_accuracy) {
+  check(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1), got ",
+        epsilon);
+  check_probability(honesty_ratio, "honesty_ratio");
+  check_probability(guess_accuracy, "guess_accuracy");
+
+  const double base = honesty_ratio + (1.0 - honesty_ratio) * guess_accuracy;
+  if (base >= 1.0) {
+    return std::nullopt;  // cheating is undetectable by sampling
+  }
+  if (base <= 0.0) {
+    return 1;  // any single sample exposes the cheater
+  }
+  const double m = std::log(epsilon) / std::log(base);
+  return static_cast<std::size_t>(std::ceil(m));
+}
+
+double naive_sampling_escape_probability(double honesty_ratio,
+                                         std::size_t sample_count) {
+  return cheat_success_probability(honesty_ratio, 0.0, sample_count);
+}
+
+double rco_from_levels(std::size_t sample_count, unsigned tree_height,
+                       unsigned subtree_height) {
+  check(subtree_height <= tree_height, "rco_from_levels: subtree height ",
+        subtree_height, " exceeds tree height ", tree_height);
+  return static_cast<double>(sample_count) *
+         std::pow(2.0, static_cast<double>(subtree_height)) /
+         std::pow(2.0, static_cast<double>(tree_height));
+}
+
+double rco_from_storage(std::size_t sample_count, double stored_nodes) {
+  check(stored_nodes > 0.0, "rco_from_storage: stored_nodes must be positive");
+  return 2.0 * static_cast<double>(sample_count) / stored_nodes;
+}
+
+double expected_retry_attempts(double honesty_ratio,
+                               std::size_t sample_count) {
+  check(honesty_ratio > 0.0 && honesty_ratio <= 1.0,
+        "expected_retry_attempts: honesty ratio must be in (0, 1]");
+  return std::pow(1.0 / honesty_ratio, static_cast<double>(sample_count));
+}
+
+double min_sample_gen_cost(double honesty_ratio, std::size_t sample_count,
+                           std::uint64_t domain_size, double cost_f) {
+  check(sample_count > 0, "min_sample_gen_cost: sample count must be > 0");
+  check(cost_f > 0.0, "min_sample_gen_cost: cost_f must be positive");
+  // Eq. 5 rearranged: Cg >= n · Cf · r^m / m.
+  const double attempts = expected_retry_attempts(honesty_ratio, sample_count);
+  return static_cast<double>(domain_size) * cost_f /
+         (attempts * static_cast<double>(sample_count));
+}
+
+std::uint64_t iterations_for_defense(double honesty_ratio,
+                                     std::size_t sample_count,
+                                     std::uint64_t domain_size, double cost_f,
+                                     double cost_hash) {
+  check(cost_hash > 0.0, "iterations_for_defense: cost_hash must be positive");
+  const double cg =
+      min_sample_gen_cost(honesty_ratio, sample_count, domain_size, cost_f);
+  const double k = std::ceil(cg / cost_hash);
+  return k < 1.0 ? 1 : static_cast<std::uint64_t>(k);
+}
+
+double honest_sample_gen_overhead(std::size_t sample_count, double cost_g,
+                                  std::uint64_t domain_size, double cost_f) {
+  check(domain_size > 0, "honest_sample_gen_overhead: empty domain");
+  check(cost_f > 0.0, "honest_sample_gen_overhead: cost_f must be positive");
+  return static_cast<double>(sample_count) * cost_g /
+         (static_cast<double>(domain_size) * cost_f);
+}
+
+double upload_bytes_all_results(std::uint64_t domain_size,
+                                std::size_t result_size) {
+  return static_cast<double>(domain_size) *
+         static_cast<double>(result_size);
+}
+
+double cbs_upload_bytes(std::uint64_t domain_size, std::size_t sample_count,
+                        std::size_t result_size, std::size_t digest_size) {
+  const double height = static_cast<double>(tree_height(domain_size));
+  const double per_proof =
+      static_cast<double>(result_size) +
+      height * static_cast<double>(digest_size) + 8.0 /* sample index */;
+  return static_cast<double>(digest_size) /* commitment */ +
+         static_cast<double>(sample_count) * per_proof;
+}
+
+}  // namespace ugc

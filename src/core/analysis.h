@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace ugc {
+
+// Closed-form security and cost analysis from the paper. These are the
+// formulas the Monte-Carlo benches validate empirically.
+
+// Theorem 3 / Eq. 2: probability that a participant with honesty ratio r and
+// guess accuracy q survives m independent uniform samples,
+//   Pr = (r + (1-r)q)^m.
+// Requires r, q in [0, 1].
+double cheat_success_probability(double honesty_ratio, double guess_accuracy,
+                                 std::size_t sample_count);
+
+// Eq. 3: smallest m with (r + (1-r)q)^m <= epsilon. Returns std::nullopt when
+// no finite m works (i.e. r + (1-r)q >= 1: the participant is effectively
+// honest or guesses perfectly). epsilon must be in (0, 1).
+std::optional<std::size_t> required_sample_size(double epsilon,
+                                                double honesty_ratio,
+                                                double guess_accuracy);
+
+// Naive-sampling detection probability quoted in §1: a cheater that computed
+// a fraction r survives m spot-checks with probability r^m (q = 0).
+double naive_sampling_escape_probability(double honesty_ratio,
+                                         std::size_t sample_count);
+
+// §3.3: relative computation overhead of the partial-tree storage scheme,
+//   rco = m · 2^ℓ / 2^H  =  2m / S,
+// where S = 2^(H-ℓ+1) is the number of stored nodes.
+double rco_from_levels(std::size_t sample_count, unsigned tree_height,
+                       unsigned subtree_height);
+double rco_from_storage(std::size_t sample_count, double stored_nodes);
+
+// §4.2: expected number of commitment re-rolls the NI-CBS retry attacker
+// needs before all m self-derived samples land in its computed subset:
+// 1 / r^m. Infinite (huge) for r -> 0.
+double expected_retry_attempts(double honesty_ratio, std::size_t sample_count);
+
+// Eq. 5: the inequality (1/r^m) · m · Cg >= n · Cf makes the expected cost of
+// the retry attack exceed the cost of honest computation.
+
+// Minimum per-call cost of g (same unit as cost_f) to satisfy Eq. 5.
+double min_sample_gen_cost(double honesty_ratio, std::size_t sample_count,
+                           std::uint64_t domain_size, double cost_f);
+
+// Number of base-hash iterations k such that k · cost_hash >= the Eq. 5
+// minimum Cg. Returns at least 1.
+std::uint64_t iterations_for_defense(double honesty_ratio,
+                                     std::size_t sample_count,
+                                     std::uint64_t domain_size, double cost_f,
+                                     double cost_hash);
+
+// The honest participant's extra cost from expensive sample generation,
+// relative to the whole task: m · Cg / (n · Cf). With Cg at the Eq. 5
+// minimum this is ~ r^m.
+double honest_sample_gen_overhead(std::size_t sample_count, double cost_g,
+                                  std::uint64_t domain_size, double cost_f);
+
+// ----------------------------------------------------------------------
+// Communication-cost models (bytes), used by bench_comm_cost to extrapolate
+// beyond what the simulator materializes. These deliberately count only
+// payload bytes (results, digests, indices), mirroring the paper's O(·)
+// arguments; the metered simulation adds real envelope overhead on top.
+
+// Naive double-check / naive sampling: the participant uploads all n results.
+double upload_bytes_all_results(std::uint64_t domain_size,
+                                std::size_t result_size);
+
+// CBS: one commitment digest + m proofs, each carrying a result and
+// ceil(log2 n) siblings (digest-sized in hashed-leaf mode; at the bottom
+// level a raw result in raw mode — we charge digest size for uniformity,
+// plus the result itself).
+double cbs_upload_bytes(std::uint64_t domain_size, std::size_t sample_count,
+                        std::size_t result_size, std::size_t digest_size);
+
+}  // namespace ugc

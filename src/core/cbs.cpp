@@ -1,0 +1,97 @@
+#include "core/cbs.h"
+
+#include "common/error.h"
+#include "core/sampling.h"
+
+namespace ugc {
+
+CbsParticipant::CbsParticipant(Task task, CbsConfig config,
+                               std::shared_ptr<const HonestyPolicy> policy)
+    : config_(config),
+      engine_(std::move(task), config.tree, std::move(policy)) {}
+
+Commitment CbsParticipant::commit() {
+  return engine_.commit();
+}
+
+ProofResponse CbsParticipant::respond(const SampleChallenge& challenge) {
+  check(challenge.task == engine_.task().id,
+        "CbsParticipant::respond: challenge is for task ",
+        challenge.task.value, ", not ", engine_.task().id.value);
+  ProofResponse response;
+  response.task = engine_.task().id;
+  response.proofs = engine_.prove(challenge.samples);
+  return response;
+}
+
+BatchProofResponse CbsParticipant::respond_batched(
+    const SampleChallenge& challenge) {
+  check(challenge.task == engine_.task().id,
+        "CbsParticipant::respond_batched: challenge is for task ",
+        challenge.task.value, ", not ", engine_.task().id.value);
+  return engine_.prove_batch(challenge.samples);
+}
+
+ScreenerReport CbsParticipant::screener_report() const {
+  return ScreenerReport{engine_.task().id, engine_.hits()};
+}
+
+CbsSupervisor::CbsSupervisor(Task task, CbsConfig config,
+                             std::shared_ptr<const ResultVerifier> verifier,
+                             Rng rng)
+    : task_(std::move(task)),
+      config_(config),
+      verifier_(std::move(verifier)),
+      rng_(rng) {
+  check(verifier_ != nullptr, "CbsSupervisor: result verifier required");
+  check(config_.sample_count >= 1, "CbsSupervisor: sample_count must be >= 1");
+}
+
+SampleChallenge CbsSupervisor::challenge(const Commitment& commitment) {
+  check(!commitment_.has_value(),
+        "CbsSupervisor::challenge: a commitment was already challenged");
+  commitment_ = commitment;
+
+  const std::uint64_t n = task_.domain.size();
+  samples_ =
+      config_.sample_with_replacement
+          ? sample_with_replacement(rng_, n, config_.sample_count)
+          : sample_without_replacement(
+                rng_, n, std::min<std::size_t>(config_.sample_count, n));
+  return SampleChallenge{task_.id, samples_};
+}
+
+Verdict CbsSupervisor::verify(const ProofResponse& response) {
+  check(commitment_.has_value(),
+        "CbsSupervisor::verify: no commitment received yet");
+  return verify_sample_proofs(task_, config_.tree, *commitment_, samples_,
+                              response, *verifier_, &metrics_);
+}
+
+Verdict CbsSupervisor::verify_batched(const BatchProofResponse& response) {
+  check(commitment_.has_value(),
+        "CbsSupervisor::verify_batched: no commitment received yet");
+  return verify_batch_response(task_, config_.tree, *commitment_, samples_,
+                               response, *verifier_, &metrics_);
+}
+
+CbsRunResult run_cbs_exchange(const Task& task, const CbsConfig& config,
+                              std::shared_ptr<const HonestyPolicy> policy,
+                              std::shared_ptr<const ResultVerifier> verifier,
+                              std::uint64_t supervisor_seed) {
+  CbsParticipant participant(task, config, std::move(policy));
+  CbsSupervisor supervisor(task, config, std::move(verifier),
+                           Rng(supervisor_seed));
+
+  const Commitment commitment = participant.commit();
+  const SampleChallenge challenge = supervisor.challenge(commitment);
+  const Verdict verdict =
+      config.use_batch_proofs
+          ? supervisor.verify_batched(participant.respond_batched(challenge))
+          : supervisor.verify(participant.respond(challenge));
+
+  return CbsRunResult{verdict, participant.screener_report(),
+                      participant.metrics(), supervisor.metrics()};
+}
+
+}  // namespace ugc

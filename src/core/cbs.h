@@ -1,0 +1,96 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cheating.h"
+#include "core/engine.h"
+#include "core/settings.h"
+#include "core/verification.h"
+
+namespace ugc {
+
+// Participant endpoint of the interactive Commitment-Based Sampling scheme
+// (§3.1):
+//
+//   1. commit()  — sweep the domain, build the Merkle tree, emit Φ(R)
+//   3. respond() — answer the supervisor's sample challenge with f(x_i) and
+//                  the authentication paths
+//
+// (steps 2 and 4 belong to the supervisor).
+class CbsParticipant {
+ public:
+  CbsParticipant(Task task, CbsConfig config,
+                 std::shared_ptr<const HonestyPolicy> policy);
+
+  // Step 1. Idempotent.
+  Commitment commit();
+
+  // Step 3. Throws if commit() has not run or the challenge is for a
+  // different task.
+  ProofResponse respond(const SampleChallenge& challenge);
+
+  // Batched Step 3 (extension; pairs with CbsSupervisor::verify_batched).
+  BatchProofResponse respond_batched(const SampleChallenge& challenge);
+
+  // The "results of interest" the supervisor actually wants.
+  ScreenerReport screener_report() const;
+
+  const ParticipantMetrics& metrics() const { return engine_.metrics(); }
+  const Task& task() const { return engine_.task(); }
+
+ private:
+  CbsConfig config_;
+  ParticipantEngine engine_;
+};
+
+// Supervisor endpoint of the interactive CBS scheme: receives the
+// commitment, issues the random challenge (step 2), and verifies the
+// response (step 4).
+class CbsSupervisor {
+ public:
+  // `verifier` checks claimed results; pass a RecomputeVerifier for generic
+  // f. `rng` drives sample selection.
+  CbsSupervisor(Task task, CbsConfig config,
+                std::shared_ptr<const ResultVerifier> verifier, Rng rng);
+
+  // Step 2: record the commitment and draw the challenge. Throws if called
+  // twice (the participant gets exactly one challenge — re-challenging after
+  // a failed attempt would hand cheaters retries).
+  SampleChallenge challenge(const Commitment& commitment);
+
+  // Step 4: the verdict on the participant's response.
+  Verdict verify(const ProofResponse& response);
+
+  // Batched Step 4 (extension): one root reconstruction covers all samples.
+  Verdict verify_batched(const BatchProofResponse& response);
+
+  const SupervisorMetrics& metrics() const { return metrics_; }
+
+ private:
+  Task task_;
+  CbsConfig config_;
+  std::shared_ptr<const ResultVerifier> verifier_;
+  Rng rng_;
+  std::optional<Commitment> commitment_;
+  std::vector<LeafIndex> samples_;
+  SupervisorMetrics metrics_;
+};
+
+// Runs one complete interactive CBS exchange in-process and returns the
+// verdict — the quickest way to use the library (see examples/quickstart).
+struct CbsRunResult {
+  Verdict verdict;
+  ScreenerReport report;
+  ParticipantMetrics participant_metrics;
+  SupervisorMetrics supervisor_metrics;
+};
+
+CbsRunResult run_cbs_exchange(const Task& task, const CbsConfig& config,
+                              std::shared_ptr<const HonestyPolicy> policy,
+                              std::shared_ptr<const ResultVerifier> verifier,
+                              std::uint64_t supervisor_seed);
+
+}  // namespace ugc

@@ -1,0 +1,76 @@
+#include "core/cheating.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ugc {
+
+HonestyPolicy::LeafDecision HonestPolicy::decide(LeafIndex i,
+                                                 const Task& task) const {
+  return {task.f->evaluate(task.domain.input(i)), true};
+}
+
+SemiHonestCheater::SemiHonestCheater(Params params) : params_(params) {
+  check(params_.honesty_ratio >= 0.0 && params_.honesty_ratio <= 1.0,
+        "SemiHonestCheater: honesty_ratio must be in [0, 1]");
+  check(params_.guess_accuracy >= 0.0 && params_.guess_accuracy <= 1.0,
+        "SemiHonestCheater: guess_accuracy must be in [0, 1]");
+}
+
+double SemiHonestCheater::index_unit(LeafIndex i, std::uint64_t stream) const {
+  // One splitmix-style draw keyed by (seed, stream, index): deterministic,
+  // stateless, and independent across streams.
+  Rng rng(params_.seed ^ (stream * 0x9e3779b97f4a7c15ULL) ^
+          (i.value * 0xd1342543de82ef95ULL));
+  return rng.unit_real();
+}
+
+bool SemiHonestCheater::computes_honestly(LeafIndex i) const {
+  return index_unit(i, 1) < params_.honesty_ratio;
+}
+
+HonestyPolicy::LeafDecision SemiHonestCheater::decide(LeafIndex i,
+                                                      const Task& task) const {
+  if (computes_honestly(i)) {
+    return {task.f->evaluate(task.domain.input(i)), true};
+  }
+  if (index_unit(i, 2) < params_.guess_accuracy) {
+    // A "lucky guess": the committed value happens to be correct. The
+    // simulation consults f to produce it, but the cheater is not billed —
+    // the paper's q models exactly this event.
+    return {task.f->evaluate(task.domain.input(i)), false};
+  }
+  // An unlucky guess: deterministic junk of the right width, keyed by the
+  // index so that re-asking for the same leaf returns the same bytes.
+  Rng rng(params_.seed ^ (3 * 0x9e3779b97f4a7c15ULL) ^
+          (i.value * 0xd1342543de82ef95ULL));
+  return {rng.bytes(task.f->result_size()), false};
+}
+
+std::string SemiHonestCheater::name() const {
+  return concat("semi-honest(r=", params_.honesty_ratio,
+                ", q=", params_.guess_accuracy, ")");
+}
+
+std::shared_ptr<HonestyPolicy> make_honest_policy() {
+  return std::make_shared<HonestPolicy>();
+}
+
+std::shared_ptr<HonestyPolicy> make_semi_honest_cheater(
+    SemiHonestCheater::Params params) {
+  return std::make_shared<SemiHonestCheater>(params);
+}
+
+const char* to_string(ScreenerConduct conduct) {
+  switch (conduct) {
+    case ScreenerConduct::kFaithful:
+      return "faithful";
+    case ScreenerConduct::kSuppress:
+      return "suppress";
+    case ScreenerConduct::kFabricate:
+      return "fabricate";
+  }
+  return "unknown";
+}
+
+}  // namespace ugc

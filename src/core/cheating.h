@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "core/task.h"
+
+namespace ugc {
+
+// Decides, per input, what a participant uses as "f(x_i)" — the genuine
+// value or a cheap substitute f̌(x_i) (the paper's semi-honest model, §2.2).
+//
+// Decisions must be deterministic in the leaf index: the participant may be
+// asked for the same leaf again while rebuilding a partial-tree subtree
+// (§3.3), and a real cheater would likewise reuse its stored guess.
+class HonestyPolicy {
+ public:
+  virtual ~HonestyPolicy() = default;
+
+  HonestyPolicy() = default;
+  HonestyPolicy(const HonestyPolicy&) = delete;
+  HonestyPolicy& operator=(const HonestyPolicy&) = delete;
+
+  struct LeafDecision {
+    Bytes value;   // the bytes committed as Φ(L_i)'s preimage
+    bool honest;   // true iff f was genuinely evaluated (for cost accounting)
+  };
+
+  virtual LeafDecision decide(LeafIndex i, const Task& task) const = 0;
+
+  // True iff index i belongs to the honestly computed subset D'.
+  virtual bool computes_honestly(LeafIndex i) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// The fully honest participant: D' = D.
+class HonestPolicy final : public HonestyPolicy {
+ public:
+  LeafDecision decide(LeafIndex i, const Task& task) const override;
+  bool computes_honestly(LeafIndex) const override { return true; }
+  std::string name() const override { return "honest"; }
+};
+
+// The semi-honest cheater of §2.2: computes f only on a fraction
+// `honesty_ratio` of D (chosen pseudo-randomly per index from `seed`), and
+// substitutes a guess elsewhere. With probability `guess_accuracy` (the
+// paper's q) a guess happens to equal the true value — emulated by secretly
+// consulting f, which costs the *simulation* an evaluation but is not billed
+// to the cheater.
+class SemiHonestCheater final : public HonestyPolicy {
+ public:
+  struct Params {
+    double honesty_ratio = 0.5;   // r = |D'| / |D|
+    double guess_accuracy = 0.0;  // q = Pr[guess == f(x)]
+    std::uint64_t seed = 0;       // determinises subset choice and guesses
+  };
+
+  explicit SemiHonestCheater(Params params);
+
+  LeafDecision decide(LeafIndex i, const Task& task) const override;
+  bool computes_honestly(LeafIndex i) const override;
+  std::string name() const override;
+
+  const Params& params() const { return params_; }
+
+ private:
+  // Deterministic per-index uniform draw in [0, 1).
+  double index_unit(LeafIndex i, std::uint64_t stream) const;
+
+  Params params_;
+};
+
+std::shared_ptr<HonestyPolicy> make_honest_policy();
+std::shared_ptr<HonestyPolicy> make_semi_honest_cheater(
+    SemiHonestCheater::Params params);
+
+// The *malicious* model of §2.2: the participant may do all the f-work but
+// corrupt the screener channel — computing S(x, z) for junk z, or silently
+// dropping discoveries. CBS commits to f values, not to screener reports,
+// so this conduct is outside what CBS alone detects (the paper scopes CBS
+// to the semi-honest model); the grid layer demonstrates both the gap and
+// the standard mitigations (supervisor-side screening of uploaded results,
+// and recompute-validation of reported hits).
+enum class ScreenerConduct {
+  kFaithful,   // report exactly S(x, claimed value)
+  kSuppress,   // report nothing — hide every discovery
+  kFabricate,  // replace the report stream with fabricated hits
+};
+
+const char* to_string(ScreenerConduct conduct);
+
+}  // namespace ugc

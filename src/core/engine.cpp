@@ -1,0 +1,120 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "merkle/batch_proof.h"
+
+namespace ugc {
+
+ParticipantEngine::ParticipantEngine(
+    Task task, TreeSettings settings,
+    std::shared_ptr<const HonestyPolicy> policy)
+    : task_(std::move(task)),
+      settings_(settings),
+      policy_(std::move(policy)),
+      hash_(make_hash(settings.tree_hash)) {
+  check(policy_ != nullptr, "ParticipantEngine: honesty policy required");
+}
+
+Bytes ParticipantEngine::leaf_from_result(BytesView result, LeafMode mode,
+                                          const HashFunction& hash) {
+  switch (mode) {
+    case LeafMode::kRaw:
+      return Bytes(result.begin(), result.end());
+    case LeafMode::kHashed:
+      return hash.hash(result);
+  }
+  throw Error("leaf_from_result: unknown leaf mode");
+}
+
+Bytes ParticipantEngine::leaf_value(LeafIndex i, bool during_build) {
+  const HonestyPolicy::LeafDecision decision = policy_->decide(i, task_);
+  if (during_build) {
+    if (decision.honest) {
+      ++metrics_.honest_evaluations;
+    } else {
+      ++metrics_.guessed_leaves;
+    }
+    // The participant screens the values it claims to have computed —
+    // S(x, f̌(x)) in the semi-honest model.
+    if (auto report =
+            task_.screener->screen(task_.domain.input(i), decision.value)) {
+      hits_.push_back(ScreenerHit{task_.domain.input(i), std::move(*report)});
+    }
+  } else if (decision.honest) {
+    // §3.3 subtree rebuild: the honest values must be recomputed; guessed
+    // values are assumed stored (they cost nothing to begin with).
+    ++metrics_.rebuild_evaluations;
+  }
+  return leaf_from_result(decision.value, settings_.leaf_mode, *hash_);
+}
+
+Commitment ParticipantEngine::commit() {
+  if (!tree_.has_value()) {
+    tree_ = PartialMerkleTree::build(
+        task_.domain.size(), settings_.storage_subtree_height,
+        [this](LeafIndex i) { return leaf_value(i, /*during_build=*/true); },
+        *hash_);
+  }
+  return Commitment{task_.id, task_.domain.size(), tree_->root()};
+}
+
+std::vector<SampleProof> ParticipantEngine::prove(
+    std::span<const LeafIndex> samples) {
+  check(tree_.has_value(), "ParticipantEngine::prove: commit() first");
+
+  std::vector<SampleProof> proofs;
+  proofs.reserve(samples.size());
+  for (const LeafIndex index : samples) {
+    MerkleProof merkle = tree_->prove(
+        index,
+        [this](LeafIndex i) { return leaf_value(i, /*during_build=*/false); },
+        *hash_);
+
+    SampleProof proof;
+    proof.index = index;
+    if (settings_.leaf_mode == LeafMode::kRaw) {
+      // Eq. 1: the leaf *is* the claimed result.
+      proof.result = std::move(merkle.leaf_value);
+    } else {
+      // kHashed: the leaf is hash(result); the response must carry the
+      // preimage, fetched from the (deterministic) policy.
+      proof.result = policy_->decide(index, task_).value;
+    }
+    proof.siblings = std::move(merkle.siblings);
+    proofs.push_back(std::move(proof));
+  }
+  return proofs;
+}
+
+BatchProofResponse ParticipantEngine::prove_batch(
+    std::span<const LeafIndex> samples) {
+  check(tree_.has_value(), "ParticipantEngine::prove_batch: commit() first");
+  check(!samples.empty(), "ParticipantEngine::prove_batch: empty sample set");
+
+  // Collect the individual paths (works for full and partial storage), then
+  // merge. Deduplicate samples first so repeated indices are proven once.
+  std::vector<LeafIndex> unique(samples.begin(), samples.end());
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  std::vector<SampleProof> individual = prove(unique);
+  std::vector<MerkleProof> merkle;
+  merkle.reserve(individual.size());
+  BatchProofResponse response;
+  response.task = task_.id;
+  for (SampleProof& proof : individual) {
+    MerkleProof m;
+    m.index = proof.index;
+    m.leaf_value =
+        leaf_from_result(proof.result, settings_.leaf_mode, *hash_);
+    m.siblings = std::move(proof.siblings);
+    merkle.push_back(std::move(m));
+    response.results.emplace_back(proof.index, std::move(proof.result));
+  }
+  response.siblings = merge_proofs(merkle).siblings;
+  return response;
+}
+
+}  // namespace ugc

@@ -1,0 +1,76 @@
+#include "core/nicbs.h"
+
+#include "common/error.h"
+#include "core/sampling.h"
+
+namespace ugc {
+
+NiCbsParticipant::NiCbsParticipant(Task task, NiCbsConfig config,
+                                   std::shared_ptr<const HonestyPolicy> policy)
+    : config_(config),
+      engine_(std::move(task), config.tree, std::move(policy)),
+      g_(make_iterated_hash(config.sample_hash,
+                            config.sample_hash_iterations)) {
+  check(config_.sample_count >= 1,
+        "NiCbsParticipant: sample_count must be >= 1");
+}
+
+NiCbsProof NiCbsParticipant::prove() {
+  if (proof_.has_value()) {
+    return *proof_;
+  }
+  const Commitment commitment = engine_.commit();
+  const std::vector<LeafIndex> samples =
+      derive_samples(commitment.root, engine_.task().domain.size(),
+                     config_.sample_count, *g_);
+  g_invocations_ += config_.sample_count;
+
+  ProofResponse response;
+  response.task = engine_.task().id;
+  response.proofs = engine_.prove(samples);
+
+  proof_ = NiCbsProof{commitment, std::move(response)};
+  return *proof_;
+}
+
+ScreenerReport NiCbsParticipant::screener_report() const {
+  return ScreenerReport{engine_.task().id, engine_.hits()};
+}
+
+NiCbsSupervisor::NiCbsSupervisor(Task task, NiCbsConfig config,
+                                 std::shared_ptr<const ResultVerifier> verifier)
+    : task_(std::move(task)),
+      config_(config),
+      verifier_(std::move(verifier)),
+      g_(make_iterated_hash(config.sample_hash,
+                            config.sample_hash_iterations)) {
+  check(verifier_ != nullptr, "NiCbsSupervisor: result verifier required");
+  check(config_.sample_count >= 1,
+        "NiCbsSupervisor: sample_count must be >= 1");
+}
+
+Verdict NiCbsSupervisor::verify(const NiCbsProof& proof) {
+  // Regenerate the sample choices from the committed root (paper Step 4,
+  // NI-CBS variant) — the participant cannot influence them after committing.
+  const std::vector<LeafIndex> samples =
+      derive_samples(proof.commitment.root, task_.domain.size(),
+                     config_.sample_count, *g_);
+  g_invocations_ += config_.sample_count;
+  return verify_sample_proofs(task_, config_.tree, proof.commitment, samples,
+                              proof.response, *verifier_, &metrics_);
+}
+
+NiCbsRunResult run_nicbs_exchange(
+    const Task& task, const NiCbsConfig& config,
+    std::shared_ptr<const HonestyPolicy> policy,
+    std::shared_ptr<const ResultVerifier> verifier) {
+  NiCbsParticipant participant(task, config, std::move(policy));
+  NiCbsSupervisor supervisor(task, config, std::move(verifier));
+
+  const NiCbsProof proof = participant.prove();
+  const Verdict verdict = supervisor.verify(proof);
+  return NiCbsRunResult{verdict, participant.screener_report(),
+                        participant.metrics(), supervisor.metrics()};
+}
+
+}  // namespace ugc

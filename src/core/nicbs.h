@@ -1,0 +1,73 @@
+#pragma once
+
+#include <memory>
+
+#include "core/cheating.h"
+#include "core/engine.h"
+#include "core/settings.h"
+#include "core/verification.h"
+#include "crypto/iterated_hash.h"
+
+namespace ugc {
+
+// Non-interactive CBS (§4): the participant derives the sample indices from
+// its own commitment root via the one-way chain g (Eq. 4), so no challenge
+// round-trip is needed — essential when a broker (GRACE's GRB) hides
+// participants from the supervisor.
+class NiCbsParticipant {
+ public:
+  NiCbsParticipant(Task task, NiCbsConfig config,
+                   std::shared_ptr<const HonestyPolicy> policy);
+
+  // Runs the whole participant side: sweep + commit, derive samples from
+  // Φ(R), and assemble the proof bundle. Idempotent.
+  NiCbsProof prove();
+
+  ScreenerReport screener_report() const;
+  const ParticipantMetrics& metrics() const { return engine_.metrics(); }
+  // g invocations spent deriving samples (m for one honest proof).
+  std::uint64_t sample_hash_invocations() const { return g_invocations_; }
+
+ private:
+  NiCbsConfig config_;
+  ParticipantEngine engine_;
+  std::unique_ptr<const IteratedHash> g_;
+  std::optional<NiCbsProof> proof_;
+  std::uint64_t g_invocations_ = 0;
+};
+
+// Supervisor endpoint: re-derives the samples from the committed root and
+// runs the standard Step 4 verification. Stateless across proofs.
+class NiCbsSupervisor {
+ public:
+  NiCbsSupervisor(Task task, NiCbsConfig config,
+                  std::shared_ptr<const ResultVerifier> verifier);
+
+  Verdict verify(const NiCbsProof& proof);
+
+  const SupervisorMetrics& metrics() const { return metrics_; }
+  // g invocations spent re-deriving samples.
+  std::uint64_t sample_hash_invocations() const { return g_invocations_; }
+
+ private:
+  Task task_;
+  NiCbsConfig config_;
+  std::shared_ptr<const ResultVerifier> verifier_;
+  std::unique_ptr<const IteratedHash> g_;
+  SupervisorMetrics metrics_;
+  std::uint64_t g_invocations_ = 0;
+};
+
+// One-shot non-interactive exchange.
+struct NiCbsRunResult {
+  Verdict verdict;
+  ScreenerReport report;
+  ParticipantMetrics participant_metrics;
+  SupervisorMetrics supervisor_metrics;
+};
+
+NiCbsRunResult run_nicbs_exchange(const Task& task, const NiCbsConfig& config,
+                                  std::shared_ptr<const HonestyPolicy> policy,
+                                  std::shared_ptr<const ResultVerifier> verifier);
+
+}  // namespace ugc

@@ -1,0 +1,19 @@
+#include "core/protocol.h"
+
+namespace ugc {
+
+const char* to_string(VerdictStatus status) {
+  switch (status) {
+    case VerdictStatus::kAccepted:
+      return "accepted";
+    case VerdictStatus::kWrongResult:
+      return "wrong-result";
+    case VerdictStatus::kRootMismatch:
+      return "root-mismatch";
+    case VerdictStatus::kMalformed:
+      return "malformed";
+  }
+  return "unknown";
+}
+
+}  // namespace ugc

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "core/task.h"
+
+namespace ugc {
+
+// Value types exchanged by the CBS / NI-CBS protocols. The wire module
+// (src/wire) serializes these; in-process experiments pass them directly.
+
+// Step 1: the participant commits to all n results via the Merkle root Φ(R).
+struct Commitment {
+  TaskId task;
+  std::uint64_t leaf_count = 0;  // n = |D|, echoed for validation
+  Bytes root;                    // Φ(R)
+
+  friend bool operator==(const Commitment&, const Commitment&) = default;
+};
+
+// Step 2: the supervisor's sample challenge (interactive CBS only).
+struct SampleChallenge {
+  TaskId task;
+  std::vector<LeafIndex> samples;
+
+  friend bool operator==(const SampleChallenge&, const SampleChallenge&) =
+      default;
+};
+
+// One sample's proof of honesty: the claimed result plus the authentication
+// path λ1..λH from its leaf to the committed root.
+struct SampleProof {
+  LeafIndex index;
+  Bytes result;                 // claimed f(x_i)
+  std::vector<Bytes> siblings;  // sibling Φ values, bottom-up
+
+  std::size_t payload_bytes() const {
+    std::size_t total = 8 /* index */ + result.size();
+    for (const Bytes& s : siblings) total += s.size();
+    return total;
+  }
+
+  friend bool operator==(const SampleProof&, const SampleProof&) = default;
+};
+
+// Step 3: the participant's response to a challenge (or, for NI-CBS, to its
+// self-derived samples).
+struct ProofResponse {
+  TaskId task;
+  std::vector<SampleProof> proofs;
+
+  std::size_t payload_bytes() const {
+    std::size_t total = 8;
+    for (const SampleProof& p : proofs) total += p.payload_bytes();
+    return total;
+  }
+
+  friend bool operator==(const ProofResponse&, const ProofResponse&) = default;
+};
+
+// Batched Step-3 response (library extension, not in the paper): every
+// distinct sampled leaf appears once, and the m authentication paths are
+// merged into one deduplicated sibling stream (see merkle/batch_proof.h).
+// Enabled via CbsConfig::use_batch_proofs.
+struct BatchProofResponse {
+  TaskId task;
+  // (index, claimed result) sorted by index, duplicates removed.
+  std::vector<std::pair<LeafIndex, Bytes>> results;
+  // Deduplicated siblings in verification consumption order.
+  std::vector<Bytes> siblings;
+
+  std::size_t payload_bytes() const {
+    std::size_t total = 8;
+    for (const auto& [index, result] : results) {
+      total += 8 + result.size();
+    }
+    for (const Bytes& sibling : siblings) {
+      total += sibling.size();
+    }
+    return total;
+  }
+
+  friend bool operator==(const BatchProofResponse&,
+                         const BatchProofResponse&) = default;
+};
+
+// The results of interest, reported through the screener channel.
+struct ScreenerReport {
+  TaskId task;
+  std::vector<ScreenerHit> hits;
+
+  friend bool operator==(const ScreenerReport&, const ScreenerReport&) =
+      default;
+};
+
+// Step 4 outcome.
+enum class VerdictStatus {
+  kAccepted,      // all samples verified against the commitment
+  kWrongResult,   // a claimed f(x_i) failed result verification
+  kRootMismatch,  // Λ(f(x_i), λ1..λH) != committed Φ(R)
+  kMalformed,     // structurally invalid response (wrong samples, sizes, ...)
+};
+
+const char* to_string(VerdictStatus status);
+
+struct Verdict {
+  TaskId task;
+  VerdictStatus status = VerdictStatus::kMalformed;
+  // The first sample that failed, when status is kWrongResult/kRootMismatch.
+  std::optional<LeafIndex> failed_sample;
+  std::string detail;
+
+  bool accepted() const { return status == VerdictStatus::kAccepted; }
+
+  friend bool operator==(const Verdict&, const Verdict&) = default;
+};
+
+// The complete non-interactive proof (§4): commitment plus the response to
+// the root-derived samples, shipped in one message.
+struct NiCbsProof {
+  Commitment commitment;
+  ProofResponse response;
+
+  std::size_t payload_bytes() const {
+    return commitment.root.size() + 8 + response.payload_bytes();
+  }
+
+  friend bool operator==(const NiCbsProof&, const NiCbsProof&) = default;
+};
+
+}  // namespace ugc

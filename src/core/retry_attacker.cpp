@@ -1,0 +1,117 @@
+#include "core/retry_attacker.h"
+
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/sampling.h"
+#include "crypto/iterated_hash.h"
+#include "merkle/tree.h"
+
+namespace ugc {
+
+NiCbsRetryAttacker::NiCbsRetryAttacker(Task task, NiCbsConfig config,
+                                       RetryAttackConfig attack)
+    : task_(std::move(task)), config_(config), attack_(attack) {
+  check(attack_.honesty_ratio > 0.0 && attack_.honesty_ratio <= 1.0,
+        "NiCbsRetryAttacker: honesty ratio must be in (0, 1] — an attacker "
+        "that computed nothing cannot ever pass");
+}
+
+RetryAttackOutcome NiCbsRetryAttacker::run() {
+  const std::uint64_t n = task_.domain.size();
+  const auto hash = make_hash(config_.tree.tree_hash);
+  const auto g =
+      make_iterated_hash(config_.sample_hash, config_.sample_hash_iterations);
+
+  RetryAttackOutcome outcome;
+
+  // Step 0: do the honest part of the work and fill the rest with guesses
+  // (q = 0: guesses are junk, which is what a rational retry attacker does —
+  // the retries, not lucky guesses, are its weapon).
+  const SemiHonestCheater policy(
+      {attack_.honesty_ratio, /*guess_accuracy=*/0.0, attack_.seed});
+
+  std::vector<Bytes> results(n);
+  std::vector<Bytes> leaves(n);
+  std::vector<std::uint64_t> fake_indices;
+  std::unordered_set<std::uint64_t> honest_set;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto decision = policy.decide(LeafIndex{i}, task_);
+    if (decision.honest) {
+      ++outcome.honest_evaluations;
+      honest_set.insert(i);
+    } else {
+      fake_indices.push_back(i);
+    }
+    results[i] = decision.value;
+    leaves[i] = ParticipantEngine::leaf_from_result(
+        results[i], config_.tree.leaf_mode, *hash);
+  }
+
+  MerkleTree tree = MerkleTree::build(leaves, *hash);
+  Rng reroll_rng(attack_.seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+  const auto in_honest_set = [&honest_set](LeafIndex i) {
+    return honest_set.contains(i.value);
+  };
+
+  std::vector<LeafIndex> samples;
+  for (;;) {
+    ++outcome.attempts;
+    outcome.g_invocations_full += config_.sample_count;
+
+    // Step 2: derive this attempt's samples from the current root.
+    samples.clear();
+    if (attack_.early_exit) {
+      outcome.g_invocations += derive_samples_early_exit(
+          tree.root(), n, config_.sample_count, *g, in_honest_set, samples);
+    } else {
+      samples = derive_samples(tree.root(), n, config_.sample_count, *g);
+      outcome.g_invocations += config_.sample_count;
+    }
+
+    const bool all_honest =
+        samples.size() == config_.sample_count &&
+        std::all_of(samples.begin(), samples.end(), in_honest_set);
+    if (all_honest) {
+      outcome.success = true;
+      break;
+    }
+    if (fake_indices.empty()) {
+      // Degenerate: everything is honest yet a sample "missed" — impossible;
+      // guard against infinite loops all the same.
+      break;
+    }
+    if (attack_.max_attempts != 0 && outcome.attempts >= attack_.max_attempts) {
+      break;
+    }
+
+    // Step 3: re-randomize one guessed leaf and update the O(log n) path.
+    const std::uint64_t victim =
+        fake_indices[reroll_rng.uniform(fake_indices.size())];
+    results[victim] = reroll_rng.bytes(task_.f->result_size());
+    tree.update_leaf(LeafIndex{victim},
+                     ParticipantEngine::leaf_from_result(
+                         results[victim], config_.tree.leaf_mode, *hash),
+                     *hash);
+  }
+
+  // Assemble the forged proof (valid only on success, but returned either
+  // way so callers can inspect the final state).
+  outcome.proof.commitment = Commitment{task_.id, n, tree.root()};
+  outcome.proof.response.task = task_.id;
+  if (outcome.success) {
+    for (const LeafIndex index : samples) {
+      MerkleProof merkle = tree.prove(index);
+      SampleProof proof;
+      proof.index = index;
+      proof.result = results[index.value];
+      proof.siblings = std::move(merkle.siblings);
+      outcome.proof.response.proofs.push_back(std::move(proof));
+    }
+  }
+  return outcome;
+}
+
+}  // namespace ugc

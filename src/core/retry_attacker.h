@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cheating.h"
+#include "core/protocol.h"
+#include "core/settings.h"
+#include "core/task.h"
+
+namespace ugc {
+
+// Parameters of the §4.2 attack against non-interactive CBS.
+struct RetryAttackConfig {
+  // Fraction of the domain the attacker actually computes (its D').
+  double honesty_ratio = 0.5;
+  // Seeds subset choice, guess bytes, and re-roll randomness.
+  std::uint64_t seed = 1;
+  // Abort after this many commitment re-rolls (0 = unlimited — only safe for
+  // tiny 1/r^m).
+  std::uint64_t max_attempts = 1 << 20;
+  // When true (an optimization the paper does not model), the attacker stops
+  // deriving an attempt's samples at the first index outside D'; the paper's
+  // Eq. 5 charges the full m·Cg per attempt. Both accountings are reported.
+  bool early_exit = true;
+};
+
+struct RetryAttackOutcome {
+  bool success = false;
+  // Commitment re-rolls used (1 = the initial commitment already worked).
+  std::uint64_t attempts = 0;
+  // Actual g invocations spent (early exit makes this < attempts·m).
+  std::uint64_t g_invocations = 0;
+  // g invocations under the paper's full-derivation accounting: attempts·m.
+  std::uint64_t g_invocations_full = 0;
+  // |D'| — f evaluations the attacker really performed.
+  std::uint64_t honest_evaluations = 0;
+  // The forged proof; passes NiCbsSupervisor::verify when success is true.
+  NiCbsProof proof;
+};
+
+// Implements the cheating strategy of §4.2 verbatim:
+//
+//   1. Build the Merkle tree, guessing f(x) for x outside D'.
+//   2. Derive the samples from the root; if all fall inside D', the forged
+//      proof will pass verification.
+//   3. Otherwise re-randomize one guessed leaf (an O(log n) path update),
+//      recompute the root, and try again.
+//
+// The expected number of attempts is 1/r^m (validated by
+// bench_nicbs_attack); the defenses are a larger m or an expensive g
+// (Eq. 5).
+class NiCbsRetryAttacker {
+ public:
+  NiCbsRetryAttacker(Task task, NiCbsConfig config, RetryAttackConfig attack);
+
+  RetryAttackOutcome run();
+
+ private:
+  Task task_;
+  NiCbsConfig config_;
+  RetryAttackConfig attack_;
+};
+
+}  // namespace ugc

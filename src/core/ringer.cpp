@@ -1,0 +1,86 @@
+#include "core/ringer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/hex.h"
+#include "common/rng.h"
+#include "core/sampling.h"
+
+namespace ugc {
+
+RingerSupervisor::RingerSupervisor(Task task, RingerConfig config)
+    : task_(std::move(task)) {
+  check(config.ringer_count >= 1, "RingerSupervisor: need at least 1 ringer");
+  check(config.ringer_count <= task_.domain.size(),
+        "RingerSupervisor: more ringers (", config.ringer_count,
+        ") than inputs (", task_.domain.size(), ")");
+
+  Rng rng(config.seed);
+  const std::vector<LeafIndex> picks = sample_without_replacement(
+      rng, task_.domain.size(), config.ringer_count);
+  inputs_.reserve(picks.size());
+  images_.reserve(picks.size());
+  for (const LeafIndex i : picks) {
+    const std::uint64_t x = task_.domain.input(i);
+    inputs_.push_back(x);
+    images_.push_back(task_.f->evaluate(x));
+  }
+}
+
+RingerVerdict RingerSupervisor::verify(const RingerReport& report) const {
+  RingerVerdict verdict;
+  verdict.ringers_expected = inputs_.size();
+  if (report.task != task_.id) {
+    return verdict;  // rejected: wrong task
+  }
+  const std::unordered_set<std::uint64_t> found(report.found_inputs.begin(),
+                                                report.found_inputs.end());
+  for (const std::uint64_t x : inputs_) {
+    if (found.contains(x)) {
+      ++verdict.ringers_found;
+    }
+  }
+  verdict.accepted = verdict.ringers_found == verdict.ringers_expected;
+  return verdict;
+}
+
+RingerParticipant::RingerParticipant(
+    Task task, std::vector<Bytes> planted_images,
+    std::shared_ptr<const HonestyPolicy> policy)
+    : task_(std::move(task)),
+      images_(std::move(planted_images)),
+      policy_(std::move(policy)) {
+  check(policy_ != nullptr, "RingerParticipant: honesty policy required");
+}
+
+RingerReport RingerParticipant::scan() {
+  // Index the planted images for O(1) membership tests (hex keys keep the
+  // set simple; values are small).
+  std::unordered_set<std::string> image_set;
+  image_set.reserve(images_.size());
+  for (const Bytes& image : images_) {
+    image_set.insert(to_hex(image));
+  }
+
+  RingerReport report;
+  report.task = task_.id;
+  const std::uint64_t n = task_.domain.size();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto decision = policy_->decide(LeafIndex{i}, task_);
+    if (decision.honest) {
+      ++honest_evaluations_;
+    }
+    const std::uint64_t x = task_.domain.input(LeafIndex{i});
+    if (image_set.contains(to_hex(decision.value))) {
+      report.found_inputs.push_back(x);
+    }
+    if (auto hit = task_.screener->screen(x, decision.value)) {
+      hits_.push_back(ScreenerHit{x, std::move(*hit)});
+    }
+  }
+  return report;
+}
+
+}  // namespace ugc

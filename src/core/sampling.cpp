@@ -1,0 +1,52 @@
+#include "core/sampling.h"
+
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace ugc {
+
+std::vector<LeafIndex> sample_with_replacement(Rng& rng, std::uint64_t n,
+                                               std::size_t m) {
+  check(n >= 1, "sample_with_replacement: n must be >= 1");
+  std::vector<LeafIndex> samples;
+  samples.reserve(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    samples.push_back(LeafIndex{rng.uniform(n)});
+  }
+  return samples;
+}
+
+std::vector<LeafIndex> sample_without_replacement(Rng& rng, std::uint64_t n,
+                                                  std::size_t m) {
+  check(n >= 1, "sample_without_replacement: n must be >= 1");
+  check(m <= n, "sample_without_replacement: m=", m, " exceeds n=", n);
+
+  // Floyd's algorithm: for j = n-m .. n-1, draw t in [0, j]; insert t unless
+  // already chosen, in which case insert j.
+  std::unordered_set<std::uint64_t> chosen;
+  std::vector<LeafIndex> samples;
+  samples.reserve(m);
+  for (std::uint64_t j = n - m; j < n; ++j) {
+    const std::uint64_t t = rng.uniform(j + 1);
+    const std::uint64_t pick = chosen.contains(t) ? j : t;
+    chosen.insert(pick);
+    samples.push_back(LeafIndex{pick});
+  }
+  return samples;
+}
+
+std::vector<LeafIndex> derive_samples(BytesView root, std::uint64_t n,
+                                      std::size_t m, const HashFunction& g) {
+  check(n >= 1, "derive_samples: n must be >= 1");
+  check(g.digest_size() >= 8,
+        "derive_samples: sample hash digest must be at least 8 bytes");
+
+  std::vector<LeafIndex> samples;
+  samples.reserve(m);
+  derive_samples_early_exit(
+      root, n, m, g, [](LeafIndex) { return true; }, samples);
+  return samples;
+}
+
+}  // namespace ugc

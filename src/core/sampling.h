@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "crypto/hash_function.h"
+
+namespace ugc {
+
+// Step 2 of CBS: the supervisor draws m sample indices uniformly from [0, n).
+// The paper draws independently (with replacement).
+std::vector<LeafIndex> sample_with_replacement(Rng& rng, std::uint64_t n,
+                                               std::size_t m);
+
+// Variant: m distinct indices (requires m <= n); Floyd's algorithm, O(m)
+// expected draws and O(m) memory.
+std::vector<LeafIndex> sample_without_replacement(Rng& rng, std::uint64_t n,
+                                                  std::size_t m);
+
+// Eq. 4 of the paper (NI-CBS): the k-th sample is derived from the committed
+// root by iterating the one-way function g,
+//
+//   i_k = (g^k(Φ(R)) mod n) + 1        (paper, 1-based)
+//
+// implemented 0-based as read_u64_be(first 8 bytes of g^k(Φ(R))) mod n.
+// Deterministic given (root, n, m, g); unpredictable before the commitment
+// is fixed.
+std::vector<LeafIndex> derive_samples(BytesView root, std::uint64_t n,
+                                      std::size_t m, const HashFunction& g);
+
+// As derive_samples, but stops early at the first index for which
+// `accept(index)` is false — modelling the §4.2 retry attacker, which can
+// abandon an attempt as soon as one derived sample falls outside its
+// honestly-computed subset. Appends generated indices to `out` and returns
+// the number of g invocations spent.
+template <typename AcceptFn>
+std::uint64_t derive_samples_early_exit(BytesView root, std::uint64_t n,
+                                        std::size_t m, const HashFunction& g,
+                                        AcceptFn&& accept,
+                                        std::vector<LeafIndex>& out) {
+  Bytes chain(root.begin(), root.end());
+  std::uint64_t g_invocations = 0;
+  for (std::size_t k = 0; k < m; ++k) {
+    chain = g.hash(chain);
+    ++g_invocations;
+    const LeafIndex index{read_u64_be(chain.data()) % n};
+    out.push_back(index);
+    if (!accept(index)) {
+      break;
+    }
+  }
+  return g_invocations;
+}
+
+}  // namespace ugc

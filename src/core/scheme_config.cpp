@@ -1,0 +1,21 @@
+#include "core/scheme_config.h"
+
+namespace ugc {
+
+const char* to_string(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kDoubleCheck:
+      return "double-check";
+    case SchemeKind::kNaiveSampling:
+      return "naive-sampling";
+    case SchemeKind::kCbs:
+      return "cbs";
+    case SchemeKind::kNiCbs:
+      return "ni-cbs";
+    case SchemeKind::kRinger:
+      return "ringer";
+  }
+  return "unknown";
+}
+
+}  // namespace ugc

@@ -1,0 +1,156 @@
+#include "core/sequential.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace ugc {
+
+namespace {
+
+void validate(const SprtConfig& config) {
+  check(config.pass_prob_honest > 0.0 && config.pass_prob_honest <= 1.0,
+        "SprtConfig: pass_prob_honest must be in (0, 1]");
+  check(config.pass_prob_cheater >= 0.0 &&
+            config.pass_prob_cheater < config.pass_prob_honest,
+        "SprtConfig: need 0 <= pass_prob_cheater < pass_prob_honest");
+  check(config.false_reject > 0.0 && config.false_reject < 1.0,
+        "SprtConfig: false_reject must be in (0, 1)");
+  check(config.false_accept > 0.0 && config.false_accept < 1.0,
+        "SprtConfig: false_accept must be in (0, 1)");
+  check(config.max_samples >= 1, "SprtConfig: max_samples must be >= 1");
+}
+
+double safe_log_ratio(double num, double den) {
+  if (num <= 0.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  if (den <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return std::log(num / den);
+}
+
+}  // namespace
+
+const char* to_string(SprtDecision decision) {
+  switch (decision) {
+    case SprtDecision::kContinue:
+      return "continue";
+    case SprtDecision::kAccept:
+      return "accept";
+    case SprtDecision::kReject:
+      return "reject";
+  }
+  return "unknown";
+}
+
+Sprt::Sprt(SprtConfig config) : config_(config) {
+  validate(config_);
+  accept_threshold_ =
+      std::log(config_.false_accept / (1.0 - config_.false_reject));
+  reject_threshold_ =
+      std::log((1.0 - config_.false_accept) / config_.false_reject);
+  llr_pass_ =
+      safe_log_ratio(config_.pass_prob_cheater, config_.pass_prob_honest);
+  llr_fail_ = safe_log_ratio(1.0 - config_.pass_prob_cheater,
+                             1.0 - config_.pass_prob_honest);
+}
+
+SprtDecision Sprt::observe(bool pass) {
+  check(decision_ == SprtDecision::kContinue,
+        "Sprt::observe: test already decided (", to_string(decision_), ")");
+  ++observations_;
+  llr_ += pass ? llr_pass_ : llr_fail_;
+
+  if (llr_ >= reject_threshold_) {
+    decision_ = SprtDecision::kReject;
+  } else if (llr_ <= accept_threshold_) {
+    decision_ = SprtDecision::kAccept;
+  } else if (observations_ >= config_.max_samples) {
+    // Undecided at the cap: resolve conservatively.
+    decision_ = SprtDecision::kReject;
+  }
+  return decision_;
+}
+
+double Sprt::expected_samples_honest(const SprtConfig& config) {
+  validate(config);
+  const double a = std::log(config.false_accept / (1.0 - config.false_reject));
+  const double b =
+      std::log((1.0 - config.false_accept) / config.false_reject);
+  const double p0 = config.pass_prob_honest;
+  const double per_sample =
+      p0 * safe_log_ratio(config.pass_prob_cheater, p0) +
+      (1.0 - p0) * safe_log_ratio(1.0 - config.pass_prob_cheater, 1.0 - p0);
+  // E[LLR at stop | honest] ~ (1-alpha)·a + alpha·b.
+  const double alpha = config.false_reject;
+  return ((1.0 - alpha) * a + alpha * b) / per_sample;
+}
+
+double Sprt::expected_samples_cheater(const SprtConfig& config) {
+  validate(config);
+  const double a = std::log(config.false_accept / (1.0 - config.false_reject));
+  const double b =
+      std::log((1.0 - config.false_accept) / config.false_reject);
+  const double p1 = config.pass_prob_cheater;
+  const double per_sample =
+      p1 * safe_log_ratio(p1, config.pass_prob_honest) +
+      (1.0 - p1) *
+          safe_log_ratio(1.0 - p1, 1.0 - config.pass_prob_honest);
+  const double beta = config.false_accept;
+  return (beta * a + (1.0 - beta) * b) / per_sample;
+}
+
+std::size_t Sprt::fixed_m_equivalent(const SprtConfig& config) {
+  validate(config);
+  check(config.pass_prob_cheater > 0.0,
+        "fixed_m_equivalent: p_cheater = 0 needs exactly 1 sample");
+  return static_cast<std::size_t>(std::ceil(
+      std::log(config.false_accept) / std::log(config.pass_prob_cheater)));
+}
+
+AdaptiveCbsSupervisor::AdaptiveCbsSupervisor(
+    Task task, TreeSettings tree, SprtConfig sprt,
+    std::shared_ptr<const ResultVerifier> verifier, Rng rng)
+    : task_(std::move(task)),
+      tree_(tree),
+      verifier_(std::move(verifier)),
+      rng_(rng),
+      sprt_(sprt) {
+  check(verifier_ != nullptr, "AdaptiveCbsSupervisor: verifier required");
+}
+
+void AdaptiveCbsSupervisor::receive_commitment(const Commitment& commitment) {
+  check(!commitment_.has_value(),
+        "AdaptiveCbsSupervisor: commitment already received");
+  commitment_ = commitment;
+}
+
+std::optional<SampleChallenge> AdaptiveCbsSupervisor::next_challenge() {
+  check(commitment_.has_value(),
+        "AdaptiveCbsSupervisor: no commitment received yet");
+  if (sprt_.decision() != SprtDecision::kContinue) {
+    return std::nullopt;
+  }
+  check(!outstanding_.has_value(),
+        "AdaptiveCbsSupervisor: previous challenge still unanswered");
+  outstanding_ = LeafIndex{rng_.uniform(task_.domain.size())};
+  return SampleChallenge{task_.id, {*outstanding_}};
+}
+
+SprtDecision AdaptiveCbsSupervisor::submit(const ProofResponse& response) {
+  check(outstanding_.has_value(),
+        "AdaptiveCbsSupervisor: no outstanding challenge");
+  const LeafIndex expected = *outstanding_;
+  outstanding_.reset();
+
+  const std::vector<LeafIndex> samples = {expected};
+  const Verdict verdict =
+      verify_sample_proofs(task_, tree_, *commitment_, samples, response,
+                           *verifier_, &metrics_);
+  return sprt_.observe(verdict.accepted());
+}
+
+}  // namespace ugc

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.h"
+#include "core/settings.h"
+#include "core/verification.h"
+
+namespace ugc {
+
+// Sequential (adaptive) sampling — an extension the paper's fixed-m design
+// leaves open.
+//
+// CBS verifies samples against an already-fixed commitment, so nothing
+// stops the supervisor from issuing samples *one at a time* and stopping as
+// soon as it is statistically sure. Wald's Sequential Probability Ratio
+// Test over per-sample pass/fail outcomes gives exactly that:
+//
+//   H_honest : each sample passes with probability p0 (1 − channel noise)
+//   H_cheater: each sample passes with probability p1 = r + (1−r)q
+//
+// With a noise-free channel (p0 = 1) the accept rule degenerates to the
+// paper's Eq. 3 fixed m and any failure is immediately conclusive. With a
+// noisy channel (e.g. proofs occasionally corrupted in transit) the paper's
+// zero-tolerance rule would reject honest participants with probability
+// 1 − (1−e)^m; the SPRT keeps both error rates bounded while still stopping
+// early on cheaters (~1/(1−p1) samples instead of m).
+
+enum class SprtDecision {
+  kContinue,  // keep sampling
+  kAccept,    // consistent with the honest hypothesis
+  kReject,    // consistent with the cheating hypothesis
+};
+
+const char* to_string(SprtDecision decision);
+
+struct SprtConfig {
+  // Pass probability of a sample under each hypothesis. Requires
+  // 0 <= p_cheater < p_honest <= 1.
+  double pass_prob_honest = 1.0;
+  double pass_prob_cheater = 0.5;
+  // P(reject | honest) and P(accept | cheater) targets (Wald bounds).
+  double false_reject = 1e-4;
+  double false_accept = 1e-4;
+  // Hard cap; an undecided test at the cap resolves conservatively to
+  // kReject (the participant can be re-audited).
+  std::size_t max_samples = 100'000;
+};
+
+// The pure statistical test over pass/fail observations.
+class Sprt {
+ public:
+  explicit Sprt(SprtConfig config);
+
+  // Records one outcome and returns the (possibly terminal) decision.
+  // Further observations after a terminal decision throw.
+  SprtDecision observe(bool pass);
+
+  SprtDecision decision() const { return decision_; }
+  std::size_t observations() const { return observations_; }
+
+  // Cumulative log-likelihood ratio log(P[data|cheater] / P[data|honest]).
+  double log_likelihood_ratio() const { return llr_; }
+
+  // Wald's approximate expected sample counts under each hypothesis.
+  static double expected_samples_honest(const SprtConfig& config);
+  static double expected_samples_cheater(const SprtConfig& config);
+
+  // The fixed-m equivalent for a noise-free channel: smallest k with
+  // p_cheater^k <= false_accept (matches required_sample_size).
+  static std::size_t fixed_m_equivalent(const SprtConfig& config);
+
+ private:
+  SprtConfig config_;
+  double llr_ = 0.0;
+  double accept_threshold_;  // log(beta / (1 - alpha))
+  double reject_threshold_;  // log((1 - beta) / alpha)
+  double llr_pass_;
+  double llr_fail_;
+  std::size_t observations_ = 0;
+  SprtDecision decision_ = SprtDecision::kContinue;
+};
+
+// Supervisor endpoint for the adaptive protocol: issues one sample per
+// round and folds the proof outcome into the SPRT. The participant side is
+// the ordinary CbsParticipant — it answers each single-sample challenge
+// with respond().
+class AdaptiveCbsSupervisor {
+ public:
+  AdaptiveCbsSupervisor(Task task, TreeSettings tree, SprtConfig sprt,
+                        std::shared_ptr<const ResultVerifier> verifier,
+                        Rng rng);
+
+  // Records the commitment; must be called once before sampling.
+  void receive_commitment(const Commitment& commitment);
+
+  // The next single-sample challenge, or nullopt once decided.
+  std::optional<SampleChallenge> next_challenge();
+
+  // Verifies the response to the latest challenge and advances the test.
+  SprtDecision submit(const ProofResponse& response);
+
+  SprtDecision decision() const { return sprt_.decision(); }
+  std::size_t samples_used() const { return sprt_.observations(); }
+  const SupervisorMetrics& metrics() const { return metrics_; }
+
+ private:
+  Task task_;
+  TreeSettings tree_;
+  std::shared_ptr<const ResultVerifier> verifier_;
+  Rng rng_;
+  Sprt sprt_;
+  std::optional<Commitment> commitment_;
+  std::optional<LeafIndex> outstanding_;
+  SupervisorMetrics metrics_;
+};
+
+}  // namespace ugc

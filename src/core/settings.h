@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/hash_function.h"
+
+namespace ugc {
+
+// How result bytes are placed on Merkle leaves.
+//
+// kRaw is the paper's Eq. 1 (Φ(L_i) = f(x_i) verbatim). kHashed stores
+// Φ(L_i) = hash(f(x_i)) instead, which keeps authentication paths
+// digest-sized when results are large; the proof still carries the raw
+// result, and the verifier re-derives the leaf. The two modes are
+// benchmarked against each other (see bench_ablation_leaf_mode).
+enum class LeafMode {
+  kRaw,
+  kHashed,
+};
+
+// Parameters the participant and supervisor must agree on to build /
+// reconstruct the same commitment tree.
+struct TreeSettings {
+  HashAlgorithm tree_hash = HashAlgorithm::kSha256;
+  LeafMode leaf_mode = LeafMode::kRaw;
+  // The §3.3 tradeoff: store only nodes at height >= this value (ℓ).
+  // 0 stores the full tree.
+  unsigned storage_subtree_height = 0;
+
+  friend bool operator==(const TreeSettings&, const TreeSettings&) = default;
+};
+
+// Interactive CBS protocol parameters (§3.1).
+struct CbsConfig {
+  TreeSettings tree;
+  // Number of samples m the supervisor challenges.
+  std::size_t sample_count = 33;
+  // The paper draws samples independently and uniformly (with replacement);
+  // without-replacement is provided as a variant.
+  bool sample_with_replacement = true;
+  // Extension: merge the m authentication paths into one batch proof
+  // (merkle/batch_proof.h), deduplicating shared siblings. Off by default —
+  // the paper's protocol ships independent paths.
+  bool use_batch_proofs = false;
+
+  friend bool operator==(const CbsConfig&, const CbsConfig&) = default;
+};
+
+// Non-interactive CBS parameters (§4).
+struct NiCbsConfig {
+  TreeSettings tree;
+  // §4.2 defense 1: a larger m (the paper suggests 128) makes the retry
+  // attack need ~1/r^m attempts.
+  std::size_t sample_count = 128;
+  // §4.2 defense 2: g = base^iterations; raising iterations makes every
+  // retry attempt cost m·Cg (Eq. 5).
+  HashAlgorithm sample_hash = HashAlgorithm::kMd5;
+  std::uint64_t sample_hash_iterations = 1;
+
+  friend bool operator==(const NiCbsConfig&, const NiCbsConfig&) = default;
+};
+
+}  // namespace ugc

@@ -1,0 +1,23 @@
+#include "core/task.h"
+
+namespace ugc {
+
+std::vector<Domain> Domain::split(std::size_t parts) const {
+  check(parts >= 1, "Domain::split: parts must be >= 1");
+  check(parts <= size(), "Domain::split: cannot split ", size(),
+        " inputs into ", parts, " parts");
+
+  std::vector<Domain> result;
+  result.reserve(parts);
+  const std::uint64_t base = size() / parts;
+  const std::uint64_t remainder = size() % parts;
+  std::uint64_t cursor = begin_;
+  for (std::size_t i = 0; i < parts; ++i) {
+    const std::uint64_t width = base + (i < remainder ? 1 : 0);
+    result.emplace_back(cursor, cursor + width);
+    cursor += width;
+  }
+  return result;
+}
+
+}  // namespace ugc

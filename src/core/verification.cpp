@@ -1,0 +1,175 @@
+#include "core/verification.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/engine.h"
+#include "merkle/batch_proof.h"
+#include "merkle/proof.h"
+#include "merkle/tree.h"
+
+namespace ugc {
+
+namespace {
+
+Verdict malformed(const Task& task, std::string detail) {
+  return Verdict{task.id, VerdictStatus::kMalformed, std::nullopt,
+                 std::move(detail)};
+}
+
+}  // namespace
+
+Verdict verify_sample_proofs(const Task& task, const TreeSettings& settings,
+                             const Commitment& commitment,
+                             std::span<const LeafIndex> expected_samples,
+                             const ProofResponse& response,
+                             const ResultVerifier& verifier,
+                             SupervisorMetrics* metrics) {
+  const std::uint64_t n = task.domain.size();
+
+  if (commitment.task != task.id || response.task != task.id) {
+    return malformed(task, "task id mismatch");
+  }
+  if (commitment.leaf_count != n) {
+    return malformed(task, concat("commitment covers ", commitment.leaf_count,
+                                  " leaves, task has ", n));
+  }
+  if (response.proofs.size() != expected_samples.size()) {
+    return malformed(task,
+                     concat("expected ", expected_samples.size(),
+                            " sample proofs, got ", response.proofs.size()));
+  }
+
+  const auto hash = make_hash(settings.tree_hash);
+  const unsigned height = tree_height(n);
+  const std::size_t result_size = task.f->result_size();
+
+  for (std::size_t k = 0; k < expected_samples.size(); ++k) {
+    const LeafIndex expected = expected_samples[k];
+    const SampleProof& proof = response.proofs[k];
+
+    if (proof.index != expected) {
+      return malformed(task, concat("sample ", k, ": expected index ",
+                                    expected.value, ", got ",
+                                    proof.index.value));
+    }
+    if (expected.value >= n) {
+      return malformed(task, concat("sample index ", expected.value,
+                                    " outside domain of size ", n));
+    }
+    if (proof.result.size() != result_size) {
+      return malformed(task,
+                       concat("sample ", expected.value, ": result size ",
+                              proof.result.size(), ", expected ",
+                              result_size));
+    }
+    if (proof.siblings.size() != height) {
+      return malformed(task, concat("sample ", expected.value, ": path has ",
+                                    proof.siblings.size(), " siblings, tree "
+                                    "height is ", height));
+    }
+
+    // Step 4.1: is the claimed f(x_i) correct?
+    if (metrics != nullptr) ++metrics->results_verified;
+    const std::uint64_t x = task.domain.input(expected);
+    if (!verifier.verify(x, proof.result)) {
+      return Verdict{task.id, VerdictStatus::kWrongResult, expected,
+                     concat("claimed f(", x, ") failed verification")};
+    }
+
+    // Step 4.2: was that value committed before the samples were known?
+    MerkleProof merkle;
+    merkle.index = expected;
+    merkle.leaf_value = ParticipantEngine::leaf_from_result(
+        proof.result, settings.leaf_mode, *hash);
+    merkle.siblings = proof.siblings;
+    if (metrics != nullptr) ++metrics->roots_reconstructed;
+    if (!verify_proof(merkle, commitment.root, *hash)) {
+      return Verdict{
+          task.id, VerdictStatus::kRootMismatch, expected,
+          concat("reconstructed root differs from commitment for sample ",
+                 expected.value)};
+    }
+  }
+
+  return Verdict{task.id, VerdictStatus::kAccepted, std::nullopt,
+                 "all samples verified"};
+}
+
+Verdict verify_batch_response(const Task& task, const TreeSettings& settings,
+                              const Commitment& commitment,
+                              std::span<const LeafIndex> expected_samples,
+                              const BatchProofResponse& response,
+                              const ResultVerifier& verifier,
+                              SupervisorMetrics* metrics) {
+  const std::uint64_t n = task.domain.size();
+
+  if (commitment.task != task.id || response.task != task.id) {
+    return malformed(task, "task id mismatch");
+  }
+  if (commitment.leaf_count != n) {
+    return malformed(task, concat("commitment covers ", commitment.leaf_count,
+                                  " leaves, task has ", n));
+  }
+
+  // The response must cover exactly the distinct expected indices.
+  std::vector<std::uint64_t> expected;
+  expected.reserve(expected_samples.size());
+  for (const LeafIndex index : expected_samples) {
+    expected.push_back(index.value);
+  }
+  std::sort(expected.begin(), expected.end());
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+  if (response.results.size() != expected.size()) {
+    return malformed(task,
+                     concat("expected ", expected.size(),
+                            " distinct samples, got ",
+                            response.results.size()));
+  }
+
+  const auto hash = make_hash(settings.tree_hash);
+  const std::size_t result_size = task.f->result_size();
+
+  BatchProof batch;
+  batch.padded_leaf_count = std::uint64_t{1} << tree_height(n);
+  batch.siblings = response.siblings;
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    const auto& [index, result] = response.results[k];
+    if (index.value != expected[k]) {
+      return malformed(task, concat("batch sample ", k, ": expected index ",
+                                    expected[k], ", got ", index.value));
+    }
+    if (expected[k] >= n) {
+      return malformed(task, concat("sample index ", expected[k],
+                                    " outside domain of size ", n));
+    }
+    if (result.size() != result_size) {
+      return malformed(task, concat("sample ", index.value, ": result size ",
+                                    result.size(), ", expected ",
+                                    result_size));
+    }
+
+    // Step 4.1 per distinct sample.
+    if (metrics != nullptr) ++metrics->results_verified;
+    const std::uint64_t x = task.domain.input(index);
+    if (!verifier.verify(x, result)) {
+      return Verdict{task.id, VerdictStatus::kWrongResult, index,
+                     concat("claimed f(", x, ") failed verification")};
+    }
+    batch.leaves.emplace_back(
+        index, ParticipantEngine::leaf_from_result(result,
+                                                   settings.leaf_mode, *hash));
+  }
+
+  // Step 4.2, once: one reconstruction covers every sample.
+  if (metrics != nullptr) ++metrics->roots_reconstructed;
+  if (!verify_batch_proof(batch, commitment.root, *hash)) {
+    return Verdict{task.id, VerdictStatus::kRootMismatch, std::nullopt,
+                   "reconstructed batch root differs from commitment"};
+  }
+  return Verdict{task.id, VerdictStatus::kAccepted, std::nullopt,
+                 "all samples verified (batched)"};
+}
+
+}  // namespace ugc

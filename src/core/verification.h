@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+#include "core/protocol.h"
+#include "core/settings.h"
+#include "core/task.h"
+
+namespace ugc {
+
+// Supervisor-side cost counters.
+struct SupervisorMetrics {
+  // Samples whose claimed result went through the ResultVerifier (for
+  // RecomputeVerifier this is one f evaluation each).
+  std::uint64_t results_verified = 0;
+  // Root reconstructions (Λ evaluations, each O(log n) hashes).
+  std::uint64_t roots_reconstructed = 0;
+};
+
+// The paper's Step 4, shared by interactive CBS and NI-CBS supervisors:
+// for every expected sample, (1) check the claimed f(x_i) via `verifier`,
+// then (2) rebuild the root from the authentication path and compare with
+// the commitment. Any failure yields a non-accepted verdict naming the
+// first offending sample.
+//
+// `expected_samples` are the indices the supervisor chose (CBS) or derived
+// from the root (NI-CBS); the response must answer exactly these, in order.
+Verdict verify_sample_proofs(const Task& task, const TreeSettings& settings,
+                             const Commitment& commitment,
+                             std::span<const LeafIndex> expected_samples,
+                             const ProofResponse& response,
+                             const ResultVerifier& verifier,
+                             SupervisorMetrics* metrics = nullptr);
+
+// Batched-variant of Step 4 (extension): `response` must cover exactly the
+// distinct indices of `expected_samples`, each claimed result must verify,
+// and the single reconstructed batch root must equal the commitment.
+Verdict verify_batch_response(const Task& task, const TreeSettings& settings,
+                              const Commitment& commitment,
+                              std::span<const LeafIndex> expected_samples,
+                              const BatchProofResponse& response,
+                              const ResultVerifier& verifier,
+                              SupervisorMetrics* metrics = nullptr);
+
+}  // namespace ugc

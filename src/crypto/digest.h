@@ -1,0 +1,57 @@
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/hex.h"
+
+namespace ugc {
+
+// Fixed-size hash digest value type (rule-of-zero; freely copyable).
+template <std::size_t N>
+class DigestT {
+ public:
+  static constexpr std::size_t kSize = N;
+
+  constexpr DigestT() = default;
+
+  explicit DigestT(const std::array<std::uint8_t, N>& bytes) : bytes_(bytes) {}
+
+  // Builds a digest from exactly N bytes; throws on size mismatch.
+  static DigestT from_span(BytesView data) {
+    check(data.size() == N, "Digest: expected ", N, " bytes, got ",
+          data.size());
+    DigestT d;
+    for (std::size_t i = 0; i < N; ++i) {
+      d.bytes_[i] = data[i];
+    }
+    return d;
+  }
+
+  static DigestT from_hex(std::string_view hex) {
+    return from_span(ugc::from_hex(hex));
+  }
+
+  BytesView view() const { return BytesView(bytes_.data(), bytes_.size()); }
+  Bytes to_bytes() const { return Bytes(bytes_.begin(), bytes_.end()); }
+  std::string hex() const { return to_hex(view()); }
+
+  std::uint8_t* data() { return bytes_.data(); }
+  const std::uint8_t* data() const { return bytes_.data(); }
+  static constexpr std::size_t size() { return N; }
+
+  friend auto operator<=>(const DigestT&, const DigestT&) = default;
+
+ private:
+  std::array<std::uint8_t, N> bytes_{};
+};
+
+using Digest16 = DigestT<16>;  // MD5
+using Digest20 = DigestT<20>;  // SHA-1
+using Digest32 = DigestT<32>;  // SHA-256
+
+}  // namespace ugc

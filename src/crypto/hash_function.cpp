@@ -1,0 +1,88 @@
+#include "crypto/hash_function.h"
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "crypto/md5.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace ugc {
+
+namespace {
+
+class Md5Hash final : public HashFunction {
+ public:
+  std::size_t digest_size() const noexcept override { return Md5::kDigestSize; }
+  Bytes hash(BytesView data) const override {
+    return Md5::hash(data).to_bytes();
+  }
+  std::string name() const override { return "md5"; }
+};
+
+class Sha1Hash final : public HashFunction {
+ public:
+  std::size_t digest_size() const noexcept override {
+    return Sha1::kDigestSize;
+  }
+  Bytes hash(BytesView data) const override {
+    return Sha1::hash(data).to_bytes();
+  }
+  std::string name() const override { return "sha1"; }
+};
+
+class Sha256Hash final : public HashFunction {
+ public:
+  std::size_t digest_size() const noexcept override {
+    return Sha256::kDigestSize;
+  }
+  Bytes hash(BytesView data) const override {
+    return Sha256::hash(data).to_bytes();
+  }
+  std::string name() const override { return "sha256"; }
+};
+
+}  // namespace
+
+std::unique_ptr<HashFunction> make_hash(HashAlgorithm algorithm) {
+  switch (algorithm) {
+    case HashAlgorithm::kMd5:
+      return std::make_unique<Md5Hash>();
+    case HashAlgorithm::kSha1:
+      return std::make_unique<Sha1Hash>();
+    case HashAlgorithm::kSha256:
+      return std::make_unique<Sha256Hash>();
+  }
+  throw Error("make_hash: unknown algorithm");
+}
+
+HashAlgorithm parse_hash_algorithm(std::string_view name) {
+  if (name == "md5") return HashAlgorithm::kMd5;
+  if (name == "sha1") return HashAlgorithm::kSha1;
+  if (name == "sha256") return HashAlgorithm::kSha256;
+  throw Error(concat("parse_hash_algorithm: unknown algorithm '", name, "'"));
+}
+
+const HashFunction& default_hash() {
+  static const Sha256Hash instance;
+  return instance;
+}
+
+double measure_hash_cost_ns(const HashFunction& hash, std::size_t payload_size,
+                            int repetitions) {
+  check(repetitions > 0, "measure_hash_cost_ns: repetitions must be positive");
+  Bytes payload(payload_size, 0xa5);
+  // Warm-up and a data dependency between iterations so the loop cannot be
+  // optimized away or overlapped unrealistically.
+  Bytes digest = hash.hash(payload);
+  Stopwatch timer;
+  for (int i = 0; i < repetitions; ++i) {
+    digest = hash.hash(digest);
+  }
+  const double total_ns = static_cast<double>(timer.elapsed_ns());
+  // Keep the final digest observable.
+  volatile std::uint8_t sink = digest.empty() ? 0 : digest[0];
+  (void)sink;
+  return total_ns / repetitions;
+}
+
+}  // namespace ugc

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace ugc {
+
+// Algorithms available for the Merkle commitment hash and for the NI-CBS
+// sample generator.
+enum class HashAlgorithm {
+  kMd5,
+  kSha1,
+  kSha256,
+};
+
+// Type-erased one-way hash over byte strings.
+//
+// The Merkle tree, the CBS protocol, and the NI-CBS sample derivation are all
+// parameterized on this interface so that the paper's "MD5 or SHA" choice —
+// and the iterated g = H^k construction of §4.2 — plug in uniformly.
+class HashFunction {
+ public:
+  virtual ~HashFunction() = default;
+
+  HashFunction() = default;
+  HashFunction(const HashFunction&) = delete;
+  HashFunction& operator=(const HashFunction&) = delete;
+
+  // Size of the digest in bytes.
+  virtual std::size_t digest_size() const noexcept = 0;
+
+  // Hashes `data` and returns the digest as a byte buffer.
+  virtual Bytes hash(BytesView data) const = 0;
+
+  // Human-readable algorithm name, e.g. "sha256" or "md5^1024".
+  virtual std::string name() const = 0;
+};
+
+// Creates a concrete hash function for `algorithm`.
+std::unique_ptr<HashFunction> make_hash(HashAlgorithm algorithm);
+
+// Parses "md5" / "sha1" / "sha256" (throws ugc::Error otherwise).
+HashAlgorithm parse_hash_algorithm(std::string_view name);
+
+// Process-wide default commitment hash (SHA-256). The returned reference is
+// valid for the lifetime of the program.
+const HashFunction& default_hash();
+
+// Measures the average cost of one `hash` call on a `payload_size`-byte input
+// (used to calibrate Eq. 5's Cg and the bench reports). Returns nanoseconds.
+double measure_hash_cost_ns(const HashFunction& hash, std::size_t payload_size,
+                            int repetitions = 2000);
+
+}  // namespace ugc

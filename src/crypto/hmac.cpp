@@ -1,0 +1,38 @@
+#include "crypto/hmac.h"
+
+#include "crypto/sha256.h"
+
+namespace ugc {
+
+namespace {
+// MD5, SHA-1, and SHA-256 share a 64-byte compression block.
+constexpr std::size_t kBlockSize = 64;
+}  // namespace
+
+Bytes hmac(const HashFunction& hash, BytesView key, BytesView message) {
+  Bytes block_key(kBlockSize, 0);
+  if (key.size() > kBlockSize) {
+    const Bytes hashed = hash.hash(key);
+    std::copy(hashed.begin(), hashed.end(), block_key.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block_key.begin());
+  }
+
+  Bytes inner(kBlockSize);
+  Bytes outer(kBlockSize);
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    inner[i] = block_key[i] ^ 0x36;
+    outer[i] = block_key[i] ^ 0x5c;
+  }
+
+  append(inner, message);
+  const Bytes inner_digest = hash.hash(inner);
+  append(outer, inner_digest);
+  return hash.hash(outer);
+}
+
+Bytes hmac_sha256(BytesView key, BytesView message) {
+  return hmac(default_hash(), key, message);
+}
+
+}  // namespace ugc

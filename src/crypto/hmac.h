@@ -1,0 +1,19 @@
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/hash_function.h"
+
+namespace ugc {
+
+// HMAC (RFC 2104) over any block-oriented HashFunction in this library
+// (MD5 / SHA-1 / SHA-256 all use a 64-byte block).
+//
+// Used by the malicious-model mitigation: participants key their screener
+// reports so a broker relaying results cannot forge or strip them, and by
+// tests as an independent consumer of the hash substrate.
+Bytes hmac(const HashFunction& hash, BytesView key, BytesView message);
+
+// HMAC-SHA256 convenience.
+Bytes hmac_sha256(BytesView key, BytesView message);
+
+}  // namespace ugc

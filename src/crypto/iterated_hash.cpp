@@ -1,0 +1,36 @@
+#include "crypto/iterated_hash.h"
+
+#include "common/error.h"
+
+namespace ugc {
+
+IteratedHash::IteratedHash(std::shared_ptr<const HashFunction> base,
+                           std::uint64_t iterations)
+    : base_(std::move(base)), iterations_(iterations) {
+  check(base_ != nullptr, "IteratedHash: base hash must not be null");
+  check(iterations_ >= 1, "IteratedHash: iterations must be >= 1");
+}
+
+std::size_t IteratedHash::digest_size() const noexcept {
+  return base_->digest_size();
+}
+
+Bytes IteratedHash::hash(BytesView data) const {
+  Bytes digest = base_->hash(data);
+  for (std::uint64_t i = 1; i < iterations_; ++i) {
+    digest = base_->hash(digest);
+  }
+  return digest;
+}
+
+std::string IteratedHash::name() const {
+  return concat(base_->name(), "^", iterations_);
+}
+
+std::unique_ptr<IteratedHash> make_iterated_hash(HashAlgorithm algorithm,
+                                                 std::uint64_t iterations) {
+  return std::make_unique<IteratedHash>(
+      std::shared_ptr<const HashFunction>(make_hash(algorithm)), iterations);
+}
+
+}  // namespace ugc

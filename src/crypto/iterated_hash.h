@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "crypto/hash_function.h"
+
+namespace ugc {
+
+// The cost-tuned one-way function of §4.2: g = H^k (apply H, then re-hash the
+// digest k-1 more times).
+//
+// NI-CBS derives sample indices from the committed Merkle root via g. Making
+// g deliberately slow (large k) is the paper's Eq. 5 defense: a cheater who
+// re-rolls commitments until the self-derived samples all land in its
+// honestly-computed subset must pay m·Cg per attempt, and with
+// (1/r^m)·m·Cg ≥ n·Cf the expected attack cost exceeds doing the work.
+class IteratedHash final : public HashFunction {
+ public:
+  // `base` must outlive this object via shared ownership; `iterations` ≥ 1.
+  IteratedHash(std::shared_ptr<const HashFunction> base,
+               std::uint64_t iterations);
+
+  std::size_t digest_size() const noexcept override;
+  Bytes hash(BytesView data) const override;
+  std::string name() const override;
+
+  std::uint64_t iterations() const noexcept { return iterations_; }
+  const HashFunction& base() const noexcept { return *base_; }
+
+ private:
+  std::shared_ptr<const HashFunction> base_;
+  std::uint64_t iterations_;
+};
+
+// Convenience: g = algorithm^iterations.
+std::unique_ptr<IteratedHash> make_iterated_hash(HashAlgorithm algorithm,
+                                                 std::uint64_t iterations);
+
+}  // namespace ugc

@@ -1,0 +1,156 @@
+#include "crypto/md5.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace ugc {
+
+namespace {
+
+// Per RFC 1321: K[i] = floor(|sin(i + 1)| * 2^32). Computed once at startup
+// from the defining formula to avoid transcription errors.
+const std::array<std::uint32_t, 64>& k_table() {
+  static const std::array<std::uint32_t, 64> table = [] {
+    std::array<std::uint32_t, 64> k{};
+    for (int i = 0; i < 64; ++i) {
+      k[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(
+          std::floor(std::fabs(std::sin(i + 1.0)) * 4294967296.0));
+    }
+    return k;
+  }();
+  return table;
+}
+
+constexpr std::array<int, 64> kShift = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+std::uint32_t rotl32(std::uint32_t x, int s) {
+  return (x << s) | (x >> (32 - s));
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void store_le32(std::uint32_t v, std::uint8_t* p) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+Md5::Md5() {
+  reset();
+}
+
+void Md5::reset() {
+  state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u};
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Md5::update(BytesView data) {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(kBlockSize - buffered_, data.size());
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset += take;
+    if (buffered_ == kBlockSize) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + kBlockSize <= data.size()) {
+    process_block(data.data() + offset);
+    offset += kBlockSize;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+Digest16 Md5::finish() {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+
+  // Padding: a single 0x80, zeros to 56 mod 64, then the bit length LE.
+  std::array<std::uint8_t, kBlockSize> pad{};
+  pad[0] = 0x80;
+  const std::size_t pad_len =
+      (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  update(BytesView(pad.data(), pad_len));
+
+  std::array<std::uint8_t, 8> length_le{};
+  for (int i = 0; i < 8; ++i) {
+    length_le[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bit_length >> (8 * i));
+  }
+  update(BytesView(length_le.data(), length_le.size()));
+
+  Digest16 out;
+  for (int i = 0; i < 4; ++i) {
+    store_le32(state_[static_cast<std::size_t>(i)],
+               out.data() + 4 * static_cast<std::size_t>(i));
+  }
+  return out;
+}
+
+Digest16 Md5::hash(BytesView data) {
+  Md5 md5;
+  md5.update(data);
+  return md5.finish();
+}
+
+void Md5::process_block(const std::uint8_t* block) {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = load_le32(block + 4 * i);
+  }
+
+  std::uint32_t a = state_[0];
+  std::uint32_t b = state_[1];
+  std::uint32_t c = state_[2];
+  std::uint32_t d = state_[3];
+
+  const auto& k = k_table();
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    const std::uint32_t temp = d;
+    d = c;
+    c = b;
+    b = b + rotl32(a + f + k[static_cast<std::size_t>(i)] + m[g],
+                   kShift[static_cast<std::size_t>(i)]);
+    a = temp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+}  // namespace ugc

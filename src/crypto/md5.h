@@ -1,0 +1,46 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+
+namespace ugc {
+
+// MD5 message digest (RFC 1321), implemented from the specification.
+//
+// MD5 is cryptographically broken for collision resistance; it is provided
+// because the paper names it (the CBS commitment hash and the NI-CBS
+// cost-tuned generator g = MD5^k) and because its speed makes it a useful
+// baseline in the Eq. 5 cost analysis. Production deployments should prefer
+// Sha256 (the library default).
+class Md5 {
+ public:
+  static constexpr std::size_t kDigestSize = 16;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Md5();
+
+  // Absorbs more input. May be called any number of times before finish().
+  void update(BytesView data);
+
+  // Completes the computation and returns the digest. The object must be
+  // reset() before reuse.
+  Digest16 finish();
+
+  void reset();
+
+  // One-shot convenience.
+  static Digest16 hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace ugc

@@ -1,0 +1,121 @@
+#include "crypto/sha1.h"
+
+#include <cstring>
+
+namespace ugc {
+
+namespace {
+
+std::uint32_t rotl32(std::uint32_t x, int s) {
+  return (x << s) | (x >> (32 - s));
+}
+
+}  // namespace
+
+Sha1::Sha1() {
+  reset();
+}
+
+void Sha1::reset() {
+  state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u, 0xc3d2e1f0u};
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha1::update(BytesView data) {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(kBlockSize - buffered_, data.size());
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset += take;
+    if (buffered_ == kBlockSize) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + kBlockSize <= data.size()) {
+    process_block(data.data() + offset);
+    offset += kBlockSize;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+Digest20 Sha1::finish() {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+
+  std::array<std::uint8_t, kBlockSize> pad{};
+  pad[0] = 0x80;
+  const std::size_t pad_len =
+      (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  update(BytesView(pad.data(), pad_len));
+
+  std::array<std::uint8_t, 8> length_be{};
+  put_u64_be(bit_length, length_be.data());
+  update(BytesView(length_be.data(), length_be.size()));
+
+  Digest20 out;
+  for (int i = 0; i < 5; ++i) {
+    put_u32_be(state_[static_cast<std::size_t>(i)],
+               out.data() + 4 * static_cast<std::size_t>(i));
+  }
+  return out;
+}
+
+Digest20 Sha1::hash(BytesView data) {
+  Sha1 sha;
+  sha.update(data);
+  return sha.finish();
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = read_u32_be(block + 4 * i);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0];
+  std::uint32_t b = state_[1];
+  std::uint32_t c = state_[2];
+  std::uint32_t d = state_[3];
+  std::uint32_t e = state_[4];
+
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f;
+    std::uint32_t k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdcu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6u;
+    }
+    const std::uint32_t temp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+}  // namespace ugc

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+
+namespace ugc {
+
+// SHA-1 (FIPS 180-4), implemented from the specification.
+//
+// Like MD5, SHA-1 is no longer collision-resistant; it is included because
+// the paper cites "MD5 or SHA" for the Merkle hash, and as a throughput
+// reference point for the Eq. 5 cost analysis.
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha1();
+
+  void update(BytesView data);
+  Digest20 finish();
+  void reset();
+
+  static Digest20 hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace ugc

@@ -1,0 +1,143 @@
+#include "crypto/sha256.h"
+
+#include <cstring>
+
+namespace ugc {
+
+namespace {
+
+// First 32 bits of the fractional parts of the cube roots of the first 64
+// primes (FIPS 180-4 §4.2.2).
+constexpr std::array<std::uint32_t, 64> kK = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+    0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+    0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+    0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+    0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+    0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+    0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+    0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+    0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u};
+
+std::uint32_t rotr32(std::uint32_t x, int s) {
+  return (x >> s) | (x << (32 - s));
+}
+
+}  // namespace
+
+Sha256::Sha256() {
+  reset();
+}
+
+void Sha256::reset() {
+  state_ = {0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+            0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u};
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha256::update(BytesView data) {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(kBlockSize - buffered_, data.size());
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset += take;
+    if (buffered_ == kBlockSize) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + kBlockSize <= data.size()) {
+    process_block(data.data() + offset);
+    offset += kBlockSize;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+Digest32 Sha256::finish() {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+
+  std::array<std::uint8_t, kBlockSize> pad{};
+  pad[0] = 0x80;
+  const std::size_t pad_len =
+      (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  update(BytesView(pad.data(), pad_len));
+
+  std::array<std::uint8_t, 8> length_be{};
+  put_u64_be(bit_length, length_be.data());
+  update(BytesView(length_be.data(), length_be.size()));
+
+  Digest32 out;
+  for (int i = 0; i < 8; ++i) {
+    put_u32_be(state_[static_cast<std::size_t>(i)],
+               out.data() + 4 * static_cast<std::size_t>(i));
+  }
+  return out;
+}
+
+Digest32 Sha256::hash(BytesView data) {
+  Sha256 sha;
+  sha.update(data);
+  return sha.finish();
+}
+
+void Sha256::process_block(const std::uint8_t* block) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = read_u32_be(block + 4 * i);
+  }
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        rotr32(w[i - 15], 7) ^ rotr32(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr32(w[i - 2], 17) ^ rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+
+  std::uint32_t a = state_[0];
+  std::uint32_t b = state_[1];
+  std::uint32_t c = state_[2];
+  std::uint32_t d = state_[3];
+  std::uint32_t e = state_[4];
+  std::uint32_t f = state_[5];
+  std::uint32_t g = state_[6];
+  std::uint32_t h = state_[7];
+
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t temp1 =
+        h + s1 + ch + kK[static_cast<std::size_t>(i)] + w[i];
+    const std::uint32_t s0 = rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t temp2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+}  // namespace ugc

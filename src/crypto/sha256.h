@@ -1,0 +1,35 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+
+namespace ugc {
+
+// SHA-256 (FIPS 180-4), implemented from the specification. This is the
+// library's default commitment hash.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  void update(BytesView data);
+  Digest32 finish();
+  void reset();
+
+  static Digest32 hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace ugc

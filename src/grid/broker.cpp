@@ -1,0 +1,41 @@
+#include "grid/broker.h"
+
+#include "common/error.h"
+
+namespace ugc {
+
+BrokerNode::BrokerNode(std::vector<GridNodeId> workers)
+    : workers_(std::move(workers)) {
+  check(!workers_.empty(), "BrokerNode: at least one worker required");
+}
+
+void BrokerNode::on_message(GridNodeId from, const Message& message,
+                            SimNetwork& network) {
+  const TaskId task = task_of(message);
+
+  if (std::holds_alternative<TaskAssignment>(message)) {
+    // New work from a supervisor: schedule round-robin and remember the
+    // route for the rest of this task's protocol.
+    const GridNodeId worker = workers_[next_worker_];
+    next_worker_ = (next_worker_ + 1) % workers_.size();
+    routes_[task] = Route{from, worker};
+    ++assignments_[worker.value];
+    network.send(id(), worker, message);
+    return;
+  }
+
+  const auto it = routes_.find(task);
+  if (it == routes_.end()) {
+    return;  // unroutable traffic is dropped
+  }
+  const Route& route = it->second;
+  if (from == route.supervisor) {
+    ++relayed_downstream_;
+    network.send(id(), route.worker, message);
+  } else if (from == route.worker) {
+    ++relayed_upstream_;
+    network.send(id(), route.supervisor, message);
+  }
+}
+
+}  // namespace ugc

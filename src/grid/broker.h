@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "grid/network.h"
+
+namespace ugc {
+
+// A GRACE-style Grid Resource Broker (GRB, §4): sits between the supervisor
+// and the participants, assigns incoming tasks to its registered workers,
+// and relays every subsequent protocol message in both directions. The
+// supervisor never learns which worker holds which task — the architectural
+// constraint that motivates non-interactive CBS.
+class BrokerNode final : public GridNode {
+ public:
+  explicit BrokerNode(std::vector<GridNodeId> workers);
+
+  void on_message(GridNodeId from, const Message& message,
+                  SimNetwork& network) override;
+
+  // How many tasks each worker received (round-robin order).
+  const std::map<std::uint32_t, std::size_t>& assignments_per_worker() const {
+    return assignments_;
+  }
+
+  // Messages relayed in each direction (excluding initial assignments).
+  std::uint64_t relayed_downstream() const { return relayed_downstream_; }
+  std::uint64_t relayed_upstream() const { return relayed_upstream_; }
+
+ private:
+  struct Route {
+    GridNodeId supervisor;
+    GridNodeId worker;
+  };
+
+  std::vector<GridNodeId> workers_;
+  std::size_t next_worker_ = 0;
+  std::map<TaskId, Route> routes_;
+  std::map<std::uint32_t, std::size_t> assignments_;
+  std::uint64_t relayed_downstream_ = 0;
+  std::uint64_t relayed_upstream_ = 0;
+};
+
+}  // namespace ugc

@@ -1,0 +1,30 @@
+#include "grid/latency.h"
+
+#include "common/error.h"
+
+namespace ugc {
+
+double LinkProfile::transfer_seconds(std::uint64_t bytes,
+                                     std::uint64_t messages) const {
+  check(bandwidth_bytes_per_second > 0.0,
+        "LinkProfile: bandwidth must be positive");
+  check(rtt_seconds >= 0.0, "LinkProfile: rtt must be non-negative");
+  return static_cast<double>(bytes) / bandwidth_bytes_per_second +
+         static_cast<double>(messages) * rtt_seconds / 2.0;
+}
+
+double estimate_upload_seconds(const NetworkStats& stats, GridNodeId node,
+                               const LinkProfile& profile) {
+  const auto it = stats.sent_by.find(node.value);
+  if (it == stats.sent_by.end()) {
+    return 0.0;
+  }
+  return profile.transfer_seconds(it->second.bytes, it->second.messages);
+}
+
+double estimate_total_seconds(const NetworkStats& stats,
+                              const LinkProfile& profile) {
+  return profile.transfer_seconds(stats.total_bytes, stats.total_messages);
+}
+
+}  // namespace ugc

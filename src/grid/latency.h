@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+#include "grid/network.h"
+
+namespace ugc {
+
+// First-order wall-clock model for grid traffic: each message pays one
+// store-and-forward serialization delay (bytes / bandwidth) plus half an
+// RTT. Crude, but enough to turn the byte counts the simulator measures
+// into the paper's point that "very few networks can handle" an O(n)
+// result upload.
+struct LinkProfile {
+  double bandwidth_bytes_per_second = 1.25e6;  // ~10 Mbit/s volunteer uplink
+  double rtt_seconds = 0.05;
+
+  // Time to move `bytes` as `messages` transfers over this link.
+  double transfer_seconds(std::uint64_t bytes, std::uint64_t messages) const;
+};
+
+// Total transfer time for everything a node sent, from the metered stats.
+double estimate_upload_seconds(const NetworkStats& stats, GridNodeId node,
+                               const LinkProfile& profile);
+
+// Transfer time for the whole run's traffic (sequentialized worst case).
+double estimate_total_seconds(const NetworkStats& stats,
+                              const LinkProfile& profile);
+
+}  // namespace ugc

@@ -1,0 +1,76 @@
+#include "grid/network.h"
+
+#include "common/error.h"
+
+namespace ugc {
+
+GridNodeId SimNetwork::add_node(GridNode& node) {
+  const GridNodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  node.id_ = id;
+  nodes_.push_back(&node);
+  return id;
+}
+
+void SimNetwork::send(GridNodeId from, GridNodeId to, const Message& message) {
+  check(from.value < nodes_.size(), "SimNetwork::send: unknown sender ",
+        from.value);
+  check(to.value < nodes_.size(), "SimNetwork::send: unknown recipient ",
+        to.value);
+
+  Bytes payload = encode_message(message);
+  const std::uint64_t size = payload.size();
+
+  ++stats_.total_messages;
+  stats_.total_bytes += size;
+  auto& link = stats_.links[{from.value, to.value}];
+  ++link.messages;
+  link.bytes += size;
+  auto& sent = stats_.sent_by[from.value];
+  ++sent.messages;
+  sent.bytes += size;
+  auto& received = stats_.received_by[to.value];
+  ++received.messages;
+  received.bytes += size;
+
+  queue_.push_back(Pending{from, to, std::move(payload)});
+}
+
+bool SimNetwork::deliver_one() {
+  if (queue_.empty()) {
+    return false;
+  }
+  Pending pending = std::move(queue_.front());
+  queue_.pop_front();
+  const Message message = decode_message(pending.payload);
+  nodes_[pending.to.value]->on_message(pending.from, message, *this);
+  return true;
+}
+
+std::size_t SimNetwork::run(std::size_t max_deliveries) {
+  std::size_t delivered = 0;
+  while (deliver_one()) {
+    ++delivered;
+    check(delivered <= max_deliveries,
+          "SimNetwork::run: exceeded ", max_deliveries,
+          " deliveries — protocol loop?");
+  }
+  return delivered;
+}
+
+TaskId task_of(const Message& message) {
+  struct Visitor {
+    TaskId operator()(const TaskAssignment& m) { return m.task; }
+    TaskId operator()(const Commitment& m) { return m.task; }
+    TaskId operator()(const SampleChallenge& m) { return m.task; }
+    TaskId operator()(const ProofResponse& m) { return m.task; }
+    TaskId operator()(const NiCbsProof& m) { return m.commitment.task; }
+    TaskId operator()(const ResultsUpload& m) { return m.task; }
+    TaskId operator()(const ScreenerReport& m) { return m.task; }
+    TaskId operator()(const RingerReport& m) { return m.task; }
+    TaskId operator()(const Verdict& m) { return m.task; }
+    TaskId operator()(const BatchProofResponse& m) { return m.task; }
+  };
+  return std::visit(Visitor{}, message);
+}
+
+}  // namespace ugc

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "wire/messages.h"
+
+namespace ugc {
+
+class SimNetwork;
+
+// Per-link / per-node traffic counters.
+struct LinkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct NetworkStats {
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+  // Directed link (from, to) -> stats.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, LinkStats> links;
+  std::map<std::uint32_t, LinkStats> sent_by;
+  std::map<std::uint32_t, LinkStats> received_by;
+
+  std::uint64_t bytes_sent(GridNodeId node) const {
+    const auto it = sent_by.find(node.value);
+    return it == sent_by.end() ? 0 : it->second.bytes;
+  }
+  std::uint64_t bytes_received(GridNodeId node) const {
+    const auto it = received_by.find(node.value);
+    return it == received_by.end() ? 0 : it->second.bytes;
+  }
+};
+
+// A node in the simulated grid (supervisor, participant, or broker).
+// Implementations react to decoded messages and may send further messages
+// through the network they were handed.
+class GridNode {
+ public:
+  virtual ~GridNode() = default;
+
+  GridNode() = default;
+  GridNode(const GridNode&) = delete;
+  GridNode& operator=(const GridNode&) = delete;
+
+  virtual void on_message(GridNodeId from, const Message& message,
+                          SimNetwork& network) = 0;
+
+  GridNodeId id() const { return id_; }
+
+ private:
+  friend class SimNetwork;
+  GridNodeId id_{};
+};
+
+// Deterministic in-process message-passing network with exact byte metering.
+//
+// Every send() serializes the message through the wire codec, charges the
+// directed link with the encoded size, and queues it FIFO; run() delivers
+// until the grid goes quiet. Single-threaded and deterministic: the same
+// seed-driven scenario always produces the same traffic.
+class SimNetwork {
+ public:
+  // Registers a node and assigns its id. The node must outlive the network.
+  GridNodeId add_node(GridNode& node);
+
+  // Encodes, meters, and queues a message.
+  void send(GridNodeId from, GridNodeId to, const Message& message);
+
+  // Delivers the next queued message (decoding it back through the codec).
+  // Returns false when the queue is empty.
+  bool deliver_one();
+
+  // Delivers until idle; throws ugc::Error after `max_deliveries` as a
+  // protocol-loop guard. Returns the number of messages delivered.
+  std::size_t run(std::size_t max_deliveries = 1'000'000);
+
+  const NetworkStats& stats() const { return stats_; }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Pending {
+    GridNodeId from;
+    GridNodeId to;
+    Bytes payload;
+  };
+
+  std::vector<GridNode*> nodes_;
+  std::deque<Pending> queue_;
+  NetworkStats stats_;
+};
+
+// Routing helper: the task a protocol message belongs to (used by the
+// broker, which routes purely on task ids without understanding payloads).
+TaskId task_of(const Message& message);
+
+}  // namespace ugc

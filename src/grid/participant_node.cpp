@@ -1,0 +1,135 @@
+#include "grid/participant_node.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ugc {
+
+ParticipantNode::ParticipantNode(Options options)
+    : policy_(options.policy != nullptr ? std::move(options.policy)
+                                        : make_honest_policy()),
+      registry_(options.registry != nullptr ? options.registry
+                                            : &WorkloadRegistry::global()),
+      conduct_(options.screener_conduct),
+      conduct_seed_(options.conduct_seed) {}
+
+ScreenerReport ParticipantNode::conduct_report(const Task& task,
+                                               ScreenerReport honest) {
+  switch (conduct_) {
+    case ScreenerConduct::kFaithful:
+      return honest;
+    case ScreenerConduct::kSuppress:
+      return ScreenerReport{task.id, {}};
+    case ScreenerConduct::kFabricate: {
+      // The paper's malicious S(x, z): a stream of plausible-looking junk.
+      Rng rng(conduct_seed_ ^ task.id.value);
+      ScreenerReport fake{task.id, {}};
+      const std::size_t count = 1 + honest.hits.size();
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::uint64_t x =
+            task.domain.begin() + rng.uniform(task.domain.size());
+        fake.hits.push_back(
+            ScreenerHit{x, concat("fabricated:", x)});
+      }
+      return fake;
+    }
+  }
+  return honest;
+}
+
+void ParticipantNode::on_message(GridNodeId from, const Message& message,
+                                 SimNetwork& network) {
+  if (const auto* assignment = std::get_if<TaskAssignment>(&message)) {
+    handle_assignment(from, *assignment, network);
+  } else if (const auto* challenge = std::get_if<SampleChallenge>(&message)) {
+    handle_challenge(from, *challenge, network);
+  } else if (const auto* verdict = std::get_if<Verdict>(&message)) {
+    verdicts_[verdict->task] = *verdict;
+  }
+  // Other message types are not addressed to participants; ignore them
+  // (a real client drops unexpected traffic rather than crashing).
+}
+
+void ParticipantNode::handle_assignment(GridNodeId supervisor,
+                                        const TaskAssignment& m,
+                                        SimNetwork& network) {
+  const WorkloadBundle bundle =
+      registry_->make(m.workload, m.workload_seed);
+  const Task task = Task::make(m.task, Domain(m.domain_begin, m.domain_end),
+                               bundle.f, bundle.screener);
+
+  switch (m.scheme.kind) {
+    case SchemeKind::kDoubleCheck:
+    case SchemeKind::kNaiveSampling: {
+      // Plain sweep: every result is uploaded (the O(n) baseline).
+      ResultsUpload upload;
+      upload.task = task.id;
+      ScreenerReport report{task.id, {}};
+      const std::uint64_t n = task.domain.size();
+      upload.results.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const auto decision = policy_->decide(LeafIndex{i}, task);
+        if (decision.honest) {
+          ++honest_evaluations_;
+        }
+        const std::uint64_t x = task.domain.input(LeafIndex{i});
+        if (auto hit = task.screener->screen(x, decision.value)) {
+          report.hits.push_back(ScreenerHit{x, std::move(*hit)});
+        }
+        upload.results.push_back(decision.value);
+      }
+      network.send(id(), supervisor, upload);
+      network.send(id(), supervisor, conduct_report(task, std::move(report)));
+      break;
+    }
+
+    case SchemeKind::kCbs: {
+      auto cbs = std::make_unique<CbsParticipant>(task, m.scheme.cbs, policy_);
+      const Commitment commitment = cbs->commit();
+      honest_evaluations_ += cbs->metrics().honest_evaluations;
+      network.send(id(), supervisor, commitment);
+      network.send(id(), supervisor,
+                   conduct_report(task, cbs->screener_report()));
+      active_.emplace(task.id, ActiveTask{task, std::move(cbs),
+                                          m.scheme.cbs.use_batch_proofs});
+      break;
+    }
+
+    case SchemeKind::kNiCbs: {
+      NiCbsParticipant nicbs(task, m.scheme.nicbs, policy_);
+      const NiCbsProof proof = nicbs.prove();
+      honest_evaluations_ += nicbs.metrics().honest_evaluations;
+      network.send(id(), supervisor, proof);
+      network.send(id(), supervisor,
+                   conduct_report(task, nicbs.screener_report()));
+      break;
+    }
+
+    case SchemeKind::kRinger: {
+      RingerParticipant ringer(task, m.ringer_images, policy_);
+      const RingerReport report = ringer.scan();
+      honest_evaluations_ += ringer.honest_evaluations();
+      network.send(id(), supervisor, report);
+      network.send(id(), supervisor,
+                   conduct_report(task, ScreenerReport{task.id, ringer.hits()}));
+      break;
+    }
+  }
+}
+
+void ParticipantNode::handle_challenge(GridNodeId supervisor,
+                                       const SampleChallenge& m,
+                                       SimNetwork& network) {
+  const auto it = active_.find(m.task);
+  check(it != active_.end(),
+        "ParticipantNode: challenge for unknown task ", m.task.value);
+  check(it->second.cbs != nullptr,
+        "ParticipantNode: challenge for non-CBS task ", m.task.value);
+  if (it->second.batched) {
+    network.send(id(), supervisor, it->second.cbs->respond_batched(m));
+  } else {
+    network.send(id(), supervisor, it->second.cbs->respond(m));
+  }
+}
+
+}  // namespace ugc

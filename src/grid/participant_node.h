@@ -1,0 +1,70 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/cbs.h"
+#include "core/cheating.h"
+#include "core/nicbs.h"
+#include "core/ringer.h"
+#include "grid/network.h"
+#include "workloads/registry.h"
+
+namespace ugc {
+
+// A grid participant: accepts task assignments, evaluates its domain under
+// an HonestyPolicy (honest by default), and engages in whichever
+// verification scheme the assignment names. One node can hold several
+// concurrent tasks (each with its own protocol state).
+class ParticipantNode final : public GridNode {
+ public:
+  struct Options {
+    std::shared_ptr<const HonestyPolicy> policy;  // null = honest
+    const WorkloadRegistry* registry = nullptr;   // null = global()
+    // §2.2 malicious model: how this node treats the screener channel.
+    ScreenerConduct screener_conduct = ScreenerConduct::kFaithful;
+    std::uint64_t conduct_seed = 1;  // drives fabricated reports
+  };
+
+  ParticipantNode() : ParticipantNode(Options{}) {}
+  explicit ParticipantNode(Options options);
+
+  void on_message(GridNodeId from, const Message& message,
+                  SimNetwork& network) override;
+
+  // Verdicts received from the supervisor, by task.
+  const std::map<TaskId, Verdict>& verdicts() const { return verdicts_; }
+
+  // Genuine f evaluations across all tasks (the participant's real work).
+  std::uint64_t honest_evaluations() const { return honest_evaluations_; }
+
+  const HonestyPolicy& policy() const { return *policy_; }
+
+ private:
+  struct ActiveTask {
+    Task task;
+    // Interactive CBS keeps the participant object alive across the
+    // challenge round; other schemes complete within one message.
+    std::unique_ptr<CbsParticipant> cbs;
+    bool batched = false;
+  };
+
+  void handle_assignment(GridNodeId supervisor, const TaskAssignment& m,
+                         SimNetwork& network);
+  void handle_challenge(GridNodeId supervisor, const SampleChallenge& m,
+                        SimNetwork& network);
+  // Applies this node's ScreenerConduct to an honest report.
+  ScreenerReport conduct_report(const Task& task, ScreenerReport honest);
+
+  std::shared_ptr<const HonestyPolicy> policy_;
+  const WorkloadRegistry* registry_;
+  ScreenerConduct conduct_;
+  std::uint64_t conduct_seed_;
+  std::map<TaskId, ActiveTask> active_;
+  std::map<TaskId, Verdict> verdicts_;
+  std::uint64_t honest_evaluations_ = 0;
+};
+
+}  // namespace ugc

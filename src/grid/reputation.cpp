@@ -1,0 +1,132 @@
+#include "grid/reputation.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ugc {
+
+ReputationLedger::ReputationLedger(Params params) : params_(params) {
+  check(params_.prior_alpha > 0.0 && params_.prior_beta > 0.0,
+        "ReputationLedger: Beta prior parameters must be positive");
+  check(params_.ban_threshold > 0.0 && params_.ban_threshold < 1.0,
+        "ReputationLedger: ban threshold must be in (0, 1)");
+}
+
+void ReputationLedger::record(std::size_t participant, bool accepted) {
+  auto [it, inserted] = records_.try_emplace(
+      participant, Record{params_.prior_alpha, params_.prior_beta, 0});
+  if (accepted) {
+    it->second.alpha += 1.0;
+  } else {
+    it->second.beta += 1.0;
+  }
+  ++it->second.observations;
+}
+
+double ReputationLedger::trust(std::size_t participant) const {
+  const auto it = records_.find(participant);
+  if (it == records_.end()) {
+    return params_.prior_alpha / (params_.prior_alpha + params_.prior_beta);
+  }
+  return it->second.alpha / (it->second.alpha + it->second.beta);
+}
+
+std::size_t ReputationLedger::observations(std::size_t participant) const {
+  const auto it = records_.find(participant);
+  return it == records_.end() ? 0 : it->second.observations;
+}
+
+bool ReputationLedger::banned(std::size_t participant) const {
+  return observations(participant) >= params_.min_observations &&
+         trust(participant) < params_.ban_threshold;
+}
+
+TournamentResult run_reputation_tournament(const TournamentConfig& config) {
+  check(config.rounds >= 1, "run_reputation_tournament: rounds must be >= 1");
+  const std::size_t population = config.base.participant_count;
+  check(population >= 1, "run_reputation_tournament: empty population");
+
+  // Which original participants cheat (every round, same parameters).
+  std::vector<const CheaterSpec*> cheater_of(population, nullptr);
+  for (const CheaterSpec& cheater : config.base.cheaters) {
+    check(cheater.participant_index < population,
+          "run_reputation_tournament: cheater index out of range");
+    cheater_of[cheater.participant_index] = &cheater;
+  }
+
+  ReputationLedger ledger(config.reputation);
+  TournamentResult result;
+  result.cheaters_purged_after = config.rounds;
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    // Active roster this round.
+    std::vector<std::size_t> active;  // active slot -> original index
+    for (std::size_t p = 0; p < population; ++p) {
+      if (!ledger.banned(p)) {
+        active.push_back(p);
+      }
+    }
+    check(!active.empty(),
+          "run_reputation_tournament: every participant is banned");
+
+    GridConfig round_config = config.base;
+    round_config.participant_count = active.size();
+    round_config.seed = config.base.seed + round * 7919;
+    round_config.cheaters.clear();
+    for (std::size_t slot = 0; slot < active.size(); ++slot) {
+      if (const CheaterSpec* spec = cheater_of[active[slot]]) {
+        CheaterSpec remapped = *spec;
+        remapped.participant_index = slot;
+        // Fresh per-round seed: the cheater guesses anew every round.
+        remapped.seed = round_config.seed ^ (active[slot] * 0x9e3779b9 + 1);
+        round_config.cheaters.push_back(remapped);
+      }
+    }
+
+    const GridRunResult run = run_grid_simulation(round_config);
+
+    TournamentRound summary;
+    summary.active_participants = active.size();
+    summary.cheater_tasks_rejected = run.cheater_tasks_rejected;
+    summary.cheater_tasks_accepted = run.cheater_tasks_accepted;
+    summary.honest_tasks_rejected = run.honest_tasks_rejected;
+    for (const ParticipantOutcome& outcome : run.outcomes) {
+      const std::size_t original = active[outcome.participant_index];
+      ledger.record(original, outcome.accepted);
+      if (cheater_of[original] != nullptr) {
+        // Attribute this round's assignment as (eventually) wasted work if
+        // the participant is a cheater — it should not have been trusted.
+        summary.evaluations_by_eventually_banned +=
+            config.base.domain_end - config.base.domain_begin > 0
+                ? (config.base.domain_end - config.base.domain_begin) /
+                      active.size()
+                : 0;
+      }
+    }
+    result.rounds.push_back(summary);
+
+    const bool all_cheaters_banned = [&] {
+      for (std::size_t p = 0; p < population; ++p) {
+        if (cheater_of[p] != nullptr && !ledger.banned(p)) {
+          return false;
+        }
+      }
+      return true;
+    }();
+    if (all_cheaters_banned &&
+        result.cheaters_purged_after == config.rounds) {
+      result.cheaters_purged_after = round + 1;
+    }
+  }
+
+  result.final_trust.resize(population);
+  result.final_banned.resize(population);
+  for (std::size_t p = 0; p < population; ++p) {
+    result.final_trust[p] = ledger.trust(p);
+    result.final_banned[p] = ledger.banned(p);
+  }
+  return result;
+}
+
+}  // namespace ugc

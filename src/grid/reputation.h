@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "grid/simulation.h"
+
+namespace ugc {
+
+// Long-horizon operation: a real grid runs verification round after round,
+// and the supervisor should stop assigning work to participants it keeps
+// catching. This module adds the standard Beta–Bernoulli reputation layer
+// on top of per-round CBS verdicts — the piece SETI@home-era systems bolted
+// on by hand and the paper's one-shot analysis abstracts away.
+class ReputationLedger {
+ public:
+  struct Params {
+    // Beta prior over "this participant's task is accepted".
+    double prior_alpha = 1.0;
+    double prior_beta = 1.0;
+    // Participants whose posterior-mean trust falls below this (after at
+    // least min_observations verdicts) stop receiving work.
+    double ban_threshold = 0.5;
+    std::size_t min_observations = 2;
+  };
+
+  explicit ReputationLedger(Params params);
+
+  // Folds one verdict into the participant's posterior.
+  void record(std::size_t participant, bool accepted);
+
+  // Posterior mean acceptance probability.
+  double trust(std::size_t participant) const;
+
+  std::size_t observations(std::size_t participant) const;
+  bool banned(std::size_t participant) const;
+
+ private:
+  struct Record {
+    double alpha;
+    double beta;
+    std::size_t observations = 0;
+  };
+
+  Params params_;
+  std::map<std::size_t, Record> records_;
+};
+
+// Multi-round simulation: re-runs the grid scenario `rounds` times, feeding
+// verdicts into the ledger and excluding banned participants from later
+// rounds.
+struct TournamentConfig {
+  GridConfig base;           // cheaters listed here cheat every round
+  std::size_t rounds = 10;
+  ReputationLedger::Params reputation;
+};
+
+struct TournamentRound {
+  std::size_t active_participants = 0;
+  std::size_t cheater_tasks_rejected = 0;
+  std::size_t cheater_tasks_accepted = 0;
+  std::size_t honest_tasks_rejected = 0;
+  // Work performed this round by participants that end the tournament
+  // banned (the "wasted" assignments reputation eventually prevents).
+  std::uint64_t evaluations_by_eventually_banned = 0;
+};
+
+struct TournamentResult {
+  std::vector<TournamentRound> rounds;
+  std::vector<double> final_trust;   // per original participant index
+  std::vector<bool> final_banned;    // per original participant index
+  // Round after which every cheater was banned (rounds.size() if never).
+  std::size_t cheaters_purged_after = 0;
+};
+
+TournamentResult run_reputation_tournament(const TournamentConfig& config);
+
+}  // namespace ugc

@@ -1,0 +1,120 @@
+#include "grid/simulation.h"
+
+#include <memory>
+
+#include "common/error.h"
+#include "grid/broker.h"
+#include "grid/participant_node.h"
+#include "grid/supervisor_node.h"
+
+namespace ugc {
+
+GridRunResult run_grid_simulation(const GridConfig& config) {
+  check(config.participant_count >= 1,
+        "run_grid_simulation: need at least one participant");
+  check(config.domain_begin < config.domain_end,
+        "run_grid_simulation: empty domain");
+  for (const CheaterSpec& cheater : config.cheaters) {
+    check(cheater.participant_index < config.participant_count,
+          "run_grid_simulation: cheater index ", cheater.participant_index,
+          " out of range");
+  }
+  for (const MaliciousSpec& spec : config.malicious) {
+    check(spec.participant_index < config.participant_count,
+          "run_grid_simulation: malicious index ", spec.participant_index,
+          " out of range");
+  }
+
+  SimNetwork network;
+
+  // Participants (honest unless named in `cheaters`).
+  std::vector<std::unique_ptr<ParticipantNode>> participants;
+  std::vector<bool> is_cheater(config.participant_count, false);
+  participants.reserve(config.participant_count);
+  for (std::size_t i = 0; i < config.participant_count; ++i) {
+    ParticipantNode::Options options;
+    for (const CheaterSpec& cheater : config.cheaters) {
+      if (cheater.participant_index == i) {
+        const std::uint64_t seed =
+            cheater.seed != 0 ? cheater.seed
+                              : config.seed ^ (0xc0ffee + i * 0x9e3779b9);
+        options.policy = make_semi_honest_cheater(
+            {cheater.honesty_ratio, cheater.guess_accuracy, seed});
+        is_cheater[i] = true;
+      }
+    }
+    for (const MaliciousSpec& spec : config.malicious) {
+      if (spec.participant_index == i) {
+        options.screener_conduct = spec.conduct;
+        options.conduct_seed = config.seed ^ (0xbad + i);
+      }
+    }
+    participants.push_back(std::make_unique<ParticipantNode>(std::move(options)));
+  }
+
+  std::vector<GridNodeId> worker_ids;
+  worker_ids.reserve(participants.size());
+  for (const auto& participant : participants) {
+    worker_ids.push_back(network.add_node(*participant));
+  }
+
+  // Optional GRACE-style broker in the middle.
+  std::unique_ptr<BrokerNode> broker;
+  std::vector<GridNodeId> slots;
+  if (config.use_broker) {
+    broker = std::make_unique<BrokerNode>(worker_ids);
+    const GridNodeId broker_id = network.add_node(*broker);
+    slots.assign(config.participant_count, broker_id);
+  } else {
+    slots = worker_ids;
+  }
+
+  SupervisorNode::Plan plan;
+  plan.domain = Domain(config.domain_begin, config.domain_end);
+  plan.workload = config.workload;
+  plan.workload_seed = config.workload_seed;
+  plan.scheme = config.scheme;
+  plan.seed = config.seed;
+  plan.validate_reported_hits = config.validate_reported_hits;
+  SupervisorNode supervisor(plan, slots);
+  network.add_node(supervisor);
+
+  supervisor.start(network);
+  const std::size_t delivered = network.run();
+  check(supervisor.done(),
+        "run_grid_simulation: network went quiet before all verdicts");
+
+  GridRunResult result;
+  result.messages_delivered = delivered;
+  result.network = network.stats();
+  result.hits = supervisor.accepted_hits();
+  result.supervisor_evaluations = supervisor.verification_evaluations();
+  result.results_verified = supervisor.results_verified();
+  for (const auto& participant : participants) {
+    result.participant_evaluations += participant->honest_evaluations();
+  }
+
+  // Task ids are assigned 1..K in slot order; with a broker the round-robin
+  // dispatch preserves that order, so participant = (id - 1) mod count.
+  for (const SupervisorNode::TaskOutcome& outcome : supervisor.outcomes()) {
+    ParticipantOutcome po;
+    po.task = outcome.task;
+    po.participant_index = static_cast<std::size_t>(
+        (outcome.task.value - 1) % config.participant_count);
+    po.was_cheater = is_cheater[po.participant_index];
+    po.accepted = outcome.verdict.accepted();
+    po.status = outcome.verdict.status;
+    result.outcomes.push_back(po);
+
+    if (po.was_cheater) {
+      po.accepted ? ++result.cheater_tasks_accepted
+                  : ++result.cheater_tasks_rejected;
+    } else {
+      po.accepted ? ++result.honest_tasks_accepted
+                  : ++result.honest_tasks_rejected;
+    }
+  }
+  return result;
+}
+
+}  // namespace ugc

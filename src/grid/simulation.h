@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cheating.h"
+#include "core/scheme_config.h"
+#include "grid/network.h"
+
+namespace ugc {
+
+// A participant that cheats in a simulated run.
+struct CheaterSpec {
+  std::size_t participant_index = 0;  // position among the participants
+  double honesty_ratio = 0.5;         // r
+  double guess_accuracy = 0.0;        // q
+  std::uint64_t seed = 0;             // 0 = derived from the run seed
+};
+
+// A participant exercising §2.2's malicious model: the f-work may be fully
+// honest, but the screener channel is corrupted.
+struct MaliciousSpec {
+  std::size_t participant_index = 0;
+  ScreenerConduct conduct = ScreenerConduct::kSuppress;
+};
+
+// One end-to-end grid scenario: a domain, a workload, a verification
+// scheme, a set of participants (some possibly cheating), optionally a
+// broker hiding the participants from the supervisor.
+struct GridConfig {
+  std::uint64_t domain_begin = 0;
+  std::uint64_t domain_end = 1 << 10;
+  std::string workload = "test";
+  std::uint64_t workload_seed = 1;
+  std::size_t participant_count = 4;
+  SchemeConfig scheme;
+  bool use_broker = false;
+  std::uint64_t seed = 1;
+  std::vector<CheaterSpec> cheaters;
+  std::vector<MaliciousSpec> malicious;
+  // Supervisor-side hit validation (see SupervisorNode::Plan).
+  bool validate_reported_hits = true;
+};
+
+struct ParticipantOutcome {
+  TaskId task;
+  std::size_t participant_index = 0;
+  bool was_cheater = false;
+  bool accepted = false;
+  VerdictStatus status = VerdictStatus::kMalformed;
+};
+
+struct GridRunResult {
+  std::vector<ParticipantOutcome> outcomes;
+  // Confusion-matrix style counters over *tasks*.
+  std::size_t cheater_tasks_rejected = 0;  // true positives
+  std::size_t cheater_tasks_accepted = 0;  // missed cheaters
+  std::size_t honest_tasks_accepted = 0;
+  std::size_t honest_tasks_rejected = 0;   // false accusations (must be 0)
+  // Screener hits from accepted tasks only.
+  std::vector<ScreenerHit> hits;
+  // Work accounting.
+  std::uint64_t participant_evaluations = 0;  // genuine f evals, all nodes
+  std::uint64_t supervisor_evaluations = 0;   // verification f evals
+  std::uint64_t results_verified = 0;         // verifier invocations
+  // Traffic.
+  NetworkStats network;
+  std::uint64_t messages_delivered = 0;
+};
+
+// Builds the scenario, runs the network to quiescence, and gathers results.
+// Deterministic in `config.seed`.
+GridRunResult run_grid_simulation(const GridConfig& config);
+
+}  // namespace ugc

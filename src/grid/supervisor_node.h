@@ -1,0 +1,110 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cbs.h"
+#include "core/nicbs.h"
+#include "core/ringer.h"
+#include "core/scheme_config.h"
+#include "grid/network.h"
+#include "workloads/registry.h"
+
+namespace ugc {
+
+// The grid supervisor: partitions the domain, assigns tasks (directly to
+// participants or through a broker), runs the configured verification
+// scheme on every returned result set, and collects screener hits from the
+// participants it accepted.
+class SupervisorNode final : public GridNode {
+ public:
+  struct Plan {
+    Domain domain{0, 1};
+    std::string workload = "test";
+    std::uint64_t workload_seed = 1;
+    SchemeConfig scheme;
+    std::uint64_t seed = 1;  // drives sample selection / ringer planting
+    const WorkloadRegistry* registry = nullptr;  // null = global()
+    // Countermeasure to §2.2's malicious screener conduct: re-derive each
+    // reported hit (one f evaluation per hit) and drop fabrications.
+    // Upload-based schemes never trust reports at all — the supervisor
+    // screens the uploaded results itself. Suppressed discoveries remain
+    // unrecoverable under commitment schemes (the documented CBS gap).
+    bool validate_reported_hits = true;
+  };
+
+  // One task per entry in `slots`; with a broker every slot is the broker's
+  // id and the broker fans out to its workers. For double-check, consecutive
+  // groups of `replicas` slots receive the same subdomain.
+  SupervisorNode(Plan plan, std::vector<GridNodeId> slots);
+
+  // Sends out all assignments. Call once, before the network runs.
+  void start(SimNetwork& network);
+
+  void on_message(GridNodeId from, const Message& message,
+                  SimNetwork& network) override;
+
+  // True once every task has a verdict.
+  bool done() const;
+
+  struct TaskOutcome {
+    TaskId task;
+    Domain domain{0, 1};
+    GridNodeId peer;  // immediate counterparty (participant or broker)
+    Verdict verdict;
+  };
+
+  std::vector<TaskOutcome> outcomes() const;
+
+  // Screener hits from tasks whose verdict accepted, de-duplicated by
+  // (x, report).
+  std::vector<ScreenerHit> accepted_hits() const;
+
+  // f evaluations the supervisor spent on verification (recompute verifier
+  // calls, double-check arbitration, ringer precomputation).
+  std::uint64_t verification_evaluations() const {
+    return counting_f_->calls();
+  }
+
+  // ResultVerifier invocations (cheap-verifier workloads make this differ
+  // from verification_evaluations()).
+  std::uint64_t results_verified() const { return results_verified_; }
+
+ private:
+  struct TaskState {
+    Domain domain{0, 1};
+    GridNodeId peer;
+    std::size_t group = 0;  // double-check replica group
+    std::unique_ptr<CbsSupervisor> cbs;
+    std::unique_ptr<RingerSupervisor> ringer;
+    std::optional<ResultsUpload> upload;  // double-check: held until group done
+    std::optional<Verdict> verdict;
+    std::vector<ScreenerHit> hits;
+  };
+
+  Task task_for(TaskId id, const Domain& domain) const;
+  void settle(TaskId id, TaskState& state, Verdict verdict,
+              SimNetwork& network);
+  void handle_upload(TaskId id, TaskState& state, const ResultsUpload& upload,
+                     SimNetwork& network);
+  Verdict check_naive_upload(TaskId id, const TaskState& state,
+                             const ResultsUpload& upload);
+  void screen_upload(TaskState& state, const ResultsUpload& upload);
+  void resolve_double_check_group(std::size_t group, SimNetwork& network);
+
+  Plan plan_;
+  std::vector<GridNodeId> slots_;
+  WorkloadBundle bundle_;
+  std::shared_ptr<CountingComputeFunction> counting_f_;
+  std::shared_ptr<const ResultVerifier> verifier_;
+  Rng rng_;
+  std::map<TaskId, TaskState> tasks_;
+  std::map<std::size_t, std::vector<TaskId>> groups_;  // double-check
+  std::uint64_t results_verified_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ugc

@@ -1,0 +1,54 @@
+#include "grid/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ugc {
+
+void parallel_for(std::uint64_t begin, std::uint64_t end,
+                  const std::function<void(std::uint64_t)>& fn,
+                  unsigned threads) {
+  check(begin <= end, "parallel_for: begin > end");
+  check(fn != nullptr, "parallel_for: callable required");
+  const std::uint64_t count = end - begin;
+  if (count == 0) {
+    return;
+  }
+
+  unsigned workers = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (workers == 0) {
+    workers = 1;
+  }
+  workers = static_cast<unsigned>(
+      std::min<std::uint64_t>(workers, count));
+
+  if (workers == 1) {
+    for (std::uint64_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  const std::uint64_t chunk = count / workers;
+  const std::uint64_t remainder = count % workers;
+  std::uint64_t cursor = begin;
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::uint64_t width = chunk + (w < remainder ? 1 : 0);
+    const std::uint64_t lo = cursor;
+    const std::uint64_t hi = cursor + width;
+    cursor = hi;
+    pool.emplace_back([lo, hi, &fn] {
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+}  // namespace ugc

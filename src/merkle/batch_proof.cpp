@@ -1,0 +1,203 @@
+#include "merkle/batch_proof.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace ugc {
+
+namespace {
+
+bool is_power_of_two(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+}  // namespace
+
+BatchProof make_batch_proof(const MerkleTree& tree,
+                            std::span<const LeafIndex> indices) {
+  BatchProof proof;
+  proof.padded_leaf_count = tree.padded_leaf_count();
+
+  // Sorted, de-duplicated positions with their committed values.
+  std::vector<std::uint64_t> positions;
+  positions.reserve(indices.size());
+  for (const LeafIndex index : indices) {
+    check(index.value < tree.leaf_count(),
+          "make_batch_proof: index ", index.value, " out of range");
+    positions.push_back(index.value);
+  }
+  std::sort(positions.begin(), positions.end());
+  positions.erase(std::unique(positions.begin(), positions.end()),
+                  positions.end());
+  check(!positions.empty(), "make_batch_proof: at least one index required");
+
+  for (const std::uint64_t position : positions) {
+    proof.leaves.emplace_back(LeafIndex{position},
+                              tree.node(0, position));
+  }
+
+  // Walk upward; emit a sibling only when the verifier cannot derive it.
+  std::vector<std::uint64_t> frontier = positions;
+  for (unsigned level = 0; level < tree.height(); ++level) {
+    std::vector<std::uint64_t> parents;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const std::uint64_t position = frontier[i];
+      const std::uint64_t sibling = position ^ 1;
+      const bool sibling_known =
+          (i + 1 < frontier.size() && frontier[i + 1] == sibling);
+      if (sibling_known) {
+        ++i;  // the pair merges; consume both
+      } else {
+        proof.siblings.push_back(tree.node(level, sibling));
+      }
+      parents.push_back(position >> 1);
+    }
+    frontier = std::move(parents);
+  }
+  return proof;
+}
+
+BatchProof merge_proofs(std::span<const MerkleProof> proofs) {
+  check(!proofs.empty(), "merge_proofs: at least one proof required");
+  const std::size_t height = proofs.front().siblings.size();
+  const std::uint64_t padded = std::uint64_t{1} << height;
+
+  // Collect every known node value: proven leaves plus each path's
+  // siblings, keyed by (level, position). Conflicts mean the proofs do not
+  // belong to one tree.
+  std::map<std::pair<unsigned, std::uint64_t>, Bytes> known;
+  std::vector<std::uint64_t> positions;
+  for (const MerkleProof& proof : proofs) {
+    check(proof.siblings.size() == height,
+          "merge_proofs: proofs have differing heights (", height, " vs ",
+          proof.siblings.size(), ")");
+    check(proof.index.value < padded, "merge_proofs: index ",
+          proof.index.value, " exceeds tree width");
+    positions.push_back(proof.index.value);
+
+    const auto record = [&known](unsigned level, std::uint64_t position,
+                                 const Bytes& value) {
+      const auto [it, inserted] = known.try_emplace({level, position}, value);
+      check(inserted || it->second == value,
+            "merge_proofs: conflicting values for node (level=", level,
+            ", position=", position, ")");
+    };
+    record(0, proof.index.value, proof.leaf_value);
+    for (unsigned level = 0; level < height; ++level) {
+      record(level, (proof.index.value >> level) ^ 1, proof.siblings[level]);
+    }
+  }
+
+  std::sort(positions.begin(), positions.end());
+  positions.erase(std::unique(positions.begin(), positions.end()),
+                  positions.end());
+
+  BatchProof batch;
+  batch.padded_leaf_count = padded;
+  for (const std::uint64_t position : positions) {
+    batch.leaves.emplace_back(LeafIndex{position},
+                              known.at({0u, position}));
+  }
+
+  // Same upward walk as make_batch_proof, pulling the needed siblings from
+  // the collected map instead of the tree.
+  std::vector<std::uint64_t> frontier = positions;
+  for (unsigned level = 0; level < height; ++level) {
+    std::vector<std::uint64_t> parents;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const std::uint64_t position = frontier[i];
+      const std::uint64_t sibling = position ^ 1;
+      const bool sibling_known =
+          (i + 1 < frontier.size() && frontier[i + 1] == sibling);
+      if (sibling_known) {
+        ++i;
+      } else {
+        const auto it = known.find({level, sibling});
+        check(it != known.end(),
+              "merge_proofs: missing sibling (level=", level,
+              ", position=", sibling, ")");
+        batch.siblings.push_back(it->second);
+      }
+      parents.push_back(position >> 1);
+    }
+    frontier = std::move(parents);
+  }
+  return batch;
+}
+
+Bytes compute_batch_root(const BatchProof& proof, const HashFunction& hash) {
+  check(is_power_of_two(proof.padded_leaf_count),
+        "compute_batch_root: padded_leaf_count must be a power of two");
+  check(!proof.leaves.empty(), "compute_batch_root: no proven leaves");
+
+  // Current level: position -> Φ value, kept sorted by construction.
+  std::vector<std::pair<std::uint64_t, Bytes>> level_nodes;
+  level_nodes.reserve(proof.leaves.size());
+  std::uint64_t previous = 0;
+  bool first = true;
+  for (const auto& [index, value] : proof.leaves) {
+    check(index.value < proof.padded_leaf_count,
+          "compute_batch_root: leaf position ", index.value, " out of range");
+    check(first || index.value > previous,
+          "compute_batch_root: leaf positions must be strictly increasing");
+    previous = index.value;
+    first = false;
+    level_nodes.emplace_back(index.value, value);
+  }
+
+  std::size_t next_sibling = 0;
+  std::uint64_t width = proof.padded_leaf_count;
+  while (width > 1) {
+    std::vector<std::pair<std::uint64_t, Bytes>> parents;
+    for (std::size_t i = 0; i < level_nodes.size(); ++i) {
+      const std::uint64_t position = level_nodes[i].first;
+      const std::uint64_t sibling_position = position ^ 1;
+      const Bytes* sibling = nullptr;
+      if (i + 1 < level_nodes.size() &&
+          level_nodes[i + 1].first == sibling_position) {
+        sibling = &level_nodes[i + 1].second;
+      }
+
+      Bytes parent_value;
+      if (sibling != nullptr) {
+        parent_value = hash.hash(
+            concat_bytes(level_nodes[i].second, *sibling));
+        ++i;  // consumed the pair
+      } else {
+        check(next_sibling < proof.siblings.size(),
+              "compute_batch_root: sibling stream exhausted");
+        const Bytes& provided = proof.siblings[next_sibling++];
+        if ((position & 1) == 0) {
+          parent_value = hash.hash(concat_bytes(level_nodes[i].second,
+                                                provided));
+        } else {
+          parent_value = hash.hash(concat_bytes(provided,
+                                                level_nodes[i].second));
+        }
+      }
+      parents.emplace_back(position >> 1, std::move(parent_value));
+    }
+    level_nodes = std::move(parents);
+    width >>= 1;
+  }
+
+  check(next_sibling == proof.siblings.size(),
+        "compute_batch_root: ", proof.siblings.size() - next_sibling,
+        " unconsumed siblings");
+  check(level_nodes.size() == 1,
+        "compute_batch_root: did not converge to a single root");
+  return std::move(level_nodes.front().second);
+}
+
+bool verify_batch_proof(const BatchProof& proof, BytesView expected_root,
+                        const HashFunction& hash) {
+  try {
+    return equal_bytes(compute_batch_root(proof, hash), expected_root);
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+}  // namespace ugc

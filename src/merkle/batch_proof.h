@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "crypto/hash_function.h"
+#include "merkle/tree.h"
+
+namespace ugc {
+
+// Batch (multi-leaf) authentication proof.
+//
+// The paper ships one independent O(log n) path per sample, so the m paths
+// repeat their shared ancestors near the root. A batch proof carries every
+// needed sibling exactly once: the verifier folds all proven leaves upward
+// level by level, pulling siblings from the (deterministically ordered)
+// stream only for positions it cannot derive itself. For m samples of an
+// n-leaf tree the sibling count drops from m·log2(n) to at most
+// m·log2(n/m) + O(m) — measured in bench_batch_proof.
+struct BatchProof {
+  // Width of the padded leaf level (power of two) — fixes the tree shape.
+  std::uint64_t padded_leaf_count = 0;
+  // Proven (position, Φ value) pairs, sorted by position, duplicates
+  // removed. Positions address the padded leaf level.
+  std::vector<std::pair<LeafIndex, Bytes>> leaves;
+  // Siblings in consumption order (bottom-up, left-to-right per level).
+  std::vector<Bytes> siblings;
+
+  std::size_t payload_bytes() const {
+    std::size_t total = 8;
+    for (const auto& [index, value] : leaves) {
+      total += 8 + value.size();
+    }
+    for (const Bytes& sibling : siblings) {
+      total += sibling.size();
+    }
+    return total;
+  }
+};
+
+// Builds the batch proof for `indices` (any order, duplicates allowed; all
+// must be < tree.leaf_count()).
+BatchProof make_batch_proof(const MerkleTree& tree,
+                            std::span<const LeafIndex> indices);
+
+// Merges independent single-leaf proofs (of the same tree) into a batch
+// proof, deduplicating shared siblings. Needs no tree access, so it also
+// works for proofs produced from a §3.3 partial tree — this is how the
+// batched CBS response is assembled. Throws ugc::Error when proofs are
+// mutually inconsistent (different heights, conflicting sibling values) or
+// empty.
+BatchProof merge_proofs(std::span<const MerkleProof> proofs);
+
+// Reconstructs the root implied by the proof. Throws ugc::Error on a
+// structurally malformed proof (unsorted/duplicate leaves, out-of-range
+// positions, wrong sibling count, non-power-of-two width).
+Bytes compute_batch_root(const BatchProof& proof, const HashFunction& hash);
+
+// True when the proof's reconstructed root equals `expected_root`.
+// Malformed proofs return false rather than throwing.
+bool verify_batch_proof(const BatchProof& proof, BytesView expected_root,
+                        const HashFunction& hash);
+
+}  // namespace ugc

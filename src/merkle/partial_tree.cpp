@@ -1,0 +1,120 @@
+#include "merkle/partial_tree.h"
+
+#include "common/error.h"
+#include "merkle/streaming_builder.h"
+#include "merkle/tree.h"
+
+namespace ugc {
+
+PartialMerkleTree PartialMerkleTree::build(std::uint64_t leaf_count,
+                                           unsigned subtree_height,
+                                           const LeafProvider& leaves,
+                                           const HashFunction& hash) {
+  check(leaf_count >= 1, "PartialMerkleTree::build: leaf_count must be >= 1");
+  check(leaves != nullptr, "PartialMerkleTree::build: leaf provider required");
+
+  PartialMerkleTree tree;
+  tree.leaf_count_ = leaf_count;
+  tree.height_ = tree_height(leaf_count);
+  tree.subtree_height_ = std::min(subtree_height, tree.height_);
+
+  const unsigned cutoff = tree.subtree_height_;
+  tree.stored_.resize(tree.height_ - cutoff + 1);
+  for (unsigned h = cutoff; h <= tree.height_; ++h) {
+    tree.stored_[h - cutoff].reserve(
+        std::size_t{1} << (tree.height_ - h));
+  }
+
+  StreamingMerkleBuilder builder(
+      hash, [&tree, cutoff](unsigned height, std::uint64_t index,
+                            const Bytes& value) {
+        if (height >= cutoff) {
+          auto& level = tree.stored_[height - cutoff];
+          check(index == level.size(),
+                "PartialMerkleTree::build: out-of-order node emission");
+          level.push_back(value);
+        }
+      });
+
+  for (std::uint64_t i = 0; i < leaf_count; ++i) {
+    builder.add_leaf(leaves(LeafIndex{i}));
+  }
+  const Bytes root = builder.finish();
+  check(equal_bytes(root, tree.stored_.back().front()),
+        "PartialMerkleTree::build: root mismatch between builder and store");
+  return tree;
+}
+
+std::size_t PartialMerkleTree::stored_node_count() const {
+  std::size_t total = 0;
+  for (const auto& level : stored_) {
+    total += level.size();
+  }
+  return total;
+}
+
+std::size_t PartialMerkleTree::stored_bytes() const {
+  std::size_t total = 0;
+  for (const auto& level : stored_) {
+    for (const Bytes& node : level) {
+      total += node.size();
+    }
+  }
+  return total;
+}
+
+MerkleProof PartialMerkleTree::prove(LeafIndex index,
+                                     const LeafProvider& leaves,
+                                     const HashFunction& hash) const {
+  check(index.value < leaf_count_, "PartialMerkleTree::prove: index ",
+        index.value, " out of range (n=", leaf_count_, ")");
+  check(leaves != nullptr, "PartialMerkleTree::prove: leaf provider required");
+
+  MerkleProof proof;
+  proof.index = index;
+  proof.siblings.reserve(height_);
+
+  // Rebuild the unsaved subtree containing the sample: its leaves span
+  // [subtree_base, subtree_base + 2^ℓ) in the padded tree.
+  const std::uint64_t subtree_size = std::uint64_t{1} << subtree_height_;
+  const std::uint64_t subtree_index = index.value >> subtree_height_;
+  const std::uint64_t subtree_base = subtree_index << subtree_height_;
+
+  if (subtree_height_ > 0) {
+    const Bytes pad = padding_leaf(hash);
+    std::vector<Bytes> subtree_leaves;
+    subtree_leaves.reserve(subtree_size);
+    for (std::uint64_t i = 0; i < subtree_size; ++i) {
+      const std::uint64_t global = subtree_base + i;
+      if (global < leaf_count_) {
+        subtree_leaves.push_back(leaves(LeafIndex{global}));
+        ++recompute_meter_;
+      } else {
+        subtree_leaves.push_back(pad);
+      }
+    }
+    MerkleTree subtree = MerkleTree::build(std::move(subtree_leaves), hash);
+    check(equal_bytes(subtree.root(), stored_.front()[subtree_index]),
+          "PartialMerkleTree::prove: rebuilt subtree root does not match "
+          "stored frontier node — leaf provider is inconsistent with build");
+
+    MerkleProof local = subtree.prove(LeafIndex{index.value - subtree_base});
+    proof.leaf_value = std::move(local.leaf_value);
+    for (Bytes& sibling : local.siblings) {
+      proof.siblings.push_back(std::move(sibling));
+    }
+  } else {
+    // ℓ = 0: the full tree is stored; the "rebuilt subtree" is the leaf.
+    proof.leaf_value = stored_.front()[index.value];
+  }
+
+  // Extend with stored siblings from height ℓ up to (but excluding) the root.
+  std::uint64_t position = index.value >> subtree_height_;
+  for (unsigned h = subtree_height_; h < height_; ++h) {
+    proof.siblings.push_back(stored_[h - subtree_height_][position ^ 1]);
+    position >>= 1;
+  }
+  return proof;
+}
+
+}  // namespace ugc

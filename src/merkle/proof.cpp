@@ -1,0 +1,24 @@
+#include "merkle/proof.h"
+
+namespace ugc {
+
+Bytes compute_root(const MerkleProof& proof, const HashFunction& hash) {
+  Bytes current = proof.leaf_value;
+  std::uint64_t index = proof.index.value;
+  for (const Bytes& sibling : proof.siblings) {
+    if ((index & 1) == 0) {
+      current = hash.hash(concat_bytes(current, sibling));
+    } else {
+      current = hash.hash(concat_bytes(sibling, current));
+    }
+    index >>= 1;
+  }
+  return current;
+}
+
+bool verify_proof(const MerkleProof& proof, BytesView expected_root,
+                  const HashFunction& hash) {
+  return equal_bytes(compute_root(proof, hash), expected_root);
+}
+
+}  // namespace ugc

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "crypto/hash_function.h"
+
+namespace ugc {
+
+// Authentication path for one leaf of a commitment Merkle tree.
+//
+// `siblings` are the Φ values of the sibling nodes along the path from the
+// leaf to the root, bottom-up (the paper's λ1..λH). The bottom-most sibling is
+// a raw leaf value (Φ(L) = f(x), variable length); all higher siblings are
+// digests.
+struct MerkleProof {
+  // Position of the proven leaf within the (padded) tree.
+  LeafIndex index;
+  // Φ(L) of the proven leaf — the raw committed value.
+  Bytes leaf_value;
+  // Sibling Φ values, bottom-up; size equals the tree height.
+  std::vector<Bytes> siblings;
+
+  // Total payload size in bytes (used by communication accounting).
+  std::size_t payload_bytes() const {
+    std::size_t total = leaf_value.size();
+    for (const Bytes& s : siblings) total += s.size();
+    return total;
+  }
+};
+
+// The paper's Λ(Φ(L), λ1..λH): folds the leaf value with the sibling path to
+// reconstruct the root commitment Φ(R').
+Bytes compute_root(const MerkleProof& proof, const HashFunction& hash);
+
+// True when the proof's reconstructed root equals `expected_root`.
+bool verify_proof(const MerkleProof& proof, BytesView expected_root,
+                  const HashFunction& hash);
+
+}  // namespace ugc

@@ -1,0 +1,65 @@
+#include "merkle/streaming_builder.h"
+
+#include "common/error.h"
+#include "merkle/tree.h"
+
+namespace ugc {
+
+StreamingMerkleBuilder::StreamingMerkleBuilder(const HashFunction& hash,
+                                               NodeCallback on_node)
+    : hash_(hash), on_node_(std::move(on_node)) {}
+
+void StreamingMerkleBuilder::add_leaf(BytesView value) {
+  check(!finished_, "StreamingMerkleBuilder: add_leaf after finish");
+  push(Bytes(value.begin(), value.end()));
+  ++leaf_count_;
+}
+
+void StreamingMerkleBuilder::push(Bytes value) {
+  unsigned height = 0;
+  if (on_node_) {
+    if (emitted_.size() <= height) emitted_.resize(height + 1, 0);
+    on_node_(height, emitted_[height]++, value);
+  }
+  for (;;) {
+    if (pending_.size() <= height) {
+      pending_.resize(height + 1);
+    }
+    if (!pending_[height].has_value()) {
+      pending_[height] = std::move(value);
+      return;
+    }
+    // Carry: merge the waiting left subtree with this right subtree.
+    value = hash_.hash(concat_bytes(*pending_[height], value));
+    pending_[height].reset();
+    ++height;
+    if (on_node_) {
+      if (emitted_.size() <= height) emitted_.resize(height + 1, 0);
+      on_node_(height, emitted_[height]++, value);
+    }
+  }
+}
+
+Bytes StreamingMerkleBuilder::finish() {
+  check(!finished_, "StreamingMerkleBuilder: finish called twice");
+  check(leaf_count_ > 0, "StreamingMerkleBuilder: no leaves added");
+  finished_ = true;
+
+  const std::uint64_t padded = next_power_of_two(leaf_count_);
+  const Bytes pad = padding_leaf(hash_);
+  for (std::uint64_t i = leaf_count_; i < padded; ++i) {
+    push(pad);
+  }
+
+  // Exactly one pending entry remains: the root.
+  for (std::size_t h = 0; h < pending_.size(); ++h) {
+    if (pending_[h].has_value()) {
+      check(h + 1 == pending_.size(),
+            "StreamingMerkleBuilder: internal carry invariant violated");
+      return std::move(*pending_[h]);
+    }
+  }
+  throw Error("StreamingMerkleBuilder: no root after finish");
+}
+
+}  // namespace ugc

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/hash_function.h"
+
+namespace ugc {
+
+// Computes a Merkle root over a stream of leaves with O(log n) working memory
+// (binary-counter carry merging). This is how a participant working through a
+// large domain commits without ever materializing the full tree.
+//
+// An optional NodeCallback observes every node as it is finalized —
+// (height, index-within-level, Φ value) — which is how PartialMerkleTree
+// captures just the top levels it stores (§3.3).
+class StreamingMerkleBuilder {
+ public:
+  using NodeCallback =
+      std::function<void(unsigned height, std::uint64_t index, const Bytes&)>;
+
+  explicit StreamingMerkleBuilder(const HashFunction& hash,
+                                  NodeCallback on_node = nullptr);
+
+  // Appends the next leaf value (Φ(L_i) = f(x_i)).
+  void add_leaf(BytesView value);
+
+  // Pads the stream to the next power of two and returns the root Φ(R).
+  // The builder is spent afterwards.
+  Bytes finish();
+
+  std::uint64_t leaf_count() const { return leaf_count_; }
+
+ private:
+  void push(Bytes value);
+
+  const HashFunction& hash_;
+  NodeCallback on_node_;
+  // pending_[h] holds the root of a finished 2^h-leaf subtree awaiting its
+  // right-hand sibling.
+  std::vector<std::optional<Bytes>> pending_;
+  // Number of nodes finalized at each height so far (for callback indices).
+  std::vector<std::uint64_t> emitted_;
+  std::uint64_t leaf_count_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ugc

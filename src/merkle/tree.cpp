@@ -1,0 +1,119 @@
+#include "merkle/tree.h"
+
+#include "common/error.h"
+
+namespace ugc {
+
+Bytes padding_leaf(const HashFunction& hash) {
+  return hash.hash(to_bytes("ugc.merkle.pad.v1"));
+}
+
+std::uint64_t next_power_of_two(std::uint64_t n) {
+  check(n >= 1, "next_power_of_two: n must be >= 1");
+  std::uint64_t p = 1;
+  while (p < n) {
+    check(p <= (std::uint64_t{1} << 62), "next_power_of_two: overflow");
+    p <<= 1;
+  }
+  return p;
+}
+
+unsigned tree_height(std::uint64_t leaf_count) {
+  const std::uint64_t padded = next_power_of_two(leaf_count);
+  unsigned height = 0;
+  while ((std::uint64_t{1} << height) < padded) {
+    ++height;
+  }
+  return height;
+}
+
+MerkleTree MerkleTree::build(std::vector<Bytes> leaves,
+                             const HashFunction& hash) {
+  check(!leaves.empty(), "MerkleTree::build: at least one leaf required");
+
+  MerkleTree tree;
+  tree.leaf_count_ = leaves.size();
+
+  const std::uint64_t padded = next_power_of_two(leaves.size());
+  const Bytes pad = padding_leaf(hash);
+  leaves.resize(padded, pad);
+
+  tree.levels_.push_back(std::move(leaves));
+  while (tree.levels_.back().size() > 1) {
+    const std::vector<Bytes>& below = tree.levels_.back();
+    std::vector<Bytes> level;
+    level.reserve(below.size() / 2);
+    for (std::size_t i = 0; i < below.size(); i += 2) {
+      level.push_back(hash.hash(concat_bytes(below[i], below[i + 1])));
+    }
+    tree.levels_.push_back(std::move(level));
+  }
+  return tree;
+}
+
+const Bytes& MerkleTree::node(unsigned level, std::uint64_t position) const {
+  check(level < levels_.size(), "MerkleTree::node: level ", level,
+        " out of range");
+  check(position < levels_[level].size(), "MerkleTree::node: position ",
+        position, " out of range at level ", level);
+  return levels_[level][position];
+}
+
+const Bytes& MerkleTree::leaf(LeafIndex index) const {
+  check(index.value < leaf_count_, "MerkleTree::leaf: index ", index.value,
+        " out of range (n=", leaf_count_, ")");
+  return levels_.front()[index.value];
+}
+
+MerkleProof MerkleTree::prove(LeafIndex index) const {
+  check(index.value < leaf_count_, "MerkleTree::prove: index ", index.value,
+        " out of range (n=", leaf_count_, ")");
+
+  MerkleProof proof;
+  proof.index = index;
+  proof.leaf_value = levels_.front()[index.value];
+  proof.siblings.reserve(height());
+
+  std::uint64_t position = index.value;
+  for (unsigned level = 0; level < height(); ++level) {
+    proof.siblings.push_back(levels_[level][position ^ 1]);
+    position >>= 1;
+  }
+  return proof;
+}
+
+void MerkleTree::update_leaf(LeafIndex index, Bytes value,
+                             const HashFunction& hash) {
+  check(index.value < leaf_count_, "MerkleTree::update_leaf: index ",
+        index.value, " out of range (n=", leaf_count_, ")");
+
+  levels_.front()[index.value] = std::move(value);
+  std::uint64_t position = index.value;
+  for (unsigned level = 0; level + 1 <= height(); ++level) {
+    const std::uint64_t parent = position >> 1;
+    const std::vector<Bytes>& below = levels_[level];
+    levels_[level + 1][parent] =
+        hash.hash(concat_bytes(below[2 * parent], below[2 * parent + 1]));
+    position = parent;
+  }
+}
+
+std::size_t MerkleTree::node_count() const {
+  std::size_t total = 0;
+  for (const auto& level : levels_) {
+    total += level.size();
+  }
+  return total;
+}
+
+std::size_t MerkleTree::stored_bytes() const {
+  std::size_t total = 0;
+  for (const auto& level : levels_) {
+    for (const Bytes& node : level) {
+      total += node.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace ugc

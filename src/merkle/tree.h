@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "crypto/hash_function.h"
+#include "merkle/proof.h"
+
+namespace ugc {
+
+// Returns the padding leaf value used when the domain size is not a power of
+// two: Φ = hash("ugc.merkle.pad.v1"). Padding positions sit beyond the domain
+// and can never be selected as samples.
+Bytes padding_leaf(const HashFunction& hash);
+
+// Smallest power of two >= n (n >= 1).
+std::uint64_t next_power_of_two(std::uint64_t n);
+
+// Number of levels above the leaves for a padded tree of `leaf_count` leaves
+// (i.e. log2 of the padded size).
+unsigned tree_height(std::uint64_t leaf_count);
+
+// Full in-memory commitment Merkle tree (paper Eq. 1):
+//
+//   Φ(L_i) = f(x_i)                       (leaves: raw result bytes)
+//   Φ(V)   = hash(Φ(V.left) || Φ(V.right)) (internal nodes)
+//
+// The tree is "complete" in the paper's sense: the leaf level is padded to the
+// next power of two with a fixed padding value. The root Φ(R) is the
+// participant's commitment to all n results.
+class MerkleTree {
+ public:
+  // Builds a tree over `leaves` (must be non-empty). Leaf values are moved in.
+  static MerkleTree build(std::vector<Bytes> leaves, const HashFunction& hash);
+
+  // The committed root Φ(R).
+  const Bytes& root() const { return levels_.back().front(); }
+
+  // Number of real (unpadded) leaves, i.e. n = |D|.
+  std::uint64_t leaf_count() const { return leaf_count_; }
+
+  // Padded leaf count (power of two).
+  std::uint64_t padded_leaf_count() const { return levels_.front().size(); }
+
+  // Path length from a leaf to the root (the paper's H).
+  unsigned height() const {
+    return static_cast<unsigned>(levels_.size() - 1);
+  }
+
+  // Φ value of leaf `index` (must be < leaf_count()).
+  const Bytes& leaf(LeafIndex index) const;
+
+  // Φ value of the node at `level` (0 = leaves, height() = root) and
+  // `position` within that level. Bounds-checked.
+  const Bytes& node(unsigned level, std::uint64_t position) const;
+
+  // Authentication path for leaf `index` (must be < leaf_count()).
+  MerkleProof prove(LeafIndex index) const;
+
+  // Replaces the value of leaf `index` and recomputes the O(log n) ancestors.
+  // This is what makes the §4.2 retry attack cheap: each re-roll of a guessed
+  // leaf costs only a path update, not a rebuild.
+  void update_leaf(LeafIndex index, Bytes value, const HashFunction& hash);
+
+  // Total number of stored nodes across all levels (paper's storage cost).
+  std::size_t node_count() const;
+
+  // Sum of stored node payload sizes in bytes.
+  std::size_t stored_bytes() const;
+
+ private:
+  MerkleTree() = default;
+
+  std::uint64_t leaf_count_ = 0;
+  // levels_[0] = padded leaves; levels_.back() = { root }.
+  std::vector<std::vector<Bytes>> levels_;
+};
+
+}  // namespace ugc

@@ -1,0 +1,17 @@
+#include "wire/codec.h"
+
+#include <bit>
+#include <cstring>
+
+namespace ugc {
+
+void WireWriter::f64(double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  u64(std::bit_cast<std::uint64_t>(v));
+}
+
+double WireReader::f64() {
+  return std::bit_cast<double>(u64());
+}
+
+}  // namespace ugc

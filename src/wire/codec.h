@@ -1,0 +1,176 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace ugc {
+
+// Raised on any malformed wire input (truncation, oversized lengths,
+// varint overflow). Protocol code converts this into a kMalformed verdict
+// rather than letting it escape.
+class WireError : public Error {
+ public:
+  explicit WireError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+// Append-only binary encoder. Integers are little-endian fixed-width or
+// LEB128 varints; byte strings are varint-length-prefixed.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buffer_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    buffer_.push_back(static_cast<std::uint8_t>(v));
+    buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  // Unsigned LEB128.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buffer_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buffer_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void f64(double v);
+
+  // Length-prefixed byte string.
+  void bytes(BytesView data) {
+    varint(data.size());
+    append(buffer_, data);
+  }
+
+  void str(std::string_view text) {
+    varint(text.size());
+    for (char c : text) {
+      buffer_.push_back(static_cast<std::uint8_t>(c));
+    }
+  }
+
+  // Raw append, no length prefix (caller knows the framing).
+  void raw(BytesView data) { append(buffer_, data); }
+
+  const Bytes& buffer() const { return buffer_; }
+  Bytes take() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+// Bounds-checked decoder over a byte view. Every read throws WireError on
+// truncation; length prefixes are validated against the remaining input so
+// hostile lengths cannot trigger huge allocations.
+class WireReader {
+ public:
+  explicit WireReader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[cursor_++];
+  }
+
+  std::uint16_t u16() {
+    need(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data_[cursor_] | (data_[cursor_ + 1] << 8));
+    cursor_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | data_[cursor_ + static_cast<std::size_t>(i)];
+    }
+    cursor_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | data_[cursor_ + static_cast<std::size_t>(i)];
+    }
+    cursor_ += 8;
+    return v;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      need(1);
+      const std::uint8_t byte = data_[cursor_++];
+      if (shift == 63 && (byte & 0x7e) != 0) {
+        throw WireError("varint overflows 64 bits");
+      }
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        return v;
+      }
+      shift += 7;
+      if (shift > 63) {
+        throw WireError("varint too long");
+      }
+    }
+  }
+
+  double f64();
+
+  Bytes bytes() {
+    const std::uint64_t length = varint();
+    need(length);
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+              data_.begin() + static_cast<std::ptrdiff_t>(cursor_ + length));
+    cursor_ += length;
+    return out;
+  }
+
+  std::string str() {
+    const Bytes raw = bytes();
+    return to_string(raw);
+  }
+
+  std::size_t remaining() const { return data_.size() - cursor_; }
+  bool done() const { return remaining() == 0; }
+
+  // Throws unless the whole input was consumed — catches trailing garbage.
+  void expect_done() const {
+    if (!done()) {
+      throw WireError(concat(remaining(), " trailing bytes after message"));
+    }
+  }
+
+ private:
+  void need(std::uint64_t count) const {
+    if (count > remaining()) {
+      throw WireError(concat("truncated input: need ", count, " bytes, have ",
+                             remaining()));
+    }
+  }
+
+  BytesView data_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace ugc

@@ -1,0 +1,430 @@
+#include "wire/messages.h"
+
+#include "wire/codec.h"
+
+namespace ugc {
+
+namespace {
+
+constexpr std::uint16_t kWireVersion = 1;
+
+// ------------------------------------------------------------ enum codecs
+
+std::uint8_t to_u8(HashAlgorithm algorithm) {
+  return static_cast<std::uint8_t>(algorithm);
+}
+
+HashAlgorithm hash_algorithm_from(std::uint8_t raw) {
+  switch (raw) {
+    case static_cast<std::uint8_t>(HashAlgorithm::kMd5):
+      return HashAlgorithm::kMd5;
+    case static_cast<std::uint8_t>(HashAlgorithm::kSha1):
+      return HashAlgorithm::kSha1;
+    case static_cast<std::uint8_t>(HashAlgorithm::kSha256):
+      return HashAlgorithm::kSha256;
+  }
+  throw WireError(concat("unknown hash algorithm ", int{raw}));
+}
+
+LeafMode leaf_mode_from(std::uint8_t raw) {
+  switch (raw) {
+    case static_cast<std::uint8_t>(LeafMode::kRaw):
+      return LeafMode::kRaw;
+    case static_cast<std::uint8_t>(LeafMode::kHashed):
+      return LeafMode::kHashed;
+  }
+  throw WireError(concat("unknown leaf mode ", int{raw}));
+}
+
+SchemeKind scheme_kind_from(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(SchemeKind::kRinger)) {
+    throw WireError(concat("unknown scheme kind ", int{raw}));
+  }
+  return static_cast<SchemeKind>(raw);
+}
+
+VerdictStatus verdict_status_from(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(VerdictStatus::kMalformed)) {
+    throw WireError(concat("unknown verdict status ", int{raw}));
+  }
+  return static_cast<VerdictStatus>(raw);
+}
+
+// -------------------------------------------------------- nested structs
+
+void write_tree_settings(WireWriter& w, const TreeSettings& t) {
+  w.u8(to_u8(t.tree_hash));
+  w.u8(static_cast<std::uint8_t>(t.leaf_mode));
+  w.u32(t.storage_subtree_height);
+}
+
+TreeSettings read_tree_settings(WireReader& r) {
+  TreeSettings t;
+  t.tree_hash = hash_algorithm_from(r.u8());
+  t.leaf_mode = leaf_mode_from(r.u8());
+  t.storage_subtree_height = r.u32();
+  return t;
+}
+
+void write_scheme_config(WireWriter& w, const SchemeConfig& c) {
+  w.u8(static_cast<std::uint8_t>(c.kind));
+  w.varint(c.double_check.replicas);
+  w.varint(c.naive.sample_count);
+  write_tree_settings(w, c.cbs.tree);
+  w.varint(c.cbs.sample_count);
+  w.u8(c.cbs.sample_with_replacement ? 1 : 0);
+  w.u8(c.cbs.use_batch_proofs ? 1 : 0);
+  write_tree_settings(w, c.nicbs.tree);
+  w.varint(c.nicbs.sample_count);
+  w.u8(to_u8(c.nicbs.sample_hash));
+  w.varint(c.nicbs.sample_hash_iterations);
+  w.varint(c.ringer.ringer_count);
+  w.u64(c.ringer.seed);
+}
+
+SchemeConfig read_scheme_config(WireReader& r) {
+  SchemeConfig c;
+  c.kind = scheme_kind_from(r.u8());
+  c.double_check.replicas = r.varint();
+  c.naive.sample_count = r.varint();
+  c.cbs.tree = read_tree_settings(r);
+  c.cbs.sample_count = r.varint();
+  c.cbs.sample_with_replacement = r.u8() != 0;
+  c.cbs.use_batch_proofs = r.u8() != 0;
+  c.nicbs.tree = read_tree_settings(r);
+  c.nicbs.sample_count = r.varint();
+  c.nicbs.sample_hash = hash_algorithm_from(r.u8());
+  c.nicbs.sample_hash_iterations = r.varint();
+  c.ringer.ringer_count = r.varint();
+  c.ringer.seed = r.u64();
+  return c;
+}
+
+void write_commitment(WireWriter& w, const Commitment& c) {
+  w.u64(c.task.value);
+  w.varint(c.leaf_count);
+  w.bytes(c.root);
+}
+
+Commitment read_commitment(WireReader& r) {
+  Commitment c;
+  c.task = TaskId{r.u64()};
+  c.leaf_count = r.varint();
+  c.root = r.bytes();
+  return c;
+}
+
+void write_proof_response(WireWriter& w, const ProofResponse& response) {
+  w.u64(response.task.value);
+  w.varint(response.proofs.size());
+  for (const SampleProof& proof : response.proofs) {
+    w.varint(proof.index.value);
+    w.bytes(proof.result);
+    w.varint(proof.siblings.size());
+    for (const Bytes& sibling : proof.siblings) {
+      w.bytes(sibling);
+    }
+  }
+}
+
+ProofResponse read_proof_response(WireReader& r) {
+  ProofResponse response;
+  response.task = TaskId{r.u64()};
+  const std::uint64_t proof_count = r.varint();
+  for (std::uint64_t i = 0; i < proof_count; ++i) {
+    SampleProof proof;
+    proof.index = LeafIndex{r.varint()};
+    proof.result = r.bytes();
+    const std::uint64_t sibling_count = r.varint();
+    for (std::uint64_t s = 0; s < sibling_count; ++s) {
+      proof.siblings.push_back(r.bytes());
+    }
+    response.proofs.push_back(std::move(proof));
+  }
+  return response;
+}
+
+// --------------------------------------------------------- per-message
+
+void encode_payload(WireWriter& w, const TaskAssignment& m) {
+  w.u64(m.task.value);
+  w.u64(m.domain_begin);
+  w.u64(m.domain_end);
+  w.str(m.workload);
+  w.u64(m.workload_seed);
+  write_scheme_config(w, m.scheme);
+  w.varint(m.ringer_images.size());
+  for (const Bytes& image : m.ringer_images) {
+    w.bytes(image);
+  }
+}
+
+TaskAssignment decode_task_assignment(WireReader& r) {
+  TaskAssignment m;
+  m.task = TaskId{r.u64()};
+  m.domain_begin = r.u64();
+  m.domain_end = r.u64();
+  m.workload = r.str();
+  m.workload_seed = r.u64();
+  m.scheme = read_scheme_config(r);
+  const std::uint64_t image_count = r.varint();
+  for (std::uint64_t i = 0; i < image_count; ++i) {
+    m.ringer_images.push_back(r.bytes());
+  }
+  return m;
+}
+
+void encode_payload(WireWriter& w, const Commitment& m) {
+  write_commitment(w, m);
+}
+
+void encode_payload(WireWriter& w, const SampleChallenge& m) {
+  w.u64(m.task.value);
+  w.varint(m.samples.size());
+  for (const LeafIndex index : m.samples) {
+    w.varint(index.value);
+  }
+}
+
+SampleChallenge decode_sample_challenge(WireReader& r) {
+  SampleChallenge m;
+  m.task = TaskId{r.u64()};
+  const std::uint64_t count = r.varint();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    m.samples.push_back(LeafIndex{r.varint()});
+  }
+  return m;
+}
+
+void encode_payload(WireWriter& w, const ProofResponse& m) {
+  write_proof_response(w, m);
+}
+
+void encode_payload(WireWriter& w, const NiCbsProof& m) {
+  write_commitment(w, m.commitment);
+  write_proof_response(w, m.response);
+}
+
+NiCbsProof decode_nicbs_proof(WireReader& r) {
+  NiCbsProof m;
+  m.commitment = read_commitment(r);
+  m.response = read_proof_response(r);
+  return m;
+}
+
+void encode_payload(WireWriter& w, const ResultsUpload& m) {
+  w.u64(m.task.value);
+  w.varint(m.results.size());
+  for (const Bytes& result : m.results) {
+    w.bytes(result);
+  }
+}
+
+ResultsUpload decode_results_upload(WireReader& r) {
+  ResultsUpload m;
+  m.task = TaskId{r.u64()};
+  const std::uint64_t count = r.varint();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    m.results.push_back(r.bytes());
+  }
+  return m;
+}
+
+void encode_payload(WireWriter& w, const ScreenerReport& m) {
+  w.u64(m.task.value);
+  w.varint(m.hits.size());
+  for (const ScreenerHit& hit : m.hits) {
+    w.u64(hit.x);
+    w.str(hit.report);
+  }
+}
+
+ScreenerReport decode_screener_report(WireReader& r) {
+  ScreenerReport m;
+  m.task = TaskId{r.u64()};
+  const std::uint64_t count = r.varint();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ScreenerHit hit;
+    hit.x = r.u64();
+    hit.report = r.str();
+    m.hits.push_back(std::move(hit));
+  }
+  return m;
+}
+
+void encode_payload(WireWriter& w, const RingerReport& m) {
+  w.u64(m.task.value);
+  w.varint(m.found_inputs.size());
+  for (const std::uint64_t x : m.found_inputs) {
+    w.u64(x);
+  }
+}
+
+RingerReport decode_ringer_report(WireReader& r) {
+  RingerReport m;
+  m.task = TaskId{r.u64()};
+  const std::uint64_t count = r.varint();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    m.found_inputs.push_back(r.u64());
+  }
+  return m;
+}
+
+void encode_payload(WireWriter& w, const BatchProofResponse& m) {
+  w.u64(m.task.value);
+  w.varint(m.results.size());
+  for (const auto& [index, result] : m.results) {
+    w.varint(index.value);
+    w.bytes(result);
+  }
+  w.varint(m.siblings.size());
+  for (const Bytes& sibling : m.siblings) {
+    w.bytes(sibling);
+  }
+}
+
+BatchProofResponse decode_batch_proof_response(WireReader& r) {
+  BatchProofResponse m;
+  m.task = TaskId{r.u64()};
+  const std::uint64_t result_count = r.varint();
+  for (std::uint64_t i = 0; i < result_count; ++i) {
+    const LeafIndex index{r.varint()};
+    m.results.emplace_back(index, r.bytes());
+  }
+  const std::uint64_t sibling_count = r.varint();
+  for (std::uint64_t i = 0; i < sibling_count; ++i) {
+    m.siblings.push_back(r.bytes());
+  }
+  return m;
+}
+
+void encode_payload(WireWriter& w, const Verdict& m) {
+  w.u64(m.task.value);
+  w.u8(static_cast<std::uint8_t>(m.status));
+  w.u8(m.failed_sample.has_value() ? 1 : 0);
+  if (m.failed_sample.has_value()) {
+    w.varint(m.failed_sample->value);
+  }
+  w.str(m.detail);
+}
+
+Verdict decode_verdict(WireReader& r) {
+  Verdict m;
+  m.task = TaskId{r.u64()};
+  m.status = verdict_status_from(r.u8());
+  if (r.u8() != 0) {
+    m.failed_sample = LeafIndex{r.varint()};
+  }
+  m.detail = r.str();
+  return m;
+}
+
+}  // namespace
+
+const char* to_string(MessageType type) {
+  switch (type) {
+    case MessageType::kTaskAssignment:
+      return "task-assignment";
+    case MessageType::kCommitment:
+      return "commitment";
+    case MessageType::kSampleChallenge:
+      return "sample-challenge";
+    case MessageType::kProofResponse:
+      return "proof-response";
+    case MessageType::kNiCbsProof:
+      return "nicbs-proof";
+    case MessageType::kResultsUpload:
+      return "results-upload";
+    case MessageType::kScreenerReport:
+      return "screener-report";
+    case MessageType::kRingerReport:
+      return "ringer-report";
+    case MessageType::kVerdict:
+      return "verdict";
+    case MessageType::kBatchProofResponse:
+      return "batch-proof-response";
+  }
+  return "unknown";
+}
+
+MessageType message_type(const Message& message) {
+  struct Visitor {
+    MessageType operator()(const TaskAssignment&) {
+      return MessageType::kTaskAssignment;
+    }
+    MessageType operator()(const Commitment&) {
+      return MessageType::kCommitment;
+    }
+    MessageType operator()(const SampleChallenge&) {
+      return MessageType::kSampleChallenge;
+    }
+    MessageType operator()(const ProofResponse&) {
+      return MessageType::kProofResponse;
+    }
+    MessageType operator()(const NiCbsProof&) {
+      return MessageType::kNiCbsProof;
+    }
+    MessageType operator()(const ResultsUpload&) {
+      return MessageType::kResultsUpload;
+    }
+    MessageType operator()(const ScreenerReport&) {
+      return MessageType::kScreenerReport;
+    }
+    MessageType operator()(const RingerReport&) {
+      return MessageType::kRingerReport;
+    }
+    MessageType operator()(const Verdict&) { return MessageType::kVerdict; }
+    MessageType operator()(const BatchProofResponse&) {
+      return MessageType::kBatchProofResponse;
+    }
+  };
+  return std::visit(Visitor{}, message);
+}
+
+Bytes encode_message(const Message& message) {
+  WireWriter writer;
+  writer.u8(static_cast<std::uint8_t>(message_type(message)));
+  writer.u16(kWireVersion);
+  std::visit([&writer](const auto& m) { encode_payload(writer, m); }, message);
+  return writer.take();
+}
+
+Message decode_message(BytesView data) {
+  WireReader reader(data);
+  const std::uint8_t type = reader.u8();
+  const std::uint16_t version = reader.u16();
+  if (version != kWireVersion) {
+    throw WireError(concat("unsupported wire version ", version));
+  }
+
+  Message message = [&]() -> Message {
+    switch (static_cast<MessageType>(type)) {
+      case MessageType::kTaskAssignment:
+        return decode_task_assignment(reader);
+      case MessageType::kCommitment:
+        return read_commitment(reader);
+      case MessageType::kSampleChallenge:
+        return decode_sample_challenge(reader);
+      case MessageType::kProofResponse:
+        return read_proof_response(reader);
+      case MessageType::kNiCbsProof:
+        return decode_nicbs_proof(reader);
+      case MessageType::kResultsUpload:
+        return decode_results_upload(reader);
+      case MessageType::kScreenerReport:
+        return decode_screener_report(reader);
+      case MessageType::kRingerReport:
+        return decode_ringer_report(reader);
+      case MessageType::kVerdict:
+        return decode_verdict(reader);
+      case MessageType::kBatchProofResponse:
+        return decode_batch_proof_response(reader);
+    }
+    throw WireError(concat("unknown message type ", int{type}));
+  }();
+
+  reader.expect_done();
+  return message;
+}
+
+}  // namespace ugc

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/protocol.h"
+#include "core/ringer.h"
+#include "core/scheme_config.h"
+
+namespace ugc {
+
+// Wire message catalogue for the simulated grid. Every message the grid
+// exchanges is serialized through this module so that the network meter
+// counts real bytes, not struct sizes.
+enum class MessageType : std::uint8_t {
+  kTaskAssignment = 1,
+  kCommitment = 2,
+  kSampleChallenge = 3,
+  kProofResponse = 4,
+  kNiCbsProof = 5,
+  kResultsUpload = 6,
+  kScreenerReport = 7,
+  kRingerReport = 8,
+  kVerdict = 9,
+  kBatchProofResponse = 10,
+};
+
+const char* to_string(MessageType type);
+
+// Supervisor -> participant (possibly via broker): evaluate `workload` over
+// [domain_begin, domain_end) under the given verification scheme. The
+// participant resolves the workload name through the WorkloadRegistry, as a
+// real grid client would resolve a downloaded work unit.
+struct TaskAssignment {
+  TaskId task;
+  std::uint64_t domain_begin = 0;
+  std::uint64_t domain_end = 0;
+  std::string workload;
+  std::uint64_t workload_seed = 0;
+  SchemeConfig scheme;
+  // Planted images for the ringer scheme (empty otherwise).
+  std::vector<Bytes> ringer_images;
+
+  friend bool operator==(const TaskAssignment&, const TaskAssignment&) =
+      default;
+};
+
+// Participant -> supervisor: the full result vector, in domain order.
+// This is the O(n) upload that double-check and naive sampling require and
+// that CBS eliminates.
+struct ResultsUpload {
+  TaskId task;
+  std::vector<Bytes> results;
+
+  friend bool operator==(const ResultsUpload&, const ResultsUpload&) = default;
+};
+
+using Message =
+    std::variant<TaskAssignment, Commitment, SampleChallenge, ProofResponse,
+                 NiCbsProof, ResultsUpload, ScreenerReport, RingerReport,
+                 Verdict, BatchProofResponse>;
+
+MessageType message_type(const Message& message);
+
+// Serializes `message` with a [type u8 | version u16] envelope.
+Bytes encode_message(const Message& message);
+
+// Parses an envelope + payload. Throws WireError on any malformed input
+// (unknown type, bad version, truncation, trailing bytes, out-of-range
+// enums). Never crashes on hostile bytes.
+Message decode_message(BytesView data);
+
+}  // namespace ugc

@@ -1,0 +1,144 @@
+#include "workloads/factoring.h"
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ugc {
+
+namespace {
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+std::uint64_t powmod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  std::uint64_t result = 1;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) {
+      result = mulmod(result, base, m);
+    }
+    base = mulmod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+bool is_prime_u64(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  // Deterministic Miller–Rabin witness set for the full 64-bit range.
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    std::uint64_t x = powmod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool witness = true;
+    for (int i = 1; i < r; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n - 1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+FactoringFunction::FactoringFunction(Params params) : params_(params) {
+  check(params_.factor_bits >= 4 && params_.factor_bits <= 31,
+        "FactoringFunction: factor_bits must be in [4, 31]");
+}
+
+std::uint64_t FactoringFunction::draw_prime(std::uint64_t stream,
+                                            std::uint64_t x) const {
+  const std::uint64_t lo = std::uint64_t{1} << (params_.factor_bits - 1);
+  const std::uint64_t width = lo;  // [lo, 2·lo)
+  Rng rng(params_.seed ^ (stream * 0xd1342543de82ef95ULL) ^
+          (x * 0x9e3779b97f4a7c15ULL));
+  std::uint64_t candidate = lo + rng.uniform(width);
+  candidate |= 1;  // odd
+  while (!is_prime_u64(candidate)) {
+    candidate += 2;
+    if (candidate >= 2 * lo) {
+      candidate = lo | 1;
+    }
+  }
+  return candidate;
+}
+
+std::uint64_t FactoringFunction::modulus(std::uint64_t x) const {
+  return draw_prime(1, x) * draw_prime(2, x);
+}
+
+Bytes FactoringFunction::evaluate(std::uint64_t x) const {
+  const std::uint64_t n = modulus(x);
+  // Trial division — deliberately the expensive way (the point of this
+  // workload is the compute/verify asymmetry).
+  std::uint64_t p = 0;
+  if (n % 2 == 0) {
+    p = 2;
+  } else {
+    for (std::uint64_t d = 3; d * d <= n; d += 2) {
+      if (n % d == 0) {
+        p = d;
+        break;
+      }
+    }
+  }
+  check(p != 0, "FactoringFunction: modulus was prime — generator bug");
+  const std::uint64_t q = n / p;
+
+  Bytes out(kResultSize);
+  put_u64_be(std::min(p, q), out.data());
+  put_u64_be(std::max(p, q), out.data() + 8);
+  return out;
+}
+
+std::string FactoringFunction::name() const {
+  return concat("factoring(bits=", params_.factor_bits, ")");
+}
+
+std::pair<std::uint64_t, std::uint64_t> FactoringFunction::factors_of(
+    BytesView result) {
+  check(result.size() >= 16, "factors_of: short result");
+  return {read_u64_be(result.data()), read_u64_be(result.data() + 8)};
+}
+
+FactoringVerifier::FactoringVerifier(
+    std::shared_ptr<const FactoringFunction> f)
+    : f_(std::move(f)) {
+  check(f_ != nullptr, "FactoringVerifier: function required");
+}
+
+bool FactoringVerifier::verify(std::uint64_t x, BytesView claimed_fx) const {
+  if (claimed_fx.size() != FactoringFunction::kResultSize) {
+    return false;
+  }
+  const auto [p, q] = FactoringFunction::factors_of(claimed_fx);
+  if (p <= 1 || q < p) {
+    return false;
+  }
+  // Overflow-safe product check.
+  const unsigned __int128 product =
+      static_cast<unsigned __int128>(p) * q;
+  if (product != f_->modulus(x)) {
+    return false;
+  }
+  return is_prime_u64(p) && is_prime_u64(q);
+}
+
+}  // namespace ugc

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/task.h"
+
+namespace ugc {
+
+// Integer factoring — the paper's example of a computation whose
+// *verification* is much cheaper than the computation itself (§3.1, Step 4
+// discussion). Each input x deterministically yields a semiprime
+// N(x) = p·q; f factors it by trial division and returns (p, q). The
+// FactoringVerifier checks a claimed factorization with two Miller–Rabin
+// tests and one multiplication instead of re-factoring.
+class FactoringFunction final : public ComputeFunction {
+ public:
+  static constexpr std::size_t kResultSize = 16;  // p u64 | q u64
+
+  struct Params {
+    // Prime factors are drawn from [2^(bits-1), 2^bits).
+    std::uint32_t factor_bits = 20;
+    std::uint64_t seed = 0;
+  };
+
+  explicit FactoringFunction(Params params);
+
+  Bytes evaluate(std::uint64_t x) const override;
+  std::size_t result_size() const override { return kResultSize; }
+  std::string name() const override;
+
+  // The semiprime assigned to input x.
+  std::uint64_t modulus(std::uint64_t x) const;
+
+  static std::pair<std::uint64_t, std::uint64_t> factors_of(BytesView result);
+
+  const Params& params() const { return params_; }
+
+ private:
+  std::uint64_t draw_prime(std::uint64_t stream, std::uint64_t x) const;
+
+  Params params_;
+};
+
+// Cheap verifier: claimed (p, q) is accepted iff p·q = N(x), 1 < p <= q, and
+// both pass Miller–Rabin.
+class FactoringVerifier final : public ResultVerifier {
+ public:
+  explicit FactoringVerifier(std::shared_ptr<const FactoringFunction> f);
+
+  bool verify(std::uint64_t x, BytesView claimed_fx) const override;
+  std::string name() const override { return "factoring-verifier"; }
+
+ private:
+  std::shared_ptr<const FactoringFunction> f_;
+};
+
+// Deterministic Miller–Rabin, exact for all 64-bit inputs.
+bool is_prime_u64(std::uint64_t n);
+
+}  // namespace ugc

@@ -1,0 +1,63 @@
+#include "workloads/keysearch.h"
+
+#include "common/error.h"
+#include "common/hex.h"
+#include "common/rng.h"
+#include "crypto/sha256.h"
+
+namespace ugc {
+
+KeySearchFunction::KeySearchFunction(std::uint32_t work_factor,
+                                     std::uint64_t salt)
+    : work_factor_(work_factor), salt_(salt) {
+  check(work_factor_ >= 1, "KeySearchFunction: work factor must be >= 1");
+}
+
+Bytes KeySearchFunction::evaluate(std::uint64_t x) const {
+  Bytes block(16);
+  for (int i = 0; i < 8; ++i) {
+    block[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x >> (8 * i));
+    block[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(salt_ >> (8 * i));
+  }
+  Digest32 digest = Sha256::hash(block);
+  for (std::uint32_t round = 1; round < work_factor_; ++round) {
+    digest = Sha256::hash(digest.view());
+  }
+  const Bytes full = digest.to_bytes();
+  return Bytes(full.begin(), full.begin() + kResultSize);
+}
+
+std::string KeySearchFunction::name() const {
+  return concat("keysearch(w=", work_factor_, ")");
+}
+
+KeySearchScreener::KeySearchScreener(Bytes target_image)
+    : target_image_(std::move(target_image)) {
+  check(!target_image_.empty(), "KeySearchScreener: target image required");
+}
+
+std::optional<std::string> KeySearchScreener::screen(std::uint64_t x,
+                                                     BytesView fx) const {
+  if (equal_bytes(fx, target_image_)) {
+    return concat("key-found:", x);
+  }
+  return std::nullopt;
+}
+
+KeySearchScenario make_keysearch_scenario(std::uint64_t begin,
+                                          std::uint64_t end,
+                                          std::uint64_t seed,
+                                          std::uint32_t work_factor) {
+  check(begin < end, "make_keysearch_scenario: empty key range");
+  Rng rng(seed);
+  KeySearchScenario scenario;
+  scenario.secret_key = begin + rng.uniform(end - begin);
+  auto f = std::make_shared<KeySearchFunction>(work_factor, seed);
+  scenario.screener =
+      std::make_shared<KeySearchScreener>(f->evaluate(scenario.secret_key));
+  scenario.f = std::move(f);
+  return scenario;
+}
+
+}  // namespace ugc

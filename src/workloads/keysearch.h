@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/task.h"
+
+namespace ugc {
+
+// Brute-force key search — the paper's running example ("break a 64-bit
+// password"). f maps a candidate key x to a key-derivation image; the
+// screener reports any candidate whose image equals the target. f is
+// one-way, so this workload also suits the ringer baseline.
+class KeySearchFunction final : public ComputeFunction {
+ public:
+  static constexpr std::size_t kResultSize = 16;
+
+  // `work_factor` extra hash rounds emulate an expensive KDF, making the
+  // cost of f tunable for the Eq. 5 experiments.
+  explicit KeySearchFunction(std::uint32_t work_factor = 8,
+                             std::uint64_t salt = 0);
+
+  Bytes evaluate(std::uint64_t x) const override;
+  std::size_t result_size() const override { return kResultSize; }
+  std::string name() const override;
+
+ private:
+  std::uint32_t work_factor_;
+  std::uint64_t salt_;
+};
+
+// Reports x when f(x) equals the target image (the cracked password).
+class KeySearchScreener final : public Screener {
+ public:
+  explicit KeySearchScreener(Bytes target_image);
+
+  std::optional<std::string> screen(std::uint64_t x,
+                                    BytesView fx) const override;
+  std::string name() const override { return "keysearch"; }
+
+ private:
+  Bytes target_image_;
+};
+
+// Builds a key-search scenario over [begin, end) with the secret key planted
+// at a seed-determined position: returns {f, screener, secret_key}.
+struct KeySearchScenario {
+  std::shared_ptr<const ComputeFunction> f;
+  std::shared_ptr<const Screener> screener;
+  std::uint64_t secret_key = 0;
+};
+
+KeySearchScenario make_keysearch_scenario(std::uint64_t begin,
+                                          std::uint64_t end,
+                                          std::uint64_t seed,
+                                          std::uint32_t work_factor = 8);
+
+}  // namespace ugc

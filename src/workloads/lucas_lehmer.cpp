@@ -1,0 +1,50 @@
+#include "workloads/lucas_lehmer.h"
+
+namespace ugc {
+
+namespace {
+
+bool is_small_prime(std::uint64_t p) {
+  if (p < 2) return false;
+  for (std::uint64_t d = 2; d * d <= p; ++d) {
+    if (p % d == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool LucasLehmerFunction::mersenne_is_prime(std::uint64_t p) {
+  // The Lucas–Lehmer test applies to odd prime exponents; p = 2 (M = 3) is
+  // the classical special case. Exponents above 63 overflow M_p in 64 bits
+  // and composite exponents always yield composite M_p.
+  if (p == 2) return true;
+  if (p > 63 || !is_small_prime(p)) return false;
+
+  const std::uint64_t m = (std::uint64_t{1} << p) - 1;
+  unsigned __int128 s = 4 % m;
+  for (std::uint64_t i = 0; i + 2 < p; ++i) {
+    s = s * s;
+    // Reduce mod 2^p − 1 by folding the high bits down until they vanish.
+    while ((s >> p) != 0) {
+      s = (s & m) + (s >> p);
+    }
+    if (s >= m) s -= m;
+    s = s >= 2 ? s - 2 : s + m - 2;
+  }
+  return s == 0;
+}
+
+Bytes LucasLehmerFunction::evaluate(std::uint64_t x) const {
+  return Bytes{static_cast<std::uint8_t>(mersenne_is_prime(x) ? 1 : 0)};
+}
+
+std::optional<std::string> MersenneScreener::screen(std::uint64_t x,
+                                                    BytesView fx) const {
+  if (!fx.empty() && fx[0] == 1) {
+    return concat("mersenne-prime:p=", x);
+  }
+  return std::nullopt;
+}
+
+}  // namespace ugc

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/task.h"
+
+namespace ugc {
+
+// GIMPS-style Mersenne-prime hunting. Input x is a candidate exponent p;
+// f runs the Lucas–Lehmer test on M_p = 2^p − 1 (valid for p up to 63 via
+// 128-bit arithmetic) and returns a single byte: 1 when M_p is prime.
+//
+// This workload deliberately has a tiny, highly guessable result space —
+// almost every answer is 0 — making it the library's worked example of a
+// *high q* computation (Theorem 3's guess accuracy), where sampling alone
+// needs many more samples.
+class LucasLehmerFunction final : public ComputeFunction {
+ public:
+  static constexpr std::size_t kResultSize = 1;
+
+  Bytes evaluate(std::uint64_t x) const override;
+  std::size_t result_size() const override { return kResultSize; }
+  std::string name() const override { return "lucas-lehmer"; }
+
+  // Direct boolean form (used by tests and the screener).
+  static bool mersenne_is_prime(std::uint64_t p);
+};
+
+// Reports exponents whose Mersenne number is prime.
+class MersenneScreener final : public Screener {
+ public:
+  std::optional<std::string> screen(std::uint64_t x,
+                                    BytesView fx) const override;
+  std::string name() const override { return "mersenne-screener"; }
+};
+
+}  // namespace ugc

@@ -1,0 +1,82 @@
+#include "workloads/molecule_screen.h"
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ugc {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return z ^ (z >> 27);
+}
+
+}  // namespace
+
+MoleculeScreenFunction::MoleculeScreenFunction(Params params)
+    : params_(params) {
+  check(params_.features >= 4, "MoleculeScreenFunction: need >= 4 features");
+  check(params_.poses >= 1, "MoleculeScreenFunction: need >= 1 pose");
+  Rng rng(params_.receptor_seed);
+  receptor_.reserve(params_.features);
+  for (std::uint32_t i = 0; i < params_.features; ++i) {
+    receptor_.push_back(rng.next());
+  }
+}
+
+Bytes MoleculeScreenFunction::evaluate(std::uint64_t x) const {
+  // Expand the molecule id into a descriptor.
+  Rng molecule_rng(x ^ 0x4d4f4c4543554c45ULL);
+  std::vector<std::uint64_t> descriptor(params_.features);
+  for (auto& feature : descriptor) {
+    feature = molecule_rng.next();
+  }
+
+  // Try every pose: a pose rotates the descriptor and scores feature-by-
+  // feature complementarity against the receptor (popcount of agreeing
+  // bits, the usual bit-fingerprint Tanimoto-style surrogate).
+  std::uint64_t best_score = 0;
+  std::uint64_t best_pose = 0;
+  for (std::uint32_t pose = 0; pose < params_.poses; ++pose) {
+    std::uint64_t score = 0;
+    for (std::uint32_t i = 0; i < params_.features; ++i) {
+      const std::uint64_t rotated =
+          descriptor[(i + pose) % params_.features];
+      const std::uint64_t interaction = mix(rotated, receptor_[i]);
+      // Count complementary bits, weighting rare high agreement strongly.
+      const int agreement = __builtin_popcountll(~(interaction ^ receptor_[i]));
+      score += static_cast<std::uint64_t>(agreement * agreement);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_pose = pose;
+    }
+  }
+
+  Bytes out(kResultSize);
+  put_u64_be(best_score, out.data());
+  put_u64_be(best_pose, out.data() + 8);
+  return out;
+}
+
+std::uint64_t MoleculeScreenFunction::score_of(BytesView result) {
+  check(result.size() >= 8, "MoleculeScreenFunction::score_of: short result");
+  return read_u64_be(result.data());
+}
+
+std::optional<std::string> BindingScreener::screen(std::uint64_t x,
+                                                   BytesView fx) const {
+  if (fx.size() < 8) {
+    return std::nullopt;
+  }
+  const std::uint64_t score = read_u64_be(fx.data());
+  if (score >= threshold_) {
+    return concat("binder:molecule=", x, ",score=", score);
+  }
+  return std::nullopt;
+}
+
+}  // namespace ugc

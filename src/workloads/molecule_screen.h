@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/task.h"
+
+namespace ugc {
+
+// Drug-candidate screening in the style of IBM's smallpox grid: each input x
+// is a synthetic molecule id expanded into a feature descriptor, and f
+// computes a docking-style binding score against a fixed receptor through
+// several rounds of integer mixing (deterministic, moderately expensive,
+// hard to guess). The screener reports strong binders.
+class MoleculeScreenFunction final : public ComputeFunction {
+ public:
+  static constexpr std::size_t kResultSize = 16;  // score u64 | pose u64
+
+  struct Params {
+    std::uint32_t features = 32;     // descriptor length
+    std::uint32_t poses = 16;        // docking poses tried per molecule
+    std::uint64_t receptor_seed = 7; // defines the fixed receptor
+  };
+
+  explicit MoleculeScreenFunction(Params params);
+
+  Bytes evaluate(std::uint64_t x) const override;
+  std::size_t result_size() const override { return kResultSize; }
+  std::string name() const override { return "molecule-screen"; }
+
+  static std::uint64_t score_of(BytesView result);
+
+ private:
+  Params params_;
+  std::vector<std::uint64_t> receptor_;
+};
+
+// Reports molecules whose binding score is at least `threshold`.
+class BindingScreener final : public Screener {
+ public:
+  explicit BindingScreener(std::uint64_t threshold) : threshold_(threshold) {}
+
+  std::optional<std::string> screen(std::uint64_t x,
+                                    BytesView fx) const override;
+  std::string name() const override { return "binding-screener"; }
+
+ private:
+  std::uint64_t threshold_;
+};
+
+}  // namespace ugc

@@ -1,0 +1,155 @@
+#include "workloads/registry.h"
+
+#include "common/error.h"
+#include "crypto/sha256.h"
+#include "workloads/factoring.h"
+#include "workloads/keysearch.h"
+#include "workloads/lucas_lehmer.h"
+#include "workloads/molecule_screen.h"
+#include "workloads/signal_scan.h"
+
+namespace ugc {
+
+namespace {
+
+// Minimal cheap workload for protocol-focused experiments: f(x) = 16 bytes
+// of SHA256(x || seed), no screener hits.
+class CheapFunction final : public ComputeFunction {
+ public:
+  explicit CheapFunction(std::uint64_t seed) : seed_(seed) {}
+
+  Bytes evaluate(std::uint64_t x) const override {
+    Bytes block(16);
+    for (int i = 0; i < 8; ++i) {
+      block[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(x >> (8 * i));
+      block[static_cast<std::size_t>(8 + i)] =
+          static_cast<std::uint8_t>(seed_ >> (8 * i));
+    }
+    const Bytes digest = Sha256::hash(block).to_bytes();
+    return Bytes(digest.begin(), digest.begin() + 16);
+  }
+  std::size_t result_size() const override { return 16; }
+  std::string name() const override { return "test"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+WorkloadBundle make_test_workload(std::uint64_t seed) {
+  WorkloadBundle bundle;
+  bundle.f = std::make_shared<CheapFunction>(seed);
+  bundle.screener = std::make_shared<NullScreener>();
+  return bundle;
+}
+
+WorkloadBundle make_keysearch_workload(std::uint64_t seed) {
+  // The secret key is planted within the first 256 candidates so that any
+  // grid domain covering [0, 256) contains it; scenarios needing full
+  // control call make_keysearch_scenario directly.
+  const KeySearchScenario scenario =
+      make_keysearch_scenario(0, 256, seed, /*work_factor=*/8);
+  WorkloadBundle bundle;
+  bundle.f = scenario.f;
+  bundle.screener = scenario.screener;
+  return bundle;
+}
+
+WorkloadBundle make_signal_workload(std::uint64_t seed) {
+  SignalScanFunction::Params params;
+  params.noise_seed = seed;
+  WorkloadBundle bundle;
+  bundle.f = std::make_shared<SignalScanFunction>(params);
+  // Threshold at 1.5 (fixed point): noise peaks sit well below, injected
+  // chirps well above (see workloads_test for the calibration check).
+  bundle.screener = std::make_shared<SignalScreener>(98304);
+  return bundle;
+}
+
+WorkloadBundle make_molecule_workload(std::uint64_t seed) {
+  MoleculeScreenFunction::Params params;
+  params.receptor_seed = seed;
+  WorkloadBundle bundle;
+  bundle.f = std::make_shared<MoleculeScreenFunction>(params);
+  // Score distribution tops out rarely; threshold picks the upper tail.
+  bundle.screener = std::make_shared<BindingScreener>(36000);
+  return bundle;
+}
+
+WorkloadBundle make_lucas_workload(std::uint64_t) {
+  WorkloadBundle bundle;
+  bundle.f = std::make_shared<LucasLehmerFunction>();
+  bundle.screener = std::make_shared<MersenneScreener>();
+  return bundle;
+}
+
+WorkloadBundle make_factoring_workload(std::uint64_t seed) {
+  FactoringFunction::Params params;
+  params.seed = seed;
+  auto f = std::make_shared<FactoringFunction>(params);
+  WorkloadBundle bundle;
+  bundle.f = f;
+  bundle.screener = std::make_shared<NullScreener>();
+  bundle.verifier = std::make_shared<FactoringVerifier>(f);
+  return bundle;
+}
+
+}  // namespace
+
+std::shared_ptr<const ResultVerifier> WorkloadBundle::make_verifier() const {
+  if (verifier != nullptr) {
+    return verifier;
+  }
+  check(f != nullptr, "WorkloadBundle::make_verifier: no compute function");
+  return std::make_shared<RecomputeVerifier>(f);
+}
+
+WorkloadRegistry& WorkloadRegistry::global() {
+  static WorkloadRegistry registry = [] {
+    WorkloadRegistry r;
+    r.register_workload("test", make_test_workload);
+    r.register_workload("keysearch", make_keysearch_workload);
+    r.register_workload("signal-scan", make_signal_workload);
+    r.register_workload("molecule-screen", make_molecule_workload);
+    r.register_workload("lucas-lehmer", make_lucas_workload);
+    r.register_workload("factoring", make_factoring_workload);
+    return r;
+  }();
+  return registry;
+}
+
+void WorkloadRegistry::register_workload(std::string name,
+                                         WorkloadFactory factory) {
+  check(!name.empty(), "WorkloadRegistry: empty name");
+  check(factory != nullptr, "WorkloadRegistry: factory required");
+  factories_[std::move(name)] = std::move(factory);
+}
+
+bool WorkloadRegistry::contains(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+WorkloadBundle WorkloadRegistry::make(const std::string& name,
+                                      std::uint64_t seed) const {
+  const auto it = factories_.find(name);
+  check(it != factories_.end(), "WorkloadRegistry: unknown workload '", name,
+        "'");
+  WorkloadBundle bundle = it->second(seed);
+  check(bundle.f != nullptr, "WorkloadRegistry: workload '", name,
+        "' produced no compute function");
+  if (bundle.screener == nullptr) {
+    bundle.screener = std::make_shared<NullScreener>();
+  }
+  return bundle;
+}
+
+std::vector<std::string> WorkloadRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace ugc

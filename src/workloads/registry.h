@@ -1,0 +1,51 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/task.h"
+
+namespace ugc {
+
+// Everything a grid node needs to run (or verify) one workload.
+struct WorkloadBundle {
+  std::shared_ptr<const ComputeFunction> f;
+  std::shared_ptr<const Screener> screener;
+  // Optional cheap verifier; when null, callers fall back to recomputation
+  // (make_verifier() does this wrapping).
+  std::shared_ptr<const ResultVerifier> verifier;
+
+  // The verifier to use: `verifier` when present, else RecomputeVerifier(f).
+  std::shared_ptr<const ResultVerifier> make_verifier() const;
+};
+
+using WorkloadFactory = std::function<WorkloadBundle(std::uint64_t seed)>;
+
+// Name -> workload factory. Participants resolve TaskAssignment.workload
+// here, the way a real grid client resolves a downloaded work-unit type.
+// The built-in workloads ("test", "keysearch", "signal-scan",
+// "molecule-screen", "lucas-lehmer", "factoring") are pre-registered on
+// the global() instance.
+class WorkloadRegistry {
+ public:
+  // Shared process-wide registry with the built-ins installed.
+  static WorkloadRegistry& global();
+
+  // Registers (or replaces) a factory under `name`.
+  void register_workload(std::string name, WorkloadFactory factory);
+
+  bool contains(const std::string& name) const;
+
+  // Instantiates the named workload. Throws ugc::Error for unknown names.
+  WorkloadBundle make(const std::string& name, std::uint64_t seed) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, WorkloadFactory> factories_;
+};
+
+}  // namespace ugc

@@ -1,0 +1,106 @@
+#include "workloads/signal_scan.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ugc {
+
+namespace {
+
+// Fixed-point scale for scores: 1.0 of correlation = 2^16.
+constexpr double kScoreScale = 65536.0;
+
+}  // namespace
+
+SignalScanFunction::SignalScanFunction(Params params) : params_(params) {
+  check(params_.block_samples >= 8,
+        "SignalScanFunction: need at least 8 samples per block");
+  check(params_.templates >= 1, "SignalScanFunction: need >= 1 template");
+  check(params_.signal_period >= 1,
+        "SignalScanFunction: signal_period must be >= 1");
+}
+
+bool SignalScanFunction::has_signal(std::uint64_t x) const {
+  Rng rng(x ^ (params_.noise_seed * 0x9e3779b97f4a7c15ULL) ^
+          0x5157414c49545955ULL);
+  return rng.uniform(params_.signal_period) == 0;
+}
+
+Bytes SignalScanFunction::evaluate(std::uint64_t x) const {
+  const std::uint32_t n = params_.block_samples;
+
+  // Deterministic noise for this block (sum of 4 uniforms ~ bell-shaped,
+  // zero-mean, deviation ~1).
+  Rng noise_rng(x ^ params_.noise_seed ^ 0x424c4f434bULL);
+  std::vector<double> samples(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (int k = 0; k < 4; ++k) {
+      s += noise_rng.unit_real() - 0.5;
+    }
+    samples[i] = s * 1.732;  // variance-normalize the Irwin–Hall sum
+  }
+
+  // Possibly inject a chirp whose template index is block-determined.
+  Rng signal_rng(x ^ (params_.noise_seed * 0x9e3779b97f4a7c15ULL) ^
+                 0x5157414c49545955ULL);
+  const bool injected = signal_rng.uniform(params_.signal_period) == 0;
+  const std::uint32_t injected_template =
+      static_cast<std::uint32_t>(signal_rng.uniform(params_.templates));
+  if (injected) {
+    const double amplitude = params_.amplitude_centi / 100.0;
+    const double base_freq = 2.0 * (injected_template + 1);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i) / n;
+      samples[i] += amplitude * std::sin(2.0 * M_PI * base_freq * t * (1.0 + t));
+    }
+  }
+
+  // Matched filter against every template; keep the best normalized score.
+  double best_score = 0.0;
+  std::uint64_t best_template = 0;
+  for (std::uint32_t tmpl = 0; tmpl < params_.templates; ++tmpl) {
+    const double base_freq = 2.0 * (tmpl + 1);
+    double dot = 0.0;
+    double norm = 0.0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i) / n;
+      const double w = std::sin(2.0 * M_PI * base_freq * t * (1.0 + t));
+      dot += samples[i] * w;
+      norm += w * w;
+    }
+    const double score = std::fabs(dot) / std::sqrt(norm * n);
+    if (score > best_score) {
+      best_score = score;
+      best_template = tmpl;
+    }
+  }
+
+  Bytes out(kResultSize);
+  put_u64_be(static_cast<std::uint64_t>(best_score * kScoreScale), out.data());
+  put_u64_be(best_template, out.data() + 8);
+  return out;
+}
+
+std::uint64_t SignalScanFunction::score_of(BytesView result) {
+  check(result.size() >= 8, "SignalScanFunction::score_of: short result");
+  return read_u64_be(result.data());
+}
+
+std::optional<std::string> SignalScreener::screen(std::uint64_t x,
+                                                  BytesView fx) const {
+  if (fx.size() < 8) {
+    return std::nullopt;
+  }
+  const std::uint64_t score = read_u64_be(fx.data());
+  if (score >= threshold_) {
+    return concat("signal:block=", x, ",score=", score);
+  }
+  return std::nullopt;
+}
+
+}  // namespace ugc

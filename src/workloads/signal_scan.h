@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/task.h"
+
+namespace ugc {
+
+// SETI@home-style signal search over synthetic sky data.
+//
+// Each input x identifies a "sky block": a deterministic PRNG expands
+// (x, noise_seed) into `block_samples` noise samples; roughly one block in
+// `signal_period` carries an embedded chirp. f computes the best matched-
+// filter correlation against a small template bank and returns the score
+// (fixed-point) plus the best template id. The screener reports blocks whose
+// score crosses the detection threshold.
+//
+// This preserves what matters for the paper's experiments: f is moderately
+// expensive (O(block_samples × templates) arithmetic per input), outputs are
+// hard to guess, and "interesting" results are rare.
+class SignalScanFunction final : public ComputeFunction {
+ public:
+  static constexpr std::size_t kResultSize = 16;  // score u64 | template u64
+
+  struct Params {
+    std::uint32_t block_samples = 512;
+    std::uint32_t templates = 4;
+    std::uint64_t noise_seed = 0;
+    // One block in `signal_period` gets an injected chirp.
+    std::uint64_t signal_period = 64;
+    // Injected signal amplitude, in 1/100ths of the noise deviation.
+    std::uint32_t amplitude_centi = 300;
+  };
+
+  explicit SignalScanFunction(Params params);
+
+  Bytes evaluate(std::uint64_t x) const override;
+  std::size_t result_size() const override { return kResultSize; }
+  std::string name() const override { return "signal-scan"; }
+
+  // True when block x carries an injected signal (ground truth for tests).
+  bool has_signal(std::uint64_t x) const;
+
+  // Decodes the fixed-point score from a result.
+  static std::uint64_t score_of(BytesView result);
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+// Reports blocks whose score is at least `threshold`.
+class SignalScreener final : public Screener {
+ public:
+  explicit SignalScreener(std::uint64_t threshold) : threshold_(threshold) {}
+
+  std::optional<std::string> screen(std::uint64_t x,
+                                    BytesView fx) const override;
+  std::string name() const override { return "signal-screener"; }
+
+ private:
+  std::uint64_t threshold_;
+};
+
+}  // namespace ugc

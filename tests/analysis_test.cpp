@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.h"
+#include "common/error.h"
+
+namespace ugc {
+namespace {
+
+// ----------------------------------------------------- Theorem 3 / Eq. 2
+
+TEST(CheatProbability, FullyHonestAlwaysPasses) {
+  EXPECT_DOUBLE_EQ(cheat_success_probability(1.0, 0.0, 50), 1.0);
+}
+
+TEST(CheatProbability, ZeroWorkZeroGuessNeverPasses) {
+  EXPECT_DOUBLE_EQ(cheat_success_probability(0.0, 0.0, 1), 0.0);
+}
+
+TEST(CheatProbability, MatchesClosedForm) {
+  // (0.5 + 0.5·0.5)^m = 0.75^m
+  EXPECT_NEAR(cheat_success_probability(0.5, 0.5, 1), 0.75, 1e-12);
+  EXPECT_NEAR(cheat_success_probability(0.5, 0.5, 10), std::pow(0.75, 10),
+              1e-12);
+  // q = 0: r^m
+  EXPECT_NEAR(cheat_success_probability(0.5, 0.0, 10), std::pow(0.5, 10),
+              1e-12);
+}
+
+TEST(CheatProbability, MonotoneInHonesty) {
+  EXPECT_LT(cheat_success_probability(0.3, 0.0, 20),
+            cheat_success_probability(0.6, 0.0, 20));
+}
+
+TEST(CheatProbability, MonotoneDecreasingInSamples) {
+  EXPECT_GT(cheat_success_probability(0.5, 0.0, 10),
+            cheat_success_probability(0.5, 0.0, 20));
+}
+
+TEST(CheatProbability, PerfectGuessingDefeatsSampling) {
+  EXPECT_DOUBLE_EQ(cheat_success_probability(0.0, 1.0, 100), 1.0);
+}
+
+TEST(CheatProbability, RejectsOutOfRangeInputs) {
+  EXPECT_THROW(cheat_success_probability(-0.1, 0.0, 1), Error);
+  EXPECT_THROW(cheat_success_probability(1.1, 0.0, 1), Error);
+  EXPECT_THROW(cheat_success_probability(0.5, -0.1, 1), Error);
+  EXPECT_THROW(cheat_success_probability(0.5, 1.1, 1), Error);
+}
+
+// ------------------------------------------------------------- Eq. 3
+
+TEST(RequiredSampleSize, PaperAnchorsAtHalfHonesty) {
+  // §3.2: ε = 1e-4, r = 0.5: m = 33 for q = 0.5, m = 14 for q ≈ 0.
+  EXPECT_EQ(required_sample_size(1e-4, 0.5, 0.5), 33u);
+  EXPECT_EQ(required_sample_size(1e-4, 0.5, 0.0), 14u);
+}
+
+TEST(RequiredSampleSize, ResultActuallySuffices) {
+  for (double r : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    for (double q : {0.0, 0.5}) {
+      const auto m = required_sample_size(1e-4, r, q);
+      ASSERT_TRUE(m.has_value());
+      // 1-ulp slack: r = 0.1 gives 0.1^4 == 1e-4 up to rounding.
+      EXPECT_LE(cheat_success_probability(r, q, *m), 1e-4 * (1.0 + 1e-12));
+      if (*m > 1) {
+        EXPECT_GT(cheat_success_probability(r, q, *m - 1), 1e-4);
+      }
+    }
+  }
+}
+
+TEST(RequiredSampleSize, UndetectableCheatingReturnsNullopt) {
+  EXPECT_EQ(required_sample_size(1e-4, 1.0, 0.0), std::nullopt);
+  EXPECT_EQ(required_sample_size(1e-4, 0.5, 1.0), std::nullopt);
+}
+
+TEST(RequiredSampleSize, ZeroBaseNeedsOneSample) {
+  EXPECT_EQ(required_sample_size(1e-4, 0.0, 0.0), 1u);
+}
+
+TEST(RequiredSampleSize, GrowsWithHonestyRatio) {
+  const auto low = required_sample_size(1e-4, 0.5, 0.0);
+  const auto high = required_sample_size(1e-4, 0.9, 0.0);
+  ASSERT_TRUE(low && high);
+  EXPECT_LT(*low, *high);
+}
+
+TEST(RequiredSampleSize, RejectsBadEpsilon) {
+  EXPECT_THROW(required_sample_size(0.0, 0.5, 0.0), Error);
+  EXPECT_THROW(required_sample_size(1.0, 0.5, 0.0), Error);
+  EXPECT_THROW(required_sample_size(-1.0, 0.5, 0.0), Error);
+}
+
+TEST(NaiveSamplingEscape, PaperHalfExample) {
+  // §1: cheating on half the inputs survives m samples with prob 2^-m.
+  EXPECT_NEAR(naive_sampling_escape_probability(0.5, 1), 0.5, 1e-12);
+  EXPECT_NEAR(naive_sampling_escape_probability(0.5, 50), std::pow(0.5, 50),
+              1e-20);
+}
+
+// ------------------------------------------------------------- §3.3 rco
+
+TEST(Rco, PaperExampleM64With4GStorage) {
+  // m = 64, S = 2^32 stored nodes ⇒ rco = 2·64/2^32 = 2^-25.
+  EXPECT_NEAR(rco_from_storage(64, std::pow(2.0, 32)), std::pow(2.0, -25),
+              1e-18);
+}
+
+TEST(Rco, LevelsFormulaMatchesStorageFormula) {
+  // S = 2^(H-ℓ+1) ⇒ both formulas agree.
+  const std::size_t m = 64;
+  for (unsigned height = 10; height <= 30; height += 5) {
+    for (unsigned ell = 0; ell <= height; ell += 3) {
+      const double by_levels = rco_from_levels(m, height, ell);
+      const double stored = std::pow(2.0, height - ell + 1);
+      EXPECT_NEAR(by_levels, rco_from_storage(m, stored), 1e-12)
+          << "H=" << height << " ell=" << ell;
+    }
+  }
+}
+
+TEST(Rco, IndependentOfDomainSizeGivenStorage) {
+  // The paper's point: rco depends only on m and S.
+  EXPECT_DOUBLE_EQ(rco_from_storage(64, 1024.0), rco_from_storage(64, 1024.0));
+  EXPECT_NEAR(rco_from_levels(64, 20, 10), rco_from_levels(64, 30, 20), 1e-15);
+}
+
+TEST(Rco, FullTreeMeansNoOverheadGrowth) {
+  EXPECT_NEAR(rco_from_levels(10, 20, 0), 10.0 / std::pow(2.0, 20), 1e-15);
+}
+
+TEST(Rco, RejectsEllAboveHeight) {
+  EXPECT_THROW(rco_from_levels(10, 5, 6), Error);
+}
+
+// ------------------------------------------------------------- §4.2
+
+TEST(RetryAttempts, ClosedForm) {
+  EXPECT_NEAR(expected_retry_attempts(0.5, 10), 1024.0, 1e-9);
+  EXPECT_NEAR(expected_retry_attempts(0.5, 1), 2.0, 1e-12);
+  EXPECT_NEAR(expected_retry_attempts(1.0, 100), 1.0, 1e-12);
+}
+
+TEST(RetryAttempts, RejectsZeroHonesty) {
+  EXPECT_THROW(expected_retry_attempts(0.0, 5), Error);
+}
+
+TEST(Eq5Defense, MinCostSatisfiesInequalityWithEquality) {
+  const double r = 0.5;
+  const std::size_t m = 10;
+  const std::uint64_t n = 1 << 20;
+  const double cost_f = 3.0;
+  const double cg = min_sample_gen_cost(r, m, n, cost_f);
+  // (1/r^m) · m · Cg == n · Cf at the minimum.
+  const double lhs = expected_retry_attempts(r, m) *
+                     static_cast<double>(m) * cg;
+  EXPECT_NEAR(lhs, static_cast<double>(n) * cost_f, 1e-6);
+}
+
+TEST(Eq5Defense, IterationsAtLeastOne) {
+  // A tiny task needs no slowdown: k must clamp at 1.
+  EXPECT_EQ(iterations_for_defense(0.5, 64, 16, 1.0, 1e9), 1u);
+}
+
+TEST(Eq5Defense, IterationsCoverRequiredCost) {
+  const double r = 0.5;
+  const std::size_t m = 10;
+  const std::uint64_t n = 1 << 20;
+  const double cost_f = 5.0, cost_hash = 0.01;
+  const std::uint64_t k =
+      iterations_for_defense(r, m, n, cost_f, cost_hash);
+  EXPECT_GE(static_cast<double>(k) * cost_hash,
+            min_sample_gen_cost(r, m, n, cost_f) - 1e-9);
+}
+
+TEST(Eq5Defense, HonestOverheadIsAboutRToTheM) {
+  // §4.2: with Cg at the minimum, the honest participant's extra cost ratio
+  // is m·Cg/(n·Cf) = r^m.
+  const double r = 0.5;
+  const std::size_t m = 10;
+  const std::uint64_t n = 1 << 20;
+  const double cost_f = 2.0;
+  const double cg = min_sample_gen_cost(r, m, n, cost_f);
+  EXPECT_NEAR(honest_sample_gen_overhead(m, cg, n, cost_f), std::pow(r, m),
+              1e-12);
+}
+
+// ------------------------------------------------- communication models
+
+TEST(CommModel, NaiveUploadLinearInN) {
+  EXPECT_DOUBLE_EQ(upload_bytes_all_results(1000, 16), 16000.0);
+  EXPECT_DOUBLE_EQ(upload_bytes_all_results(2000, 16), 32000.0);
+}
+
+TEST(CommModel, CbsUploadLogarithmicInN) {
+  const double small = cbs_upload_bytes(1 << 10, 33, 16, 32);
+  const double large = cbs_upload_bytes(1 << 30, 33, 16, 32);
+  // Growing n by 2^20 only triples the height (10 -> 30): cost stays small.
+  EXPECT_LT(large, small * 4.0);
+  // And is vastly below the naive upload for the same n.
+  EXPECT_LT(large, upload_bytes_all_results(1 << 30, 16) / 1e4);
+}
+
+TEST(CommModel, PaperSixtyFourBitExample) {
+  // §3: shipping all results of a 2^64-input task ≈ 16 million terabytes
+  // (with 1-byte results); CBS needs only kilobytes.
+  const double naive = upload_bytes_all_results(0, 1);  // placeholder
+  (void)naive;
+  const double naive64 = std::pow(2.0, 64) * 1.0;
+  EXPECT_GT(naive64, 1.6e19);  // ~16M TB
+  const double cbs = cbs_upload_bytes(std::uint64_t{1} << 62, 50, 8, 32);
+  EXPECT_LT(cbs, 200.0 * 1024);  // well under a megabyte
+}
+
+}  // namespace
+}  // namespace ugc

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "crypto/hash_function.h"
+#include "merkle/batch_proof.h"
+#include "merkle/proof.h"
+#include "merkle/tree.h"
+
+namespace ugc {
+namespace {
+
+std::vector<Bytes> make_leaves(std::uint64_t n) {
+  std::vector<Bytes> leaves;
+  leaves.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Bytes leaf(16);
+    put_u64_be(i, leaf.data());
+    put_u64_be(i * 0x9e3779b97f4a7c15ULL, leaf.data() + 8);
+    leaves.push_back(std::move(leaf));
+  }
+  return leaves;
+}
+
+TEST(BatchProof, SingleLeafEqualsOrdinaryProofSemantics) {
+  const auto& h = default_hash();
+  const MerkleTree tree = MerkleTree::build(make_leaves(16), h);
+  const std::vector<LeafIndex> indices = {LeafIndex{5}};
+  const BatchProof batch = make_batch_proof(tree, indices);
+  EXPECT_TRUE(verify_batch_proof(batch, tree.root(), h));
+  // One leaf needs the full path: exactly height() siblings.
+  EXPECT_EQ(batch.siblings.size(), tree.height());
+}
+
+TEST(BatchProof, SingleLeafTree) {
+  const auto& h = default_hash();
+  const MerkleTree tree = MerkleTree::build(make_leaves(1), h);
+  const std::vector<LeafIndex> indices = {LeafIndex{0}};
+  const BatchProof batch = make_batch_proof(tree, indices);
+  EXPECT_TRUE(batch.siblings.empty());
+  EXPECT_TRUE(verify_batch_proof(batch, tree.root(), h));
+}
+
+TEST(BatchProof, AdjacentLeavesShareEverything) {
+  const auto& h = default_hash();
+  const MerkleTree tree = MerkleTree::build(make_leaves(16), h);
+  // Leaves 6 and 7 are siblings: no level-0 sibling needed at all.
+  const std::vector<LeafIndex> indices = {LeafIndex{6}, LeafIndex{7}};
+  const BatchProof batch = make_batch_proof(tree, indices);
+  EXPECT_EQ(batch.siblings.size(), tree.height() - 1);
+  EXPECT_TRUE(verify_batch_proof(batch, tree.root(), h));
+}
+
+TEST(BatchProof, AllLeavesNeedNoSiblings) {
+  const auto& h = default_hash();
+  const MerkleTree tree = MerkleTree::build(make_leaves(32), h);
+  std::vector<LeafIndex> all;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    all.push_back(LeafIndex{i});
+  }
+  const BatchProof batch = make_batch_proof(tree, all);
+  EXPECT_TRUE(batch.siblings.empty());
+  EXPECT_TRUE(verify_batch_proof(batch, tree.root(), h));
+}
+
+TEST(BatchProof, DuplicateIndicesAreDeduplicated) {
+  const auto& h = default_hash();
+  const MerkleTree tree = MerkleTree::build(make_leaves(16), h);
+  const std::vector<LeafIndex> indices = {LeafIndex{3}, LeafIndex{3},
+                                          LeafIndex{3}};
+  const BatchProof batch = make_batch_proof(tree, indices);
+  EXPECT_EQ(batch.leaves.size(), 1u);
+  EXPECT_TRUE(verify_batch_proof(batch, tree.root(), h));
+}
+
+TEST(BatchProof, UnsortedInputHandled) {
+  const auto& h = default_hash();
+  const MerkleTree tree = MerkleTree::build(make_leaves(64), h);
+  const std::vector<LeafIndex> indices = {LeafIndex{40}, LeafIndex{3},
+                                          LeafIndex{17}};
+  const BatchProof batch = make_batch_proof(tree, indices);
+  EXPECT_TRUE(verify_batch_proof(batch, tree.root(), h));
+}
+
+struct BatchCase {
+  std::uint64_t n;
+  std::size_t m;
+  std::uint64_t seed;
+};
+
+class BatchProofSweep : public ::testing::TestWithParam<BatchCase> {};
+
+TEST_P(BatchProofSweep, RandomSubsetsVerify) {
+  const auto [n, m, seed] = GetParam();
+  const auto& h = default_hash();
+  const MerkleTree tree = MerkleTree::build(make_leaves(n), h);
+  Rng rng(seed);
+  std::vector<LeafIndex> indices;
+  for (std::size_t k = 0; k < m; ++k) {
+    indices.push_back(LeafIndex{rng.uniform(n)});
+  }
+  const BatchProof batch = make_batch_proof(tree, indices);
+  EXPECT_TRUE(verify_batch_proof(batch, tree.root(), h));
+
+  // Never more siblings than m independent paths would carry.
+  EXPECT_LE(batch.siblings.size(), indices.size() * tree.height());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BatchProofSweep,
+    ::testing::Values(BatchCase{2, 1, 1}, BatchCase{8, 3, 2},
+                      BatchCase{33, 5, 3},  // padded tree
+                      BatchCase{64, 16, 4}, BatchCase{100, 10, 5},
+                      BatchCase{256, 33, 6}, BatchCase{1000, 64, 7},
+                      BatchCase{1024, 128, 8}, BatchCase{1024, 1024, 9}));
+
+TEST_P(BatchProofSweep, TamperedLeafFailsVerification) {
+  const auto [n, m, seed] = GetParam();
+  const auto& h = default_hash();
+  const MerkleTree tree = MerkleTree::build(make_leaves(n), h);
+  Rng rng(seed + 100);
+  std::vector<LeafIndex> indices;
+  for (std::size_t k = 0; k < m; ++k) {
+    indices.push_back(LeafIndex{rng.uniform(n)});
+  }
+  BatchProof batch = make_batch_proof(tree, indices);
+  batch.leaves.front().second[0] ^= 0x01;
+  EXPECT_FALSE(verify_batch_proof(batch, tree.root(), h));
+}
+
+TEST_P(BatchProofSweep, TamperedSiblingFailsVerification) {
+  const auto [n, m, seed] = GetParam();
+  const auto& h = default_hash();
+  const MerkleTree tree = MerkleTree::build(make_leaves(n), h);
+  Rng rng(seed + 200);
+  std::vector<LeafIndex> indices;
+  for (std::size_t k = 0; k < m; ++k) {
+    indices.push_back(LeafIndex{rng.uniform(n)});
+  }
+  BatchProof batch = make_batch_proof(tree, indices);
+  if (batch.siblings.empty()) {
+    GTEST_SKIP() << "fully covered tree has no siblings to tamper with";
+  }
+  batch.siblings.back()[0] ^= 0x80;
+  EXPECT_FALSE(verify_batch_proof(batch, tree.root(), h));
+}
+
+TEST(BatchProof, SavesSiblingsVersusIndependentPaths) {
+  const auto& h = default_hash();
+  const std::uint64_t n = 1 << 12;
+  const std::size_t m = 64;
+  const MerkleTree tree = MerkleTree::build(make_leaves(n), h);
+  Rng rng(77);
+  std::vector<LeafIndex> indices;
+  for (std::size_t k = 0; k < m; ++k) {
+    indices.push_back(LeafIndex{rng.uniform(n)});
+  }
+  const BatchProof batch = make_batch_proof(tree, indices);
+  const std::size_t independent = m * tree.height();
+  EXPECT_LT(batch.siblings.size(), independent * 3 / 4)
+      << "expected >25% sibling dedup at m=64, n=4096";
+}
+
+// ---------------------------------------------------- malformed proofs
+
+TEST(BatchProof, MalformedProofsRejectedNotCrashing) {
+  const auto& h = default_hash();
+  const MerkleTree tree = MerkleTree::build(make_leaves(16), h);
+  const BatchProof good =
+      make_batch_proof(tree, std::vector<LeafIndex>{LeafIndex{2}, LeafIndex{9}});
+
+  {
+    BatchProof bad = good;
+    bad.padded_leaf_count = 15;  // not a power of two
+    EXPECT_FALSE(verify_batch_proof(bad, tree.root(), h));
+  }
+  {
+    BatchProof bad = good;
+    bad.leaves.clear();
+    EXPECT_FALSE(verify_batch_proof(bad, tree.root(), h));
+  }
+  {
+    BatchProof bad = good;
+    std::swap(bad.leaves[0], bad.leaves[1]);  // unsorted
+    EXPECT_FALSE(verify_batch_proof(bad, tree.root(), h));
+  }
+  {
+    BatchProof bad = good;
+    bad.leaves.push_back({LeafIndex{99}, to_bytes("x")});  // out of range
+    EXPECT_FALSE(verify_batch_proof(bad, tree.root(), h));
+  }
+  {
+    BatchProof bad = good;
+    bad.siblings.pop_back();  // stream exhausted mid-verification
+    EXPECT_FALSE(verify_batch_proof(bad, tree.root(), h));
+  }
+  {
+    BatchProof bad = good;
+    bad.siblings.push_back(to_bytes("extra"));  // unconsumed siblings
+    EXPECT_FALSE(verify_batch_proof(bad, tree.root(), h));
+  }
+}
+
+TEST(BatchProof, GenerationValidatesIndices) {
+  const auto& h = default_hash();
+  const MerkleTree tree = MerkleTree::build(make_leaves(8), h);
+  EXPECT_THROW(
+      make_batch_proof(tree, std::vector<LeafIndex>{LeafIndex{8}}), Error);
+  EXPECT_THROW(make_batch_proof(tree, std::vector<LeafIndex>{}), Error);
+}
+
+TEST(BatchProof, PaddedTreeLeavesProvable) {
+  // n = 33 pads to 64; proving the last real leaf must work and padding
+  // positions must stay unprovable.
+  const auto& h = default_hash();
+  const MerkleTree tree = MerkleTree::build(make_leaves(33), h);
+  const BatchProof batch =
+      make_batch_proof(tree, std::vector<LeafIndex>{LeafIndex{32}});
+  EXPECT_TRUE(verify_batch_proof(batch, tree.root(), h));
+  EXPECT_THROW(
+      make_batch_proof(tree, std::vector<LeafIndex>{LeafIndex{33}}), Error);
+}
+
+}  // namespace
+}  // namespace ugc

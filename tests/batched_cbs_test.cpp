@@ -1,0 +1,186 @@
+// Batched-CBS extension: the interactive protocol with merged
+// authentication paths (CbsConfig::use_batch_proofs). Everything the plain
+// protocol guarantees must hold, with smaller responses.
+
+#include <gtest/gtest.h>
+
+#include "core/cbs.h"
+#include "grid/simulation.h"
+#include "test_util.h"
+
+namespace ugc {
+namespace {
+
+using ugc::testing::make_test_task;
+
+std::shared_ptr<const ResultVerifier> verifier_for(const Task& task) {
+  return std::make_shared<RecomputeVerifier>(task.f);
+}
+
+struct BatchedCase {
+  std::uint64_t n;
+  std::size_t m;
+  LeafMode leaf_mode;
+  unsigned storage_height;
+};
+
+class BatchedCbsSweep : public ::testing::TestWithParam<BatchedCase> {};
+
+TEST_P(BatchedCbsSweep, HonestParticipantAccepted) {
+  const auto [n, m, leaf_mode, ell] = GetParam();
+  const Task task = make_test_task(n);
+  CbsConfig config;
+  config.sample_count = m;
+  config.use_batch_proofs = true;
+  config.tree.leaf_mode = leaf_mode;
+  config.tree.storage_subtree_height = ell;
+
+  const CbsRunResult result = run_cbs_exchange(
+      task, config, make_honest_policy(), verifier_for(task), 3);
+  EXPECT_TRUE(result.verdict.accepted()) << result.verdict.detail;
+  // One batched reconstruction replaces m individual ones.
+  EXPECT_EQ(result.supervisor_metrics.roots_reconstructed, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BatchedCbsSweep,
+    ::testing::Values(BatchedCase{1, 1, LeafMode::kRaw, 0},
+                      BatchedCase{16, 8, LeafMode::kRaw, 0},
+                      BatchedCase{33, 10, LeafMode::kRaw, 0},
+                      BatchedCase{64, 33, LeafMode::kRaw, 0},
+                      BatchedCase{64, 16, LeafMode::kHashed, 0},
+                      BatchedCase{100, 8, LeafMode::kRaw, 3},  // §3.3 storage
+                      BatchedCase{257, 14, LeafMode::kHashed, 4}));
+
+TEST(BatchedCbs, CheaterStillCaught) {
+  const Task task = make_test_task(256);
+  CbsConfig config;
+  config.sample_count = 33;
+  config.use_batch_proofs = true;
+  const CbsRunResult result = run_cbs_exchange(
+      task, config, make_semi_honest_cheater({0.3, 0.0, 9}),
+      verifier_for(task), 4);
+  EXPECT_FALSE(result.verdict.accepted());
+}
+
+TEST(BatchedCbs, LateComputedResultIsRootMismatch) {
+  // Theorem 2's attack against the batched variant.
+  const Task task = make_test_task(64);
+  CbsConfig config;
+  config.sample_count = 8;
+  config.use_batch_proofs = true;
+  CbsParticipant cheater(task, config,
+                         make_semi_honest_cheater({0.0, 0.0, 5}));
+  CbsSupervisor supervisor(task, config, verifier_for(task), Rng(6));
+  const SampleChallenge challenge = supervisor.challenge(cheater.commit());
+  BatchProofResponse response = cheater.respond_batched(challenge);
+  for (auto& [index, result] : response.results) {
+    result = task.f->evaluate(task.domain.input(index));
+  }
+  const Verdict verdict = supervisor.verify_batched(response);
+  EXPECT_FALSE(verdict.accepted());
+  EXPECT_EQ(verdict.status, VerdictStatus::kRootMismatch);
+}
+
+TEST(BatchedCbs, MalformedResponsesRejected) {
+  const Task task = make_test_task(64);
+  CbsConfig config;
+  config.sample_count = 8;
+  config.use_batch_proofs = true;
+  CbsParticipant participant(task, config, make_honest_policy());
+  CbsSupervisor supervisor(task, config, verifier_for(task), Rng(8));
+  const SampleChallenge challenge = supervisor.challenge(participant.commit());
+  const BatchProofResponse good = participant.respond_batched(challenge);
+
+  {
+    BatchProofResponse bad = good;
+    bad.results.pop_back();
+    EXPECT_EQ(supervisor.verify_batched(bad).status,
+              VerdictStatus::kMalformed);
+  }
+  {
+    BatchProofResponse bad = good;
+    bad.task = TaskId{42};
+    EXPECT_EQ(supervisor.verify_batched(bad).status,
+              VerdictStatus::kMalformed);
+  }
+  {
+    BatchProofResponse bad = good;
+    bad.siblings.pop_back();
+    EXPECT_FALSE(supervisor.verify_batched(bad).accepted());
+  }
+  {
+    BatchProofResponse bad = good;
+    if (bad.results.size() >= 2) {
+      std::swap(bad.results[0], bad.results[1]);
+      EXPECT_EQ(supervisor.verify_batched(bad).status,
+                VerdictStatus::kMalformed);
+    }
+  }
+}
+
+TEST(BatchedCbs, ResponseIsSmallerThanIndependentPaths) {
+  const Task task = make_test_task(1 << 12);
+  CbsConfig config;
+  config.sample_count = 64;
+
+  CbsParticipant plain(task, config, make_honest_policy());
+  CbsSupervisor plain_supervisor(task, config, verifier_for(task), Rng(11));
+  const SampleChallenge challenge =
+      plain_supervisor.challenge(plain.commit());
+  const std::size_t independent =
+      plain.respond(challenge).payload_bytes();
+  const std::size_t batched =
+      plain.respond_batched(challenge).payload_bytes();
+  EXPECT_LT(batched, independent);
+}
+
+TEST(BatchedCbs, GridEndToEnd) {
+  GridConfig config;
+  config.domain_end = 1 << 10;
+  config.workload = "keysearch";
+  config.workload_seed = 5;
+  config.participant_count = 4;
+  config.seed = 7;
+  config.scheme.kind = SchemeKind::kCbs;
+  config.scheme.cbs.sample_count = 20;
+  config.scheme.cbs.use_batch_proofs = true;
+  config.cheaters = {{1, 0.4, 0.0, 0}};
+
+  const GridRunResult result = run_grid_simulation(config);
+  EXPECT_EQ(result.cheater_tasks_rejected, 1u);
+  EXPECT_EQ(result.honest_tasks_rejected, 0u);
+  ASSERT_EQ(result.hits.size(), 1u);
+
+  // And it really moves fewer bytes than the unbatched wire protocol.
+  GridConfig unbatched = config;
+  unbatched.scheme.cbs.use_batch_proofs = false;
+  const GridRunResult plain = run_grid_simulation(unbatched);
+  EXPECT_LT(result.network.total_bytes, plain.network.total_bytes);
+}
+
+TEST(BatchedCbs, WireRoundTrip) {
+  BatchProofResponse response;
+  response.task = TaskId{5};
+  response.results = {{LeafIndex{1}, to_bytes("r1")},
+                      {LeafIndex{9}, to_bytes("r9")}};
+  response.siblings = {to_bytes("s0"), to_bytes("s1"), Bytes{}};
+  const Message decoded = decode_message(encode_message(Message{response}));
+  ASSERT_TRUE(std::holds_alternative<BatchProofResponse>(decoded));
+  EXPECT_EQ(std::get<BatchProofResponse>(decoded), response);
+}
+
+TEST(BatchedCbs, SchemeConfigFlagSurvivesWire) {
+  TaskAssignment assignment;
+  assignment.task = TaskId{1};
+  assignment.domain_end = 8;
+  assignment.workload = "test";
+  assignment.scheme.cbs.use_batch_proofs = true;
+  const Message decoded =
+      decode_message(encode_message(Message{assignment}));
+  EXPECT_TRUE(
+      std::get<TaskAssignment>(decoded).scheme.cbs.use_batch_proofs);
+}
+
+}  // namespace
+}  // namespace ugc

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "core/cheating.h"
+#include "test_util.h"
+
+namespace ugc {
+namespace {
+
+using ugc::testing::make_test_task;
+
+TEST(HonestPolicy, AlwaysComputesTrueValue) {
+  const Task task = make_test_task(32);
+  const HonestPolicy policy;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    EXPECT_TRUE(policy.computes_honestly(LeafIndex{i}));
+    const auto decision = policy.decide(LeafIndex{i}, task);
+    EXPECT_TRUE(decision.honest);
+    EXPECT_EQ(decision.value, task.f->evaluate(task.domain.input(LeafIndex{i})));
+  }
+}
+
+TEST(SemiHonestCheater, RejectsBadParams) {
+  EXPECT_THROW(SemiHonestCheater({-0.1, 0.0, 1}), Error);
+  EXPECT_THROW(SemiHonestCheater({1.1, 0.0, 1}), Error);
+  EXPECT_THROW(SemiHonestCheater({0.5, -0.1, 1}), Error);
+  EXPECT_THROW(SemiHonestCheater({0.5, 1.1, 1}), Error);
+}
+
+TEST(SemiHonestCheater, DecisionsAreDeterministic) {
+  const Task task = make_test_task(64);
+  const SemiHonestCheater policy({0.5, 0.3, 99});
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto first = policy.decide(LeafIndex{i}, task);
+    const auto second = policy.decide(LeafIndex{i}, task);
+    EXPECT_EQ(first.value, second.value) << "index " << i;
+    EXPECT_EQ(first.honest, second.honest);
+    EXPECT_EQ(first.honest, policy.computes_honestly(LeafIndex{i}));
+  }
+}
+
+TEST(SemiHonestCheater, FullHonestyRatioComputesEverything) {
+  const Task task = make_test_task(32);
+  const SemiHonestCheater policy({1.0, 0.0, 5});
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    EXPECT_TRUE(policy.computes_honestly(LeafIndex{i}));
+  }
+}
+
+TEST(SemiHonestCheater, ZeroHonestyRatioComputesNothing) {
+  const SemiHonestCheater policy({0.0, 0.0, 5});
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    EXPECT_FALSE(policy.computes_honestly(LeafIndex{i}));
+  }
+}
+
+TEST(SemiHonestCheater, HonestFractionApproximatesR) {
+  const Task task = make_test_task(20000);
+  for (double r : {0.25, 0.5, 0.75}) {
+    const SemiHonestCheater policy({r, 0.0, 7});
+    std::uint64_t honest = 0;
+    for (std::uint64_t i = 0; i < 20000; ++i) {
+      if (policy.computes_honestly(LeafIndex{i})) ++honest;
+    }
+    EXPECT_NEAR(static_cast<double>(honest) / 20000.0, r, 0.02) << "r=" << r;
+  }
+}
+
+TEST(SemiHonestCheater, HonestLeavesCarryTrueValues) {
+  const Task task = make_test_task(256);
+  const SemiHonestCheater policy({0.5, 0.0, 11});
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    const auto decision = policy.decide(LeafIndex{i}, task);
+    const Bytes truth = task.f->evaluate(task.domain.input(LeafIndex{i}));
+    if (decision.honest) {
+      EXPECT_EQ(decision.value, truth);
+    }
+  }
+}
+
+TEST(SemiHonestCheater, ZeroGuessAccuracyGuessesAreWrong) {
+  const Task task = make_test_task(512);
+  const SemiHonestCheater policy({0.5, 0.0, 13});
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    const auto decision = policy.decide(LeafIndex{i}, task);
+    if (!decision.honest) {
+      const Bytes truth = task.f->evaluate(task.domain.input(LeafIndex{i}));
+      EXPECT_NE(decision.value, truth) << "index " << i;
+      EXPECT_EQ(decision.value.size(), truth.size());
+    }
+  }
+}
+
+TEST(SemiHonestCheater, GuessAccuracyApproximatesQ) {
+  const Task task = make_test_task(20000);
+  const double q = 0.4;
+  const SemiHonestCheater policy({0.0, q, 17});  // all guessed
+  std::uint64_t lucky = 0;
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    const auto decision = policy.decide(LeafIndex{i}, task);
+    ASSERT_FALSE(decision.honest);
+    if (decision.value == task.f->evaluate(task.domain.input(LeafIndex{i}))) {
+      ++lucky;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(lucky) / 20000.0, q, 0.02);
+}
+
+TEST(SemiHonestCheater, PerfectGuessAccuracyAlwaysCorrect) {
+  const Task task = make_test_task(128);
+  const SemiHonestCheater policy({0.0, 1.0, 19});
+  for (std::uint64_t i = 0; i < 128; ++i) {
+    const auto decision = policy.decide(LeafIndex{i}, task);
+    EXPECT_FALSE(decision.honest);
+    EXPECT_EQ(decision.value, task.f->evaluate(task.domain.input(LeafIndex{i})));
+  }
+}
+
+TEST(SemiHonestCheater, DifferentSeedsDifferentSubsets) {
+  const SemiHonestCheater a({0.5, 0.0, 1});
+  const SemiHonestCheater b({0.5, 0.0, 2});
+  int differences = 0;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    if (a.computes_honestly(LeafIndex{i}) !=
+        b.computes_honestly(LeafIndex{i})) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 64);  // ~half should differ
+}
+
+TEST(SemiHonestCheater, NameDescribesParameters) {
+  const SemiHonestCheater policy({0.5, 0.25, 1});
+  EXPECT_EQ(policy.name(), "semi-honest(r=0.5, q=0.25)");
+}
+
+TEST(PolicyFactories, ProduceWorkingPolicies) {
+  const Task task = make_test_task(8);
+  const auto honest = make_honest_policy();
+  EXPECT_TRUE(honest->decide(LeafIndex{0}, task).honest);
+  const auto cheater = make_semi_honest_cheater({0.0, 0.0, 3});
+  EXPECT_FALSE(cheater->decide(LeafIndex{0}, task).honest);
+}
+
+}  // namespace
+}  // namespace ugc

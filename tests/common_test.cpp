@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/hex.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace ugc {
+namespace {
+
+TEST(Bytes, RoundTripThroughString) {
+  const std::string text = "grid computing";
+  const Bytes b = to_bytes(text);
+  EXPECT_EQ(to_string(b), text);
+}
+
+TEST(Bytes, AppendConcatenates) {
+  Bytes a = to_bytes("abc");
+  append(a, to_bytes("def"));
+  EXPECT_EQ(to_string(a), "abcdef");
+}
+
+TEST(Bytes, ConcatBytes) {
+  EXPECT_EQ(to_string(concat_bytes(to_bytes("x"), to_bytes("yz"))), "xyz");
+  EXPECT_EQ(to_string(concat_bytes(to_bytes(""), to_bytes(""))), "");
+}
+
+TEST(Bytes, EqualBytes) {
+  EXPECT_TRUE(equal_bytes(to_bytes("abc"), to_bytes("abc")));
+  EXPECT_FALSE(equal_bytes(to_bytes("abc"), to_bytes("abd")));
+  EXPECT_FALSE(equal_bytes(to_bytes("abc"), to_bytes("ab")));
+  EXPECT_TRUE(equal_bytes(to_bytes(""), to_bytes("")));
+}
+
+TEST(Bytes, U64BigEndianRoundTrip) {
+  std::uint8_t buf[8];
+  const std::uint64_t value = 0x0123456789abcdefULL;
+  put_u64_be(value, buf);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0xef);
+  EXPECT_EQ(read_u64_be(buf), value);
+}
+
+TEST(Bytes, U32BigEndianRoundTrip) {
+  std::uint8_t buf[4];
+  put_u32_be(0xdeadbeefu, buf);
+  EXPECT_EQ(buf[0], 0xde);
+  EXPECT_EQ(read_u32_be(buf), 0xdeadbeefu);
+}
+
+TEST(Hex, EncodesLowercase) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abff");
+}
+
+TEST(Hex, DecodeRoundTrip) {
+  const Bytes data = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(from_hex(to_hex(data)), data);
+}
+
+TEST(Hex, DecodeAcceptsUppercase) {
+  EXPECT_EQ(from_hex("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Hex, DecodeRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), Error);
+}
+
+TEST(Hex, DecodeRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), Error);
+}
+
+TEST(Hex, EmptyInput) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_EQ(from_hex(""), Bytes{});
+}
+
+TEST(Error, ConcatBuildsMessage) {
+  EXPECT_EQ(concat("a=", 1, ", b=", 2.5), "a=1, b=2.5");
+}
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    check(false, "bad thing ", 42);
+    FAIL() << "check did not throw";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "bad thing 42");
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(check(true, "never"));
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformBoundOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform(1), 0u);
+  }
+}
+
+TEST(Rng, UniformRejectsZeroBound) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform(0), Error);
+}
+
+TEST(Rng, UniformCoversSmallRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) {
+    seen.insert(rng.uniform(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRoughlyBalanced) {
+  Rng rng(13);
+  constexpr int kDraws = 60000;
+  constexpr std::uint64_t kBuckets = 6;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.uniform(kBuckets)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.10);
+  }
+}
+
+TEST(Rng, UnitRealInRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.unit_real();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliApproximatesP) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(Rng, BytesProducesRequestedLength) {
+  Rng rng(29);
+  for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 64u, 1000u}) {
+    EXPECT_EQ(rng.bytes(n).size(), n);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // The child must not replay the parent's stream.
+  Rng parent2(31);
+  parent2.next();  // fork consumed one draw
+  EXPECT_NE(child.next(), parent2.next());
+}
+
+TEST(StrongTypes, ComparisonsWork) {
+  EXPECT_EQ(LeafIndex{3}, LeafIndex{3});
+  EXPECT_LT(LeafIndex{2}, LeafIndex{5});
+  EXPECT_NE(TaskId{1}, TaskId{2});
+  EXPECT_EQ(GridNodeId{7}, GridNodeId{7});
+}
+
+TEST(StrongTypes, Hashable) {
+  std::hash<LeafIndex> h;
+  EXPECT_EQ(h(LeafIndex{5}), h(LeafIndex{5}));
+}
+
+}  // namespace
+}  // namespace ugc

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "core/task.h"
+#include "test_util.h"
+
+namespace ugc {
+namespace {
+
+using ugc::testing::ModScreener;
+using ugc::testing::TestFunction;
+
+TEST(Domain, BasicProperties) {
+  const Domain d(10, 20);
+  EXPECT_EQ(d.begin(), 10u);
+  EXPECT_EQ(d.end(), 20u);
+  EXPECT_EQ(d.size(), 10u);
+  EXPECT_TRUE(d.contains(10));
+  EXPECT_TRUE(d.contains(19));
+  EXPECT_FALSE(d.contains(20));
+  EXPECT_FALSE(d.contains(9));
+}
+
+TEST(Domain, InputMapsIndexToValue) {
+  const Domain d(100, 200);
+  EXPECT_EQ(d.input(LeafIndex{0}), 100u);
+  EXPECT_EQ(d.input(LeafIndex{99}), 199u);
+  EXPECT_THROW(d.input(LeafIndex{100}), Error);
+}
+
+TEST(Domain, EmptyIntervalRejected) {
+  EXPECT_THROW(Domain(5, 5), Error);
+  EXPECT_THROW(Domain(6, 5), Error);
+}
+
+TEST(Domain, SplitEven) {
+  const Domain d(0, 100);
+  const auto parts = d.split(4);
+  ASSERT_EQ(parts.size(), 4u);
+  for (const Domain& p : parts) {
+    EXPECT_EQ(p.size(), 25u);
+  }
+  EXPECT_EQ(parts[0].begin(), 0u);
+  EXPECT_EQ(parts[3].end(), 100u);
+}
+
+TEST(Domain, SplitUnevenDistributesRemainder) {
+  const Domain d(0, 10);
+  const auto parts = d.split(3);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].size(), 4u);
+  EXPECT_EQ(parts[1].size(), 3u);
+  EXPECT_EQ(parts[2].size(), 3u);
+  // Contiguous cover.
+  EXPECT_EQ(parts[0].end(), parts[1].begin());
+  EXPECT_EQ(parts[1].end(), parts[2].begin());
+}
+
+TEST(Domain, SplitSinglePart) {
+  const Domain d(3, 9);
+  const auto parts = d.split(1);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], d);
+}
+
+TEST(Domain, SplitRejectsInvalid) {
+  const Domain d(0, 4);
+  EXPECT_THROW(d.split(0), Error);
+  EXPECT_THROW(d.split(5), Error);  // more parts than inputs
+}
+
+TEST(ComputeFunction, TestFunctionDeterministicFixedWidth) {
+  const TestFunction f(12);
+  EXPECT_EQ(f.evaluate(7), f.evaluate(7));
+  EXPECT_NE(f.evaluate(7), f.evaluate(8));
+  EXPECT_EQ(f.evaluate(7).size(), 12u);
+  EXPECT_EQ(f.result_size(), 12u);
+}
+
+TEST(ComputeFunction, SaltChangesOutputs) {
+  const TestFunction a(16, 1);
+  const TestFunction b(16, 2);
+  EXPECT_NE(a.evaluate(7), b.evaluate(7));
+}
+
+TEST(CountingComputeFunction, CountsCalls) {
+  auto counting =
+      std::make_shared<CountingComputeFunction>(std::make_shared<TestFunction>());
+  EXPECT_EQ(counting->calls(), 0u);
+  counting->evaluate(1);
+  counting->evaluate(2);
+  EXPECT_EQ(counting->calls(), 2u);
+  counting->reset_calls();
+  EXPECT_EQ(counting->calls(), 0u);
+}
+
+TEST(CountingComputeFunction, ForwardsBehaviour) {
+  const TestFunction plain(16);
+  const CountingComputeFunction counting(std::make_shared<TestFunction>(16));
+  EXPECT_EQ(counting.evaluate(9), plain.evaluate(9));
+  EXPECT_EQ(counting.result_size(), plain.result_size());
+  EXPECT_EQ(counting.name(), plain.name());
+}
+
+TEST(CountingComputeFunction, RejectsNull) {
+  EXPECT_THROW(CountingComputeFunction(nullptr), Error);
+}
+
+TEST(Screener, NullScreenerReportsNothing) {
+  const NullScreener s;
+  EXPECT_EQ(s.screen(0, Bytes{}), std::nullopt);
+  EXPECT_EQ(s.screen(42, to_bytes("anything")), std::nullopt);
+}
+
+TEST(Screener, ModScreenerReportsMultiples) {
+  const ModScreener s(5);
+  EXPECT_TRUE(s.screen(10, Bytes{}).has_value());
+  EXPECT_FALSE(s.screen(11, Bytes{}).has_value());
+  EXPECT_EQ(*s.screen(15, Bytes{}), "hit:15");
+}
+
+TEST(Task, MakeDefaultsToNullScreener) {
+  const Task t = Task::make(TaskId{1}, Domain(0, 10),
+                            std::make_shared<TestFunction>());
+  ASSERT_NE(t.screener, nullptr);
+  EXPECT_EQ(t.screener->name(), "null");
+}
+
+TEST(Task, MakeRequiresComputeFunction) {
+  EXPECT_THROW(Task::make(TaskId{1}, Domain(0, 10), nullptr), Error);
+}
+
+TEST(RecomputeVerifier, AcceptsCorrectResult) {
+  const auto f = std::make_shared<TestFunction>();
+  const RecomputeVerifier v(f);
+  EXPECT_TRUE(v.verify(5, f->evaluate(5)));
+}
+
+TEST(RecomputeVerifier, RejectsWrongResult) {
+  const auto f = std::make_shared<TestFunction>();
+  const RecomputeVerifier v(f);
+  Bytes wrong = f->evaluate(5);
+  wrong[0] ^= 0xff;
+  EXPECT_FALSE(v.verify(5, wrong));
+  EXPECT_FALSE(v.verify(5, f->evaluate(6)));
+  EXPECT_FALSE(v.verify(5, Bytes{}));
+}
+
+TEST(RecomputeVerifier, RejectsNullFunction) {
+  EXPECT_THROW(RecomputeVerifier(nullptr), Error);
+}
+
+}  // namespace
+}  // namespace ugc

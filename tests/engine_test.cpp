@@ -1,0 +1,191 @@
+// Direct unit tests for the participant engine and the shared Step-4
+// verification helper — the pieces the protocol endpoints are built from.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/verification.h"
+#include "crypto/sha256.h"
+#include "test_util.h"
+
+namespace ugc {
+namespace {
+
+using ugc::testing::make_test_task;
+using ugc::testing::ModScreener;
+
+TEST(LeafFromResult, RawModeIsIdentity) {
+  const Bytes result = to_bytes("some result bytes");
+  EXPECT_EQ(ParticipantEngine::leaf_from_result(result, LeafMode::kRaw,
+                                                default_hash()),
+            result);
+}
+
+TEST(LeafFromResult, HashedModeHashes) {
+  const Bytes result = to_bytes("some result bytes");
+  EXPECT_EQ(ParticipantEngine::leaf_from_result(result, LeafMode::kHashed,
+                                                default_hash()),
+            Sha256::hash(result).to_bytes());
+}
+
+TEST(Engine, CommitIsIdempotentAndMetersOneSweep) {
+  ParticipantEngine engine(make_test_task(64), TreeSettings{},
+                           make_honest_policy());
+  const Commitment first = engine.commit();
+  const Commitment second = engine.commit();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(engine.metrics().honest_evaluations, 64u);
+  EXPECT_EQ(engine.metrics().guessed_leaves, 0u);
+}
+
+TEST(Engine, CommitmentEchoesTaskAndSize) {
+  ParticipantEngine engine(make_test_task(33, /*id=*/9), TreeSettings{},
+                           make_honest_policy());
+  const Commitment commitment = engine.commit();
+  EXPECT_EQ(commitment.task, TaskId{9});
+  EXPECT_EQ(commitment.leaf_count, 33u);
+  EXPECT_EQ(commitment.root.size(), 32u);  // sha256 digest
+}
+
+TEST(Engine, ProveBeforeCommitThrows) {
+  ParticipantEngine engine(make_test_task(8), TreeSettings{},
+                           make_honest_policy());
+  const std::vector<LeafIndex> samples = {LeafIndex{0}};
+  EXPECT_THROW(engine.prove(samples), Error);
+  EXPECT_THROW(engine.prove_batch(samples), Error);
+}
+
+TEST(Engine, ProveRejectsOutOfDomainSamples) {
+  ParticipantEngine engine(make_test_task(8), TreeSettings{},
+                           make_honest_policy());
+  engine.commit();
+  const std::vector<LeafIndex> samples = {LeafIndex{8}};
+  EXPECT_THROW(engine.prove(samples), Error);
+}
+
+TEST(Engine, ProveBatchRejectsEmptySampleSet) {
+  ParticipantEngine engine(make_test_task(8), TreeSettings{},
+                           make_honest_policy());
+  engine.commit();
+  EXPECT_THROW(engine.prove_batch(std::vector<LeafIndex>{}), Error);
+}
+
+TEST(Engine, CheaterMetricsSplitHonestAndGuessed) {
+  ParticipantEngine engine(make_test_task(1000), TreeSettings{},
+                           make_semi_honest_cheater({0.5, 0.0, 3}));
+  engine.commit();
+  const auto& metrics = engine.metrics();
+  EXPECT_EQ(metrics.honest_evaluations + metrics.guessed_leaves, 1000u);
+  EXPECT_NEAR(static_cast<double>(metrics.honest_evaluations), 500.0, 80.0);
+}
+
+TEST(Engine, ScreenerHitsComeFromClaimedValues) {
+  // The cheater screens what it *claims* — S(x, f̌(x)). With an x-based
+  // screener the hits still fire for guessed leaves.
+  const Task task =
+      make_test_task(50, 1, 16, std::make_shared<ModScreener>(10));
+  ParticipantEngine engine(task, TreeSettings{},
+                           make_semi_honest_cheater({0.0, 0.0, 7}));
+  engine.commit();
+  EXPECT_EQ(engine.hits().size(), 5u);  // 1000, 1010, ..., 1040
+}
+
+TEST(Engine, RebuildMeterTracksPartialStorageProofs) {
+  TreeSettings settings;
+  settings.storage_subtree_height = 3;
+  ParticipantEngine engine(make_test_task(64), settings,
+                           make_honest_policy());
+  engine.commit();
+  const std::vector<LeafIndex> samples = {LeafIndex{0}, LeafIndex{63}};
+  engine.prove(samples);
+  EXPECT_EQ(engine.metrics().rebuild_evaluations, 2u << 3);
+}
+
+TEST(Engine, HashedModeProofCarriesPreimage) {
+  TreeSettings settings;
+  settings.leaf_mode = LeafMode::kHashed;
+  const Task task = make_test_task(16);
+  ParticipantEngine engine(task, settings, make_honest_policy());
+  engine.commit();
+  const std::vector<LeafIndex> samples = {LeafIndex{4}};
+  const auto proofs = engine.prove(samples);
+  ASSERT_EQ(proofs.size(), 1u);
+  // The result is the raw f(x), not its hash.
+  EXPECT_EQ(proofs[0].result,
+            task.f->evaluate(task.domain.input(LeafIndex{4})));
+}
+
+TEST(Engine, RequiresPolicy) {
+  EXPECT_THROW(
+      ParticipantEngine(make_test_task(4), TreeSettings{}, nullptr), Error);
+}
+
+// ------------------------------------------------- verification helper
+
+class VerificationHelper : public ::testing::Test {
+ protected:
+  VerificationHelper()
+      : task_(make_test_task(64)),
+        verifier_(std::make_shared<RecomputeVerifier>(task_.f)),
+        engine_(task_, TreeSettings{}, make_honest_policy()) {
+    commitment_ = engine_.commit();
+    samples_ = {LeafIndex{1}, LeafIndex{30}, LeafIndex{63}};
+    response_.task = task_.id;
+    response_.proofs = engine_.prove(samples_);
+  }
+
+  Task task_;
+  std::shared_ptr<const ResultVerifier> verifier_;
+  ParticipantEngine engine_;
+  Commitment commitment_;
+  std::vector<LeafIndex> samples_;
+  ProofResponse response_;
+};
+
+TEST_F(VerificationHelper, AcceptsMatchingResponse) {
+  SupervisorMetrics metrics;
+  const Verdict verdict =
+      verify_sample_proofs(task_, TreeSettings{}, commitment_, samples_,
+                           response_, *verifier_, &metrics);
+  EXPECT_TRUE(verdict.accepted());
+  EXPECT_EQ(metrics.results_verified, 3u);
+  EXPECT_EQ(metrics.roots_reconstructed, 3u);
+}
+
+TEST_F(VerificationHelper, MetricsStopAtFirstFailure) {
+  response_.proofs[1].result[0] ^= 0xff;
+  SupervisorMetrics metrics;
+  const Verdict verdict =
+      verify_sample_proofs(task_, TreeSettings{}, commitment_, samples_,
+                           response_, *verifier_, &metrics);
+  EXPECT_EQ(verdict.status, VerdictStatus::kWrongResult);
+  EXPECT_EQ(verdict.failed_sample, samples_[1]);
+  EXPECT_EQ(metrics.results_verified, 2u);     // stopped at sample 1
+  EXPECT_EQ(metrics.roots_reconstructed, 1u);  // only sample 0 reached Λ
+}
+
+TEST_F(VerificationHelper, NullMetricsAllowed) {
+  EXPECT_TRUE(verify_sample_proofs(task_, TreeSettings{}, commitment_,
+                                   samples_, response_, *verifier_, nullptr)
+                  .accepted());
+}
+
+TEST_F(VerificationHelper, CommitmentForWrongTaskRejected) {
+  commitment_.task = TaskId{99};
+  EXPECT_EQ(verify_sample_proofs(task_, TreeSettings{}, commitment_, samples_,
+                                 response_, *verifier_)
+                .status,
+            VerdictStatus::kMalformed);
+}
+
+TEST_F(VerificationHelper, SettingsMismatchIsRootMismatch) {
+  // Supervisor expecting hashed leaves cannot validate a raw-leaf tree.
+  TreeSettings hashed;
+  hashed.leaf_mode = LeafMode::kHashed;
+  const Verdict verdict = verify_sample_proofs(
+      task_, hashed, commitment_, samples_, response_, *verifier_);
+  EXPECT_EQ(verdict.status, VerdictStatus::kRootMismatch);
+}
+
+}  // namespace
+}  // namespace ugc

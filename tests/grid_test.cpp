@@ -1,0 +1,449 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "grid/broker.h"
+#include "grid/network.h"
+#include "grid/participant_node.h"
+#include "grid/simulation.h"
+#include "grid/supervisor_node.h"
+#include "grid/thread_pool.h"
+
+namespace ugc {
+namespace {
+
+// Test node that records everything it receives and optionally echoes.
+class RecordingNode final : public GridNode {
+ public:
+  void on_message(GridNodeId from, const Message& message,
+                  SimNetwork& network) override {
+    received.push_back({from, message_type(message)});
+    if (echo_to.has_value()) {
+      network.send(id(), *echo_to, message);
+      echo_to.reset();  // echo once to avoid loops
+    }
+  }
+
+  std::vector<std::pair<GridNodeId, MessageType>> received;
+  std::optional<GridNodeId> echo_to;
+};
+
+// ---------------------------------------------------------------- network
+
+TEST(SimNetwork, DeliversInFifoOrder) {
+  SimNetwork network;
+  RecordingNode a;
+  RecordingNode b;
+  const GridNodeId ida = network.add_node(a);
+  const GridNodeId idb = network.add_node(b);
+
+  network.send(ida, idb, Commitment{TaskId{1}, 4, to_bytes("r1")});
+  network.send(ida, idb, SampleChallenge{TaskId{1}, {LeafIndex{0}}});
+  EXPECT_EQ(network.run(), 2u);
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(b.received[0].second, MessageType::kCommitment);
+  EXPECT_EQ(b.received[1].second, MessageType::kSampleChallenge);
+  EXPECT_EQ(b.received[0].first, ida);
+}
+
+TEST(SimNetwork, MetersExactEncodedBytes) {
+  SimNetwork network;
+  RecordingNode a;
+  RecordingNode b;
+  const GridNodeId ida = network.add_node(a);
+  const GridNodeId idb = network.add_node(b);
+
+  const Commitment commitment{TaskId{1}, 4, to_bytes("root-bytes")};
+  const std::size_t encoded = encode_message(Message{commitment}).size();
+  network.send(ida, idb, commitment);
+
+  EXPECT_EQ(network.stats().total_bytes, encoded);
+  EXPECT_EQ(network.stats().total_messages, 1u);
+  EXPECT_EQ(network.stats().bytes_sent(ida), encoded);
+  EXPECT_EQ(network.stats().bytes_received(idb), encoded);
+  EXPECT_EQ(network.stats().bytes_sent(idb), 0u);
+}
+
+TEST(SimNetwork, PerLinkAccounting) {
+  SimNetwork network;
+  RecordingNode a, b, c;
+  const GridNodeId ida = network.add_node(a);
+  const GridNodeId idb = network.add_node(b);
+  const GridNodeId idc = network.add_node(c);
+
+  network.send(ida, idb, RingerReport{TaskId{1}, {1}});
+  network.send(ida, idc, RingerReport{TaskId{1}, {1}});
+  network.send(ida, idb, RingerReport{TaskId{1}, {1}});
+  network.run();
+
+  EXPECT_EQ(network.stats().links.at({ida.value, idb.value}).messages, 2u);
+  EXPECT_EQ(network.stats().links.at({ida.value, idc.value}).messages, 1u);
+}
+
+TEST(SimNetwork, SendValidatesNodeIds) {
+  SimNetwork network;
+  RecordingNode a;
+  const GridNodeId ida = network.add_node(a);
+  EXPECT_THROW(network.send(ida, GridNodeId{5}, RingerReport{TaskId{1}, {}}),
+               Error);
+  EXPECT_THROW(network.send(GridNodeId{5}, ida, RingerReport{TaskId{1}, {}}),
+               Error);
+}
+
+TEST(SimNetwork, RunGuardsAgainstInfiniteLoops) {
+  SimNetwork network;
+  RecordingNode a;
+  RecordingNode b;
+  const GridNodeId ida = network.add_node(a);
+  const GridNodeId idb = network.add_node(b);
+  // a and b endlessly bounce a message.
+  a.echo_to = idb;
+  b.echo_to = ida;
+  network.send(ida, idb, RingerReport{TaskId{1}, {}});
+  // Each node echoes once, so this terminates; with a tiny cap it throws.
+  SimNetwork looping;
+  RecordingNode c, d;
+  const GridNodeId idc = looping.add_node(c);
+  const GridNodeId idd = looping.add_node(d);
+  for (int i = 0; i < 10; ++i) {
+    looping.send(idc, idd, RingerReport{TaskId{1}, {}});
+  }
+  EXPECT_THROW(looping.run(/*max_deliveries=*/5), Error);
+}
+
+TEST(TaskOf, ExtractsTaskFromEveryMessageType) {
+  EXPECT_EQ(task_of(Message{Commitment{TaskId{5}, 1, {}}}), TaskId{5});
+  EXPECT_EQ(task_of(Message{SampleChallenge{TaskId{6}, {}}}), TaskId{6});
+  EXPECT_EQ(task_of(Message{ProofResponse{TaskId{7}, {}}}), TaskId{7});
+  EXPECT_EQ(
+      task_of(Message{NiCbsProof{Commitment{TaskId{8}, 1, {}}, {}}}),
+      TaskId{8});
+  EXPECT_EQ(task_of(Message{ResultsUpload{TaskId{9}, {}}}), TaskId{9});
+  EXPECT_EQ(task_of(Message{ScreenerReport{TaskId{10}, {}}}), TaskId{10});
+  EXPECT_EQ(task_of(Message{RingerReport{TaskId{11}, {}}}), TaskId{11});
+  Verdict v;
+  v.task = TaskId{12};
+  EXPECT_EQ(task_of(Message{v}), TaskId{12});
+  TaskAssignment a;
+  a.task = TaskId{13};
+  a.domain_end = 1;
+  EXPECT_EQ(task_of(Message{a}), TaskId{13});
+}
+
+// -------------------------------------------------------------- threadpool
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> counts(1000);
+  parallel_for(0, 1000, [&counts](std::uint64_t i) { ++counts[i]; }, 8);
+  for (const auto& c : counts) {
+    EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(ParallelFor, WorksSingleThreaded) {
+  std::uint64_t sum = 0;
+  parallel_for(10, 20, [&sum](std::uint64_t i) { sum += i; }, 1);
+  EXPECT_EQ(sum, 145u);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  parallel_for(5, 5, [](std::uint64_t) { FAIL(); }, 4);
+}
+
+TEST(ParallelFor, MoreThreadsThanWork) {
+  std::vector<std::atomic<int>> counts(3);
+  parallel_for(0, 3, [&counts](std::uint64_t i) { ++counts[i]; }, 16);
+  for (const auto& c : counts) {
+    EXPECT_EQ(c.load(), 1);
+  }
+}
+
+TEST(ParallelFor, Validation) {
+  EXPECT_THROW(parallel_for(5, 4, [](std::uint64_t) {}), Error);
+  EXPECT_THROW(parallel_for(0, 4, nullptr), Error);
+}
+
+// ----------------------------------------------------------------- broker
+
+TEST(Broker, RoundRobinAssignment) {
+  SimNetwork network;
+  RecordingNode w0, w1, supervisor;
+  const GridNodeId id0 = network.add_node(w0);
+  const GridNodeId id1 = network.add_node(w1);
+  const GridNodeId ids = network.add_node(supervisor);
+  BrokerNode broker({id0, id1});
+  const GridNodeId idb = network.add_node(broker);
+
+  for (std::uint64_t t = 1; t <= 4; ++t) {
+    TaskAssignment a;
+    a.task = TaskId{t};
+    a.domain_end = 1;
+    a.workload = "test";
+    network.send(ids, idb, a);
+  }
+  network.run();
+  EXPECT_EQ(w0.received.size(), 2u);
+  EXPECT_EQ(w1.received.size(), 2u);
+  EXPECT_EQ(broker.assignments_per_worker().at(id0.value), 2u);
+}
+
+TEST(Broker, RelaysByTaskInBothDirections) {
+  SimNetwork network;
+  RecordingNode worker, supervisor;
+  const GridNodeId idw = network.add_node(worker);
+  const GridNodeId ids = network.add_node(supervisor);
+  BrokerNode broker({idw});
+  const GridNodeId idb = network.add_node(broker);
+
+  TaskAssignment a;
+  a.task = TaskId{1};
+  a.domain_end = 1;
+  network.send(ids, idb, a);
+  network.run();
+  ASSERT_EQ(worker.received.size(), 1u);
+
+  // Upstream: worker -> broker -> supervisor.
+  network.send(idw, idb, Commitment{TaskId{1}, 1, to_bytes("r")});
+  network.run();
+  ASSERT_EQ(supervisor.received.size(), 1u);
+  EXPECT_EQ(supervisor.received[0].first, idb);  // broker hides the worker
+  EXPECT_EQ(broker.relayed_upstream(), 1u);
+
+  // Downstream: supervisor -> broker -> worker.
+  network.send(ids, idb, SampleChallenge{TaskId{1}, {}});
+  network.run();
+  ASSERT_EQ(worker.received.size(), 2u);
+  EXPECT_EQ(broker.relayed_downstream(), 1u);
+}
+
+TEST(Broker, DropsUnroutableTraffic) {
+  SimNetwork network;
+  RecordingNode worker, supervisor;
+  const GridNodeId idw = network.add_node(worker);
+  const GridNodeId ids = network.add_node(supervisor);
+  BrokerNode broker({idw});
+  const GridNodeId idb = network.add_node(broker);
+
+  network.send(ids, idb, Commitment{TaskId{99}, 1, to_bytes("r")});
+  network.run();
+  EXPECT_TRUE(worker.received.empty());
+  EXPECT_TRUE(supervisor.received.empty());
+}
+
+TEST(Broker, RequiresWorkers) {
+  EXPECT_THROW(BrokerNode({}), Error);
+}
+
+// ------------------------------------------------------------- simulation
+
+SchemeConfig scheme_of(SchemeKind kind) {
+  SchemeConfig scheme;
+  scheme.kind = kind;
+  scheme.cbs.sample_count = 20;
+  scheme.nicbs.sample_count = 20;
+  scheme.naive.sample_count = 20;
+  scheme.ringer.ringer_count = 10;
+  return scheme;
+}
+
+class AllSchemesHonest : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(AllSchemesHonest, EveryTaskAcceptedAndKeyFound) {
+  GridConfig config;
+  config.domain_begin = 0;
+  config.domain_end = 1 << 10;
+  config.workload = "keysearch";
+  config.workload_seed = 5;
+  config.participant_count = 4;
+  config.scheme = scheme_of(GetParam());
+  config.seed = 7;
+
+  const GridRunResult result = run_grid_simulation(config);
+
+  const std::size_t expected_tasks =
+      GetParam() == SchemeKind::kDoubleCheck ? 4u : 4u;
+  EXPECT_EQ(result.outcomes.size(), expected_tasks);
+  EXPECT_EQ(result.honest_tasks_rejected, 0u);
+  EXPECT_EQ(result.cheater_tasks_accepted, 0u);
+  EXPECT_EQ(result.honest_tasks_accepted, expected_tasks);
+
+  // The planted key must surface exactly once through the screener.
+  ASSERT_EQ(result.hits.size(), 1u) << to_string(GetParam());
+  EXPECT_TRUE(result.hits[0].report.starts_with("key-found:"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AllSchemesHonest,
+                         ::testing::Values(SchemeKind::kDoubleCheck,
+                                           SchemeKind::kNaiveSampling,
+                                           SchemeKind::kCbs,
+                                           SchemeKind::kNiCbs,
+                                           SchemeKind::kRinger),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param)) == "ni-cbs"
+                                      ? "nicbs"
+                                      : std::string(to_string(info.param)) ==
+                                                "double-check"
+                                            ? "doublecheck"
+                                            : std::string(
+                                                  to_string(info.param)) ==
+                                                      "naive-sampling"
+                                                  ? "naivesampling"
+                                                  : std::string(to_string(
+                                                        info.param));
+                         });
+
+class AllSchemesCheater : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(AllSchemesCheater, CheaterCaughtHonestUnharmed) {
+  GridConfig config;
+  config.domain_begin = 0;
+  config.domain_end = 1 << 10;
+  config.workload = "test";
+  config.participant_count = 4;
+  config.scheme = scheme_of(GetParam());
+  config.seed = 11;
+  config.cheaters = {{1, 0.4, 0.0, 0}};
+
+  const GridRunResult result = run_grid_simulation(config);
+  EXPECT_EQ(result.cheater_tasks_accepted, 0u) << to_string(GetParam());
+  EXPECT_GE(result.cheater_tasks_rejected, 1u);
+  EXPECT_EQ(result.honest_tasks_rejected, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AllSchemesCheater,
+                         ::testing::Values(SchemeKind::kDoubleCheck,
+                                           SchemeKind::kNaiveSampling,
+                                           SchemeKind::kCbs,
+                                           SchemeKind::kNiCbs,
+                                           SchemeKind::kRinger),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           std::erase(name, '-');
+                           return name;
+                         });
+
+TEST(Simulation, CbsUploadsFarLessThanNaive) {
+  GridConfig config;
+  config.domain_end = 1 << 14;
+  config.participant_count = 2;
+  config.seed = 13;
+
+  config.scheme = scheme_of(SchemeKind::kNaiveSampling);
+  const GridRunResult naive = run_grid_simulation(config);
+
+  config.scheme = scheme_of(SchemeKind::kCbs);
+  const GridRunResult cbs = run_grid_simulation(config);
+
+  // Results are 16 bytes × 16384 inputs: the O(n) upload dwarfs CBS's
+  // O(m log n) proof traffic, and the gap keeps widening with n
+  // (bench_comm_cost sweeps this).
+  EXPECT_LT(cbs.network.total_bytes * 10, naive.network.total_bytes);
+}
+
+TEST(Simulation, DoubleCheckBurnsReplicatedCompute) {
+  GridConfig config;
+  config.domain_end = 1 << 10;
+  config.participant_count = 4;
+  config.scheme = scheme_of(SchemeKind::kDoubleCheck);
+  const GridRunResult dc = run_grid_simulation(config);
+  // 4 participants cover only 2 distinct subdomains: 2× the work.
+  EXPECT_EQ(dc.participant_evaluations, 2u << 10);
+
+  config.scheme = scheme_of(SchemeKind::kCbs);
+  const GridRunResult cbs = run_grid_simulation(config);
+  EXPECT_EQ(cbs.participant_evaluations, 1u << 10);
+}
+
+TEST(Simulation, HonestDoubleCheckNeedsNoSupervisorCompute) {
+  GridConfig config;
+  config.domain_end = 1 << 9;
+  config.participant_count = 2;
+  config.scheme = scheme_of(SchemeKind::kDoubleCheck);
+  const GridRunResult result = run_grid_simulation(config);
+  EXPECT_EQ(result.supervisor_evaluations, 0u);  // replicas agree everywhere
+}
+
+TEST(Simulation, BrokerModeRunsAllSchemes) {
+  for (const SchemeKind kind :
+       {SchemeKind::kNaiveSampling, SchemeKind::kCbs, SchemeKind::kNiCbs,
+        SchemeKind::kRinger}) {
+    GridConfig config;
+    config.domain_end = 1 << 9;
+    config.participant_count = 3;
+    config.scheme = scheme_of(kind);
+    config.use_broker = true;
+    config.seed = 17;
+    const GridRunResult result = run_grid_simulation(config);
+    EXPECT_EQ(result.honest_tasks_accepted, 3u) << to_string(kind);
+    EXPECT_EQ(result.honest_tasks_rejected, 0u) << to_string(kind);
+  }
+}
+
+TEST(Simulation, NiCbsSavesBrokerRoundTripsVsCbs) {
+  GridConfig config;
+  config.domain_end = 1 << 9;
+  config.participant_count = 3;
+  config.use_broker = true;
+  config.seed = 19;
+
+  config.scheme = scheme_of(SchemeKind::kCbs);
+  const GridRunResult cbs = run_grid_simulation(config);
+
+  config.scheme = scheme_of(SchemeKind::kNiCbs);
+  const GridRunResult nicbs = run_grid_simulation(config);
+
+  // Interactive CBS needs commitment + challenge + response through the
+  // broker; NI-CBS ships one self-contained proof.
+  EXPECT_LT(nicbs.network.total_messages, cbs.network.total_messages);
+}
+
+TEST(Simulation, DeterministicGivenSeed) {
+  GridConfig config;
+  config.domain_end = 1 << 9;
+  config.participant_count = 3;
+  config.scheme = scheme_of(SchemeKind::kCbs);
+  config.seed = 23;
+  config.cheaters = {{2, 0.5, 0.0, 0}};
+
+  const GridRunResult a = run_grid_simulation(config);
+  const GridRunResult b = run_grid_simulation(config);
+  EXPECT_EQ(a.network.total_bytes, b.network.total_bytes);
+  EXPECT_EQ(a.network.total_messages, b.network.total_messages);
+  EXPECT_EQ(a.cheater_tasks_rejected, b.cheater_tasks_rejected);
+  EXPECT_EQ(a.hits.size(), b.hits.size());
+}
+
+TEST(Simulation, ValidatesConfig) {
+  GridConfig config;
+  config.participant_count = 0;
+  EXPECT_THROW(run_grid_simulation(config), Error);
+
+  config = {};
+  config.domain_end = 0;
+  EXPECT_THROW(run_grid_simulation(config), Error);
+
+  config = {};
+  config.cheaters = {{9, 0.5, 0.0, 0}};
+  EXPECT_THROW(run_grid_simulation(config), Error);
+
+  config = {};
+  config.participant_count = 3;  // not divisible by 2 replicas
+  config.scheme.kind = SchemeKind::kDoubleCheck;
+  EXPECT_THROW(run_grid_simulation(config), Error);
+}
+
+TEST(Simulation, FactoringUsesCheapVerifierNotRecompute) {
+  GridConfig config;
+  config.domain_end = 64;
+  config.workload = "factoring";
+  config.participant_count = 2;
+  config.scheme = scheme_of(SchemeKind::kCbs);
+  const GridRunResult result = run_grid_simulation(config);
+  EXPECT_EQ(result.honest_tasks_accepted, 2u);
+  EXPECT_GT(result.results_verified, 0u);
+  // The cheap verifier never re-runs f.
+  EXPECT_EQ(result.supervisor_evaluations, 0u);
+}
+
+}  // namespace
+}  // namespace ugc

@@ -1,0 +1,142 @@
+// The §2.2 *malicious* model: participants that do the f-work but corrupt
+// the screener channel, and the supervisor-side countermeasures. These
+// tests pin down exactly what CBS does and does not protect — matching the
+// paper's scoping of CBS to the semi-honest model.
+
+#include <gtest/gtest.h>
+
+#include "grid/simulation.h"
+
+namespace ugc {
+namespace {
+
+GridConfig base_config(SchemeKind kind) {
+  GridConfig config;
+  config.domain_begin = 0;
+  config.domain_end = 1 << 10;
+  config.workload = "keysearch";  // plants exactly one screener hit
+  config.workload_seed = 5;
+  config.participant_count = 4;
+  config.seed = 7;
+  config.scheme.kind = kind;
+  config.scheme.cbs.sample_count = 20;
+  config.scheme.nicbs.sample_count = 20;
+  config.scheme.naive.sample_count = 20;
+  config.scheme.ringer.ringer_count = 10;
+  return config;
+}
+
+// Make every participant malicious so the planted key's holder is corrupted
+// regardless of which subdomain contains it.
+void corrupt_everyone(GridConfig& config, ScreenerConduct conduct) {
+  for (std::size_t i = 0; i < config.participant_count; ++i) {
+    config.malicious.push_back({i, conduct});
+  }
+}
+
+TEST(MaliciousModel, CbsAcceptsScreenerSuppressor) {
+  // The documented gap: the commitment covers f values, not screener
+  // conduct, so a suppressor passes CBS verification...
+  GridConfig config = base_config(SchemeKind::kCbs);
+  corrupt_everyone(config, ScreenerConduct::kSuppress);
+  const GridRunResult result = run_grid_simulation(config);
+  EXPECT_EQ(result.honest_tasks_accepted, 4u);
+  // ...and the discovery is lost.
+  EXPECT_TRUE(result.hits.empty());
+}
+
+TEST(MaliciousModel, NaiveSamplingRecoversSuppressedHits) {
+  // Upload-based schemes are immune: the supervisor screens the uploaded
+  // results itself and never consults participant reports.
+  GridConfig config = base_config(SchemeKind::kNaiveSampling);
+  corrupt_everyone(config, ScreenerConduct::kSuppress);
+  const GridRunResult result = run_grid_simulation(config);
+  EXPECT_EQ(result.honest_tasks_accepted, 4u);
+  ASSERT_EQ(result.hits.size(), 1u);
+  EXPECT_TRUE(result.hits[0].report.starts_with("key-found:"));
+}
+
+TEST(MaliciousModel, DoubleCheckRecoversSuppressedHits) {
+  GridConfig config = base_config(SchemeKind::kDoubleCheck);
+  corrupt_everyone(config, ScreenerConduct::kSuppress);
+  const GridRunResult result = run_grid_simulation(config);
+  ASSERT_EQ(result.hits.size(), 1u);
+}
+
+TEST(MaliciousModel, HitValidationDropsFabrications) {
+  // A fabricator floods the screener channel with junk; recompute
+  // validation (one f eval per claimed hit) strips all of it.
+  GridConfig config = base_config(SchemeKind::kNiCbs);
+  corrupt_everyone(config, ScreenerConduct::kFabricate);
+  config.validate_reported_hits = true;
+  const GridRunResult result = run_grid_simulation(config);
+  EXPECT_EQ(result.honest_tasks_accepted, 4u);
+  for (const ScreenerHit& hit : result.hits) {
+    EXPECT_TRUE(hit.report.starts_with("key-found:"))
+        << "fabrication survived: " << hit.report;
+  }
+  // Validation work was billed: at least one eval per fabricated hit.
+  EXPECT_GT(result.supervisor_evaluations, 0u);
+}
+
+TEST(MaliciousModel, WithoutValidationFabricationsPollute) {
+  GridConfig config = base_config(SchemeKind::kNiCbs);
+  corrupt_everyone(config, ScreenerConduct::kFabricate);
+  config.validate_reported_hits = false;
+  const GridRunResult result = run_grid_simulation(config);
+  bool polluted = false;
+  for (const ScreenerHit& hit : result.hits) {
+    if (hit.report.starts_with("fabricated:")) {
+      polluted = true;
+    }
+  }
+  EXPECT_TRUE(polluted);
+}
+
+TEST(MaliciousModel, ValidationCanonicalizesHonestHits) {
+  // Faithful reporters are unaffected by validation: the single planted key
+  // arrives intact.
+  GridConfig config = base_config(SchemeKind::kCbs);
+  config.validate_reported_hits = true;
+  const GridRunResult result = run_grid_simulation(config);
+  ASSERT_EQ(result.hits.size(), 1u);
+  EXPECT_TRUE(result.hits[0].report.starts_with("key-found:"));
+}
+
+TEST(MaliciousModel, OutOfDomainFabricationsIgnored) {
+  // A fabricator pointing outside its own subdomain cannot trick another
+  // task's accounting; out-of-domain hits are discarded before validation.
+  GridConfig config = base_config(SchemeKind::kCbs);
+  corrupt_everyone(config, ScreenerConduct::kFabricate);
+  config.validate_reported_hits = true;
+  const GridRunResult result = run_grid_simulation(config);
+  for (const ScreenerHit& hit : result.hits) {
+    EXPECT_FALSE(hit.report.starts_with("fabricated:"));
+  }
+}
+
+TEST(MaliciousModel, SemiHonestCheatWithMaliciousScreenerStillCaught) {
+  // Conducts compose: skipping work is caught by CBS even when the screener
+  // channel is also corrupted.
+  GridConfig config = base_config(SchemeKind::kCbs);
+  config.cheaters = {{2, 0.4, 0.0, 0}};
+  config.malicious = {{2, ScreenerConduct::kSuppress}};
+  const GridRunResult result = run_grid_simulation(config);
+  EXPECT_EQ(result.cheater_tasks_rejected, 1u);
+  EXPECT_EQ(result.cheater_tasks_accepted, 0u);
+}
+
+TEST(MaliciousModel, ConductNamesAreStable) {
+  EXPECT_STREQ(to_string(ScreenerConduct::kFaithful), "faithful");
+  EXPECT_STREQ(to_string(ScreenerConduct::kSuppress), "suppress");
+  EXPECT_STREQ(to_string(ScreenerConduct::kFabricate), "fabricate");
+}
+
+TEST(MaliciousModel, MaliciousIndexValidated) {
+  GridConfig config = base_config(SchemeKind::kCbs);
+  config.malicious = {{9, ScreenerConduct::kSuppress}};
+  EXPECT_THROW(run_grid_simulation(config), Error);
+}
+
+}  // namespace
+}  // namespace ugc

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/nicbs.h"
+#include "core/retry_attacker.h"
+#include "test_util.h"
+
+namespace ugc {
+namespace {
+
+using ugc::testing::make_test_task;
+
+std::shared_ptr<const ResultVerifier> verifier_for(const Task& task) {
+  return std::make_shared<RecomputeVerifier>(task.f);
+}
+
+// ------------------------------------------------------------ honest path
+
+struct NiCbsCase {
+  std::uint64_t n;
+  std::size_t m;
+  std::uint64_t g_iterations;
+  LeafMode leaf_mode;
+  unsigned storage_height;
+};
+
+class NiCbsHonestSweep : public ::testing::TestWithParam<NiCbsCase> {};
+
+TEST_P(NiCbsHonestSweep, HonestParticipantAccepted) {
+  const auto [n, m, g_iter, leaf_mode, ell] = GetParam();
+  const Task task = make_test_task(n);
+  NiCbsConfig config;
+  config.sample_count = m;
+  config.sample_hash_iterations = g_iter;
+  config.tree.leaf_mode = leaf_mode;
+  config.tree.storage_subtree_height = ell;
+
+  const NiCbsRunResult result = run_nicbs_exchange(
+      task, config, make_honest_policy(), verifier_for(task));
+  EXPECT_TRUE(result.verdict.accepted()) << result.verdict.detail;
+  EXPECT_EQ(result.participant_metrics.honest_evaluations, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, NiCbsHonestSweep,
+    ::testing::Values(NiCbsCase{1, 4, 1, LeafMode::kRaw, 0},
+                      NiCbsCase{16, 8, 1, LeafMode::kRaw, 0},
+                      NiCbsCase{33, 16, 1, LeafMode::kRaw, 0},
+                      NiCbsCase{64, 16, 4, LeafMode::kRaw, 0},  // slow g
+                      NiCbsCase{64, 16, 1, LeafMode::kHashed, 0},
+                      NiCbsCase{100, 8, 2, LeafMode::kRaw, 3},
+                      NiCbsCase{256, 128, 1, LeafMode::kRaw, 0}));
+
+TEST(NiCbs, ProofIsDeterministicAndIdempotent) {
+  const Task task = make_test_task(64);
+  NiCbsConfig config;
+  config.sample_count = 16;
+
+  NiCbsParticipant a(task, config, make_honest_policy());
+  NiCbsParticipant b(task, config, make_honest_policy());
+  const NiCbsProof pa = a.prove();
+  const NiCbsProof pb = b.prove();
+  EXPECT_EQ(pa.commitment, pb.commitment);
+  EXPECT_EQ(pa.response, pb.response);
+
+  // Idempotent: proving twice does not re-sweep the domain.
+  a.prove();
+  EXPECT_EQ(a.metrics().honest_evaluations, 64u);
+}
+
+TEST(NiCbs, SampleHashInvocationsAccounted) {
+  const Task task = make_test_task(32);
+  NiCbsConfig config;
+  config.sample_count = 16;
+  NiCbsParticipant participant(task, config, make_honest_policy());
+  participant.prove();
+  EXPECT_EQ(participant.sample_hash_invocations(), 16u);
+
+  NiCbsSupervisor supervisor(task, config, verifier_for(task));
+  supervisor.verify(participant.prove());
+  EXPECT_EQ(supervisor.sample_hash_invocations(), 16u);
+}
+
+// ------------------------------------------------------------ cheat paths
+
+TEST(NiCbs, JunkGuesserCaught) {
+  const Task task = make_test_task(256);
+  NiCbsConfig config;
+  config.sample_count = 32;
+  const NiCbsRunResult result = run_nicbs_exchange(
+      task, config, make_semi_honest_cheater({0.3, 0.0, 7}),
+      verifier_for(task));
+  EXPECT_FALSE(result.verdict.accepted());
+}
+
+TEST(NiCbs, ForgedRootChangesDerivedSamples) {
+  // Corrupting the commitment root after proving changes the re-derived
+  // sample set, so the response indices no longer line up.
+  const Task task = make_test_task(128);
+  NiCbsConfig config;
+  config.sample_count = 16;
+  NiCbsParticipant participant(task, config, make_honest_policy());
+  NiCbsProof proof = participant.prove();
+  proof.commitment.root[0] ^= 0x01;
+
+  NiCbsSupervisor supervisor(task, config, verifier_for(task));
+  const Verdict verdict = supervisor.verify(proof);
+  EXPECT_FALSE(verdict.accepted());
+}
+
+TEST(NiCbs, MismatchedSampleCountConfigRejects) {
+  // Supervisor expecting a different m cannot be satisfied by the proof.
+  const Task task = make_test_task(64);
+  NiCbsConfig participant_config;
+  participant_config.sample_count = 8;
+  NiCbsParticipant participant(task, participant_config,
+                               make_honest_policy());
+
+  NiCbsConfig supervisor_config;
+  supervisor_config.sample_count = 16;
+  NiCbsSupervisor supervisor(task, supervisor_config, verifier_for(task));
+  EXPECT_EQ(supervisor.verify(participant.prove()).status,
+            VerdictStatus::kMalformed);
+}
+
+TEST(NiCbs, MismatchedGIterationsRejects) {
+  // Different g ⇒ different derived samples ⇒ malformed.
+  const Task task = make_test_task(64);
+  NiCbsConfig pc;
+  pc.sample_count = 8;
+  pc.sample_hash_iterations = 1;
+  NiCbsParticipant participant(task, pc, make_honest_policy());
+
+  NiCbsConfig sc = pc;
+  sc.sample_hash_iterations = 2;
+  NiCbsSupervisor supervisor(task, sc, verifier_for(task));
+  EXPECT_FALSE(supervisor.verify(participant.prove()).accepted());
+}
+
+// ------------------------------------------------------- §4.2 retry attack
+
+TEST(RetryAttack, SucceedsAndForgedProofVerifies) {
+  const Task task = make_test_task(256);
+  NiCbsConfig config;
+  config.sample_count = 4;  // deliberately weak: 1/r^m = ~4 attempts
+  RetryAttackConfig attack;
+  attack.honesty_ratio = 0.7;
+  attack.seed = 3;
+  attack.max_attempts = 1 << 16;
+
+  NiCbsRetryAttacker attacker(task, config, attack);
+  const RetryAttackOutcome outcome = attacker.run();
+  ASSERT_TRUE(outcome.success);
+  EXPECT_GE(outcome.attempts, 1u);
+  EXPECT_LT(outcome.honest_evaluations, 256u);  // it really skipped work
+
+  // The forged proof passes full supervisor verification: this is the
+  // vulnerability the paper's defenses target.
+  NiCbsSupervisor supervisor(task, config, verifier_for(task));
+  const Verdict verdict = supervisor.verify(outcome.proof);
+  EXPECT_TRUE(verdict.accepted()) << verdict.detail;
+}
+
+TEST(RetryAttack, FullyHonestAttackerSucceedsFirstTry) {
+  const Task task = make_test_task(64);
+  NiCbsConfig config;
+  config.sample_count = 8;
+  RetryAttackConfig attack;
+  attack.honesty_ratio = 1.0;
+  NiCbsRetryAttacker attacker(task, config, attack);
+  const RetryAttackOutcome outcome = attacker.run();
+  EXPECT_TRUE(outcome.success);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_EQ(outcome.honest_evaluations, 64u);
+}
+
+TEST(RetryAttack, ZeroHonestyRejectedAtConstruction) {
+  const Task task = make_test_task(64);
+  EXPECT_THROW(
+      NiCbsRetryAttacker(task, NiCbsConfig{}, RetryAttackConfig{0.0, 1, 10, true}),
+      Error);
+}
+
+TEST(RetryAttack, RespectsMaxAttempts) {
+  // Large m with small r: astronomically many attempts needed; the attacker
+  // must give up at the cap.
+  const Task task = make_test_task(64);
+  NiCbsConfig config;
+  config.sample_count = 64;
+  RetryAttackConfig attack;
+  attack.honesty_ratio = 0.5;
+  attack.seed = 5;
+  attack.max_attempts = 50;
+  NiCbsRetryAttacker attacker(task, config, attack);
+  const RetryAttackOutcome outcome = attacker.run();
+  EXPECT_FALSE(outcome.success);
+  EXPECT_EQ(outcome.attempts, 50u);
+}
+
+TEST(RetryAttack, GAccountingEarlyExitVsFull) {
+  const Task task = make_test_task(128);
+  NiCbsConfig config;
+  config.sample_count = 6;
+  RetryAttackConfig attack;
+  attack.honesty_ratio = 0.6;
+  attack.seed = 11;
+  attack.max_attempts = 1 << 16;
+
+  attack.early_exit = true;
+  const RetryAttackOutcome lazy = NiCbsRetryAttacker(task, config, attack).run();
+  ASSERT_TRUE(lazy.success);
+  EXPECT_LE(lazy.g_invocations, lazy.g_invocations_full);
+  EXPECT_EQ(lazy.g_invocations_full, lazy.attempts * 6);
+
+  attack.early_exit = false;
+  const RetryAttackOutcome eager =
+      NiCbsRetryAttacker(task, config, attack).run();
+  ASSERT_TRUE(eager.success);
+  EXPECT_EQ(eager.g_invocations, eager.attempts * 6);
+}
+
+TEST(RetryAttack, MeanAttemptsNearOneOverRToM) {
+  // Statistical check of §4.2's 1/r^m expectation (coarse here; the bench
+  // sweeps this properly).
+  const double r = 0.5;
+  const std::size_t m = 3;  // expected attempts = 8
+  const Task task = make_test_task(128);
+  NiCbsConfig config;
+  config.sample_count = m;
+
+  double total_attempts = 0;
+  const int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    RetryAttackConfig attack;
+    attack.honesty_ratio = r;
+    attack.seed = 100 + static_cast<std::uint64_t>(t);
+    attack.max_attempts = 1 << 18;
+    const RetryAttackOutcome outcome =
+        NiCbsRetryAttacker(task, config, attack).run();
+    ASSERT_TRUE(outcome.success);
+    total_attempts += static_cast<double>(outcome.attempts);
+  }
+  const double mean = total_attempts / kTrials;
+  const double predicted = expected_retry_attempts(r, m);
+  EXPECT_NEAR(mean, predicted, predicted * 0.35);
+}
+
+}  // namespace
+}  // namespace ugc

@@ -1,0 +1,194 @@
+// Cross-cutting properties that tie the pieces together: detection-rate
+// equivalence across schemes, the high-q phenomenon on a real workload
+// (instead of the synthetic q knob), and conservation-style invariants of
+// the grid accounting.
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/cbs.h"
+#include "grid/simulation.h"
+#include "test_util.h"
+#include "workloads/lucas_lehmer.h"
+
+namespace ugc {
+namespace {
+
+using ugc::testing::make_test_task;
+
+// A realistic cheater for sparse-output workloads: skip the work and claim
+// the overwhelmingly common answer (here: "not a Mersenne prime"). This is
+// the paper's q made concrete — no synthetic coin, just domain knowledge.
+class ZeroGuesser final : public HonestyPolicy {
+ public:
+  ZeroGuesser(double honesty_ratio, std::uint64_t seed)
+      : inner_({honesty_ratio, 0.0, seed}) {}
+
+  LeafDecision decide(LeafIndex i, const Task& task) const override {
+    if (inner_.computes_honestly(i)) {
+      return {task.f->evaluate(task.domain.input(i)), true};
+    }
+    return {Bytes(task.f->result_size(), 0x00), false};
+  }
+  bool computes_honestly(LeafIndex i) const override {
+    return inner_.computes_honestly(i);
+  }
+  std::string name() const override { return "zero-guesser"; }
+
+ private:
+  SemiHonestCheater inner_;
+};
+
+TEST(HighQWorkload, ZeroGuessingLucasLehmerMostlySurvivesSmallM) {
+  // Exponent range [2, 130): 9 Mersenne-prime exponents, so guessing zero
+  // is right with q ~ 0.93. Theorem 3 says m must grow by ~14x vs q = 0.
+  const Task task = Task::make(TaskId{1}, Domain(2, 130),
+                               std::make_shared<LucasLehmerFunction>(),
+                               std::make_shared<MersenneScreener>());
+  const auto verifier = std::make_shared<RecomputeVerifier>(task.f);
+
+  const double q = 1.0 - 9.0 / 128.0;  // fraction of zero results
+  int escaped_small_m = 0;
+  int escaped_large_m = 0;
+  const int kTrials = 120;
+  const auto m_small = std::size_t{8};
+  const auto m_large =
+      *required_sample_size(0.05, 0.5, q);  // accounts for guessing
+
+  for (int t = 0; t < kTrials; ++t) {
+    const auto policy =
+        std::make_shared<ZeroGuesser>(0.5, 100 + static_cast<std::uint64_t>(t));
+    CbsConfig small;
+    small.sample_count = m_small;
+    if (run_cbs_exchange(task, small, policy, verifier, 500 + t)
+            .verdict.accepted()) {
+      ++escaped_small_m;
+    }
+    CbsConfig large;
+    large.sample_count = m_large;
+    if (run_cbs_exchange(task, large, policy, verifier, 900 + t)
+            .verdict.accepted()) {
+      ++escaped_large_m;
+    }
+  }
+
+  // Small m: escape probability (0.5 + 0.5q)^8 ~ 0.75 — most runs survive.
+  const double predicted_small = cheat_success_probability(0.5, q, m_small);
+  EXPECT_NEAR(static_cast<double>(escaped_small_m) / kTrials, predicted_small,
+              0.15);
+  // Properly sized m (from Eq. 3 *with q*): escape rate ≤ ~5%.
+  EXPECT_LE(escaped_large_m, kTrials / 8);
+  EXPECT_GT(m_large, m_small * 4);  // the q-premium is substantial
+}
+
+TEST(SchemeEquivalence, NaiveSamplingAndCbsCatchAtTheSameRate) {
+  // Both schemes sample uniformly and fail on one bad result: the escape
+  // probability must match (r + (1-r)q)^m for both.
+  const int kTrials = 250;
+  const std::size_t m = 3;
+  const double r = 0.5;
+
+  int cbs_escapes = 0;
+  int naive_escapes = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    GridConfig config;
+    config.domain_end = 128;
+    config.participant_count = 1;
+    config.seed = 3000 + static_cast<std::uint64_t>(t);
+    config.cheaters = {{0, r, 0.0, 0}};
+    config.scheme.cbs.sample_count = m;
+    config.scheme.naive.sample_count = m;
+
+    config.scheme.kind = SchemeKind::kCbs;
+    if (run_grid_simulation(config).cheater_tasks_accepted > 0) ++cbs_escapes;
+    config.scheme.kind = SchemeKind::kNaiveSampling;
+    if (run_grid_simulation(config).cheater_tasks_accepted > 0)
+      ++naive_escapes;
+  }
+  const double predicted = cheat_success_probability(r, 0.0, m);
+  EXPECT_NEAR(static_cast<double>(cbs_escapes) / kTrials, predicted, 0.09);
+  EXPECT_NEAR(static_cast<double>(naive_escapes) / kTrials, predicted, 0.09);
+}
+
+TEST(Accounting, ParticipantEvaluationsConserveAcrossSchemes) {
+  // For honest grids, total genuine evaluations must equal the domain size
+  // (once per input), except double-check which multiplies by replicas.
+  for (const SchemeKind kind :
+       {SchemeKind::kNaiveSampling, SchemeKind::kCbs, SchemeKind::kNiCbs,
+        SchemeKind::kRinger}) {
+    GridConfig config;
+    config.domain_end = 1 << 10;
+    config.participant_count = 4;
+    config.scheme.kind = kind;
+    config.scheme.ringer.ringer_count = 4;
+    const GridRunResult result = run_grid_simulation(config);
+    EXPECT_EQ(result.participant_evaluations, 1u << 10) << to_string(kind);
+  }
+
+  GridConfig dc;
+  dc.domain_end = 1 << 10;
+  dc.participant_count = 4;
+  dc.scheme.kind = SchemeKind::kDoubleCheck;
+  dc.scheme.double_check.replicas = 2;
+  EXPECT_EQ(run_grid_simulation(dc).participant_evaluations, 2u << 10);
+}
+
+TEST(Accounting, CheaterEvaluationsScaleWithHonestyRatio) {
+  GridConfig config;
+  config.domain_end = 1 << 12;
+  config.participant_count = 1;
+  config.scheme.kind = SchemeKind::kNiCbs;
+  config.scheme.nicbs.sample_count = 8;
+  config.cheaters = {{0, 0.25, 0.0, 42}};
+  const GridRunResult result = run_grid_simulation(config);
+  EXPECT_NEAR(static_cast<double>(result.participant_evaluations),
+              0.25 * (1 << 12), 0.05 * (1 << 12));
+}
+
+TEST(Accounting, PayloadByteHelpersAreConsistent) {
+  const Task task = make_test_task(256);
+  CbsConfig config;
+  config.sample_count = 16;
+  CbsParticipant participant(task, config, make_honest_policy());
+  CbsSupervisor supervisor(
+      task, config, std::make_shared<RecomputeVerifier>(task.f), Rng(5));
+  const SampleChallenge challenge = supervisor.challenge(participant.commit());
+  const ProofResponse response = participant.respond(challenge);
+
+  std::size_t sum = 8;
+  for (const SampleProof& proof : response.proofs) {
+    sum += proof.payload_bytes();
+  }
+  EXPECT_EQ(response.payload_bytes(), sum);
+
+  // The wire encoding tracks the payload accounting up to framing overhead
+  // (length prefixes, envelope): within 15%.
+  const std::size_t encoded = encode_message(Message{response}).size();
+  EXPECT_GT(encoded, response.payload_bytes());
+  EXPECT_LT(encoded, response.payload_bytes() * 115 / 100);
+}
+
+TEST(Determinism, EndToEndBitForBitStability) {
+  // The same seeds must give bit-identical commitments, proofs, and grid
+  // traffic — the property every Monte-Carlo result in EXPERIMENTS.md
+  // relies on.
+  const Task task = make_test_task(128);
+  CbsConfig config;
+  config.sample_count = 12;
+
+  CbsParticipant a(task, config, make_semi_honest_cheater({0.5, 0.3, 77}));
+  CbsParticipant b(task, config, make_semi_honest_cheater({0.5, 0.3, 77}));
+  EXPECT_EQ(a.commit(), b.commit());
+
+  CbsSupervisor sa(task, config, std::make_shared<RecomputeVerifier>(task.f),
+                   Rng(9));
+  CbsSupervisor sb(task, config, std::make_shared<RecomputeVerifier>(task.f),
+                   Rng(9));
+  const SampleChallenge ca = sa.challenge(a.commit());
+  const SampleChallenge cb = sb.challenge(b.commit());
+  EXPECT_EQ(ca, cb);
+  EXPECT_EQ(a.respond(ca), b.respond(cb));
+}
+
+}  // namespace
+}  // namespace ugc

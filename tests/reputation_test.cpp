@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "grid/latency.h"
+#include "grid/reputation.h"
+
+namespace ugc {
+namespace {
+
+// --------------------------------------------------------------- ledger
+
+TEST(ReputationLedger, PriorTrustBeforeObservations) {
+  ReputationLedger ledger({1.0, 1.0, 0.5, 2});
+  EXPECT_DOUBLE_EQ(ledger.trust(0), 0.5);
+  EXPECT_EQ(ledger.observations(0), 0u);
+  EXPECT_FALSE(ledger.banned(0));
+}
+
+TEST(ReputationLedger, PosteriorTracksOutcomes) {
+  ReputationLedger ledger({1.0, 1.0, 0.5, 2});
+  ledger.record(7, true);
+  ledger.record(7, true);
+  ledger.record(7, true);
+  EXPECT_NEAR(ledger.trust(7), 4.0 / 5.0, 1e-12);  // Beta(4,1)
+  ledger.record(7, false);
+  EXPECT_NEAR(ledger.trust(7), 4.0 / 6.0, 1e-12);  // Beta(4,2)
+}
+
+TEST(ReputationLedger, BanRequiresMinObservations) {
+  ReputationLedger ledger({1.0, 1.0, 0.5, 3});
+  ledger.record(1, false);
+  ledger.record(1, false);
+  EXPECT_FALSE(ledger.banned(1));  // only 2 observations
+  ledger.record(1, false);
+  EXPECT_TRUE(ledger.banned(1));   // Beta(1,4) mean = 0.2 < 0.5
+}
+
+TEST(ReputationLedger, ConsistentAcceptanceNeverBans) {
+  ReputationLedger ledger({1.0, 1.0, 0.5, 2});
+  for (int i = 0; i < 50; ++i) {
+    ledger.record(2, true);
+  }
+  EXPECT_FALSE(ledger.banned(2));
+  EXPECT_GT(ledger.trust(2), 0.95);
+}
+
+TEST(ReputationLedger, ParamValidation) {
+  EXPECT_THROW(ReputationLedger({0.0, 1.0, 0.5, 1}), Error);
+  EXPECT_THROW(ReputationLedger({1.0, 1.0, 0.0, 1}), Error);
+  EXPECT_THROW(ReputationLedger({1.0, 1.0, 1.0, 1}), Error);
+}
+
+// ----------------------------------------------------------- tournament
+
+TournamentConfig tournament_config() {
+  TournamentConfig config;
+  config.base.domain_end = 1 << 9;
+  config.base.workload = "test";
+  config.base.participant_count = 6;
+  config.base.seed = 31;
+  config.base.scheme.kind = SchemeKind::kCbs;
+  config.base.scheme.cbs.sample_count = 20;
+  config.base.cheaters = {{1, 0.4, 0.0, 0}, {4, 0.6, 0.0, 0}};
+  config.rounds = 6;
+  config.reputation = {1.0, 1.0, 0.5, 2};
+  return config;
+}
+
+TEST(Tournament, CheatersGetPurged) {
+  const TournamentResult result =
+      run_reputation_tournament(tournament_config());
+  ASSERT_EQ(result.rounds.size(), 6u);
+
+  // Both cheaters banned within a few rounds (they are caught every round).
+  EXPECT_TRUE(result.final_banned[1]);
+  EXPECT_TRUE(result.final_banned[4]);
+  EXPECT_LE(result.cheaters_purged_after, 3u);
+
+  // Honest participants keep high trust and stay active.
+  for (const std::size_t honest : {0u, 2u, 3u, 5u}) {
+    EXPECT_FALSE(result.final_banned[honest]) << "participant " << honest;
+    EXPECT_GT(result.final_trust[honest], 0.6);
+  }
+  EXPECT_LT(result.final_trust[1], 0.5);
+}
+
+TEST(Tournament, LaterRoundsRunWithoutCheaters) {
+  const TournamentResult result =
+      run_reputation_tournament(tournament_config());
+  const TournamentRound& last = result.rounds.back();
+  EXPECT_EQ(last.active_participants, 4u);  // 6 - 2 banned
+  EXPECT_EQ(last.cheater_tasks_rejected, 0u);
+  EXPECT_EQ(last.cheater_tasks_accepted, 0u);
+  EXPECT_EQ(last.honest_tasks_rejected, 0u);
+}
+
+TEST(Tournament, Deterministic) {
+  const TournamentResult a = run_reputation_tournament(tournament_config());
+  const TournamentResult b = run_reputation_tournament(tournament_config());
+  EXPECT_EQ(a.cheaters_purged_after, b.cheaters_purged_after);
+  EXPECT_EQ(a.final_trust, b.final_trust);
+}
+
+TEST(Tournament, Validation) {
+  TournamentConfig config = tournament_config();
+  config.rounds = 0;
+  EXPECT_THROW(run_reputation_tournament(config), Error);
+}
+
+// -------------------------------------------------------------- latency
+
+TEST(Latency, TransferTimeModel) {
+  const LinkProfile profile{1e6, 0.1};  // 1 MB/s, 100 ms RTT
+  // 2 MB in 4 messages: 2 s serialization + 4 * 50 ms.
+  EXPECT_NEAR(profile.transfer_seconds(2'000'000, 4), 2.2, 1e-9);
+  EXPECT_DOUBLE_EQ(profile.transfer_seconds(0, 0), 0.0);
+}
+
+TEST(Latency, EstimatesFromNetworkStats) {
+  NetworkStats stats;
+  stats.total_bytes = 1'000'000;
+  stats.total_messages = 10;
+  stats.sent_by[3] = LinkStats{4, 500'000};
+  const LinkProfile profile{1e6, 0.0};
+  EXPECT_DOUBLE_EQ(estimate_total_seconds(stats, profile), 1.0);
+  EXPECT_DOUBLE_EQ(estimate_upload_seconds(stats, GridNodeId{3}, profile),
+                   0.5);
+  EXPECT_DOUBLE_EQ(estimate_upload_seconds(stats, GridNodeId{9}, profile),
+                   0.0);
+}
+
+TEST(Latency, Validation) {
+  const LinkProfile bad{0.0, 0.1};
+  EXPECT_THROW(bad.transfer_seconds(1, 1), Error);
+}
+
+}  // namespace
+}  // namespace ugc

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/ringer.h"
+#include "test_util.h"
+
+namespace ugc {
+namespace {
+
+using ugc::testing::make_test_task;
+
+TEST(Ringer, HonestParticipantFindsAllRingers) {
+  const Task task = make_test_task(128);
+  const RingerSupervisor supervisor(task, {10, /*seed=*/1});
+  EXPECT_EQ(supervisor.planted_images().size(), 10u);
+  EXPECT_EQ(supervisor.precompute_evaluations(), 10u);
+
+  RingerParticipant participant(task, supervisor.planted_images(),
+                                make_honest_policy());
+  const RingerVerdict verdict = supervisor.verify(participant.scan());
+  EXPECT_TRUE(verdict.accepted);
+  EXPECT_EQ(verdict.ringers_found, 10u);
+  EXPECT_EQ(participant.honest_evaluations(), 128u);
+}
+
+TEST(Ringer, CheaterMissesRingersAndIsCaught) {
+  const Task task = make_test_task(256);
+  const RingerSupervisor supervisor(task, {12, 2});
+  RingerParticipant participant(task, supervisor.planted_images(),
+                                make_semi_honest_cheater({0.5, 0.0, 3}));
+  const RingerVerdict verdict = supervisor.verify(participant.scan());
+  // Escape probability 0.5^12 ≈ 2.4e-4; this seed is caught.
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_LT(verdict.ringers_found, verdict.ringers_expected);
+}
+
+TEST(Ringer, WrongTaskIdRejected) {
+  const Task task = make_test_task(64);
+  const RingerSupervisor supervisor(task, {4, 5});
+  RingerReport report;
+  report.task = TaskId{777};
+  EXPECT_FALSE(supervisor.verify(report).accepted);
+}
+
+TEST(Ringer, ExtraFoundInputsDoNotHurt) {
+  const Task task = make_test_task(64);
+  const RingerSupervisor supervisor(task, {4, 7});
+  RingerParticipant participant(task, supervisor.planted_images(),
+                                make_honest_policy());
+  RingerReport report = participant.scan();
+  report.found_inputs.push_back(task.domain.begin());  // spurious extra
+  EXPECT_TRUE(supervisor.verify(report).accepted);
+}
+
+TEST(Ringer, EmptyReportRejected) {
+  const Task task = make_test_task(64);
+  const RingerSupervisor supervisor(task, {4, 9});
+  const RingerVerdict verdict = supervisor.verify(RingerReport{task.id, {}});
+  EXPECT_FALSE(verdict.accepted);
+  EXPECT_EQ(verdict.ringers_found, 0u);
+}
+
+TEST(Ringer, ConfigValidation) {
+  const Task task = make_test_task(8);
+  EXPECT_THROW(RingerSupervisor(task, {0, 1}), Error);
+  EXPECT_THROW(RingerSupervisor(task, {9, 1}), Error);  // d > n
+  EXPECT_NO_THROW(RingerSupervisor(task, {8, 1}));      // d == n is legal
+}
+
+TEST(Ringer, ParticipantRequiresPolicy) {
+  const Task task = make_test_task(8);
+  EXPECT_THROW(RingerParticipant(task, {}, nullptr), Error);
+}
+
+TEST(Ringer, DetectionRateTracksRToTheD) {
+  // P(escape) = r^d. With r = 0.5, d = 2 → 25% escape.
+  const Task task = make_test_task(512);
+  int escaped = 0;
+  const int kTrials = 300;
+  for (int t = 0; t < kTrials; ++t) {
+    const RingerSupervisor supervisor(task,
+                                      {2, 1000 + static_cast<std::uint64_t>(t)});
+    RingerParticipant participant(
+        task, supervisor.planted_images(),
+        make_semi_honest_cheater({0.5, 0.0, 5000 + static_cast<std::uint64_t>(t)}));
+    if (supervisor.verify(participant.scan()).accepted) ++escaped;
+  }
+  EXPECT_NEAR(static_cast<double>(escaped) / kTrials, 0.25, 0.08);
+}
+
+}  // namespace
+}  // namespace ugc

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/sampling.h"
+#include "crypto/iterated_hash.h"
+
+namespace ugc {
+namespace {
+
+TEST(SampleWithReplacement, CorrectCountAndRange) {
+  Rng rng(1);
+  const auto samples = sample_with_replacement(rng, 100, 1000);
+  EXPECT_EQ(samples.size(), 1000u);
+  for (const LeafIndex s : samples) {
+    EXPECT_LT(s.value, 100u);
+  }
+}
+
+TEST(SampleWithReplacement, DeterministicGivenSeed) {
+  Rng a(7);
+  Rng b(7);
+  EXPECT_EQ(sample_with_replacement(a, 1000, 50),
+            sample_with_replacement(b, 1000, 50));
+}
+
+TEST(SampleWithReplacement, ZeroSamplesAllowed) {
+  Rng rng(1);
+  EXPECT_TRUE(sample_with_replacement(rng, 10, 0).empty());
+}
+
+TEST(SampleWithReplacement, RejectsEmptyDomain) {
+  Rng rng(1);
+  EXPECT_THROW(sample_with_replacement(rng, 0, 5), Error);
+}
+
+TEST(SampleWithReplacement, CoversDomainEventually) {
+  Rng rng(3);
+  const auto samples = sample_with_replacement(rng, 8, 400);
+  std::set<std::uint64_t> seen;
+  for (const LeafIndex s : samples) seen.insert(s.value);
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(SampleWithoutReplacement, AllDistinct) {
+  Rng rng(5);
+  const auto samples = sample_without_replacement(rng, 100, 50);
+  EXPECT_EQ(samples.size(), 50u);
+  std::set<std::uint64_t> seen;
+  for (const LeafIndex s : samples) {
+    EXPECT_LT(s.value, 100u);
+    EXPECT_TRUE(seen.insert(s.value).second) << "duplicate " << s.value;
+  }
+}
+
+TEST(SampleWithoutReplacement, FullDomainIsPermutationOfAll) {
+  Rng rng(9);
+  const auto samples = sample_without_replacement(rng, 20, 20);
+  std::set<std::uint64_t> seen;
+  for (const LeafIndex s : samples) seen.insert(s.value);
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(SampleWithoutReplacement, RejectsMGreaterThanN) {
+  Rng rng(1);
+  EXPECT_THROW(sample_without_replacement(rng, 5, 6), Error);
+}
+
+TEST(SampleWithoutReplacement, RoughlyUniformFirstPick) {
+  // Smoke check that Floyd's method doesn't bias low indices.
+  int low = 0;
+  for (std::uint64_t seed = 0; seed < 2000; ++seed) {
+    Rng rng(seed);
+    const auto samples = sample_without_replacement(rng, 100, 10);
+    for (const LeafIndex s : samples) {
+      if (s.value < 50) ++low;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(low) / 20000.0, 0.5, 0.03);
+}
+
+// ------------------------------------------------------------ Eq. 4
+
+TEST(DeriveSamples, DeterministicGivenRootAndG) {
+  const auto g = make_iterated_hash(HashAlgorithm::kMd5, 1);
+  const Bytes root = to_bytes("some-root-commitment-bytes");
+  EXPECT_EQ(derive_samples(root, 1000, 32, *g),
+            derive_samples(root, 1000, 32, *g));
+}
+
+TEST(DeriveSamples, DifferentRootsGiveDifferentSamples) {
+  const auto g = make_iterated_hash(HashAlgorithm::kMd5, 1);
+  const auto a = derive_samples(to_bytes("root-a"), 1 << 20, 16, *g);
+  const auto b = derive_samples(to_bytes("root-b"), 1 << 20, 16, *g);
+  EXPECT_NE(a, b);
+}
+
+TEST(DeriveSamples, IterationCountChangesSamples) {
+  const auto g1 = make_iterated_hash(HashAlgorithm::kMd5, 1);
+  const auto g2 = make_iterated_hash(HashAlgorithm::kMd5, 2);
+  const Bytes root = to_bytes("root");
+  EXPECT_NE(derive_samples(root, 1 << 20, 16, *g1),
+            derive_samples(root, 1 << 20, 16, *g2));
+}
+
+TEST(DeriveSamples, AllInRange) {
+  const auto g = make_iterated_hash(HashAlgorithm::kSha256, 1);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 100ULL, 12345ULL}) {
+    const auto samples = derive_samples(to_bytes("r"), n, 64, *g);
+    for (const LeafIndex s : samples) {
+      EXPECT_LT(s.value, n);
+    }
+  }
+}
+
+TEST(DeriveSamples, ChainStructureMatchesEquation4) {
+  // i_k = (g^k(root) mod n); verify against a manual chain.
+  const auto g = make_iterated_hash(HashAlgorithm::kSha256, 1);
+  const Bytes root = to_bytes("phi-of-R");
+  const std::uint64_t n = 977;  // prime, exercises mod
+  const auto samples = derive_samples(root, n, 5, *g);
+
+  Bytes chain = root;
+  for (std::size_t k = 0; k < 5; ++k) {
+    chain = g->hash(chain);
+    EXPECT_EQ(samples[k].value, read_u64_be(chain.data()) % n) << "k=" << k;
+  }
+}
+
+TEST(DeriveSamples, RoughlyUniform) {
+  const auto g = make_iterated_hash(HashAlgorithm::kSha256, 1);
+  constexpr std::uint64_t kBuckets = 4;
+  int counts[kBuckets] = {};
+  constexpr int kTotal = 4000;
+  const auto samples = derive_samples(to_bytes("u"), kBuckets, kTotal, *g);
+  for (const LeafIndex s : samples) ++counts[s.value];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kTotal / kBuckets, kTotal / kBuckets * 0.15);
+  }
+}
+
+TEST(DeriveSamplesEarlyExit, StopsAtFirstRejection) {
+  const auto g = make_iterated_hash(HashAlgorithm::kSha256, 1);
+  const Bytes root = to_bytes("early");
+  const std::uint64_t n = 100;
+  const auto full = derive_samples(root, n, 20, *g);
+
+  // Reject the 4th sample (index 3): derivation must stop there.
+  std::vector<LeafIndex> out;
+  std::size_t calls = 0;
+  const std::uint64_t g_used = derive_samples_early_exit(
+      root, n, 20, *g,
+      [&](LeafIndex) { return ++calls < 4; }, out);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(g_used, 4u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], full[i]);
+  }
+}
+
+TEST(DeriveSamplesEarlyExit, AcceptAllMatchesDeriveSamples) {
+  const auto g = make_iterated_hash(HashAlgorithm::kMd5, 3);
+  const Bytes root = to_bytes("all");
+  std::vector<LeafIndex> out;
+  const std::uint64_t g_used = derive_samples_early_exit(
+      root, 64, 10, *g, [](LeafIndex) { return true; }, out);
+  EXPECT_EQ(g_used, 10u);
+  EXPECT_EQ(out, derive_samples(root, 64, 10, *g));
+}
+
+}  // namespace
+}  // namespace ugc

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.h"
+#include "core/cbs.h"
+#include "core/sequential.h"
+#include "test_util.h"
+
+namespace ugc {
+namespace {
+
+using ugc::testing::make_test_task;
+
+// ------------------------------------------------------------------ Sprt
+
+TEST(Sprt, ConfigValidation) {
+  SprtConfig bad;
+  bad.pass_prob_cheater = 1.0;  // must be < honest
+  EXPECT_THROW(Sprt{bad}, Error);
+  bad = {};
+  bad.false_reject = 0.0;
+  EXPECT_THROW(Sprt{bad}, Error);
+  bad = {};
+  bad.max_samples = 0;
+  EXPECT_THROW(Sprt{bad}, Error);
+}
+
+TEST(Sprt, NoiseFreeFailureIsImmediatelyConclusive) {
+  SprtConfig config;  // p0 = 1
+  Sprt sprt(config);
+  EXPECT_EQ(sprt.observe(false), SprtDecision::kReject);
+  EXPECT_EQ(sprt.observations(), 1u);
+}
+
+TEST(Sprt, NoiseFreeAcceptMatchesFixedM) {
+  // With p0 = 1, the SPRT accepts after exactly ceil(log β / log p1)
+  // consecutive passes — the paper's Eq. 3 with ε = β.
+  SprtConfig config;
+  config.pass_prob_cheater = 0.5;
+  config.false_accept = 1e-4;
+  const std::size_t fixed_m = Sprt::fixed_m_equivalent(config);
+  EXPECT_EQ(fixed_m, *required_sample_size(1e-4, 0.5, 0.0));
+
+  Sprt sprt(config);
+  for (std::size_t k = 1; k < fixed_m; ++k) {
+    EXPECT_EQ(sprt.observe(true), SprtDecision::kContinue) << "k=" << k;
+  }
+  EXPECT_EQ(sprt.observe(true), SprtDecision::kAccept);
+}
+
+TEST(Sprt, ObserveAfterDecisionThrows) {
+  SprtConfig config;
+  Sprt sprt(config);
+  sprt.observe(false);
+  EXPECT_THROW(sprt.observe(true), Error);
+}
+
+TEST(Sprt, MaxSamplesResolvesToReject) {
+  SprtConfig config;
+  config.pass_prob_honest = 0.9;
+  config.pass_prob_cheater = 0.8;  // hypotheses close: slow test
+  config.max_samples = 5;
+  Sprt sprt(config);
+  SprtDecision d = SprtDecision::kContinue;
+  for (int i = 0; i < 5 && d == SprtDecision::kContinue; ++i) {
+    d = sprt.observe(i % 2 == 0);  // alternating: stays undecided
+  }
+  EXPECT_EQ(d, SprtDecision::kReject);
+}
+
+TEST(Sprt, ErrorRatesRespectWaldBounds) {
+  // Noisy channel: honest passes 95%, a half-cheater ~47.5%.
+  SprtConfig config;
+  config.pass_prob_honest = 0.95;
+  config.pass_prob_cheater = 0.475;
+  config.false_reject = 0.01;
+  config.false_accept = 0.01;
+
+  const int kTrials = 2000;
+  Rng rng(2024);
+  int false_rejects = 0;
+  int false_accepts = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    {
+      Sprt sprt(config);
+      while (sprt.decision() == SprtDecision::kContinue) {
+        sprt.observe(rng.bernoulli(config.pass_prob_honest));
+      }
+      if (sprt.decision() == SprtDecision::kReject) ++false_rejects;
+    }
+    {
+      Sprt sprt(config);
+      while (sprt.decision() == SprtDecision::kContinue) {
+        sprt.observe(rng.bernoulli(config.pass_prob_cheater));
+      }
+      if (sprt.decision() == SprtDecision::kAccept) ++false_accepts;
+    }
+  }
+  // Wald guarantees alpha + beta bounded (approximately, with slight
+  // overshoot); allow 2x headroom for the discrete overshoot.
+  EXPECT_LE(false_rejects, kTrials * 0.02);
+  EXPECT_LE(false_accepts, kTrials * 0.02);
+}
+
+TEST(Sprt, ExpectedSampleFormulasArePositiveAndOrdered) {
+  SprtConfig config;
+  config.pass_prob_honest = 0.95;
+  config.pass_prob_cheater = 0.5;
+  const double honest = Sprt::expected_samples_honest(config);
+  const double cheater = Sprt::expected_samples_cheater(config);
+  EXPECT_GT(honest, 0.0);
+  EXPECT_GT(cheater, 0.0);
+  // Cheaters are caught faster than honesty is confirmed here.
+  EXPECT_LT(cheater, honest);
+}
+
+TEST(Sprt, EmpiricalMeanMatchesWaldApproximation) {
+  SprtConfig config;
+  config.pass_prob_honest = 0.95;
+  config.pass_prob_cheater = 0.5;
+  config.false_reject = 1e-3;
+  config.false_accept = 1e-3;
+
+  Rng rng(7);
+  double total = 0.0;
+  const int kTrials = 1500;
+  for (int t = 0; t < kTrials; ++t) {
+    Sprt sprt(config);
+    while (sprt.decision() == SprtDecision::kContinue) {
+      sprt.observe(rng.bernoulli(config.pass_prob_cheater));
+    }
+    total += static_cast<double>(sprt.observations());
+  }
+  const double mean = total / kTrials;
+  const double predicted = Sprt::expected_samples_cheater(config);
+  EXPECT_NEAR(mean, predicted, predicted * 0.25);
+}
+
+// -------------------------------------------------- adaptive supervisor
+
+// Drives a full adaptive exchange; `corrupt_every` > 0 flips a result byte
+// in every k-th response (simulated channel noise).
+SprtDecision run_adaptive(const Task& task, const SprtConfig& sprt,
+                          std::shared_ptr<const HonestyPolicy> policy,
+                          std::uint64_t seed, int corrupt_every = 0,
+                          std::size_t* samples_used = nullptr) {
+  CbsConfig participant_config;
+  CbsParticipant participant(task, participant_config, std::move(policy));
+  AdaptiveCbsSupervisor supervisor(
+      task, TreeSettings{}, sprt,
+      std::make_shared<RecomputeVerifier>(task.f), Rng(seed));
+  supervisor.receive_commitment(participant.commit());
+
+  int round = 0;
+  while (auto challenge = supervisor.next_challenge()) {
+    ProofResponse response = participant.respond(*challenge);
+    ++round;
+    if (corrupt_every > 0 && round % corrupt_every == 0) {
+      response.proofs[0].result[0] ^= 0xff;
+    }
+    supervisor.submit(response);
+  }
+  if (samples_used != nullptr) {
+    *samples_used = supervisor.samples_used();
+  }
+  return supervisor.decision();
+}
+
+TEST(AdaptiveCbs, HonestAcceptedWithFixedMEquivalentSamples) {
+  const Task task = make_test_task(256);
+  SprtConfig sprt;
+  sprt.pass_prob_cheater = 0.5;
+  sprt.false_accept = 1e-4;
+  std::size_t used = 0;
+  EXPECT_EQ(run_adaptive(task, sprt, make_honest_policy(), 1, 0, &used),
+            SprtDecision::kAccept);
+  EXPECT_EQ(used, Sprt::fixed_m_equivalent(sprt));
+}
+
+TEST(AdaptiveCbs, CheaterRejectedEarly) {
+  const Task task = make_test_task(256);
+  SprtConfig sprt;
+  sprt.pass_prob_cheater = 0.5;
+  std::size_t used = 0;
+  EXPECT_EQ(run_adaptive(task, sprt,
+                         make_semi_honest_cheater({0.3, 0.0, 5}), 2, 0,
+                         &used),
+            SprtDecision::kReject);
+  // The first dishonest sample ends it: far fewer than fixed m.
+  EXPECT_LT(used, Sprt::fixed_m_equivalent(sprt));
+}
+
+TEST(AdaptiveCbs, NoiseTolerantConfigSurvivesCorruption) {
+  // 1-in-8 responses corrupted in transit. Zero-tolerance (p0 = 1) rejects
+  // the honest participant; a noise-aware SPRT accepts it.
+  const Task task = make_test_task(256);
+
+  SprtConfig strict;  // p0 = 1
+  strict.pass_prob_cheater = 0.5;
+  EXPECT_EQ(run_adaptive(task, strict, make_honest_policy(), 3, 8),
+            SprtDecision::kReject);
+
+  SprtConfig tolerant;
+  tolerant.pass_prob_honest = 0.85;
+  tolerant.pass_prob_cheater = 0.45;
+  EXPECT_EQ(run_adaptive(task, tolerant, make_honest_policy(), 3, 8),
+            SprtDecision::kAccept);
+
+  // And the tolerant test still rejects a real half-cheater.
+  EXPECT_EQ(run_adaptive(task, tolerant,
+                         make_semi_honest_cheater({0.5, 0.0, 9}), 4, 8),
+            SprtDecision::kReject);
+}
+
+TEST(AdaptiveCbs, ApiMisuseThrows) {
+  const Task task = make_test_task(16);
+  AdaptiveCbsSupervisor supervisor(
+      task, TreeSettings{}, SprtConfig{},
+      std::make_shared<RecomputeVerifier>(task.f), Rng(1));
+  EXPECT_THROW(supervisor.next_challenge(), Error);  // no commitment
+
+  CbsParticipant participant(task, CbsConfig{}, make_honest_policy());
+  supervisor.receive_commitment(participant.commit());
+  EXPECT_THROW(supervisor.submit(ProofResponse{task.id, {}}), Error);
+
+  auto challenge = supervisor.next_challenge();
+  ASSERT_TRUE(challenge.has_value());
+  EXPECT_THROW(supervisor.next_challenge(), Error);  // unanswered
+}
+
+}  // namespace
+}  // namespace ugc

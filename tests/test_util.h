@@ -1,0 +1,67 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "core/task.h"
+#include "crypto/sha256.h"
+
+namespace ugc::testing {
+
+// Cheap deterministic compute function for protocol tests:
+// f(x) = first `width` bytes of SHA256(LE64(x) || salt).
+class TestFunction final : public ComputeFunction {
+ public:
+  explicit TestFunction(std::size_t width = 16, std::uint64_t salt = 0)
+      : width_(width), salt_(salt) {}
+
+  Bytes evaluate(std::uint64_t x) const override {
+    Bytes input(16);
+    for (int i = 0; i < 8; ++i) {
+      input[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(x >> (8 * i));
+      input[static_cast<std::size_t>(8 + i)] =
+          static_cast<std::uint8_t>(salt_ >> (8 * i));
+    }
+    const Bytes digest = Sha256::hash(input).to_bytes();
+    return Bytes(digest.begin(),
+                 digest.begin() + static_cast<std::ptrdiff_t>(width_));
+  }
+
+  std::size_t result_size() const override { return width_; }
+  std::string name() const override { return "test-fn"; }
+
+ private:
+  std::size_t width_;
+  std::uint64_t salt_;
+};
+
+// Screener that reports inputs divisible by `modulus`.
+class ModScreener final : public Screener {
+ public:
+  explicit ModScreener(std::uint64_t modulus) : modulus_(modulus) {}
+
+  std::optional<std::string> screen(std::uint64_t x,
+                                    BytesView) const override {
+    if (x % modulus_ == 0) {
+      return "hit:" + std::to_string(x);
+    }
+    return std::nullopt;
+  }
+  std::string name() const override { return "mod-screener"; }
+
+ private:
+  std::uint64_t modulus_;
+};
+
+inline Task make_test_task(std::uint64_t n, std::uint64_t id = 1,
+                           std::size_t width = 16,
+                           std::shared_ptr<const Screener> screener = nullptr) {
+  return Task::make(TaskId{id}, Domain(1000, 1000 + n),
+                    std::make_shared<TestFunction>(width),
+                    std::move(screener));
+}
+
+}  // namespace ugc::testing

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+#include "wire/codec.h"
+#include "wire/messages.h"
+
+namespace ugc {
+namespace {
+
+// ---------------------------------------------------------------- codec
+
+TEST(Codec, FixedWidthRoundTrip) {
+  WireWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefULL);
+  WireReader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.done());
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, EncodesAndDecodes) {
+  WireWriter w;
+  w.varint(GetParam());
+  WireReader r(w.buffer());
+  EXPECT_EQ(r.varint(), GetParam());
+  EXPECT_TRUE(r.done());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeValues, VarintRoundTrip,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 129ULL, 16383ULL, 16384ULL,
+                      (1ULL << 32) - 1, 1ULL << 32, (1ULL << 56) + 123,
+                      std::numeric_limits<std::uint64_t>::max()));
+
+TEST(Codec, VarintUsesMinimalBytesForSmallValues) {
+  WireWriter w;
+  w.varint(5);
+  EXPECT_EQ(w.size(), 1u);
+  w.varint(200);
+  EXPECT_EQ(w.size(), 3u);  // 1 + 2
+}
+
+TEST(Codec, F64RoundTrip) {
+  for (double v : {0.0, 1.0, -1.5, 3.14159265358979, 1e-300, 1e300}) {
+    WireWriter w;
+    w.f64(v);
+    WireReader r(w.buffer());
+    EXPECT_EQ(r.f64(), v);
+  }
+}
+
+TEST(Codec, BytesAndStringsRoundTrip) {
+  WireWriter w;
+  w.bytes(to_bytes("hello"));
+  w.str("world");
+  w.bytes(Bytes{});
+  WireReader r(w.buffer());
+  EXPECT_EQ(to_string(r.bytes()), "hello");
+  EXPECT_EQ(r.str(), "world");
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, RawAppendsWithoutPrefix) {
+  WireWriter w;
+  w.raw(to_bytes("abc"));
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(Codec, TruncationThrows) {
+  WireWriter w;
+  w.u32(42);
+  {
+    WireReader r(w.buffer());
+    EXPECT_THROW(r.u64(), WireError);
+  }
+  {
+    WireReader r(BytesView{});
+    EXPECT_THROW(r.u8(), WireError);
+    EXPECT_THROW(r.varint(), WireError);
+  }
+}
+
+TEST(Codec, LengthPrefixBeyondRemainingThrows) {
+  WireWriter w;
+  w.varint(1000);  // claims 1000 bytes follow
+  w.raw(to_bytes("short"));
+  WireReader r(w.buffer());
+  EXPECT_THROW(r.bytes(), WireError);
+}
+
+TEST(Codec, VarintOverflowThrows) {
+  const Bytes too_long(11, 0xff);
+  WireReader r(too_long);
+  EXPECT_THROW(r.varint(), WireError);
+}
+
+TEST(Codec, ExpectDoneCatchesTrailingGarbage) {
+  WireWriter w;
+  w.u8(1);
+  w.u8(2);
+  WireReader r(w.buffer());
+  r.u8();
+  EXPECT_THROW(r.expect_done(), WireError);
+  r.u8();
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+// ------------------------------------------------------------- messages
+
+Commitment sample_commitment() {
+  return Commitment{TaskId{7}, 1024, to_bytes("a-32-byte-root-commitment!!!")};
+}
+
+ProofResponse sample_response() {
+  ProofResponse response;
+  response.task = TaskId{7};
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    SampleProof proof;
+    proof.index = LeafIndex{i * 100};
+    proof.result = to_bytes("result-" + std::to_string(i));
+    proof.siblings = {to_bytes("sib0"), to_bytes("sibling-one"), Bytes{}};
+    response.proofs.push_back(std::move(proof));
+  }
+  return response;
+}
+
+TaskAssignment sample_assignment() {
+  TaskAssignment m;
+  m.task = TaskId{3};
+  m.domain_begin = 1'000'000;
+  m.domain_end = 2'000'000;
+  m.workload = "keysearch";
+  m.workload_seed = 99;
+  m.scheme.kind = SchemeKind::kNiCbs;
+  m.scheme.nicbs.sample_count = 64;
+  m.scheme.nicbs.sample_hash = HashAlgorithm::kSha1;
+  m.scheme.nicbs.sample_hash_iterations = 4096;
+  m.scheme.nicbs.tree.tree_hash = HashAlgorithm::kMd5;
+  m.scheme.nicbs.tree.leaf_mode = LeafMode::kHashed;
+  m.scheme.nicbs.tree.storage_subtree_height = 8;
+  m.scheme.cbs.sample_count = 17;
+  m.scheme.cbs.sample_with_replacement = false;
+  m.scheme.naive.sample_count = 5;
+  m.scheme.double_check.replicas = 3;
+  m.scheme.ringer = RingerConfig{21, 1234};
+  m.ringer_images = {to_bytes("img-a"), to_bytes("img-b")};
+  return m;
+}
+
+template <typename T>
+void expect_round_trip(const T& original) {
+  const Bytes encoded = encode_message(Message{original});
+  const Message decoded = decode_message(encoded);
+  ASSERT_TRUE(std::holds_alternative<T>(decoded));
+  EXPECT_EQ(std::get<T>(decoded), original);
+}
+
+TEST(Messages, TaskAssignmentRoundTrip) { expect_round_trip(sample_assignment()); }
+
+TEST(Messages, CommitmentRoundTrip) { expect_round_trip(sample_commitment()); }
+
+TEST(Messages, SampleChallengeRoundTrip) {
+  expect_round_trip(SampleChallenge{
+      TaskId{7}, {LeafIndex{0}, LeafIndex{12345}, LeafIndex{1ULL << 40}}});
+}
+
+TEST(Messages, ProofResponseRoundTrip) { expect_round_trip(sample_response()); }
+
+TEST(Messages, NiCbsProofRoundTrip) {
+  expect_round_trip(NiCbsProof{sample_commitment(), sample_response()});
+}
+
+TEST(Messages, ResultsUploadRoundTrip) {
+  expect_round_trip(ResultsUpload{
+      TaskId{2}, {to_bytes("r0"), to_bytes("r1"), Bytes{}, to_bytes("r3")}});
+}
+
+TEST(Messages, ScreenerReportRoundTrip) {
+  expect_round_trip(ScreenerReport{
+      TaskId{2},
+      {ScreenerHit{5, "signal at 5"}, ScreenerHit{700, "hit"}}});
+}
+
+TEST(Messages, RingerReportRoundTrip) {
+  expect_round_trip(RingerReport{TaskId{4}, {1, 2, 3, 1ULL << 60}});
+}
+
+TEST(Messages, VerdictRoundTripAllStatuses) {
+  for (auto status :
+       {VerdictStatus::kAccepted, VerdictStatus::kWrongResult,
+        VerdictStatus::kRootMismatch, VerdictStatus::kMalformed}) {
+    Verdict v;
+    v.task = TaskId{9};
+    v.status = status;
+    v.detail = "details here";
+    expect_round_trip(v);
+  }
+  Verdict with_sample;
+  with_sample.task = TaskId{9};
+  with_sample.status = VerdictStatus::kWrongResult;
+  with_sample.failed_sample = LeafIndex{77};
+  expect_round_trip(with_sample);
+}
+
+TEST(Messages, EmptyCollectionsRoundTrip) {
+  expect_round_trip(SampleChallenge{TaskId{1}, {}});
+  expect_round_trip(ProofResponse{TaskId{1}, {}});
+  expect_round_trip(ScreenerReport{TaskId{1}, {}});
+  expect_round_trip(ResultsUpload{TaskId{1}, {}});
+  expect_round_trip(RingerReport{TaskId{1}, {}});
+}
+
+TEST(Messages, MessageTypeNamesAreStable) {
+  EXPECT_STREQ(to_string(MessageType::kTaskAssignment), "task-assignment");
+  EXPECT_STREQ(to_string(MessageType::kNiCbsProof), "nicbs-proof");
+  EXPECT_STREQ(to_string(MessageType::kVerdict), "verdict");
+}
+
+TEST(Messages, UnknownTypeRejected) {
+  WireWriter w;
+  w.u8(0xee);
+  w.u16(1);
+  EXPECT_THROW(decode_message(w.buffer()), WireError);
+}
+
+TEST(Messages, WrongVersionRejected) {
+  Bytes encoded = encode_message(Message{sample_commitment()});
+  encoded[1] = 0x42;  // clobber version
+  EXPECT_THROW(decode_message(encoded), WireError);
+}
+
+TEST(Messages, TrailingGarbageRejected) {
+  Bytes encoded = encode_message(Message{sample_commitment()});
+  encoded.push_back(0x00);
+  EXPECT_THROW(decode_message(encoded), WireError);
+}
+
+TEST(Messages, TruncationAtEveryPrefixThrowsCleanly) {
+  const Bytes encoded = encode_message(Message{sample_assignment()});
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    const BytesView prefix(encoded.data(), len);
+    EXPECT_THROW(decode_message(prefix), WireError) << "prefix length " << len;
+  }
+}
+
+TEST(Messages, SingleByteMutationsNeverCrash) {
+  const Bytes original = encode_message(Message{sample_response()});
+  for (std::size_t pos = 0; pos < original.size(); ++pos) {
+    Bytes mutated = original;
+    mutated[pos] ^= 0x5a;
+    try {
+      (void)decode_message(mutated);  // either parses or throws WireError
+    } catch (const WireError&) {
+      // expected for most mutations
+    }
+  }
+}
+
+TEST(Messages, RandomBytesFuzzNeverCrashes) {
+  Rng rng(20240610);
+  int parsed = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const Bytes junk = rng.bytes(rng.uniform(200));
+    try {
+      (void)decode_message(junk);
+      ++parsed;
+    } catch (const WireError&) {
+    }
+  }
+  // Random bytes almost never form a valid message.
+  EXPECT_LT(parsed, 10);
+}
+
+}  // namespace
+}  // namespace ugc

@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include "common/stopwatch.h"
+#include "core/cheating.h"
+#include "core/ringer.h"
+#include "workloads/factoring.h"
+#include "workloads/keysearch.h"
+#include "workloads/lucas_lehmer.h"
+#include "workloads/molecule_screen.h"
+#include "workloads/registry.h"
+#include "workloads/signal_scan.h"
+
+namespace ugc {
+namespace {
+
+// ------------------------------------------------------------- keysearch
+
+TEST(KeySearch, DeterministicFixedWidth) {
+  const KeySearchFunction f(4, 7);
+  EXPECT_EQ(f.evaluate(100), f.evaluate(100));
+  EXPECT_NE(f.evaluate(100), f.evaluate(101));
+  EXPECT_EQ(f.evaluate(100).size(), KeySearchFunction::kResultSize);
+}
+
+TEST(KeySearch, WorkFactorChangesOutput) {
+  const KeySearchFunction light(1, 7);
+  const KeySearchFunction heavy(16, 7);
+  EXPECT_NE(light.evaluate(5), heavy.evaluate(5));
+}
+
+TEST(KeySearch, WorkFactorValidation) {
+  EXPECT_THROW(KeySearchFunction(0, 1), Error);
+}
+
+TEST(KeySearch, ScreenerFindsOnlyTheSecret) {
+  const KeySearchScenario scenario = make_keysearch_scenario(0, 4096, 11);
+  EXPECT_LT(scenario.secret_key, 4096u);
+
+  std::size_t hits = 0;
+  for (std::uint64_t x = 0; x < 4096; ++x) {
+    if (scenario.screener->screen(x, scenario.f->evaluate(x)).has_value()) {
+      EXPECT_EQ(x, scenario.secret_key);
+      ++hits;
+    }
+  }
+  EXPECT_EQ(hits, 1u);
+}
+
+TEST(KeySearch, ScenarioIsSeedDeterministic) {
+  const auto a = make_keysearch_scenario(0, 1 << 16, 3);
+  const auto b = make_keysearch_scenario(0, 1 << 16, 3);
+  EXPECT_EQ(a.secret_key, b.secret_key);
+  const auto c = make_keysearch_scenario(0, 1 << 16, 4);
+  EXPECT_NE(a.secret_key, c.secret_key);  // overwhelmingly likely
+}
+
+TEST(KeySearch, OneWaySuitsRingerScheme) {
+  // The ringer baseline requires a one-way f; keysearch provides it.
+  const KeySearchScenario scenario = make_keysearch_scenario(500, 756, 13);
+  const Task task =
+      Task::make(TaskId{1}, Domain(500, 756), scenario.f, scenario.screener);
+  const RingerSupervisor supervisor(task, {6, 17});
+  RingerParticipant participant(task, supervisor.planted_images(),
+                                make_honest_policy());
+  EXPECT_TRUE(supervisor.verify(participant.scan()).accepted);
+}
+
+// ------------------------------------------------------------ signal scan
+
+TEST(SignalScan, Deterministic) {
+  SignalScanFunction::Params params;
+  params.noise_seed = 5;
+  const SignalScanFunction f(params);
+  EXPECT_EQ(f.evaluate(42), f.evaluate(42));
+  EXPECT_NE(f.evaluate(42), f.evaluate(43));
+  EXPECT_EQ(f.evaluate(42).size(), SignalScanFunction::kResultSize);
+}
+
+TEST(SignalScan, InjectedBlocksScoreFarAboveNoise) {
+  SignalScanFunction::Params params;
+  params.noise_seed = 9;
+  const SignalScanFunction f(params);
+
+  std::uint64_t worst_signal = ~std::uint64_t{0};
+  std::uint64_t best_noise = 0;
+  std::size_t signal_blocks = 0;
+  for (std::uint64_t x = 0; x < 512; ++x) {
+    const std::uint64_t score = SignalScanFunction::score_of(f.evaluate(x));
+    if (f.has_signal(x)) {
+      ++signal_blocks;
+      worst_signal = std::min(worst_signal, score);
+    } else {
+      best_noise = std::max(best_noise, score);
+    }
+  }
+  ASSERT_GT(signal_blocks, 0u);  // ~512/64 = 8 expected
+  ASSERT_LT(signal_blocks, 64u);
+  // Complete separation with a wide margin around the registry threshold.
+  EXPECT_GT(worst_signal, best_noise * 2);
+  EXPECT_GT(worst_signal, std::uint64_t{98304});
+  EXPECT_LT(best_noise, std::uint64_t{98304});
+}
+
+TEST(SignalScan, ScreenerMatchesGroundTruth) {
+  SignalScanFunction::Params params;
+  params.noise_seed = 21;
+  const SignalScanFunction f(params);
+  const SignalScreener screener(98304);
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    const bool reported = screener.screen(x, f.evaluate(x)).has_value();
+    EXPECT_EQ(reported, f.has_signal(x)) << "block " << x;
+  }
+}
+
+TEST(SignalScan, ParamValidation) {
+  SignalScanFunction::Params params;
+  params.block_samples = 4;
+  EXPECT_THROW(SignalScanFunction{params}, Error);
+  params = {};
+  params.templates = 0;
+  EXPECT_THROW(SignalScanFunction{params}, Error);
+}
+
+TEST(SignalScan, ShortResultIsNotScreened) {
+  const SignalScreener screener(1);
+  EXPECT_EQ(screener.screen(0, Bytes{1, 2}), std::nullopt);
+}
+
+// -------------------------------------------------------- molecule screen
+
+TEST(MoleculeScreen, DeterministicFixedWidth) {
+  const MoleculeScreenFunction f({});
+  EXPECT_EQ(f.evaluate(7), f.evaluate(7));
+  EXPECT_NE(f.evaluate(7), f.evaluate(8));
+  EXPECT_EQ(f.evaluate(7).size(), MoleculeScreenFunction::kResultSize);
+}
+
+TEST(MoleculeScreen, ReceptorSeedChangesScores) {
+  const MoleculeScreenFunction a({32, 16, 1});
+  const MoleculeScreenFunction b({32, 16, 2});
+  EXPECT_NE(a.evaluate(7), b.evaluate(7));
+}
+
+TEST(MoleculeScreen, StrongBindersAreRareButExist) {
+  const MoleculeScreenFunction f({});
+  const BindingScreener screener(36000);
+  std::size_t hits = 0;
+  for (std::uint64_t x = 0; x < 500; ++x) {
+    if (screener.screen(x, f.evaluate(x)).has_value()) {
+      ++hits;
+    }
+  }
+  EXPECT_GT(hits, 0u);
+  EXPECT_LT(hits, 250u);  // "interesting" must be the exception
+}
+
+TEST(MoleculeScreen, ParamValidation) {
+  EXPECT_THROW(MoleculeScreenFunction({2, 16, 1}), Error);
+  EXPECT_THROW(MoleculeScreenFunction({32, 0, 1}), Error);
+}
+
+// ---------------------------------------------------------- Lucas–Lehmer
+
+TEST(LucasLehmer, KnownMersennePrimeExponents) {
+  for (std::uint64_t p : {2u, 3u, 5u, 7u, 13u, 17u, 19u, 31u, 61u}) {
+    EXPECT_TRUE(LucasLehmerFunction::mersenne_is_prime(p)) << "p=" << p;
+  }
+}
+
+TEST(LucasLehmer, KnownCompositeMersenneNumbers) {
+  for (std::uint64_t p : {11u, 23u, 29u, 37u, 41u, 43u, 47u, 53u, 59u}) {
+    EXPECT_FALSE(LucasLehmerFunction::mersenne_is_prime(p)) << "p=" << p;
+  }
+}
+
+TEST(LucasLehmer, NonPrimeExponentsRejectedImmediately) {
+  for (std::uint64_t p : {0u, 1u, 4u, 6u, 9u, 15u, 21u, 100u}) {
+    EXPECT_FALSE(LucasLehmerFunction::mersenne_is_prime(p)) << "p=" << p;
+  }
+}
+
+TEST(LucasLehmer, OversizedExponentsRejected) {
+  EXPECT_FALSE(LucasLehmerFunction::mersenne_is_prime(64));
+  EXPECT_FALSE(LucasLehmerFunction::mersenne_is_prime(89));  // prime M_89, >64 bits
+}
+
+TEST(LucasLehmer, FunctionAndScreenerAgree) {
+  const LucasLehmerFunction f;
+  const MersenneScreener screener;
+  for (std::uint64_t p = 0; p < 70; ++p) {
+    const Bytes result = f.evaluate(p);
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_EQ(result[0] == 1, LucasLehmerFunction::mersenne_is_prime(p));
+    EXPECT_EQ(screener.screen(p, result).has_value(), result[0] == 1);
+  }
+}
+
+// -------------------------------------------------------------- factoring
+
+TEST(IsPrimeU64, SmallValues) {
+  EXPECT_FALSE(is_prime_u64(0));
+  EXPECT_FALSE(is_prime_u64(1));
+  EXPECT_TRUE(is_prime_u64(2));
+  EXPECT_TRUE(is_prime_u64(3));
+  EXPECT_FALSE(is_prime_u64(4));
+  EXPECT_TRUE(is_prime_u64(97));
+  EXPECT_FALSE(is_prime_u64(91));   // 7 × 13
+  EXPECT_FALSE(is_prime_u64(561));  // Carmichael
+}
+
+TEST(IsPrimeU64, LargeValues) {
+  EXPECT_TRUE(is_prime_u64((std::uint64_t{1} << 61) - 1));  // M61
+  EXPECT_FALSE(is_prime_u64((std::uint64_t{1} << 61) - 3));
+  EXPECT_TRUE(is_prime_u64(18446744073709551557ULL));  // largest u64 prime
+}
+
+TEST(Factoring, EvaluateReturnsSortedPrimeFactors) {
+  const FactoringFunction f({16, 3});
+  for (std::uint64_t x = 0; x < 20; ++x) {
+    const Bytes result = f.evaluate(x);
+    const auto [p, q] = FactoringFunction::factors_of(result);
+    EXPECT_LE(p, q);
+    EXPECT_TRUE(is_prime_u64(p));
+    EXPECT_TRUE(is_prime_u64(q));
+    EXPECT_EQ(p * q, f.modulus(x));
+  }
+}
+
+TEST(Factoring, VerifierAcceptsTruth) {
+  const auto f = std::make_shared<FactoringFunction>(
+      FactoringFunction::Params{16, 3});
+  const FactoringVerifier verifier(f);
+  for (std::uint64_t x = 0; x < 10; ++x) {
+    EXPECT_TRUE(verifier.verify(x, f->evaluate(x)));
+  }
+}
+
+TEST(Factoring, VerifierRejectsForgeries) {
+  const auto f = std::make_shared<FactoringFunction>(
+      FactoringFunction::Params{16, 3});
+  const FactoringVerifier verifier(f);
+
+  // Wrong modulus: factors of another input.
+  EXPECT_FALSE(verifier.verify(1, f->evaluate(2)));
+
+  // Unsorted: q < p.
+  const auto [p, q] = FactoringFunction::factors_of(f->evaluate(1));
+  Bytes swapped(16);
+  put_u64_be(q, swapped.data());
+  put_u64_be(p, swapped.data() + 8);
+  if (p != q) {
+    EXPECT_FALSE(verifier.verify(1, swapped));
+  }
+
+  // Trivial "factorization" 1 × N.
+  Bytes trivial(16);
+  put_u64_be(1, trivial.data());
+  put_u64_be(f->modulus(1), trivial.data() + 8);
+  EXPECT_FALSE(verifier.verify(1, trivial));
+
+  // Wrong size.
+  EXPECT_FALSE(verifier.verify(1, Bytes(8)));
+}
+
+TEST(Factoring, VerificationIsCheaperThanComputation) {
+  // The point of this workload: the verifier runs Miller–Rabin (log-time)
+  // instead of trial division (sqrt-time). Sanity-check the asymmetry.
+  const auto f = std::make_shared<FactoringFunction>(
+      FactoringFunction::Params{22, 5});
+  const FactoringVerifier verifier(f);
+  const Bytes result = f->evaluate(0);
+
+  Stopwatch compute_timer;
+  for (int i = 0; i < 5; ++i) {
+    (void)f->evaluate(0);
+  }
+  const auto compute_ns = compute_timer.elapsed_ns();
+
+  Stopwatch verify_timer;
+  for (int i = 0; i < 5; ++i) {
+    (void)verifier.verify(0, result);
+  }
+  const auto verify_ns = verify_timer.elapsed_ns();
+  EXPECT_LT(verify_ns * 10, compute_ns);  // ≥ 10× cheaper
+}
+
+TEST(Factoring, ParamValidation) {
+  EXPECT_THROW(FactoringFunction({3, 1}), Error);
+  EXPECT_THROW(FactoringFunction({32, 1}), Error);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(Registry, BuiltInsPresent) {
+  const auto names = WorkloadRegistry::global().names();
+  for (const char* expected :
+       {"test", "keysearch", "signal-scan", "molecule-screen", "lucas-lehmer",
+        "factoring"}) {
+    EXPECT_TRUE(WorkloadRegistry::global().contains(expected))
+        << expected << " missing from " << names.size() << " workloads";
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(WorkloadRegistry::global().make("nope", 1), Error);
+}
+
+TEST(Registry, BundlesAreComplete) {
+  for (const std::string& name : WorkloadRegistry::global().names()) {
+    const WorkloadBundle bundle = WorkloadRegistry::global().make(name, 1);
+    EXPECT_NE(bundle.f, nullptr) << name;
+    EXPECT_NE(bundle.screener, nullptr) << name;
+    EXPECT_NE(bundle.make_verifier(), nullptr) << name;
+    EXPECT_GT(bundle.f->result_size(), 0u) << name;
+  }
+}
+
+TEST(Registry, FactoringBundleUsesCheapVerifier) {
+  const WorkloadBundle bundle = WorkloadRegistry::global().make("factoring", 1);
+  ASSERT_NE(bundle.verifier, nullptr);
+  EXPECT_EQ(bundle.verifier->name(), "factoring-verifier");
+}
+
+TEST(Registry, VerifierFallsBackToRecompute) {
+  const WorkloadBundle bundle = WorkloadRegistry::global().make("test", 1);
+  EXPECT_EQ(bundle.verifier, nullptr);
+  const auto verifier = bundle.make_verifier();
+  EXPECT_TRUE(verifier->verify(3, bundle.f->evaluate(3)));
+}
+
+TEST(Registry, CustomRegistration) {
+  WorkloadRegistry registry;
+  EXPECT_FALSE(registry.contains("custom"));
+  registry.register_workload("custom", [](std::uint64_t seed) {
+    WorkloadBundle bundle;
+    bundle.f = std::make_shared<KeySearchFunction>(1, seed);
+    return bundle;
+  });
+  EXPECT_TRUE(registry.contains("custom"));
+  const WorkloadBundle bundle = registry.make("custom", 9);
+  EXPECT_NE(bundle.f, nullptr);
+  EXPECT_NE(bundle.screener, nullptr);  // null screener auto-filled
+}
+
+TEST(Registry, RegistrationValidation) {
+  WorkloadRegistry registry;
+  EXPECT_THROW(registry.register_workload("", [](std::uint64_t) {
+    return WorkloadBundle{};
+  }),
+               Error);
+  EXPECT_THROW(registry.register_workload("x", nullptr), Error);
+}
+
+}  // namespace
+}  // namespace ugc
