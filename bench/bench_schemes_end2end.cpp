@@ -1,59 +1,89 @@
-// Head-to-head: all five verification schemes on one grid scenario.
+// Head-to-head: every registered verification scheme on one grid scenario.
 //
 // Reproduces the paper's comparative argument (§1 and §3): double-check
 // wastes compute, naive sampling wastes bandwidth, CBS/NI-CBS keep both
 // small, the ringer baseline matches CBS's costs but only works for
 // one-way f. One cheater (r = 0.5) is planted; every scheme must catch it.
+//
+// The scheme list comes straight from the SchemeRegistry — registering a new
+// scheme adds a row here with no further edits — plus the two CBS variants
+// (batched proofs, SPRT sequential sampling) that ride on the "cbs" entry.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "grid/simulation.h"
+#include "scheme/registry.h"
 
 using namespace ugc;
 
 namespace {
 
+struct Scenario {
+  std::string label;
+  SchemeConfig scheme;
+};
+
+SchemeConfig base_scheme(const std::string& name) {
+  SchemeConfig scheme;
+  scheme.name = name;
+  scheme.naive.sample_count = 33;
+  scheme.cbs.sample_count = 33;
+  scheme.nicbs.sample_count = 33;
+  scheme.ringer.ringer_count = 33;
+  return scheme;
+}
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> out;
+  for (const std::string& name : SchemeRegistry::global().names()) {
+    out.push_back({name, base_scheme(name)});
+  }
+  Scenario batched{"cbs (batched)", base_scheme("cbs")};
+  batched.scheme.cbs.use_batch_proofs = true;
+  out.push_back(std::move(batched));
+  Scenario sprt{"cbs (sprt)", base_scheme("cbs")};
+  sprt.scheme.cbs.use_sprt = true;
+  sprt.scheme.cbs.sprt.pass_prob_cheater = 0.5;
+  out.push_back(std::move(sprt));
+  return out;
+}
+
 struct SchemeRow {
-  SchemeKind kind;
   GridRunResult result;
   double wall_ms;
 };
 
-SchemeRow run(SchemeKind kind) {
+SchemeRow run(const SchemeConfig& scheme) {
   GridConfig config;
   config.domain_end = 1 << 14;
   config.workload = "keysearch";
   config.workload_seed = 21;
   config.participant_count = 8;
   config.seed = 77;
-  config.scheme.kind = kind;
-  config.scheme.naive.sample_count = 33;
-  config.scheme.cbs.sample_count = 33;
-  config.scheme.nicbs.sample_count = 33;
-  config.scheme.ringer.ringer_count = 33;
+  config.scheme = scheme;
   config.cheaters = {{2, 0.5, 0.0, 0}};
 
   Stopwatch timer;
   GridRunResult result = run_grid_simulation(config);
-  return SchemeRow{kind, std::move(result), timer.elapsed_seconds() * 1e3};
+  return SchemeRow{std::move(result), timer.elapsed_seconds() * 1e3};
 }
 
 }  // namespace
 
 int main() {
-  std::printf("== all schemes, one scenario: n = 2^14 keysearch, 8 "
-              "participants, one cheater (r = 0.5) ==\n\n");
+  std::printf("== all registered schemes, one scenario: n = 2^14 keysearch, "
+              "8 participants, one cheater (r = 0.5) ==\n\n");
   std::printf("%-16s %10s %12s %12s %10s %8s %8s %8s\n", "scheme",
               "part.evals", "sup.evals", "bytes", "messages", "caught",
               "false+", "ms");
 
-  for (const SchemeKind kind :
-       {SchemeKind::kDoubleCheck, SchemeKind::kNaiveSampling, SchemeKind::kCbs,
-        SchemeKind::kNiCbs, SchemeKind::kRinger}) {
-    const SchemeRow row = run(kind);
+  for (const Scenario& scenario : scenarios()) {
+    const SchemeRow row = run(scenario.scheme);
     std::printf("%-16s %10llu %12llu %12llu %10llu %7zu/1 %8zu %8.1f\n",
-                to_string(kind),
+                scenario.label.c_str(),
                 static_cast<unsigned long long>(
                     row.result.participant_evaluations),
                 static_cast<unsigned long long>(
@@ -68,6 +98,7 @@ int main() {
   std::printf("\nreading guide: double-check doubles part.evals; naive "
               "sampling's bytes are O(n); CBS/NI-CBS keep both near the "
               "honest minimum. The ringer row matches CBS costs but assumes "
-              "one-way f.\n");
+              "one-way f; the sprt row stops sampling as soon as Wald's test "
+              "decides.\n");
   return 0;
 }

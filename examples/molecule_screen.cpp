@@ -14,7 +14,7 @@ using namespace ugc;
 
 namespace {
 
-GridRunResult run_scheme(SchemeKind kind, std::size_t participants) {
+GridRunResult run_scheme(const char* scheme_name, std::size_t participants) {
   GridConfig config;
   config.domain_begin = 0;
   config.domain_end = 4096;  // molecule ids
@@ -22,7 +22,7 @@ GridRunResult run_scheme(SchemeKind kind, std::size_t participants) {
   config.workload_seed = 12;
   config.participant_count = participants;
   config.seed = 555;
-  config.scheme.kind = kind;
+  config.scheme.name = scheme_name;
   config.scheme.double_check.replicas = 2;
   config.scheme.cbs.sample_count = 33;
   config.cheaters = {{1, 0.7, 0.0, 0}};
@@ -35,8 +35,8 @@ int main() {
   std::printf("== Screening 4096 molecules for binders ==\n");
   std::printf("8 donated machines, participant 1 cheats (r=0.7)\n\n");
 
-  const GridRunResult dc = run_scheme(SchemeKind::kDoubleCheck, 8);
-  const GridRunResult cbs = run_scheme(SchemeKind::kCbs, 8);
+  const GridRunResult dc = run_scheme("double-check", 8);
+  const GridRunResult cbs = run_scheme("cbs", 8);
 
   std::printf("%-32s %14s %14s\n", "", "double-check", "CBS");
   std::printf("%-32s %14llu %14llu\n", "participant f evaluations",

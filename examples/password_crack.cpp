@@ -15,7 +15,9 @@ using namespace ugc;
 
 namespace {
 
-GridRunResult run_scheme(SchemeKind kind, bool verbose) {
+// Schemes are addressed by their SchemeRegistry name — the grid nodes
+// resolve the rest.
+GridRunResult run_scheme(const char* scheme_name, bool verbose) {
   GridConfig config;
   config.domain_begin = 0;
   config.domain_end = 1 << 16;
@@ -23,7 +25,7 @@ GridRunResult run_scheme(SchemeKind kind, bool verbose) {
   config.workload_seed = 7;
   config.participant_count = 8;
   config.seed = 2024;
-  config.scheme.kind = kind;
+  config.scheme.name = scheme_name;
   config.scheme.naive.sample_count = 33;
   config.scheme.cbs.sample_count = 33;
   config.cheaters = {{3, 0.5, 0.0, 0}};  // participant 3 does half the work
@@ -46,13 +48,13 @@ int main() {
   std::printf("key space 2^16, participant 3 cheats with r=0.5\n\n");
 
   std::printf("--- naive sampling (participants upload ALL results) ---\n");
-  const GridRunResult naive = run_scheme(SchemeKind::kNaiveSampling, true);
+  const GridRunResult naive = run_scheme("naive-sampling", true);
   std::printf("  cheater caught: %s | upload traffic: %llu bytes\n\n",
               naive.cheater_tasks_rejected > 0 ? "yes" : "NO",
               static_cast<unsigned long long>(naive.network.total_bytes));
 
   std::printf("--- CBS (commit, then prove m=33 samples) ---\n");
-  const GridRunResult cbs = run_scheme(SchemeKind::kCbs, true);
+  const GridRunResult cbs = run_scheme("cbs", true);
   std::printf("  cheater caught: %s | upload traffic: %llu bytes\n\n",
               cbs.cheater_tasks_rejected > 0 ? "yes" : "NO",
               static_cast<unsigned long long>(cbs.network.total_bytes));

@@ -1,38 +1,38 @@
-// Quickstart: one interactive CBS exchange, in-process.
+// Quickstart: one interactive CBS exchange, driven through the unified
+// VerificationScheme session API.
 //
 // A supervisor hands a participant the task of evaluating f over a domain;
 // the participant commits to all results with a Merkle root, the supervisor
 // spot-checks m random samples against the commitment. An honest participant
 // passes; a semi-honest cheater that computed only 40% of the work is
 // caught.
+//
+// Every scheme in the library runs through the same three lines: resolve it
+// in the SchemeRegistry, configure it, run the exchange. Swap "cbs" for
+// "ni-cbs", "ringer", "naive-sampling" — or your own registered scheme —
+// and nothing else changes.
 
 #include <cstdio>
 
 #include "core/analysis.h"
-#include "core/cbs.h"
+#include "scheme/exchange.h"
+#include "scheme/registry.h"
 #include "workloads/keysearch.h"
 
 using namespace ugc;
 
 namespace {
 
-CbsRunResult run_with(const Task& task, const CbsConfig& config,
-                      std::shared_ptr<const HonestyPolicy> policy,
-                      std::uint64_t seed) {
-  auto verifier = std::make_shared<RecomputeVerifier>(task.f);
-  return run_cbs_exchange(task, config, std::move(policy), verifier, seed);
-}
-
-void describe(const char* who, const CbsRunResult& result) {
+void describe(const char* who, const SchemeExchangeResult& result) {
+  const Verdict& verdict = result.verdicts.front();
   std::printf("%-22s verdict=%-13s f-evals=%llu  hits=%zu\n", who,
-              to_string(result.verdict.status),
-              static_cast<unsigned long long>(
-                  result.participant_metrics.honest_evaluations),
-              result.report.hits.size());
-  if (!result.verdict.accepted()) {
-    std::printf("%-22s   detail: %s\n", "", result.verdict.detail.c_str());
+              to_string(verdict.status),
+              static_cast<unsigned long long>(result.participant_evaluations),
+              result.reports.front().hits.size());
+  if (!verdict.accepted()) {
+    std::printf("%-22s   detail: %s\n", "", verdict.detail.c_str());
   }
-  for (const ScreenerHit& hit : result.report.hits) {
+  for (const ScreenerHit& hit : result.reports.front().hits) {
     std::printf("%-22s   screener: %s\n", "", hit.report.c_str());
   }
 }
@@ -45,22 +45,35 @@ int main() {
   const Task task =
       Task::make(TaskId{1}, Domain(0, 4096), scenario.f, scenario.screener);
 
+  // Resolve the scheme by name — the same lookup the grid nodes perform for
+  // every TaskAssignment.
+  const VerificationScheme& cbs = SchemeRegistry::global().by_name("cbs");
+
   // m = 33 samples bounds the escape probability of a half-honest cheater
   // by (0.5)^33 ~ 1e-10 (Theorem 3 with q ~ 0).
-  CbsConfig config;
-  config.sample_count = 33;
+  SchemeConfig config;
+  config.cbs.sample_count = 33;
 
   std::printf("== Commitment-Based Sampling quickstart ==\n");
-  std::printf("domain n=%llu, samples m=%zu, hash=sha256\n\n",
+  std::printf("scheme=%s, domain n=%llu, samples m=%zu, hash=sha256\n\n",
+              cbs.name().c_str(),
               static_cast<unsigned long long>(task.domain.size()),
-              config.sample_count);
+              config.cbs.sample_count);
 
   describe("honest participant:",
-           run_with(task, config, make_honest_policy(), 1));
+           run_scheme_exchange(cbs, task, config, make_honest_policy()));
 
   describe("cheater (r=0.4):",
-           run_with(task, config,
-                    make_semi_honest_cheater({0.4, 0.0, 99}), 2));
+           run_scheme_exchange(cbs, task, config,
+                               make_semi_honest_cheater({0.4, 0.0, 99})));
+
+  // The same session API, with adaptive SPRT sampling switched on: the
+  // supervisor now issues one sample at a time and stops when certain.
+  SchemeConfig sprt_config = config;
+  sprt_config.cbs.use_sprt = true;
+  sprt_config.cbs.sprt.pass_prob_cheater = 0.5;
+  describe("honest, sprt mode:",
+           run_scheme_exchange(cbs, task, sprt_config, make_honest_policy()));
 
   std::printf(
       "\nTheorem 3: escape probability for r=0.4, q=0, m=33 is %.3g\n",

@@ -15,7 +15,7 @@ using namespace ugc;
 
 namespace {
 
-GridRunResult run_scheme(SchemeKind kind) {
+GridRunResult run_scheme(const char* scheme_name) {
   GridConfig config;
   config.domain_begin = 0;
   config.domain_end = 2048;  // 2048 sky blocks
@@ -24,7 +24,7 @@ GridRunResult run_scheme(SchemeKind kind) {
   config.participant_count = 4;
   config.use_broker = true;  // supervisor never sees the participants
   config.seed = 99;
-  config.scheme.kind = kind;
+  config.scheme.name = scheme_name;
   config.scheme.cbs.sample_count = 33;
   config.scheme.nicbs.sample_count = 33;
   config.cheaters = {{0, 0.6, 0.0, 0}};
@@ -37,8 +37,8 @@ int main() {
   std::printf("== SETI-style scan behind a GRACE resource broker ==\n");
   std::printf("2048 sky blocks, 4 hidden participants, one cheater (r=0.6)\n\n");
 
-  const GridRunResult cbs = run_scheme(SchemeKind::kCbs);
-  const GridRunResult nicbs = run_scheme(SchemeKind::kNiCbs);
+  const GridRunResult cbs = run_scheme("cbs");
+  const GridRunResult nicbs = run_scheme("ni-cbs");
 
   std::printf("%-28s %10s %10s\n", "", "CBS", "NI-CBS");
   std::printf("%-28s %10llu %10llu\n", "messages through broker",

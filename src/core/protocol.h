@@ -89,6 +89,16 @@ struct BatchProofResponse {
                          const BatchProofResponse&) = default;
 };
 
+// Participant -> supervisor: the full result vector, in domain order.
+// This is the O(n) upload that double-check and naive sampling require and
+// that CBS eliminates.
+struct ResultsUpload {
+  TaskId task;
+  std::vector<Bytes> results;
+
+  friend bool operator==(const ResultsUpload&, const ResultsUpload&) = default;
+};
+
 // The results of interest, reported through the screener channel.
 struct ScreenerReport {
   TaskId task;

@@ -2,6 +2,16 @@
 
 namespace ugc {
 
+const char* to_string(LeafMode mode) {
+  switch (mode) {
+    case LeafMode::kRaw:
+      return "raw";
+    case LeafMode::kHashed:
+      return "hashed";
+  }
+  return "unknown";
+}
+
 const char* to_string(SchemeKind kind) {
   switch (kind) {
     case SchemeKind::kDoubleCheck:

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "core/ringer.h"
 #include "core/settings.h"
@@ -41,6 +42,10 @@ struct NaiveSamplingConfig {
 // Union of per-scheme parameters; `kind` selects which members apply.
 struct SchemeConfig {
   SchemeKind kind = SchemeKind::kCbs;
+  // Optional SchemeRegistry name. When non-empty it overrides `kind` during
+  // resolution — the hook that lets custom (registered) schemes ride through
+  // TaskAssignment without a reserved enum value.
+  std::string name;
   DoubleCheckConfig double_check;
   NaiveSamplingConfig naive;
   CbsConfig cbs;

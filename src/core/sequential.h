@@ -35,18 +35,7 @@ enum class SprtDecision {
 
 const char* to_string(SprtDecision decision);
 
-struct SprtConfig {
-  // Pass probability of a sample under each hypothesis. Requires
-  // 0 <= p_cheater < p_honest <= 1.
-  double pass_prob_honest = 1.0;
-  double pass_prob_cheater = 0.5;
-  // P(reject | honest) and P(accept | cheater) targets (Wald bounds).
-  double false_reject = 1e-4;
-  double false_accept = 1e-4;
-  // Hard cap; an undecided test at the cap resolves conservatively to
-  // kReject (the participant can be re-audited).
-  std::size_t max_samples = 100'000;
-};
+// SprtConfig lives in core/settings.h (it ships inside CbsConfig).
 
 // The pure statistical test over pass/fail observations.
 class Sprt {

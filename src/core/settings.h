@@ -18,6 +18,8 @@ enum class LeafMode {
   kHashed,
 };
 
+const char* to_string(LeafMode mode);
+
 // Parameters the participant and supervisor must agree on to build /
 // reconstruct the same commitment tree.
 struct TreeSettings {
@@ -28,6 +30,24 @@ struct TreeSettings {
   unsigned storage_subtree_height = 0;
 
   friend bool operator==(const TreeSettings&, const TreeSettings&) = default;
+};
+
+// Parameters of Wald's Sequential Probability Ratio Test (core/sequential.h).
+// Lives here (not in sequential.h) because the grid ships it inside
+// CbsConfig, which participant and supervisor must agree on.
+struct SprtConfig {
+  // Pass probability of a sample under each hypothesis. Requires
+  // 0 <= p_cheater < p_honest <= 1.
+  double pass_prob_honest = 1.0;
+  double pass_prob_cheater = 0.5;
+  // P(reject | honest) and P(accept | cheater) targets (Wald bounds).
+  double false_reject = 1e-4;
+  double false_accept = 1e-4;
+  // Hard cap; an undecided test at the cap resolves conservatively to
+  // kReject (the participant can be re-audited).
+  std::size_t max_samples = 100'000;
+
+  friend bool operator==(const SprtConfig&, const SprtConfig&) = default;
 };
 
 // Interactive CBS protocol parameters (§3.1).
@@ -42,6 +62,12 @@ struct CbsConfig {
   // (merkle/batch_proof.h), deduplicating shared siblings. Off by default —
   // the paper's protocol ships independent paths.
   bool use_batch_proofs = false;
+  // Extension: adaptive sequential sampling. The supervisor issues
+  // single-sample challenges one at a time and stops per the SPRT instead
+  // of drawing a fixed m. Takes precedence over use_batch_proofs (batching
+  // a single sample is pointless).
+  bool use_sprt = false;
+  SprtConfig sprt;
 
   friend bool operator==(const CbsConfig&, const CbsConfig&) = default;
 };

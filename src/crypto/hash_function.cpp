@@ -62,6 +62,18 @@ HashAlgorithm parse_hash_algorithm(std::string_view name) {
   throw Error(concat("parse_hash_algorithm: unknown algorithm '", name, "'"));
 }
 
+const char* to_string(HashAlgorithm algorithm) {
+  switch (algorithm) {
+    case HashAlgorithm::kMd5:
+      return "md5";
+    case HashAlgorithm::kSha1:
+      return "sha1";
+    case HashAlgorithm::kSha256:
+      return "sha256";
+  }
+  return "unknown";
+}
+
 const HashFunction& default_hash() {
   static const Sha256Hash instance;
   return instance;

@@ -44,6 +44,9 @@ std::unique_ptr<HashFunction> make_hash(HashAlgorithm algorithm);
 // Parses "md5" / "sha1" / "sha256" (throws ugc::Error otherwise).
 HashAlgorithm parse_hash_algorithm(std::string_view name);
 
+// Inverse of parse_hash_algorithm: the stable lowercase algorithm name.
+const char* to_string(HashAlgorithm algorithm);
+
 // Process-wide default commitment hash (SHA-256). The returned reference is
 // valid for the lifetime of the program.
 const HashFunction& default_hash();

@@ -10,6 +10,8 @@ ParticipantNode::ParticipantNode(Options options)
                                         : make_honest_policy()),
       registry_(options.registry != nullptr ? options.registry
                                             : &WorkloadRegistry::global()),
+      schemes_(options.schemes != nullptr ? options.schemes
+                                          : &SchemeRegistry::global()),
       conduct_(options.screener_conduct),
       conduct_seed_(options.conduct_seed) {}
 
@@ -37,17 +39,41 @@ ScreenerReport ParticipantNode::conduct_report(const Task& task,
   return honest;
 }
 
+void ParticipantNode::drain(GridNodeId supervisor, ActiveTask& active,
+                            SimNetwork& network) {
+  while (auto message = active.session->next_message()) {
+    network.send(id(), supervisor, to_message(*message));
+  }
+  const std::uint64_t evaluations = active.session->honest_evaluations();
+  honest_evaluations_ += evaluations - active.counted_evaluations;
+  active.counted_evaluations = evaluations;
+}
+
 void ParticipantNode::on_message(GridNodeId from, const Message& message,
                                  SimNetwork& network) {
   if (const auto* assignment = std::get_if<TaskAssignment>(&message)) {
     handle_assignment(from, *assignment, network);
-  } else if (const auto* challenge = std::get_if<SampleChallenge>(&message)) {
-    handle_challenge(from, *challenge, network);
-  } else if (const auto* verdict = std::get_if<Verdict>(&message)) {
-    verdicts_[verdict->task] = *verdict;
+    return;
   }
-  // Other message types are not addressed to participants; ignore them
-  // (a real client drops unexpected traffic rather than crashing).
+  if (const auto* verdict = std::get_if<Verdict>(&message)) {
+    verdicts_[verdict->task] = *verdict;
+    active_.erase(verdict->task);  // the protocol for this task is over
+    return;
+  }
+  if (const auto scheme_message = to_scheme_message(message)) {
+    const auto it = active_.find(task_of(*scheme_message));
+    if (it == active_.end()) {
+      return;  // stale or misrouted scheme traffic
+    }
+    ActiveTask& active = it->second;
+    active.session->on_message(*scheme_message);
+    drain(from, active, network);
+    if (active.session->finished()) {
+      active_.erase(it);
+    }
+  }
+  // Anything else is not addressed to participants; ignore it (a real
+  // client drops unexpected traffic rather than crashing).
 }
 
 void ParticipantNode::handle_assignment(GridNodeId supervisor,
@@ -57,78 +83,17 @@ void ParticipantNode::handle_assignment(GridNodeId supervisor,
       registry_->make(m.workload, m.workload_seed);
   const Task task = Task::make(m.task, Domain(m.domain_begin, m.domain_end),
                                bundle.f, bundle.screener);
+  const VerificationScheme& scheme = schemes_->resolve(m.scheme);
 
-  switch (m.scheme.kind) {
-    case SchemeKind::kDoubleCheck:
-    case SchemeKind::kNaiveSampling: {
-      // Plain sweep: every result is uploaded (the O(n) baseline).
-      ResultsUpload upload;
-      upload.task = task.id;
-      ScreenerReport report{task.id, {}};
-      const std::uint64_t n = task.domain.size();
-      upload.results.reserve(n);
-      for (std::uint64_t i = 0; i < n; ++i) {
-        const auto decision = policy_->decide(LeafIndex{i}, task);
-        if (decision.honest) {
-          ++honest_evaluations_;
-        }
-        const std::uint64_t x = task.domain.input(LeafIndex{i});
-        if (auto hit = task.screener->screen(x, decision.value)) {
-          report.hits.push_back(ScreenerHit{x, std::move(*hit)});
-        }
-        upload.results.push_back(decision.value);
-      }
-      network.send(id(), supervisor, upload);
-      network.send(id(), supervisor, conduct_report(task, std::move(report)));
-      break;
-    }
-
-    case SchemeKind::kCbs: {
-      auto cbs = std::make_unique<CbsParticipant>(task, m.scheme.cbs, policy_);
-      const Commitment commitment = cbs->commit();
-      honest_evaluations_ += cbs->metrics().honest_evaluations;
-      network.send(id(), supervisor, commitment);
-      network.send(id(), supervisor,
-                   conduct_report(task, cbs->screener_report()));
-      active_.emplace(task.id, ActiveTask{task, std::move(cbs),
-                                          m.scheme.cbs.use_batch_proofs});
-      break;
-    }
-
-    case SchemeKind::kNiCbs: {
-      NiCbsParticipant nicbs(task, m.scheme.nicbs, policy_);
-      const NiCbsProof proof = nicbs.prove();
-      honest_evaluations_ += nicbs.metrics().honest_evaluations;
-      network.send(id(), supervisor, proof);
-      network.send(id(), supervisor,
-                   conduct_report(task, nicbs.screener_report()));
-      break;
-    }
-
-    case SchemeKind::kRinger: {
-      RingerParticipant ringer(task, m.ringer_images, policy_);
-      const RingerReport report = ringer.scan();
-      honest_evaluations_ += ringer.honest_evaluations();
-      network.send(id(), supervisor, report);
-      network.send(id(), supervisor,
-                   conduct_report(task, ScreenerReport{task.id, ringer.hits()}));
-      break;
-    }
-  }
-}
-
-void ParticipantNode::handle_challenge(GridNodeId supervisor,
-                                       const SampleChallenge& m,
-                                       SimNetwork& network) {
-  const auto it = active_.find(m.task);
-  check(it != active_.end(),
-        "ParticipantNode: challenge for unknown task ", m.task.value);
-  check(it->second.cbs != nullptr,
-        "ParticipantNode: challenge for non-CBS task ", m.task.value);
-  if (it->second.batched) {
-    network.send(id(), supervisor, it->second.cbs->respond_batched(m));
-  } else {
-    network.send(id(), supervisor, it->second.cbs->respond(m));
+  ActiveTask active{
+      scheme.open_participant(
+          ParticipantContext{task, m.scheme, m.ringer_images, policy_}),
+      0};
+  drain(supervisor, active, network);
+  network.send(id(), supervisor,
+               conduct_report(task, active.session->screener_report()));
+  if (!active.session->finished()) {
+    active_.insert_or_assign(task.id, std::move(active));
   }
 }
 

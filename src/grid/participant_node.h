@@ -5,24 +5,24 @@
 #include <optional>
 #include <vector>
 
-#include "core/cbs.h"
 #include "core/cheating.h"
-#include "core/nicbs.h"
-#include "core/ringer.h"
 #include "grid/network.h"
+#include "scheme/registry.h"
 #include "workloads/registry.h"
 
 namespace ugc {
 
-// A grid participant: accepts task assignments, evaluates its domain under
-// an HonestyPolicy (honest by default), and engages in whichever
-// verification scheme the assignment names. One node can hold several
-// concurrent tasks (each with its own protocol state).
+// A grid participant: accepts task assignments, resolves the named workload
+// and verification scheme through their registries, and drives the scheme's
+// ParticipantSession — the node itself knows nothing about any particular
+// scheme. One node can hold several concurrent tasks (each with its own
+// session state).
 class ParticipantNode final : public GridNode {
  public:
   struct Options {
     std::shared_ptr<const HonestyPolicy> policy;  // null = honest
     const WorkloadRegistry* registry = nullptr;   // null = global()
+    const SchemeRegistry* schemes = nullptr;      // null = global()
     // §2.2 malicious model: how this node treats the screener channel.
     ScreenerConduct screener_conduct = ScreenerConduct::kFaithful;
     std::uint64_t conduct_seed = 1;  // drives fabricated reports
@@ -44,22 +44,22 @@ class ParticipantNode final : public GridNode {
 
  private:
   struct ActiveTask {
-    Task task;
-    // Interactive CBS keeps the participant object alive across the
-    // challenge round; other schemes complete within one message.
-    std::unique_ptr<CbsParticipant> cbs;
-    bool batched = false;
+    std::unique_ptr<ParticipantSession> session;
+    // Evaluations already folded into honest_evaluations_ (sessions report
+    // running totals; the node accumulates deltas after every drain).
+    std::uint64_t counted_evaluations = 0;
   };
 
   void handle_assignment(GridNodeId supervisor, const TaskAssignment& m,
                          SimNetwork& network);
-  void handle_challenge(GridNodeId supervisor, const SampleChallenge& m,
-                        SimNetwork& network);
+  // Sends the session's pending messages and updates the work accounting.
+  void drain(GridNodeId supervisor, ActiveTask& active, SimNetwork& network);
   // Applies this node's ScreenerConduct to an honest report.
   ScreenerReport conduct_report(const Task& task, ScreenerReport honest);
 
   std::shared_ptr<const HonestyPolicy> policy_;
   const WorkloadRegistry* registry_;
+  const SchemeRegistry* schemes_;
   ScreenerConduct conduct_;
   std::uint64_t conduct_seed_;
   std::map<TaskId, ActiveTask> active_;

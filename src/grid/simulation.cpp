@@ -33,6 +33,7 @@ GridRunResult run_grid_simulation(const GridConfig& config) {
   participants.reserve(config.participant_count);
   for (std::size_t i = 0; i < config.participant_count; ++i) {
     ParticipantNode::Options options;
+    options.schemes = config.schemes;
     for (const CheaterSpec& cheater : config.cheaters) {
       if (cheater.participant_index == i) {
         const std::uint64_t seed =
@@ -75,6 +76,7 @@ GridRunResult run_grid_simulation(const GridConfig& config) {
   plan.workload_seed = config.workload_seed;
   plan.scheme = config.scheme;
   plan.seed = config.seed;
+  plan.schemes = config.schemes;
   plan.validate_reported_hits = config.validate_reported_hits;
   SupervisorNode supervisor(plan, slots);
   network.add_node(supervisor);

@@ -7,6 +7,7 @@
 #include "core/cheating.h"
 #include "core/scheme_config.h"
 #include "grid/network.h"
+#include "scheme/registry.h"
 
 namespace ugc {
 
@@ -39,6 +40,9 @@ struct GridConfig {
   std::uint64_t seed = 1;
   std::vector<CheaterSpec> cheaters;
   std::vector<MaliciousSpec> malicious;
+  // Scheme resolution for every node in the run (null = global()); inject a
+  // local registry to run custom schemes end-to-end.
+  const SchemeRegistry* schemes = nullptr;
   // Supervisor-side hit validation (see SupervisorNode::Plan).
   bool validate_reported_hits = true;
 };

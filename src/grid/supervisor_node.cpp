@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "common/error.h"
-#include "core/sampling.h"
 
 namespace ugc {
 
@@ -15,6 +15,10 @@ SupervisorNode::SupervisorNode(Plan plan, std::vector<GridNodeId> slots)
       plan_.registry != nullptr ? *plan_.registry : WorkloadRegistry::global();
   bundle_ = registry.make(plan_.workload, plan_.workload_seed);
 
+  const SchemeRegistry& schemes =
+      plan_.schemes != nullptr ? *plan_.schemes : SchemeRegistry::global();
+  scheme_ = &schemes.resolve(plan_.scheme);
+
   // Route all verification work through a counting wrapper so the
   // supervisor's compute cost is measurable.
   counting_f_ = std::make_shared<CountingComputeFunction>(bundle_.f);
@@ -24,14 +28,10 @@ SupervisorNode::SupervisorNode(Plan plan, std::vector<GridNodeId> slots)
     verifier_ = std::make_shared<RecomputeVerifier>(counting_f_);
   }
 
-  if (plan_.scheme.kind == SchemeKind::kDoubleCheck) {
-    check(plan_.scheme.double_check.replicas >= 2,
-          "SupervisorNode: double-check needs >= 2 replicas");
-    check(slots_.size() % plan_.scheme.double_check.replicas == 0,
-          "SupervisorNode: slot count ", slots_.size(),
-          " not divisible by replica count ",
-          plan_.scheme.double_check.replicas);
-  }
+  const std::size_t replicas = scheme_->replicas(plan_.scheme);
+  check(replicas >= 1, "SupervisorNode: scheme reports zero replicas");
+  check(slots_.size() % replicas == 0, "SupervisorNode: slot count ",
+        slots_.size(), " not divisible by replica count ", replicas);
 }
 
 Task SupervisorNode::task_for(TaskId id, const Domain& domain) const {
@@ -42,46 +42,55 @@ void SupervisorNode::start(SimNetwork& network) {
   check(!started_, "SupervisorNode::start: already started");
   started_ = true;
 
-  const std::size_t replicas = plan_.scheme.kind == SchemeKind::kDoubleCheck
-                                   ? plan_.scheme.double_check.replicas
-                                   : 1;
+  const std::size_t replicas = scheme_->replicas(plan_.scheme);
   const std::size_t group_count = slots_.size() / replicas;
   const std::vector<Domain> parts = plan_.domain.split(group_count);
 
   std::uint64_t next_task = 1;
-  for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
-    const std::size_t group = slot / replicas;
-    const TaskId id{next_task++};
+  for (std::size_t group = 0; group < group_count; ++group) {
     const Domain& subdomain = parts[group];
 
-    TaskState state;
-    state.domain = subdomain;
-    state.peer = slots_[slot];
-    state.group = group;
-
-    TaskAssignment assignment;
-    assignment.task = id;
-    assignment.domain_begin = subdomain.begin();
-    assignment.domain_end = subdomain.end();
-    assignment.workload = plan_.workload;
-    assignment.workload_seed = plan_.workload_seed;
-    assignment.scheme = plan_.scheme;
-
-    if (plan_.scheme.kind == SchemeKind::kRinger) {
-      RingerConfig config = plan_.scheme.ringer;
-      config.seed = rng_.next();  // fresh secret ringers per task
-      state.ringer = std::make_unique<RingerSupervisor>(
-          task_for(id, subdomain), config);
-      assignment.ringer_images = state.ringer->planted_images();
+    SupervisorContext context;
+    context.config = plan_.scheme;
+    context.verifier = verifier_;
+    context.seed = rng_.next();
+    std::vector<TaskId> ids;
+    ids.reserve(replicas);
+    for (std::size_t replica = 0; replica < replicas; ++replica) {
+      const TaskId id{next_task++};
+      ids.push_back(id);
+      context.tasks.push_back(task_for(id, subdomain));
     }
 
-    groups_[group].push_back(id);
-    tasks_.emplace(id, std::move(state));
-    network.send(this->id(), slots_[slot], assignment);
+    auto session = scheme_->open_supervisor(std::move(context));
+    for (std::size_t replica = 0; replica < replicas; ++replica) {
+      const std::size_t slot = group * replicas + replica;
+      const TaskId id = ids[replica];
+
+      TaskState state;
+      state.domain = subdomain;
+      state.peer = slots_[slot];
+      state.session = session.get();
+      tasks_.emplace(id, std::move(state));
+
+      TaskAssignment assignment;
+      assignment.task = id;
+      assignment.domain_begin = subdomain.begin();
+      assignment.domain_end = subdomain.end();
+      assignment.workload = plan_.workload;
+      assignment.workload_seed = plan_.workload_seed;
+      assignment.scheme = plan_.scheme;
+      assignment.ringer_images = session->planted_images(id);
+      network.send(this->id(), slots_[slot], assignment);
+    }
+    sessions_.push_back(std::move(session));
+    // Some schemes speak first from the supervisor side; flush any opening
+    // messages right behind the assignments.
+    drain(*sessions_.back(), network);
   }
 }
 
-void SupervisorNode::settle(TaskId, TaskState& state, Verdict verdict,
+void SupervisorNode::settle(TaskState& state, Verdict verdict,
                             SimNetwork& network) {
   if (state.verdict.has_value()) {
     return;  // first verdict wins; late duplicates are dropped
@@ -90,8 +99,59 @@ void SupervisorNode::settle(TaskId, TaskState& state, Verdict verdict,
   network.send(this->id(), state.peer, verdict);
 }
 
+void SupervisorNode::drain(SupervisorSession& session, SimNetwork& network) {
+  while (auto out = session.next_message()) {
+    const auto it = tasks_.find(out->task);
+    if (it == tasks_.end()) {
+      continue;  // session addressed a task this node never assigned
+    }
+    network.send(this->id(), it->second.peer, to_message(out->message));
+  }
+  while (auto verdict = session.next_verdict()) {
+    const auto it = tasks_.find(verdict->task);
+    if (it == tasks_.end()) {
+      continue;
+    }
+    settle(it->second, std::move(*verdict), network);
+  }
+  while (auto hits = session.next_hits()) {
+    const auto it = tasks_.find(hits->task);
+    if (it == tasks_.end()) {
+      continue;
+    }
+    std::vector<ScreenerHit>& sink = it->second.hits;
+    sink.insert(sink.end(), std::make_move_iterator(hits->hits.begin()),
+                std::make_move_iterator(hits->hits.end()));
+  }
+}
+
+void SupervisorNode::handle_report(TaskState& state,
+                                   const ScreenerReport& report) {
+  if (!scheme_->trusts_screener_reports()) {
+    return;  // the scheme's session screens results itself
+  }
+  if (!plan_.validate_reported_hits) {
+    state.hits.insert(state.hits.end(), report.hits.begin(),
+                      report.hits.end());
+    return;
+  }
+  for (const ScreenerHit& hit : report.hits) {
+    if (!state.domain.contains(hit.x)) {
+      continue;
+    }
+    // One f evaluation per reported hit: cheap, since hits are rare by
+    // construction, and it reduces the screener channel to the same
+    // trust level as a sampled result.
+    const Bytes value = counting_f_->evaluate(hit.x);
+    if (auto canonical = bundle_.screener->screen(hit.x, value)) {
+      state.hits.push_back(ScreenerHit{hit.x, std::move(*canonical)});
+    }
+  }
+}
+
 void SupervisorNode::on_message(GridNodeId from, const Message& message,
                                 SimNetwork& network) {
+  (void)from;
   const TaskId id = task_of(message);
   const auto it = tasks_.find(id);
   if (it == tasks_.end()) {
@@ -99,229 +159,30 @@ void SupervisorNode::on_message(GridNodeId from, const Message& message,
   }
   TaskState& state = it->second;
 
-  if (const auto* commitment = std::get_if<Commitment>(&message)) {
-    if (plan_.scheme.kind != SchemeKind::kCbs || state.cbs != nullptr) {
-      return;
-    }
-    state.cbs = std::make_unique<CbsSupervisor>(
-        task_for(id, state.domain), plan_.scheme.cbs, verifier_,
-        Rng(rng_.next()));
-    network.send(this->id(), state.peer, state.cbs->challenge(*commitment));
-
-  } else if (const auto* response = std::get_if<ProofResponse>(&message)) {
-    if (state.cbs == nullptr) {
-      return;
-    }
-    Verdict verdict = state.cbs->verify(*response);
-    results_verified_ += response->proofs.size();
-    settle(id, state, std::move(verdict), network);
-
-  } else if (const auto* proof = std::get_if<NiCbsProof>(&message)) {
-    if (plan_.scheme.kind != SchemeKind::kNiCbs) {
-      return;
-    }
-    NiCbsSupervisor supervisor(task_for(id, state.domain), plan_.scheme.nicbs,
-                               verifier_);
-    Verdict verdict = supervisor.verify(*proof);
-    results_verified_ += supervisor.metrics().results_verified;
-    settle(id, state, std::move(verdict), network);
-
-  } else if (const auto* batched = std::get_if<BatchProofResponse>(&message)) {
-    if (state.cbs == nullptr) {
-      return;
-    }
-    Verdict verdict = state.cbs->verify_batched(*batched);
-    results_verified_ += batched->results.size();
-    settle(id, state, std::move(verdict), network);
-
-  } else if (const auto* upload = std::get_if<ResultsUpload>(&message)) {
-    handle_upload(id, state, *upload, network);
-
-  } else if (const auto* ringer_report = std::get_if<RingerReport>(&message)) {
-    if (state.ringer == nullptr) {
-      return;
-    }
-    const RingerVerdict rv = state.ringer->verify(*ringer_report);
-    Verdict verdict;
-    verdict.task = id;
-    verdict.status =
-        rv.accepted ? VerdictStatus::kAccepted : VerdictStatus::kWrongResult;
-    verdict.detail = concat("ringers found ", rv.ringers_found, "/",
-                            rv.ringers_expected);
-    settle(id, state, std::move(verdict), network);
-
-  } else if (const auto* report = std::get_if<ScreenerReport>(&message)) {
-    if (plan_.scheme.kind == SchemeKind::kDoubleCheck ||
-        plan_.scheme.kind == SchemeKind::kNaiveSampling) {
-      return;  // the supervisor screens the uploaded results itself
-    }
-    if (!plan_.validate_reported_hits) {
-      state.hits.insert(state.hits.end(), report->hits.begin(),
-                        report->hits.end());
-      return;
-    }
-    for (const ScreenerHit& hit : report->hits) {
-      if (!state.domain.contains(hit.x)) {
-        continue;
-      }
-      // One f evaluation per reported hit: cheap, since hits are rare by
-      // construction, and it reduces the screener channel to the same
-      // trust level as a sampled result.
-      const Bytes value = counting_f_->evaluate(hit.x);
-      if (auto canonical = bundle_.screener->screen(hit.x, value)) {
-        state.hits.push_back(ScreenerHit{hit.x, std::move(*canonical)});
-      }
-    }
+  if (const auto* report = std::get_if<ScreenerReport>(&message)) {
+    handle_report(state, *report);
+    return;
   }
-  (void)from;
-}
-
-Verdict SupervisorNode::check_naive_upload(TaskId id, const TaskState& state,
-                                           const ResultsUpload& upload) {
-  const std::uint64_t n = state.domain.size();
-  Verdict verdict;
-  verdict.task = id;
-  if (upload.results.size() != n) {
-    verdict.status = VerdictStatus::kMalformed;
-    verdict.detail = concat("uploaded ", upload.results.size(),
-                            " results for a domain of ", n);
-    return verdict;
+  const auto scheme_message = to_scheme_message(message);
+  if (!scheme_message.has_value() || state.session == nullptr) {
+    return;  // grid-only traffic a supervisor never consumes
   }
-
-  const std::size_t m =
-      std::min<std::size_t>(plan_.scheme.naive.sample_count, n);
-  const std::vector<LeafIndex> samples = sample_with_replacement(rng_, n, m);
-  for (const LeafIndex index : samples) {
-    ++results_verified_;
-    const std::uint64_t x = state.domain.input(index);
-    if (!verifier_->verify(x, upload.results[index.value])) {
-      verdict.status = VerdictStatus::kWrongResult;
-      verdict.failed_sample = index;
-      verdict.detail = concat("spot-check failed at input ", x);
-      return verdict;
-    }
-  }
-  verdict.status = VerdictStatus::kAccepted;
-  verdict.detail = concat(m, " spot-checks passed");
-  return verdict;
-}
-
-void SupervisorNode::handle_upload(TaskId id, TaskState& state,
-                                   const ResultsUpload& upload,
-                                   SimNetwork& network) {
-  switch (plan_.scheme.kind) {
-    case SchemeKind::kNaiveSampling: {
-      Verdict verdict = check_naive_upload(id, state, upload);
-      const bool accepted = verdict.accepted();
-      settle(id, state, std::move(verdict), network);
-      if (accepted) {
-        screen_upload(state, upload);
-      }
-      return;
-    }
-    case SchemeKind::kDoubleCheck:
-      state.upload = upload;
-      resolve_double_check_group(state.group, network);
-      return;
-    default:
-      return;  // unexpected upload for this scheme
-  }
-}
-
-void SupervisorNode::screen_upload(TaskState& state,
-                                   const ResultsUpload& upload) {
-  // With the full result vector in hand, the supervisor runs the (cheap)
-  // screener itself — participant screener reports are irrelevant to
-  // upload-based schemes, which neutralizes §2.2's malicious conduct.
-  state.hits.clear();
-  for (std::uint64_t i = 0; i < upload.results.size(); ++i) {
-    const std::uint64_t x = state.domain.input(LeafIndex{i});
-    if (auto hit = bundle_.screener->screen(x, upload.results[i])) {
-      state.hits.push_back(ScreenerHit{x, std::move(*hit)});
-    }
-  }
-}
-
-void SupervisorNode::resolve_double_check_group(std::size_t group,
-                                                SimNetwork& network) {
-  const auto group_it = groups_.find(group);
-  check(group_it != groups_.end(), "SupervisorNode: unknown replica group");
-  const std::vector<TaskId>& members = group_it->second;
-
-  // Wait until every replica reported.
-  for (const TaskId member : members) {
-    if (!tasks_.at(member).upload.has_value()) {
-      return;
-    }
-  }
-
-  const Domain& domain = tasks_.at(members.front()).domain;
-  const std::uint64_t n = domain.size();
-
-  // Structurally invalid uploads are settled as malformed and excluded from
-  // comparison.
-  std::vector<TaskId> valid;
-  for (const TaskId member : members) {
-    TaskState& state = tasks_.at(member);
-    if (state.upload->results.size() != n) {
-      Verdict verdict;
-      verdict.task = member;
-      verdict.status = VerdictStatus::kMalformed;
-      verdict.detail = "wrong result count";
-      settle(member, state, std::move(verdict), network);
-    } else {
-      valid.push_back(member);
-    }
-  }
-
-  // Positions where any two valid replicas disagree get arbitrated by
-  // recomputing the truth; a replica is rejected iff it is wrong at any
-  // arbitrated position. Unanimous positions are accepted unverified —
-  // double-check is blind to colluding (or identically-guessing) cheaters.
-  std::vector<bool> wrong(valid.size(), false);
-  std::size_t disagreements = 0;
-  for (std::uint64_t i = 0; i < n; ++i) {
-    bool all_equal = true;
-    const Bytes& first =
-        tasks_.at(valid.front()).upload->results[i];
-    for (std::size_t v = 1; v < valid.size(); ++v) {
-      if (!equal_bytes(tasks_.at(valid[v]).upload->results[i], first)) {
-        all_equal = false;
-        break;
-      }
-    }
-    if (all_equal) {
-      continue;
-    }
-    ++disagreements;
-    const Bytes truth = counting_f_->evaluate(domain.input(LeafIndex{i}));
-    for (std::size_t v = 0; v < valid.size(); ++v) {
-      if (!equal_bytes(tasks_.at(valid[v]).upload->results[i], truth)) {
-        wrong[v] = true;
-      }
-    }
-  }
-
-  for (std::size_t v = 0; v < valid.size(); ++v) {
-    TaskState& state = tasks_.at(valid[v]);
-    Verdict verdict;
-    verdict.task = valid[v];
-    verdict.status =
-        wrong[v] ? VerdictStatus::kWrongResult : VerdictStatus::kAccepted;
-    verdict.detail = concat("double-check: ", disagreements,
-                            " disagreeing positions");
-    const bool accepted = verdict.status == VerdictStatus::kAccepted;
-    settle(valid[v], state, std::move(verdict), network);
-    if (accepted) {
-      screen_upload(state, *state.upload);
-    }
-  }
+  state.session->on_message(id, *scheme_message);
+  drain(*state.session, network);
 }
 
 bool SupervisorNode::done() const {
   return std::all_of(tasks_.begin(), tasks_.end(), [](const auto& entry) {
     return entry.second.verdict.has_value();
   });
+}
+
+std::uint64_t SupervisorNode::results_verified() const {
+  std::uint64_t total = 0;
+  for (const auto& session : sessions_) {
+    total += session->results_verified();
+  }
+  return total;
 }
 
 std::vector<SupervisorNode::TaskOutcome> SupervisorNode::outcomes() const {

@@ -6,19 +6,17 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "core/cbs.h"
-#include "core/nicbs.h"
-#include "core/ringer.h"
 #include "core/scheme_config.h"
 #include "grid/network.h"
+#include "scheme/registry.h"
 #include "workloads/registry.h"
 
 namespace ugc {
 
 // The grid supervisor: partitions the domain, assigns tasks (directly to
-// participants or through a broker), runs the configured verification
-// scheme on every returned result set, and collects screener hits from the
-// participants it accepted.
+// participants or through a broker), and drives one SupervisorSession per
+// assignment group — the node routes messages and collects verdicts/hits,
+// while everything scheme-specific lives behind the session interface.
 class SupervisorNode final : public GridNode {
  public:
   struct Plan {
@@ -28,6 +26,7 @@ class SupervisorNode final : public GridNode {
     SchemeConfig scheme;
     std::uint64_t seed = 1;  // drives sample selection / ringer planting
     const WorkloadRegistry* registry = nullptr;  // null = global()
+    const SchemeRegistry* schemes = nullptr;     // null = global()
     // Countermeasure to §2.2's malicious screener conduct: re-derive each
     // reported hit (one f evaluation per hit) and drop fabrications.
     // Upload-based schemes never trust reports at all — the supervisor
@@ -37,8 +36,9 @@ class SupervisorNode final : public GridNode {
   };
 
   // One task per entry in `slots`; with a broker every slot is the broker's
-  // id and the broker fans out to its workers. For double-check, consecutive
-  // groups of `replicas` slots receive the same subdomain.
+  // id and the broker fans out to its workers. Schemes with replicas() > 1
+  // (double-check) give consecutive groups of that many slots the same
+  // subdomain.
   SupervisorNode(Plan plan, std::vector<GridNodeId> slots);
 
   // Sends out all assignments. Call once, before the network runs.
@@ -69,41 +69,36 @@ class SupervisorNode final : public GridNode {
     return counting_f_->calls();
   }
 
-  // ResultVerifier invocations (cheap-verifier workloads make this differ
-  // from verification_evaluations()).
-  std::uint64_t results_verified() const { return results_verified_; }
+  // ResultVerifier invocations across all sessions (cheap-verifier
+  // workloads make this differ from verification_evaluations()).
+  std::uint64_t results_verified() const;
 
  private:
   struct TaskState {
     Domain domain{0, 1};
     GridNodeId peer;
-    std::size_t group = 0;  // double-check replica group
-    std::unique_ptr<CbsSupervisor> cbs;
-    std::unique_ptr<RingerSupervisor> ringer;
-    std::optional<ResultsUpload> upload;  // double-check: held until group done
+    SupervisorSession* session = nullptr;  // owned by sessions_
     std::optional<Verdict> verdict;
     std::vector<ScreenerHit> hits;
   };
 
   Task task_for(TaskId id, const Domain& domain) const;
-  void settle(TaskId id, TaskState& state, Verdict verdict,
-              SimNetwork& network);
-  void handle_upload(TaskId id, TaskState& state, const ResultsUpload& upload,
-                     SimNetwork& network);
-  Verdict check_naive_upload(TaskId id, const TaskState& state,
-                             const ResultsUpload& upload);
-  void screen_upload(TaskState& state, const ResultsUpload& upload);
-  void resolve_double_check_group(std::size_t group, SimNetwork& network);
+  void settle(TaskState& state, Verdict verdict, SimNetwork& network);
+  // Routes a session's queued messages / verdicts / hits into the grid.
+  void drain(SupervisorSession& session, SimNetwork& network);
+  // Generic screener-report handling (validation against the domain plus a
+  // recompute check), applied only when the scheme trusts reports.
+  void handle_report(TaskState& state, const ScreenerReport& report);
 
   Plan plan_;
   std::vector<GridNodeId> slots_;
+  const VerificationScheme* scheme_ = nullptr;
   WorkloadBundle bundle_;
   std::shared_ptr<CountingComputeFunction> counting_f_;
   std::shared_ptr<const ResultVerifier> verifier_;
   Rng rng_;
+  std::vector<std::unique_ptr<SupervisorSession>> sessions_;
   std::map<TaskId, TaskState> tasks_;
-  std::map<std::size_t, std::vector<TaskId>> groups_;  // double-check
-  std::uint64_t results_verified_ = 0;
   bool started_ = false;
 };
 

@@ -1,0 +1,171 @@
+#include "scheme/cbs_scheme.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/cbs.h"
+#include "core/sequential.h"
+
+namespace ugc {
+
+namespace {
+
+class CbsParticipantSession final : public QueuedParticipantSession {
+ public:
+  explicit CbsParticipantSession(ParticipantContext context)
+      : batched_(context.config.cbs.use_batch_proofs &&
+                 !context.config.cbs.use_sprt),
+        participant_(std::move(context.task), context.config.cbs,
+                     context.policy != nullptr ? std::move(context.policy)
+                                               : make_honest_policy()) {
+    push(participant_.commit());
+  }
+
+  void on_message(const SchemeMessage& message) override {
+    const auto* challenge = std::get_if<SampleChallenge>(&message);
+    if (challenge == nullptr || challenge->task != participant_.task().id) {
+      return;
+    }
+    if (batched_) {
+      push(participant_.respond_batched(*challenge));
+    } else {
+      push(participant_.respond(*challenge));
+    }
+  }
+
+  ScreenerReport screener_report() const override {
+    return participant_.screener_report();
+  }
+
+  std::uint64_t honest_evaluations() const override {
+    return participant_.metrics().honest_evaluations;
+  }
+
+  // The supervisor may keep challenging (one challenge per SPRT round); the
+  // node closes the session when the verdict lands.
+  bool finished() const override { return false; }
+
+ private:
+  bool batched_;
+  CbsParticipant participant_;
+};
+
+class CbsSupervisorSession final : public QueuedSupervisorSession {
+ public:
+  explicit CbsSupervisorSession(SupervisorContext context)
+      : config_(context.config.cbs),
+        verifier_(std::move(context.verifier)),
+        rng_(context.seed),
+        task_(std::move(context.tasks.at(0))) {
+    check(context.tasks.size() == 1,
+          "CbsSupervisorSession: expected exactly one task per group");
+    check(verifier_ != nullptr, "CbsSupervisorSession: verifier required");
+  }
+
+  void on_message(TaskId task, const SchemeMessage& message) override {
+    if (task != task_.id || settled(task)) {
+      return;
+    }
+    if (const auto* commitment = std::get_if<Commitment>(&message)) {
+      handle_commitment(*commitment);
+    } else if (const auto* response = std::get_if<ProofResponse>(&message)) {
+      handle_response(*response);
+    } else if (const auto* batched =
+                   std::get_if<BatchProofResponse>(&message)) {
+      handle_batched(*batched);
+    }
+  }
+
+ private:
+  void handle_commitment(const Commitment& commitment) {
+    if (fixed_ != nullptr || adaptive_ != nullptr) {
+      return;  // one commitment per task; late duplicates are dropped
+    }
+    if (config_.use_sprt) {
+      adaptive_ = std::make_unique<AdaptiveCbsSupervisor>(
+          task_, config_.tree, config_.sprt, verifier_, Rng(rng_.next()));
+      adaptive_->receive_commitment(commitment);
+      issue_next_adaptive_challenge();
+    } else {
+      fixed_ = std::make_unique<CbsSupervisor>(task_, config_, verifier_,
+                                               Rng(rng_.next()));
+      push(task_.id, fixed_->challenge(commitment));
+    }
+  }
+
+  void handle_response(const ProofResponse& response) {
+    if (adaptive_ != nullptr) {
+      if (!awaiting_response_) {
+        return;  // unsolicited response
+      }
+      awaiting_response_ = false;
+      count_verified(response.proofs.size());
+      const SprtDecision decision = adaptive_->submit(response);
+      if (decision == SprtDecision::kContinue) {
+        issue_next_adaptive_challenge();
+        return;
+      }
+      Verdict verdict;
+      verdict.task = task_.id;
+      verdict.status = decision == SprtDecision::kAccept
+                           ? VerdictStatus::kAccepted
+                           : VerdictStatus::kWrongResult;
+      verdict.detail = concat("sprt ", to_string(decision), " after ",
+                              adaptive_->samples_used(), " samples");
+      settle(std::move(verdict));
+      return;
+    }
+    if (fixed_ == nullptr) {
+      return;  // response before any commitment
+    }
+    count_verified(response.proofs.size());
+    settle(fixed_->verify(response));
+  }
+
+  void handle_batched(const BatchProofResponse& response) {
+    if (fixed_ == nullptr) {
+      return;  // batched responses pair with the fixed-m supervisor only
+    }
+    count_verified(response.results.size());
+    settle(fixed_->verify_batched(response));
+  }
+
+  void issue_next_adaptive_challenge() {
+    if (auto challenge = adaptive_->next_challenge()) {
+      awaiting_response_ = true;
+      push(task_.id, std::move(*challenge));
+    }
+  }
+
+  CbsConfig config_;
+  std::shared_ptr<const ResultVerifier> verifier_;
+  Rng rng_;
+  Task task_;
+  std::unique_ptr<CbsSupervisor> fixed_;
+  std::unique_ptr<AdaptiveCbsSupervisor> adaptive_;
+  bool awaiting_response_ = false;
+};
+
+class CbsScheme final : public VerificationScheme {
+ public:
+  std::string name() const override { return "cbs"; }
+  std::optional<SchemeKind> kind() const override { return SchemeKind::kCbs; }
+
+  std::unique_ptr<ParticipantSession> open_participant(
+      ParticipantContext context) const override {
+    return std::make_unique<CbsParticipantSession>(std::move(context));
+  }
+  std::unique_ptr<SupervisorSession> open_supervisor(
+      SupervisorContext context) const override {
+    return std::make_unique<CbsSupervisorSession>(std::move(context));
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const VerificationScheme> make_cbs_scheme() {
+  return std::make_shared<CbsScheme>();
+}
+
+}  // namespace ugc

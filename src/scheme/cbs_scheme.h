@@ -1,0 +1,20 @@
+#pragma once
+
+#include <memory>
+
+#include "scheme/session.h"
+
+namespace ugc {
+
+// Interactive Commitment-Based Sampling (§3.1) as a pluggable scheme,
+// covering all three supervisor variants behind one session:
+//
+//   plain:   fixed-m challenge, independent authentication paths
+//   batched: fixed-m challenge answered with one deduplicated batch proof
+//            (CbsConfig::use_batch_proofs)
+//   SPRT:    single-sample challenges issued adaptively until Wald's
+//            sequential test decides (CbsConfig::use_sprt; takes precedence
+//            over batching)
+std::shared_ptr<const VerificationScheme> make_cbs_scheme();
+
+}  // namespace ugc

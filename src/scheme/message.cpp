@@ -1,0 +1,18 @@
+#include "scheme/message.h"
+
+namespace ugc {
+
+TaskId task_of(const SchemeMessage& message) {
+  struct Visitor {
+    TaskId operator()(const Commitment& m) { return m.task; }
+    TaskId operator()(const SampleChallenge& m) { return m.task; }
+    TaskId operator()(const ProofResponse& m) { return m.task; }
+    TaskId operator()(const BatchProofResponse& m) { return m.task; }
+    TaskId operator()(const NiCbsProof& m) { return m.commitment.task; }
+    TaskId operator()(const ResultsUpload& m) { return m.task; }
+    TaskId operator()(const RingerReport& m) { return m.task; }
+  };
+  return std::visit(Visitor{}, message);
+}
+
+}  // namespace ugc

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <variant>
+
+#include "common/types.h"
+#include "core/protocol.h"
+#include "core/ringer.h"
+
+namespace ugc {
+
+// The protocol value types a verification-scheme session may emit or
+// consume, reusing the core/protocol.h value types. A strict subset of the
+// grid's wire Message: assignment, screener-report, and verdict traffic is
+// handled uniformly by the grid nodes, outside any scheme.
+using SchemeMessage =
+    std::variant<Commitment, SampleChallenge, ProofResponse,
+                 BatchProofResponse, NiCbsProof, ResultsUpload, RingerReport>;
+
+// The task a scheme message belongs to.
+TaskId task_of(const SchemeMessage& message);
+
+// An outbound message from a supervisor session, tagged with the task whose
+// peer should receive it (one session may span several tasks — a replica
+// group).
+struct SchemeOutbound {
+  TaskId task;
+  SchemeMessage message;
+};
+
+}  // namespace ugc

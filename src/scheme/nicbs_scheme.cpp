@@ -1,0 +1,88 @@
+#include "scheme/nicbs_scheme.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "core/nicbs.h"
+
+namespace ugc {
+
+namespace {
+
+class NiCbsParticipantSession final : public QueuedParticipantSession {
+ public:
+  explicit NiCbsParticipantSession(ParticipantContext context)
+      : participant_(std::move(context.task), context.config.nicbs,
+                     context.policy != nullptr ? std::move(context.policy)
+                                               : make_honest_policy()) {
+    push(participant_.prove());
+  }
+
+  void on_message(const SchemeMessage&) override {}  // one-shot
+
+  ScreenerReport screener_report() const override {
+    return participant_.screener_report();
+  }
+
+  std::uint64_t honest_evaluations() const override {
+    return participant_.metrics().honest_evaluations;
+  }
+
+  bool finished() const override { return true; }
+
+ private:
+  NiCbsParticipant participant_;
+};
+
+class NiCbsSupervisorSession final : public QueuedSupervisorSession {
+ public:
+  explicit NiCbsSupervisorSession(SupervisorContext context)
+      : config_(context.config.nicbs),
+        verifier_(std::move(context.verifier)),
+        task_(std::move(context.tasks.at(0))) {
+    check(context.tasks.size() == 1,
+          "NiCbsSupervisorSession: expected exactly one task per group");
+    check(verifier_ != nullptr, "NiCbsSupervisorSession: verifier required");
+  }
+
+  void on_message(TaskId task, const SchemeMessage& message) override {
+    const auto* proof = std::get_if<NiCbsProof>(&message);
+    if (proof == nullptr || task != task_.id || settled(task)) {
+      return;
+    }
+    NiCbsSupervisor supervisor(task_, config_, verifier_);
+    Verdict verdict = supervisor.verify(*proof);
+    count_verified(supervisor.metrics().results_verified);
+    settle(std::move(verdict));
+  }
+
+ private:
+  NiCbsConfig config_;
+  std::shared_ptr<const ResultVerifier> verifier_;
+  Task task_;
+};
+
+class NiCbsScheme final : public VerificationScheme {
+ public:
+  std::string name() const override { return "ni-cbs"; }
+  std::optional<SchemeKind> kind() const override {
+    return SchemeKind::kNiCbs;
+  }
+
+  std::unique_ptr<ParticipantSession> open_participant(
+      ParticipantContext context) const override {
+    return std::make_unique<NiCbsParticipantSession>(std::move(context));
+  }
+  std::unique_ptr<SupervisorSession> open_supervisor(
+      SupervisorContext context) const override {
+    return std::make_unique<NiCbsSupervisorSession>(std::move(context));
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const VerificationScheme> make_nicbs_scheme() {
+  return std::make_shared<NiCbsScheme>();
+}
+
+}  // namespace ugc

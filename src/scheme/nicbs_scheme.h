@@ -1,0 +1,15 @@
+#pragma once
+
+#include <memory>
+
+#include "scheme/session.h"
+
+namespace ugc {
+
+// Non-interactive CBS (§4) as a pluggable scheme: the participant ships one
+// self-contained proof (commitment + response to root-derived samples), so
+// the session needs no challenge round — essential when a broker hides
+// participants from the supervisor.
+std::shared_ptr<const VerificationScheme> make_nicbs_scheme();
+
+}  // namespace ugc

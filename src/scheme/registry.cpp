@@ -1,0 +1,79 @@
+#include "scheme/registry.h"
+
+#include "common/error.h"
+#include "scheme/cbs_scheme.h"
+#include "scheme/nicbs_scheme.h"
+#include "scheme/ringer_scheme.h"
+#include "scheme/upload_schemes.h"
+
+namespace ugc {
+
+SchemeRegistry& SchemeRegistry::global() {
+  static SchemeRegistry registry = [] {
+    SchemeRegistry r;
+    r.register_scheme(make_double_check_scheme());
+    r.register_scheme(make_naive_sampling_scheme());
+    r.register_scheme(make_cbs_scheme());
+    r.register_scheme(make_nicbs_scheme());
+    r.register_scheme(make_ringer_scheme());
+    return r;
+  }();
+  return registry;
+}
+
+void SchemeRegistry::register_scheme(
+    std::shared_ptr<const VerificationScheme> scheme) {
+  check(scheme != nullptr, "SchemeRegistry: scheme required");
+  const std::string name = scheme->name();
+  check(!name.empty(), "SchemeRegistry: scheme has an empty name");
+  // Replacing a name displaces the old scheme entirely: drop any kind
+  // routes still pointing at it so kind-based resolution cannot dispatch
+  // to a replaced registration.
+  if (const auto existing = by_name_.find(name); existing != by_name_.end()) {
+    std::erase_if(by_kind_, [&existing](const auto& entry) {
+      return entry.second == existing->second;
+    });
+  }
+  if (const auto kind = scheme->kind()) {
+    by_kind_[*kind] = scheme;
+  }
+  by_name_[name] = std::move(scheme);
+}
+
+bool SchemeRegistry::contains(const std::string& name) const {
+  return by_name_.contains(name);
+}
+
+bool SchemeRegistry::contains(SchemeKind kind) const {
+  return by_kind_.contains(kind);
+}
+
+const VerificationScheme& SchemeRegistry::by_name(
+    const std::string& name) const {
+  const auto it = by_name_.find(name);
+  check(it != by_name_.end(), "SchemeRegistry: unknown scheme '", name, "'");
+  return *it->second;
+}
+
+const VerificationScheme& SchemeRegistry::by_kind(SchemeKind kind) const {
+  const auto it = by_kind_.find(kind);
+  check(it != by_kind_.end(), "SchemeRegistry: unknown scheme kind ",
+        static_cast<int>(kind));
+  return *it->second;
+}
+
+const VerificationScheme& SchemeRegistry::resolve(
+    const SchemeConfig& config) const {
+  return config.name.empty() ? by_kind(config.kind) : by_name(config.name);
+}
+
+std::vector<std::string> SchemeRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, scheme] : by_name_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace ugc

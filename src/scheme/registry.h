@@ -1,0 +1,43 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scheme/session.h"
+
+namespace ugc {
+
+// Name (and, for built-ins, SchemeKind) -> VerificationScheme. Grid nodes
+// resolve TaskAssignment.scheme here, the way they resolve workloads through
+// WorkloadRegistry: adding a scheme is one register_scheme() call, not an
+// edit to every node. The built-ins ("double-check", "naive-sampling",
+// "cbs", "ni-cbs", "ringer") are pre-registered on the global() instance.
+class SchemeRegistry {
+ public:
+  // Shared process-wide registry with the built-ins installed.
+  static SchemeRegistry& global();
+
+  // Registers (or replaces) `scheme` under its name(); schemes reporting a
+  // kind() are additionally resolvable by that kind.
+  void register_scheme(std::shared_ptr<const VerificationScheme> scheme);
+
+  bool contains(const std::string& name) const;
+  bool contains(SchemeKind kind) const;
+
+  // Lookups throw ugc::Error for unknown keys.
+  const VerificationScheme& by_name(const std::string& name) const;
+  const VerificationScheme& by_kind(SchemeKind kind) const;
+
+  // config.name when non-empty, else config.kind.
+  const VerificationScheme& resolve(const SchemeConfig& config) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<const VerificationScheme>> by_name_;
+  std::map<SchemeKind, std::shared_ptr<const VerificationScheme>> by_kind_;
+};
+
+}  // namespace ugc

@@ -1,0 +1,105 @@
+#include "scheme/ringer_scheme.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "core/ringer.h"
+
+namespace ugc {
+
+namespace {
+
+class RingerParticipantSession final : public QueuedParticipantSession {
+ public:
+  explicit RingerParticipantSession(ParticipantContext context)
+      : task_id_(context.task.id),
+        participant_(std::move(context.task),
+                     std::move(context.assignment_images),
+                     context.policy != nullptr ? std::move(context.policy)
+                                               : make_honest_policy()) {
+    push(participant_.scan());
+  }
+
+  void on_message(const SchemeMessage&) override {}  // one-shot
+
+  ScreenerReport screener_report() const override {
+    return ScreenerReport{task_id_, participant_.hits()};
+  }
+
+  std::uint64_t honest_evaluations() const override {
+    return participant_.honest_evaluations();
+  }
+
+  bool finished() const override { return true; }
+
+ private:
+  TaskId task_id_;
+  RingerParticipant participant_;
+};
+
+class RingerSupervisorSession final : public QueuedSupervisorSession {
+ public:
+  explicit RingerSupervisorSession(SupervisorContext context)
+      : task_(std::move(context.tasks.at(0))),
+        supervisor_(task_, planted_config(context)) {
+    check(context.tasks.size() == 1,
+          "RingerSupervisorSession: expected exactly one task per group");
+  }
+
+  std::vector<Bytes> planted_images(TaskId task) const override {
+    return task == task_.id ? supervisor_.planted_images()
+                            : std::vector<Bytes>{};
+  }
+
+  void on_message(TaskId task, const SchemeMessage& message) override {
+    const auto* report = std::get_if<RingerReport>(&message);
+    if (report == nullptr || task != task_.id || settled(task)) {
+      return;
+    }
+    const RingerVerdict rv = supervisor_.verify(*report);
+    Verdict verdict;
+    verdict.task = task_.id;
+    verdict.status =
+        rv.accepted ? VerdictStatus::kAccepted : VerdictStatus::kWrongResult;
+    verdict.detail = concat("ringers found ", rv.ringers_found, "/",
+                            rv.ringers_expected);
+    settle(std::move(verdict));
+  }
+
+ private:
+  // Fresh secret ringers per session: the grid hands every group its own
+  // seed, which overrides whatever the shared plan config carried.
+  static RingerConfig planted_config(const SupervisorContext& context) {
+    RingerConfig config = context.config.ringer;
+    config.seed = context.seed;
+    return config;
+  }
+
+  Task task_;
+  RingerSupervisor supervisor_;
+};
+
+class RingerScheme final : public VerificationScheme {
+ public:
+  std::string name() const override { return "ringer"; }
+  std::optional<SchemeKind> kind() const override {
+    return SchemeKind::kRinger;
+  }
+
+  std::unique_ptr<ParticipantSession> open_participant(
+      ParticipantContext context) const override {
+    return std::make_unique<RingerParticipantSession>(std::move(context));
+  }
+  std::unique_ptr<SupervisorSession> open_supervisor(
+      SupervisorContext context) const override {
+    return std::make_unique<RingerSupervisorSession>(std::move(context));
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const VerificationScheme> make_ringer_scheme() {
+  return std::make_shared<RingerScheme>();
+}
+
+}  // namespace ugc

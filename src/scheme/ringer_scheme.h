@@ -1,0 +1,15 @@
+#pragma once
+
+#include <memory>
+
+#include "scheme/session.h"
+
+namespace ugc {
+
+// The Golle–Mironov ringer baseline [8] as a pluggable scheme. The
+// supervisor session plants d secret ringer images at open time and exposes
+// them through planted_images(), so the grid ships them inside the task
+// assignment; the participant reports every input whose image matches.
+std::shared_ptr<const VerificationScheme> make_ringer_scheme();
+
+}  // namespace ugc

@@ -1,0 +1,242 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/cheating.h"
+#include "core/scheme_config.h"
+#include "core/task.h"
+#include "scheme/message.h"
+
+namespace ugc {
+
+// ---------------------------------------------------------------------------
+// The polymorphic scheme API. A VerificationScheme is a factory for paired
+// session objects that drive one protocol run:
+//
+//   participant:  open_participant(ctx) → next_message() / on_message(msg)
+//   supervisor:   open_supervisor(ctx)  → on_message(msg) / next_message()
+//                                         … → Verdict (one per task)
+//
+// The grid nodes (and the in-process exchange helper) relay SchemeMessages
+// between the two sides without understanding them; adding a scheme is one
+// SchemeRegistry entry, not a cross-cutting edit.
+// ---------------------------------------------------------------------------
+
+// Everything a participant needs to open one session.
+struct ParticipantContext {
+  Task task;
+  // Per-assignment parameters, as shipped in the TaskAssignment.
+  SchemeConfig config;
+  // Scheme-specific data the supervisor attached to the assignment (the
+  // ringer scheme's planted images; empty for other schemes).
+  std::vector<Bytes> assignment_images;
+  std::shared_ptr<const HonestyPolicy> policy;  // null = honest
+};
+
+// Everything the supervisor needs to open one session. Covers one
+// *assignment group*: schemes with replicas() == 1 get exactly one task;
+// double-check gets `replicas` tasks sharing a domain.
+struct SupervisorContext {
+  std::vector<Task> tasks;
+  SchemeConfig config;
+  std::shared_ptr<const ResultVerifier> verifier;
+  std::uint64_t seed = 1;  // drives sample selection / ringer planting
+};
+
+// Participant endpoint of one task's verification protocol. Opened with the
+// task; produces its opening messages immediately (commitment, upload,
+// proof, ...), then reacts to supervisor messages until finished.
+class ParticipantSession {
+ public:
+  virtual ~ParticipantSession() = default;
+
+  ParticipantSession() = default;
+  ParticipantSession(const ParticipantSession&) = delete;
+  ParticipantSession& operator=(const ParticipantSession&) = delete;
+
+  // Feeds one message from the supervisor. Unexpected or malformed traffic
+  // must be ignored, never thrown on — a real client drops junk.
+  virtual void on_message(const SchemeMessage& message) = 0;
+
+  // Drains the next outbound message, or nullopt when idle.
+  virtual std::optional<SchemeMessage> next_message() = 0;
+
+  // The honest screener report for this task. The node applies any
+  // malicious ScreenerConduct before transmission.
+  virtual ScreenerReport screener_report() const = 0;
+
+  // Genuine f evaluations performed so far.
+  virtual std::uint64_t honest_evaluations() const = 0;
+
+  // True once the session expects no further supervisor input (one-shot
+  // schemes finish right after their opening drain; interactive CBS stays
+  // open until its verdict arrives).
+  virtual bool finished() const = 0;
+};
+
+// Screener hits a supervisor session established itself (upload-based
+// schemes screen the uploaded results; report-trusting schemes emit none).
+struct TaskHits {
+  TaskId task;
+  std::vector<ScreenerHit> hits;
+};
+
+// Supervisor endpoint for one assignment group. Fed every scheme message
+// addressed to one of its tasks; emits challenges, verdicts, and hits.
+class SupervisorSession {
+ public:
+  virtual ~SupervisorSession() = default;
+
+  SupervisorSession() = default;
+  SupervisorSession(const SupervisorSession&) = delete;
+  SupervisorSession& operator=(const SupervisorSession&) = delete;
+
+  // Scheme-specific data to embed in `task`'s assignment (ringer images).
+  virtual std::vector<Bytes> planted_images(TaskId task) const {
+    (void)task;
+    return {};
+  }
+
+  // Feeds one message attributed to `task`. Junk must be ignored.
+  virtual void on_message(TaskId task, const SchemeMessage& message) = 0;
+
+  // Drains the next outbound message, or nullopt when idle.
+  virtual std::optional<SchemeOutbound> next_message() = 0;
+
+  // Drains verdicts as they become available — each task's exactly once.
+  virtual std::optional<Verdict> next_verdict() = 0;
+
+  // Drains self-established screener hits (see TaskHits).
+  virtual std::optional<TaskHits> next_hits() { return std::nullopt; }
+
+  // ResultVerifier invocations so far.
+  virtual std::uint64_t results_verified() const = 0;
+};
+
+// A pluggable verification scheme: names itself, describes its grouping and
+// screener-trust properties, and opens sessions. Implementations must be
+// stateless (sessions carry all per-run state) so one instance can serve
+// every node in a process.
+class VerificationScheme {
+ public:
+  virtual ~VerificationScheme() = default;
+
+  VerificationScheme() = default;
+  VerificationScheme(const VerificationScheme&) = delete;
+  VerificationScheme& operator=(const VerificationScheme&) = delete;
+
+  // Registry key, e.g. "cbs". Stable across versions.
+  virtual std::string name() const = 0;
+
+  // The wire enum value, for built-in schemes; custom schemes have none and
+  // are addressed by name (SchemeConfig::name).
+  virtual std::optional<SchemeKind> kind() const { return std::nullopt; }
+
+  // Assignments per replica group. Double-check returns
+  // config.double_check.replicas; everything else 1. May validate and throw
+  // ugc::Error on nonsensical configs.
+  virtual std::size_t replicas(const SchemeConfig& config) const {
+    (void)config;
+    return 1;
+  }
+
+  // Whether the supervisor should accept (validated) participant screener
+  // reports. Upload-based schemes return false: they screen the uploaded
+  // results themselves, which neutralizes §2.2's malicious conduct.
+  virtual bool trusts_screener_reports() const { return true; }
+
+  virtual std::unique_ptr<ParticipantSession> open_participant(
+      ParticipantContext context) const = 0;
+  virtual std::unique_ptr<SupervisorSession> open_supervisor(
+      SupervisorContext context) const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Outbox-buffered partial implementations the built-in adapters derive from:
+// handlers push<SchemeMessage>/settle/report, the node drains.
+// ---------------------------------------------------------------------------
+
+class QueuedParticipantSession : public ParticipantSession {
+ public:
+  std::optional<SchemeMessage> next_message() override {
+    if (outbox_.empty()) {
+      return std::nullopt;
+    }
+    SchemeMessage message = std::move(outbox_.front());
+    outbox_.pop_front();
+    return message;
+  }
+
+ protected:
+  void push(SchemeMessage message) { outbox_.push_back(std::move(message)); }
+
+ private:
+  std::deque<SchemeMessage> outbox_;
+};
+
+class QueuedSupervisorSession : public SupervisorSession {
+ public:
+  std::optional<SchemeOutbound> next_message() override {
+    if (outbox_.empty()) {
+      return std::nullopt;
+    }
+    SchemeOutbound out = std::move(outbox_.front());
+    outbox_.pop_front();
+    return out;
+  }
+
+  std::optional<Verdict> next_verdict() override {
+    if (verdicts_.empty()) {
+      return std::nullopt;
+    }
+    Verdict verdict = std::move(verdicts_.front());
+    verdicts_.pop_front();
+    return verdict;
+  }
+
+  std::optional<TaskHits> next_hits() override {
+    if (hits_.empty()) {
+      return std::nullopt;
+    }
+    TaskHits hits = std::move(hits_.front());
+    hits_.pop_front();
+    return hits;
+  }
+
+  std::uint64_t results_verified() const override { return results_verified_; }
+
+ protected:
+  void push(TaskId task, SchemeMessage message) {
+    outbox_.push_back(SchemeOutbound{task, std::move(message)});
+  }
+
+  // Queues `verdict` unless its task already got one (first verdict wins —
+  // duplicate or hostile late traffic cannot flip a decision).
+  void settle(Verdict verdict) {
+    if (settled_.insert(verdict.task).second) {
+      verdicts_.push_back(std::move(verdict));
+    }
+  }
+
+  bool settled(TaskId task) const { return settled_.contains(task); }
+
+  void report(TaskId task, std::vector<ScreenerHit> hits) {
+    hits_.push_back(TaskHits{task, std::move(hits)});
+  }
+
+  void count_verified(std::uint64_t n) { results_verified_ += n; }
+
+ private:
+  std::deque<SchemeOutbound> outbox_;
+  std::deque<Verdict> verdicts_;
+  std::deque<TaskHits> hits_;
+  std::set<TaskId> settled_;
+  std::uint64_t results_verified_ = 0;
+};
+
+}  // namespace ugc

@@ -1,0 +1,289 @@
+#include "scheme/upload_schemes.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/sampling.h"
+
+namespace ugc {
+
+namespace {
+
+// Shared participant side: sweep the domain under the honesty policy and
+// upload every (possibly guessed) result.
+class UploadParticipantSession final : public QueuedParticipantSession {
+ public:
+  explicit UploadParticipantSession(ParticipantContext context)
+      : task_(std::move(context.task)),
+        policy_(context.policy != nullptr ? std::move(context.policy)
+                                          : make_honest_policy()) {
+    ResultsUpload upload;
+    upload.task = task_.id;
+    const std::uint64_t n = task_.domain.size();
+    upload.results.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto decision = policy_->decide(LeafIndex{i}, task_);
+      if (decision.honest) {
+        ++honest_evaluations_;
+      }
+      const std::uint64_t x = task_.domain.input(LeafIndex{i});
+      if (auto hit = task_.screener->screen(x, decision.value)) {
+        hits_.push_back(ScreenerHit{x, std::move(*hit)});
+      }
+      upload.results.push_back(decision.value);
+    }
+    push(std::move(upload));
+  }
+
+  void on_message(const SchemeMessage&) override {}  // one-shot
+
+  ScreenerReport screener_report() const override {
+    return ScreenerReport{task_.id, hits_};
+  }
+
+  std::uint64_t honest_evaluations() const override {
+    return honest_evaluations_;
+  }
+
+  bool finished() const override { return true; }
+
+ private:
+  Task task_;
+  std::shared_ptr<const HonestyPolicy> policy_;
+  std::vector<ScreenerHit> hits_;
+  std::uint64_t honest_evaluations_ = 0;
+};
+
+// With the full result vector in hand, the supervisor runs the (cheap)
+// screener itself — participant screener reports are irrelevant to
+// upload-based schemes, which neutralizes §2.2's malicious conduct.
+std::vector<ScreenerHit> screen_upload(const Task& task,
+                                       const ResultsUpload& upload) {
+  std::vector<ScreenerHit> hits;
+  for (std::uint64_t i = 0; i < upload.results.size(); ++i) {
+    const std::uint64_t x = task.domain.input(LeafIndex{i});
+    if (auto hit = task.screener->screen(x, upload.results[i])) {
+      hits.push_back(ScreenerHit{x, std::move(*hit)});
+    }
+  }
+  return hits;
+}
+
+// Naive sampling (§1's "improved solution"): spot-check m random positions
+// of the upload.
+class NaiveSupervisorSession final : public QueuedSupervisorSession {
+ public:
+  explicit NaiveSupervisorSession(SupervisorContext context)
+      : config_(context.config.naive),
+        verifier_(std::move(context.verifier)),
+        rng_(context.seed),
+        task_(std::move(context.tasks.at(0))) {
+    check(context.tasks.size() == 1,
+          "NaiveSupervisorSession: expected exactly one task per group");
+    check(verifier_ != nullptr, "NaiveSupervisorSession: verifier required");
+  }
+
+  void on_message(TaskId task, const SchemeMessage& message) override {
+    const auto* upload = std::get_if<ResultsUpload>(&message);
+    if (upload == nullptr || task != task_.id || settled(task)) {
+      return;
+    }
+    Verdict verdict = check_upload(*upload);
+    const bool accepted = verdict.accepted();
+    settle(std::move(verdict));
+    if (accepted) {
+      report(task_.id, screen_upload(task_, *upload));
+    }
+  }
+
+ private:
+  Verdict check_upload(const ResultsUpload& upload) {
+    const std::uint64_t n = task_.domain.size();
+    Verdict verdict;
+    verdict.task = task_.id;
+    if (upload.results.size() != n) {
+      verdict.status = VerdictStatus::kMalformed;
+      verdict.detail = concat("uploaded ", upload.results.size(),
+                              " results for a domain of ", n);
+      return verdict;
+    }
+
+    const std::size_t m = std::min<std::size_t>(config_.sample_count, n);
+    const std::vector<LeafIndex> samples = sample_with_replacement(rng_, n, m);
+    for (const LeafIndex index : samples) {
+      count_verified(1);
+      const std::uint64_t x = task_.domain.input(index);
+      if (!verifier_->verify(x, upload.results[index.value])) {
+        verdict.status = VerdictStatus::kWrongResult;
+        verdict.failed_sample = index;
+        verdict.detail = concat("spot-check failed at input ", x);
+        return verdict;
+      }
+    }
+    verdict.status = VerdictStatus::kAccepted;
+    verdict.detail = concat(m, " spot-checks passed");
+    return verdict;
+  }
+
+  NaiveSamplingConfig config_;
+  std::shared_ptr<const ResultVerifier> verifier_;
+  Rng rng_;
+  Task task_;
+};
+
+// Double-check: hold every replica's upload, then compare position-wise;
+// disagreeing positions get arbitrated by recomputing the truth. Unanimous
+// positions are accepted unverified — double-check is blind to colluding
+// (or identically-guessing) cheaters.
+class DoubleCheckSupervisorSession final : public QueuedSupervisorSession {
+ public:
+  explicit DoubleCheckSupervisorSession(SupervisorContext context)
+      : tasks_(std::move(context.tasks)) {
+    check(tasks_.size() >= 2,
+          "DoubleCheckSupervisorSession: needs >= 2 replica tasks");
+    for (std::size_t i = 1; i < tasks_.size(); ++i) {
+      check(tasks_[i].domain == tasks_[0].domain,
+            "DoubleCheckSupervisorSession: replicas must share a domain");
+    }
+  }
+
+  void on_message(TaskId task, const SchemeMessage& message) override {
+    const auto* upload = std::get_if<ResultsUpload>(&message);
+    if (upload == nullptr || !is_member(task) || uploads_.contains(task) ||
+        settled(task)) {
+      return;
+    }
+    uploads_.emplace(task, *upload);
+    if (uploads_.size() == tasks_.size()) {
+      resolve();
+    }
+  }
+
+ private:
+  bool is_member(TaskId task) const {
+    return std::any_of(tasks_.begin(), tasks_.end(),
+                       [task](const Task& t) { return t.id == task; });
+  }
+
+  void resolve() {
+    const Domain& domain = tasks_.front().domain;
+    const std::uint64_t n = domain.size();
+
+    // Structurally invalid uploads are settled as malformed and excluded
+    // from comparison.
+    std::vector<const Task*> valid;
+    for (const Task& task : tasks_) {
+      if (uploads_.at(task.id).results.size() != n) {
+        Verdict verdict;
+        verdict.task = task.id;
+        verdict.status = VerdictStatus::kMalformed;
+        verdict.detail = "wrong result count";
+        settle(std::move(verdict));
+      } else {
+        valid.push_back(&task);
+      }
+    }
+    if (valid.empty()) {
+      return;
+    }
+
+    // A replica is rejected iff it is wrong at any arbitrated position.
+    std::vector<bool> wrong(valid.size(), false);
+    std::size_t disagreements = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Bytes& first = uploads_.at(valid.front()->id).results[i];
+      bool all_equal = true;
+      for (std::size_t v = 1; v < valid.size(); ++v) {
+        if (!equal_bytes(uploads_.at(valid[v]->id).results[i], first)) {
+          all_equal = false;
+          break;
+        }
+      }
+      if (all_equal) {
+        continue;
+      }
+      ++disagreements;
+      const Bytes truth =
+          tasks_.front().f->evaluate(domain.input(LeafIndex{i}));
+      for (std::size_t v = 0; v < valid.size(); ++v) {
+        if (!equal_bytes(uploads_.at(valid[v]->id).results[i], truth)) {
+          wrong[v] = true;
+        }
+      }
+    }
+
+    for (std::size_t v = 0; v < valid.size(); ++v) {
+      Verdict verdict;
+      verdict.task = valid[v]->id;
+      verdict.status =
+          wrong[v] ? VerdictStatus::kWrongResult : VerdictStatus::kAccepted;
+      verdict.detail =
+          concat("double-check: ", disagreements, " disagreeing positions");
+      const bool accepted = verdict.status == VerdictStatus::kAccepted;
+      settle(std::move(verdict));
+      if (accepted) {
+        report(valid[v]->id,
+               screen_upload(*valid[v], uploads_.at(valid[v]->id)));
+      }
+    }
+  }
+
+  std::vector<Task> tasks_;
+  std::map<TaskId, ResultsUpload> uploads_;
+};
+
+class NaiveSamplingScheme final : public VerificationScheme {
+ public:
+  std::string name() const override { return "naive-sampling"; }
+  std::optional<SchemeKind> kind() const override {
+    return SchemeKind::kNaiveSampling;
+  }
+  bool trusts_screener_reports() const override { return false; }
+
+  std::unique_ptr<ParticipantSession> open_participant(
+      ParticipantContext context) const override {
+    return std::make_unique<UploadParticipantSession>(std::move(context));
+  }
+  std::unique_ptr<SupervisorSession> open_supervisor(
+      SupervisorContext context) const override {
+    return std::make_unique<NaiveSupervisorSession>(std::move(context));
+  }
+};
+
+class DoubleCheckScheme final : public VerificationScheme {
+ public:
+  std::string name() const override { return "double-check"; }
+  std::optional<SchemeKind> kind() const override {
+    return SchemeKind::kDoubleCheck;
+  }
+  std::size_t replicas(const SchemeConfig& config) const override {
+    check(config.double_check.replicas >= 2,
+          "double-check needs >= 2 replicas");
+    return config.double_check.replicas;
+  }
+  bool trusts_screener_reports() const override { return false; }
+
+  std::unique_ptr<ParticipantSession> open_participant(
+      ParticipantContext context) const override {
+    return std::make_unique<UploadParticipantSession>(std::move(context));
+  }
+  std::unique_ptr<SupervisorSession> open_supervisor(
+      SupervisorContext context) const override {
+    return std::make_unique<DoubleCheckSupervisorSession>(std::move(context));
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const VerificationScheme> make_double_check_scheme() {
+  return std::make_shared<DoubleCheckScheme>();
+}
+
+std::shared_ptr<const VerificationScheme> make_naive_sampling_scheme() {
+  return std::make_shared<NaiveSamplingScheme>();
+}
+
+}  // namespace ugc

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <memory>
+
+#include "scheme/session.h"
+
+namespace ugc {
+
+// The paper's §1 strawman baselines, adapted to the session API. Both share
+// the participant side — a plain O(n) sweep uploading every result — and
+// differ only in how the supervisor checks the upload:
+//
+//   double-check:   `replicas` participants get the same subdomain; the
+//                   supervisor compares their uploads and arbitrates
+//                   disagreeing positions by recomputing the truth.
+//   naive sampling: one participant per subdomain; the supervisor recomputes
+//                   m random positions of the upload.
+//
+// Neither trusts participant screener reports: with the full result vector
+// in hand the supervisor runs the (cheap) screener itself.
+std::shared_ptr<const VerificationScheme> make_double_check_scheme();
+std::shared_ptr<const VerificationScheme> make_naive_sampling_scheme();
+
+}  // namespace ugc

@@ -6,7 +6,8 @@ namespace ugc {
 
 namespace {
 
-constexpr std::uint16_t kWireVersion = 1;
+// v2: SchemeConfig carries a registry name and the CBS SPRT parameters.
+constexpr std::uint16_t kWireVersion = 2;
 
 // ------------------------------------------------------------ enum codecs
 
@@ -68,12 +69,19 @@ TreeSettings read_tree_settings(WireReader& r) {
 
 void write_scheme_config(WireWriter& w, const SchemeConfig& c) {
   w.u8(static_cast<std::uint8_t>(c.kind));
+  w.str(c.name);
   w.varint(c.double_check.replicas);
   w.varint(c.naive.sample_count);
   write_tree_settings(w, c.cbs.tree);
   w.varint(c.cbs.sample_count);
   w.u8(c.cbs.sample_with_replacement ? 1 : 0);
   w.u8(c.cbs.use_batch_proofs ? 1 : 0);
+  w.u8(c.cbs.use_sprt ? 1 : 0);
+  w.f64(c.cbs.sprt.pass_prob_honest);
+  w.f64(c.cbs.sprt.pass_prob_cheater);
+  w.f64(c.cbs.sprt.false_reject);
+  w.f64(c.cbs.sprt.false_accept);
+  w.varint(c.cbs.sprt.max_samples);
   write_tree_settings(w, c.nicbs.tree);
   w.varint(c.nicbs.sample_count);
   w.u8(to_u8(c.nicbs.sample_hash));
@@ -85,12 +93,19 @@ void write_scheme_config(WireWriter& w, const SchemeConfig& c) {
 SchemeConfig read_scheme_config(WireReader& r) {
   SchemeConfig c;
   c.kind = scheme_kind_from(r.u8());
+  c.name = r.str();
   c.double_check.replicas = r.varint();
   c.naive.sample_count = r.varint();
   c.cbs.tree = read_tree_settings(r);
   c.cbs.sample_count = r.varint();
   c.cbs.sample_with_replacement = r.u8() != 0;
   c.cbs.use_batch_proofs = r.u8() != 0;
+  c.cbs.use_sprt = r.u8() != 0;
+  c.cbs.sprt.pass_prob_honest = r.f64();
+  c.cbs.sprt.pass_prob_cheater = r.f64();
+  c.cbs.sprt.false_reject = r.f64();
+  c.cbs.sprt.false_accept = r.f64();
+  c.cbs.sprt.max_samples = r.varint();
   c.nicbs.tree = read_tree_settings(r);
   c.nicbs.sample_count = r.varint();
   c.nicbs.sample_hash = hash_algorithm_from(r.u8());
@@ -425,6 +440,36 @@ Message decode_message(BytesView data) {
 
   reader.expect_done();
   return message;
+}
+
+Message to_message(const SchemeMessage& message) {
+  return std::visit([](const auto& m) -> Message { return m; }, message);
+}
+
+std::optional<SchemeMessage> to_scheme_message(const Message& message) {
+  return std::visit(
+      [](const auto& m) -> std::optional<SchemeMessage> {
+        if constexpr (requires { SchemeMessage{m}; }) {
+          return SchemeMessage{m};
+        } else {
+          return std::nullopt;
+        }
+      },
+      message);
+}
+
+Bytes encode_scheme_message(const SchemeMessage& message) {
+  return encode_message(to_message(message));
+}
+
+SchemeMessage decode_scheme_message(BytesView data) {
+  const Message message = decode_message(data);
+  auto scheme_message = to_scheme_message(message);
+  if (!scheme_message.has_value()) {
+    throw WireError(concat(to_string(message_type(message)),
+                           " is not a scheme message"));
+  }
+  return *std::move(scheme_message);
 }
 
 }  // namespace ugc

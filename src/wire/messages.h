@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "core/protocol.h"
 #include "core/ringer.h"
 #include "core/scheme_config.h"
+#include "scheme/message.h"
 
 namespace ugc {
 
@@ -47,15 +49,8 @@ struct TaskAssignment {
       default;
 };
 
-// Participant -> supervisor: the full result vector, in domain order.
-// This is the O(n) upload that double-check and naive sampling require and
-// that CBS eliminates.
-struct ResultsUpload {
-  TaskId task;
-  std::vector<Bytes> results;
-
-  friend bool operator==(const ResultsUpload&, const ResultsUpload&) = default;
-};
+// (ResultsUpload lives in core/protocol.h with the other protocol value
+// types; it is re-exported here through that include.)
 
 using Message =
     std::variant<TaskAssignment, Commitment, SampleChallenge, ProofResponse,
@@ -71,5 +66,23 @@ Bytes encode_message(const Message& message);
 // (unknown type, bad version, truncation, trailing bytes, out-of-range
 // enums). Never crashes on hostile bytes.
 Message decode_message(BytesView data);
+
+// ---------------------------------------------------------------------------
+// SchemeMessage <-> Message bridging. Every SchemeMessage alternative is
+// also a Message alternative, so scheme traffic reuses the grid envelope
+// (and round-trips by construction); the reverse conversion filters out the
+// grid-only types (assignment, screener report, verdict).
+// ---------------------------------------------------------------------------
+
+Message to_message(const SchemeMessage& message);
+std::optional<SchemeMessage> to_scheme_message(const Message& message);
+
+// Serializes a scheme session's message with the standard envelope — what a
+// real transport ships between a ParticipantSession and a SupervisorSession.
+Bytes encode_scheme_message(const SchemeMessage& message);
+
+// Parses an envelope + payload and requires the result to be scheme
+// traffic; grid-only message types throw WireError.
+SchemeMessage decode_scheme_message(BytesView data);
 
 }  // namespace ugc

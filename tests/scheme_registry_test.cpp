@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.h"
+#include "grid/simulation.h"
+#include "scheme/cbs_scheme.h"
+#include "scheme/registry.h"
+
+namespace ugc {
+namespace {
+
+// ---------------------------------------------------------------- registry
+
+TEST(SchemeRegistry, AllBuiltinsResolvableByKindAndName) {
+  SchemeRegistry& registry = SchemeRegistry::global();
+  for (const SchemeKind kind :
+       {SchemeKind::kDoubleCheck, SchemeKind::kNaiveSampling, SchemeKind::kCbs,
+        SchemeKind::kNiCbs, SchemeKind::kRinger}) {
+    ASSERT_TRUE(registry.contains(kind)) << to_string(kind);
+    const VerificationScheme& scheme = registry.by_kind(kind);
+    EXPECT_EQ(scheme.kind(), kind);
+    EXPECT_EQ(scheme.name(), to_string(kind));
+    EXPECT_EQ(&registry.by_name(scheme.name()), &scheme);
+  }
+  EXPECT_EQ(registry.names().size(), 5u);
+}
+
+TEST(SchemeRegistry, ResolvePrefersNameOverKind) {
+  SchemeRegistry& registry = SchemeRegistry::global();
+  SchemeConfig config;
+  config.kind = SchemeKind::kCbs;
+  config.name = "ringer";
+  EXPECT_EQ(registry.resolve(config).name(), "ringer");
+  config.name.clear();
+  EXPECT_EQ(registry.resolve(config).name(), "cbs");
+}
+
+TEST(SchemeRegistry, UnknownKeysThrow) {
+  const SchemeRegistry empty;
+  EXPECT_THROW(empty.by_name("nope"), Error);
+  EXPECT_THROW(empty.by_kind(SchemeKind::kCbs), Error);
+  EXPECT_THROW(SchemeRegistry::global().by_name("not-a-scheme"), Error);
+  EXPECT_THROW(SchemeRegistry{}.register_scheme(nullptr), Error);
+  EXPECT_FALSE(SchemeRegistry::global().contains("not-a-scheme"));
+}
+
+// --------------------------------------------- custom scheme, end to end
+
+// A deliberately tiny custom scheme: the participant uploads every result,
+// the supervisor spot-checks exactly the first position. Enough to prove the
+// grid runs schemes it has never heard of — one registry entry, no enum.
+class SpotOneParticipantSession final : public QueuedParticipantSession {
+ public:
+  explicit SpotOneParticipantSession(ParticipantContext context)
+      : task_(std::move(context.task)),
+        policy_(context.policy != nullptr ? std::move(context.policy)
+                                          : make_honest_policy()) {
+    ResultsUpload upload;
+    upload.task = task_.id;
+    const std::uint64_t n = task_.domain.size();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto decision = policy_->decide(LeafIndex{i}, task_);
+      if (decision.honest) {
+        ++honest_evaluations_;
+      }
+      upload.results.push_back(decision.value);
+    }
+    push(std::move(upload));
+  }
+
+  void on_message(const SchemeMessage&) override {}
+  ScreenerReport screener_report() const override {
+    return ScreenerReport{task_.id, {}};
+  }
+  std::uint64_t honest_evaluations() const override {
+    return honest_evaluations_;
+  }
+  bool finished() const override { return true; }
+
+ private:
+  Task task_;
+  std::shared_ptr<const HonestyPolicy> policy_;
+  std::uint64_t honest_evaluations_ = 0;
+};
+
+class SpotOneSupervisorSession final : public QueuedSupervisorSession {
+ public:
+  explicit SpotOneSupervisorSession(SupervisorContext context)
+      : task_(std::move(context.tasks.at(0))),
+        verifier_(std::move(context.verifier)) {}
+
+  void on_message(TaskId task, const SchemeMessage& message) override {
+    const auto* upload = std::get_if<ResultsUpload>(&message);
+    if (upload == nullptr || task != task_.id || settled(task)) {
+      return;
+    }
+    Verdict verdict;
+    verdict.task = task_.id;
+    if (upload->results.size() != task_.domain.size()) {
+      verdict.status = VerdictStatus::kMalformed;
+    } else {
+      count_verified(1);
+      const bool ok = verifier_->verify(task_.domain.input(LeafIndex{0}),
+                                        upload->results.front());
+      verdict.status =
+          ok ? VerdictStatus::kAccepted : VerdictStatus::kWrongResult;
+    }
+    settle(std::move(verdict));
+  }
+
+ private:
+  Task task_;
+  std::shared_ptr<const ResultVerifier> verifier_;
+};
+
+class SpotOneScheme : public VerificationScheme {
+ public:
+  std::string name() const override { return "spot-one"; }
+
+  std::unique_ptr<ParticipantSession> open_participant(
+      ParticipantContext context) const override {
+    return std::make_unique<SpotOneParticipantSession>(std::move(context));
+  }
+  std::unique_ptr<SupervisorSession> open_supervisor(
+      SupervisorContext context) const override {
+    return std::make_unique<SpotOneSupervisorSession>(std::move(context));
+  }
+};
+
+TEST(SchemeRegistry, CustomSchemeRunsThroughSimulation) {
+  SchemeRegistry registry;
+  registry.register_scheme(std::make_shared<SpotOneScheme>());
+
+  GridConfig config;
+  config.domain_end = 1 << 8;
+  config.participant_count = 3;
+  config.scheme.name = "spot-one";  // never touches SchemeKind
+  config.schemes = &registry;
+  config.seed = 29;
+
+  const GridRunResult result = run_grid_simulation(config);
+  EXPECT_EQ(result.honest_tasks_accepted, 3u);
+  EXPECT_EQ(result.honest_tasks_rejected, 0u);
+  EXPECT_EQ(result.results_verified, 3u);  // one spot-check per task
+  EXPECT_EQ(result.participant_evaluations, 1u << 8);
+}
+
+TEST(SchemeRegistry, CustomSchemeCatchesAlwaysWrongFirstLeaf) {
+  SchemeRegistry registry;
+  registry.register_scheme(std::make_shared<SpotOneScheme>());
+
+  GridConfig config;
+  config.domain_end = 1 << 8;
+  config.participant_count = 2;
+  config.scheme.name = "spot-one";
+  config.schemes = &registry;
+  config.seed = 31;
+  // r = 0: every leaf is guessed, so the spot-checked first leaf is wrong.
+  config.cheaters = {{1, 0.0, 0.0, 0}};
+
+  const GridRunResult result = run_grid_simulation(config);
+  EXPECT_EQ(result.cheater_tasks_rejected, 1u);
+  EXPECT_EQ(result.honest_tasks_accepted, 1u);
+}
+
+// A scheme whose *supervisor* speaks first: it challenges unprompted at
+// open time, and the participant answers with an upload. Exercises the
+// start()-time session drain in SupervisorNode.
+class PushFirstParticipantSession final : public QueuedParticipantSession {
+ public:
+  explicit PushFirstParticipantSession(ParticipantContext context)
+      : task_(std::move(context.task)) {}
+
+  void on_message(const SchemeMessage& message) override {
+    if (std::holds_alternative<SampleChallenge>(message)) {
+      ++honest_evaluations_;  // pretend-work, enough for accounting checks
+      push(ResultsUpload{task_.id, {task_.f->evaluate(task_.domain.begin())}});
+    }
+  }
+  ScreenerReport screener_report() const override {
+    return ScreenerReport{task_.id, {}};
+  }
+  std::uint64_t honest_evaluations() const override {
+    return honest_evaluations_;
+  }
+  bool finished() const override { return false; }
+
+ private:
+  Task task_;
+  std::uint64_t honest_evaluations_ = 0;
+};
+
+class PushFirstSupervisorSession final : public QueuedSupervisorSession {
+ public:
+  explicit PushFirstSupervisorSession(SupervisorContext context)
+      : task_(std::move(context.tasks.at(0))) {
+    // Opening move from the supervisor side, before any participant input.
+    push(task_.id, SampleChallenge{task_.id, {LeafIndex{0}}});
+  }
+
+  void on_message(TaskId task, const SchemeMessage& message) override {
+    if (std::holds_alternative<ResultsUpload>(message) && !settled(task)) {
+      settle(Verdict{task_.id, VerdictStatus::kAccepted, {}, "answered"});
+    }
+  }
+
+ private:
+  Task task_;
+};
+
+class PushFirstScheme final : public VerificationScheme {
+ public:
+  std::string name() const override { return "push-first"; }
+  std::unique_ptr<ParticipantSession> open_participant(
+      ParticipantContext context) const override {
+    return std::make_unique<PushFirstParticipantSession>(std::move(context));
+  }
+  std::unique_ptr<SupervisorSession> open_supervisor(
+      SupervisorContext context) const override {
+    return std::make_unique<PushFirstSupervisorSession>(std::move(context));
+  }
+};
+
+TEST(SchemeRegistry, SupervisorFirstSchemeRunsThroughSimulation) {
+  SchemeRegistry registry;
+  registry.register_scheme(std::make_shared<PushFirstScheme>());
+
+  GridConfig config;
+  config.domain_end = 64;
+  config.participant_count = 2;
+  config.scheme.name = "push-first";
+  config.schemes = &registry;
+
+  const GridRunResult result = run_grid_simulation(config);
+  EXPECT_EQ(result.honest_tasks_accepted, 2u);
+}
+
+TEST(SchemeRegistry, ReplacingANameDropsItsStaleKindRoute) {
+  SchemeRegistry registry;
+  registry.register_scheme(make_cbs_scheme());
+  ASSERT_TRUE(registry.contains(SchemeKind::kCbs));
+
+  // Replace "cbs" with a kind-less custom scheme: the old kind route must
+  // not keep dispatching to the displaced registration.
+  class KindlessCbs final : public SpotOneScheme {
+   public:
+    std::string name() const override { return "cbs"; }
+  };
+  registry.register_scheme(std::make_shared<KindlessCbs>());
+  EXPECT_FALSE(registry.contains(SchemeKind::kCbs));
+  EXPECT_EQ(registry.by_name("cbs").kind(), std::nullopt);
+}
+
+TEST(SchemeRegistry, UnknownSchemeNameFailsSimulation) {
+  GridConfig config;
+  config.domain_end = 64;
+  config.participant_count = 1;
+  config.scheme.name = "no-such-scheme";
+  EXPECT_THROW(run_grid_simulation(config), Error);
+}
+
+}  // namespace
+}  // namespace ugc

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.h"
+#include "core/cheating.h"
+#include "grid/simulation.h"
+#include "scheme/exchange.h"
+#include "scheme/registry.h"
+#include "test_util.h"
+
+namespace ugc {
+namespace {
+
+using testing::TestFunction;
+using testing::make_test_task;
+
+SchemeConfig small_config(SchemeKind kind) {
+  SchemeConfig config;
+  config.kind = kind;
+  config.cbs.sample_count = 20;
+  config.nicbs.sample_count = 20;
+  config.naive.sample_count = 20;
+  config.ringer.ringer_count = 10;
+  return config;
+}
+
+class AllSchemesExchange : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(AllSchemesExchange, HonestParticipantAccepted) {
+  const SchemeConfig config = small_config(GetParam());
+  const VerificationScheme& scheme =
+      SchemeRegistry::global().by_kind(GetParam());
+
+  std::vector<Task> tasks;
+  const std::size_t replicas = scheme.replicas(config);
+  for (std::size_t i = 0; i < replicas; ++i) {
+    tasks.push_back(make_test_task(256, /*id=*/i + 1));
+  }
+
+  const SchemeExchangeResult result = run_scheme_exchange(
+      scheme, tasks, config, make_honest_policy(), nullptr, /*seed=*/7);
+  ASSERT_EQ(result.verdicts.size(), replicas);
+  EXPECT_TRUE(result.all_accepted()) << to_string(GetParam());
+  EXPECT_EQ(result.participant_evaluations, replicas * 256u);
+}
+
+TEST_P(AllSchemesExchange, LazyCheaterRejected) {
+  const SchemeConfig config = small_config(GetParam());
+  const VerificationScheme& scheme =
+      SchemeRegistry::global().by_kind(GetParam());
+
+  std::vector<Task> tasks;
+  const std::size_t replicas = scheme.replicas(config);
+  for (std::size_t i = 0; i < replicas; ++i) {
+    tasks.push_back(make_test_task(256, /*id=*/i + 1));
+  }
+
+  const auto cheater =
+      make_semi_honest_cheater({/*honesty_ratio=*/0.4, /*guess_accuracy=*/0.0,
+                                /*seed=*/99});
+  const SchemeExchangeResult result =
+      run_scheme_exchange(scheme, tasks, config, cheater, nullptr, /*seed=*/7);
+  // Every replica ran the same cheating policy, so at least one task (for
+  // double-check: all in lock-step agreement are still sampled against the
+  // recomputed truth only on disagreement — identical guesses collude, so
+  // exempt it) must be rejected.
+  if (GetParam() == SchemeKind::kDoubleCheck) {
+    // Identical policies produce identical guesses: the blind spot the
+    // paper calls out. Verify the exchange at least completed.
+    ASSERT_EQ(result.verdicts.size(), replicas);
+  } else {
+    ASSERT_EQ(result.verdicts.size(), 1u);
+    EXPECT_FALSE(result.verdicts[0].accepted()) << to_string(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AllSchemesExchange,
+                         ::testing::Values(SchemeKind::kDoubleCheck,
+                                           SchemeKind::kNaiveSampling,
+                                           SchemeKind::kCbs,
+                                           SchemeKind::kNiCbs,
+                                           SchemeKind::kRinger),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           std::erase(name, '-');
+                           return name;
+                         });
+
+TEST(SchemeExchange, DoubleCheckCatchesOneDivergentReplica) {
+  SchemeConfig config = small_config(SchemeKind::kDoubleCheck);
+  const VerificationScheme& scheme =
+      SchemeRegistry::global().by_kind(SchemeKind::kDoubleCheck);
+
+  const std::vector<Task> tasks = {make_test_task(128, 1),
+                                   make_test_task(128, 2)};
+
+  // Open the two participant sides with *different* policies by pumping the
+  // sessions manually: one honest, one half-lazy.
+  auto supervisor = scheme.open_supervisor(
+      {tasks, config, std::make_shared<RecomputeVerifier>(tasks[0].f), 3});
+  auto honest = scheme.open_participant(
+      {tasks[0], config, {}, make_honest_policy()});
+  auto lazy = scheme.open_participant(
+      {tasks[1], config, {}, make_semi_honest_cheater({0.5, 0.0, 17})});
+
+  for (auto* participant : {honest.get(), lazy.get()}) {
+    while (auto message = participant->next_message()) {
+      supervisor->on_message(task_of(*message), *message);
+    }
+  }
+
+  std::map<std::uint64_t, bool> accepted;
+  while (auto verdict = supervisor->next_verdict()) {
+    accepted[verdict->task.value] = verdict->accepted();
+  }
+  ASSERT_EQ(accepted.size(), 2u);
+  EXPECT_TRUE(accepted.at(1));
+  EXPECT_FALSE(accepted.at(2));
+}
+
+// ----------------------------------------------------------------- batched
+
+TEST(SchemeExchange, BatchedCbsAcceptsHonestAndCatchesCheater) {
+  SchemeConfig config = small_config(SchemeKind::kCbs);
+  config.cbs.use_batch_proofs = true;
+  const VerificationScheme& scheme =
+      SchemeRegistry::global().by_kind(SchemeKind::kCbs);
+
+  const Task task = make_test_task(512);
+  EXPECT_TRUE(run_scheme_exchange(scheme, task, config, make_honest_policy())
+                  .all_accepted());
+  EXPECT_FALSE(run_scheme_exchange(scheme, task, config,
+                                   make_semi_honest_cheater({0.4, 0.0, 5}))
+                   .all_accepted());
+}
+
+// -------------------------------------------------------------------- SPRT
+
+TEST(SchemeExchange, SprtCbsAcceptsHonestWithFewSamples) {
+  SchemeConfig config = small_config(SchemeKind::kCbs);
+  config.cbs.use_sprt = true;
+  config.cbs.sprt.pass_prob_cheater = 0.5;
+  config.cbs.sprt.false_reject = 1e-4;
+  config.cbs.sprt.false_accept = 1e-4;
+  const VerificationScheme& scheme =
+      SchemeRegistry::global().by_kind(SchemeKind::kCbs);
+
+  const Task task = make_test_task(512);
+  const SchemeExchangeResult result =
+      run_scheme_exchange(scheme, task, config, make_honest_policy());
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  EXPECT_TRUE(result.verdicts[0].accepted());
+  EXPECT_TRUE(result.verdicts[0].detail.starts_with("sprt accept"));
+}
+
+TEST(SchemeExchange, SprtCbsRejectsCheaterEarly) {
+  SchemeConfig config = small_config(SchemeKind::kCbs);
+  config.cbs.use_sprt = true;
+  config.cbs.sprt.pass_prob_cheater = 0.5;
+  const VerificationScheme& scheme =
+      SchemeRegistry::global().by_kind(SchemeKind::kCbs);
+
+  const Task task = make_test_task(512);
+  const SchemeExchangeResult result = run_scheme_exchange(
+      scheme, task, config, make_semi_honest_cheater({0.3, 0.0, 23}));
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  EXPECT_FALSE(result.verdicts[0].accepted());
+  // A 30%-honest cheater fails fast: far fewer verifications than the
+  // fixed-m path's sample_count would have spent on an honest run.
+  EXPECT_LT(result.results_verified, 20u);
+}
+
+TEST(SchemeExchange, SprtCbsRunsThroughGridSimulation) {
+  GridConfig config;
+  config.domain_end = 1 << 9;
+  config.participant_count = 3;
+  config.scheme = small_config(SchemeKind::kCbs);
+  config.scheme.cbs.use_sprt = true;
+  config.scheme.cbs.sprt.pass_prob_cheater = 0.5;
+  config.seed = 41;
+  config.cheaters = {{1, 0.4, 0.0, 0}};
+
+  const GridRunResult result = run_grid_simulation(config);
+  EXPECT_EQ(result.cheater_tasks_rejected, 1u);
+  EXPECT_EQ(result.honest_tasks_rejected, 0u);
+  EXPECT_EQ(result.honest_tasks_accepted, 2u);
+}
+
+TEST(SchemeExchange, SprtCbsRunsThroughBroker) {
+  GridConfig config;
+  config.domain_end = 1 << 9;
+  config.participant_count = 2;
+  config.scheme = small_config(SchemeKind::kCbs);
+  config.scheme.cbs.use_sprt = true;
+  config.scheme.cbs.sprt.pass_prob_cheater = 0.5;
+  config.use_broker = true;
+  config.seed = 43;
+
+  const GridRunResult result = run_grid_simulation(config);
+  EXPECT_EQ(result.honest_tasks_accepted, 2u);
+}
+
+// --------------------------------------------------------------- API shape
+
+TEST(SchemeExchange, ValidatesInputs) {
+  const VerificationScheme& scheme =
+      SchemeRegistry::global().by_kind(SchemeKind::kCbs);
+  EXPECT_THROW(run_scheme_exchange(scheme, std::vector<Task>{},
+                                   SchemeConfig{}, nullptr, nullptr, 1),
+               Error);
+}
+
+TEST(SchemeSession, ParticipantSessionsIgnoreJunkTraffic) {
+  const SchemeConfig config = small_config(SchemeKind::kNiCbs);
+  const VerificationScheme& scheme =
+      SchemeRegistry::global().by_kind(SchemeKind::kNiCbs);
+  auto session = scheme.open_participant(
+      {make_test_task(64), config, {}, make_honest_policy()});
+  (void)session->next_message();
+  // Wrong-type and wrong-task messages must be dropped, not thrown on.
+  session->on_message(SampleChallenge{TaskId{99}, {LeafIndex{0}}});
+  session->on_message(ResultsUpload{TaskId{1}, {}});
+  EXPECT_EQ(session->next_message(), std::nullopt);
+}
+
+TEST(SchemeSession, SupervisorSessionsIgnoreJunkTraffic) {
+  const SchemeConfig config = small_config(SchemeKind::kCbs);
+  const VerificationScheme& scheme =
+      SchemeRegistry::global().by_kind(SchemeKind::kCbs);
+  const Task task = make_test_task(64);
+  auto session = scheme.open_supervisor(
+      {{task}, config, std::make_shared<RecomputeVerifier>(task.f), 1});
+  // Response before any commitment, reports for foreign tasks: all dropped.
+  session->on_message(task.id, ProofResponse{task.id, {}});
+  session->on_message(TaskId{42}, Commitment{TaskId{42}, 64, {}});
+  EXPECT_EQ(session->next_message(), std::nullopt);
+  EXPECT_EQ(session->next_verdict(), std::nullopt);
+}
+
+}  // namespace
+}  // namespace ugc

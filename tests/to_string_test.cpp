@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/cheating.h"
+#include "core/scheme_config.h"
+#include "core/sequential.h"
+#include "crypto/hash_function.h"
+#include "wire/messages.h"
+
+namespace ugc {
+namespace {
+
+// Exhaustive enum/stringifier checks: every enumerator must map to a unique,
+// stable, non-"unknown" name. Keeps enum additions and their to_string
+// overloads from drifting apart.
+
+template <typename Enum>
+void expect_exhaustive(std::initializer_list<Enum> values) {
+  std::set<std::string> seen;
+  for (const Enum value : values) {
+    const std::string name = to_string(value);
+    EXPECT_NE(name, "unknown") << static_cast<int>(value);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name: " << name;
+  }
+}
+
+TEST(ToString, SchemeKindExhaustive) {
+  expect_exhaustive({SchemeKind::kDoubleCheck, SchemeKind::kNaiveSampling,
+                     SchemeKind::kCbs, SchemeKind::kNiCbs,
+                     SchemeKind::kRinger});
+  // Names are wire/registry keys — spell them out so renames fail loudly.
+  EXPECT_STREQ(to_string(SchemeKind::kDoubleCheck), "double-check");
+  EXPECT_STREQ(to_string(SchemeKind::kNaiveSampling), "naive-sampling");
+  EXPECT_STREQ(to_string(SchemeKind::kCbs), "cbs");
+  EXPECT_STREQ(to_string(SchemeKind::kNiCbs), "ni-cbs");
+  EXPECT_STREQ(to_string(SchemeKind::kRinger), "ringer");
+}
+
+TEST(ToString, VerdictStatusExhaustive) {
+  expect_exhaustive({VerdictStatus::kAccepted, VerdictStatus::kWrongResult,
+                     VerdictStatus::kRootMismatch, VerdictStatus::kMalformed});
+  EXPECT_STREQ(to_string(VerdictStatus::kAccepted), "accepted");
+  EXPECT_STREQ(to_string(VerdictStatus::kMalformed), "malformed");
+}
+
+TEST(ToString, SprtDecisionExhaustive) {
+  expect_exhaustive({SprtDecision::kContinue, SprtDecision::kAccept,
+                     SprtDecision::kReject});
+  EXPECT_STREQ(to_string(SprtDecision::kAccept), "accept");
+}
+
+TEST(ToString, ScreenerConductExhaustive) {
+  expect_exhaustive({ScreenerConduct::kFaithful, ScreenerConduct::kSuppress,
+                     ScreenerConduct::kFabricate});
+}
+
+TEST(ToString, HashAlgorithmExhaustiveAndInverseOfParse) {
+  expect_exhaustive(
+      {HashAlgorithm::kMd5, HashAlgorithm::kSha1, HashAlgorithm::kSha256});
+  for (const HashAlgorithm algorithm :
+       {HashAlgorithm::kMd5, HashAlgorithm::kSha1, HashAlgorithm::kSha256}) {
+    EXPECT_EQ(parse_hash_algorithm(to_string(algorithm)), algorithm);
+  }
+}
+
+TEST(ToString, LeafModeExhaustive) {
+  expect_exhaustive({LeafMode::kRaw, LeafMode::kHashed});
+}
+
+TEST(ToString, MessageTypeExhaustive) {
+  expect_exhaustive(
+      {MessageType::kTaskAssignment, MessageType::kCommitment,
+       MessageType::kSampleChallenge, MessageType::kProofResponse,
+       MessageType::kNiCbsProof, MessageType::kResultsUpload,
+       MessageType::kScreenerReport, MessageType::kRingerReport,
+       MessageType::kVerdict, MessageType::kBatchProofResponse});
+}
+
+}  // namespace
+}  // namespace ugc

@@ -134,6 +134,16 @@ ProofResponse sample_response() {
   return response;
 }
 
+BatchProofResponse sample_batch_response() {
+  BatchProofResponse m;
+  m.task = TaskId{11};
+  m.results = {{LeafIndex{0}, to_bytes("r0")},
+               {LeafIndex{7}, to_bytes("r7")},
+               {LeafIndex{1ULL << 33}, Bytes{}}};
+  m.siblings = {to_bytes("sib-a"), Bytes{}, to_bytes("sibling-b")};
+  return m;
+}
+
 TaskAssignment sample_assignment() {
   TaskAssignment m;
   m.task = TaskId{3};
@@ -142,6 +152,13 @@ TaskAssignment sample_assignment() {
   m.workload = "keysearch";
   m.workload_seed = 99;
   m.scheme.kind = SchemeKind::kNiCbs;
+  m.scheme.name = "my-custom-scheme";
+  m.scheme.cbs.use_sprt = true;
+  m.scheme.cbs.sprt.pass_prob_honest = 0.999;
+  m.scheme.cbs.sprt.pass_prob_cheater = 0.25;
+  m.scheme.cbs.sprt.false_reject = 1e-6;
+  m.scheme.cbs.sprt.false_accept = 1e-3;
+  m.scheme.cbs.sprt.max_samples = 4242;
   m.scheme.nicbs.sample_count = 64;
   m.scheme.nicbs.sample_hash = HashAlgorithm::kSha1;
   m.scheme.nicbs.sample_hash_iterations = 4096;
@@ -195,6 +212,11 @@ TEST(Messages, RingerReportRoundTrip) {
   expect_round_trip(RingerReport{TaskId{4}, {1, 2, 3, 1ULL << 60}});
 }
 
+TEST(Messages, BatchProofResponseRoundTrip) {
+  expect_round_trip(sample_batch_response());
+  expect_round_trip(BatchProofResponse{TaskId{1}, {}, {}});
+}
+
 TEST(Messages, VerdictRoundTripAllStatuses) {
   for (auto status :
        {VerdictStatus::kAccepted, VerdictStatus::kWrongResult,
@@ -218,6 +240,68 @@ TEST(Messages, EmptyCollectionsRoundTrip) {
   expect_round_trip(ScreenerReport{TaskId{1}, {}});
   expect_round_trip(ResultsUpload{TaskId{1}, {}});
   expect_round_trip(RingerReport{TaskId{1}, {}});
+}
+
+// --------------------------------------------------- scheme-message envelope
+
+// Every SchemeMessage alternative must survive the envelope unchanged.
+template <typename T>
+void expect_scheme_round_trip(const T& original) {
+  const Bytes encoded = encode_scheme_message(SchemeMessage{original});
+  const SchemeMessage decoded = decode_scheme_message(encoded);
+  ASSERT_TRUE(std::holds_alternative<T>(decoded));
+  EXPECT_EQ(std::get<T>(decoded), original);
+  // The envelope is the grid envelope: the two codecs interoperate.
+  const Message as_message = decode_message(encoded);
+  EXPECT_EQ(std::get<T>(as_message), original);
+}
+
+TEST(SchemeMessages, EveryAlternativeRoundTrips) {
+  expect_scheme_round_trip(sample_commitment());
+  expect_scheme_round_trip(SampleChallenge{
+      TaskId{7}, {LeafIndex{3}, LeafIndex{1ULL << 50}}});
+  expect_scheme_round_trip(sample_response());
+  expect_scheme_round_trip(sample_batch_response());
+  expect_scheme_round_trip(NiCbsProof{sample_commitment(), sample_response()});
+  expect_scheme_round_trip(ResultsUpload{
+      TaskId{2}, {to_bytes("a"), Bytes{}, to_bytes("c")}});
+  expect_scheme_round_trip(RingerReport{TaskId{4}, {9, 1ULL << 40}});
+}
+
+TEST(SchemeMessages, TaskOfMatchesEveryAlternative) {
+  EXPECT_EQ(task_of(SchemeMessage{Commitment{TaskId{5}, 1, {}}}), TaskId{5});
+  EXPECT_EQ(task_of(SchemeMessage{SampleChallenge{TaskId{6}, {}}}), TaskId{6});
+  EXPECT_EQ(task_of(SchemeMessage{ProofResponse{TaskId{7}, {}}}), TaskId{7});
+  EXPECT_EQ(task_of(SchemeMessage{BatchProofResponse{TaskId{8}, {}, {}}}),
+            TaskId{8});
+  EXPECT_EQ(
+      task_of(SchemeMessage{NiCbsProof{Commitment{TaskId{9}, 1, {}}, {}}}),
+      TaskId{9});
+  EXPECT_EQ(task_of(SchemeMessage{ResultsUpload{TaskId{10}, {}}}), TaskId{10});
+  EXPECT_EQ(task_of(SchemeMessage{RingerReport{TaskId{11}, {}}}), TaskId{11});
+}
+
+TEST(SchemeMessages, GridOnlyTypesAreNotSchemeMessages) {
+  // Conversion filters them out…
+  EXPECT_EQ(to_scheme_message(Message{sample_assignment()}), std::nullopt);
+  EXPECT_EQ(to_scheme_message(Message{ScreenerReport{TaskId{1}, {}}}),
+            std::nullopt);
+  EXPECT_EQ(to_scheme_message(Message{Verdict{TaskId{1}}}), std::nullopt);
+  // …and the scheme decoder rejects their encodings outright.
+  EXPECT_THROW(
+      decode_scheme_message(encode_message(Message{sample_assignment()})),
+      WireError);
+  EXPECT_THROW(decode_scheme_message(encode_message(
+                   Message{ScreenerReport{TaskId{1}, {}}})),
+               WireError);
+}
+
+TEST(SchemeMessages, HostileBytesThrowCleanly) {
+  EXPECT_THROW(decode_scheme_message(BytesView{}), WireError);
+  Bytes truncated = encode_scheme_message(
+      SchemeMessage{sample_batch_response()});
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW(decode_scheme_message(truncated), WireError);
 }
 
 TEST(Messages, MessageTypeNamesAreStable) {
