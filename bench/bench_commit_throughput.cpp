@@ -1,0 +1,174 @@
+// Commitment-throughput trajectory bench: how many leaves/second can a
+// participant fold into a Merkle commitment, across domain sizes, build
+// strategies (serial vs parallel level build), and hash entry points
+// (1-shot hash(concat) vs the streaming hash_pair fast path)?
+//
+// Tree-build speed bounds how large a task the grid can verify (PAPER.md
+// §3, Fig. 3) — a participant answers no sample query until the whole
+// domain is committed. This bench emits BENCH_commit.json so subsequent
+// PRs can track the trajectory; run with --smoke for a seconds-scale CI
+// sanity pass over tiny sizes.
+//
+// Usage: bench_commit_throughput [--smoke] [--out PATH]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "crypto/hash_function.h"
+#include "merkle/streaming_builder.h"
+#include "merkle/tree.h"
+
+using namespace ugc;
+
+namespace {
+
+std::vector<Bytes> make_leaves(std::uint64_t n, const HashFunction& hash) {
+  std::vector<Bytes> leaves;
+  leaves.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Bytes seed(8);
+    put_u64_be(i, seed.data());
+    leaves.push_back(hash.hash(seed));
+  }
+  return leaves;
+}
+
+double build_leaves_per_sec(const std::vector<Bytes>& leaves,
+                            const HashFunction& hash, unsigned threads) {
+  std::vector<Bytes> input = leaves;  // copy outside the timed region
+  Stopwatch timer;
+  const MerkleTree tree = MerkleTree::build(std::move(input), hash, threads);
+  const double seconds = timer.elapsed_seconds();
+  // Touch the root so the build cannot be elided.
+  volatile std::uint8_t sink = tree.root().front();
+  (void)sink;
+  return static_cast<double>(leaves.size()) / seconds;
+}
+
+double streaming_leaves_per_sec(const std::vector<Bytes>& leaves,
+                                const HashFunction& hash) {
+  Stopwatch timer;
+  StreamingMerkleBuilder builder(hash);
+  for (const Bytes& leaf : leaves) {
+    builder.add_leaf(leaf);
+  }
+  const Bytes root = builder.finish();
+  const double seconds = timer.elapsed_seconds();
+  volatile std::uint8_t sink = root.front();
+  (void)sink;
+  return static_cast<double>(leaves.size()) / seconds;
+}
+
+// The pre-PR interior-node recipe: one concatenation temporary plus a
+// one-shot hash per node. Measured over the same pair count as one tree
+// level so "pair_concat" vs "pair_streaming" isolates the hash_pair win.
+double pairs_per_sec_concat(const std::vector<Bytes>& leaves,
+                            const HashFunction& hash) {
+  Stopwatch timer;
+  Bytes digest;
+  for (std::size_t i = 0; i + 1 < leaves.size(); i += 2) {
+    digest = hash.hash(concat_bytes(leaves[i], leaves[i + 1]));
+  }
+  const double seconds = timer.elapsed_seconds();
+  volatile std::uint8_t sink = digest.front();
+  (void)sink;
+  return static_cast<double>(leaves.size() / 2) / seconds;
+}
+
+double pairs_per_sec_streaming(const std::vector<Bytes>& leaves,
+                               const HashFunction& hash) {
+  Stopwatch timer;
+  Bytes digest(hash.digest_size());
+  for (std::size_t i = 0; i + 1 < leaves.size(); i += 2) {
+    hash.hash_pair(leaves[i], leaves[i + 1], digest);
+  }
+  const double seconds = timer.elapsed_seconds();
+  volatile std::uint8_t sink = digest.front();
+  (void)sink;
+  return static_cast<double>(leaves.size() / 2) / seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_commit.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<unsigned> exponents =
+      smoke ? std::vector<unsigned>{10, 12} : std::vector<unsigned>{16, 18, 20};
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+
+  std::printf("== commitment throughput (hash cost in ns, rates in leaves/s) "
+              "==\n");
+  std::printf("hardware threads: %u%s\n\n", hw_threads,
+              smoke ? "  [smoke sizes]" : "");
+
+  FILE* json = std::fopen(out_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"smoke\": %s,\n  \"hardware_threads\": %u,\n",
+               smoke ? "true" : "false", hw_threads);
+  std::fprintf(json, "  \"hash_cost_ns\": {\n");
+  for (auto algo :
+       {HashAlgorithm::kMd5, HashAlgorithm::kSha1, HashAlgorithm::kSha256}) {
+    const auto hash = make_hash(algo);
+    const double cost = measure_hash_cost_ns(*hash, 64, smoke ? 200 : 2000);
+    std::printf("hash_cost(%s, 64B) = %.1f ns\n", hash->name().c_str(), cost);
+    std::fprintf(json, "    \"%s\": %.2f%s\n", hash->name().c_str(), cost,
+                 algo == HashAlgorithm::kSha256 ? "" : ",");
+  }
+  std::fprintf(json, "  },\n  \"runs\": [\n");
+
+  bool first_run = true;
+  for (auto algo :
+       {HashAlgorithm::kMd5, HashAlgorithm::kSha1, HashAlgorithm::kSha256}) {
+    const auto hash = make_hash(algo);
+    std::printf("\n-- %s --\n", hash->name().c_str());
+    std::printf("%-8s %14s %14s %14s %14s %14s\n", "n", "serial", "parallel",
+                "streaming", "pair_concat", "pair_stream");
+    for (const unsigned exp : exponents) {
+      const std::uint64_t n = std::uint64_t{1} << exp;
+      const std::vector<Bytes> leaves = make_leaves(n, *hash);
+
+      const double serial = build_leaves_per_sec(leaves, *hash, 1);
+      const double parallel = build_leaves_per_sec(leaves, *hash, 0);
+      const double streaming = streaming_leaves_per_sec(leaves, *hash);
+      const double concat_rate = pairs_per_sec_concat(leaves, *hash);
+      const double pair_rate = pairs_per_sec_streaming(leaves, *hash);
+
+      std::printf("2^%-6u %14.0f %14.0f %14.0f %14.0f %14.0f\n", exp, serial,
+                  parallel, streaming, concat_rate, pair_rate);
+
+      std::fprintf(json,
+                   "%s    {\"hash\": \"%s\", \"log2_n\": %u, "
+                   "\"serial_leaves_per_sec\": %.0f, "
+                   "\"parallel_leaves_per_sec\": %.0f, "
+                   "\"streaming_leaves_per_sec\": %.0f, "
+                   "\"concat_pairs_per_sec\": %.0f, "
+                   "\"hash_pair_pairs_per_sec\": %.0f}",
+                   first_run ? "" : ",\n", hash->name().c_str(), exp, serial,
+                   parallel, streaming, concat_rate, pair_rate);
+      first_run = false;
+    }
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -33,7 +33,8 @@ BENCHMARK(BM_Md5)->Arg(16)->Arg(64)->Arg(1024)->Arg(65536);
 BENCHMARK(BM_Sha1)->Arg(16)->Arg(64)->Arg(1024)->Arg(65536);
 BENCHMARK(BM_Sha256)->Arg(16)->Arg(64)->Arg(1024)->Arg(65536);
 
-// The Merkle inner-node operation: hash of two concatenated digests.
+// The Merkle inner-node operation: hash of two concatenated digests —
+// legacy 1-shot form (allocates the concatenation and the digest)...
 void BM_MerkleNodeHash(benchmark::State& state) {
   const Bytes left(32, 0xaa);
   const Bytes right(32, 0xbb);
@@ -43,6 +44,18 @@ void BM_MerkleNodeHash(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MerkleNodeHash);
+
+// ...versus the zero-allocation hash_pair fast path the tree builds use.
+void BM_MerkleNodeHashPair(benchmark::State& state) {
+  const Bytes left(32, 0xaa);
+  const Bytes right(32, 0xbb);
+  Bytes out(default_hash().digest_size());
+  for (auto _ : state) {
+    default_hash().hash_pair(left, right, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MerkleNodeHashPair);
 
 // g = MD5^k, the cost-tuned sample generator (Eq. 5).
 void BM_IteratedMd5(benchmark::State& state) {

@@ -1,0 +1,98 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace ugc {
+
+namespace {
+
+unsigned resolve_workers(std::uint64_t count, unsigned threads) {
+  unsigned workers =
+      threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (workers == 0) {
+    workers = 1;
+  }
+  return static_cast<unsigned>(std::min<std::uint64_t>(workers, count));
+}
+
+}  // namespace
+
+void parallel_for_chunks(
+    std::uint64_t begin, std::uint64_t end,
+    const std::function<void(std::uint64_t, std::uint64_t)>& fn,
+    unsigned threads) {
+  check(begin <= end, "parallel_for_chunks: begin > end");
+  check(fn != nullptr, "parallel_for_chunks: callable required");
+  const std::uint64_t count = end - begin;
+  if (count == 0) {
+    return;
+  }
+
+  const unsigned workers = resolve_workers(count, threads);
+  if (workers == 1) {
+    fn(begin, end);
+    return;
+  }
+
+  // User callbacks may throw (check()/ugc::Error is the codebase's error
+  // mechanism): capture the first exception, always join every worker, and
+  // rethrow on the calling thread — never std::terminate.
+  std::mutex failure_mutex;
+  std::exception_ptr failure;
+  const auto run_chunk = [&fn, &failure_mutex,
+                          &failure](std::uint64_t lo, std::uint64_t hi) {
+    try {
+      fn(lo, hi);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(failure_mutex);
+      if (!failure) {
+        failure = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  const std::uint64_t chunk = count / workers;
+  const std::uint64_t remainder = count % workers;
+  std::uint64_t cursor = begin;
+  std::uint64_t first_hi = 0;
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::uint64_t width = chunk + (w < remainder ? 1 : 0);
+    const std::uint64_t lo = cursor;
+    const std::uint64_t hi = cursor + width;
+    cursor = hi;
+    if (w == 0) {
+      first_hi = hi;  // run the first chunk on the calling thread
+      continue;
+    }
+    pool.emplace_back([lo, hi, &run_chunk] { run_chunk(lo, hi); });
+  }
+  run_chunk(begin, first_hi);
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  if (failure) {
+    std::rethrow_exception(failure);
+  }
+}
+
+void parallel_for(std::uint64_t begin, std::uint64_t end,
+                  const std::function<void(std::uint64_t)>& fn,
+                  unsigned threads) {
+  check(fn != nullptr, "parallel_for: callable required");
+  parallel_for_chunks(
+      begin, end,
+      [&fn](std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          fn(i);
+        }
+      },
+      threads);
+}
+
+}  // namespace ugc

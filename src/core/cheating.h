@@ -16,6 +16,9 @@ namespace ugc {
 // Decisions must be deterministic in the leaf index: the participant may be
 // asked for the same leaf again while rebuilding a partial-tree subtree
 // (§3.3), and a real cheater would likewise reuse its stored guess.
+// decide() must also be thread-safe — the engine's domain sweep evaluates
+// disjoint leaf ranges concurrently (derive per-index values statelessly,
+// as SemiHonestCheater does).
 class HonestyPolicy {
  public:
   virtual ~HonestyPolicy() = default;

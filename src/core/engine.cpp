@@ -1,11 +1,25 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <optional>
+#include <string>
 
 #include "common/error.h"
+#include "common/parallel.h"
 #include "merkle/batch_proof.h"
 
 namespace ugc {
+
+namespace {
+
+// The domain sweep evaluates one lookahead window of leaves at a time:
+// workers fill the window in parallel, then the streaming tree builder
+// consumes it in order. Window memory is O(kSweepChunk), preserving the
+// §3.3 point of the partial tree; the window is sized to amortize the
+// per-window thread spawn across many leaf evaluations.
+constexpr std::uint64_t kSweepChunk = 32768;
+
+}  // namespace
 
 ParticipantEngine::ParticipantEngine(
     Task task, TreeSettings settings,
@@ -28,21 +42,9 @@ Bytes ParticipantEngine::leaf_from_result(BytesView result, LeafMode mode,
   throw Error("leaf_from_result: unknown leaf mode");
 }
 
-Bytes ParticipantEngine::leaf_value(LeafIndex i, bool during_build) {
+Bytes ParticipantEngine::rebuild_leaf_value(LeafIndex i) {
   const HonestyPolicy::LeafDecision decision = policy_->decide(i, task_);
-  if (during_build) {
-    if (decision.honest) {
-      ++metrics_.honest_evaluations;
-    } else {
-      ++metrics_.guessed_leaves;
-    }
-    // The participant screens the values it claims to have computed —
-    // S(x, f̌(x)) in the semi-honest model.
-    if (auto report =
-            task_.screener->screen(task_.domain.input(i), decision.value)) {
-      hits_.push_back(ScreenerHit{task_.domain.input(i), std::move(*report)});
-    }
-  } else if (decision.honest) {
+  if (decision.honest) {
     // §3.3 subtree rebuild: the honest values must be recomputed; guessed
     // values are assumed stored (they cost nothing to begin with).
     ++metrics_.rebuild_evaluations;
@@ -52,9 +54,70 @@ Bytes ParticipantEngine::leaf_value(LeafIndex i, bool during_build) {
 
 Commitment ParticipantEngine::commit() {
   if (!tree_.has_value()) {
+    const std::uint64_t n = task_.domain.size();
+
+    // Per-leaf outcome of one window of the sweep. Workers write disjoint
+    // slots; metrics and screener hits are folded in afterwards, in index
+    // order, so accounting is byte-identical to a serial sweep.
+    struct Slot {
+      Bytes value;
+      bool honest = false;
+      std::optional<std::string> report;
+    };
+    std::vector<Slot> window;
+    std::uint64_t window_base = 0;
+    std::uint64_t window_end = 0;
+
+    const auto fill_window = [&](std::uint64_t base) {
+      window_base = base;
+      window_end = std::min(base + kSweepChunk, n);
+      window.resize(window_end - base);
+      // The participant screens the values it claims to have computed —
+      // S(x, f̌(x)) in the semi-honest model. decide(), screen(), and f are
+      // const and deterministic per their contracts, so evaluating disjoint
+      // index ranges concurrently is safe.
+      const auto evaluate = [&](std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          Slot& slot = window[i - window_base];
+          HonestyPolicy::LeafDecision decision =
+              policy_->decide(LeafIndex{i}, task_);
+          slot.honest = decision.honest;
+          slot.report = task_.screener->screen(task_.domain.input(LeafIndex{i}),
+                                               decision.value);
+          slot.value = std::move(decision.value);
+        }
+      };
+      // Gate on the window, not the domain, so a small final window never
+      // spawns threads for a handful of leaves.
+      if (window_end - window_base >= kParallelMinimumWork) {
+        parallel_for_chunks(window_base, window_end, evaluate);
+      } else {
+        evaluate(window_base, window_end);
+      }
+      for (std::uint64_t i = window_base; i < window_end; ++i) {
+        Slot& slot = window[i - window_base];
+        if (slot.honest) {
+          ++metrics_.honest_evaluations;
+        } else {
+          ++metrics_.guessed_leaves;
+        }
+        if (slot.report.has_value()) {
+          hits_.push_back(ScreenerHit{task_.domain.input(LeafIndex{i}),
+                                      std::move(*slot.report)});
+          slot.report.reset();
+        }
+      }
+    };
+
     tree_ = PartialMerkleTree::build(
-        task_.domain.size(), settings_.storage_subtree_height,
-        [this](LeafIndex i) { return leaf_value(i, /*during_build=*/true); },
+        n, settings_.storage_subtree_height,
+        [&](LeafIndex i) {
+          if (i.value >= window_end || i.value < window_base) {
+            fill_window(i.value);
+          }
+          return leaf_from_result(window[i.value - window_base].value,
+                                  settings_.leaf_mode, *hash_);
+        },
         *hash_);
   }
   return Commitment{task_.id, task_.domain.size(), tree_->root()};
@@ -68,9 +131,7 @@ std::vector<SampleProof> ParticipantEngine::prove(
   proofs.reserve(samples.size());
   for (const LeafIndex index : samples) {
     MerkleProof merkle = tree_->prove(
-        index,
-        [this](LeafIndex i) { return leaf_value(i, /*during_build=*/false); },
-        *hash_);
+        index, [this](LeafIndex i) { return rebuild_leaf_value(i); }, *hash_);
 
     SampleProof proof;
     proof.index = index;

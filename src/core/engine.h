@@ -37,7 +37,10 @@ class ParticipantEngine {
 
   // Evaluates the domain (per policy), builds the commitment tree, and
   // returns the commitment. Idempotent: subsequent calls return the stored
-  // commitment without re-sweeping.
+  // commitment without re-sweeping. Large domains are swept in parallel
+  // windows (policy / screener / f are const and deterministic, so
+  // concurrent evaluation of disjoint index ranges is safe); the committed
+  // bytes, metrics, and screener-hit order are identical to a serial sweep.
   Commitment commit();
 
   // Builds the proof for each sample (paper Step 3). Requires commit() to
@@ -64,7 +67,9 @@ class ParticipantEngine {
                                 const HashFunction& hash);
 
  private:
-  Bytes leaf_value(LeafIndex i, bool during_build);
+  // Re-evaluates one leaf for a §3.3 subtree rebuild at proof time (the
+  // build-time sweep accounting lives in commit()'s window fold).
+  Bytes rebuild_leaf_value(LeafIndex i);
 
   Task task_;
   TreeSettings settings_;

@@ -58,7 +58,10 @@ class ComputeFunction {
   ComputeFunction(const ComputeFunction&) = delete;
   ComputeFunction& operator=(const ComputeFunction&) = delete;
 
-  // Evaluates f(x). Must be deterministic.
+  // Evaluates f(x). Must be deterministic, and safe to call concurrently
+  // from multiple threads — the participant engine sweeps large domains in
+  // parallel. Keep implementations stateless or guard mutable members
+  // (CountingComputeFunction's atomic counter is the model).
   virtual Bytes evaluate(std::uint64_t x) const = 0;
 
   // Width of every result in bytes (> 0).
@@ -103,6 +106,8 @@ class Screener {
   Screener& operator=(const Screener&) = delete;
 
   // Returns a report when (x, f(x)) is of interest, std::nullopt otherwise.
+  // Must be deterministic and thread-safe: the participant engine screens
+  // leaves concurrently during the parallel domain sweep.
   virtual std::optional<std::string> screen(std::uint64_t x,
                                             BytesView fx) const = 0;
 

@@ -1,5 +1,7 @@
 #include "crypto/hash_function.h"
 
+#include <cstring>
+
 #include "common/error.h"
 #include "common/stopwatch.h"
 #include "crypto/md5.h"
@@ -10,47 +12,116 @@ namespace ugc {
 
 namespace {
 
-class Md5Hash final : public HashFunction {
+// Incremental context over one of the block-hash cores (Md5/Sha1/Sha256),
+// which share the update / finish_into / reset shape.
+template <typename Core>
+class CoreContext final : public HashContext {
  public:
-  std::size_t digest_size() const noexcept override { return Md5::kDigestSize; }
-  Bytes hash(BytesView data) const override {
-    return Md5::hash(data).to_bytes();
+  void reset() override { core_.reset(); }
+  void update(BytesView data) override { core_.update(data); }
+  void finish(std::span<std::uint8_t> out) override {
+    check(out.size() == Core::kDigestSize, "HashContext::finish: need ",
+          Core::kDigestSize, " bytes, got ", out.size());
+    core_.finish_into(out.data());
   }
-  std::string name() const override { return "md5"; }
+
+ private:
+  Core core_;
 };
 
-class Sha1Hash final : public HashFunction {
+// HashFunction facade over a core: every entry point runs the compression
+// directly into caller storage — no heap traffic besides `hash` itself.
+template <typename Core>
+class CoreHash final : public HashFunction {
  public:
+  explicit CoreHash(const char* name) : name_(name) {}
+
   std::size_t digest_size() const noexcept override {
-    return Sha1::kDigestSize;
+    return Core::kDigestSize;
   }
+
   Bytes hash(BytesView data) const override {
-    return Sha1::hash(data).to_bytes();
+    Bytes out(Core::kDigestSize);
+    hash_into(data, out);
+    return out;
   }
-  std::string name() const override { return "sha1"; }
+
+  void hash_into(BytesView data, std::span<std::uint8_t> out) const override {
+    check(out.size() == Core::kDigestSize, "hash_into: need ",
+          Core::kDigestSize, " bytes, got ", out.size());
+    Core core;
+    core.update(data);
+    core.finish_into(out.data());
+  }
+
+  void hash_pair(BytesView left, BytesView right,
+                 std::span<std::uint8_t> out) const override {
+    check(out.size() == Core::kDigestSize, "hash_pair: need ",
+          Core::kDigestSize, " bytes, got ", out.size());
+    Core core;
+    core.update(left);
+    core.update(right);
+    core.finish_into(out.data());
+  }
+
+  std::unique_ptr<HashContext> new_context() const override {
+    return std::make_unique<CoreContext<Core>>();
+  }
+
+  std::string name() const override { return name_; }
+
+ private:
+  const char* name_;
 };
 
-class Sha256Hash final : public HashFunction {
+using Md5Hash = CoreHash<Md5>;
+using Sha1Hash = CoreHash<Sha1>;
+using Sha256Hash = CoreHash<Sha256>;
+
+// Fallback context for HashFunction subclasses that only implement the
+// one-shot `hash`: buffers the message and digests it at finish.
+class BufferingContext final : public HashContext {
  public:
-  std::size_t digest_size() const noexcept override {
-    return Sha256::kDigestSize;
+  explicit BufferingContext(const HashFunction& hash) : hash_(hash) {}
+
+  void reset() override { buffer_.clear(); }
+  void update(BytesView data) override { append(buffer_, data); }
+  void finish(std::span<std::uint8_t> out) override {
+    hash_.hash_into(buffer_, out);
   }
-  Bytes hash(BytesView data) const override {
-    return Sha256::hash(data).to_bytes();
-  }
-  std::string name() const override { return "sha256"; }
+
+ private:
+  const HashFunction& hash_;
+  Bytes buffer_;
 };
 
 }  // namespace
 
+void HashFunction::hash_into(BytesView data,
+                             std::span<std::uint8_t> out) const {
+  const Bytes digest = hash(data);
+  check(out.size() == digest.size(), "hash_into: need ", digest.size(),
+        " bytes, got ", out.size());
+  std::memcpy(out.data(), digest.data(), digest.size());
+}
+
+void HashFunction::hash_pair(BytesView left, BytesView right,
+                             std::span<std::uint8_t> out) const {
+  hash_into(concat_bytes(left, right), out);
+}
+
+std::unique_ptr<HashContext> HashFunction::new_context() const {
+  return std::make_unique<BufferingContext>(*this);
+}
+
 std::unique_ptr<HashFunction> make_hash(HashAlgorithm algorithm) {
   switch (algorithm) {
     case HashAlgorithm::kMd5:
-      return std::make_unique<Md5Hash>();
+      return std::make_unique<Md5Hash>("md5");
     case HashAlgorithm::kSha1:
-      return std::make_unique<Sha1Hash>();
+      return std::make_unique<Sha1Hash>("sha1");
     case HashAlgorithm::kSha256:
-      return std::make_unique<Sha256Hash>();
+      return std::make_unique<Sha256Hash>("sha256");
   }
   throw Error("make_hash: unknown algorithm");
 }
@@ -75,7 +146,7 @@ const char* to_string(HashAlgorithm algorithm) {
 }
 
 const HashFunction& default_hash() {
-  static const Sha256Hash instance;
+  static const Sha256Hash instance("sha256");
   return instance;
 }
 
@@ -83,12 +154,15 @@ double measure_hash_cost_ns(const HashFunction& hash, std::size_t payload_size,
                             int repetitions) {
   check(repetitions > 0, "measure_hash_cost_ns: repetitions must be positive");
   Bytes payload(payload_size, 0xa5);
-  // Warm-up and a data dependency between iterations so the loop cannot be
+  // Warm-up, then a hash_into chain with a data dependency between
+  // iterations (each input is the previous digest) so the loop measures
+  // compression throughput, not allocator behaviour, and cannot be
   // optimized away or overlapped unrealistically.
-  Bytes digest = hash.hash(payload);
+  Bytes digest(hash.digest_size());
+  hash.hash_into(payload, digest);
   Stopwatch timer;
   for (int i = 0; i < repetitions; ++i) {
-    digest = hash.hash(digest);
+    hash.hash_into(digest, digest);
   }
   const double total_ns = static_cast<double>(timer.elapsed_ns());
   // Keep the final digest observable.

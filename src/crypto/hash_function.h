@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "common/bytes.h"
@@ -15,11 +16,43 @@ enum class HashAlgorithm {
   kSha256,
 };
 
+// Incremental hashing context: begin (new_context / reset), update, finish.
+//
+// Contexts are reusable — after finish() call reset() to start a fresh
+// message. They exist so multi-part inputs (HMAC pads, Merkle node pairs,
+// iterated-hash chains) can be absorbed without materializing concatenated
+// buffers.
+class HashContext {
+ public:
+  virtual ~HashContext() = default;
+
+  HashContext() = default;
+  HashContext(const HashContext&) = delete;
+  HashContext& operator=(const HashContext&) = delete;
+
+  // Restarts the context for a new message.
+  virtual void reset() = 0;
+
+  // Absorbs the next span of the message.
+  virtual void update(BytesView data) = 0;
+
+  // Completes the digest into `out`, whose size must equal the digest size
+  // of the hash that created the context. The context must be reset()
+  // before reuse.
+  virtual void finish(std::span<std::uint8_t> out) = 0;
+};
+
 // Type-erased one-way hash over byte strings.
 //
 // The Merkle tree, the CBS protocol, and the NI-CBS sample derivation are all
 // parameterized on this interface so that the paper's "MD5 or SHA" choice —
 // and the iterated g = H^k construction of §4.2 — plug in uniformly.
+//
+// The `hash_into` / `hash_pair` / `new_context` entry points form the
+// zero-allocation digest pipeline: concrete algorithms write straight into
+// caller-owned buffers and stream multi-part inputs through one compression
+// context. The base-class defaults delegate to `hash`, so custom
+// HashFunction subclasses only have to implement the one-shot form.
 class HashFunction {
  public:
   virtual ~HashFunction() = default;
@@ -33,6 +66,22 @@ class HashFunction {
 
   // Hashes `data` and returns the digest as a byte buffer.
   virtual Bytes hash(BytesView data) const = 0;
+
+  // Hashes `data`, writing the digest into `out` (size must equal
+  // digest_size()) without allocating. `out` may overlap `data`: the input
+  // is fully consumed before the digest is written.
+  virtual void hash_into(BytesView data, std::span<std::uint8_t> out) const;
+
+  // Digest of left||right — what every interior Merkle node needs — fed
+  // through a single streaming compression context, with no concatenation
+  // temporary. `out` (digest_size() bytes) may overlap either input.
+  virtual void hash_pair(BytesView left, BytesView right,
+                         std::span<std::uint8_t> out) const;
+
+  // Begins an incremental computation. The returned context is reusable via
+  // HashContext::reset(). The default buffers the whole message and runs
+  // hash_into at finish; concrete algorithms stream block-by-block.
+  virtual std::unique_ptr<HashContext> new_context() const;
 
   // Human-readable algorithm name, e.g. "sha256" or "md5^1024".
   virtual std::string name() const = 0;
@@ -51,8 +100,10 @@ const char* to_string(HashAlgorithm algorithm);
 // valid for the lifetime of the program.
 const HashFunction& default_hash();
 
-// Measures the average cost of one `hash` call on a `payload_size`-byte input
-// (used to calibrate Eq. 5's Cg and the bench reports). Returns nanoseconds.
+// Measures the average cost of one compression call on a `payload_size`-byte
+// input via the allocation-free hash_into path, so the number reflects
+// hashing work rather than allocator noise (used to calibrate Eq. 5's Cg and
+// the bench reports). Returns nanoseconds.
 double measure_hash_cost_ns(const HashFunction& hash, std::size_t payload_size,
                             int repetitions = 2000);
 

@@ -1,6 +1,9 @@
 #include "crypto/hmac.h"
 
-#include "crypto/sha256.h"
+#include <algorithm>
+#include <array>
+
+#include "common/error.h"
 
 namespace ugc {
 
@@ -10,25 +13,39 @@ constexpr std::size_t kBlockSize = 64;
 }  // namespace
 
 Bytes hmac(const HashFunction& hash, BytesView key, BytesView message) {
-  Bytes block_key(kBlockSize, 0);
+  const std::size_t digest_size = hash.digest_size();
+  check(digest_size <= kBlockSize,
+        "hmac: digest larger than the compression block");
+
+  // Normalize the key to one block (hash oversized keys), then derive both
+  // pads on the stack — the message itself is streamed through a single
+  // context, never copied.
+  std::array<std::uint8_t, kBlockSize> block_key{};
   if (key.size() > kBlockSize) {
-    const Bytes hashed = hash.hash(key);
-    std::copy(hashed.begin(), hashed.end(), block_key.begin());
+    hash.hash_into(key, std::span<std::uint8_t>(block_key.data(), digest_size));
   } else {
     std::copy(key.begin(), key.end(), block_key.begin());
   }
 
-  Bytes inner(kBlockSize);
-  Bytes outer(kBlockSize);
+  std::array<std::uint8_t, kBlockSize> inner_pad;
+  std::array<std::uint8_t, kBlockSize> outer_pad;
   for (std::size_t i = 0; i < kBlockSize; ++i) {
-    inner[i] = block_key[i] ^ 0x36;
-    outer[i] = block_key[i] ^ 0x5c;
+    inner_pad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x36);
+    outer_pad[i] = static_cast<std::uint8_t>(block_key[i] ^ 0x5c);
   }
 
-  append(inner, message);
-  const Bytes inner_digest = hash.hash(inner);
-  append(outer, inner_digest);
-  return hash.hash(outer);
+  const auto context = hash.new_context();
+  std::array<std::uint8_t, kBlockSize> inner_digest;
+  context->update(BytesView(inner_pad.data(), inner_pad.size()));
+  context->update(message);
+  context->finish(std::span<std::uint8_t>(inner_digest.data(), digest_size));
+
+  context->reset();
+  context->update(BytesView(outer_pad.data(), outer_pad.size()));
+  context->update(BytesView(inner_digest.data(), digest_size));
+  Bytes mac(digest_size);
+  context->finish(mac);
+  return mac;
 }
 
 Bytes hmac_sha256(BytesView key, BytesView message) {

@@ -1,8 +1,40 @@
 #include "crypto/iterated_hash.h"
 
+#include <array>
+#include <cstring>
+
 #include "common/error.h"
 
 namespace ugc {
+
+namespace {
+
+// Large enough for every digest this library produces (max is SHA-256's 32).
+constexpr std::size_t kMaxStackDigest = 64;
+
+// Streams the message into the base context, then chains the remaining
+// iterations at finish.
+class IteratedContext final : public HashContext {
+ public:
+  IteratedContext(const IteratedHash& owner,
+                  std::unique_ptr<HashContext> base_context)
+      : owner_(owner), base_context_(std::move(base_context)) {}
+
+  void reset() override { base_context_->reset(); }
+  void update(BytesView data) override { base_context_->update(data); }
+  void finish(std::span<std::uint8_t> out) override {
+    check(out.size() == owner_.digest_size(), "IteratedContext: need ",
+          owner_.digest_size(), " bytes, got ", out.size());
+    base_context_->finish(out);
+    owner_.iterate_tail(out);
+  }
+
+ private:
+  const IteratedHash& owner_;
+  std::unique_ptr<HashContext> base_context_;
+};
+
+}  // namespace
 
 IteratedHash::IteratedHash(std::shared_ptr<const HashFunction> base,
                            std::uint64_t iterations)
@@ -16,11 +48,53 @@ std::size_t IteratedHash::digest_size() const noexcept {
 }
 
 Bytes IteratedHash::hash(BytesView data) const {
-  Bytes digest = base_->hash(data);
-  for (std::uint64_t i = 1; i < iterations_; ++i) {
-    digest = base_->hash(digest);
+  Bytes out(digest_size());
+  hash_into(data, out);
+  return out;
+}
+
+void IteratedHash::hash_into(BytesView data,
+                             std::span<std::uint8_t> out) const {
+  check(out.size() == digest_size(), "IteratedHash::hash_into: need ",
+        digest_size(), " bytes, got ", out.size());
+  base_->hash_into(data, out);
+  iterate_tail(out);
+}
+
+void IteratedHash::hash_pair(BytesView left, BytesView right,
+                             std::span<std::uint8_t> out) const {
+  check(out.size() == digest_size(), "IteratedHash::hash_pair: need ",
+        digest_size(), " bytes, got ", out.size());
+  base_->hash_pair(left, right, out);
+  iterate_tail(out);
+}
+
+void IteratedHash::iterate_tail(std::span<std::uint8_t> out) const {
+  const std::size_t ds = digest_size();
+  if (ds <= kMaxStackDigest) {
+    // Ping-pong between `out` and a stack scratch buffer; the chain ends on
+    // `out` because each round-trip is two hops and we copy back if odd.
+    std::array<std::uint8_t, kMaxStackDigest> scratch;
+    std::uint8_t* cur = out.data();
+    std::uint8_t* alt = scratch.data();
+    for (std::uint64_t i = 1; i < iterations_; ++i) {
+      base_->hash_into(BytesView(cur, ds), std::span<std::uint8_t>(alt, ds));
+      std::swap(cur, alt);
+    }
+    if (cur != out.data()) {
+      std::memcpy(out.data(), cur, ds);
+    }
+  } else {
+    Bytes scratch(ds);
+    for (std::uint64_t i = 1; i < iterations_; ++i) {
+      base_->hash_into(BytesView(out.data(), ds), scratch);
+      std::memcpy(out.data(), scratch.data(), ds);
+    }
   }
-  return digest;
+}
+
+std::unique_ptr<HashContext> IteratedHash::new_context() const {
+  return std::make_unique<IteratedContext>(*this, base_->new_context());
 }
 
 std::string IteratedHash::name() const {

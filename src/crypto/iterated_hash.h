@@ -15,6 +15,10 @@ namespace ugc {
 // re-rolls commitments until the self-derived samples all land in its
 // honestly-computed subset must pay m·Cg per attempt, and with
 // (1/r^m)·m·Cg ≥ n·Cf the expected attack cost exceeds doing the work.
+//
+// The digest chain runs through the base hash's `hash_into` on two
+// ping-pong stack buffers, so iterating k times costs k compressions and no
+// heap allocations.
 class IteratedHash final : public HashFunction {
  public:
   // `base` must outlive this object via shared ownership; `iterations` ≥ 1.
@@ -23,10 +27,20 @@ class IteratedHash final : public HashFunction {
 
   std::size_t digest_size() const noexcept override;
   Bytes hash(BytesView data) const override;
+  void hash_into(BytesView data, std::span<std::uint8_t> out) const override;
+  void hash_pair(BytesView left, BytesView right,
+                 std::span<std::uint8_t> out) const override;
+  std::unique_ptr<HashContext> new_context() const override;
   std::string name() const override;
 
   std::uint64_t iterations() const noexcept { return iterations_; }
   const HashFunction& base() const noexcept { return *base_; }
+
+  // Advances `out` — which must hold H(message), the first link of the
+  // chain — through the remaining k-1 re-hashes in place. Exposed for the
+  // incremental context, which obtains the first link from a streaming base
+  // context.
+  void iterate_tail(std::span<std::uint8_t> out) const;
 
  private:
   std::shared_ptr<const HashFunction> base_;

@@ -81,6 +81,12 @@ void Md5::update(BytesView data) {
 }
 
 Digest16 Md5::finish() {
+  Digest16 out;
+  finish_into(out.data());
+  return out;
+}
+
+void Md5::finish_into(std::uint8_t* out) {
   const std::uint64_t bit_length = total_bytes_ * 8;
 
   // Padding: a single 0x80, zeros to 56 mod 64, then the bit length LE.
@@ -97,12 +103,10 @@ Digest16 Md5::finish() {
   }
   update(BytesView(length_le.data(), length_le.size()));
 
-  Digest16 out;
   for (int i = 0; i < 4; ++i) {
     store_le32(state_[static_cast<std::size_t>(i)],
-               out.data() + 4 * static_cast<std::size_t>(i));
+               out + 4 * static_cast<std::size_t>(i));
   }
-  return out;
 }
 
 Digest16 Md5::hash(BytesView data) {

@@ -29,6 +29,10 @@ class Md5 {
   // reset() before reuse.
   Digest16 finish();
 
+  // Completes the computation, writing the digest directly into `out`
+  // (kDigestSize bytes) — the zero-allocation path.
+  void finish_into(std::uint8_t* out);
+
   void reset();
 
   // One-shot convenience.

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/sha_ni.h"
+
 namespace ugc {
 
 namespace {
@@ -31,13 +33,14 @@ void Sha1::update(BytesView data) {
     buffered_ += take;
     offset += take;
     if (buffered_ == kBlockSize) {
-      process_block(buffer_.data());
+      process_blocks(buffer_.data(), 1);
       buffered_ = 0;
     }
   }
-  while (offset + kBlockSize <= data.size()) {
-    process_block(data.data() + offset);
-    offset += kBlockSize;
+  const std::size_t full_blocks = (data.size() - offset) / kBlockSize;
+  if (full_blocks > 0) {
+    process_blocks(data.data() + offset, full_blocks);
+    offset += full_blocks * kBlockSize;
   }
   if (offset < data.size()) {
     std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
@@ -45,7 +48,24 @@ void Sha1::update(BytesView data) {
   }
 }
 
+void Sha1::process_blocks(const std::uint8_t* data, std::size_t blocks) {
+  static const bool use_ni = sha_ni_available();
+  if (use_ni) {
+    sha1_process_blocks_ni(state_.data(), data, blocks);
+    return;
+  }
+  for (std::size_t b = 0; b < blocks; ++b) {
+    process_block(data + b * kBlockSize);
+  }
+}
+
 Digest20 Sha1::finish() {
+  Digest20 out;
+  finish_into(out.data());
+  return out;
+}
+
+void Sha1::finish_into(std::uint8_t* out) {
   const std::uint64_t bit_length = total_bytes_ * 8;
 
   std::array<std::uint8_t, kBlockSize> pad{};
@@ -58,12 +78,10 @@ Digest20 Sha1::finish() {
   put_u64_be(bit_length, length_be.data());
   update(BytesView(length_be.data(), length_be.size()));
 
-  Digest20 out;
   for (int i = 0; i < 5; ++i) {
     put_u32_be(state_[static_cast<std::size_t>(i)],
-               out.data() + 4 * static_cast<std::size_t>(i));
+               out + 4 * static_cast<std::size_t>(i));
   }
-  return out;
 }
 
 Digest20 Sha1::hash(BytesView data) {

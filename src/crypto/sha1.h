@@ -22,11 +22,17 @@ class Sha1 {
 
   void update(BytesView data);
   Digest20 finish();
+  // Completes the computation, writing the digest directly into `out`
+  // (kDigestSize bytes) — the zero-allocation path.
+  void finish_into(std::uint8_t* out);
   void reset();
 
   static Digest20 hash(BytesView data);
 
  private:
+  // Folds `blocks` consecutive 64-byte blocks into the state, dispatching to
+  // the SHA-NI backend when the CPU supports it.
+  void process_blocks(const std::uint8_t* data, std::size_t blocks);
   void process_block(const std::uint8_t* block);
 
   std::array<std::uint32_t, 5> state_;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/sha_ni.h"
+
 namespace ugc {
 
 namespace {
@@ -49,13 +51,14 @@ void Sha256::update(BytesView data) {
     buffered_ += take;
     offset += take;
     if (buffered_ == kBlockSize) {
-      process_block(buffer_.data());
+      process_blocks(buffer_.data(), 1);
       buffered_ = 0;
     }
   }
-  while (offset + kBlockSize <= data.size()) {
-    process_block(data.data() + offset);
-    offset += kBlockSize;
+  const std::size_t full_blocks = (data.size() - offset) / kBlockSize;
+  if (full_blocks > 0) {
+    process_blocks(data.data() + offset, full_blocks);
+    offset += full_blocks * kBlockSize;
   }
   if (offset < data.size()) {
     std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
@@ -63,7 +66,24 @@ void Sha256::update(BytesView data) {
   }
 }
 
+void Sha256::process_blocks(const std::uint8_t* data, std::size_t blocks) {
+  static const bool use_ni = sha_ni_available();
+  if (use_ni) {
+    sha256_process_blocks_ni(state_.data(), data, blocks);
+    return;
+  }
+  for (std::size_t b = 0; b < blocks; ++b) {
+    process_block(data + b * kBlockSize);
+  }
+}
+
 Digest32 Sha256::finish() {
+  Digest32 out;
+  finish_into(out.data());
+  return out;
+}
+
+void Sha256::finish_into(std::uint8_t* out) {
   const std::uint64_t bit_length = total_bytes_ * 8;
 
   std::array<std::uint8_t, kBlockSize> pad{};
@@ -76,12 +96,10 @@ Digest32 Sha256::finish() {
   put_u64_be(bit_length, length_be.data());
   update(BytesView(length_be.data(), length_be.size()));
 
-  Digest32 out;
   for (int i = 0; i < 8; ++i) {
     put_u32_be(state_[static_cast<std::size_t>(i)],
-               out.data() + 4 * static_cast<std::size_t>(i));
+               out + 4 * static_cast<std::size_t>(i));
   }
-  return out;
 }
 
 Digest32 Sha256::hash(BytesView data) {

@@ -19,11 +19,17 @@ class Sha256 {
 
   void update(BytesView data);
   Digest32 finish();
+  // Completes the computation, writing the digest directly into `out`
+  // (kDigestSize bytes) — the zero-allocation path.
+  void finish_into(std::uint8_t* out);
   void reset();
 
   static Digest32 hash(BytesView data);
 
  private:
+  // Folds `blocks` consecutive 64-byte blocks into the state, dispatching to
+  // the SHA-NI backend when the CPU supports it.
+  void process_blocks(const std::uint8_t* data, std::size_t blocks);
   void process_block(const std::uint8_t* block);
 
   std::array<std::uint32_t, 8> state_;

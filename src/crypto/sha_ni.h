@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ugc {
+
+// Hardware compression backends for the digest pipeline (x86 SHA-NI).
+//
+// Each function folds `blocks` consecutive 64-byte message blocks into
+// `state` using the dedicated SHA instruction set. The results are
+// bit-identical to the portable scalar rounds in sha256.cpp / sha1.cpp —
+// callers dispatch on sha_ni_available() purely for speed. On non-x86
+// builds the probes return false and the transform stubs abort, so the
+// scalar path is always taken.
+
+// True when the CPU executes the SHA-NI extension (checked once, cached).
+// Setting the UGC_DISABLE_SHA_NI environment variable before first use
+// forces false, pinning every digest to the scalar rounds — how CI covers
+// both backends on one machine.
+bool sha_ni_available();
+
+// SHA-256: state is {a..h} as eight 32-bit words (FIPS 180-4 order).
+void sha256_process_blocks_ni(std::uint32_t* state, const std::uint8_t* data,
+                              std::size_t blocks);
+
+// SHA-1: state is {a..e} as five 32-bit words.
+void sha1_process_blocks_ni(std::uint32_t* state, const std::uint8_t* data,
+                            std::size_t blocks);
+
+}  // namespace ugc

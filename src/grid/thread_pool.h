@@ -1,20 +1,5 @@
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <thread>
-#include <vector>
-
-namespace ugc {
-
-// Runs fn(i) for i in [begin, end) across up to `threads` workers (0 = use
-// hardware concurrency). Blocks until every index is processed. Indices are
-// partitioned into contiguous chunks, so neighbouring work shares cache.
-//
-// Used by the Monte-Carlo benches to parallelize independent trials; the
-// grid simulation itself stays single-threaded for determinism.
-void parallel_for(std::uint64_t begin, std::uint64_t end,
-                  const std::function<void(std::uint64_t)>& fn,
-                  unsigned threads = 0);
-
-}  // namespace ugc
+// parallel_for lives in common/ now that the crypto/merkle/core layers use
+// it too; this forwarding header keeps grid-side includes working.
+#include "common/parallel.h"

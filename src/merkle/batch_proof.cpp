@@ -34,8 +34,9 @@ BatchProof make_batch_proof(const MerkleTree& tree,
   check(!positions.empty(), "make_batch_proof: at least one index required");
 
   for (const std::uint64_t position : positions) {
+    const BytesView value = tree.node(0, position);
     proof.leaves.emplace_back(LeafIndex{position},
-                              tree.node(0, position));
+                              Bytes(value.begin(), value.end()));
   }
 
   // Walk upward; emit a sibling only when the verifier cannot derive it.
@@ -50,7 +51,8 @@ BatchProof make_batch_proof(const MerkleTree& tree,
       if (sibling_known) {
         ++i;  // the pair merges; consume both
       } else {
-        proof.siblings.push_back(tree.node(level, sibling));
+        const BytesView value = tree.node(level, sibling);
+        proof.siblings.emplace_back(value.begin(), value.end());
       }
       parents.push_back(position >> 1);
     }
@@ -160,21 +162,18 @@ Bytes compute_batch_root(const BatchProof& proof, const HashFunction& hash) {
         sibling = &level_nodes[i + 1].second;
       }
 
-      Bytes parent_value;
+      Bytes parent_value(hash.digest_size());
       if (sibling != nullptr) {
-        parent_value = hash.hash(
-            concat_bytes(level_nodes[i].second, *sibling));
+        hash.hash_pair(level_nodes[i].second, *sibling, parent_value);
         ++i;  // consumed the pair
       } else {
         check(next_sibling < proof.siblings.size(),
               "compute_batch_root: sibling stream exhausted");
         const Bytes& provided = proof.siblings[next_sibling++];
         if ((position & 1) == 0) {
-          parent_value = hash.hash(concat_bytes(level_nodes[i].second,
-                                                provided));
+          hash.hash_pair(level_nodes[i].second, provided, parent_value);
         } else {
-          parent_value = hash.hash(concat_bytes(provided,
-                                                level_nodes[i].second));
+          hash.hash_pair(provided, level_nodes[i].second, parent_value);
         }
       }
       parents.emplace_back(position >> 1, std::move(parent_value));

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace ugc {
+
+// Contiguous storage for one Merkle tree level.
+//
+// Digest levels hold thousands-to-millions of equal-size nodes; storing them
+// as vector<Bytes> costs one heap allocation plus pointer-chasing per node.
+// FlatNodes packs a level into a single Bytes buffer of `stride`-spaced
+// nodes, so a build writes straight into one allocation and proofs read
+// cache-adjacent spans.
+//
+// Leaf levels may carry variable-length raw results (LeafMode::kRaw). The
+// container starts in fixed-stride mode on the first push and transparently
+// promotes itself to offset-table (variable) mode if a later node has a
+// different size, so callers never choose a mode up front.
+class FlatNodes {
+ public:
+  FlatNodes() = default;
+
+  // Preallocates `count` zeroed nodes of `stride` bytes each in fixed mode —
+  // the shape parallel level builds write into via mutable_node().
+  static FlatNodes fixed(std::size_t stride, std::uint64_t count) {
+    check(stride > 0, "FlatNodes::fixed: stride must be positive");
+    FlatNodes nodes;
+    nodes.stride_ = stride;
+    nodes.count_ = count;
+    nodes.data_.resize(stride * count);
+    return nodes;
+  }
+
+  std::uint64_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // True while every stored node shares one size (also true when empty).
+  bool is_fixed() const { return offsets_.empty(); }
+
+  // Node size in fixed mode (0 before the first push).
+  std::size_t stride() const { return stride_; }
+
+  // Total stored payload in bytes.
+  std::size_t payload_bytes() const { return data_.size(); }
+
+  BytesView operator[](std::uint64_t i) const {
+    check(i < count_, "FlatNodes: index ", i, " out of range (count=", count_,
+          ")");
+    if (is_fixed()) {
+      return BytesView(data_.data() + i * stride_, stride_);
+    }
+    return BytesView(data_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]);
+  }
+
+  // Writable span of node `i` (fixed mode only) — the parallel build target.
+  std::span<std::uint8_t> mutable_node(std::uint64_t i) {
+    check(is_fixed(), "FlatNodes::mutable_node: variable-size level");
+    check(i < count_, "FlatNodes: index ", i, " out of range (count=", count_,
+          ")");
+    return std::span<std::uint8_t>(data_.data() + i * stride_, stride_);
+  }
+
+  void reserve(std::uint64_t count, std::size_t node_size_hint) {
+    data_.reserve(count * node_size_hint);
+  }
+
+  void push_back(BytesView node) {
+    if (count_ == 0 && is_fixed()) {
+      stride_ = node.size();
+    } else if (is_fixed() && node.size() != stride_) {
+      promote_to_variable();
+    }
+    if (!is_fixed()) {
+      offsets_.push_back(data_.size() + node.size());
+    }
+    append(data_, node);
+    ++count_;
+  }
+
+  // Replaces node `i`. Same-size replacements are a memcpy; a size change
+  // promotes to variable mode and shifts the tail (rare — only a kRaw leaf
+  // level rewritten with a different-width result can hit it).
+  void set(std::uint64_t i, BytesView node) {
+    check(i < count_, "FlatNodes: index ", i, " out of range (count=", count_,
+          ")");
+    if (is_fixed() && node.size() == stride_) {
+      std::memcpy(data_.data() + i * stride_, node.data(), node.size());
+      return;
+    }
+    if (is_fixed()) {
+      promote_to_variable();
+    }
+    const std::size_t old_begin = offsets_[i];
+    const std::size_t old_end = offsets_[i + 1];
+    const std::size_t old_size = old_end - old_begin;
+    if (node.size() == old_size) {
+      std::memcpy(data_.data() + old_begin, node.data(), node.size());
+      return;
+    }
+    Bytes tail(data_.begin() + static_cast<std::ptrdiff_t>(old_end),
+               data_.end());
+    data_.resize(old_begin);
+    append(data_, node);
+    append(data_, tail);
+    const std::ptrdiff_t delta = static_cast<std::ptrdiff_t>(node.size()) -
+                                 static_cast<std::ptrdiff_t>(old_size);
+    for (std::uint64_t j = i + 1; j <= count_; ++j) {
+      offsets_[j] = static_cast<std::size_t>(
+          static_cast<std::ptrdiff_t>(offsets_[j]) + delta);
+    }
+  }
+
+ private:
+  void promote_to_variable() {
+    offsets_.resize(count_ + 1);
+    for (std::uint64_t i = 0; i <= count_; ++i) {
+      offsets_[i] = i * stride_;
+    }
+  }
+
+  Bytes data_;
+  // Variable mode only: offsets_[i] is the start of node i, with a final
+  // end-of-data sentinel, so offsets_.size() == count_ + 1. Empty in fixed
+  // mode.
+  std::vector<std::size_t> offsets_;
+  std::size_t stride_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace ugc

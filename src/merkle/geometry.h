@@ -1,0 +1,27 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace ugc {
+
+// Tree-shape arithmetic shared by every Merkle builder (full tree, partial
+// tree, streaming builder) and by the supervisor-side verification code, so
+// the padded-size/height conventions are defined in exactly one place.
+
+// Smallest power of two >= n (n >= 1).
+inline std::uint64_t next_power_of_two(std::uint64_t n) {
+  check(n >= 1, "next_power_of_two: n must be >= 1");
+  check(n <= (std::uint64_t{1} << 62), "next_power_of_two: overflow");
+  return std::bit_ceil(n);
+}
+
+// Number of levels above the leaves for a padded tree of `leaf_count` leaves
+// (i.e. log2 of the padded size).
+inline unsigned tree_height(std::uint64_t leaf_count) {
+  return static_cast<unsigned>(std::countr_zero(next_power_of_two(leaf_count)));
+}
+
+}  // namespace ugc

@@ -21,13 +21,13 @@ PartialMerkleTree PartialMerkleTree::build(std::uint64_t leaf_count,
   const unsigned cutoff = tree.subtree_height_;
   tree.stored_.resize(tree.height_ - cutoff + 1);
   for (unsigned h = cutoff; h <= tree.height_; ++h) {
-    tree.stored_[h - cutoff].reserve(
-        std::size_t{1} << (tree.height_ - h));
+    tree.stored_[h - cutoff].reserve(std::uint64_t{1} << (tree.height_ - h),
+                                     hash.digest_size());
   }
 
   StreamingMerkleBuilder builder(
       hash, [&tree, cutoff](unsigned height, std::uint64_t index,
-                            const Bytes& value) {
+                            BytesView value) {
         if (height >= cutoff) {
           auto& level = tree.stored_[height - cutoff];
           check(index == level.size(),
@@ -40,14 +40,14 @@ PartialMerkleTree PartialMerkleTree::build(std::uint64_t leaf_count,
     builder.add_leaf(leaves(LeafIndex{i}));
   }
   const Bytes root = builder.finish();
-  check(equal_bytes(root, tree.stored_.back().front()),
+  check(equal_bytes(root, tree.stored_.back()[0]),
         "PartialMerkleTree::build: root mismatch between builder and store");
   return tree;
 }
 
 std::size_t PartialMerkleTree::stored_node_count() const {
   std::size_t total = 0;
-  for (const auto& level : stored_) {
+  for (const FlatNodes& level : stored_) {
     total += level.size();
   }
   return total;
@@ -55,10 +55,8 @@ std::size_t PartialMerkleTree::stored_node_count() const {
 
 std::size_t PartialMerkleTree::stored_bytes() const {
   std::size_t total = 0;
-  for (const auto& level : stored_) {
-    for (const Bytes& node : level) {
-      total += node.size();
-    }
+  for (const FlatNodes& level : stored_) {
+    total += level.payload_bytes();
   }
   return total;
 }
@@ -105,13 +103,15 @@ MerkleProof PartialMerkleTree::prove(LeafIndex index,
     }
   } else {
     // ℓ = 0: the full tree is stored; the "rebuilt subtree" is the leaf.
-    proof.leaf_value = stored_.front()[index.value];
+    const BytesView leaf_value = stored_.front()[index.value];
+    proof.leaf_value.assign(leaf_value.begin(), leaf_value.end());
   }
 
   // Extend with stored siblings from height ℓ up to (but excluding) the root.
   std::uint64_t position = index.value >> subtree_height_;
   for (unsigned h = subtree_height_; h < height_; ++h) {
-    proof.siblings.push_back(stored_[h - subtree_height_][position ^ 1]);
+    const BytesView sibling = stored_[h - subtree_height_][position ^ 1];
+    proof.siblings.emplace_back(sibling.begin(), sibling.end());
     position >>= 1;
   }
   return proof;

@@ -7,6 +7,7 @@
 #include "common/bytes.h"
 #include "common/types.h"
 #include "crypto/hash_function.h"
+#include "merkle/flat_nodes.h"
 #include "merkle/proof.h"
 
 namespace ugc {
@@ -34,7 +35,10 @@ class PartialMerkleTree {
                                  const LeafProvider& leaves,
                                  const HashFunction& hash);
 
-  const Bytes& root() const { return stored_.back().front(); }
+  Bytes root() const {
+    const BytesView view = stored_.back()[0];
+    return Bytes(view.begin(), view.end());
+  }
   std::uint64_t leaf_count() const { return leaf_count_; }
 
   // Height H of the padded tree.
@@ -67,8 +71,8 @@ class PartialMerkleTree {
   unsigned height_ = 0;
   unsigned subtree_height_ = 0;
   // stored_[h - subtree_height_] = all node values at height h, for
-  // h in [subtree_height_, height_].
-  std::vector<std::vector<Bytes>> stored_;
+  // h in [subtree_height_, height_], each level one contiguous buffer.
+  std::vector<FlatNodes> stored_;
   mutable std::uint64_t recompute_meter_ = 0;
 };
 

@@ -3,14 +3,20 @@
 namespace ugc {
 
 Bytes compute_root(const MerkleProof& proof, const HashFunction& hash) {
+  const std::size_t digest_size = hash.digest_size();
+  // Fold the path with hash_pair, ping-ponging between two buffers that
+  // settle at digest capacity — no per-level allocations.
   Bytes current = proof.leaf_value;
+  Bytes parent;
   std::uint64_t index = proof.index.value;
   for (const Bytes& sibling : proof.siblings) {
+    parent.resize(digest_size);
     if ((index & 1) == 0) {
-      current = hash.hash(concat_bytes(current, sibling));
+      hash.hash_pair(current, sibling, parent);
     } else {
-      current = hash.hash(concat_bytes(sibling, current));
+      hash.hash_pair(sibling, current, parent);
     }
+    current.swap(parent);
     index >>= 1;
   }
   return current;

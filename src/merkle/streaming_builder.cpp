@@ -1,41 +1,52 @@
 #include "merkle/streaming_builder.h"
 
 #include "common/error.h"
+#include "merkle/geometry.h"
 #include "merkle/tree.h"
 
 namespace ugc {
 
 StreamingMerkleBuilder::StreamingMerkleBuilder(const HashFunction& hash,
                                                NodeCallback on_node)
-    : hash_(hash), on_node_(std::move(on_node)) {}
+    : hash_(hash), on_node_(std::move(on_node)), scratch_(hash.digest_size()) {}
 
 void StreamingMerkleBuilder::add_leaf(BytesView value) {
   check(!finished_, "StreamingMerkleBuilder: add_leaf after finish");
-  push(Bytes(value.begin(), value.end()));
+  push(value);
   ++leaf_count_;
 }
 
-void StreamingMerkleBuilder::push(Bytes value) {
+void StreamingMerkleBuilder::emit(unsigned height, BytesView value) {
+  if (emitted_.size() <= height) {
+    emitted_.resize(height + 1, 0);
+  }
+  on_node_(height, emitted_[height]++, value);
+}
+
+void StreamingMerkleBuilder::push(BytesView value) {
   unsigned height = 0;
   if (on_node_) {
-    if (emitted_.size() <= height) emitted_.resize(height + 1, 0);
-    on_node_(height, emitted_[height]++, value);
+    emit(height, value);
   }
   for (;;) {
     if (pending_.size() <= height) {
       pending_.resize(height + 1);
+      occupied_.resize(height + 1, 0);
     }
-    if (!pending_[height].has_value()) {
-      pending_[height] = std::move(value);
+    if (!occupied_[height]) {
+      pending_[height].assign(value.begin(), value.end());
+      occupied_[height] = 1;
       return;
     }
-    // Carry: merge the waiting left subtree with this right subtree.
-    value = hash_.hash(concat_bytes(*pending_[height], value));
-    pending_[height].reset();
+    // Carry: merge the waiting left subtree with this right subtree. After
+    // the first pass, `value` aliases scratch_ — hash_pair consumes both
+    // inputs before writing out, so in-place carries are safe.
+    hash_.hash_pair(pending_[height], value, scratch_);
+    occupied_[height] = 0;
+    value = BytesView(scratch_);
     ++height;
     if (on_node_) {
-      if (emitted_.size() <= height) emitted_.resize(height + 1, 0);
-      on_node_(height, emitted_[height]++, value);
+      emit(height, value);
     }
   }
 }
@@ -53,10 +64,10 @@ Bytes StreamingMerkleBuilder::finish() {
 
   // Exactly one pending entry remains: the root.
   for (std::size_t h = 0; h < pending_.size(); ++h) {
-    if (pending_[h].has_value()) {
+    if (occupied_[h]) {
       check(h + 1 == pending_.size(),
             "StreamingMerkleBuilder: internal carry invariant violated");
-      return std::move(*pending_[h]);
+      return std::move(pending_[h]);
     }
   }
   throw Error("StreamingMerkleBuilder: no root after finish");

@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <optional>
 #include <vector>
 
 #include "common/bytes.h"
@@ -16,11 +15,16 @@ namespace ugc {
 //
 // An optional NodeCallback observes every node as it is finalized —
 // (height, index-within-level, Φ value) — which is how PartialMerkleTree
-// captures just the top levels it stores (§3.3).
+// captures just the top levels it stores (§3.3). The view passed to the
+// callback is only valid for the duration of the call.
+//
+// The carry path is allocation-free in steady state: each merge streams both
+// children through HashFunction::hash_pair into a preallocated scratch
+// digest, and the per-height pending slots reuse their capacity.
 class StreamingMerkleBuilder {
  public:
   using NodeCallback =
-      std::function<void(unsigned height, std::uint64_t index, const Bytes&)>;
+      std::function<void(unsigned height, std::uint64_t index, BytesView)>;
 
   explicit StreamingMerkleBuilder(const HashFunction& hash,
                                   NodeCallback on_node = nullptr);
@@ -35,13 +39,18 @@ class StreamingMerkleBuilder {
   std::uint64_t leaf_count() const { return leaf_count_; }
 
  private:
-  void push(Bytes value);
+  void push(BytesView value);
+  void emit(unsigned height, BytesView value);
 
   const HashFunction& hash_;
   NodeCallback on_node_;
   // pending_[h] holds the root of a finished 2^h-leaf subtree awaiting its
-  // right-hand sibling.
-  std::vector<std::optional<Bytes>> pending_;
+  // right-hand sibling; occupied_[h] says whether the slot is live. Split
+  // from std::optional so a refill reuses the Bytes capacity.
+  std::vector<Bytes> pending_;
+  std::vector<char> occupied_;
+  // Carry target for hash_pair — sized to one digest once, then reused.
+  Bytes scratch_;
   // Number of nodes finalized at each height so far (for callback indices).
   std::vector<std::uint64_t> emitted_;
   std::uint64_t leaf_count_ = 0;

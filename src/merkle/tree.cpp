@@ -1,6 +1,7 @@
 #include "merkle/tree.h"
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace ugc {
 
@@ -8,50 +9,54 @@ Bytes padding_leaf(const HashFunction& hash) {
   return hash.hash(to_bytes("ugc.merkle.pad.v1"));
 }
 
-std::uint64_t next_power_of_two(std::uint64_t n) {
-  check(n >= 1, "next_power_of_two: n must be >= 1");
-  std::uint64_t p = 1;
-  while (p < n) {
-    check(p <= (std::uint64_t{1} << 62), "next_power_of_two: overflow");
-    p <<= 1;
-  }
-  return p;
-}
-
-unsigned tree_height(std::uint64_t leaf_count) {
-  const std::uint64_t padded = next_power_of_two(leaf_count);
-  unsigned height = 0;
-  while ((std::uint64_t{1} << height) < padded) {
-    ++height;
-  }
-  return height;
-}
-
 MerkleTree MerkleTree::build(std::vector<Bytes> leaves,
-                             const HashFunction& hash) {
+                             const HashFunction& hash, unsigned threads) {
   check(!leaves.empty(), "MerkleTree::build: at least one leaf required");
 
   MerkleTree tree;
   tree.leaf_count_ = leaves.size();
 
   const std::uint64_t padded = next_power_of_two(leaves.size());
-  const Bytes pad = padding_leaf(hash);
-  leaves.resize(padded, pad);
+  const std::size_t digest_size = hash.digest_size();
 
-  tree.levels_.push_back(std::move(leaves));
+  FlatNodes leaf_level;
+  leaf_level.reserve(padded, leaves.front().size());
+  for (Bytes& leaf : leaves) {
+    leaf_level.push_back(leaf);
+    // Release each source leaf as it is packed so peak leaf memory stays
+    // ~one copy, not two.
+    Bytes().swap(leaf);
+  }
+  if (padded > leaves.size()) {
+    const Bytes pad = padding_leaf(hash);
+    for (std::uint64_t i = leaves.size(); i < padded; ++i) {
+      leaf_level.push_back(pad);
+    }
+  }
+  leaves.clear();
+  tree.levels_.push_back(std::move(leaf_level));
+
   while (tree.levels_.back().size() > 1) {
-    const std::vector<Bytes>& below = tree.levels_.back();
-    std::vector<Bytes> level;
-    level.reserve(below.size() / 2);
-    for (std::size_t i = 0; i < below.size(); i += 2) {
-      level.push_back(hash.hash(concat_bytes(below[i], below[i + 1])));
+    const FlatNodes& below = tree.levels_.back();
+    const std::uint64_t parent_count = below.size() / 2;
+    FlatNodes level = FlatNodes::fixed(digest_size, parent_count);
+    const auto hash_range = [&hash, &below, &level](std::uint64_t lo,
+                                                    std::uint64_t hi) {
+      for (std::uint64_t j = lo; j < hi; ++j) {
+        hash.hash_pair(below[2 * j], below[2 * j + 1], level.mutable_node(j));
+      }
+    };
+    if (parent_count >= kParallelBuildThreshold) {
+      parallel_for_chunks(0, parent_count, hash_range, threads);
+    } else {
+      hash_range(0, parent_count);
     }
     tree.levels_.push_back(std::move(level));
   }
   return tree;
 }
 
-const Bytes& MerkleTree::node(unsigned level, std::uint64_t position) const {
+BytesView MerkleTree::node(unsigned level, std::uint64_t position) const {
   check(level < levels_.size(), "MerkleTree::node: level ", level,
         " out of range");
   check(position < levels_[level].size(), "MerkleTree::node: position ",
@@ -59,7 +64,7 @@ const Bytes& MerkleTree::node(unsigned level, std::uint64_t position) const {
   return levels_[level][position];
 }
 
-const Bytes& MerkleTree::leaf(LeafIndex index) const {
+BytesView MerkleTree::leaf(LeafIndex index) const {
   check(index.value < leaf_count_, "MerkleTree::leaf: index ", index.value,
         " out of range (n=", leaf_count_, ")");
   return levels_.front()[index.value];
@@ -71,12 +76,14 @@ MerkleProof MerkleTree::prove(LeafIndex index) const {
 
   MerkleProof proof;
   proof.index = index;
-  proof.leaf_value = levels_.front()[index.value];
+  const BytesView leaf_value = levels_.front()[index.value];
+  proof.leaf_value.assign(leaf_value.begin(), leaf_value.end());
   proof.siblings.reserve(height());
 
   std::uint64_t position = index.value;
   for (unsigned level = 0; level < height(); ++level) {
-    proof.siblings.push_back(levels_[level][position ^ 1]);
+    const BytesView sibling = levels_[level][position ^ 1];
+    proof.siblings.emplace_back(sibling.begin(), sibling.end());
     position >>= 1;
   }
   return proof;
@@ -87,20 +94,22 @@ void MerkleTree::update_leaf(LeafIndex index, Bytes value,
   check(index.value < leaf_count_, "MerkleTree::update_leaf: index ",
         index.value, " out of range (n=", leaf_count_, ")");
 
-  levels_.front()[index.value] = std::move(value);
+  levels_.front().set(index.value, value);
+  Bytes parent(hash.digest_size());
   std::uint64_t position = index.value;
   for (unsigned level = 0; level + 1 <= height(); ++level) {
-    const std::uint64_t parent = position >> 1;
-    const std::vector<Bytes>& below = levels_[level];
-    levels_[level + 1][parent] =
-        hash.hash(concat_bytes(below[2 * parent], below[2 * parent + 1]));
-    position = parent;
+    const FlatNodes& below = levels_[level];
+    const std::uint64_t parent_index = position >> 1;
+    hash.hash_pair(below[2 * parent_index], below[2 * parent_index + 1],
+                   parent);
+    levels_[level + 1].set(parent_index, parent);
+    position = parent_index;
   }
 }
 
 std::size_t MerkleTree::node_count() const {
   std::size_t total = 0;
-  for (const auto& level : levels_) {
+  for (const FlatNodes& level : levels_) {
     total += level.size();
   }
   return total;
@@ -108,10 +117,8 @@ std::size_t MerkleTree::node_count() const {
 
 std::size_t MerkleTree::stored_bytes() const {
   std::size_t total = 0;
-  for (const auto& level : levels_) {
-    for (const Bytes& node : level) {
-      total += node.size();
-    }
+  for (const FlatNodes& level : levels_) {
+    total += level.payload_bytes();
   }
   return total;
 }

@@ -4,8 +4,11 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/parallel.h"
 #include "common/types.h"
 #include "crypto/hash_function.h"
+#include "merkle/flat_nodes.h"
+#include "merkle/geometry.h"
 #include "merkle/proof.h"
 
 namespace ugc {
@@ -15,12 +18,10 @@ namespace ugc {
 // and can never be selected as samples.
 Bytes padding_leaf(const HashFunction& hash);
 
-// Smallest power of two >= n (n >= 1).
-std::uint64_t next_power_of_two(std::uint64_t n);
-
-// Number of levels above the leaves for a padded tree of `leaf_count` leaves
-// (i.e. log2 of the padded size).
-unsigned tree_height(std::uint64_t leaf_count);
+// Interior levels with at least this many nodes are hashed via parallel_for;
+// smaller levels stay serial. Output bytes are identical either way — every
+// node writes to a fixed offset.
+inline constexpr std::uint64_t kParallelBuildThreshold = kParallelMinimumWork;
 
 // Full in-memory commitment Merkle tree (paper Eq. 1):
 //
@@ -30,13 +31,26 @@ unsigned tree_height(std::uint64_t leaf_count);
 // The tree is "complete" in the paper's sense: the leaf level is padded to the
 // next power of two with a fixed padding value. The root Φ(R) is the
 // participant's commitment to all n results.
+//
+// Storage: each level is one contiguous FlatNodes buffer of digest-stride
+// nodes (the leaf level may hold variable-length raw results). Interior
+// levels are produced with HashFunction::hash_pair straight into the level
+// buffer — no per-node allocations — and, above kParallelBuildThreshold,
+// in parallel across worker threads.
 class MerkleTree {
  public:
-  // Builds a tree over `leaves` (must be non-empty). Leaf values are moved in.
-  static MerkleTree build(std::vector<Bytes> leaves, const HashFunction& hash);
+  // Builds a tree over `leaves` (must be non-empty). Leaf bytes are packed
+  // into one contiguous level buffer, each source leaf freed as it is
+  // copied. `threads` caps the level-build worker count (0 = hardware
+  // concurrency); the committed bytes do not depend on it.
+  static MerkleTree build(std::vector<Bytes> leaves, const HashFunction& hash,
+                          unsigned threads = 0);
 
   // The committed root Φ(R).
-  const Bytes& root() const { return levels_.back().front(); }
+  Bytes root() const {
+    const BytesView view = levels_.back()[0];
+    return Bytes(view.begin(), view.end());
+  }
 
   // Number of real (unpadded) leaves, i.e. n = |D|.
   std::uint64_t leaf_count() const { return leaf_count_; }
@@ -50,11 +64,11 @@ class MerkleTree {
   }
 
   // Φ value of leaf `index` (must be < leaf_count()).
-  const Bytes& leaf(LeafIndex index) const;
+  BytesView leaf(LeafIndex index) const;
 
   // Φ value of the node at `level` (0 = leaves, height() = root) and
   // `position` within that level. Bounds-checked.
-  const Bytes& node(unsigned level, std::uint64_t position) const;
+  BytesView node(unsigned level, std::uint64_t position) const;
 
   // Authentication path for leaf `index` (must be < leaf_count()).
   MerkleProof prove(LeafIndex index) const;
@@ -75,7 +89,7 @@ class MerkleTree {
 
   std::uint64_t leaf_count_ = 0;
   // levels_[0] = padded leaves; levels_.back() = { root }.
-  std::vector<std::vector<Bytes>> levels_;
+  std::vector<FlatNodes> levels_;
 };
 
 }  // namespace ugc

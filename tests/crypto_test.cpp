@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <string>
 #include <tuple>
 
 #include "common/bytes.h"
 #include "common/hex.h"
+#include "common/stopwatch.h"
 #include "crypto/digest.h"
 #include "crypto/hash_function.h"
 #include "crypto/hmac.h"
@@ -259,6 +262,127 @@ TEST(HashFunctionFactory, DefaultHashIsSha256) {
 
 TEST(HashFunctionFactory, MeasureCostReturnsPositive) {
   EXPECT_GT(measure_hash_cost_ns(default_hash(), 64, 100), 0.0);
+}
+
+TEST(HashFunctionFactory, MeasureCostAgreesWithAllocatingPath) {
+  // measure_hash_cost_ns now times the allocation-free hash_into chain; it
+  // must stay within an order of magnitude of the legacy hash() loop it
+  // replaced. Scheduler preemptions only ever inflate a wall-clock sample,
+  // so each side takes the minimum of three runs — that keeps the
+  // comparison stable on loaded CI runners.
+  const auto& hash = default_hash();
+  constexpr int kReps = 2000;
+  double into_ns = std::numeric_limits<double>::infinity();
+  double legacy_ns = std::numeric_limits<double>::infinity();
+  for (int run = 0; run < 3; ++run) {
+    into_ns = std::min(into_ns, measure_hash_cost_ns(hash, 64, kReps));
+
+    Bytes digest = hash.hash(Bytes(64, 0xa5));
+    Stopwatch timer;
+    for (int i = 0; i < kReps; ++i) {
+      digest = hash.hash(digest);
+    }
+    legacy_ns = std::min(
+        legacy_ns, static_cast<double>(timer.elapsed_ns()) / kReps);
+    volatile std::uint8_t sink = digest[0];
+    (void)sink;
+  }
+
+  EXPECT_GT(into_ns, legacy_ns * 0.1);
+  EXPECT_LT(into_ns, legacy_ns * 10.0);
+}
+
+// --------------------------------------------- zero-allocation entry points
+
+class HashIntoSweep : public ::testing::TestWithParam<HashAlgorithm> {};
+
+TEST_P(HashIntoSweep, HashIntoMatchesOneShot) {
+  const auto hash = make_hash(GetParam());
+  for (std::size_t size : {std::size_t{0}, std::size_t{1}, std::size_t{63},
+                           std::size_t{64}, std::size_t{65}, std::size_t{731}}) {
+    Bytes data(size, 0x5a);
+    Bytes out(hash->digest_size());
+    hash->hash_into(data, out);
+    EXPECT_EQ(out, hash->hash(data)) << "size " << size;
+  }
+}
+
+TEST_P(HashIntoSweep, HashIntoSupportsInPlaceChaining) {
+  // out may alias the input — the iterated-hash and cost-measurement chains
+  // rely on it.
+  const auto hash = make_hash(GetParam());
+  Bytes buffer(hash->digest_size(), 0x17);
+  const Bytes expected = hash->hash(buffer);
+  hash->hash_into(buffer, buffer);
+  EXPECT_EQ(buffer, expected);
+}
+
+TEST_P(HashIntoSweep, HashIntoRejectsWrongOutputSize) {
+  const auto hash = make_hash(GetParam());
+  Bytes small(hash->digest_size() - 1);
+  EXPECT_THROW(hash->hash_into(to_bytes("x"), small), Error);
+}
+
+TEST_P(HashIntoSweep, HashPairMatchesConcatenatedOneShot) {
+  const auto hash = make_hash(GetParam());
+  const Bytes left = to_bytes("left-subtree-digest-material");
+  const Bytes right = to_bytes("right-subtree-digest-material!");
+  Bytes out(hash->digest_size());
+  hash->hash_pair(left, right, out);
+  EXPECT_EQ(out, hash->hash(concat_bytes(left, right)));
+  // Asymmetric: swapped inputs give a different digest.
+  Bytes swapped(hash->digest_size());
+  hash->hash_pair(right, left, swapped);
+  EXPECT_NE(out, swapped);
+}
+
+TEST_P(HashIntoSweep, ContextStreamingMatchesOneShot) {
+  const auto hash = make_hash(GetParam());
+  Bytes data(1537);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 29 + 5);
+  }
+  const auto context = hash->new_context();
+  for (std::size_t offset = 0; offset < data.size(); offset += 97) {
+    const std::size_t take = std::min<std::size_t>(97, data.size() - offset);
+    context->update(BytesView(data.data() + offset, take));
+  }
+  Bytes streamed(hash->digest_size());
+  context->finish(streamed);
+  EXPECT_EQ(streamed, hash->hash(data));
+
+  // reset() makes the context reusable.
+  context->reset();
+  context->update(to_bytes("abc"));
+  Bytes again(hash->digest_size());
+  context->finish(again);
+  EXPECT_EQ(again, hash->hash(to_bytes("abc")));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, HashIntoSweep,
+                         ::testing::Values(HashAlgorithm::kMd5,
+                                           HashAlgorithm::kSha1,
+                                           HashAlgorithm::kSha256));
+
+TEST(HashInto, IteratedHashZeroAllocPathsMatchHash) {
+  const auto g = make_iterated_hash(HashAlgorithm::kSha256, 9);
+  const Bytes msg = to_bytes("iterated message");
+  Bytes out(g->digest_size());
+  g->hash_into(msg, out);
+  EXPECT_EQ(out, g->hash(msg));
+
+  const Bytes left = to_bytes("L");
+  const Bytes right = to_bytes("R");
+  Bytes paired(g->digest_size());
+  g->hash_pair(left, right, paired);
+  EXPECT_EQ(paired, g->hash(concat_bytes(left, right)));
+
+  const auto context = g->new_context();
+  context->update(to_bytes("iterated "));
+  context->update(to_bytes("message"));
+  Bytes streamed(g->digest_size());
+  context->finish(streamed);
+  EXPECT_EQ(streamed, g->hash(msg));
 }
 
 // ------------------------------------------------------------ IteratedHash

@@ -1,0 +1,171 @@
+// Satellite coverage for the flat-level Merkle storage: node(), prove(),
+// and prove_batch()/make_batch_proof() must agree, byte for byte, with an
+// independent vector<Bytes> reference build — the data layout the tree used
+// before FlatNodes — for odd leaf counts and all three hash algorithms.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/hash_function.h"
+#include "merkle/batch_proof.h"
+#include "merkle/flat_nodes.h"
+#include "merkle/tree.h"
+
+namespace ugc {
+namespace {
+
+std::vector<Bytes> make_leaves(std::uint64_t n) {
+  std::vector<Bytes> leaves;
+  leaves.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Bytes leaf(8);
+    put_u64_be(i * 0x9e3779b97f4a7c15ULL + 1, leaf.data());
+    leaves.push_back(std::move(leaf));
+  }
+  return leaves;
+}
+
+// The pre-FlatNodes layout, rebuilt naively: one vector<Bytes> per level,
+// interior nodes via hash(concat).
+std::vector<std::vector<Bytes>> reference_levels(std::vector<Bytes> leaves,
+                                                 const HashFunction& hash) {
+  const std::uint64_t padded = next_power_of_two(leaves.size());
+  leaves.resize(padded, padding_leaf(hash));
+  std::vector<std::vector<Bytes>> levels;
+  levels.push_back(std::move(leaves));
+  while (levels.back().size() > 1) {
+    const std::vector<Bytes>& below = levels.back();
+    std::vector<Bytes> level;
+    level.reserve(below.size() / 2);
+    for (std::size_t i = 0; i < below.size(); i += 2) {
+      level.push_back(hash.hash(concat_bytes(below[i], below[i + 1])));
+    }
+    levels.push_back(std::move(level));
+  }
+  return levels;
+}
+
+class FlatStorageSweep
+    : public ::testing::TestWithParam<std::tuple<HashAlgorithm, std::uint64_t>> {
+};
+
+TEST_P(FlatStorageSweep, NodeAccessorsMatchReferenceBuild) {
+  const auto [algo, n] = GetParam();
+  const auto hash = make_hash(algo);
+  const MerkleTree tree = MerkleTree::build(make_leaves(n), *hash);
+  const auto reference = reference_levels(make_leaves(n), *hash);
+
+  ASSERT_EQ(tree.height() + 1, reference.size());
+  for (unsigned level = 0; level < reference.size(); ++level) {
+    for (std::uint64_t pos = 0; pos < reference[level].size(); ++pos) {
+      EXPECT_TRUE(equal_bytes(tree.node(level, pos), reference[level][pos]))
+          << "level " << level << " position " << pos;
+    }
+  }
+  EXPECT_EQ(tree.root(), reference.back().front());
+}
+
+TEST_P(FlatStorageSweep, ProofsMatchReferenceBuildAndVerify) {
+  const auto [algo, n] = GetParam();
+  const auto hash = make_hash(algo);
+  const MerkleTree tree = MerkleTree::build(make_leaves(n), *hash);
+  const auto reference = reference_levels(make_leaves(n), *hash);
+
+  for (std::uint64_t i = 0; i < n; i += (n > 16 ? n / 13 : 1)) {
+    const MerkleProof proof = tree.prove(LeafIndex{i});
+    EXPECT_EQ(proof.leaf_value, reference.front()[i]);
+    ASSERT_EQ(proof.siblings.size(), tree.height());
+    std::uint64_t position = i;
+    for (unsigned level = 0; level < tree.height(); ++level) {
+      EXPECT_EQ(proof.siblings[level], reference[level][position ^ 1])
+          << "leaf " << i << " level " << level;
+      position >>= 1;
+    }
+    EXPECT_TRUE(verify_proof(proof, tree.root(), *hash));
+  }
+}
+
+TEST_P(FlatStorageSweep, BatchProofRoundTripsAgainstRoot) {
+  const auto [algo, n] = GetParam();
+  const auto hash = make_hash(algo);
+  const MerkleTree tree = MerkleTree::build(make_leaves(n), *hash);
+
+  std::vector<LeafIndex> indices = {LeafIndex{0}, LeafIndex{n - 1},
+                                    LeafIndex{n / 2}};
+  const BatchProof batch = make_batch_proof(tree, indices);
+  EXPECT_TRUE(verify_batch_proof(batch, tree.root(), *hash));
+  EXPECT_EQ(compute_batch_root(batch, *hash), tree.root());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddLeafCounts, FlatStorageSweep,
+    ::testing::Combine(::testing::Values(HashAlgorithm::kMd5,
+                                         HashAlgorithm::kSha1,
+                                         HashAlgorithm::kSha256),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{3},
+                                         std::uint64_t{1023})));
+
+// Parallel and serial builds must commit identical bytes, including above
+// the parallel threshold.
+TEST(FlatStorage, ParallelBuildMatchesSerialAboveThreshold) {
+  const auto& h = default_hash();
+  const std::uint64_t n = 2 * kParallelBuildThreshold + 37;
+  const MerkleTree serial = MerkleTree::build(make_leaves(n), h, 1);
+  const MerkleTree parallel = MerkleTree::build(make_leaves(n), h, 4);
+  EXPECT_EQ(serial.root(), parallel.root());
+  for (unsigned level = 0; level <= serial.height(); ++level) {
+    const std::uint64_t width = serial.padded_leaf_count() >> level;
+    for (std::uint64_t pos = 0; pos < width; pos += 997) {
+      ASSERT_TRUE(
+          equal_bytes(serial.node(level, pos), parallel.node(level, pos)))
+          << "level " << level << " position " << pos;
+    }
+  }
+}
+
+// FlatNodes itself: auto-promotion to variable stride keeps contents.
+TEST(FlatNodes, PromotesToVariableStrideOnMismatch) {
+  FlatNodes nodes;
+  nodes.push_back(to_bytes("aaaa"));
+  nodes.push_back(to_bytes("bbbb"));
+  EXPECT_TRUE(nodes.is_fixed());
+  nodes.push_back(to_bytes("cccccc"));
+  EXPECT_FALSE(nodes.is_fixed());
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_TRUE(equal_bytes(nodes[0], to_bytes("aaaa")));
+  EXPECT_TRUE(equal_bytes(nodes[1], to_bytes("bbbb")));
+  EXPECT_TRUE(equal_bytes(nodes[2], to_bytes("cccccc")));
+}
+
+TEST(FlatNodes, SetReplacesNodesAcrossSizeChanges) {
+  FlatNodes nodes;
+  nodes.push_back(to_bytes("aaaa"));
+  nodes.push_back(to_bytes("bbbb"));
+  nodes.push_back(to_bytes("cccc"));
+  nodes.set(1, to_bytes("XXXX"));  // same size, fixed mode
+  EXPECT_TRUE(nodes.is_fixed());
+  EXPECT_TRUE(equal_bytes(nodes[1], to_bytes("XXXX")));
+
+  nodes.set(1, to_bytes("longer-node"));  // promotes and shifts the tail
+  EXPECT_FALSE(nodes.is_fixed());
+  EXPECT_TRUE(equal_bytes(nodes[0], to_bytes("aaaa")));
+  EXPECT_TRUE(equal_bytes(nodes[1], to_bytes("longer-node")));
+  EXPECT_TRUE(equal_bytes(nodes[2], to_bytes("cccc")));
+
+  nodes.set(1, to_bytes("s"));  // shrink
+  EXPECT_TRUE(equal_bytes(nodes[1], to_bytes("s")));
+  EXPECT_TRUE(equal_bytes(nodes[2], to_bytes("cccc")));
+}
+
+TEST(FlatNodes, OutOfRangeAccessThrows) {
+  FlatNodes nodes;
+  nodes.push_back(to_bytes("aa"));
+  EXPECT_THROW(nodes[1], Error);
+  EXPECT_THROW(nodes.set(1, to_bytes("bb")), Error);
+}
+
+}  // namespace
+}  // namespace ugc

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "merkle/geometry.h"
+
+namespace ugc {
+namespace {
+
+TEST(Geometry, NextPowerOfTwoExactPowers) {
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(2), 2u);
+  EXPECT_EQ(next_power_of_two(4), 4u);
+  EXPECT_EQ(next_power_of_two(std::uint64_t{1} << 40), std::uint64_t{1} << 40);
+}
+
+TEST(Geometry, NextPowerOfTwoRoundsUp) {
+  EXPECT_EQ(next_power_of_two(3), 4u);
+  EXPECT_EQ(next_power_of_two(5), 8u);
+  EXPECT_EQ(next_power_of_two(1000), 1024u);
+  EXPECT_EQ(next_power_of_two((std::uint64_t{1} << 40) + 1),
+            std::uint64_t{1} << 41);
+}
+
+TEST(Geometry, NextPowerOfTwoRejectsZeroAndOverflow) {
+  EXPECT_THROW(next_power_of_two(0), Error);
+  EXPECT_THROW(next_power_of_two((std::uint64_t{1} << 62) + 1), Error);
+}
+
+TEST(Geometry, TreeHeightCountsLevelsAboveLeaves) {
+  EXPECT_EQ(tree_height(1), 0u);
+  EXPECT_EQ(tree_height(2), 1u);
+  EXPECT_EQ(tree_height(3), 2u);
+  EXPECT_EQ(tree_height(4), 2u);
+  EXPECT_EQ(tree_height(5), 3u);
+  EXPECT_EQ(tree_height(1023), 10u);
+  EXPECT_EQ(tree_height(1024), 10u);
+  EXPECT_EQ(tree_height(1025), 11u);
+}
+
+TEST(Geometry, HeightMatchesPaddedSize) {
+  for (std::uint64_t n = 1; n < 300; ++n) {
+    EXPECT_EQ(std::uint64_t{1} << tree_height(n), next_power_of_two(n))
+        << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace ugc

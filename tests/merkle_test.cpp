@@ -270,7 +270,7 @@ TEST(StreamingBuilder, CallbackSeesEveryNodeOfPerfectTree) {
   const auto& h = default_hash();
   std::size_t emitted = 0;
   StreamingMerkleBuilder builder(
-      h, [&emitted](unsigned, std::uint64_t, const Bytes&) { ++emitted; });
+      h, [&emitted](unsigned, std::uint64_t, BytesView) { ++emitted; });
   const auto leaves = make_leaves(8);
   for (const Bytes& leaf : leaves) {
     builder.add_leaf(leaf);

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/parallel.h"
+
+namespace ugc {
+namespace {
+
+TEST(ParallelFor, EmptyRangeInvokesNothing) {
+  std::atomic<std::uint64_t> calls{0};
+  parallel_for(5, 5, [&calls](std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0u);
+  parallel_for(0, 0, [&calls](std::uint64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST(ParallelFor, BeginGreaterThanEndThrows) {
+  EXPECT_THROW(parallel_for(3, 2, [](std::uint64_t) {}), Error);
+  EXPECT_THROW(parallel_for_chunks(3, 2, [](std::uint64_t, std::uint64_t) {}),
+               Error);
+}
+
+TEST(ParallelFor, NullCallableThrows) {
+  EXPECT_THROW(parallel_for(0, 4, nullptr), Error);
+  EXPECT_THROW(parallel_for_chunks(0, 4, nullptr), Error);
+}
+
+TEST(ParallelFor, RangeSmallerThanThreadCountCoversEveryIndexOnce) {
+  // 3 indices, 16 requested workers: the worker count must clamp to the
+  // range so no index is skipped or visited twice.
+  std::vector<std::atomic<int>> visits(3);
+  parallel_for(
+      100, 103, [&visits](std::uint64_t i) { ++visits[i - 100]; }, 16);
+  for (const auto& v : visits) {
+    EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ParallelFor, SingleThreadMatchesSerialOrdering) {
+  // threads = 1 must degrade to a plain loop on the calling thread: strictly
+  // increasing order, no concurrency.
+  std::vector<std::uint64_t> order;
+  parallel_for(
+      10, 20, [&order](std::uint64_t i) { order.push_back(i); }, 1);
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    EXPECT_EQ(order[k], 10 + k);
+  }
+}
+
+TEST(ParallelFor, EveryIndexVisitedExactlyOnceAcrossWorkers) {
+  constexpr std::uint64_t kCount = 10000;
+  std::vector<std::atomic<int>> visits(kCount);
+  parallel_for(
+      0, kCount, [&visits](std::uint64_t i) { ++visits[i]; }, 4);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, WorkerExceptionPropagatesToCaller) {
+  // A throwing body (ugc::Error is the library's error mechanism) must
+  // surface as a catchable exception on the calling thread, not terminate.
+  EXPECT_THROW(parallel_for(
+                   0, 10000,
+                   [](std::uint64_t i) {
+                     if (i == 7777) {
+                       throw Error("boom");
+                     }
+                   },
+                   4),
+               Error);
+  // The serial (threads=1) path rethrows directly too.
+  EXPECT_THROW(parallel_for_chunks(
+                   0, 10,
+                   [](std::uint64_t, std::uint64_t) { throw Error("boom"); },
+                   1),
+               Error);
+}
+
+TEST(ParallelForChunks, ChunksPartitionTheRange) {
+  // Chunks must be contiguous, disjoint, in-range, and cover everything.
+  std::mutex mutex;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> chunks;
+  parallel_for_chunks(
+      7, 1007,
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        std::lock_guard<std::mutex> lock(mutex);
+        chunks.emplace_back(lo, hi);
+      },
+      4);
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(chunks.front().first, 7u);
+  EXPECT_EQ(chunks.back().second, 1007u);
+  for (std::size_t k = 0; k + 1 < chunks.size(); ++k) {
+    EXPECT_EQ(chunks[k].second, chunks[k + 1].first);
+    EXPECT_LT(chunks[k].first, chunks[k].second);
+  }
+}
+
+TEST(ParallelForChunks, SingleThreadRunsOneChunkOnCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  parallel_for_chunks(
+      0, 100,
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        ++calls;
+        EXPECT_EQ(lo, 0u);
+        EXPECT_EQ(hi, 100u);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+      },
+      1);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace ugc
