@@ -111,6 +111,13 @@ int main(int argc, char** argv) {
   const std::vector<unsigned> exponents =
       smoke ? std::vector<unsigned>{10, 12} : std::vector<unsigned>{16, 18, 20};
   const unsigned hw_threads = std::thread::hardware_concurrency();
+  const bool parallel_meaningful = hw_threads >= 2;
+  if (!parallel_meaningful) {
+    std::fprintf(stderr,
+                 "warning: hardware_threads=%u — the parallel columns are "
+                 "not meaningful on this host\n",
+                 hw_threads);
+  }
 
   std::printf("== commitment throughput (hash cost in ns, rates in leaves/s) "
               "==\n");
@@ -122,8 +129,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(json, "{\n  \"smoke\": %s,\n  \"hardware_threads\": %u,\n",
-               smoke ? "true" : "false", hw_threads);
+  std::fprintf(json,
+               "{\n  \"smoke\": %s,\n  \"hardware_threads\": %u,\n"
+               "  \"parallel_meaningful\": %s,\n",
+               smoke ? "true" : "false", hw_threads,
+               parallel_meaningful ? "true" : "false");
   std::fprintf(json, "  \"hash_cost_ns\": {\n");
   for (auto algo :
        {HashAlgorithm::kMd5, HashAlgorithm::kSha1, HashAlgorithm::kSha256}) {

@@ -65,14 +65,14 @@ Verdict CbsSupervisor::verify(const ProofResponse& response) {
   check(commitment_.has_value(),
         "CbsSupervisor::verify: no commitment received yet");
   return verify_sample_proofs(task_, config_.tree, *commitment_, samples_,
-                              response, *verifier_, &metrics_);
+                              response, *verifier_, &metrics_, scratch_);
 }
 
 Verdict CbsSupervisor::verify_batched(const BatchProofResponse& response) {
   check(commitment_.has_value(),
         "CbsSupervisor::verify_batched: no commitment received yet");
   return verify_batch_response(task_, config_.tree, *commitment_, samples_,
-                               response, *verifier_, &metrics_);
+                               response, *verifier_, &metrics_, scratch_);
 }
 
 CbsRunResult run_cbs_exchange(const Task& task, const CbsConfig& config,

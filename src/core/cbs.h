@@ -77,6 +77,7 @@ class CbsSupervisor {
   std::optional<Commitment> commitment_;
   std::vector<LeafIndex> samples_;
   SupervisorMetrics metrics_;
+  VerifyScratch scratch_;
 };
 
 // Runs one complete interactive CBS exchange in-process and returns the

@@ -57,7 +57,7 @@ Verdict NiCbsSupervisor::verify(const NiCbsProof& proof) {
                      config_.sample_count, *g_);
   g_invocations_ += config_.sample_count;
   return verify_sample_proofs(task_, config_.tree, proof.commitment, samples,
-                              proof.response, *verifier_, &metrics_);
+                              proof.response, *verifier_, &metrics_, scratch_);
 }
 
 NiCbsRunResult run_nicbs_exchange(

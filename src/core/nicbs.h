@@ -56,6 +56,7 @@ class NiCbsSupervisor {
   std::unique_ptr<const IteratedHash> g_;
   SupervisorMetrics metrics_;
   std::uint64_t g_invocations_ = 0;
+  VerifyScratch scratch_;
 };
 
 // One-shot non-interactive exchange.

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,36 @@ struct BatchProofResponse {
 
   friend bool operator==(const BatchProofResponse&,
                          const BatchProofResponse&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Span-backed views of the proof-carrying messages — the zero-copy shape the
+// supervisor's verification hot path consumes. Views reference storage owned
+// elsewhere (an owning ProofResponse/BatchProofResponse, or the raw receive
+// buffer plus a WireViewArena when produced by the wire layer's view
+// decoders) and stay valid only while that storage lives.
+// ---------------------------------------------------------------------------
+
+struct SampleProofView {
+  LeafIndex index;
+  BytesView result;
+  std::span<const BytesView> siblings;
+};
+
+struct ProofResponseView {
+  TaskId task;
+  std::span<const SampleProofView> proofs;
+};
+
+struct BatchResultView {
+  LeafIndex index;
+  BytesView result;
+};
+
+struct BatchProofResponseView {
+  TaskId task;
+  std::span<const BatchResultView> results;
+  std::span<const BytesView> siblings;
 };
 
 // Participant -> supervisor: the full result vector, in domain order.

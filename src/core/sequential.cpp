@@ -149,7 +149,7 @@ SprtDecision AdaptiveCbsSupervisor::submit(const ProofResponse& response) {
   const std::vector<LeafIndex> samples = {expected};
   const Verdict verdict =
       verify_sample_proofs(task_, tree_, *commitment_, samples, response,
-                           *verifier_, &metrics_);
+                           *verifier_, &metrics_, scratch_);
   return sprt_.observe(verdict.accepted());
 }
 

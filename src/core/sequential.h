@@ -103,6 +103,7 @@ class AdaptiveCbsSupervisor {
   std::optional<Commitment> commitment_;
   std::optional<LeafIndex> outstanding_;
   SupervisorMetrics metrics_;
+  VerifyScratch scratch_;
 };
 
 }  // namespace ugc

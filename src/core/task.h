@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -64,6 +66,17 @@ class ComputeFunction {
   // (CountingComputeFunction's atomic counter is the model).
   virtual Bytes evaluate(std::uint64_t x) const = 0;
 
+  // Evaluates f(x) into `out` (result_size() bytes), the allocation-free
+  // form the supervisor's verification hot loop recomputes samples through.
+  // The default wraps evaluate(); hot workloads override it.
+  virtual void evaluate_into(std::uint64_t x,
+                             std::span<std::uint8_t> out) const {
+    const Bytes value = evaluate(x);
+    check(out.size() == value.size(), "evaluate_into: need ", value.size(),
+          " bytes, got ", out.size());
+    std::memcpy(out.data(), value.data(), value.size());
+  }
+
   // Width of every result in bytes (> 0).
   virtual std::size_t result_size() const = 0;
 
@@ -82,6 +95,11 @@ class CountingComputeFunction final : public ComputeFunction {
   Bytes evaluate(std::uint64_t x) const override {
     calls_.fetch_add(1, std::memory_order_relaxed);
     return inner_->evaluate(x);
+  }
+  void evaluate_into(std::uint64_t x,
+                     std::span<std::uint8_t> out) const override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    inner_->evaluate_into(x, out);
   }
   std::size_t result_size() const override { return inner_->result_size(); }
   std::string name() const override { return inner_->name(); }
@@ -175,6 +193,16 @@ class RecomputeVerifier final : public ResultVerifier {
   }
 
   bool verify(std::uint64_t x, BytesView claimed_fx) const override {
+    // Recompute into a stack buffer for typical result widths so the
+    // supervisor's per-sample check allocates nothing; the comparison (and
+    // the evaluation count) is identical to the evaluate() form.
+    constexpr std::size_t kMaxStackResult = 128;
+    const std::size_t size = f_->result_size();
+    if (size <= kMaxStackResult) {
+      std::uint8_t computed[kMaxStackResult];
+      f_->evaluate_into(x, std::span<std::uint8_t>(computed, size));
+      return equal_bytes(BytesView(computed, size), claimed_fx);
+    }
     return equal_bytes(f_->evaluate(x), claimed_fx);
   }
   std::string name() const override { return "recompute(" + f_->name() + ")"; }

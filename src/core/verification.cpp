@@ -3,10 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
-#include "core/engine.h"
-#include "merkle/batch_proof.h"
-#include "merkle/proof.h"
-#include "merkle/tree.h"
+#include "merkle/geometry.h"
 
 namespace ugc {
 
@@ -17,36 +14,43 @@ Verdict malformed(const Task& task, std::string detail) {
                  std::move(detail)};
 }
 
-}  // namespace
-
-Verdict verify_sample_proofs(const Task& task, const TreeSettings& settings,
-                             const Commitment& commitment,
-                             std::span<const LeafIndex> expected_samples,
-                             const ProofResponse& response,
-                             const ResultVerifier& verifier,
-                             SupervisorMetrics* metrics) {
+// Shared Step-4 core over owning (SampleProof) and span-backed
+// (SampleProofView) responses: both expose index / result / siblings, so one
+// implementation keeps the verdicts byte-identical across entry points.
+template <typename Proof>
+Verdict verify_samples_impl(const Task& task, const TreeSettings& settings,
+                            const Commitment& commitment,
+                            std::span<const LeafIndex> expected_samples,
+                            TaskId response_task,
+                            std::span<const Proof> proofs,
+                            const ResultVerifier& verifier,
+                            SupervisorMetrics* metrics,
+                            VerifyScratch& scratch) {
   const std::uint64_t n = task.domain.size();
 
-  if (commitment.task != task.id || response.task != task.id) {
+  if (commitment.task != task.id || response_task != task.id) {
     return malformed(task, "task id mismatch");
   }
   if (commitment.leaf_count != n) {
     return malformed(task, concat("commitment covers ", commitment.leaf_count,
                                   " leaves, task has ", n));
   }
-  if (response.proofs.size() != expected_samples.size()) {
-    return malformed(task,
-                     concat("expected ", expected_samples.size(),
-                            " sample proofs, got ", response.proofs.size()));
+  if (proofs.size() != expected_samples.size()) {
+    return malformed(task, concat("expected ", expected_samples.size(),
+                                  " sample proofs, got ", proofs.size()));
   }
 
-  const auto hash = make_hash(settings.tree_hash);
+  const HashFunction& hash = scratch.hash_for(settings.tree_hash);
+  const std::size_t digest_size = hash.digest_size();
   const unsigned height = tree_height(n);
   const std::size_t result_size = task.f->result_size();
+  scratch.fold[0].resize(digest_size);
+  scratch.fold[1].resize(digest_size);
+  scratch.leaf.resize(digest_size);
 
   for (std::size_t k = 0; k < expected_samples.size(); ++k) {
     const LeafIndex expected = expected_samples[k];
-    const SampleProof& proof = response.proofs[k];
+    const Proof& proof = proofs[k];
 
     if (proof.index != expected) {
       return malformed(task, concat("sample ", k, ": expected index ",
@@ -78,13 +82,31 @@ Verdict verify_sample_proofs(const Task& task, const TreeSettings& settings,
     }
 
     // Step 4.2: was that value committed before the samples were known?
-    MerkleProof merkle;
-    merkle.index = expected;
-    merkle.leaf_value = ParticipantEngine::leaf_from_result(
-        proof.result, settings.leaf_mode, *hash);
-    merkle.siblings = proof.siblings;
+    // Fold the authentication path in place — the leaf value is a view (or
+    // one hash_into for kHashed) and every level lands in a reusable digest
+    // buffer, so a sample costs exactly its hashes.
     if (metrics != nullptr) ++metrics->roots_reconstructed;
-    if (!verify_proof(merkle, commitment.root, *hash)) {
+    BytesView current;
+    if (settings.leaf_mode == LeafMode::kRaw) {
+      current = proof.result;
+    } else {
+      hash.hash_into(proof.result, scratch.leaf);
+      current = scratch.leaf;
+    }
+    std::uint64_t position = expected.value;
+    int flip = 0;
+    for (const auto& sibling : proof.siblings) {
+      Bytes& parent = scratch.fold[flip];
+      flip ^= 1;
+      if ((position & 1) == 0) {
+        hash.hash_pair(current, sibling, parent);
+      } else {
+        hash.hash_pair(sibling, current, parent);
+      }
+      current = parent;
+      position >>= 1;
+    }
+    if (!equal_bytes(current, commitment.root)) {
       return Verdict{
           task.id, VerdictStatus::kRootMismatch, expected,
           concat("reconstructed root differs from commitment for sample ",
@@ -96,15 +118,19 @@ Verdict verify_sample_proofs(const Task& task, const TreeSettings& settings,
                  "all samples verified"};
 }
 
-Verdict verify_batch_response(const Task& task, const TreeSettings& settings,
-                              const Commitment& commitment,
-                              std::span<const LeafIndex> expected_samples,
-                              const BatchProofResponse& response,
-                              const ResultVerifier& verifier,
-                              SupervisorMetrics* metrics) {
+// Batched Step-4 core; `results[k]` destructures to (index, result) for both
+// the owning pair and BatchResultView.
+template <typename Results>
+Verdict verify_batch_impl(const Task& task, const TreeSettings& settings,
+                          const Commitment& commitment,
+                          std::span<const LeafIndex> expected_samples,
+                          TaskId response_task, const Results& results,
+                          std::span<const BytesView> siblings,
+                          const ResultVerifier& verifier,
+                          SupervisorMetrics* metrics, VerifyScratch& scratch) {
   const std::uint64_t n = task.domain.size();
 
-  if (commitment.task != task.id || response.task != task.id) {
+  if (commitment.task != task.id || response_task != task.id) {
     return malformed(task, "task id mismatch");
   }
   if (commitment.leaf_count != n) {
@@ -113,7 +139,8 @@ Verdict verify_batch_response(const Task& task, const TreeSettings& settings,
   }
 
   // The response must cover exactly the distinct expected indices.
-  std::vector<std::uint64_t> expected;
+  std::vector<std::uint64_t>& expected = scratch.expected;
+  expected.clear();
   expected.reserve(expected_samples.size());
   for (const LeafIndex index : expected_samples) {
     expected.push_back(index.value);
@@ -121,21 +148,21 @@ Verdict verify_batch_response(const Task& task, const TreeSettings& settings,
   std::sort(expected.begin(), expected.end());
   expected.erase(std::unique(expected.begin(), expected.end()),
                  expected.end());
-  if (response.results.size() != expected.size()) {
-    return malformed(task,
-                     concat("expected ", expected.size(),
-                            " distinct samples, got ",
-                            response.results.size()));
+  if (results.size() != expected.size()) {
+    return malformed(task, concat("expected ", expected.size(),
+                                  " distinct samples, got ", results.size()));
   }
 
-  const auto hash = make_hash(settings.tree_hash);
+  const HashFunction& hash = scratch.hash_for(settings.tree_hash);
+  const std::size_t digest_size = hash.digest_size();
   const std::size_t result_size = task.f->result_size();
 
-  BatchProof batch;
-  batch.padded_leaf_count = std::uint64_t{1} << tree_height(n);
-  batch.siblings = response.siblings;
+  scratch.batch.leaf_views.resize(expected.size());
+  if (settings.leaf_mode == LeafMode::kHashed) {
+    scratch.batch_leaves.resize(expected.size() * digest_size);
+  }
   for (std::size_t k = 0; k < expected.size(); ++k) {
-    const auto& [index, result] = response.results[k];
+    const auto& [index, result] = results[k];
     if (index.value != expected[k]) {
       return malformed(task, concat("batch sample ", k, ": expected index ",
                                     expected[k], ", got ", index.value));
@@ -157,19 +184,117 @@ Verdict verify_batch_response(const Task& task, const TreeSettings& settings,
       return Verdict{task.id, VerdictStatus::kWrongResult, index,
                      concat("claimed f(", x, ") failed verification")};
     }
-    batch.leaves.emplace_back(
-        index, ParticipantEngine::leaf_from_result(result,
-                                                   settings.leaf_mode, *hash));
+    BytesView leaf;
+    if (settings.leaf_mode == LeafMode::kRaw) {
+      leaf = result;
+    } else {
+      const std::span<std::uint8_t> slot(
+          scratch.batch_leaves.data() + k * digest_size, digest_size);
+      hash.hash_into(result, slot);
+      leaf = slot;
+    }
+    scratch.batch.leaf_views[k] = BatchLeafView{index.value, leaf};
   }
 
   // Step 4.2, once: one reconstruction covers every sample.
   if (metrics != nullptr) ++metrics->roots_reconstructed;
-  if (!verify_batch_proof(batch, commitment.root, *hash)) {
+  BytesView root;
+  const char* reason = reconstruct_batch_root(
+      std::uint64_t{1} << tree_height(n), scratch.batch.leaf_views, siblings,
+      hash, scratch.batch, &root);
+  if (reason != nullptr || !equal_bytes(root, commitment.root)) {
     return Verdict{task.id, VerdictStatus::kRootMismatch, std::nullopt,
                    "reconstructed batch root differs from commitment"};
   }
   return Verdict{task.id, VerdictStatus::kAccepted, std::nullopt,
                  "all samples verified (batched)"};
+}
+
+}  // namespace
+
+const HashFunction& VerifyScratch::hash_for(HashAlgorithm algorithm) {
+  const std::size_t index = static_cast<std::size_t>(algorithm);
+  check(index < kHashAlgorithmCount,
+        "VerifyScratch::hash_for: unknown algorithm ", index);
+  std::unique_ptr<HashFunction>& slot = hashes_[index];
+  if (slot == nullptr) {
+    slot = make_hash(algorithm);
+  }
+  return *slot;
+}
+
+Verdict verify_sample_proofs(const Task& task, const TreeSettings& settings,
+                             const Commitment& commitment,
+                             std::span<const LeafIndex> expected_samples,
+                             const ProofResponse& response,
+                             const ResultVerifier& verifier,
+                             SupervisorMetrics* metrics,
+                             VerifyScratch& scratch) {
+  return verify_samples_impl<SampleProof>(
+      task, settings, commitment, expected_samples, response.task,
+      response.proofs, verifier, metrics, scratch);
+}
+
+Verdict verify_sample_proofs(const Task& task, const TreeSettings& settings,
+                             const Commitment& commitment,
+                             std::span<const LeafIndex> expected_samples,
+                             const ProofResponseView& response,
+                             const ResultVerifier& verifier,
+                             SupervisorMetrics* metrics,
+                             VerifyScratch& scratch) {
+  return verify_samples_impl<SampleProofView>(
+      task, settings, commitment, expected_samples, response.task,
+      response.proofs, verifier, metrics, scratch);
+}
+
+Verdict verify_sample_proofs(const Task& task, const TreeSettings& settings,
+                             const Commitment& commitment,
+                             std::span<const LeafIndex> expected_samples,
+                             const ProofResponse& response,
+                             const ResultVerifier& verifier,
+                             SupervisorMetrics* metrics) {
+  VerifyScratch scratch;
+  return verify_sample_proofs(task, settings, commitment, expected_samples,
+                              response, verifier, metrics, scratch);
+}
+
+Verdict verify_batch_response(const Task& task, const TreeSettings& settings,
+                              const Commitment& commitment,
+                              std::span<const LeafIndex> expected_samples,
+                              const BatchProofResponse& response,
+                              const ResultVerifier& verifier,
+                              SupervisorMetrics* metrics,
+                              VerifyScratch& scratch) {
+  scratch.byte_views.resize(response.siblings.size());
+  for (std::size_t i = 0; i < response.siblings.size(); ++i) {
+    scratch.byte_views[i] = response.siblings[i];
+  }
+  return verify_batch_impl(task, settings, commitment, expected_samples,
+                           response.task, response.results,
+                           scratch.byte_views, verifier, metrics, scratch);
+}
+
+Verdict verify_batch_response(const Task& task, const TreeSettings& settings,
+                              const Commitment& commitment,
+                              std::span<const LeafIndex> expected_samples,
+                              const BatchProofResponseView& response,
+                              const ResultVerifier& verifier,
+                              SupervisorMetrics* metrics,
+                              VerifyScratch& scratch) {
+  return verify_batch_impl(task, settings, commitment, expected_samples,
+                           response.task, response.results,
+                           response.siblings, verifier, metrics, scratch);
+}
+
+Verdict verify_batch_response(const Task& task, const TreeSettings& settings,
+                              const Commitment& commitment,
+                              std::span<const LeafIndex> expected_samples,
+                              const BatchProofResponse& response,
+                              const ResultVerifier& verifier,
+                              SupervisorMetrics* metrics) {
+  VerifyScratch scratch;
+  return verify_batch_response(task, settings, commitment, expected_samples,
+                               response, verifier, metrics, scratch);
 }
 
 }  // namespace ugc

@@ -1,12 +1,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <vector>
 
 #include "common/bytes.h"
 #include "core/protocol.h"
 #include "core/settings.h"
 #include "core/task.h"
+#include "merkle/batch_proof.h"
 
 namespace ugc {
 
@@ -17,6 +20,31 @@ struct SupervisorMetrics {
   std::uint64_t results_verified = 0;
   // Root reconstructions (Λ evaluations, each O(log n) hashes).
   std::uint64_t roots_reconstructed = 0;
+};
+
+// Reusable scratch for the supervisor's allocation-free verification path.
+// One instance per supervisor session (never shared across threads): after
+// the first verification every buffer has settled at capacity and checking a
+// proof performs zero heap allocations — the path folds through caller-owned
+// digest buffers and flat frontiers instead of per-level vector<Bytes>
+// temporaries. Contents are an implementation detail; construct once and
+// pass by reference.
+struct VerifyScratch {
+  // Cached hash instance per algorithm, so hot loops skip make_hash().
+  const HashFunction& hash_for(HashAlgorithm algorithm);
+
+  // Path-fold ping-pong digest buffers and the kHashed leaf target.
+  Bytes fold[2];
+  Bytes leaf;
+  // Batched path: flat kHashed leaf digests plus the frontier scratch.
+  Bytes batch_leaves;
+  std::vector<std::uint64_t> expected;
+  BatchVerifyScratch batch;
+  // The owning-struct adapters stage sibling views here.
+  std::vector<BytesView> byte_views;
+
+ private:
+  std::unique_ptr<HashFunction> hashes_[kHashAlgorithmCount];
 };
 
 // The paper's Step 4, shared by interactive CBS and NI-CBS supervisors:
@@ -43,5 +71,46 @@ Verdict verify_batch_response(const Task& task, const TreeSettings& settings,
                               const BatchProofResponse& response,
                               const ResultVerifier& verifier,
                               SupervisorMetrics* metrics = nullptr);
+
+// ---------------------------------------------------------------------------
+// Allocation-free variants. Verdicts are byte-identical to the functions
+// above; `scratch` owns every temporary, so per-session reuse makes repeated
+// verification allocation-free. The view overloads additionally consume
+// span-backed responses (core/protocol.h) straight off a receive buffer —
+// the wire layer's view decoders pair with them for a zero-copy
+// decode-to-verdict pipeline.
+// ---------------------------------------------------------------------------
+
+Verdict verify_sample_proofs(const Task& task, const TreeSettings& settings,
+                             const Commitment& commitment,
+                             std::span<const LeafIndex> expected_samples,
+                             const ProofResponse& response,
+                             const ResultVerifier& verifier,
+                             SupervisorMetrics* metrics,
+                             VerifyScratch& scratch);
+
+Verdict verify_sample_proofs(const Task& task, const TreeSettings& settings,
+                             const Commitment& commitment,
+                             std::span<const LeafIndex> expected_samples,
+                             const ProofResponseView& response,
+                             const ResultVerifier& verifier,
+                             SupervisorMetrics* metrics,
+                             VerifyScratch& scratch);
+
+Verdict verify_batch_response(const Task& task, const TreeSettings& settings,
+                              const Commitment& commitment,
+                              std::span<const LeafIndex> expected_samples,
+                              const BatchProofResponse& response,
+                              const ResultVerifier& verifier,
+                              SupervisorMetrics* metrics,
+                              VerifyScratch& scratch);
+
+Verdict verify_batch_response(const Task& task, const TreeSettings& settings,
+                              const Commitment& commitment,
+                              std::span<const LeafIndex> expected_samples,
+                              const BatchProofResponseView& response,
+                              const ResultVerifier& verifier,
+                              SupervisorMetrics* metrics,
+                              VerifyScratch& scratch);
 
 }  // namespace ugc

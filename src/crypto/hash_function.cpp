@@ -64,6 +64,25 @@ class CoreHash final : public HashFunction {
     core.finish_into(out.data());
   }
 
+  void hash_pair_x2(BytesView left0, BytesView right0,
+                    std::span<std::uint8_t> out0, BytesView left1,
+                    BytesView right1,
+                    std::span<std::uint8_t> out1) const override {
+    if constexpr (requires(const std::uint8_t* p, std::uint8_t* q) {
+                    Core::digest_pair_x2(BytesView{}, BytesView{}, q,
+                                         BytesView{}, BytesView{}, q);
+                  }) {
+      check(out0.size() == Core::kDigestSize &&
+                out1.size() == Core::kDigestSize,
+            "hash_pair_x2: need ", Core::kDigestSize, " byte outputs");
+      Core::digest_pair_x2(left0, right0, out0.data(), left1, right1,
+                           out1.data());
+    } else {
+      hash_pair(left0, right0, out0);
+      hash_pair(left1, right1, out1);
+    }
+  }
+
   std::unique_ptr<HashContext> new_context() const override {
     return std::make_unique<CoreContext<Core>>();
   }
@@ -108,6 +127,14 @@ void HashFunction::hash_into(BytesView data,
 void HashFunction::hash_pair(BytesView left, BytesView right,
                              std::span<std::uint8_t> out) const {
   hash_into(concat_bytes(left, right), out);
+}
+
+void HashFunction::hash_pair_x2(BytesView left0, BytesView right0,
+                                std::span<std::uint8_t> out0, BytesView left1,
+                                BytesView right1,
+                                std::span<std::uint8_t> out1) const {
+  hash_pair(left0, right0, out0);
+  hash_pair(left1, right1, out1);
 }
 
 std::unique_ptr<HashContext> HashFunction::new_context() const {

@@ -16,6 +16,10 @@ enum class HashAlgorithm {
   kSha256,
 };
 
+// Number of HashAlgorithm values — keep in sync when adding an algorithm
+// (sizes per-algorithm caches like VerifyScratch's).
+inline constexpr std::size_t kHashAlgorithmCount = 3;
+
 // Incremental hashing context: begin (new_context / reset), update, finish.
 //
 // Contexts are reusable — after finish() call reset() to start a fresh
@@ -77,6 +81,17 @@ class HashFunction {
   // temporary. `out` (digest_size() bytes) may overlap either input.
   virtual void hash_pair(BytesView left, BytesView right,
                          std::span<std::uint8_t> out) const;
+
+  // Two independent left||right digests in one call, semantically identical
+  // to two hash_pair calls. A single SHA round chain is latency-bound, so
+  // backends with hardware compression (SHA-NI) interleave the two streams
+  // for substantially higher combined throughput; the default simply calls
+  // hash_pair twice. The Merkle batch-verify and level folds feed sibling
+  // pairs through this. Outputs must not alias each other.
+  virtual void hash_pair_x2(BytesView left0, BytesView right0,
+                            std::span<std::uint8_t> out0, BytesView left1,
+                            BytesView right1,
+                            std::span<std::uint8_t> out1) const;
 
   // Begins an incremental computation. The returned context is reusable via
   // HashContext::reset(). The default buffers the whole message and runs

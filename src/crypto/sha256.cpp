@@ -108,6 +108,32 @@ Digest32 Sha256::hash(BytesView data) {
   return sha.finish();
 }
 
+void Sha256::digest_pair_x2(BytesView left0, BytesView right0,
+                            std::uint8_t* out0, BytesView left1,
+                            BytesView right1, std::uint8_t* out1) {
+  static const bool use_ni = sha_ni_available();
+  // The interleave only pays for the interior-node shape: digest||digest is
+  // exactly one message block plus the constant padding block, so both
+  // streams run in lockstep with no per-call padding assembly. Everything
+  // else (raw leaves, odd sizes) digests serially — one stream is already
+  // near compression-throughput on an out-of-order core.
+  if (use_ni && left0.size() == kDigestSize && right0.size() == kDigestSize &&
+      left1.size() == kDigestSize && right1.size() == kDigestSize) {
+    sha256_pair_digest_x2_ni(left0.data(), right0.data(), out0, left1.data(),
+                             right1.data(), out1);
+    return;
+  }
+
+  Sha256 a;
+  a.update(left0);
+  a.update(right0);
+  a.finish_into(out0);
+  Sha256 b;
+  b.update(left1);
+  b.update(right1);
+  b.finish_into(out1);
+}
+
 void Sha256::process_block(const std::uint8_t* block) {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {

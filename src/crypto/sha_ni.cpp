@@ -1,5 +1,6 @@
 #include "crypto/sha_ni.h"
 
+#include <array>
 #include <cstdlib>
 
 #include "common/error.h"
@@ -238,6 +239,221 @@ __attribute__((target("sha,sse4.1,ssse3"))) void sha256_process_blocks_ni(
   _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), STATE1);
 }
 
+namespace {
+
+// Round constants packed two per quadword in schedule order (same values
+// the single-stream transform embeds inline).
+#define UGC_SHA256_K16                                           \
+  {                                                              \
+    _mm_set_epi64x(0xE9B5DBA5B5C0FBCFULL, 0x71374491428A2F98ULL),  \
+    _mm_set_epi64x(0xAB1C5ED5923F82A4ULL, 0x59F111F13956C25BULL),  \
+    _mm_set_epi64x(0x550C7DC3243185BEULL, 0x12835B01D807AA98ULL),  \
+    _mm_set_epi64x(0xC19BF1749BDC06A7ULL, 0x80DEB1FE72BE5D74ULL),  \
+    _mm_set_epi64x(0x240CA1CC0FC19DC6ULL, 0xEFBE4786E49B69C1ULL),  \
+    _mm_set_epi64x(0x76F988DA5CB0A9DCULL, 0x4A7484AA2DE92C6FULL),  \
+    _mm_set_epi64x(0xBF597FC7B00327C8ULL, 0xA831C66D983E5152ULL),  \
+    _mm_set_epi64x(0x1429296706CA6351ULL, 0xD5A79147C6E00BF3ULL),  \
+    _mm_set_epi64x(0x53380D134D2C6DFCULL, 0x2E1B213827B70A85ULL),  \
+    _mm_set_epi64x(0x92722C8581C2C92EULL, 0x766A0ABB650A7354ULL),  \
+    _mm_set_epi64x(0xC76C51A3C24B8B70ULL, 0xA81A664BA2BFE8A1ULL),  \
+    _mm_set_epi64x(0x106AA070F40E3585ULL, 0xD6990624D192E819ULL),  \
+    _mm_set_epi64x(0x34B0BCB52748774CULL, 0x1E376C0819A4C116ULL),  \
+    _mm_set_epi64x(0x682E6FF35B9CCA4FULL, 0x4ED8AA4A391C0CB3ULL),  \
+    _mm_set_epi64x(0x8CC7020884C87814ULL, 0x78A5636F748F82EEULL),  \
+    _mm_set_epi64x(0xC67178F2BEF9A3F7ULL, 0xA4506CEB90BEFFFAULL),  \
+  }
+
+// The uniform 16-group round/schedule recurrence over four rotating message
+// registers, issued for two independent streams back to back — the second
+// stream's instructions fill the issue slots the first stream's serial
+// sha256rnds2 chain leaves idle. X must hold the (byte-swapped) message
+// quadwords of both blocks on entry.
+__attribute__((target("sha,sse4.1,ssse3"), always_inline)) inline void
+sha256_x2_rounds(__m128i S0[2], __m128i S1[2], __m128i X[4][2]) {
+  const __m128i K[16] = UGC_SHA256_K16;
+  __m128i MSG[2], TMP[2];
+#pragma GCC unroll 16
+  for (int g = 0; g < 16; ++g) {
+    const int cur = g & 3;
+    const int next = (g + 1) & 3;
+    const int prev = (g + 3) & 3;
+    for (int j = 0; j < 2; ++j) {
+      MSG[j] = _mm_add_epi32(X[cur][j], K[g]);
+      S1[j] = _mm_sha256rnds2_epu32(S1[j], S0[j], MSG[j]);
+      if (g >= 3 && g <= 14) {
+        TMP[j] = _mm_alignr_epi8(X[cur][j], X[prev][j], 4);
+        X[next][j] = _mm_add_epi32(X[next][j], TMP[j]);
+        X[next][j] = _mm_sha256msg2_epu32(X[next][j], X[cur][j]);
+      }
+      MSG[j] = _mm_shuffle_epi32(MSG[j], 0x0E);
+      S0[j] = _mm_sha256rnds2_epu32(S0[j], S1[j], MSG[j]);
+      if (g >= 1 && g <= 12) {
+        X[prev][j] = _mm_sha256msg1_epu32(X[prev][j], X[cur][j]);
+      }
+    }
+  }
+}
+
+// W[i] + K[i] for the constant padding block of a 64-byte message, expanded
+// once: the pad block's schedule does not depend on the hash state, so its
+// compression needs only the 32 sha256rnds2 per stream and no msg1/msg2
+// work at all.
+const std::uint32_t* pad64_schedule() {
+  static const auto table = [] {
+    constexpr std::uint32_t kK[64] = {
+        0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+        0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+        0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+        0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+        0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+        0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+        0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+        0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+        0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+        0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+        0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+        0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+        0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u};
+    std::array<std::uint32_t, 64> w{};
+    w[0] = 0x80000000u;  // 0x80 marker; the rest of the block is zero
+    w[15] = 512u;        // message bit length
+    const auto rotr = [](std::uint32_t x, int s) {
+      return (x >> s) | (x << (32 - s));
+    };
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    for (int i = 0; i < 64; ++i) {
+      w[i] += kK[i];
+    }
+    return w;
+  }();
+  return table.data();
+}
+
+}  // namespace
+
+__attribute__((target("sha,sse4.1,ssse3"))) void sha256_process_block_x2_ni(
+    std::uint32_t* state_a, const std::uint8_t* block_a,
+    std::uint32_t* state_b, const std::uint8_t* block_b) {
+  const __m128i MASK =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+  std::uint32_t* states[2] = {state_a, state_b};
+  const std::uint8_t* blocks[2] = {block_a, block_b};
+
+  __m128i S0[2], S1[2], TMP[2], X[4][2], SAVE0[2], SAVE1[2];
+  for (int j = 0; j < 2; ++j) {
+    TMP[j] =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&states[j][0]));
+    S1[j] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&states[j][4]));
+    TMP[j] = _mm_shuffle_epi32(TMP[j], 0xB1);        // CDAB
+    S1[j] = _mm_shuffle_epi32(S1[j], 0x1B);          // EFGH
+    S0[j] = _mm_alignr_epi8(TMP[j], S1[j], 8);       // ABEF
+    S1[j] = _mm_blend_epi16(S1[j], TMP[j], 0xF0);    // CDGH
+    SAVE0[j] = S0[j];
+    SAVE1[j] = S1[j];
+    for (int q = 0; q < 4; ++q) {
+      X[q][j] = _mm_shuffle_epi8(
+          _mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(blocks[j] + 16 * q)),
+          MASK);
+    }
+  }
+
+  sha256_x2_rounds(S0, S1, X);
+
+  for (int j = 0; j < 2; ++j) {
+    S0[j] = _mm_add_epi32(S0[j], SAVE0[j]);
+    S1[j] = _mm_add_epi32(S1[j], SAVE1[j]);
+    TMP[j] = _mm_shuffle_epi32(S0[j], 0x1B);         // FEBA
+    S1[j] = _mm_shuffle_epi32(S1[j], 0xB1);          // DCHG
+    S0[j] = _mm_blend_epi16(TMP[j], S1[j], 0xF0);    // DCBA
+    S1[j] = _mm_alignr_epi8(S1[j], TMP[j], 8);       // HGFE
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&states[j][0]), S0[j]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&states[j][4]), S1[j]);
+  }
+}
+
+__attribute__((target("sha,sse4.1,ssse3"))) void sha256_pair_digest_x2_ni(
+    const std::uint8_t* left0, const std::uint8_t* right0,
+    std::uint8_t* out0, const std::uint8_t* left1, const std::uint8_t* right1,
+    std::uint8_t* out1) {
+  const __m128i MASK =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+  const std::uint32_t* pad_wk = pad64_schedule();
+  const std::uint8_t* lefts[2] = {left0, left1};
+  const std::uint8_t* rights[2] = {right0, right1};
+  std::uint8_t* outs[2] = {out0, out1};
+
+  // IV in the packed ABEF/CDGH layout, then the first message block loaded
+  // straight from the two input digests — no concatenation buffer.
+  __m128i S0[2], S1[2], TMP[2], X[4][2], SAVE0[2], SAVE1[2];
+  const __m128i IV_LO =
+      _mm_set_epi32(static_cast<int>(0xa54ff53au), static_cast<int>(0x3c6ef372u),
+                    static_cast<int>(0xbb67ae85u), static_cast<int>(0x6a09e667u));
+  const __m128i IV_HI =
+      _mm_set_epi32(static_cast<int>(0x5be0cd19u), static_cast<int>(0x1f83d9abu),
+                    static_cast<int>(0x9b05688cu), static_cast<int>(0x510e527fu));
+  for (int j = 0; j < 2; ++j) {
+    TMP[j] = _mm_shuffle_epi32(IV_LO, 0xB1);         // CDAB
+    S1[j] = _mm_shuffle_epi32(IV_HI, 0x1B);          // EFGH
+    S0[j] = _mm_alignr_epi8(TMP[j], S1[j], 8);       // ABEF
+    S1[j] = _mm_blend_epi16(S1[j], TMP[j], 0xF0);    // CDGH
+    SAVE0[j] = S0[j];
+    SAVE1[j] = S1[j];
+    X[0][j] = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(lefts[j])), MASK);
+    X[1][j] = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(lefts[j] + 16)),
+        MASK);
+    X[2][j] = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rights[j])), MASK);
+    X[3][j] = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rights[j] + 16)),
+        MASK);
+  }
+
+  sha256_x2_rounds(S0, S1, X);
+
+  for (int j = 0; j < 2; ++j) {
+    S0[j] = _mm_add_epi32(S0[j], SAVE0[j]);
+    S1[j] = _mm_add_epi32(S1[j], SAVE1[j]);
+    SAVE0[j] = S0[j];
+    SAVE1[j] = S1[j];
+  }
+
+  // Padding block: pure rounds off the precomputed schedule.
+#pragma GCC unroll 16
+  for (int g = 0; g < 16; ++g) {
+    const __m128i WK = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(pad_wk + 4 * g));
+    const __m128i WK_HI = _mm_shuffle_epi32(WK, 0x0E);
+    for (int j = 0; j < 2; ++j) {
+      S1[j] = _mm_sha256rnds2_epu32(S1[j], S0[j], WK);
+      S0[j] = _mm_sha256rnds2_epu32(S0[j], S1[j], WK_HI);
+    }
+  }
+
+  for (int j = 0; j < 2; ++j) {
+    S0[j] = _mm_add_epi32(S0[j], SAVE0[j]);
+    S1[j] = _mm_add_epi32(S1[j], SAVE1[j]);
+    TMP[j] = _mm_shuffle_epi32(S0[j], 0x1B);         // FEBA
+    S1[j] = _mm_shuffle_epi32(S1[j], 0xB1);          // DCHG
+    S0[j] = _mm_blend_epi16(TMP[j], S1[j], 0xF0);    // DCBA
+    S1[j] = _mm_alignr_epi8(S1[j], TMP[j], 8);       // HGFE
+    // Per-word byte swap (MASK doubles as the 32-bit bswap shuffle) gives
+    // the big-endian digest directly.
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(outs[j]),
+                     _mm_shuffle_epi8(S0[j], MASK));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(outs[j] + 16),
+                     _mm_shuffle_epi8(S1[j], MASK));
+  }
+}
+
 __attribute__((target("sha,sse4.1,ssse3"))) void sha1_process_blocks_ni(
     std::uint32_t* state, const std::uint8_t* data, std::size_t blocks) {
   __m128i ABCD, ABCD_SAVE, E0, E0_SAVE, E1;
@@ -428,6 +644,19 @@ bool sha_ni_available() { return false; }
 void sha256_process_blocks_ni(std::uint32_t*, const std::uint8_t*,
                               std::size_t) {
   throw Error("sha256_process_blocks_ni: SHA-NI not available on this target");
+}
+
+void sha256_process_block_x2_ni(std::uint32_t*, const std::uint8_t*,
+                                std::uint32_t*, const std::uint8_t*) {
+  throw Error(
+      "sha256_process_block_x2_ni: SHA-NI not available on this target");
+}
+
+void sha256_pair_digest_x2_ni(const std::uint8_t*, const std::uint8_t*,
+                              std::uint8_t*, const std::uint8_t*,
+                              const std::uint8_t*, std::uint8_t*) {
+  throw Error(
+      "sha256_pair_digest_x2_ni: SHA-NI not available on this target");
 }
 
 void sha1_process_blocks_ni(std::uint32_t*, const std::uint8_t*, std::size_t) {

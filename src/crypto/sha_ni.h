@@ -24,6 +24,28 @@ bool sha_ni_available();
 void sha256_process_blocks_ni(std::uint32_t* state, const std::uint8_t* data,
                               std::size_t blocks);
 
+// Two-stream SHA-256: folds one 64-byte block into each of two independent
+// states with the round chains instruction-interleaved. A single stream is
+// latency-bound on the serial sha256rnds2 dependency chain; interleaving a
+// second independent chain fills the idle issue slots for ~1.5x combined
+// throughput. Bit-identical to two sha256_process_blocks_ni calls. The
+// Merkle verify/build folds use this for independent sibling pairs.
+void sha256_process_block_x2_ni(std::uint32_t* state_a,
+                                const std::uint8_t* block_a,
+                                std::uint32_t* state_b,
+                                const std::uint8_t* block_b);
+
+// Fully fused two-stream interior-node digest:
+// out_i = SHA-256(left_i || right_i) for 32-byte inputs and outputs. Loads
+// the inputs directly (no concatenation buffer), interleaves both round
+// chains, compresses the constant padding block off a precomputed schedule,
+// and stores the big-endian digests — the complete Merkle pair hash with no
+// buffering. Bit-identical to the generic path.
+void sha256_pair_digest_x2_ni(const std::uint8_t* left0,
+                              const std::uint8_t* right0, std::uint8_t* out0,
+                              const std::uint8_t* left1,
+                              const std::uint8_t* right1, std::uint8_t* out1);
+
 // SHA-1: state is {a..e} as five 32-bit words.
 void sha1_process_blocks_ni(std::uint32_t* state, const std::uint8_t* data,
                             std::size_t blocks);

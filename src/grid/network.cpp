@@ -11,13 +11,26 @@ GridNodeId SimNetwork::add_node(GridNode& node) {
   return id;
 }
 
+namespace {
+
+// Retired-buffer pool cap: enough to absorb any realistic in-flight burst
+// while bounding idle memory.
+constexpr std::size_t kMaxPooledBuffers = 256;
+
+}  // namespace
+
 void SimNetwork::send(GridNodeId from, GridNodeId to, const Message& message) {
   check(from.value < nodes_.size(), "SimNetwork::send: unknown sender ",
         from.value);
   check(to.value < nodes_.size(), "SimNetwork::send: unknown recipient ",
         to.value);
 
-  Bytes payload = encode_message(message);
+  Bytes payload;
+  if (!buffer_pool_.empty()) {
+    payload = std::move(buffer_pool_.back());
+    buffer_pool_.pop_back();
+  }
+  encode_message_into(message, payload);
   const std::uint64_t size = payload.size();
 
   ++stats_.total_messages;
@@ -43,16 +56,27 @@ bool SimNetwork::deliver_one() {
   queue_.pop_front();
   const Message message = decode_message(pending.payload);
   nodes_[pending.to.value]->on_message(pending.from, message, *this);
+  if (buffer_pool_.size() < kMaxPooledBuffers) {
+    buffer_pool_.push_back(std::move(pending.payload));
+  }
   return true;
 }
 
 std::size_t SimNetwork::run(std::size_t max_deliveries) {
   std::size_t delivered = 0;
-  while (deliver_one()) {
-    ++delivered;
-    check(delivered <= max_deliveries,
-          "SimNetwork::run: exceeded ", max_deliveries,
-          " deliveries — protocol loop?");
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    while (deliver_one()) {
+      ++delivered;
+      check(delivered <= max_deliveries,
+            "SimNetwork::run: exceeded ", max_deliveries,
+            " deliveries — protocol loop?");
+      progressed = true;
+    }
+    for (GridNode* node : nodes_) {
+      progressed |= node->flush(*this);
+    }
   }
   return delivered;
 }

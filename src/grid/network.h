@@ -50,6 +50,15 @@ class GridNode {
   virtual void on_message(GridNodeId from, const Message& message,
                           SimNetwork& network) = 0;
 
+  // Called by SimNetwork::run() whenever the delivery queue drains. Nodes
+  // that buffer work across deliveries (the supervisor's parallel session
+  // pump) process it here and return true; the default does nothing. run()
+  // keeps alternating deliver/flush until both go quiet.
+  virtual bool flush(SimNetwork& network) {
+    (void)network;
+    return false;
+  }
+
   GridNodeId id() const { return id_; }
 
  private:
@@ -75,8 +84,10 @@ class SimNetwork {
   // Returns false when the queue is empty.
   bool deliver_one();
 
-  // Delivers until idle; throws ugc::Error after `max_deliveries` as a
-  // protocol-loop guard. Returns the number of messages delivered.
+  // Delivers until idle, flushing nodes (GridNode::flush, in node-id order)
+  // each time the queue drains, until neither deliveries nor flushes make
+  // progress; throws ugc::Error after `max_deliveries` as a protocol-loop
+  // guard. Returns the number of messages delivered.
   std::size_t run(std::size_t max_deliveries = 1'000'000);
 
   const NetworkStats& stats() const { return stats_; }
@@ -91,6 +102,9 @@ class SimNetwork {
 
   std::vector<GridNode*> nodes_;
   std::deque<Pending> queue_;
+  // Retired payload buffers, recycled through encode_message_into so
+  // steady-state traffic stops allocating per message.
+  std::vector<Bytes> buffer_pool_;
   NetworkStats stats_;
 };
 

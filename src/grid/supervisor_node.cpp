@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace ugc {
 
@@ -70,7 +71,7 @@ void SupervisorNode::start(SimNetwork& network) {
       TaskState state;
       state.domain = subdomain;
       state.peer = slots_[slot];
-      state.session = session.get();
+      state.session_index = sessions_.size();
       tasks_.emplace(id, std::move(state));
 
       TaskAssignment assignment;
@@ -83,10 +84,10 @@ void SupervisorNode::start(SimNetwork& network) {
       assignment.ringer_images = session->planted_images(id);
       network.send(this->id(), slots_[slot], assignment);
     }
-    sessions_.push_back(std::move(session));
+    sessions_.push_back(SessionSlot{std::move(session), {}});
     // Some schemes speak first from the supervisor side; flush any opening
     // messages right behind the assignments.
-    drain(*sessions_.back(), network);
+    drain(*sessions_.back().session, network);
   }
 }
 
@@ -163,12 +164,53 @@ void SupervisorNode::on_message(GridNodeId from, const Message& message,
     handle_report(state, *report);
     return;
   }
-  const auto scheme_message = to_scheme_message(message);
-  if (!scheme_message.has_value() || state.session == nullptr) {
+  auto scheme_message = to_scheme_message(message);
+  if (!scheme_message.has_value()) {
     return;  // grid-only traffic a supervisor never consumes
   }
-  state.session->on_message(id, *scheme_message);
-  drain(*state.session, network);
+  SessionSlot& slot = sessions_[state.session_index];
+  if (parallel_pump()) {
+    // Defer into the session's shard; flush() verifies all shards
+    // concurrently once the network queue drains.
+    slot.inbox.emplace_back(id, std::move(*scheme_message));
+    return;
+  }
+  slot.session->on_message(id, *scheme_message);
+  drain(*slot.session, network);
+}
+
+bool SupervisorNode::flush(SimNetwork& network) {
+  if (!parallel_pump()) {
+    return false;
+  }
+  pending_.clear();
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (!sessions_[i].inbox.empty()) {
+      pending_.push_back(i);
+    }
+  }
+  if (pending_.empty()) {
+    return false;
+  }
+  // Sessions are independent (per-group state; the shared verifier counts
+  // atomically), so shards verify concurrently. Each session consumes its
+  // inbox in arrival order and queues outputs internally.
+  parallel_for(
+      0, pending_.size(),
+      [this](std::uint64_t k) {
+        SessionSlot& slot = sessions_[pending_[k]];
+        for (auto& [task, message] : slot.inbox) {
+          slot.session->on_message(task, message);
+        }
+      },
+      plan_.pump_threads);
+  // Serial, session-ordered merge keeps messages, verdicts, and hits
+  // deterministic regardless of thread count.
+  for (const std::size_t i : pending_) {
+    sessions_[i].inbox.clear();
+    drain(*sessions_[i].session, network);
+  }
+  return true;
 }
 
 bool SupervisorNode::done() const {
@@ -179,8 +221,8 @@ bool SupervisorNode::done() const {
 
 std::uint64_t SupervisorNode::results_verified() const {
   std::uint64_t total = 0;
-  for (const auto& session : sessions_) {
-    total += session->results_verified();
+  for (const SessionSlot& slot : sessions_) {
+    total += slot.session->results_verified();
   }
   return total;
 }

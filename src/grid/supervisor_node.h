@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -33,6 +34,14 @@ class SupervisorNode final : public GridNode {
     // screens the uploaded results itself. Suppressed discoveries remain
     // unrecoverable under commitment schemes (the documented CBS gap).
     bool validate_reported_hits = true;
+    // Session-pump concurrency. 1 (default) verifies inline as messages
+    // arrive — the historical serial behavior. Any other value (0 = hardware
+    // concurrency) defers scheme messages into per-session inboxes and
+    // drains them in parallel when the network goes quiet: sessions are
+    // sharded per assignment group and share no mutable state, and outputs
+    // merge serially in session order, so verdicts, metrics, and reputation
+    // inputs are byte-identical to the serial pump (pinned by golden test).
+    unsigned pump_threads = 1;
   };
 
   // One task per entry in `slots`; with a broker every slot is the broker's
@@ -46,6 +55,11 @@ class SupervisorNode final : public GridNode {
 
   void on_message(GridNodeId from, const Message& message,
                   SimNetwork& network) override;
+
+  // Parallel session pump: drains every non-empty session inbox over
+  // parallel_for, then merges outputs in session order. No-op (returns
+  // false) under the serial pump or when nothing is buffered.
+  bool flush(SimNetwork& network) override;
 
   // True once every task has a verdict.
   bool done() const;
@@ -77,10 +91,21 @@ class SupervisorNode final : public GridNode {
   struct TaskState {
     Domain domain{0, 1};
     GridNodeId peer;
-    SupervisorSession* session = nullptr;  // owned by sessions_
+    std::size_t session_index = 0;  // into sessions_
     std::optional<Verdict> verdict;
     std::vector<ScreenerHit> hits;
   };
+
+  // One assignment group's session plus its deferred-message inbox (parallel
+  // pump only). Inbox order preserves arrival order across the group's
+  // tasks, so a session sees the exact message sequence the serial pump
+  // would feed it.
+  struct SessionSlot {
+    std::unique_ptr<SupervisorSession> session;
+    std::vector<std::pair<TaskId, SchemeMessage>> inbox;
+  };
+
+  bool parallel_pump() const { return plan_.pump_threads != 1; }
 
   Task task_for(TaskId id, const Domain& domain) const;
   void settle(TaskState& state, Verdict verdict, SimNetwork& network);
@@ -97,7 +122,8 @@ class SupervisorNode final : public GridNode {
   std::shared_ptr<CountingComputeFunction> counting_f_;
   std::shared_ptr<const ResultVerifier> verifier_;
   Rng rng_;
-  std::vector<std::unique_ptr<SupervisorSession>> sessions_;
+  std::vector<SessionSlot> sessions_;
+  std::vector<std::size_t> pending_;  // flush worklist, reused across rounds
   std::map<TaskId, TaskState> tasks_;
   bool started_ = false;
 };

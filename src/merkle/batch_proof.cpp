@@ -4,16 +4,9 @@
 #include <map>
 
 #include "common/error.h"
+#include "merkle/geometry.h"
 
 namespace ugc {
-
-namespace {
-
-bool is_power_of_two(std::uint64_t v) {
-  return v != 0 && (v & (v - 1)) == 0;
-}
-
-}  // namespace
 
 BatchProof make_batch_proof(const MerkleTree& tree,
                             std::span<const LeafIndex> indices) {
@@ -129,74 +122,160 @@ BatchProof merge_proofs(std::span<const MerkleProof> proofs) {
   return batch;
 }
 
-Bytes compute_batch_root(const BatchProof& proof, const HashFunction& hash) {
-  check(is_power_of_two(proof.padded_leaf_count),
-        "compute_batch_root: padded_leaf_count must be a power of two");
-  check(!proof.leaves.empty(), "compute_batch_root: no proven leaves");
+const char* reconstruct_batch_root(std::uint64_t padded_leaf_count,
+                                   std::span<const BatchLeafView> leaves,
+                                   std::span<const BytesView> siblings,
+                                   const HashFunction& hash,
+                                   BatchVerifyScratch& scratch,
+                                   BytesView* root) {
+  *root = BytesView{};
+  if (!is_power_of_two(padded_leaf_count)) {
+    return "padded_leaf_count must be a power of two";
+  }
+  if (leaves.empty()) {
+    return "no proven leaves";
+  }
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    if (leaves[i].position >= padded_leaf_count) {
+      return "leaf position out of range";
+    }
+    if (i > 0 && leaves[i].position <= leaves[i - 1].position) {
+      return "leaf positions must be strictly increasing";
+    }
+  }
+  if (padded_leaf_count == 1) {
+    if (!siblings.empty()) {
+      return "unconsumed siblings";
+    }
+    *root = leaves.front().value;
+    return nullptr;
+  }
 
-  // Current level: position -> Φ value, kept sorted by construction.
-  std::vector<std::pair<std::uint64_t, Bytes>> level_nodes;
-  level_nodes.reserve(proof.leaves.size());
-  std::uint64_t previous = 0;
-  bool first = true;
-  for (const auto& [index, value] : proof.leaves) {
-    check(index.value < proof.padded_leaf_count,
-          "compute_batch_root: leaf position ", index.value, " out of range");
-    check(first || index.value > previous,
-          "compute_batch_root: leaf positions must be strictly increasing");
-    previous = index.value;
-    first = false;
-    level_nodes.emplace_back(index.value, value);
+  const std::size_t digest_size = hash.digest_size();
+  for (int b = 0; b < 2; ++b) {
+    if (scratch.positions[b].size() < leaves.size()) {
+      scratch.positions[b].resize(leaves.size());
+    }
+    // Parent counts never exceed the proven-leaf count, so both frontier
+    // buffers settle at one capacity and every later call is allocation-free.
+    if (scratch.frontier[b].size() < leaves.size() * digest_size) {
+      scratch.frontier[b].resize(leaves.size() * digest_size);
+    }
   }
 
   std::size_t next_sibling = 0;
-  std::uint64_t width = proof.padded_leaf_count;
-  while (width > 1) {
-    std::vector<std::pair<std::uint64_t, Bytes>> parents;
-    for (std::size_t i = 0; i < level_nodes.size(); ++i) {
-      const std::uint64_t position = level_nodes[i].first;
-      const std::uint64_t sibling_position = position ^ 1;
-      const Bytes* sibling = nullptr;
-      if (i + 1 < level_nodes.size() &&
-          level_nodes[i + 1].first == sibling_position) {
-        sibling = &level_nodes[i + 1].second;
+  std::size_t count = leaves.size();
+  int cur = 0;  // which ping-pong buffer holds the current level (level >= 1)
+  for (std::uint64_t width = padded_leaf_count; width > 1; width >>= 1) {
+    const bool at_leaves = width == padded_leaf_count;
+    const int out = at_leaves ? 0 : cur ^ 1;
+    const auto position_at = [&](std::size_t i) {
+      return at_leaves ? leaves[i].position : scratch.positions[cur][i];
+    };
+    const auto value_at = [&](std::size_t i) -> BytesView {
+      if (at_leaves) {
+        return leaves[i].value;
       }
+      return BytesView(scratch.frontier[cur].data() + i * digest_size,
+                       digest_size);
+    };
 
-      Bytes parent_value(hash.digest_size());
-      if (sibling != nullptr) {
-        hash.hash_pair(level_nodes[i].second, *sibling, parent_value);
-        ++i;  // consumed the pair
+    // Parent nodes within a level are independent, so adjacent hash jobs
+    // pair up through hash_pair_x2 (two interleaved compression streams on
+    // SHA-NI backends). One job is held pending until its partner arrives;
+    // an odd leftover folds alone. Outputs land in disjoint slots of the
+    // next frontier, so deferral never races a read.
+    std::size_t parents = 0;
+    bool have_pending = false;
+    BytesView pending_left, pending_right;
+    std::span<std::uint8_t> pending_out;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t position = position_at(i);
+      const std::span<std::uint8_t> parent(
+          scratch.frontier[out].data() + parents * digest_size, digest_size);
+      BytesView left, right;
+      if (i + 1 < count && position_at(i + 1) == (position ^ 1)) {
+        left = value_at(i);
+        right = value_at(i + 1);
+        ++i;  // the pair merges; consume both
       } else {
-        check(next_sibling < proof.siblings.size(),
-              "compute_batch_root: sibling stream exhausted");
-        const Bytes& provided = proof.siblings[next_sibling++];
-        if ((position & 1) == 0) {
-          hash.hash_pair(level_nodes[i].second, provided, parent_value);
-        } else {
-          hash.hash_pair(provided, level_nodes[i].second, parent_value);
+        if (next_sibling >= siblings.size()) {
+          return "sibling stream exhausted";
         }
+        const BytesView provided = siblings[next_sibling++];
+        left = (position & 1) == 0 ? value_at(i) : provided;
+        right = (position & 1) == 0 ? provided : value_at(i);
       }
-      parents.emplace_back(position >> 1, std::move(parent_value));
+      if (have_pending) {
+        hash.hash_pair_x2(pending_left, pending_right, pending_out, left,
+                          right, parent);
+        have_pending = false;
+      } else {
+        pending_left = left;
+        pending_right = right;
+        pending_out = parent;
+        have_pending = true;
+      }
+      scratch.positions[out][parents++] = position >> 1;
     }
-    level_nodes = std::move(parents);
-    width >>= 1;
+    if (have_pending) {
+      hash.hash_pair(pending_left, pending_right, pending_out);
+    }
+    count = parents;
+    cur = out;
   }
 
-  check(next_sibling == proof.siblings.size(),
-        "compute_batch_root: ", proof.siblings.size() - next_sibling,
-        " unconsumed siblings");
-  check(level_nodes.size() == 1,
-        "compute_batch_root: did not converge to a single root");
-  return std::move(level_nodes.front().second);
+  if (next_sibling != siblings.size()) {
+    return "unconsumed siblings";
+  }
+  if (count != 1) {
+    return "did not converge to a single root";
+  }
+  *root = BytesView(scratch.frontier[cur].data(), digest_size);
+  return nullptr;
+}
+
+namespace {
+
+// Adapts an owning BatchProof to the view-based fold.
+const char* reconstruct_from_proof(const BatchProof& proof,
+                                   const HashFunction& hash,
+                                   BatchVerifyScratch& scratch,
+                                   BytesView* root) {
+  scratch.leaf_views.resize(proof.leaves.size());
+  for (std::size_t i = 0; i < proof.leaves.size(); ++i) {
+    scratch.leaf_views[i] = BatchLeafView{proof.leaves[i].first.value,
+                                          proof.leaves[i].second};
+  }
+  scratch.sibling_views.resize(proof.siblings.size());
+  for (std::size_t i = 0; i < proof.siblings.size(); ++i) {
+    scratch.sibling_views[i] = proof.siblings[i];
+  }
+  return reconstruct_batch_root(proof.padded_leaf_count, scratch.leaf_views,
+                                scratch.sibling_views, hash, scratch, root);
+}
+
+}  // namespace
+
+Bytes compute_batch_root(const BatchProof& proof, const HashFunction& hash) {
+  BatchVerifyScratch scratch;
+  BytesView root;
+  const char* reason = reconstruct_from_proof(proof, hash, scratch, &root);
+  check(reason == nullptr, "compute_batch_root: ", reason);
+  return Bytes(root.begin(), root.end());
+}
+
+bool verify_batch_proof(const BatchProof& proof, BytesView expected_root,
+                        const HashFunction& hash, BatchVerifyScratch& scratch) {
+  BytesView root;
+  return reconstruct_from_proof(proof, hash, scratch, &root) == nullptr &&
+         equal_bytes(root, expected_root);
 }
 
 bool verify_batch_proof(const BatchProof& proof, BytesView expected_root,
                         const HashFunction& hash) {
-  try {
-    return equal_bytes(compute_batch_root(proof, hash), expected_root);
-  } catch (const Error&) {
-    return false;
-  }
+  BatchVerifyScratch scratch;
+  return verify_batch_proof(proof, expected_root, hash, scratch);
 }
 
 }  // namespace ugc

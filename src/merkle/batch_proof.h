@@ -47,6 +47,47 @@ struct BatchProof {
 BatchProof make_batch_proof(const MerkleTree& tree,
                             std::span<const LeafIndex> indices);
 
+// One proven leaf as a view into caller-owned storage — the verify-side
+// counterpart of BatchProof::leaves that carries no copies.
+struct BatchLeafView {
+  std::uint64_t position = 0;
+  BytesView value;
+};
+
+// Reusable scratch for allocation-free batch-root reconstruction. The
+// supervisor keeps one per session and passes it to every verification;
+// after the first few calls all buffers have settled at capacity and a
+// reconstruction performs zero heap allocations. Contents are an
+// implementation detail — construct once, reuse freely.
+struct BatchVerifyScratch {
+  // Staging areas callers may fill when adapting owning structures (the
+  // fold below never touches them).
+  std::vector<BatchLeafView> leaf_views;
+  std::vector<BytesView> sibling_views;
+  // Ping-pong frontier storage for the upward fold: positions plus flat
+  // digest-stride node values per level.
+  std::vector<std::uint64_t> positions[2];
+  Bytes frontier[2];
+};
+
+// Allocation-free core of batch verification: folds `leaves` (sorted by
+// position, strictly increasing) upward through a padded tree of
+// `padded_leaf_count` leaves, consuming `siblings` in stream order, and sets
+// `*root` to a view of the reconstructed root (valid until `scratch` is next
+// used; for a one-leaf tree it aliases the leaf value itself).
+//
+// Returns nullptr on success. On a structurally malformed proof (positions
+// unsorted/duplicated/out of range, sibling stream truncated or oversized,
+// bad width) it returns a static description and leaves `*root` empty —
+// never throws, never reads out of bounds, so hostile proofs are rejected
+// at zero cost.
+const char* reconstruct_batch_root(std::uint64_t padded_leaf_count,
+                                   std::span<const BatchLeafView> leaves,
+                                   std::span<const BytesView> siblings,
+                                   const HashFunction& hash,
+                                   BatchVerifyScratch& scratch,
+                                   BytesView* root);
+
 // Merges independent single-leaf proofs (of the same tree) into a batch
 // proof, deduplicating shared siblings. Needs no tree access, so it also
 // works for proofs produced from a §3.3 partial tree — this is how the
@@ -64,5 +105,10 @@ Bytes compute_batch_root(const BatchProof& proof, const HashFunction& hash);
 // Malformed proofs return false rather than throwing.
 bool verify_batch_proof(const BatchProof& proof, BytesView expected_root,
                         const HashFunction& hash);
+
+// Scratch-reusing variant for verification hot loops: identical verdicts,
+// zero steady-state allocations.
+bool verify_batch_proof(const BatchProof& proof, BytesView expected_root,
+                        const HashFunction& hash, BatchVerifyScratch& scratch);
 
 }  // namespace ugc

@@ -11,6 +11,11 @@ namespace ugc {
 // tree, streaming builder) and by the supervisor-side verification code, so
 // the padded-size/height conventions are defined in exactly one place.
 
+// True when v is an exact power of two (v >= 1).
+inline bool is_power_of_two(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
 // Smallest power of two >= n (n >= 1).
 inline std::uint64_t next_power_of_two(std::uint64_t n) {
   check(n >= 1, "next_power_of_two: n must be >= 1");

@@ -21,6 +21,15 @@ class WireError : public Error {
 // LEB128 varints; byte strings are varint-length-prefixed.
 class WireWriter {
  public:
+  WireWriter() = default;
+
+  // Builds on top of a recycled buffer: clears the contents but keeps the
+  // capacity, so steady-state encoding through a per-session (or pooled)
+  // scratch buffer never allocates.
+  explicit WireWriter(Bytes&& recycled) : buffer_(std::move(recycled)) {
+    buffer_.clear();
+  }
+
   void u8(std::uint8_t v) { buffer_.push_back(v); }
 
   void u16(std::uint16_t v) {
@@ -138,10 +147,17 @@ class WireReader {
   double f64();
 
   Bytes bytes() {
+    const BytesView v = view();
+    return Bytes(v.begin(), v.end());
+  }
+
+  // Zero-copy variant of bytes(): a length-prefixed read returning a view
+  // into the input buffer, valid as long as that buffer lives. The backbone
+  // of the view-decoding path (decode_proof_response_view).
+  BytesView view() {
     const std::uint64_t length = varint();
     need(length);
-    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(cursor_),
-              data_.begin() + static_cast<std::ptrdiff_t>(cursor_ + length));
+    const BytesView out = data_.subspan(cursor_, length);
     cursor_ += length;
     return out;
   }

@@ -404,6 +404,14 @@ Bytes encode_message(const Message& message) {
   return writer.take();
 }
 
+void encode_message_into(const Message& message, Bytes& out) {
+  WireWriter writer(std::move(out));
+  writer.u8(static_cast<std::uint8_t>(message_type(message)));
+  writer.u16(kWireVersion);
+  std::visit([&writer](const auto& m) { encode_payload(writer, m); }, message);
+  out = writer.take();
+}
+
 Message decode_message(BytesView data) {
   WireReader reader(data);
   const std::uint8_t type = reader.u8();
@@ -460,6 +468,90 @@ std::optional<SchemeMessage> to_scheme_message(const Message& message) {
 
 Bytes encode_scheme_message(const SchemeMessage& message) {
   return encode_message(to_message(message));
+}
+
+void encode_scheme_message_into(const SchemeMessage& message, Bytes& out) {
+  encode_message_into(to_message(message), out);
+}
+
+namespace {
+
+// Parses the [type u8 | version u16] envelope and requires `expected`.
+WireReader open_envelope(BytesView data, MessageType expected) {
+  WireReader reader(data);
+  const std::uint8_t type = reader.u8();
+  const std::uint16_t version = reader.u16();
+  if (version != kWireVersion) {
+    throw WireError(concat("unsupported wire version ", version));
+  }
+  if (type != static_cast<std::uint8_t>(expected)) {
+    throw WireError(concat("expected ", to_string(expected),
+                           " envelope, got type ", int{type}));
+  }
+  return reader;
+}
+
+}  // namespace
+
+ProofResponseView decode_proof_response_view(BytesView data,
+                                             WireViewArena& arena) {
+  WireReader r = open_envelope(data, MessageType::kProofResponse);
+  ProofResponseView response;
+  response.task = TaskId{r.u64()};
+
+  arena.proofs.clear();
+  arena.siblings.clear();
+  arena.extents.clear();
+  const std::uint64_t proof_count = r.varint();
+  for (std::uint64_t i = 0; i < proof_count; ++i) {
+    SampleProofView proof;
+    proof.index = LeafIndex{r.varint()};
+    proof.result = r.view();
+    const std::uint64_t sibling_count = r.varint();
+    arena.extents.emplace_back(arena.siblings.size(), sibling_count);
+    for (std::uint64_t s = 0; s < sibling_count; ++s) {
+      arena.siblings.push_back(r.view());
+    }
+    arena.proofs.push_back(proof);
+  }
+  r.expect_done();
+
+  // Sibling spans are assigned only now that arena.siblings is stable.
+  for (std::size_t i = 0; i < arena.proofs.size(); ++i) {
+    arena.proofs[i].siblings = std::span<const BytesView>(
+        arena.siblings.data() + arena.extents[i].first,
+        arena.extents[i].second);
+  }
+  response.proofs =
+      std::span<const SampleProofView>(arena.proofs.data(),
+                                       arena.proofs.size());
+  return response;
+}
+
+BatchProofResponseView decode_batch_proof_response_view(BytesView data,
+                                                        WireViewArena& arena) {
+  WireReader r = open_envelope(data, MessageType::kBatchProofResponse);
+  BatchProofResponseView response;
+  response.task = TaskId{r.u64()};
+
+  arena.results.clear();
+  arena.siblings.clear();
+  const std::uint64_t result_count = r.varint();
+  for (std::uint64_t i = 0; i < result_count; ++i) {
+    const LeafIndex index{r.varint()};
+    arena.results.push_back(BatchResultView{index, r.view()});
+  }
+  const std::uint64_t sibling_count = r.varint();
+  for (std::uint64_t i = 0; i < sibling_count; ++i) {
+    arena.siblings.push_back(r.view());
+  }
+  r.expect_done();
+
+  response.results = std::span<const BatchResultView>(arena.results.data(),
+                                                      arena.results.size());
+  response.siblings = std::span<const BytesView>(arena.siblings.data(),
+                                                 arena.siblings.size());
+  return response;
 }
 
 SchemeMessage decode_scheme_message(BytesView data) {

@@ -2,6 +2,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -62,10 +63,46 @@ MessageType message_type(const Message& message);
 // Serializes `message` with a [type u8 | version u16] envelope.
 Bytes encode_message(const Message& message);
 
+// Same bytes as encode_message, written into `out` (cleared first) while
+// reusing its capacity — the zero-allocation path for per-session / pooled
+// encode scratch buffers.
+void encode_message_into(const Message& message, Bytes& out);
+
 // Parses an envelope + payload. Throws WireError on any malformed input
 // (unknown type, bad version, truncation, trailing bytes, out-of-range
 // enums). Never crashes on hostile bytes.
 Message decode_message(BytesView data);
+
+// ---------------------------------------------------------------------------
+// Zero-copy decode. The proof-carrying responses dominate supervisor inbound
+// traffic, and their owning decode allocates one Bytes per result and per
+// sibling. The view decoders instead return span-backed views straight into
+// the encoded buffer (core/protocol.h view structs); the spans live in a
+// caller-owned arena that is reused across calls, so steady-state decoding
+// allocates nothing. Views are valid only while both `data` and the arena
+// outlive them — exactly the receive-verify-discard lifetime of the
+// supervisor hot loop, which pairs these with the VerifyScratch overloads of
+// verify_sample_proofs / verify_batch_response.
+// ---------------------------------------------------------------------------
+
+// Backing storage for decoded message views. Implementation detail —
+// construct once, reuse freely; each decode clears and refills it.
+struct WireViewArena {
+  std::vector<SampleProofView> proofs;
+  std::vector<BatchResultView> results;
+  std::vector<BytesView> siblings;
+  std::vector<std::pair<std::size_t, std::size_t>> extents;
+};
+
+// Decodes an encoded kProofResponse envelope (as produced by
+// encode_message/encode_scheme_message) without copying any payload bytes.
+// Throws WireError on malformed input or a different message type.
+ProofResponseView decode_proof_response_view(BytesView data,
+                                             WireViewArena& arena);
+
+// Likewise for kBatchProofResponse.
+BatchProofResponseView decode_batch_proof_response_view(BytesView data,
+                                                        WireViewArena& arena);
 
 // ---------------------------------------------------------------------------
 // SchemeMessage <-> Message bridging. Every SchemeMessage alternative is
@@ -80,6 +117,9 @@ std::optional<SchemeMessage> to_scheme_message(const Message& message);
 // Serializes a scheme session's message with the standard envelope — what a
 // real transport ships between a ParticipantSession and a SupervisorSession.
 Bytes encode_scheme_message(const SchemeMessage& message);
+
+// Capacity-reusing variant (see encode_message_into).
+void encode_scheme_message_into(const SchemeMessage& message, Bytes& out);
 
 // Parses an envelope + payload and requires the result to be scheme
 // traffic; grid-only message types throw WireError.

@@ -201,6 +201,108 @@ TEST(BatchProof, MalformedProofsRejectedNotCrashing) {
   }
 }
 
+// Adversarial shapes against the allocation-free verify path: every
+// malformed proof must be rejected (false / non-null reason), never crash
+// or read out of bounds (the CI ASan leg watches the latter).
+TEST(BatchProof, AdversarialProofsRejectedOnScratchPath) {
+  const auto& h = default_hash();
+  const MerkleTree tree = MerkleTree::build(make_leaves(64), h);
+  const BatchProof good = make_batch_proof(
+      tree, std::vector<LeafIndex>{LeafIndex{3}, LeafIndex{17}, LeafIndex{40}});
+  BatchVerifyScratch scratch;
+  ASSERT_TRUE(verify_batch_proof(good, tree.root(), h, scratch));
+
+  {
+    BatchProof bad = good;  // truncated sibling list
+    bad.siblings.resize(bad.siblings.size() / 2);
+    EXPECT_FALSE(verify_batch_proof(bad, tree.root(), h, scratch));
+  }
+  {
+    BatchProof bad = good;  // duplicated leaf index
+    bad.leaves.push_back(bad.leaves.back());
+    EXPECT_FALSE(verify_batch_proof(bad, tree.root(), h, scratch));
+  }
+  {
+    BatchProof bad = good;  // out-of-range position
+    bad.leaves.back().first = LeafIndex{1 << 20};
+    EXPECT_FALSE(verify_batch_proof(bad, tree.root(), h, scratch));
+  }
+  {
+    BatchProof bad = good;  // wrong padded_leaf_count: zero
+    bad.padded_leaf_count = 0;
+    EXPECT_FALSE(verify_batch_proof(bad, tree.root(), h, scratch));
+  }
+  {
+    BatchProof bad = good;  // wrong padded_leaf_count: not a power of two
+    bad.padded_leaf_count = 63;
+    EXPECT_FALSE(verify_batch_proof(bad, tree.root(), h, scratch));
+  }
+  {
+    BatchProof bad = good;  // wrong padded_leaf_count: smaller than positions
+    bad.padded_leaf_count = 16;
+    EXPECT_FALSE(verify_batch_proof(bad, tree.root(), h, scratch));
+  }
+  {
+    // Hostile width: a huge (but valid power-of-two) padded_leaf_count must
+    // run out of siblings and reject rather than loop usefully or crash.
+    BatchProof bad = good;
+    bad.padded_leaf_count = std::uint64_t{1} << 62;
+    EXPECT_FALSE(verify_batch_proof(bad, tree.root(), h, scratch));
+  }
+  {
+    BatchProof bad = good;  // empty leaves
+    bad.leaves.clear();
+    EXPECT_FALSE(verify_batch_proof(bad, tree.root(), h, scratch));
+  }
+  {
+    BatchProof bad = good;  // leftover siblings
+    bad.siblings.push_back(Bytes(32, 0xee));
+    EXPECT_FALSE(verify_batch_proof(bad, tree.root(), h, scratch));
+  }
+  // The scratch is not poisoned by rejected proofs: the good proof still
+  // verifies afterwards through the same scratch.
+  EXPECT_TRUE(verify_batch_proof(good, tree.root(), h, scratch));
+}
+
+TEST(BatchProof, ReconstructMatchesComputeBatchRoot) {
+  const auto& h = default_hash();
+  const MerkleTree tree = MerkleTree::build(make_leaves(100), h);
+  Rng rng(11);
+  std::vector<LeafIndex> indices;
+  for (int k = 0; k < 9; ++k) {
+    indices.push_back(LeafIndex{rng.uniform(100)});
+  }
+  const BatchProof proof = make_batch_proof(tree, indices);
+  const Bytes reference = compute_batch_root(proof, h);
+
+  BatchVerifyScratch scratch;
+  scratch.leaf_views.clear();
+  for (const auto& [index, value] : proof.leaves) {
+    scratch.leaf_views.push_back(BatchLeafView{index.value, value});
+  }
+  scratch.sibling_views.assign(proof.siblings.begin(), proof.siblings.end());
+  BytesView root;
+  const char* reason =
+      reconstruct_batch_root(proof.padded_leaf_count, scratch.leaf_views,
+                             scratch.sibling_views, h, scratch, &root);
+  ASSERT_EQ(reason, nullptr);
+  EXPECT_TRUE(equal_bytes(root, reference));
+}
+
+TEST(BatchProof, ScratchReuseAcrossDifferentTreesIsClean) {
+  const auto& h = default_hash();
+  BatchVerifyScratch scratch;
+  for (const std::uint64_t n : {4u, 128u, 33u, 1024u, 2u}) {
+    const MerkleTree tree = MerkleTree::build(make_leaves(n), h);
+    Rng rng(n);
+    std::vector<LeafIndex> indices = {LeafIndex{rng.uniform(n)},
+                                      LeafIndex{rng.uniform(n)}};
+    const BatchProof proof = make_batch_proof(tree, indices);
+    EXPECT_TRUE(verify_batch_proof(proof, tree.root(), h, scratch))
+        << "n=" << n;
+  }
+}
+
 TEST(BatchProof, GenerationValidatesIndices) {
   const auto& h = default_hash();
   const MerkleTree tree = MerkleTree::build(make_leaves(8), h);

@@ -385,6 +385,38 @@ TEST(HashInto, IteratedHashZeroAllocPathsMatchHash) {
   EXPECT_EQ(streamed, g->hash(msg));
 }
 
+TEST(HashInto, PairX2MatchesTwoHashPairsForAllAlgorithmsAndShapes) {
+  // Covers the fused SHA-NI two-stream path (32||32 digests), the one-block
+  // leaf shape, mixed/odd sizes, and the default serial fallback of the
+  // other algorithms — all must be bit-identical to two hash_pair calls.
+  const std::vector<std::pair<std::size_t, std::size_t>> shapes = {
+      {32, 32}, {8, 8}, {32, 8}, {0, 32}, {64, 64}, {7, 121}};
+  for (const auto algorithm :
+       {HashAlgorithm::kMd5, HashAlgorithm::kSha1, HashAlgorithm::kSha256}) {
+    const auto h = make_hash(algorithm);
+    for (const auto& [left_size, right_size] : shapes) {
+      const Bytes l0(left_size, 0x11), r0(right_size, 0x22);
+      const Bytes l1(left_size, 0x33), r1(right_size, 0x44);
+      Bytes a(h->digest_size()), b(h->digest_size());
+      Bytes x(h->digest_size()), y(h->digest_size());
+      h->hash_pair(l0, r0, a);
+      h->hash_pair(l1, r1, b);
+      h->hash_pair_x2(l0, r0, x, l1, r1, y);
+      EXPECT_EQ(a, x) << h->name() << " " << left_size << "/" << right_size;
+      EXPECT_EQ(b, y) << h->name() << " " << left_size << "/" << right_size;
+    }
+    // Mismatched shapes across the two streams.
+    const Bytes l0(32, 0x55), r0(32, 0x66), l1(5, 0x77), r1(90, 0x88);
+    Bytes a(h->digest_size()), b(h->digest_size());
+    Bytes x(h->digest_size()), y(h->digest_size());
+    h->hash_pair(l0, r0, a);
+    h->hash_pair(l1, r1, b);
+    h->hash_pair_x2(l0, r0, x, l1, r1, y);
+    EXPECT_EQ(a, x) << h->name();
+    EXPECT_EQ(b, y) << h->name();
+  }
+}
+
 // ------------------------------------------------------------ IteratedHash
 
 TEST(IteratedHash, OneIterationEqualsBase) {

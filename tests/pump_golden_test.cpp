@@ -1,0 +1,159 @@
+// Golden determinism pins for the parallel session pump: a grid run, a
+// reputation tournament, and the parallel exchange pump must produce
+// byte-identical verdicts, metrics, hits, and reputation state for every
+// thread count, including the serial baseline.
+
+#include <gtest/gtest.h>
+
+#include "grid/reputation.h"
+#include "grid/simulation.h"
+#include "scheme/exchange.h"
+#include "scheme/registry.h"
+#include "workloads/registry.h"
+
+namespace ugc {
+namespace {
+
+GridConfig mixed_config(const std::string& scheme_name) {
+  GridConfig config;
+  config.domain_begin = 0;
+  config.domain_end = 1 << 10;
+  config.workload = "test";
+  config.participant_count = 8;
+  config.seed = 1234;
+  config.scheme.name = scheme_name;
+  // Mixed population: two distinct cheaters plus two malicious screeners.
+  config.cheaters.push_back(CheaterSpec{1, 0.5, 0.0, 0});
+  config.cheaters.push_back(CheaterSpec{3, 0.9, 0.25, 0});
+  config.malicious.push_back(MaliciousSpec{2, ScreenerConduct::kSuppress});
+  config.malicious.push_back(MaliciousSpec{5, ScreenerConduct::kFabricate});
+  return config;
+}
+
+void expect_identical_runs(const GridRunResult& serial,
+                           const GridRunResult& parallel) {
+  ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
+  for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+    const ParticipantOutcome& a = serial.outcomes[i];
+    const ParticipantOutcome& b = parallel.outcomes[i];
+    EXPECT_EQ(a.task, b.task) << "outcome " << i;
+    EXPECT_EQ(a.participant_index, b.participant_index) << "outcome " << i;
+    EXPECT_EQ(a.was_cheater, b.was_cheater) << "outcome " << i;
+    EXPECT_EQ(a.accepted, b.accepted) << "outcome " << i;
+    EXPECT_EQ(a.status, b.status) << "outcome " << i;
+  }
+  EXPECT_EQ(serial.cheater_tasks_rejected, parallel.cheater_tasks_rejected);
+  EXPECT_EQ(serial.cheater_tasks_accepted, parallel.cheater_tasks_accepted);
+  EXPECT_EQ(serial.honest_tasks_accepted, parallel.honest_tasks_accepted);
+  EXPECT_EQ(serial.honest_tasks_rejected, parallel.honest_tasks_rejected);
+  EXPECT_EQ(serial.hits, parallel.hits);
+  EXPECT_EQ(serial.participant_evaluations, parallel.participant_evaluations);
+  EXPECT_EQ(serial.supervisor_evaluations, parallel.supervisor_evaluations);
+  EXPECT_EQ(serial.results_verified, parallel.results_verified);
+  EXPECT_EQ(serial.messages_delivered, parallel.messages_delivered);
+  EXPECT_EQ(serial.network.total_messages, parallel.network.total_messages);
+  EXPECT_EQ(serial.network.total_bytes, parallel.network.total_bytes);
+}
+
+TEST(PumpGolden, GridParallelPumpMatchesSerialAcrossSchemes) {
+  for (const char* scheme : {"cbs", "ni-cbs", "ringer", "naive-sampling"}) {
+    GridConfig serial_config = mixed_config(scheme);
+    const GridRunResult serial = run_grid_simulation(serial_config);
+
+    for (const unsigned threads : {4u, 0u}) {
+      GridConfig parallel_config = mixed_config(scheme);
+      parallel_config.supervisor_pump_threads = threads;
+      const GridRunResult parallel = run_grid_simulation(parallel_config);
+      SCOPED_TRACE(std::string(scheme) + " threads=" +
+                   std::to_string(threads));
+      expect_identical_runs(serial, parallel);
+    }
+  }
+}
+
+TEST(PumpGolden, GridParallelPumpMatchesSerialForBatchedAndSprtCbs) {
+  for (const bool sprt : {false, true}) {
+    GridConfig serial_config = mixed_config("cbs");
+    serial_config.scheme.cbs.use_batch_proofs = !sprt;
+    serial_config.scheme.cbs.use_sprt = sprt;
+    const GridRunResult serial = run_grid_simulation(serial_config);
+
+    GridConfig parallel_config = serial_config;
+    parallel_config.supervisor_pump_threads = 4;
+    const GridRunResult parallel = run_grid_simulation(parallel_config);
+    SCOPED_TRACE(sprt ? "sprt" : "batched");
+    expect_identical_runs(serial, parallel);
+  }
+}
+
+TEST(PumpGolden, ReputationTournamentStateIsPumpInvariant) {
+  TournamentConfig serial_config;
+  serial_config.base = mixed_config("cbs");
+  serial_config.rounds = 6;
+  const TournamentResult serial = run_reputation_tournament(serial_config);
+
+  TournamentConfig parallel_config = serial_config;
+  parallel_config.base.supervisor_pump_threads = 4;
+  const TournamentResult parallel = run_reputation_tournament(parallel_config);
+
+  // Reputation posteriors fold verdicts in a fixed order, so the doubles
+  // must be bitwise identical, not merely close.
+  ASSERT_EQ(serial.final_trust.size(), parallel.final_trust.size());
+  for (std::size_t i = 0; i < serial.final_trust.size(); ++i) {
+    EXPECT_EQ(serial.final_trust[i], parallel.final_trust[i]) << i;
+  }
+  EXPECT_EQ(serial.final_banned, parallel.final_banned);
+  EXPECT_EQ(serial.cheaters_purged_after, parallel.cheaters_purged_after);
+  ASSERT_EQ(serial.rounds.size(), parallel.rounds.size());
+  for (std::size_t i = 0; i < serial.rounds.size(); ++i) {
+    EXPECT_EQ(serial.rounds[i].active_participants,
+              parallel.rounds[i].active_participants);
+    EXPECT_EQ(serial.rounds[i].cheater_tasks_rejected,
+              parallel.rounds[i].cheater_tasks_rejected);
+    EXPECT_EQ(serial.rounds[i].cheater_tasks_accepted,
+              parallel.rounds[i].cheater_tasks_accepted);
+    EXPECT_EQ(serial.rounds[i].honest_tasks_rejected,
+              parallel.rounds[i].honest_tasks_rejected);
+  }
+}
+
+TEST(PumpGolden, ParallelExchangePumpMatchesSerial) {
+  const auto f = std::make_shared<CountingComputeFunction>(
+      WorkloadRegistry::global().make("test", 1).f);
+  std::vector<Task> tasks;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    tasks.push_back(
+        Task::make(TaskId{i + 1}, Domain(i * 256, (i + 1) * 256), f));
+  }
+  const auto cheater = make_semi_honest_cheater({0.6, 0.0, 77});
+
+  for (const char* name : {"cbs", "ni-cbs", "ringer"}) {
+    SchemeConfig config;
+    config.name = name;
+    const VerificationScheme& scheme =
+        SchemeRegistry::global().resolve(config);
+
+    const SchemeExchangeResult serial = run_scheme_exchanges_parallel(
+        scheme, tasks, config, cheater, nullptr, 99, 1);
+    const SchemeExchangeResult parallel = run_scheme_exchanges_parallel(
+        scheme, tasks, config, cheater, nullptr, 99, 4);
+
+    SCOPED_TRACE(name);
+    EXPECT_EQ(serial.verdicts, parallel.verdicts);
+    EXPECT_EQ(serial.reports, parallel.reports);
+    ASSERT_EQ(serial.supervisor_hits.size(), parallel.supervisor_hits.size());
+    for (std::size_t i = 0; i < serial.supervisor_hits.size(); ++i) {
+      EXPECT_EQ(serial.supervisor_hits[i].task,
+                parallel.supervisor_hits[i].task);
+      EXPECT_EQ(serial.supervisor_hits[i].hits,
+                parallel.supervisor_hits[i].hits);
+    }
+    EXPECT_EQ(serial.participant_evaluations,
+              parallel.participant_evaluations);
+    EXPECT_EQ(serial.results_verified, parallel.results_verified);
+    EXPECT_EQ(serial.verdicts.size(), tasks.size());
+  }
+}
+
+}  // namespace
+}  // namespace ugc

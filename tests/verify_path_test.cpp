@@ -1,0 +1,252 @@
+// The supervisor's allocation-free verification path: scratch and view
+// overloads must produce byte-identical verdicts to the plain entry points,
+// reject adversarial responses without crashing, and pair with the wire
+// layer's zero-copy decoders.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cbs.h"
+#include "core/sampling.h"
+#include "core/verification.h"
+#include "wire/messages.h"
+
+namespace ugc {
+namespace {
+
+class Mix8 final : public ComputeFunction {
+ public:
+  Bytes evaluate(std::uint64_t x) const override {
+    Bytes out(8);
+    evaluate_into(x, out);
+    return out;
+  }
+  void evaluate_into(std::uint64_t x,
+                     std::span<std::uint8_t> out) const override {
+    std::uint64_t z = x * 0x9e3779b97f4a7c15ULL + 1;
+    z ^= z >> 29;
+    put_u64_be(z, out.data());
+  }
+  std::size_t result_size() const override { return 8; }
+  std::string name() const override { return "mix8"; }
+};
+
+// Wide results exercise RecomputeVerifier's heap fallback (> stack buffer).
+class Wide200 final : public ComputeFunction {
+ public:
+  Bytes evaluate(std::uint64_t x) const override {
+    Bytes out(200, static_cast<std::uint8_t>(x * 31));
+    return out;
+  }
+  std::size_t result_size() const override { return 200; }
+  std::string name() const override { return "wide200"; }
+};
+
+struct Fixture {
+  Task task;
+  CbsConfig config;
+  Commitment commitment;
+  std::vector<LeafIndex> samples;
+  ProofResponse response;
+  BatchProofResponse batched;
+  std::shared_ptr<CountingComputeFunction> counting;
+  std::shared_ptr<const ResultVerifier> verifier;
+};
+
+Fixture make_fixture(std::uint64_t n, std::size_t m, LeafMode mode,
+                     std::uint64_t seed) {
+  Fixture fx{Task::make(TaskId{7}, Domain(0, n),
+                        std::make_shared<CountingComputeFunction>(
+                            std::make_shared<Mix8>()))};
+  fx.config.tree.leaf_mode = mode;
+  fx.counting = std::make_shared<CountingComputeFunction>(fx.task.f);
+  fx.verifier = std::make_shared<RecomputeVerifier>(fx.counting);
+  CbsParticipant participant(fx.task, fx.config, make_honest_policy());
+  fx.commitment = participant.commit();
+  Rng rng(seed);
+  fx.samples = sample_with_replacement(rng, n, m);
+  const SampleChallenge challenge{fx.task.id, fx.samples};
+  fx.response = participant.respond(challenge);
+  fx.batched = participant.respond_batched(challenge);
+  return fx;
+}
+
+void expect_same_verdict(const Verdict& a, const Verdict& b) {
+  EXPECT_EQ(a.task, b.task);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.failed_sample, b.failed_sample);
+  EXPECT_EQ(a.detail, b.detail);
+}
+
+TEST(VerifyPath, ScratchVerdictsMatchPlainEntryPoints) {
+  for (const LeafMode mode : {LeafMode::kRaw, LeafMode::kHashed}) {
+    Fixture fx = make_fixture(200, 9, mode, 5);
+    VerifyScratch scratch;
+    SupervisorMetrics plain_metrics;
+    SupervisorMetrics scratch_metrics;
+
+    const Verdict plain =
+        verify_sample_proofs(fx.task, fx.config.tree, fx.commitment,
+                             fx.samples, fx.response, *fx.verifier,
+                             &plain_metrics);
+    const Verdict fast =
+        verify_sample_proofs(fx.task, fx.config.tree, fx.commitment,
+                             fx.samples, fx.response, *fx.verifier,
+                             &scratch_metrics, scratch);
+    EXPECT_TRUE(fast.accepted());
+    expect_same_verdict(plain, fast);
+    EXPECT_EQ(plain_metrics.results_verified, scratch_metrics.results_verified);
+    EXPECT_EQ(plain_metrics.roots_reconstructed,
+              scratch_metrics.roots_reconstructed);
+
+    const Verdict plain_batch =
+        verify_batch_response(fx.task, fx.config.tree, fx.commitment,
+                              fx.samples, fx.batched, *fx.verifier, nullptr);
+    const Verdict fast_batch =
+        verify_batch_response(fx.task, fx.config.tree, fx.commitment,
+                              fx.samples, fx.batched, *fx.verifier, nullptr,
+                              scratch);
+    EXPECT_TRUE(fast_batch.accepted());
+    expect_same_verdict(plain_batch, fast_batch);
+  }
+}
+
+TEST(VerifyPath, ScratchReuseAcrossTamperedAndHonestResponses) {
+  Fixture fx = make_fixture(128, 7, LeafMode::kRaw, 9);
+  VerifyScratch scratch;
+
+  ProofResponse wrong = fx.response;
+  wrong.proofs[3].result[0] ^= 0x01;
+  const Verdict wrong_verdict =
+      verify_sample_proofs(fx.task, fx.config.tree, fx.commitment, fx.samples,
+                           wrong, *fx.verifier, nullptr, scratch);
+  EXPECT_EQ(wrong_verdict.status, VerdictStatus::kWrongResult);
+  EXPECT_EQ(wrong_verdict.failed_sample, fx.samples[3]);
+
+  ProofResponse bad_path = fx.response;
+  bad_path.proofs[2].siblings[1][0] ^= 0x80;
+  const Verdict mismatch =
+      verify_sample_proofs(fx.task, fx.config.tree, fx.commitment, fx.samples,
+                           bad_path, *fx.verifier, nullptr, scratch);
+  EXPECT_EQ(mismatch.status, VerdictStatus::kRootMismatch);
+
+  // A rejected response must not poison the scratch for the next one.
+  EXPECT_TRUE(verify_sample_proofs(fx.task, fx.config.tree, fx.commitment,
+                                   fx.samples, fx.response, *fx.verifier,
+                                   nullptr, scratch)
+                  .accepted());
+}
+
+TEST(VerifyPath, AdversarialBatchResponsesRejectedNotCrashing) {
+  Fixture fx = make_fixture(256, 8, LeafMode::kRaw, 3);
+  VerifyScratch scratch;
+  const auto verify = [&](const BatchProofResponse& response) {
+    return verify_batch_response(fx.task, fx.config.tree, fx.commitment,
+                                 fx.samples, response, *fx.verifier, nullptr,
+                                 scratch);
+  };
+  ASSERT_TRUE(verify(fx.batched).accepted());
+
+  {
+    BatchProofResponse bad = fx.batched;  // truncated sibling stream
+    bad.siblings.resize(bad.siblings.size() / 2);
+    EXPECT_EQ(verify(bad).status, VerdictStatus::kRootMismatch);
+  }
+  {
+    BatchProofResponse bad = fx.batched;  // duplicated leaf index
+    ASSERT_GE(bad.results.size(), 2u);
+    bad.results[1].first = bad.results[0].first;
+    EXPECT_EQ(verify(bad).status, VerdictStatus::kMalformed);
+  }
+  {
+    BatchProofResponse bad = fx.batched;  // out-of-range position
+    bad.results.back().first = LeafIndex{1 << 20};
+    EXPECT_EQ(verify(bad).status, VerdictStatus::kMalformed);
+  }
+  {
+    BatchProofResponse bad = fx.batched;  // dropped sample
+    bad.results.pop_back();
+    EXPECT_EQ(verify(bad).status, VerdictStatus::kMalformed);
+  }
+  {
+    BatchProofResponse bad = fx.batched;  // oversized claimed result
+    bad.results.front().second.push_back(0xff);
+    EXPECT_EQ(verify(bad).status, VerdictStatus::kMalformed);
+  }
+  {
+    BatchProofResponse bad = fx.batched;  // foreign task id
+    bad.task = TaskId{99};
+    EXPECT_EQ(verify(bad).status, VerdictStatus::kMalformed);
+  }
+  EXPECT_TRUE(verify(fx.batched).accepted());
+}
+
+TEST(VerifyPath, ViewDecodersFeedVerificationZeroCopy) {
+  for (const LeafMode mode : {LeafMode::kRaw, LeafMode::kHashed}) {
+    Fixture fx = make_fixture(300, 11, mode, 21);
+    VerifyScratch scratch;
+    WireViewArena arena;
+
+    const Bytes plain_payload = encode_message(Message{fx.response});
+    const ProofResponseView plain_view =
+        decode_proof_response_view(plain_payload, arena);
+    // Views really point into the payload, not copies.
+    ASSERT_FALSE(plain_view.proofs.empty());
+    const std::uint8_t* payload_begin = plain_payload.data();
+    const std::uint8_t* payload_end = payload_begin + plain_payload.size();
+    EXPECT_GE(plain_view.proofs[0].result.data(), payload_begin);
+    EXPECT_LT(plain_view.proofs[0].result.data(), payload_end);
+
+    const Verdict from_view =
+        verify_sample_proofs(fx.task, fx.config.tree, fx.commitment,
+                             fx.samples, plain_view, *fx.verifier, nullptr,
+                             scratch);
+    const Verdict from_owning =
+        verify_sample_proofs(fx.task, fx.config.tree, fx.commitment,
+                             fx.samples, fx.response, *fx.verifier, nullptr,
+                             scratch);
+    expect_same_verdict(from_owning, from_view);
+    EXPECT_TRUE(from_view.accepted());
+
+    const Bytes batch_payload = encode_message(Message{fx.batched});
+    const BatchProofResponseView batch_view =
+        decode_batch_proof_response_view(batch_payload, arena);
+    const Verdict batch_from_view =
+        verify_batch_response(fx.task, fx.config.tree, fx.commitment,
+                              fx.samples, batch_view, *fx.verifier, nullptr,
+                              scratch);
+    EXPECT_TRUE(batch_from_view.accepted());
+
+    // Tampered payload still decodes (structurally valid) but must reject.
+    Bytes tampered = batch_payload;
+    tampered.back() ^= 0x01;
+    const BatchProofResponseView tampered_view =
+        decode_batch_proof_response_view(tampered, arena);
+    EXPECT_FALSE(verify_batch_response(fx.task, fx.config.tree, fx.commitment,
+                                       fx.samples, tampered_view, *fx.verifier,
+                                       nullptr, scratch)
+                     .accepted());
+  }
+}
+
+TEST(VerifyPath, RecomputeVerifierStackAndHeapPathsAgree) {
+  const auto narrow = std::make_shared<CountingComputeFunction>(
+      std::make_shared<Mix8>());
+  const RecomputeVerifier narrow_verifier(narrow);
+  const Bytes good = narrow->evaluate(42);
+  EXPECT_EQ(narrow->calls(), 1u);
+  EXPECT_TRUE(narrow_verifier.verify(42, good));
+  EXPECT_EQ(narrow->calls(), 2u);  // evaluate_into counts exactly once
+  Bytes bad = good;
+  bad[0] ^= 1;
+  EXPECT_FALSE(narrow_verifier.verify(42, bad));
+  EXPECT_FALSE(narrow_verifier.verify(42, BytesView{}));  // size mismatch
+
+  const auto wide = std::make_shared<Wide200>();
+  const RecomputeVerifier wide_verifier(wide);
+  EXPECT_TRUE(wide_verifier.verify(5, wide->evaluate(5)));
+  EXPECT_FALSE(wide_verifier.verify(5, wide->evaluate(6)));
+}
+
+}  // namespace
+}  // namespace ugc

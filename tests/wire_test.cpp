@@ -350,6 +350,98 @@ TEST(Messages, SingleByteMutationsNeverCrash) {
   }
 }
 
+// ------------------------------------------- zero-copy / reuse entry points
+
+TEST(Messages, EncodeIntoMatchesEncodeAndReusesCapacity) {
+  const Message message{sample_response()};
+  const Bytes reference = encode_message(message);
+
+  Bytes scratch;
+  encode_message_into(message, scratch);
+  EXPECT_EQ(scratch, reference);
+
+  // Re-encoding through the same buffer keeps the bytes and the capacity.
+  scratch.reserve(4096);
+  const std::size_t capacity = scratch.capacity();
+  encode_message_into(message, scratch);
+  EXPECT_EQ(scratch, reference);
+  EXPECT_EQ(scratch.capacity(), capacity);
+
+  Bytes scheme_scratch;
+  encode_scheme_message_into(SchemeMessage{sample_response()}, scheme_scratch);
+  EXPECT_EQ(scheme_scratch, reference);
+}
+
+TEST(Messages, ProofResponseViewDecodesWithoutCopying) {
+  const ProofResponse original = sample_response();
+  const Bytes payload = encode_message(Message{original});
+  WireViewArena arena;
+  const ProofResponseView view = decode_proof_response_view(payload, arena);
+
+  EXPECT_EQ(view.task, original.task);
+  ASSERT_EQ(view.proofs.size(), original.proofs.size());
+  for (std::size_t i = 0; i < original.proofs.size(); ++i) {
+    EXPECT_EQ(view.proofs[i].index, original.proofs[i].index);
+    EXPECT_TRUE(equal_bytes(view.proofs[i].result, original.proofs[i].result));
+    ASSERT_EQ(view.proofs[i].siblings.size(),
+              original.proofs[i].siblings.size());
+    for (std::size_t s = 0; s < original.proofs[i].siblings.size(); ++s) {
+      EXPECT_TRUE(equal_bytes(view.proofs[i].siblings[s],
+                              original.proofs[i].siblings[s]));
+    }
+    // Zero-copy: non-empty views alias the encoded payload.
+    if (!view.proofs[i].result.empty()) {
+      EXPECT_GE(view.proofs[i].result.data(), payload.data());
+      EXPECT_LT(view.proofs[i].result.data(),
+                payload.data() + payload.size());
+    }
+  }
+}
+
+TEST(Messages, BatchProofResponseViewDecodesWithoutCopying) {
+  const BatchProofResponse original = sample_batch_response();
+  const Bytes payload = encode_message(Message{original});
+  WireViewArena arena;
+  const BatchProofResponseView view =
+      decode_batch_proof_response_view(payload, arena);
+
+  EXPECT_EQ(view.task, original.task);
+  ASSERT_EQ(view.results.size(), original.results.size());
+  for (std::size_t i = 0; i < original.results.size(); ++i) {
+    EXPECT_EQ(view.results[i].index, original.results[i].first);
+    EXPECT_TRUE(equal_bytes(view.results[i].result,
+                            original.results[i].second));
+  }
+  ASSERT_EQ(view.siblings.size(), original.siblings.size());
+  for (std::size_t i = 0; i < original.siblings.size(); ++i) {
+    EXPECT_TRUE(equal_bytes(view.siblings[i], original.siblings[i]));
+  }
+}
+
+TEST(Messages, ViewDecodersRejectMalformedInput) {
+  WireViewArena arena;
+  const Bytes good = encode_message(Message{sample_response()});
+
+  // Wrong message type for the requested view.
+  EXPECT_THROW(decode_batch_proof_response_view(good, arena), WireError);
+  const Bytes commitment = encode_message(Message{sample_commitment()});
+  EXPECT_THROW(decode_proof_response_view(commitment, arena), WireError);
+
+  // Truncations at every prefix length must throw, never crash.
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    const BytesView prefix(good.data(), cut);
+    EXPECT_THROW(decode_proof_response_view(prefix, arena), WireError);
+  }
+  // Trailing garbage.
+  Bytes padded = good;
+  padded.push_back(0x00);
+  EXPECT_THROW(decode_proof_response_view(padded, arena), WireError);
+
+  // Arena survives failures and decodes the next message cleanly.
+  const ProofResponseView view = decode_proof_response_view(good, arena);
+  EXPECT_EQ(view.proofs.size(), sample_response().proofs.size());
+}
+
 TEST(Messages, RandomBytesFuzzNeverCrashes) {
   Rng rng(20240610);
   int parsed = 0;
