@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_leaf_mode.dir/bench/bench_ablation_leaf_mode.cpp.o"
+  "CMakeFiles/bench_ablation_leaf_mode.dir/bench/bench_ablation_leaf_mode.cpp.o.d"
+  "bench_ablation_leaf_mode"
+  "bench_ablation_leaf_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_leaf_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

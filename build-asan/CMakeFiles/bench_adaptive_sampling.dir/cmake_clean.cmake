@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_sampling.dir/bench/bench_adaptive_sampling.cpp.o"
+  "CMakeFiles/bench_adaptive_sampling.dir/bench/bench_adaptive_sampling.cpp.o.d"
+  "bench_adaptive_sampling"
+  "bench_adaptive_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_proof.dir/bench/bench_batch_proof.cpp.o"
+  "CMakeFiles/bench_batch_proof.dir/bench/bench_batch_proof.cpp.o.d"
+  "bench_batch_proof"
+  "bench_batch_proof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_proof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

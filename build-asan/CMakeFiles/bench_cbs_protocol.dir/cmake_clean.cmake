@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cbs_protocol.dir/bench/bench_cbs_protocol.cpp.o"
+  "CMakeFiles/bench_cbs_protocol.dir/bench/bench_cbs_protocol.cpp.o.d"
+  "bench_cbs_protocol"
+  "bench_cbs_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cbs_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comm_cost.dir/bench/bench_comm_cost.cpp.o"
+  "CMakeFiles/bench_comm_cost.dir/bench/bench_comm_cost.cpp.o.d"
+  "bench_comm_cost"
+  "bench_comm_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comm_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

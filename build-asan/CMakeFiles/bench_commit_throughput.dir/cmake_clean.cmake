@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_commit_throughput.dir/bench/bench_commit_throughput.cpp.o"
+  "CMakeFiles/bench_commit_throughput.dir/bench/bench_commit_throughput.cpp.o.d"
+  "bench_commit_throughput"
+  "bench_commit_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_commit_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

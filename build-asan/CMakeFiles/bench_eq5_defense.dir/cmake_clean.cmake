@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq5_defense.dir/bench/bench_eq5_defense.cpp.o"
+  "CMakeFiles/bench_eq5_defense.dir/bench/bench_eq5_defense.cpp.o.d"
+  "bench_eq5_defense"
+  "bench_eq5_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq5_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

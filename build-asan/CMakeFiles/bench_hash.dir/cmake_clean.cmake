@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hash.dir/bench/bench_hash.cpp.o"
+  "CMakeFiles/bench_hash.dir/bench/bench_hash.cpp.o.d"
+  "bench_hash"
+  "bench_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

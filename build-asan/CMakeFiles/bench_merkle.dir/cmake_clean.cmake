@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_merkle.dir/bench/bench_merkle.cpp.o"
+  "CMakeFiles/bench_merkle.dir/bench/bench_merkle.cpp.o.d"
+  "bench_merkle"
+  "bench_merkle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_merkle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

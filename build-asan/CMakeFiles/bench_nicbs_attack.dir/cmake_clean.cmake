@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nicbs_attack.dir/bench/bench_nicbs_attack.cpp.o"
+  "CMakeFiles/bench_nicbs_attack.dir/bench/bench_nicbs_attack.cpp.o.d"
+  "bench_nicbs_attack"
+  "bench_nicbs_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nicbs_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reputation.dir/bench/bench_reputation.cpp.o"
+  "CMakeFiles/bench_reputation.dir/bench/bench_reputation.cpp.o.d"
+  "bench_reputation"
+  "bench_reputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

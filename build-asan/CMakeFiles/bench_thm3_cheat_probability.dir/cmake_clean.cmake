@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm3_cheat_probability.dir/bench/bench_thm3_cheat_probability.cpp.o"
+  "CMakeFiles/bench_thm3_cheat_probability.dir/bench/bench_thm3_cheat_probability.cpp.o.d"
+  "bench_thm3_cheat_probability"
+  "bench_thm3_cheat_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm3_cheat_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

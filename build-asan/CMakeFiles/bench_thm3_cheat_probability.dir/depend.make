@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm3_cheat_probability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_verify_throughput.dir/bench/bench_verify_throughput.cpp.o"
+  "CMakeFiles/bench_verify_throughput.dir/bench/bench_verify_throughput.cpp.o.d"
+  "bench_verify_throughput"
+  "bench_verify_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_verify_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

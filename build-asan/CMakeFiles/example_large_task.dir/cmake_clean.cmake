@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_large_task.dir/examples/large_task.cpp.o"
+  "CMakeFiles/example_large_task.dir/examples/large_task.cpp.o.d"
+  "example_large_task"
+  "example_large_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_large_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_large_task.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_molecule_screen.dir/examples/molecule_screen.cpp.o"
+  "CMakeFiles/example_molecule_screen.dir/examples/molecule_screen.cpp.o.d"
+  "example_molecule_screen"
+  "example_molecule_screen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_molecule_screen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_password_crack.dir/examples/password_crack.cpp.o"
+  "CMakeFiles/example_password_crack.dir/examples/password_crack.cpp.o.d"
+  "example_password_crack"
+  "example_password_crack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_password_crack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_password_crack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_password_crack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_seti_scan.dir/examples/seti_scan.cpp.o"
+  "CMakeFiles/example_seti_scan.dir/examples/seti_scan.cpp.o.d"
+  "example_seti_scan"
+  "example_seti_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_seti_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/hex.cpp" "CMakeFiles/ugc.dir/src/common/hex.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/common/hex.cpp.o.d"
+  "/root/repo/src/common/parallel.cpp" "CMakeFiles/ugc.dir/src/common/parallel.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/common/parallel.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/ugc.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/core/analysis.cpp" "CMakeFiles/ugc.dir/src/core/analysis.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/core/analysis.cpp.o.d"
+  "/root/repo/src/core/cbs.cpp" "CMakeFiles/ugc.dir/src/core/cbs.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/core/cbs.cpp.o.d"
+  "/root/repo/src/core/cheating.cpp" "CMakeFiles/ugc.dir/src/core/cheating.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/core/cheating.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "CMakeFiles/ugc.dir/src/core/engine.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/core/engine.cpp.o.d"
+  "/root/repo/src/core/nicbs.cpp" "CMakeFiles/ugc.dir/src/core/nicbs.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/core/nicbs.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "CMakeFiles/ugc.dir/src/core/protocol.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/core/protocol.cpp.o.d"
+  "/root/repo/src/core/retry_attacker.cpp" "CMakeFiles/ugc.dir/src/core/retry_attacker.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/core/retry_attacker.cpp.o.d"
+  "/root/repo/src/core/ringer.cpp" "CMakeFiles/ugc.dir/src/core/ringer.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/core/ringer.cpp.o.d"
+  "/root/repo/src/core/sampling.cpp" "CMakeFiles/ugc.dir/src/core/sampling.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/core/sampling.cpp.o.d"
+  "/root/repo/src/core/scheme_config.cpp" "CMakeFiles/ugc.dir/src/core/scheme_config.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/core/scheme_config.cpp.o.d"
+  "/root/repo/src/core/sequential.cpp" "CMakeFiles/ugc.dir/src/core/sequential.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/core/sequential.cpp.o.d"
+  "/root/repo/src/core/task.cpp" "CMakeFiles/ugc.dir/src/core/task.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/core/task.cpp.o.d"
+  "/root/repo/src/core/verification.cpp" "CMakeFiles/ugc.dir/src/core/verification.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/core/verification.cpp.o.d"
+  "/root/repo/src/crypto/hash_function.cpp" "CMakeFiles/ugc.dir/src/crypto/hash_function.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/crypto/hash_function.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "CMakeFiles/ugc.dir/src/crypto/hmac.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/iterated_hash.cpp" "CMakeFiles/ugc.dir/src/crypto/iterated_hash.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/crypto/iterated_hash.cpp.o.d"
+  "/root/repo/src/crypto/md5.cpp" "CMakeFiles/ugc.dir/src/crypto/md5.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/crypto/md5.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "CMakeFiles/ugc.dir/src/crypto/sha1.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/crypto/sha1.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "CMakeFiles/ugc.dir/src/crypto/sha256.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/sha_ni.cpp" "CMakeFiles/ugc.dir/src/crypto/sha_ni.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/crypto/sha_ni.cpp.o.d"
+  "/root/repo/src/grid/broker.cpp" "CMakeFiles/ugc.dir/src/grid/broker.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/grid/broker.cpp.o.d"
+  "/root/repo/src/grid/latency.cpp" "CMakeFiles/ugc.dir/src/grid/latency.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/grid/latency.cpp.o.d"
+  "/root/repo/src/grid/network.cpp" "CMakeFiles/ugc.dir/src/grid/network.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/grid/network.cpp.o.d"
+  "/root/repo/src/grid/participant_node.cpp" "CMakeFiles/ugc.dir/src/grid/participant_node.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/grid/participant_node.cpp.o.d"
+  "/root/repo/src/grid/reputation.cpp" "CMakeFiles/ugc.dir/src/grid/reputation.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/grid/reputation.cpp.o.d"
+  "/root/repo/src/grid/simulation.cpp" "CMakeFiles/ugc.dir/src/grid/simulation.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/grid/simulation.cpp.o.d"
+  "/root/repo/src/grid/supervisor_node.cpp" "CMakeFiles/ugc.dir/src/grid/supervisor_node.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/grid/supervisor_node.cpp.o.d"
+  "/root/repo/src/merkle/batch_proof.cpp" "CMakeFiles/ugc.dir/src/merkle/batch_proof.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/merkle/batch_proof.cpp.o.d"
+  "/root/repo/src/merkle/partial_tree.cpp" "CMakeFiles/ugc.dir/src/merkle/partial_tree.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/merkle/partial_tree.cpp.o.d"
+  "/root/repo/src/merkle/proof.cpp" "CMakeFiles/ugc.dir/src/merkle/proof.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/merkle/proof.cpp.o.d"
+  "/root/repo/src/merkle/streaming_builder.cpp" "CMakeFiles/ugc.dir/src/merkle/streaming_builder.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/merkle/streaming_builder.cpp.o.d"
+  "/root/repo/src/merkle/tree.cpp" "CMakeFiles/ugc.dir/src/merkle/tree.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/merkle/tree.cpp.o.d"
+  "/root/repo/src/scheme/cbs_scheme.cpp" "CMakeFiles/ugc.dir/src/scheme/cbs_scheme.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/scheme/cbs_scheme.cpp.o.d"
+  "/root/repo/src/scheme/exchange.cpp" "CMakeFiles/ugc.dir/src/scheme/exchange.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/scheme/exchange.cpp.o.d"
+  "/root/repo/src/scheme/message.cpp" "CMakeFiles/ugc.dir/src/scheme/message.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/scheme/message.cpp.o.d"
+  "/root/repo/src/scheme/nicbs_scheme.cpp" "CMakeFiles/ugc.dir/src/scheme/nicbs_scheme.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/scheme/nicbs_scheme.cpp.o.d"
+  "/root/repo/src/scheme/registry.cpp" "CMakeFiles/ugc.dir/src/scheme/registry.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/scheme/registry.cpp.o.d"
+  "/root/repo/src/scheme/ringer_scheme.cpp" "CMakeFiles/ugc.dir/src/scheme/ringer_scheme.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/scheme/ringer_scheme.cpp.o.d"
+  "/root/repo/src/scheme/upload_schemes.cpp" "CMakeFiles/ugc.dir/src/scheme/upload_schemes.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/scheme/upload_schemes.cpp.o.d"
+  "/root/repo/src/wire/codec.cpp" "CMakeFiles/ugc.dir/src/wire/codec.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/wire/codec.cpp.o.d"
+  "/root/repo/src/wire/messages.cpp" "CMakeFiles/ugc.dir/src/wire/messages.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/wire/messages.cpp.o.d"
+  "/root/repo/src/workloads/factoring.cpp" "CMakeFiles/ugc.dir/src/workloads/factoring.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/workloads/factoring.cpp.o.d"
+  "/root/repo/src/workloads/keysearch.cpp" "CMakeFiles/ugc.dir/src/workloads/keysearch.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/workloads/keysearch.cpp.o.d"
+  "/root/repo/src/workloads/lucas_lehmer.cpp" "CMakeFiles/ugc.dir/src/workloads/lucas_lehmer.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/workloads/lucas_lehmer.cpp.o.d"
+  "/root/repo/src/workloads/molecule_screen.cpp" "CMakeFiles/ugc.dir/src/workloads/molecule_screen.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/workloads/molecule_screen.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "CMakeFiles/ugc.dir/src/workloads/registry.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/workloads/registry.cpp.o.d"
+  "/root/repo/src/workloads/signal_scan.cpp" "CMakeFiles/ugc.dir/src/workloads/signal_scan.cpp.o" "gcc" "CMakeFiles/ugc.dir/src/workloads/signal_scan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

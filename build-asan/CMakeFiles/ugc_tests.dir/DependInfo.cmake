@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "CMakeFiles/ugc_tests.dir/tests/analysis_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/analysis_test.cpp.o.d"
+  "/root/repo/tests/batch_proof_test.cpp" "CMakeFiles/ugc_tests.dir/tests/batch_proof_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/batch_proof_test.cpp.o.d"
+  "/root/repo/tests/batched_cbs_test.cpp" "CMakeFiles/ugc_tests.dir/tests/batched_cbs_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/batched_cbs_test.cpp.o.d"
+  "/root/repo/tests/cbs_test.cpp" "CMakeFiles/ugc_tests.dir/tests/cbs_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/cbs_test.cpp.o.d"
+  "/root/repo/tests/cheating_test.cpp" "CMakeFiles/ugc_tests.dir/tests/cheating_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/cheating_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "CMakeFiles/ugc_tests.dir/tests/common_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/common_test.cpp.o.d"
+  "/root/repo/tests/core_task_test.cpp" "CMakeFiles/ugc_tests.dir/tests/core_task_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/core_task_test.cpp.o.d"
+  "/root/repo/tests/crypto_test.cpp" "CMakeFiles/ugc_tests.dir/tests/crypto_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/crypto_test.cpp.o.d"
+  "/root/repo/tests/engine_test.cpp" "CMakeFiles/ugc_tests.dir/tests/engine_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/engine_test.cpp.o.d"
+  "/root/repo/tests/flat_merkle_test.cpp" "CMakeFiles/ugc_tests.dir/tests/flat_merkle_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/flat_merkle_test.cpp.o.d"
+  "/root/repo/tests/geometry_test.cpp" "CMakeFiles/ugc_tests.dir/tests/geometry_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/geometry_test.cpp.o.d"
+  "/root/repo/tests/golden_test.cpp" "CMakeFiles/ugc_tests.dir/tests/golden_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/golden_test.cpp.o.d"
+  "/root/repo/tests/grid_test.cpp" "CMakeFiles/ugc_tests.dir/tests/grid_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/grid_test.cpp.o.d"
+  "/root/repo/tests/malicious_test.cpp" "CMakeFiles/ugc_tests.dir/tests/malicious_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/malicious_test.cpp.o.d"
+  "/root/repo/tests/merkle_test.cpp" "CMakeFiles/ugc_tests.dir/tests/merkle_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/merkle_test.cpp.o.d"
+  "/root/repo/tests/nicbs_test.cpp" "CMakeFiles/ugc_tests.dir/tests/nicbs_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/nicbs_test.cpp.o.d"
+  "/root/repo/tests/parallel_for_test.cpp" "CMakeFiles/ugc_tests.dir/tests/parallel_for_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/parallel_for_test.cpp.o.d"
+  "/root/repo/tests/properties_test.cpp" "CMakeFiles/ugc_tests.dir/tests/properties_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/properties_test.cpp.o.d"
+  "/root/repo/tests/pump_golden_test.cpp" "CMakeFiles/ugc_tests.dir/tests/pump_golden_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/pump_golden_test.cpp.o.d"
+  "/root/repo/tests/reputation_test.cpp" "CMakeFiles/ugc_tests.dir/tests/reputation_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/reputation_test.cpp.o.d"
+  "/root/repo/tests/ringer_test.cpp" "CMakeFiles/ugc_tests.dir/tests/ringer_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/ringer_test.cpp.o.d"
+  "/root/repo/tests/sampling_test.cpp" "CMakeFiles/ugc_tests.dir/tests/sampling_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/sampling_test.cpp.o.d"
+  "/root/repo/tests/scheme_registry_test.cpp" "CMakeFiles/ugc_tests.dir/tests/scheme_registry_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/scheme_registry_test.cpp.o.d"
+  "/root/repo/tests/scheme_session_test.cpp" "CMakeFiles/ugc_tests.dir/tests/scheme_session_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/scheme_session_test.cpp.o.d"
+  "/root/repo/tests/sequential_test.cpp" "CMakeFiles/ugc_tests.dir/tests/sequential_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/sequential_test.cpp.o.d"
+  "/root/repo/tests/to_string_test.cpp" "CMakeFiles/ugc_tests.dir/tests/to_string_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/to_string_test.cpp.o.d"
+  "/root/repo/tests/verify_path_test.cpp" "CMakeFiles/ugc_tests.dir/tests/verify_path_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/verify_path_test.cpp.o.d"
+  "/root/repo/tests/wire_test.cpp" "CMakeFiles/ugc_tests.dir/tests/wire_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/wire_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "CMakeFiles/ugc_tests.dir/tests/workloads_test.cpp.o" "gcc" "CMakeFiles/ugc_tests.dir/tests/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/CMakeFiles/ugc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
