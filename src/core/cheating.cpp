@@ -1,5 +1,7 @@
 #include "core/cheating.h"
 
+#include <utility>
+
 #include "common/error.h"
 #include "common/rng.h"
 
@@ -52,6 +54,65 @@ std::string SemiHonestCheater::name() const {
                 ", q=", params_.guess_accuracy, ")");
 }
 
+AdaptiveCheater::AdaptiveCheater(Params params)
+    : params_(params),
+      inner_({params.honesty_ratio, params.guess_accuracy, params.seed}) {}
+
+bool AdaptiveCheater::active() const {
+  return survived_.load(std::memory_order_relaxed) >= params_.activate_after;
+}
+
+std::uint64_t AdaptiveCheater::audits_survived() const {
+  return survived_.load(std::memory_order_relaxed);
+}
+
+void AdaptiveCheater::observe_verdict(bool accepted) const {
+  if (accepted) {
+    survived_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+HonestyPolicy::LeafDecision AdaptiveCheater::decide(LeafIndex i,
+                                                    const Task& task) const {
+  if (!active()) {
+    return {task.f->evaluate(task.domain.input(i)), true};
+  }
+  return inner_.decide(i, task);
+}
+
+bool AdaptiveCheater::computes_honestly(LeafIndex i) const {
+  return !active() || inner_.computes_honestly(i);
+}
+
+std::string AdaptiveCheater::name() const {
+  return concat("adaptive(after=", params_.activate_after,
+                ", r=", params_.honesty_ratio, ")");
+}
+
+ColludingCheater::ColludingCheater(std::vector<std::uint64_t> leaked,
+                                   std::uint64_t seed)
+    : leaked_(leaked.begin(), leaked.end()), seed_(seed) {}
+
+bool ColludingCheater::computes_honestly(LeafIndex i) const {
+  return leaked_.contains(i.value);
+}
+
+HonestyPolicy::LeafDecision ColludingCheater::decide(LeafIndex i,
+                                                     const Task& task) const {
+  if (computes_honestly(i)) {
+    return {task.f->evaluate(task.domain.input(i)), true};
+  }
+  // Deterministic junk keyed by the index (same shape as SemiHonestCheater's
+  // unlucky guess) so re-asking for a leaf returns the same bytes.
+  Rng rng(seed_ ^ (5 * 0x9e3779b97f4a7c15ULL) ^
+          (i.value * 0xd1342543de82ef95ULL));
+  return {rng.bytes(task.f->result_size()), false};
+}
+
+std::string ColludingCheater::name() const {
+  return concat("colluding(k=", leaked_.size(), ")");
+}
+
 std::shared_ptr<HonestyPolicy> make_honest_policy() {
   return std::make_shared<HonestPolicy>();
 }
@@ -59,6 +120,16 @@ std::shared_ptr<HonestyPolicy> make_honest_policy() {
 std::shared_ptr<HonestyPolicy> make_semi_honest_cheater(
     SemiHonestCheater::Params params) {
   return std::make_shared<SemiHonestCheater>(params);
+}
+
+std::shared_ptr<AdaptiveCheater> make_adaptive_cheater(
+    AdaptiveCheater::Params params) {
+  return std::make_shared<AdaptiveCheater>(params);
+}
+
+std::shared_ptr<HonestyPolicy> make_colluding_cheater(
+    std::vector<std::uint64_t> leaked, std::uint64_t seed) {
+  return std::make_shared<ColludingCheater>(std::move(leaked), seed);
 }
 
 const char* to_string(ScreenerConduct conduct) {

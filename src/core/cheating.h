@@ -1,8 +1,11 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_set>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/types.h"
@@ -38,6 +41,12 @@ class HonestyPolicy {
   virtual bool computes_honestly(LeafIndex i) const = 0;
 
   virtual std::string name() const = 0;
+
+  // Round-level feedback: the driver (reputation tournament, long-horizon
+  // grid) reports each verdict this participant received. Stateless
+  // policies ignore it; adaptive attackers condition future conduct on it.
+  // Must be thread-safe (the policy object is shared as const).
+  virtual void observe_verdict(bool accepted) const { (void)accepted; }
 };
 
 // The fully honest participant: D' = D.
@@ -77,9 +86,66 @@ class SemiHonestCheater final : public HonestyPolicy {
   Params params_;
 };
 
+// A sleeper agent: behaves fully honestly until it has survived
+// `activate_after` accepted audits (building reputation), then cheats like
+// a SemiHonestCheater. The attacker real long-horizon grids must expect —
+// one-shot analysis never sees it, and reputation layers must both admit
+// the honest phase and still purge the cheating one (Theorem 3 applies
+// per-round once active, so detection is only delayed, never avoided).
+class AdaptiveCheater final : public HonestyPolicy {
+ public:
+  struct Params {
+    std::size_t activate_after = 3;  // accepted verdicts before cheating
+    double honesty_ratio = 0.5;      // r once active
+    double guess_accuracy = 0.0;     // q once active
+    std::uint64_t seed = 0;
+  };
+
+  explicit AdaptiveCheater(Params params);
+
+  LeafDecision decide(LeafIndex i, const Task& task) const override;
+  bool computes_honestly(LeafIndex i) const override;
+  std::string name() const override;
+  void observe_verdict(bool accepted) const override;
+
+  // True once the honest phase is over.
+  bool active() const;
+  std::uint64_t audits_survived() const;
+
+ private:
+  Params params_;
+  SemiHonestCheater inner_;
+  mutable std::atomic<std::uint64_t> survived_{0};
+};
+
+// A colluding participant: a co-conspirator who previously held (or
+// observed) the same assignment leaked the positions the supervisor
+// sampled, so this policy computes f exactly on the leaked set and guesses
+// everywhere else — |D'| = m instead of r·n. Defeats any verifier that
+// reuses its challenge positions; caught at the usual (m/n)^m ≈ 0 rate the
+// moment the supervisor draws fresh randomness per session (which the grid
+// does, including on crash re-assignment).
+class ColludingCheater final : public HonestyPolicy {
+ public:
+  // `leaked` holds leaf indices (positions within the task's domain).
+  ColludingCheater(std::vector<std::uint64_t> leaked, std::uint64_t seed);
+
+  LeafDecision decide(LeafIndex i, const Task& task) const override;
+  bool computes_honestly(LeafIndex i) const override;
+  std::string name() const override;
+
+ private:
+  std::unordered_set<std::uint64_t> leaked_;
+  std::uint64_t seed_;
+};
+
 std::shared_ptr<HonestyPolicy> make_honest_policy();
 std::shared_ptr<HonestyPolicy> make_semi_honest_cheater(
     SemiHonestCheater::Params params);
+std::shared_ptr<AdaptiveCheater> make_adaptive_cheater(
+    AdaptiveCheater::Params params);
+std::shared_ptr<HonestyPolicy> make_colluding_cheater(
+    std::vector<std::uint64_t> leaked, std::uint64_t seed);
 
 // The *malicious* model of §2.2: the participant may do all the f-work but
 // corrupt the screener channel — computing S(x, z) for junk z, or silently

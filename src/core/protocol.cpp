@@ -12,6 +12,8 @@ const char* to_string(VerdictStatus status) {
       return "root-mismatch";
     case VerdictStatus::kMalformed:
       return "malformed";
+    case VerdictStatus::kAborted:
+      return "aborted";
   }
   return "unknown";
 }

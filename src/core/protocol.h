@@ -145,6 +145,7 @@ enum class VerdictStatus {
   kWrongResult,   // a claimed f(x_i) failed result verification
   kRootMismatch,  // Λ(f(x_i), λ1..λH) != committed Φ(R)
   kMalformed,     // structurally invalid response (wrong samples, sizes, ...)
+  kAborted,       // protocol never completed (crash/loss); no accusation made
 };
 
 const char* to_string(VerdictStatus status);

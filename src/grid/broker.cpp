@@ -9,11 +9,27 @@ BrokerNode::BrokerNode(std::vector<GridNodeId> workers)
   check(!workers_.empty(), "BrokerNode: at least one worker required");
 }
 
+std::optional<GridNodeId> BrokerNode::worker_of(TaskId task) const {
+  const auto it = routes_.find(task);
+  if (it == routes_.end()) {
+    return std::nullopt;
+  }
+  return it->second.worker;
+}
+
 void BrokerNode::on_message(GridNodeId from, const Message& message,
                             SimNetwork& network) {
   const TaskId task = task_of(message);
 
   if (std::holds_alternative<TaskAssignment>(message)) {
+    if (const auto existing = routes_.find(task); existing != routes_.end()) {
+      // Duplicated assignment frame: relay to the worker that already holds
+      // the task instead of re-routing it (which would strand the first
+      // worker's upstream traffic and bill the work twice).
+      ++relayed_downstream_;
+      network.send(id(), existing->second.worker, message);
+      return;
+    }
     // New work from a supervisor: schedule round-robin and remember the
     // route for the rest of this task's protocol.
     const GridNodeId worker = workers_[next_worker_];

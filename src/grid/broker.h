@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "grid/network.h"
@@ -27,6 +28,12 @@ class BrokerNode final : public GridNode {
   // Messages relayed in each direction (excluding initial assignments).
   std::uint64_t relayed_downstream() const { return relayed_downstream_; }
   std::uint64_t relayed_upstream() const { return relayed_upstream_; }
+
+  // The worker a task is currently routed to (its latest assignment), or
+  // nullopt for tasks this broker never saw. Lets the simulation attribute
+  // outcomes to participants even though the supervisor only sees the
+  // broker.
+  std::optional<GridNodeId> worker_of(TaskId task) const;
 
  private:
   struct Route {

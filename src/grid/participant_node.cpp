@@ -79,6 +79,13 @@ void ParticipantNode::on_message(GridNodeId from, const Message& message,
 void ParticipantNode::handle_assignment(GridNodeId supervisor,
                                         const TaskAssignment& m,
                                         SimNetwork& network) {
+  if (!assigned_.insert(m.task).second) {
+    // A duplicated (or stalled-and-replayed) assignment frame must be
+    // idempotent: re-opening the session would discard in-flight protocol
+    // state and redo the whole computation. Re-assignment after a crash is
+    // unaffected — the supervisor always retries under a fresh task id.
+    return;
+  }
   const WorkloadBundle bundle =
       registry_->make(m.workload, m.workload_seed);
   const Task task = Task::make(m.task, Domain(m.domain_begin, m.domain_end),

@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "core/cheating.h"
@@ -34,6 +35,11 @@ class ParticipantNode final : public GridNode {
   void on_message(GridNodeId from, const Message& message,
                   SimNetwork& network) override;
 
+  // FaultPlan crash: every in-progress session dies with the process. Past
+  // verdicts and the evaluation counter survive (they model work already
+  // done and reported), matching a participant that restarts from scratch.
+  void on_crash() override { active_.clear(); }
+
   // Verdicts received from the supervisor, by task.
   const std::map<TaskId, Verdict>& verdicts() const { return verdicts_; }
 
@@ -63,6 +69,9 @@ class ParticipantNode final : public GridNode {
   ScreenerConduct conduct_;
   std::uint64_t conduct_seed_;
   std::map<TaskId, ActiveTask> active_;
+  // Every assignment ever accepted (survives crashes, like verdicts_):
+  // duplicate assignment frames are dropped instead of restarting work.
+  std::set<TaskId> assigned_;
   std::map<TaskId, Verdict> verdicts_;
   std::uint64_t honest_evaluations_ = 0;
 };

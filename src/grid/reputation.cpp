@@ -54,6 +54,18 @@ TournamentResult run_reputation_tournament(const TournamentConfig& config) {
           "run_reputation_tournament: cheater index out of range");
     cheater_of[cheater.participant_index] = &cheater;
   }
+  // Policy-driven cheaters (adaptive/colluding/custom): the same policy
+  // object persists across rounds, so stateful attackers carry their state
+  // — and receive verdict feedback through HonestyPolicy::observe_verdict.
+  std::vector<const PolicyCheaterSpec*> policy_of(population, nullptr);
+  for (const PolicyCheaterSpec& spec : config.base.policy_cheaters) {
+    check(spec.participant_index < population,
+          "run_reputation_tournament: policy cheater index out of range");
+    policy_of[spec.participant_index] = &spec;
+  }
+  const auto cheats = [&](std::size_t p) {
+    return cheater_of[p] != nullptr || policy_of[p] != nullptr;
+  };
 
   ReputationLedger ledger(config.reputation);
   TournamentResult result;
@@ -74,6 +86,19 @@ TournamentResult run_reputation_tournament(const TournamentConfig& config) {
     round_config.participant_count = active.size();
     round_config.seed = config.base.seed + round * 7919;
     round_config.cheaters.clear();
+    round_config.policy_cheaters.clear();
+    round_config.crashes.clear();
+    // Crash specs name original participants too: follow them to their
+    // current slot, and drop specs whose target is already banned.
+    for (const ParticipantCrash& crash : config.base.crashes) {
+      for (std::size_t slot = 0; slot < active.size(); ++slot) {
+        if (active[slot] == crash.participant_index) {
+          ParticipantCrash remapped = crash;
+          remapped.participant_index = slot;
+          round_config.crashes.push_back(remapped);
+        }
+      }
+    }
     for (std::size_t slot = 0; slot < active.size(); ++slot) {
       if (const CheaterSpec* spec = cheater_of[active[slot]]) {
         CheaterSpec remapped = *spec;
@@ -81,6 +106,11 @@ TournamentResult run_reputation_tournament(const TournamentConfig& config) {
         // Fresh per-round seed: the cheater guesses anew every round.
         remapped.seed = round_config.seed ^ (active[slot] * 0x9e3779b9 + 1);
         round_config.cheaters.push_back(remapped);
+      }
+      if (const PolicyCheaterSpec* spec = policy_of[active[slot]]) {
+        PolicyCheaterSpec remapped = *spec;
+        remapped.participant_index = slot;
+        round_config.policy_cheaters.push_back(remapped);
       }
     }
 
@@ -93,8 +123,14 @@ TournamentResult run_reputation_tournament(const TournamentConfig& config) {
     summary.honest_tasks_rejected = run.honest_tasks_rejected;
     for (const ParticipantOutcome& outcome : run.outcomes) {
       const std::size_t original = active[outcome.participant_index];
+      if (outcome.status == VerdictStatus::kAborted) {
+        continue;  // no protocol outcome — reputation must not move
+      }
       ledger.record(original, outcome.accepted);
-      if (cheater_of[original] != nullptr) {
+      if (const PolicyCheaterSpec* spec = policy_of[original]) {
+        spec->policy->observe_verdict(outcome.accepted);
+      }
+      if (cheats(original)) {
         // Attribute this round's assignment as (eventually) wasted work if
         // the participant is a cheater — it should not have been trusted.
         summary.evaluations_by_eventually_banned +=
@@ -108,7 +144,7 @@ TournamentResult run_reputation_tournament(const TournamentConfig& config) {
 
     const bool all_cheaters_banned = [&] {
       for (std::size_t p = 0; p < population; ++p) {
-        if (cheater_of[p] != nullptr && !ledger.banned(p)) {
+        if (cheats(p) && !ledger.banned(p)) {
           return false;
         }
       }

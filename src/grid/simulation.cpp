@@ -1,5 +1,6 @@
 #include "grid/simulation.h"
 
+#include <map>
 #include <memory>
 
 #include "common/error.h"
@@ -19,15 +20,27 @@ GridRunResult run_grid_simulation(const GridConfig& config) {
           "run_grid_simulation: cheater index ", cheater.participant_index,
           " out of range");
   }
+  for (const PolicyCheaterSpec& spec : config.policy_cheaters) {
+    check(spec.participant_index < config.participant_count,
+          "run_grid_simulation: policy cheater index ",
+          spec.participant_index, " out of range");
+    check(spec.policy != nullptr,
+          "run_grid_simulation: policy cheater needs a policy");
+  }
   for (const MaliciousSpec& spec : config.malicious) {
     check(spec.participant_index < config.participant_count,
           "run_grid_simulation: malicious index ", spec.participant_index,
           " out of range");
   }
+  for (const ParticipantCrash& crash : config.crashes) {
+    check(crash.participant_index < config.participant_count,
+          "run_grid_simulation: crash index ", crash.participant_index,
+          " out of range");
+  }
 
   SimNetwork network;
 
-  // Participants (honest unless named in `cheaters`).
+  // Participants (honest unless named in `cheaters` / `policy_cheaters`).
   std::vector<std::unique_ptr<ParticipantNode>> participants;
   std::vector<bool> is_cheater(config.participant_count, false);
   participants.reserve(config.participant_count);
@@ -44,6 +57,12 @@ GridRunResult run_grid_simulation(const GridConfig& config) {
         is_cheater[i] = true;
       }
     }
+    for (const PolicyCheaterSpec& spec : config.policy_cheaters) {
+      if (spec.participant_index == i) {
+        options.policy = spec.policy;
+        is_cheater[i] = true;
+      }
+    }
     for (const MaliciousSpec& spec : config.malicious) {
       if (spec.participant_index == i) {
         options.screener_conduct = spec.conduct;
@@ -57,6 +76,20 @@ GridRunResult run_grid_simulation(const GridConfig& config) {
   worker_ids.reserve(participants.size());
   for (const auto& participant : participants) {
     worker_ids.push_back(network.add_node(*participant));
+  }
+
+  // Hostile-grid wiring: link faults plus participant churn, all seeded.
+  if (config.faults.any() || !config.crashes.empty()) {
+    FaultPlan plan;
+    plan.seed = config.fault_seed != 0 ? config.fault_seed
+                                       : config.seed ^ 0xfa017ed5eedULL;
+    plan.faults = config.faults;
+    for (const ParticipantCrash& crash : config.crashes) {
+      plan.crashes.push_back(
+          CrashSpec{worker_ids[crash.participant_index].value,
+                    crash.after_messages, crash.offline_for});
+    }
+    network.set_fault_plan(plan);
   }
 
   // Optional GRACE-style broker in the middle.
@@ -79,6 +112,7 @@ GridRunResult run_grid_simulation(const GridConfig& config) {
   plan.schemes = config.schemes;
   plan.validate_reported_hits = config.validate_reported_hits;
   plan.pump_threads = config.supervisor_pump_threads;
+  plan.max_task_retries = config.max_task_retries;
   SupervisorNode supervisor(plan, slots);
   network.add_node(supervisor);
 
@@ -90,6 +124,8 @@ GridRunResult run_grid_simulation(const GridConfig& config) {
   GridRunResult result;
   result.messages_delivered = delivered;
   result.network = network.stats();
+  result.faults = network.fault_stats();
+  result.tasks_reassigned = supervisor.tasks_reassigned();
   result.hits = supervisor.accepted_hits();
   result.supervisor_evaluations = supervisor.verification_evaluations();
   result.results_verified = supervisor.results_verified();
@@ -97,19 +133,39 @@ GridRunResult run_grid_simulation(const GridConfig& config) {
     result.participant_evaluations += participant->honest_evaluations();
   }
 
-  // Task ids are assigned 1..K in slot order; with a broker the round-robin
-  // dispatch preserves that order, so participant = (id - 1) mod count.
+  // Attribute each final outcome to the participant that actually held the
+  // task: directly via the peer node, or through the broker's routing table
+  // when one hides the workers. (Re-assignment means task ids alone no
+  // longer identify a participant.)
+  std::map<std::uint32_t, std::size_t> index_of_node;
+  for (std::size_t i = 0; i < worker_ids.size(); ++i) {
+    index_of_node.emplace(worker_ids[i].value, i);
+  }
   for (const SupervisorNode::TaskOutcome& outcome : supervisor.outcomes()) {
+    GridNodeId worker = outcome.peer;
+    if (broker != nullptr) {
+      if (const auto routed = broker->worker_of(outcome.task)) {
+        worker = *routed;
+      }
+    }
+    const auto indexed = index_of_node.find(worker.value);
+
     ParticipantOutcome po;
     po.task = outcome.task;
-    po.participant_index = static_cast<std::size_t>(
-        (outcome.task.value - 1) % config.participant_count);
+    // A task aborted before its assignment ever cleared the broker has no
+    // route; fall back to the slot the supervisor actually targeted (valid
+    // for retried ids too, unlike anything derived from the task number).
+    po.participant_index = indexed != index_of_node.end()
+                               ? indexed->second
+                               : outcome.slot % config.participant_count;
     po.was_cheater = is_cheater[po.participant_index];
     po.accepted = outcome.verdict.accepted();
     po.status = outcome.verdict.status;
     result.outcomes.push_back(po);
 
-    if (po.was_cheater) {
+    if (po.status == VerdictStatus::kAborted) {
+      ++result.tasks_aborted;  // no protocol outcome — not an accusation
+    } else if (po.was_cheater) {
       po.accepted ? ++result.cheater_tasks_accepted
                   : ++result.cheater_tasks_rejected;
     } else {

@@ -39,6 +39,50 @@ Task SupervisorNode::task_for(TaskId id, const Domain& domain) const {
   return Task::make(id, domain, counting_f_, bundle_.screener);
 }
 
+void SupervisorNode::assign_group(GroupState& group, SimNetwork& network) {
+  const std::size_t replicas = group.slots.size();
+
+  SupervisorContext context;
+  context.config = plan_.scheme;
+  context.verifier = verifier_;
+  // Fresh sampling randomness per attempt: a re-assigned task must never
+  // reuse challenge positions a previous (possibly colluding) holder saw.
+  context.seed = rng_.next();
+  group.tasks.clear();
+  for (std::size_t replica = 0; replica < replicas; ++replica) {
+    const TaskId id{next_task_++};
+    group.tasks.push_back(id);
+    context.tasks.push_back(task_for(id, group.domain));
+  }
+
+  auto session = scheme_->open_supervisor(std::move(context));
+  const std::size_t session_index = sessions_.size();
+  for (std::size_t replica = 0; replica < replicas; ++replica) {
+    const TaskId id = group.tasks[replica];
+
+    TaskState state;
+    state.domain = group.domain;
+    state.peer = slots_[group.slots[replica]];
+    state.slot_index = group.slots[replica];
+    state.session_index = session_index;
+    tasks_.emplace(id, std::move(state));
+
+    TaskAssignment assignment;
+    assignment.task = id;
+    assignment.domain_begin = group.domain.begin();
+    assignment.domain_end = group.domain.end();
+    assignment.workload = plan_.workload;
+    assignment.workload_seed = plan_.workload_seed;
+    assignment.scheme = plan_.scheme;
+    assignment.ringer_images = session->planted_images(id);
+    network.send(this->id(), slots_[group.slots[replica]], assignment);
+  }
+  sessions_.push_back(SessionSlot{std::move(session), {}});
+  // Some schemes speak first from the supervisor side; flush any opening
+  // messages right behind the assignments.
+  drain(*sessions_.back().session, network);
+}
+
 void SupervisorNode::start(SimNetwork& network) {
   check(!started_, "SupervisorNode::start: already started");
   started_ = true;
@@ -47,47 +91,17 @@ void SupervisorNode::start(SimNetwork& network) {
   const std::size_t group_count = slots_.size() / replicas;
   const std::vector<Domain> parts = plan_.domain.split(group_count);
 
-  std::uint64_t next_task = 1;
-  for (std::size_t group = 0; group < group_count; ++group) {
-    const Domain& subdomain = parts[group];
-
-    SupervisorContext context;
-    context.config = plan_.scheme;
-    context.verifier = verifier_;
-    context.seed = rng_.next();
-    std::vector<TaskId> ids;
-    ids.reserve(replicas);
+  groups_.reserve(group_count);
+  for (std::size_t g = 0; g < group_count; ++g) {
+    GroupState group;
+    group.domain = parts[g];
     for (std::size_t replica = 0; replica < replicas; ++replica) {
-      const TaskId id{next_task++};
-      ids.push_back(id);
-      context.tasks.push_back(task_for(id, subdomain));
+      group.slots.push_back(g * replicas + replica);
     }
-
-    auto session = scheme_->open_supervisor(std::move(context));
-    for (std::size_t replica = 0; replica < replicas; ++replica) {
-      const std::size_t slot = group * replicas + replica;
-      const TaskId id = ids[replica];
-
-      TaskState state;
-      state.domain = subdomain;
-      state.peer = slots_[slot];
-      state.session_index = sessions_.size();
-      tasks_.emplace(id, std::move(state));
-
-      TaskAssignment assignment;
-      assignment.task = id;
-      assignment.domain_begin = subdomain.begin();
-      assignment.domain_end = subdomain.end();
-      assignment.workload = plan_.workload;
-      assignment.workload_seed = plan_.workload_seed;
-      assignment.scheme = plan_.scheme;
-      assignment.ringer_images = session->planted_images(id);
-      network.send(this->id(), slots_[slot], assignment);
-    }
-    sessions_.push_back(SessionSlot{std::move(session), {}});
-    // Some schemes speak first from the supervisor side; flush any opening
-    // messages right behind the assignments.
-    drain(*sessions_.back().session, network);
+    groups_.push_back(std::move(group));
+  }
+  for (GroupState& group : groups_) {
+    assign_group(group, network);
   }
 }
 
@@ -103,21 +117,21 @@ void SupervisorNode::settle(TaskState& state, Verdict verdict,
 void SupervisorNode::drain(SupervisorSession& session, SimNetwork& network) {
   while (auto out = session.next_message()) {
     const auto it = tasks_.find(out->task);
-    if (it == tasks_.end()) {
-      continue;  // session addressed a task this node never assigned
+    if (it == tasks_.end() || it->second.superseded) {
+      continue;  // session addressed a task this node no longer runs
     }
     network.send(this->id(), it->second.peer, to_message(out->message));
   }
   while (auto verdict = session.next_verdict()) {
     const auto it = tasks_.find(verdict->task);
-    if (it == tasks_.end()) {
+    if (it == tasks_.end() || it->second.superseded) {
       continue;
     }
     settle(it->second, std::move(*verdict), network);
   }
   while (auto hits = session.next_hits()) {
     const auto it = tasks_.find(hits->task);
-    if (it == tasks_.end()) {
+    if (it == tasks_.end() || it->second.superseded) {
       continue;
     }
     std::vector<ScreenerHit>& sink = it->second.hits;
@@ -152,13 +166,18 @@ void SupervisorNode::handle_report(TaskState& state,
 
 void SupervisorNode::on_message(GridNodeId from, const Message& message,
                                 SimNetwork& network) {
-  (void)from;
   const TaskId id = task_of(message);
   const auto it = tasks_.find(id);
   if (it == tasks_.end()) {
     return;  // stale or misrouted traffic
   }
   TaskState& state = it->second;
+  if (state.superseded || from != state.peer) {
+    // A superseded attempt's peer (or anyone spoofing one) cannot reach the
+    // replacement session: duplicated or stalled frames from a pre-retry
+    // epoch die here.
+    return;
+  }
 
   if (const auto* report = std::get_if<ScreenerReport>(&message)) {
     handle_report(state, *report);
@@ -213,9 +232,65 @@ bool SupervisorNode::flush(SimNetwork& network) {
   return true;
 }
 
+bool SupervisorNode::on_quiescent(SimNetwork& network) {
+  if (!started_) {
+    return false;
+  }
+  bool progressed = false;
+  for (GroupState& group : groups_) {
+    std::size_t unsettled = 0;
+    for (const TaskId id : group.tasks) {
+      if (!tasks_.at(id).verdict.has_value()) {
+        ++unsettled;
+      }
+    }
+    if (unsettled == 0) {
+      continue;
+    }
+
+    // A partially settled group cannot be retried wholesale (its settled
+    // verdicts are final); and a group out of retry budget stops here.
+    // Either way the remainder aborts: no accusation, just a clean end.
+    if (unsettled < group.tasks.size() ||
+        group.retries >= plan_.max_task_retries) {
+      for (const TaskId id : group.tasks) {
+        TaskState& state = tasks_.at(id);
+        if (!state.verdict.has_value()) {
+          settle(state,
+                 Verdict{id, VerdictStatus::kAborted, std::nullopt,
+                         concat("aborted after ", group.retries, " retries")},
+                 network);
+        }
+      }
+      progressed = true;
+      continue;
+    }
+
+    // Full retry: retire this attempt, rotate every replica to the next
+    // slot, and re-assign under fresh task ids and fresh sampling
+    // randomness.
+    ++group.retries;
+    tasks_reassigned_ += group.tasks.size();
+    for (const TaskId id : group.tasks) {
+      TaskState& state = tasks_.at(id);
+      state.superseded = true;
+      state.verdict = Verdict{id, VerdictStatus::kAborted, std::nullopt,
+                              concat("superseded by retry ", group.retries)};
+      // Tell the (possibly slow-but-honest) old peer to drop the task.
+      network.send(this->id(), state.peer, *state.verdict);
+    }
+    for (std::size_t& slot : group.slots) {
+      slot = (slot + 1) % slots_.size();
+    }
+    assign_group(group, network);
+    progressed = true;
+  }
+  return progressed;
+}
+
 bool SupervisorNode::done() const {
   return std::all_of(tasks_.begin(), tasks_.end(), [](const auto& entry) {
-    return entry.second.verdict.has_value();
+    return entry.second.superseded || entry.second.verdict.has_value();
   });
 }
 
@@ -231,10 +306,14 @@ std::vector<SupervisorNode::TaskOutcome> SupervisorNode::outcomes() const {
   std::vector<TaskOutcome> out;
   out.reserve(tasks_.size());
   for (const auto& [id, state] : tasks_) {
+    if (state.superseded) {
+      continue;
+    }
     TaskOutcome outcome;
     outcome.task = id;
     outcome.domain = state.domain;
     outcome.peer = state.peer;
+    outcome.slot = state.slot_index;
     outcome.verdict = state.verdict.value_or(
         Verdict{id, VerdictStatus::kMalformed, std::nullopt, "no verdict"});
     out.push_back(std::move(outcome));
@@ -246,7 +325,8 @@ std::vector<ScreenerHit> SupervisorNode::accepted_hits() const {
   std::set<std::pair<std::uint64_t, std::string>> seen;
   std::vector<ScreenerHit> hits;
   for (const auto& [id, state] : tasks_) {
-    if (!state.verdict.has_value() || !state.verdict->accepted()) {
+    if (state.superseded || !state.verdict.has_value() ||
+        !state.verdict->accepted()) {
       continue;
     }
     for (const ScreenerHit& hit : state.hits) {

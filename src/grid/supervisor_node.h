@@ -18,6 +18,15 @@ namespace ugc {
 // participants or through a broker), and drives one SupervisorSession per
 // assignment group — the node routes messages and collects verdicts/hits,
 // while everything scheme-specific lives behind the session interface.
+//
+// On a hostile grid (FaultPlan: loss, churn, crashes) a session can stall;
+// the node's on_quiescent hook is the timeout signal. A stalled group is
+// re-assigned — fresh task ids, the next participant slots, a fresh session
+// with fresh sampling randomness — up to `max_task_retries` times, after
+// which its tasks settle as kAborted (no accusation is ever made for a
+// protocol that merely failed to complete). Stale traffic from a superseded
+// attempt cannot reach the new session: attempts have distinct task ids and
+// every message must arrive from the task's current peer.
 class SupervisorNode final : public GridNode {
  public:
   struct Plan {
@@ -42,6 +51,10 @@ class SupervisorNode final : public GridNode {
     // merge serially in session order, so verdicts, metrics, and reputation
     // inputs are byte-identical to the serial pump (pinned by golden test).
     unsigned pump_threads = 1;
+    // Re-assignments per group before its unsettled tasks abort. Only
+    // reachable when traffic is actually lost (faults/churn); fault-free
+    // runs never time out.
+    std::size_t max_task_retries = 2;
   };
 
   // One task per entry in `slots`; with a broker every slot is the broker's
@@ -61,16 +74,22 @@ class SupervisorNode final : public GridNode {
   // false) under the serial pump or when nothing is buffered.
   bool flush(SimNetwork& network) override;
 
-  // True once every task has a verdict.
+  // Timeout/retry: re-assigns or aborts groups stuck without verdicts.
+  bool on_quiescent(SimNetwork& network) override;
+
+  // True once every live (non-superseded) task has a verdict.
   bool done() const;
 
   struct TaskOutcome {
     TaskId task;
     Domain domain{0, 1};
-    GridNodeId peer;  // immediate counterparty (participant or broker)
+    GridNodeId peer;        // immediate counterparty (participant or broker)
+    std::size_t slot = 0;   // assignment slot the supervisor targeted
     Verdict verdict;
   };
 
+  // Final outcomes only: superseded attempts are excluded, so there is
+  // exactly one outcome per original assignment slot.
   std::vector<TaskOutcome> outcomes() const;
 
   // Screener hits from tasks whose verdict accepted, de-duplicated by
@@ -87,11 +106,16 @@ class SupervisorNode final : public GridNode {
   // workloads make this differ from verification_evaluations()).
   std::uint64_t results_verified() const;
 
+  // Tasks re-assigned to a different peer after a timeout.
+  std::uint64_t tasks_reassigned() const { return tasks_reassigned_; }
+
  private:
   struct TaskState {
     Domain domain{0, 1};
     GridNodeId peer;
+    std::size_t slot_index = 0;     // into slots_ (this attempt's target)
     std::size_t session_index = 0;  // into sessions_
+    bool superseded = false;        // retired by a retry; not an outcome
     std::optional<Verdict> verdict;
     std::vector<ScreenerHit> hits;
   };
@@ -105,10 +129,23 @@ class SupervisorNode final : public GridNode {
     std::vector<std::pair<TaskId, SchemeMessage>> inbox;
   };
 
+  // A replica group across retries: current attempt's task ids and slot
+  // assignments. Sessions of superseded attempts stay in sessions_ (their
+  // task states drop all traffic) so session indices remain stable.
+  struct GroupState {
+    Domain domain{0, 1};
+    std::vector<TaskId> tasks;       // current attempt
+    std::vector<std::size_t> slots;  // index into slots_ per replica
+    std::size_t retries = 0;
+  };
+
   bool parallel_pump() const { return plan_.pump_threads != 1; }
 
   Task task_for(TaskId id, const Domain& domain) const;
   void settle(TaskState& state, Verdict verdict, SimNetwork& network);
+  // Opens a fresh session for the group's current slots, creates task
+  // states, and sends the assignments (start and every retry).
+  void assign_group(GroupState& group, SimNetwork& network);
   // Routes a session's queued messages / verdicts / hits into the grid.
   void drain(SupervisorSession& session, SimNetwork& network);
   // Generic screener-report handling (validation against the domain plus a
@@ -123,8 +160,11 @@ class SupervisorNode final : public GridNode {
   std::shared_ptr<const ResultVerifier> verifier_;
   Rng rng_;
   std::vector<SessionSlot> sessions_;
+  std::vector<GroupState> groups_;
   std::vector<std::size_t> pending_;  // flush worklist, reused across rounds
   std::map<TaskId, TaskState> tasks_;
+  std::uint64_t next_task_ = 1;
+  std::uint64_t tasks_reassigned_ = 0;
   bool started_ = false;
 };
 

@@ -1,0 +1,143 @@
+#include "scheme/attacker.h"
+
+#include <optional>
+#include <utility>
+
+#include "common/error.h"
+
+namespace ugc {
+
+namespace {
+
+// Drives an honest session (A) and a cheating session (B) of the base
+// scheme side by side and splices their outboxes: commitments from A,
+// everything else from B. NiCbsProof bundles both halves in one message, so
+// it is split and re-bundled as {A.commitment, B.response}.
+class EquivocatingParticipantSession final : public QueuedParticipantSession {
+ public:
+  EquivocatingParticipantSession(const VerificationScheme& base,
+                                 ParticipantContext context,
+                                 EquivocationParams params) {
+    ParticipantContext honest = context;
+    honest.policy = make_honest_policy();
+    ParticipantContext cheating = std::move(context);
+    cheating.policy = make_semi_honest_cheater(
+        {params.honesty_ratio, /*guess_accuracy=*/0.0,
+         params.seed ^ cheating.task.id.value});
+    honest_ = base.open_participant(std::move(honest));
+    cheating_ = base.open_participant(std::move(cheating));
+    splice();
+  }
+
+  void on_message(const SchemeMessage& message) override {
+    honest_->on_message(message);
+    cheating_->on_message(message);
+    splice();
+  }
+
+  // The honest side screens faithfully — the corrupt channel here is the
+  // result commitment, not the screener.
+  ScreenerReport screener_report() const override {
+    return honest_->screener_report();
+  }
+
+  // Both result sets really get computed; the equivocator pays for its own
+  // duplicity.
+  std::uint64_t honest_evaluations() const override {
+    return honest_->honest_evaluations() + cheating_->honest_evaluations();
+  }
+
+  bool finished() const override {
+    return honest_->finished() && cheating_->finished();
+  }
+
+ private:
+  void splice() {
+    while (auto message = honest_->next_message()) {
+      if (std::holds_alternative<Commitment>(*message)) {
+        push(std::move(*message));
+      } else if (auto* proof = std::get_if<NiCbsProof>(&*message)) {
+        honest_proof_ = std::move(*proof);
+      }
+      // A's proofs/responses/uploads are discarded: only its commitment
+      // speaks.
+    }
+    while (auto message = cheating_->next_message()) {
+      if (auto* proof = std::get_if<NiCbsProof>(&*message)) {
+        cheating_proof_ = std::move(*proof);
+      } else if (!std::holds_alternative<Commitment>(*message)) {
+        push(std::move(*message));
+      }
+    }
+    if (honest_proof_.has_value() && cheating_proof_.has_value()) {
+      push(NiCbsProof{std::move(honest_proof_->commitment),
+                      std::move(cheating_proof_->response)});
+      honest_proof_.reset();
+      cheating_proof_.reset();
+    }
+  }
+
+  std::unique_ptr<ParticipantSession> honest_;
+  std::unique_ptr<ParticipantSession> cheating_;
+  std::optional<NiCbsProof> honest_proof_;
+  std::optional<NiCbsProof> cheating_proof_;
+};
+
+class EquivocatingScheme final : public VerificationScheme {
+ public:
+  EquivocatingScheme(std::shared_ptr<const VerificationScheme> base,
+                     EquivocationParams params)
+      : base_(std::move(base)), params_(params) {
+    check(base_ != nullptr, "EquivocatingScheme: base scheme required");
+  }
+
+  std::string name() const override {
+    return base_->name() + kEquivocateSuffix;
+  }
+  // No wire enum: attacked variants are addressed by name only.
+  std::optional<SchemeKind> kind() const override { return std::nullopt; }
+  std::size_t replicas(const SchemeConfig& config) const override {
+    return base_->replicas(config);
+  }
+  bool trusts_screener_reports() const override {
+    return base_->trusts_screener_reports();
+  }
+
+  std::unique_ptr<ParticipantSession> open_participant(
+      ParticipantContext context) const override {
+    return std::make_unique<EquivocatingParticipantSession>(
+        *base_, std::move(context), params_);
+  }
+  std::unique_ptr<SupervisorSession> open_supervisor(
+      SupervisorContext context) const override {
+    return base_->open_supervisor(std::move(context));
+  }
+
+ private:
+  std::shared_ptr<const VerificationScheme> base_;
+  EquivocationParams params_;
+};
+
+}  // namespace
+
+std::shared_ptr<const VerificationScheme> make_equivocating_scheme(
+    std::shared_ptr<const VerificationScheme> base,
+    EquivocationParams params) {
+  return std::make_shared<EquivocatingScheme>(std::move(base), params);
+}
+
+std::vector<std::string> register_equivocating_schemes(
+    SchemeRegistry& registry, EquivocationParams params) {
+  std::vector<std::string> registered;
+  for (const std::string& name : registry.names()) {
+    if (name.find('+') != std::string::npos) {
+      continue;  // never stack attackers on attacked variants
+    }
+    auto wrapped = make_equivocating_scheme(registry.share(name), params);
+    registered.push_back(wrapped->name());
+    registry.register_scheme(std::move(wrapped));
+  }
+  return registered;
+}
+
+}  // namespace ugc

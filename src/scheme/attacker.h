@@ -1,0 +1,52 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scheme/registry.h"
+
+namespace ugc {
+
+// ---------------------------------------------------------------------------
+// Participant-side attackers that ride the scheme registry. A wrapped scheme
+// keeps the genuine supervisor session (attacks must be caught by the
+// unmodified verifier) but substitutes a hostile participant session; the
+// wrapper is registered under "<base>+<attacker>" and runs through the grid
+// like any other scheme — config.scheme.name selects it.
+//
+// Policy-level attackers (SemiHonestCheater, AdaptiveCheater,
+// ColludingCheater) live in core/cheating.h and ride GridConfig's cheater
+// specs instead; this module covers attacks that need control of the
+// session itself.
+// ---------------------------------------------------------------------------
+
+// Commitment equivocation: the participant maintains two result sets over
+// the same task — an honest one (A) and a partially guessed one (B) — and
+// answers from whichever side suits it: the commitment (Merkle root /
+// NI-CBS envelope) comes from A's tree, while every proof, response, and
+// upload is drawn from B's. A verifier that checks proofs against the
+// commitment it actually received catches this deterministically (root
+// mismatch or sample mismatch); one that validates proofs in isolation is
+// fooled forever. For commitment-free base schemes the attacker degenerates
+// to B's semi-honest conduct.
+struct EquivocationParams {
+  double honesty_ratio = 0.5;       // B's r
+  std::uint64_t seed = 0xec01ab5e;  // xored with the task id per session
+};
+
+// Suffix appended to the base scheme's registry name.
+inline constexpr const char* kEquivocateSuffix = "+equivocate";
+
+// Returns a scheme named base->name() + "+equivocate" with the hostile
+// participant side described above and base's supervisor side untouched.
+std::shared_ptr<const VerificationScheme> make_equivocating_scheme(
+    std::shared_ptr<const VerificationScheme> base,
+    EquivocationParams params = {});
+
+// Registers an equivocating variant of every scheme currently in
+// `registry`; returns the new names ("cbs+equivocate", ...).
+std::vector<std::string> register_equivocating_schemes(
+    SchemeRegistry& registry, EquivocationParams params = {});
+
+}  // namespace ugc

@@ -55,6 +55,13 @@ const VerificationScheme& SchemeRegistry::by_name(
   return *it->second;
 }
 
+std::shared_ptr<const VerificationScheme> SchemeRegistry::share(
+    const std::string& name) const {
+  const auto it = by_name_.find(name);
+  check(it != by_name_.end(), "SchemeRegistry: unknown scheme '", name, "'");
+  return it->second;
+}
+
 const VerificationScheme& SchemeRegistry::by_kind(SchemeKind kind) const {
   const auto it = by_kind_.find(kind);
   check(it != by_kind_.end(), "SchemeRegistry: unknown scheme kind ",

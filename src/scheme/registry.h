@@ -30,6 +30,10 @@ class SchemeRegistry {
   const VerificationScheme& by_name(const std::string& name) const;
   const VerificationScheme& by_kind(SchemeKind kind) const;
 
+  // Shared-ownership lookup, for composing schemes (wrappers that must
+  // outlive the registry entry they decorate).
+  std::shared_ptr<const VerificationScheme> share(const std::string& name) const;
+
   // config.name when non-empty, else config.kind.
   const VerificationScheme& resolve(const SchemeConfig& config) const;
 

@@ -45,7 +45,7 @@ SchemeKind scheme_kind_from(std::uint8_t raw) {
 }
 
 VerdictStatus verdict_status_from(std::uint8_t raw) {
-  if (raw > static_cast<std::uint8_t>(VerdictStatus::kMalformed)) {
+  if (raw > static_cast<std::uint8_t>(VerdictStatus::kAborted)) {
     throw WireError(concat("unknown verdict status ", int{raw}));
   }
   return static_cast<VerdictStatus>(raw);

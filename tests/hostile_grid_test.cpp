@@ -1,0 +1,539 @@
+// Hostile-grid simulation: fault injection mechanics (drop / duplicate /
+// reorder / corrupt / stall / crash-rejoin), the supervisor's
+// timeout-retry-reassign path, and the golden-seed reproducibility pin for
+// a full hostile run over every registered scheme and attacker.
+
+#include <gtest/gtest.h>
+
+#include "core/cheating.h"
+#include "grid/broker.h"
+#include "grid/network.h"
+#include "grid/participant_node.h"
+#include "grid/reputation.h"
+#include "grid/simulation.h"
+#include "scheme/attacker.h"
+#include "scheme/registry.h"
+
+namespace ugc {
+namespace {
+
+class RecordingNode final : public GridNode {
+ public:
+  void on_message(GridNodeId from, const Message& message,
+                  SimNetwork&) override {
+    received.push_back({from, message_type(message)});
+  }
+  void on_crash() override { ++crashes; }
+
+  std::vector<std::pair<GridNodeId, MessageType>> received;
+  int crashes = 0;
+};
+
+RingerReport ping(std::uint64_t task = 1) {
+  return RingerReport{TaskId{task}, {}};
+}
+
+// ------------------------------------------------------------ link faults
+
+TEST(FaultPlan, DropsMessagesAtTheConfiguredRate) {
+  SimNetwork network;
+  RecordingNode a, b;
+  const GridNodeId ida = network.add_node(a);
+  const GridNodeId idb = network.add_node(b);
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.faults.drop = 0.5;
+  network.set_fault_plan(plan);
+
+  const int kSends = 400;
+  for (int i = 0; i < kSends; ++i) {
+    network.send(ida, idb, ping());
+  }
+  network.run();
+  const std::uint64_t dropped = network.fault_stats().dropped;
+  EXPECT_EQ(b.received.size() + dropped, static_cast<std::size_t>(kSends));
+  EXPECT_NEAR(static_cast<double>(dropped) / kSends, 0.5, 0.1);
+  // Drops are metered as sent (the bytes left the sender) but never arrive.
+  EXPECT_EQ(network.stats().total_messages, static_cast<std::uint64_t>(kSends));
+}
+
+TEST(FaultPlan, DuplicatesDeliverTheFrameTwice) {
+  SimNetwork network;
+  RecordingNode a, b;
+  const GridNodeId ida = network.add_node(a);
+  const GridNodeId idb = network.add_node(b);
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.faults.duplicate = 1.0;
+  network.set_fault_plan(plan);
+
+  network.send(ida, idb, ping());
+  network.run();
+  EXPECT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(network.fault_stats().duplicated, 1u);
+  // The duplicate crossed the wire: both frames are metered.
+  EXPECT_EQ(network.stats().total_messages, 2u);
+}
+
+TEST(FaultPlan, CorruptFramesAreDiscardedByTheIntegrityCheck) {
+  SimNetwork network;
+  RecordingNode a, b;
+  const GridNodeId ida = network.add_node(a);
+  const GridNodeId idb = network.add_node(b);
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.faults.corrupt = 1.0;
+  network.set_fault_plan(plan);
+
+  for (int i = 0; i < 10; ++i) {
+    network.send(ida, idb, ping());
+  }
+  network.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(network.fault_stats().corrupted, 10u);
+  EXPECT_EQ(network.fault_stats().corrupt_discarded, 10u);
+}
+
+TEST(FaultPlan, DeliverCorruptFeedsDecodersHostileBytesWithoutCrashing) {
+  SimNetwork network;
+  RecordingNode a, b;
+  const GridNodeId ida = network.add_node(a);
+  const GridNodeId idb = network.add_node(b);
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.faults.corrupt = 1.0;
+  plan.deliver_corrupt = true;
+  network.set_fault_plan(plan);
+
+  const int kSends = 200;
+  for (int i = 0; i < kSends; ++i) {
+    network.send(ida, idb, ping(1 + static_cast<std::uint64_t>(i)));
+  }
+  network.run();  // must never throw or crash on flipped bits
+  const FaultStats& stats = network.fault_stats();
+  EXPECT_EQ(stats.corrupted, static_cast<std::uint64_t>(kSends));
+  // Every frame either decoded (possibly to junk values) or was rejected.
+  EXPECT_EQ(b.received.size() + stats.corrupt_undecodable,
+            static_cast<std::size_t>(kSends));
+}
+
+TEST(FaultPlan, ReorderBreaksFifoDelivery) {
+  SimNetwork network;
+  RecordingNode a, b;
+  const GridNodeId ida = network.add_node(a);
+  const GridNodeId idb = network.add_node(b);
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.faults.reorder = 1.0;
+  network.set_fault_plan(plan);
+
+  const int kSends = 50;
+  for (int i = 0; i < kSends; ++i) {
+    network.send(ida, idb, ping(1 + static_cast<std::uint64_t>(i)));
+  }
+  network.run();
+  ASSERT_EQ(b.received.size(), static_cast<std::size_t>(kSends));
+  EXPECT_GT(network.fault_stats().reordered, 0u);
+}
+
+TEST(FaultPlan, StalledFramesArriveOnlyAtQuiescence) {
+  SimNetwork network;
+  RecordingNode a, b;
+  const GridNodeId ida = network.add_node(a);
+  const GridNodeId idb = network.add_node(b);
+  FaultPlan plan;
+  plan.seed = 17;
+  plan.faults.stall = 1.0;
+  network.set_fault_plan(plan);
+
+  network.send(ida, idb, ping());
+  EXPECT_EQ(network.pending(), 1u);
+  EXPECT_FALSE(network.deliver_one());  // parked, not deliverable yet
+  network.run();                        // released once everything is quiet
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(network.fault_stats().stalled, 1u);
+}
+
+TEST(FaultPlan, PerLinkOverridesWinOverDefaults) {
+  SimNetwork network;
+  RecordingNode a, b, c;
+  const GridNodeId ida = network.add_node(a);
+  const GridNodeId idb = network.add_node(b);
+  const GridNodeId idc = network.add_node(c);
+  FaultPlan plan;
+  plan.seed = 19;
+  plan.faults.drop = 1.0;  // default: everything vanishes
+  plan.link_overrides[{ida.value, idc.value}] = LinkFaults{};  // clean link
+  network.set_fault_plan(plan);
+
+  network.send(ida, idb, ping());
+  network.send(ida, idc, ping());
+  network.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(c.received.size(), 1u);
+}
+
+TEST(FaultPlan, CrashDropsInboundAndRejoinRestores) {
+  SimNetwork network;
+  RecordingNode a, b;
+  const GridNodeId ida = network.add_node(a);
+  const GridNodeId idb = network.add_node(b);
+  FaultPlan plan;
+  plan.crashes.push_back(CrashSpec{idb.value, /*after_messages=*/2,
+                                   /*offline_for=*/3});
+  network.set_fault_plan(plan);
+
+  for (int i = 0; i < 8; ++i) {
+    network.send(ida, idb, ping());
+  }
+  network.run();
+  // Messages 1-2 delivered, crash fires (state lost), 3 ticks of traffic
+  // vanish, then the node is back for the rest.
+  EXPECT_EQ(b.crashes, 1);
+  EXPECT_EQ(network.fault_stats().crashes, 1u);
+  EXPECT_EQ(network.fault_stats().rejoins, 1u);
+  EXPECT_EQ(network.fault_stats().dropped_offline, 3u);
+  EXPECT_EQ(b.received.size(), 5u);
+}
+
+TEST(FaultPlan, PermanentCrashNeverRejoins) {
+  SimNetwork network;
+  RecordingNode a, b;
+  const GridNodeId ida = network.add_node(a);
+  const GridNodeId idb = network.add_node(b);
+  FaultPlan plan;
+  plan.crashes.push_back(CrashSpec{idb.value, 1, 0});
+  network.set_fault_plan(plan);
+
+  for (int i = 0; i < 5; ++i) {
+    network.send(ida, idb, ping());
+  }
+  network.run();
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_TRUE(network.offline(idb));
+  EXPECT_EQ(network.fault_stats().rejoins, 0u);
+}
+
+TEST(FaultPlan, CrashSpecsFireInThresholdOrderRegardlessOfListing) {
+  SimNetwork network;
+  RecordingNode a, b;
+  const GridNodeId ida = network.add_node(a);
+  const GridNodeId idb = network.add_node(b);
+  FaultPlan plan;
+  // Listed out of order: the permanent crash at message 3 must still win.
+  plan.crashes.push_back(CrashSpec{idb.value, 10, 5});
+  plan.crashes.push_back(CrashSpec{idb.value, 3, 0});
+  network.set_fault_plan(plan);
+
+  for (int i = 0; i < 12; ++i) {
+    network.send(ida, idb, ping());
+  }
+  network.run();
+  EXPECT_EQ(b.received.size(), 3u);
+  EXPECT_TRUE(network.offline(idb));
+  EXPECT_EQ(network.fault_stats().crashes, 1u);  // the later spec never fires
+  EXPECT_EQ(network.fault_stats().rejoins, 0u);
+}
+
+TEST(FaultPlan, SameSeedSameFaults) {
+  const auto run_once = [] {
+    SimNetwork network;
+    RecordingNode a, b;
+    const GridNodeId ida = network.add_node(a);
+    const GridNodeId idb = network.add_node(b);
+    FaultPlan plan;
+    plan.seed = 23;
+    plan.faults = LinkFaults{0.2, 0.2, 0.3, 0.2, 0.1};
+    network.set_fault_plan(plan);
+    for (int i = 0; i < 100; ++i) {
+      network.send(ida, idb, ping(1 + static_cast<std::uint64_t>(i)));
+    }
+    network.run();
+    return std::make_pair(network.fault_stats(), b.received.size());
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+// ---------------------------------------------------- supervisor retries
+
+GridConfig hostile_base(const std::string& scheme_name) {
+  GridConfig config;
+  config.domain_begin = 0;
+  config.domain_end = 1 << 9;
+  config.workload = "test";
+  config.participant_count = 4;
+  config.seed = 77;
+  config.scheme.name = scheme_name;
+  config.scheme.cbs.sample_count = 12;
+  config.scheme.nicbs.sample_count = 12;
+  config.scheme.naive.sample_count = 12;
+  config.scheme.ringer.ringer_count = 6;
+  return config;
+}
+
+// Satellite golden: a participant that crashes mid-exchange is re-assigned
+// exactly once, the run completes, and the metrics/reputation inputs pin to
+// golden values.
+TEST(HostileGrid, CrashedParticipantReassignedExactlyOnceGolden) {
+  GridConfig config = hostile_base("cbs");
+  // Participant 1 receives its assignment (message 1) and dies permanently
+  // before it can answer the sample challenge.
+  config.crashes.push_back(ParticipantCrash{1, 1, 0});
+
+  const GridRunResult result = run_grid_simulation(config);
+
+  // Golden expectations: one group re-assigned once, everything accepted,
+  // nothing aborted, nobody falsely accused.
+  EXPECT_EQ(result.tasks_reassigned, 1u);
+  EXPECT_EQ(result.tasks_aborted, 0u);
+  EXPECT_EQ(result.outcomes.size(), 4u);
+  EXPECT_EQ(result.honest_tasks_accepted, 4u);
+  EXPECT_EQ(result.honest_tasks_rejected, 0u);
+  EXPECT_EQ(result.faults.crashes, 1u);
+  EXPECT_GT(result.faults.dropped_offline, 0u);
+
+  // The re-assigned task went to the next slot (participant 2), and the
+  // crashed participant holds no final task.
+  std::size_t tasks_of[4] = {0, 0, 0, 0};
+  for (const ParticipantOutcome& outcome : result.outcomes) {
+    ASSERT_LT(outcome.participant_index, 4u);
+    ++tasks_of[outcome.participant_index];
+    EXPECT_EQ(outcome.status, VerdictStatus::kAccepted);
+  }
+  EXPECT_EQ(tasks_of[0], 1u);
+  EXPECT_EQ(tasks_of[1], 0u);  // the crashed node
+  EXPECT_EQ(tasks_of[2], 2u);  // its work moved here
+  EXPECT_EQ(tasks_of[3], 1u);
+
+  // Reputation golden: aborts don't move reputation, so the ledger sees
+  // exactly the four accepted verdicts.
+  std::size_t accepted = 0;
+  for (const ParticipantOutcome& outcome : result.outcomes) {
+    if (outcome.status != VerdictStatus::kAborted) {
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, 4u);
+
+  // Byte-identical across invocations (the golden seed contract).
+  const GridRunResult again = run_grid_simulation(config);
+  EXPECT_EQ(result.network.total_bytes, again.network.total_bytes);
+  EXPECT_EQ(result.network.total_messages, again.network.total_messages);
+  EXPECT_EQ(result.faults, again.faults);
+  EXPECT_EQ(result.messages_delivered, again.messages_delivered);
+}
+
+TEST(HostileGrid, PermanentlyDeadGridAbortsCleanlyAfterRetryBudget) {
+  GridConfig config = hostile_base("ni-cbs");
+  config.participant_count = 2;
+  config.max_task_retries = 2;
+  // Both participants are dead from the start: no retry can help.
+  config.crashes.push_back(ParticipantCrash{0, 0, 0});
+  config.crashes.push_back(ParticipantCrash{1, 0, 0});
+
+  const GridRunResult result = run_grid_simulation(config);
+  EXPECT_EQ(result.outcomes.size(), 2u);
+  EXPECT_EQ(result.tasks_aborted, 2u);
+  EXPECT_EQ(result.honest_tasks_rejected, 0u);  // aborts are not accusations
+  EXPECT_EQ(result.tasks_reassigned, 4u);       // 2 tasks x 2 retries
+  for (const ParticipantOutcome& outcome : result.outcomes) {
+    EXPECT_EQ(outcome.status, VerdictStatus::kAborted);
+  }
+}
+
+TEST(HostileGrid, RejoinedParticipantFinishesTheRetriedTask) {
+  GridConfig config = hostile_base("cbs");
+  config.participant_count = 1;  // nowhere else to go: retry hits the same node
+  // Dies after the assignment, rejoins shortly after.
+  config.crashes.push_back(ParticipantCrash{0, 1, 4});
+
+  const GridRunResult result = run_grid_simulation(config);
+  EXPECT_EQ(result.outcomes.size(), 1u);
+  EXPECT_EQ(result.honest_tasks_accepted, 1u);
+  EXPECT_GE(result.tasks_reassigned, 1u);
+  EXPECT_EQ(result.faults.rejoins, 1u);
+}
+
+TEST(HostileGrid, RetryWorksThroughTheBroker) {
+  GridConfig config = hostile_base("cbs");
+  config.use_broker = true;
+  config.crashes.push_back(ParticipantCrash{1, 1, 0});
+
+  const GridRunResult result = run_grid_simulation(config);
+  EXPECT_EQ(result.outcomes.size(), 4u);
+  EXPECT_EQ(result.honest_tasks_accepted + result.tasks_aborted, 4u);
+  EXPECT_EQ(result.honest_tasks_rejected, 0u);
+  // No final task may be attributed to the dead worker.
+  for (const ParticipantOutcome& outcome : result.outcomes) {
+    if (outcome.status == VerdictStatus::kAccepted) {
+      EXPECT_NE(outcome.participant_index, 1u);
+    }
+  }
+}
+
+TEST(HostileGrid, DuplicatedFramesAreIdempotentEverywhere) {
+  // Every frame duplicated, including assignments: participants must not
+  // restart sessions, the broker must not re-route, and nobody redoes work.
+  for (const bool broker : {false, true}) {
+    for (const char* scheme : {"cbs", "ni-cbs"}) {
+      GridConfig config = hostile_base(scheme);
+      config.use_broker = broker;
+      config.faults.duplicate = 1.0;
+      const GridRunResult result = run_grid_simulation(config);
+      SCOPED_TRACE(concat(scheme, " broker=", broker));
+      EXPECT_EQ(result.honest_tasks_accepted, 4u);
+      EXPECT_EQ(result.honest_tasks_rejected, 0u);
+      EXPECT_EQ(result.tasks_reassigned, 0u);
+      // Exactly one genuine evaluation per input — duplicates triggered no
+      // recomputation anywhere.
+      EXPECT_EQ(result.participant_evaluations, std::uint64_t{1} << 9);
+    }
+  }
+}
+
+TEST(HostileGrid, FaultFreeRunsAreBitIdenticalToThePreFaultPath) {
+  // A config with no faults must not even install the fault machinery:
+  // byte-for-byte the same traffic as before this subsystem existed.
+  GridConfig config = hostile_base("cbs");
+  const GridRunResult result = run_grid_simulation(config);
+  EXPECT_EQ(result.faults, FaultStats{});
+  EXPECT_EQ(result.tasks_reassigned, 0u);
+  EXPECT_EQ(result.honest_tasks_accepted, 4u);
+}
+
+// ------------------------------------------------------- the golden seed
+
+// Acceptance pin: one golden seed drives a full hostile-grid run — drops,
+// duplication, reordering, corruption, stalls, churn, a semi-honest
+// cheater, an adaptive sleeper, a colluding cheater, a malicious screener —
+// across every registered scheme plus its equivocating variant, and two
+// invocations produce byte-identical verdicts and metrics.
+TEST(HostileGolden, GoldenSeedReproducesFullHostileRunByteIdentically) {
+  SchemeRegistry schemes;
+  for (const std::string& name : SchemeRegistry::global().names()) {
+    schemes.register_scheme(SchemeRegistry::global().share(name));
+  }
+  register_equivocating_schemes(schemes);
+
+  const auto run_once = [&schemes](const std::string& scheme_name) {
+    GridConfig config = hostile_base(scheme_name);
+    config.participant_count = 6;
+    config.schemes = &schemes;
+    config.seed = 0x601dDEED;  // the golden seed
+    config.faults = LinkFaults{/*drop=*/0.03, /*duplicate=*/0.05,
+                               /*reorder=*/0.15, /*corrupt=*/0.03,
+                               /*stall=*/0.05};
+    config.crashes.push_back(ParticipantCrash{2, 2, 40});
+    config.cheaters.push_back(CheaterSpec{1, 0.5, 0.0, 0});
+    config.policy_cheaters.push_back(PolicyCheaterSpec{
+        3, make_adaptive_cheater({2, 0.4, 0.0, 0x5157})});
+    config.policy_cheaters.push_back(PolicyCheaterSpec{
+        4, make_colluding_cheater({1, 2, 3}, 0xc011)});
+    config.malicious.push_back(MaliciousSpec{5, ScreenerConduct::kFabricate});
+    config.max_task_retries = 3;
+    return run_grid_simulation(config);
+  };
+
+  for (const std::string& name : schemes.names()) {
+    if (name == "double-check" || name == "double-check+equivocate") {
+      continue;  // 6 participants don't split into replica pairs cleanly here
+    }
+    SCOPED_TRACE(name);
+    const GridRunResult first = run_once(name);
+    const GridRunResult second = run_once(name);
+
+    ASSERT_EQ(first.outcomes.size(), second.outcomes.size());
+    for (std::size_t i = 0; i < first.outcomes.size(); ++i) {
+      EXPECT_EQ(first.outcomes[i].task, second.outcomes[i].task);
+      EXPECT_EQ(first.outcomes[i].participant_index,
+                second.outcomes[i].participant_index);
+      EXPECT_EQ(first.outcomes[i].status, second.outcomes[i].status);
+    }
+    EXPECT_EQ(first.cheater_tasks_rejected, second.cheater_tasks_rejected);
+    EXPECT_EQ(first.cheater_tasks_accepted, second.cheater_tasks_accepted);
+    EXPECT_EQ(first.honest_tasks_accepted, second.honest_tasks_accepted);
+    EXPECT_EQ(first.honest_tasks_rejected, second.honest_tasks_rejected);
+    EXPECT_EQ(first.tasks_aborted, second.tasks_aborted);
+    EXPECT_EQ(first.tasks_reassigned, second.tasks_reassigned);
+    EXPECT_EQ(first.faults, second.faults);
+    EXPECT_EQ(first.hits, second.hits);
+    EXPECT_EQ(first.participant_evaluations, second.participant_evaluations);
+    EXPECT_EQ(first.supervisor_evaluations, second.supervisor_evaluations);
+    EXPECT_EQ(first.results_verified, second.results_verified);
+    EXPECT_EQ(first.network.total_bytes, second.network.total_bytes);
+    EXPECT_EQ(first.network.total_messages, second.network.total_messages);
+    EXPECT_EQ(first.messages_delivered, second.messages_delivered);
+
+    // And whatever happened, no honest participant was accused. (Under an
+    // equivocate-wrapped scheme every participant is hostile by
+    // construction, so the counter legitimately fires there.)
+    if (name.find(kEquivocateSuffix) == std::string::npos) {
+      EXPECT_EQ(first.honest_tasks_rejected, 0u);
+    }
+  }
+}
+
+// 6 participants with replicas=2 → 3 groups: double-check gets its own pin.
+TEST(HostileGolden, GoldenSeedCoversDoubleCheckToo) {
+  const auto run_once = [] {
+    GridConfig config = hostile_base("double-check");
+    config.participant_count = 6;
+    config.seed = 0x601dDEED;
+    config.faults = LinkFaults{0.02, 0.05, 0.1, 0.02, 0.05};
+    config.crashes.push_back(ParticipantCrash{2, 2, 40});
+    config.cheaters.push_back(CheaterSpec{1, 0.5, 0.0, 0});
+    config.max_task_retries = 3;
+    return run_grid_simulation(config);
+  };
+  const GridRunResult first = run_once();
+  const GridRunResult second = run_once();
+  EXPECT_EQ(first.network.total_bytes, second.network.total_bytes);
+  EXPECT_EQ(first.faults, second.faults);
+  EXPECT_EQ(first.tasks_aborted, second.tasks_aborted);
+  EXPECT_EQ(first.honest_tasks_rejected, 0u);
+  EXPECT_EQ(second.honest_tasks_rejected, 0u);
+}
+
+// Crash specs name original participants; once the roster shrinks they must
+// follow their target (or vanish with it), never land on whoever fills the
+// slot — and never throw the tournament over a now-out-of-range index.
+TEST(HostileGrid, TournamentRemapsCrashSpecsToTheActiveRoster) {
+  TournamentConfig config;
+  config.base.domain_end = 1 << 9;
+  config.base.participant_count = 4;
+  config.base.seed = 9;
+  config.base.scheme.kind = SchemeKind::kCbs;
+  config.base.scheme.cbs.sample_count = 16;
+  config.base.cheaters.push_back(CheaterSpec{0, 0.3, 0.0, 0});  // banned fast
+  config.base.crashes.push_back(ParticipantCrash{3, 2, 30});    // last index
+  config.rounds = 6;
+
+  const TournamentResult result = run_reputation_tournament(config);
+  EXPECT_TRUE(result.final_banned[0]);
+  for (const TournamentRound& round : result.rounds) {
+    EXPECT_EQ(round.honest_tasks_rejected, 0u);
+  }
+}
+
+// AdaptiveCheater's sleeper state must not leak between the two golden
+// invocations above — a fresh policy object per run keeps them identical.
+// This pins the sharing behavior the tournament relies on instead.
+TEST(HostileGrid, AdaptivePolicySharedAcrossRunsCarriesState) {
+  const auto adaptive = make_adaptive_cheater({1, 0.3, 0.0, 99});
+  EXPECT_FALSE(adaptive->active());
+  adaptive->observe_verdict(true);
+  EXPECT_TRUE(adaptive->active());
+
+  GridConfig config = hostile_base("cbs");
+  config.participant_count = 1;
+  config.policy_cheaters.push_back(PolicyCheaterSpec{0, adaptive});
+  const GridRunResult result = run_grid_simulation(config);
+  // Already activated: it cheats with r=0.3 and is caught.
+  EXPECT_EQ(result.cheater_tasks_rejected, 1u);
+}
+
+}  // namespace
+}  // namespace ugc

@@ -1,0 +1,150 @@
+// The property harness itself: failing properties must report a standalone
+// reproduction seed, shrink toward minimal cases, and replay an explicit
+// PROP_SEED exactly; passing properties must stay silent.
+
+#include <gtest/gtest-spi.h>
+#include <gtest/gtest.h>
+
+#include "prop.h"
+
+namespace ugc {
+namespace {
+
+using proptest::Config;
+using proptest::Failure;
+using proptest::Property;
+using proptest::gen_range;
+using proptest::prop_check;
+using proptest::shrink_towards;
+using proptest::shrink_unit;
+
+Property<std::uint64_t> below_ten_property() {
+  Property<std::uint64_t> prop;
+  prop.name = "values stay below ten";
+  prop.gen = [](Rng& rng) { return gen_range(rng, 0, 1000); };
+  prop.shrink = [](const std::uint64_t& v) { return shrink_towards(v, 0); };
+  prop.show = [](const std::uint64_t& v) { return std::to_string(v); };
+  return prop;
+}
+
+Failure check_below_ten(const std::uint64_t& v) {
+  if (v >= 10) {
+    return concat("value ", v, " >= 10");
+  }
+  return {};
+}
+
+TEST(PropHarness, prop_failures_print_a_reproduction_seed) {
+  Config config;
+  config.iterations = 50;
+  config.seed = 0;
+  EXPECT_NONFATAL_FAILURE(
+      prop_check(below_ten_property(), check_below_ten, config),
+      "rerun just this case: PROP_SEED=");
+}
+
+TEST(PropHarness, prop_failures_shrink_toward_the_minimal_case) {
+  // Capture the report and pull out the shrunk case value.
+  ::testing::TestPartResultArray results;
+  {
+    ::testing::ScopedFakeTestPartResultReporter reporter(
+        ::testing::ScopedFakeTestPartResultReporter::
+            INTERCEPT_ONLY_CURRENT_THREAD,
+        &results);
+    Config config;
+    config.iterations = 50;
+    config.seed = 0;
+    prop_check(below_ten_property(), check_below_ten, config);
+  }
+  ASSERT_EQ(results.size(), 1);
+  const std::string message = results.GetTestPartResult(0).message();
+  EXPECT_NE(message.find("falsified at iteration"), std::string::npos);
+  EXPECT_NE(message.find("shrink steps"), std::string::npos);
+
+  // The shrunk case must still fail but be small: halving from anywhere in
+  // [10, 1000] lands in [10, 19].
+  const auto case_pos = message.find("case: ");
+  ASSERT_NE(case_pos, std::string::npos);
+  const std::uint64_t shrunk =
+      std::strtoull(message.c_str() + case_pos + 6, nullptr, 10);
+  EXPECT_GE(shrunk, 10u);
+  EXPECT_LT(shrunk, 20u);
+}
+
+TEST(PropHarness, prop_passing_properties_stay_silent) {
+  Property<std::uint64_t> prop;
+  prop.name = "everything below 2000 passes";
+  prop.gen = [](Rng& rng) { return gen_range(rng, 0, 1000); };
+  Config config;
+  config.iterations = 100;
+  prop_check(
+      prop,
+      [](const std::uint64_t& v) -> Failure {
+        if (v > 2000) {
+          return "impossible";
+        }
+        return {};
+      },
+      config);
+}
+
+TEST(PropHarness, prop_explicit_seed_replays_the_exact_case) {
+  std::vector<std::uint64_t> seen;
+  Property<std::uint64_t> prop;
+  prop.name = "collect";
+  prop.gen = [](Rng& rng) { return rng.next(); };
+  Config config;
+  config.seed = 0x1234;
+  config.iterations = 1;
+  prop_check(
+      prop,
+      [&seen](const std::uint64_t& v) -> Failure {
+        seen.push_back(v);
+        return {};
+      },
+      config);
+
+  Rng replay(0x1234);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], replay.next());
+}
+
+TEST(PropHarness, prop_case_seeds_are_deterministic_per_property_name) {
+  const auto collect = [](const std::string& name) {
+    std::vector<std::uint64_t> values;
+    Property<std::uint64_t> prop;
+    prop.name = name;
+    prop.gen = [](Rng& rng) { return rng.next(); };
+    Config config;
+    config.iterations = 5;
+    config.seed = 0;
+    prop_check(
+        prop,
+        [&values](const std::uint64_t& v) -> Failure {
+          values.push_back(v);
+          return {};
+        },
+        config);
+    return values;
+  };
+  EXPECT_EQ(collect("alpha"), collect("alpha"));
+  EXPECT_NE(collect("alpha"), collect("beta"));  // streams don't collide
+}
+
+TEST(PropHarness, prop_shrink_helpers_move_toward_the_floor) {
+  const auto cands = shrink_towards(800, 0);
+  ASSERT_FALSE(cands.empty());
+  EXPECT_EQ(cands.front(), 0u);
+  for (const std::uint64_t c : cands) {
+    EXPECT_LT(c, 800u);
+  }
+  EXPECT_TRUE(shrink_towards(0, 0).empty());
+
+  const auto probs = shrink_unit(0.5);
+  ASSERT_FALSE(probs.empty());
+  EXPECT_EQ(probs.front(), 0.0);
+  EXPECT_TRUE(shrink_unit(0.0).empty());
+}
+
+}  // namespace
+}  // namespace ugc

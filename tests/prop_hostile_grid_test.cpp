@@ -1,0 +1,297 @@
+// The paper's invariants stated as properties over randomized hostile-grid
+// configurations (run via the tests/prop.h harness; PROP_ITERS scales the
+// case count, and every failure prints a standalone reproduction seed).
+//
+//   1. Honest participants are never flagged, under ANY FaultPlan: a task
+//      either completes (accepted) or cleanly aborts — no fault pattern may
+//      manufacture an accusation.
+//   2. Hostile runs are deterministic: the same config twice gives
+//      byte-identical verdicts, traffic, and fault counters.
+//   3. Every semi-honest cheater's escape rate stays within the Theorem 3
+//      bound (r + (1-r)q)^m, across schemes and random (r, m).
+//   4. The commitment-equivocation attacker never escapes a commitment
+//      scheme, for any seed.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grid/simulation.h"
+#include "prop.h"
+#include "scheme/attacker.h"
+#include "scheme/registry.h"
+
+namespace ugc {
+namespace {
+
+using proptest::Failure;
+using proptest::Property;
+using proptest::gen_pick;
+using proptest::gen_range;
+using proptest::gen_unit;
+using proptest::prop_check;
+using proptest::shrink_unit;
+
+// ------------------------------------------------ hostile configurations
+
+struct HostileCase {
+  std::string scheme;
+  std::uint64_t domain = 256;
+  std::uint64_t seed = 1;
+  LinkFaults faults;
+  std::vector<ParticipantCrash> crashes;
+};
+
+std::string show_hostile(const HostileCase& c) {
+  std::string crashes;
+  for (const ParticipantCrash& crash : c.crashes) {
+    crashes += concat(" {p", crash.participant_index, " after ",
+                      crash.after_messages, " for ", crash.offline_for, "}");
+  }
+  return concat("scheme=", c.scheme, " domain=", c.domain, " seed=", c.seed,
+                " drop=", c.faults.drop, " dup=", c.faults.duplicate,
+                " reorder=", c.faults.reorder, " corrupt=", c.faults.corrupt,
+                " stall=", c.faults.stall, " crashes=[", crashes, " ]");
+}
+
+HostileCase gen_hostile(Rng& rng) {
+  HostileCase c;
+  c.scheme = gen_pick(rng, SchemeRegistry::global().names());
+  c.domain = std::uint64_t{1} << gen_range(rng, 6, 9);
+  c.seed = rng.next();
+  c.faults.drop = gen_unit(rng, 0.2);
+  c.faults.duplicate = gen_unit(rng, 0.3);
+  c.faults.reorder = gen_unit(rng, 0.5);
+  c.faults.corrupt = gen_unit(rng, 0.2);
+  c.faults.stall = gen_unit(rng, 0.25);
+  const std::uint64_t crash_count = gen_range(rng, 0, 2);
+  for (std::uint64_t i = 0; i < crash_count; ++i) {
+    ParticipantCrash crash;
+    crash.participant_index = gen_range(rng, 0, 3);
+    crash.after_messages = gen_range(rng, 0, 3);
+    crash.offline_for = rng.bernoulli(0.5) ? 0 : gen_range(rng, 10, 60);
+    c.crashes.push_back(crash);
+  }
+  return c;
+}
+
+// Shrink toward a quiet grid: drop fault probabilities, then crashes.
+std::vector<HostileCase> shrink_hostile(const HostileCase& c) {
+  std::vector<HostileCase> out;
+  const auto with = [&c](auto edit) {
+    HostileCase copy = c;
+    edit(copy);
+    return copy;
+  };
+  for (double v : shrink_unit(c.faults.drop)) {
+    out.push_back(with([v](HostileCase& x) { x.faults.drop = v; }));
+  }
+  for (double v : shrink_unit(c.faults.duplicate)) {
+    out.push_back(with([v](HostileCase& x) { x.faults.duplicate = v; }));
+  }
+  for (double v : shrink_unit(c.faults.reorder)) {
+    out.push_back(with([v](HostileCase& x) { x.faults.reorder = v; }));
+  }
+  for (double v : shrink_unit(c.faults.corrupt)) {
+    out.push_back(with([v](HostileCase& x) { x.faults.corrupt = v; }));
+  }
+  for (double v : shrink_unit(c.faults.stall)) {
+    out.push_back(with([v](HostileCase& x) { x.faults.stall = v; }));
+  }
+  if (!c.crashes.empty()) {
+    out.push_back(with([](HostileCase& x) { x.crashes.pop_back(); }));
+  }
+  if (c.domain > 64) {
+    out.push_back(with([](HostileCase& x) { x.domain /= 2; }));
+  }
+  return out;
+}
+
+GridConfig to_config(const HostileCase& c) {
+  GridConfig config;
+  config.domain_end = c.domain;
+  config.participant_count = 4;  // divides double-check's replica pairs
+  config.seed = c.seed == 0 ? 1 : c.seed;
+  config.scheme.name = c.scheme;
+  config.scheme.cbs.sample_count = 8;
+  config.scheme.nicbs.sample_count = 8;
+  config.scheme.naive.sample_count = 8;
+  config.scheme.ringer.ringer_count = 4;
+  config.faults = c.faults;
+  config.crashes = c.crashes;
+  config.max_task_retries = 3;
+  return config;
+}
+
+TEST(PropHostileGrid, prop_honest_participants_are_never_flagged) {
+  Property<HostileCase> prop;
+  prop.name = "honest participants are never flagged under any FaultPlan";
+  prop.gen = gen_hostile;
+  prop.shrink = shrink_hostile;
+  prop.show = show_hostile;
+  prop_check(prop, [](const HostileCase& c) -> Failure {
+    const GridRunResult result = run_grid_simulation(to_config(c));
+    if (result.outcomes.size() != 4) {
+      return concat("expected 4 final outcomes, got ",
+                    result.outcomes.size());
+    }
+    if (result.honest_tasks_rejected != 0) {
+      return concat(result.honest_tasks_rejected,
+                    " honest task(s) were accused of cheating");
+    }
+    for (const ParticipantOutcome& outcome : result.outcomes) {
+      const bool clean = outcome.status == VerdictStatus::kAccepted ||
+                         outcome.status == VerdictStatus::kAborted;
+      if (!clean) {
+        return concat("task ", outcome.task.value, " ended ",
+                      to_string(outcome.status),
+                      " on an all-honest grid");
+      }
+    }
+    return {};
+  });
+}
+
+TEST(PropHostileGrid, prop_hostile_runs_are_deterministic) {
+  Property<HostileCase> prop;
+  prop.name = "hostile runs are byte-identical across invocations";
+  prop.gen = gen_hostile;
+  prop.shrink = shrink_hostile;
+  prop.show = show_hostile;
+  prop_check(prop, [](const HostileCase& c) -> Failure {
+    const GridConfig config = to_config(c);
+    const GridRunResult a = run_grid_simulation(config);
+    const GridRunResult b = run_grid_simulation(config);
+    if (a.network.total_bytes != b.network.total_bytes) {
+      return concat("traffic diverged: ", a.network.total_bytes, " vs ",
+                    b.network.total_bytes, " bytes");
+    }
+    if (!(a.faults == b.faults)) {
+      return "fault counters diverged";
+    }
+    if (a.outcomes.size() != b.outcomes.size()) {
+      return "outcome counts diverged";
+    }
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+      if (a.outcomes[i].status != b.outcomes[i].status ||
+          a.outcomes[i].task != b.outcomes[i].task ||
+          a.outcomes[i].participant_index != b.outcomes[i].participant_index) {
+        return concat("outcome ", i, " diverged");
+      }
+    }
+    if (a.hits != b.hits) {
+      return "screener hits diverged";
+    }
+    return {};
+  });
+}
+
+// ------------------------------------------------- Theorem 3 escape bound
+
+struct BoundCase {
+  std::string scheme;
+  double r = 0.5;
+  std::size_t m = 10;
+  std::uint64_t seed = 1;
+};
+
+TEST(PropHostileGrid, prop_cheater_escape_rate_within_theorem3_bound) {
+  Property<BoundCase> prop;
+  prop.name = "semi-honest escape rate stays within (r + (1-r)q)^m";
+  prop.gen = [](Rng& rng) {
+    BoundCase c;
+    c.scheme = gen_pick(
+        rng, std::vector<std::string>{"cbs", "ni-cbs", "naive-sampling"});
+    c.r = 0.3 + gen_unit(rng, 0.5);
+    c.m = gen_range(rng, 5, 24);
+    c.seed = rng.next();
+    return c;
+  };
+  prop.show = [](const BoundCase& c) {
+    return concat("scheme=", c.scheme, " r=", c.r, " m=", c.m,
+                  " seed=", c.seed);
+  };
+
+  static constexpr int kTrials = 30;
+  prop_check(prop, [](const BoundCase& c) -> Failure {
+    int escapes = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      GridConfig config;
+      config.domain_end = 128;
+      config.participant_count = 1;
+      config.seed = c.seed + static_cast<std::uint64_t>(trial) * 2654435761u;
+      config.scheme.name = c.scheme;
+      config.scheme.cbs.sample_count = c.m;
+      config.scheme.nicbs.sample_count = c.m;
+      config.scheme.naive.sample_count = c.m;
+      config.cheaters.push_back(CheaterSpec{0, c.r, 0.0, 0});
+      if (run_grid_simulation(config).cheater_tasks_accepted > 0) {
+        ++escapes;
+      }
+    }
+    // Theorem 3 with q = 0: escape probability r^m per run. Allow a
+    // generous binomial tail (4 sigma + 2) so a sound implementation
+    // essentially never trips.
+    const double bound = std::pow(c.r, static_cast<double>(c.m));
+    const double allowed =
+        kTrials * bound + 4.0 * std::sqrt(kTrials * bound * (1 - bound)) + 2.0;
+    if (escapes > allowed) {
+      return concat(escapes, "/", kTrials, " escapes exceeds bound ", bound,
+                    " (allowed ", allowed, ")");
+    }
+    return {};
+  });
+}
+
+// -------------------------------------------- equivocation never escapes
+
+struct EquivocationCase {
+  std::string scheme;
+  std::uint64_t seed = 1;
+  bool batched = false;
+};
+
+TEST(PropHostileGrid, prop_equivocator_never_escapes_commitment_schemes) {
+  SchemeRegistry schemes;
+  for (const std::string& name : SchemeRegistry::global().names()) {
+    schemes.register_scheme(SchemeRegistry::global().share(name));
+  }
+  register_equivocating_schemes(schemes);
+
+  Property<EquivocationCase> prop;
+  prop.name = "equivocation is caught deterministically by cbs/ni-cbs";
+  prop.gen = [](Rng& rng) {
+    EquivocationCase c;
+    c.scheme = gen_pick(rng, std::vector<std::string>{"cbs+equivocate",
+                                                      "ni-cbs+equivocate"});
+    c.seed = rng.next();
+    c.batched = rng.bernoulli(0.5);
+    return c;
+  };
+  prop.show = [](const EquivocationCase& c) {
+    return concat("scheme=", c.scheme, " seed=", c.seed,
+                  " batched=", c.batched);
+  };
+
+  prop_check(prop, [&schemes](const EquivocationCase& c) -> Failure {
+    GridConfig config;
+    config.domain_end = 256;
+    config.participant_count = 2;
+    config.seed = c.seed == 0 ? 1 : c.seed;
+    config.schemes = &schemes;
+    config.scheme.name = c.scheme;
+    config.scheme.cbs.sample_count = 8;
+    config.scheme.nicbs.sample_count = 8;
+    config.scheme.cbs.use_batch_proofs = c.batched;
+    const GridRunResult result = run_grid_simulation(config);
+    for (const ParticipantOutcome& outcome : result.outcomes) {
+      if (outcome.accepted) {
+        return concat("equivocator escaped task ", outcome.task.value);
+      }
+    }
+    return {};
+  });
+}
+
+}  // namespace
+}  // namespace ugc

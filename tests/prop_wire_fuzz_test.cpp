@@ -1,0 +1,355 @@
+// Fuzz-style robustness properties for the wire decoders: every message
+// type round-trips bit-exactly, and truncated or bit-flipped encodings of
+// any message must either throw WireError or decode to *some* message —
+// never crash, never throw anything else, never read out of bounds (the
+// ASan/UBSan CI leg runs this same suite). The view decoders get the same
+// treatment, including arena reuse across hostile inputs.
+
+#include <gtest/gtest.h>
+
+#include "prop.h"
+#include "wire/codec.h"
+#include "wire/messages.h"
+
+namespace ugc {
+namespace {
+
+using proptest::Failure;
+using proptest::Property;
+using proptest::gen_pick;
+using proptest::gen_range;
+using proptest::prop_check;
+
+// ----------------------------------------------------- message generation
+
+Bytes gen_bytes(Rng& rng, std::size_t max_len) {
+  return rng.bytes(gen_range(rng, 0, max_len));
+}
+
+SampleProof gen_sample_proof(Rng& rng) {
+  SampleProof proof;
+  proof.index = LeafIndex{gen_range(rng, 0, 1 << 20)};
+  proof.result = gen_bytes(rng, 48);
+  const std::uint64_t height = gen_range(rng, 0, 6);
+  for (std::uint64_t i = 0; i < height; ++i) {
+    proof.siblings.push_back(gen_bytes(rng, 32));
+  }
+  return proof;
+}
+
+// One random message of every variant, chosen uniformly.
+Message gen_message(Rng& rng) {
+  const TaskId task{gen_range(rng, 1, 1 << 16)};
+  switch (rng.uniform(10)) {
+    case 0: {
+      TaskAssignment m;
+      m.task = task;
+      m.domain_begin = gen_range(rng, 0, 1 << 20);
+      m.domain_end = m.domain_begin + gen_range(rng, 1, 1 << 10);
+      m.workload = rng.bernoulli(0.5) ? "test" : "keysearch";
+      m.workload_seed = rng.next();
+      m.scheme.kind = static_cast<SchemeKind>(rng.uniform(5));
+      if (rng.bernoulli(0.3)) {
+        m.scheme.name = "custom+scheme";
+      }
+      const std::uint64_t images = gen_range(rng, 0, 3);
+      for (std::uint64_t i = 0; i < images; ++i) {
+        m.ringer_images.push_back(gen_bytes(rng, 32));
+      }
+      return m;
+    }
+    case 1:
+      return Commitment{task, gen_range(rng, 0, 1 << 20), gen_bytes(rng, 32)};
+    case 2: {
+      SampleChallenge m{task, {}};
+      const std::uint64_t count = gen_range(rng, 0, 12);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        m.samples.push_back(LeafIndex{gen_range(rng, 0, 1 << 20)});
+      }
+      return m;
+    }
+    case 3: {
+      ProofResponse m{task, {}};
+      const std::uint64_t count = gen_range(rng, 0, 6);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        m.proofs.push_back(gen_sample_proof(rng));
+      }
+      return m;
+    }
+    case 4: {
+      NiCbsProof m;
+      m.commitment =
+          Commitment{task, gen_range(rng, 0, 1 << 20), gen_bytes(rng, 32)};
+      m.response.task = task;
+      const std::uint64_t count = gen_range(rng, 0, 4);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        m.response.proofs.push_back(gen_sample_proof(rng));
+      }
+      return m;
+    }
+    case 5: {
+      ResultsUpload m{task, {}};
+      const std::uint64_t count = gen_range(rng, 0, 16);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        m.results.push_back(gen_bytes(rng, 24));
+      }
+      return m;
+    }
+    case 6: {
+      ScreenerReport m{task, {}};
+      const std::uint64_t count = gen_range(rng, 0, 4);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        m.hits.push_back(
+            ScreenerHit{rng.next(), concat("hit:", rng.uniform(1000))});
+      }
+      return m;
+    }
+    case 7: {
+      RingerReport m{task, {}};
+      const std::uint64_t count = gen_range(rng, 0, 6);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        m.found_inputs.push_back(rng.next());
+      }
+      return m;
+    }
+    case 8: {
+      Verdict m;
+      m.task = task;
+      m.status = static_cast<VerdictStatus>(rng.uniform(5));
+      if (rng.bernoulli(0.5)) {
+        m.failed_sample = LeafIndex{gen_range(rng, 0, 1 << 20)};
+      }
+      m.detail = rng.bernoulli(0.5) ? "some detail" : "";
+      return m;
+    }
+    default: {
+      BatchProofResponse m;
+      m.task = task;
+      const std::uint64_t count = gen_range(rng, 0, 6);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        m.results.emplace_back(LeafIndex{gen_range(rng, 0, 1 << 20)},
+                               gen_bytes(rng, 24));
+      }
+      const std::uint64_t siblings = gen_range(rng, 0, 8);
+      for (std::uint64_t i = 0; i < siblings; ++i) {
+        m.siblings.push_back(gen_bytes(rng, 32));
+      }
+      return m;
+    }
+  }
+}
+
+// Decode must end in exactly two ways on hostile bytes: WireError or a
+// value. Anything else (crash, other exception type) is a defect.
+Failure decode_gracefully(BytesView data) {
+  try {
+    (void)decode_message(data);
+  } catch (const WireError&) {
+    // fine: rejected cleanly
+  } catch (const std::exception& e) {
+    return concat("decode threw non-WireError: ", e.what());
+  }
+  return {};
+}
+
+// --------------------------------------------------------------- round-trip
+
+struct FuzzCase {
+  Message message;
+  std::uint64_t mutation_seed = 0;
+};
+
+Property<FuzzCase> fuzz_property(const std::string& name) {
+  Property<FuzzCase> prop;
+  prop.name = name;
+  prop.gen = [](Rng& rng) {
+    FuzzCase c;
+    c.message = gen_message(rng);
+    c.mutation_seed = rng.next();
+    return c;
+  };
+  prop.show = [](const FuzzCase& c) {
+    return concat("type=", to_string(message_type(c.message)),
+                  " mutation_seed=", c.mutation_seed);
+  };
+  return prop;
+}
+
+TEST(PropWireFuzz, prop_every_message_type_round_trips_bit_exactly) {
+  prop_check(fuzz_property("encode/decode round-trip is the identity"),
+             [](const FuzzCase& c) -> Failure {
+               const Bytes encoded = encode_message(c.message);
+               const Message decoded = decode_message(encoded);
+               if (!(decoded == c.message)) {
+                 return concat("round-trip mismatch for ",
+                               to_string(message_type(c.message)));
+               }
+               // The capacity-reusing encoder must emit identical bytes.
+               Bytes reused(64, 0xab);
+               encode_message_into(c.message, reused);
+               if (reused != encoded) {
+                 return "encode_message_into diverged from encode_message";
+               }
+               return {};
+             });
+}
+
+TEST(PropWireFuzz, prop_truncated_encodings_reject_gracefully) {
+  prop_check(
+      fuzz_property("every truncation throws WireError or decodes"),
+      [](const FuzzCase& c) -> Failure {
+        const Bytes encoded = encode_message(c.message);
+        for (std::size_t len = 0; len < encoded.size(); ++len) {
+          if (Failure f = decode_gracefully(BytesView(encoded).first(len))) {
+            return concat("prefix of ", len, " bytes: ", *f);
+          }
+        }
+        return {};
+      });
+}
+
+TEST(PropWireFuzz, prop_bit_flipped_encodings_reject_gracefully) {
+  prop_check(
+      fuzz_property("bit flips throw WireError or decode to junk"),
+      [](const FuzzCase& c) -> Failure {
+        const Bytes encoded = encode_message(c.message);
+        if (encoded.empty()) {
+          return {};
+        }
+        Rng rng(c.mutation_seed);
+        for (int flip = 0; flip < 64; ++flip) {
+          Bytes mutated = encoded;
+          const std::uint64_t flips = 1 + rng.uniform(8);
+          for (std::uint64_t b = 0; b < flips; ++b) {
+            const std::uint64_t bit = rng.uniform(mutated.size() * 8);
+            mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+          }
+          if (Failure f = decode_gracefully(mutated)) {
+            return f;
+          }
+        }
+        return {};
+      });
+}
+
+// ------------------------------------------------------------ view decoders
+
+Failure view_decode_gracefully(BytesView data, MessageType type,
+                               WireViewArena& arena) {
+  try {
+    if (type == MessageType::kProofResponse) {
+      (void)decode_proof_response_view(data, arena);
+    } else {
+      (void)decode_batch_proof_response_view(data, arena);
+    }
+  } catch (const WireError&) {
+    // fine
+  } catch (const std::exception& e) {
+    return concat("view decode threw non-WireError: ", e.what());
+  }
+  return {};
+}
+
+TEST(PropWireFuzz, prop_view_decoders_survive_truncation_and_flips) {
+  Property<FuzzCase> prop;
+  prop.name = "proof view decoders reject hostile bytes cleanly";
+  prop.gen = [](Rng& rng) {
+    FuzzCase c;
+    if (rng.bernoulli(0.5)) {
+      ProofResponse m{TaskId{gen_range(rng, 1, 1000)}, {}};
+      const std::uint64_t count = gen_range(rng, 0, 6);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        m.proofs.push_back(gen_sample_proof(rng));
+      }
+      c.message = m;
+    } else {
+      BatchProofResponse m;
+      m.task = TaskId{gen_range(rng, 1, 1000)};
+      const std::uint64_t count = gen_range(rng, 0, 6);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        m.results.emplace_back(LeafIndex{gen_range(rng, 0, 1 << 20)},
+                               gen_bytes(rng, 24));
+      }
+      c.message = m;
+    }
+    c.mutation_seed = rng.next();
+    return c;
+  };
+  prop.show = [](const FuzzCase& c) {
+    return concat("type=", to_string(message_type(c.message)),
+                  " mutation_seed=", c.mutation_seed);
+  };
+
+  // One arena reused across every hostile input: a rejected decode must not
+  // poison the next one.
+  WireViewArena arena;
+  prop_check(prop, [&arena](const FuzzCase& c) -> Failure {
+    const MessageType type = message_type(c.message);
+    const Bytes encoded = encode_message(c.message);
+    for (std::size_t len = 0; len < encoded.size(); ++len) {
+      if (Failure f = view_decode_gracefully(BytesView(encoded).first(len),
+                                             type, arena)) {
+        return concat("prefix of ", len, " bytes: ", *f);
+      }
+    }
+    Rng rng(c.mutation_seed);
+    for (int flip = 0; flip < 32; ++flip) {
+      Bytes mutated = encoded;
+      const std::uint64_t bit = rng.uniform(mutated.size() * 8);
+      mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      if (Failure f = view_decode_gracefully(mutated, type, arena)) {
+        return f;
+      }
+    }
+    // After all that abuse the arena still decodes a clean message.
+    try {
+      if (type == MessageType::kProofResponse) {
+        const ProofResponseView view =
+            decode_proof_response_view(encoded, arena);
+        const auto& original = std::get<ProofResponse>(c.message);
+        if (view.proofs.size() != original.proofs.size()) {
+          return "arena decode lost proofs after hostile inputs";
+        }
+      } else {
+        const BatchProofResponseView view =
+            decode_batch_proof_response_view(encoded, arena);
+        const auto& original = std::get<BatchProofResponse>(c.message);
+        if (view.results.size() != original.results.size()) {
+          return "arena decode lost results after hostile inputs";
+        }
+      }
+    } catch (const WireError& e) {
+      return concat("clean message failed to view-decode: ", e.what());
+    }
+    return {};
+  });
+}
+
+// ----------------------------------------------------- scheme envelope too
+
+TEST(PropWireFuzz, prop_scheme_envelope_round_trips_and_rejects_grid_types) {
+  prop_check(
+      fuzz_property("scheme envelope round-trips; grid-only types throw"),
+      [](const FuzzCase& c) -> Failure {
+        const auto scheme_message = to_scheme_message(c.message);
+        if (!scheme_message.has_value()) {
+          // Grid-only type: the scheme decoder must refuse its envelope.
+          try {
+            (void)decode_scheme_message(encode_message(c.message));
+            return concat(to_string(message_type(c.message)),
+                          " decoded as scheme traffic");
+          } catch (const WireError&) {
+            return {};
+          }
+        }
+        const Bytes encoded = encode_scheme_message(*scheme_message);
+        const SchemeMessage decoded = decode_scheme_message(encoded);
+        if (!(to_message(decoded) == c.message)) {
+          return "scheme round-trip mismatch";
+        }
+        return {};
+      });
+}
+
+}  // namespace
+}  // namespace ugc

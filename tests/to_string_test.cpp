@@ -41,9 +41,11 @@ TEST(ToString, SchemeKindExhaustive) {
 
 TEST(ToString, VerdictStatusExhaustive) {
   expect_exhaustive({VerdictStatus::kAccepted, VerdictStatus::kWrongResult,
-                     VerdictStatus::kRootMismatch, VerdictStatus::kMalformed});
+                     VerdictStatus::kRootMismatch, VerdictStatus::kMalformed,
+                     VerdictStatus::kAborted});
   EXPECT_STREQ(to_string(VerdictStatus::kAccepted), "accepted");
   EXPECT_STREQ(to_string(VerdictStatus::kMalformed), "malformed");
+  EXPECT_STREQ(to_string(VerdictStatus::kAborted), "aborted");
 }
 
 TEST(ToString, SprtDecisionExhaustive) {

@@ -220,7 +220,8 @@ TEST(Messages, BatchProofResponseRoundTrip) {
 TEST(Messages, VerdictRoundTripAllStatuses) {
   for (auto status :
        {VerdictStatus::kAccepted, VerdictStatus::kWrongResult,
-        VerdictStatus::kRootMismatch, VerdictStatus::kMalformed}) {
+        VerdictStatus::kRootMismatch, VerdictStatus::kMalformed,
+        VerdictStatus::kAborted}) {
     Verdict v;
     v.task = TaskId{9};
     v.status = status;
