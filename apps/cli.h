@@ -1,0 +1,106 @@
+#pragma once
+
+// Tiny flag parser shared by the apps/ executables (gridd, gridworker).
+// Flags are "--name value" pairs; unknown flags are fatal with a usage
+// dump, matching what a systems operator expects from a daemon binary.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ugc::cli {
+
+// Exit codes shared by the apps. 0 and 1 keep their POSIX meanings; the
+// grid-specific outcomes start at 2 so scripts can switch on them.
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitError = 1;        // runtime failure (socket, ...)
+inline constexpr int kExitRejected = 2;     // >=1 task verdict rejected
+inline constexpr int kExitIncomplete = 3;   // >=1 task aborted / no verdict
+inline constexpr int kExitUsage = 64;       // bad command line (EX_USAGE)
+
+class Flags {
+ public:
+  // Parses "--name value" pairs. `spec` maps every known flag to its
+  // default (also what --help prints). Throws ugc::Error on unknown or
+  // valueless flags.
+  Flags(int argc, char** argv,
+        std::map<std::string, std::string> spec)
+      : values_(std::move(spec)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string name = argv[i];
+      if (name == "--help" || name == "-h") {
+        help_ = true;
+        continue;
+      }
+      check(name.size() > 2 && name.starts_with("--"),
+            "expected a --flag, got '", name, "'");
+      const auto it = values_.find(name.substr(2));
+      check(it != values_.end(), "unknown flag '", name, "'");
+      check(i + 1 < argc, "flag '", name, "' needs a value");
+      it->second = argv[++i];
+    }
+  }
+
+  bool help() const { return help_; }
+
+  const std::string& str(const std::string& name) const {
+    return values_.at(name);
+  }
+
+  std::uint64_t u64(const std::string& name) const {
+    const std::string& raw = values_.at(name);
+    char* end = nullptr;
+    const std::uint64_t value = std::strtoull(raw.c_str(), &end, 0);
+    check(end != nullptr && *end == '\0' && !raw.empty(),
+          "flag --", name, ": '", raw, "' is not an integer");
+    return value;
+  }
+
+  double f64(const std::string& name) const {
+    const std::string& raw = values_.at(name);
+    char* end = nullptr;
+    const double value = std::strtod(raw.c_str(), &end);
+    check(end != nullptr && *end == '\0' && !raw.empty(),
+          "flag --", name, ": '", raw, "' is not a number");
+    return value;
+  }
+
+  void print_usage(const char* program, const char* summary) const {
+    std::fprintf(stderr, "usage: %s [--flag value ...]\n%s\n\nflags:\n",
+                 program, summary);
+    for (const auto& [name, fallback] : values_) {
+      std::fprintf(stderr, "  --%-18s (default: %s)\n", name.c_str(),
+                   fallback.empty() ? "\"\"" : fallback.c_str());
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool help_ = false;
+};
+
+// Splits "host:port"; a bare "1234" means 127.0.0.1:1234. Validated with
+// the same strictness as Flags::u64 — a typo'd port must be a usage error,
+// not a confusing connection refusal.
+inline std::pair<std::string, std::uint16_t> parse_endpoint(
+    const std::string& endpoint) {
+  const std::size_t colon = endpoint.rfind(':');
+  const std::string host =
+      colon == std::string::npos ? "127.0.0.1" : endpoint.substr(0, colon);
+  const std::string port_text =
+      colon == std::string::npos ? endpoint : endpoint.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+  check(end != nullptr && *end == '\0' && !port_text.empty() &&
+            port >= 1 && port <= 65535,
+        "endpoint '", endpoint, "': '", port_text,
+        "' is not a port (1-65535)");
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+}  // namespace ugc::cli

@@ -1,0 +1,184 @@
+// gridd — the uncheatable-grid supervisor daemon.
+//
+// Listens for gridworker connections, registers each worker as an
+// assignment slot (Hello handshake), partitions the domain, and drives the
+// full verification protocol — commit, sample, verify, accuse — over real
+// TCP through the same SupervisorNode the simulated grid runs. When every
+// task has settled it prints a per-task verdict log, a per-worker
+// reputation summary, and exits with a status reflecting the outcome:
+//
+//   0  every task accepted
+//   2  at least one task rejected (a cheater was caught)
+//   3  at least one task aborted / never settled
+//   1  runtime failure, 64 usage error
+//
+// Quickstart (three honest workers, one cheater — see README "Running a
+// real grid"):
+//
+//   gridd --port 7001 --workers 3 --workload keysearch --scheme cbs &
+//   gridworker --connect 127.0.0.1:7001 &
+//   gridworker --connect 127.0.0.1:7001 &
+//   gridworker --connect 127.0.0.1:7001 --cheat semi-honest:0.5 &
+//   wait
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/cli.h"
+#include "grid/reputation.h"
+#include "grid/supervisor_node.h"
+#include "net/tcp_transport.h"
+
+namespace {
+
+using namespace ugc;
+
+int run_gridd(const cli::Flags& flags) {
+  net::TcpTransportOptions options;
+  options.quiescence_timeout_ms = flags.u64("idle-timeout-ms");
+  net::TcpTransport transport(options);
+  const std::uint64_t port = flags.u64("port");
+  check(port <= 65535, "--port ", flags.str("port"),
+        " out of range (0 = ephemeral, else 1-65535)");
+  transport.listen(flags.str("host"), static_cast<std::uint16_t>(port));
+  std::printf("gridd: listening on %s:%u\n", flags.str("host").c_str(),
+              transport.port());
+  std::fflush(stdout);
+
+  // Registration: a connection becomes an assignment slot once its Hello
+  // arrives (the transport enforces Hello-first and protocol match).
+  const std::size_t worker_count = flags.u64("workers");
+  std::vector<GridNodeId> slots;
+  std::map<std::uint32_t, std::string> agents;
+  transport.on_peer_hello = [&](GridNodeId peer, const Hello& hello) {
+    slots.push_back(peer);
+    agents[peer.value] = hello.agent;
+    std::printf("gridd: worker %u registered agent=%s (%zu/%zu)\n",
+                peer.value, hello.agent.c_str(), slots.size(), worker_count);
+    std::fflush(stdout);
+  };
+  transport.on_peer_disconnected = [&](GridNodeId peer) {
+    std::printf("gridd: peer %u disconnected\n", peer.value);
+    std::fflush(stdout);
+  };
+  transport.run([&] { return slots.size() >= worker_count; });
+
+  SupervisorNode::Plan plan;
+  plan.domain = Domain(flags.u64("domain-begin"), flags.u64("domain-end"));
+  plan.workload = flags.str("workload");
+  plan.workload_seed = flags.u64("workload-seed");
+  plan.scheme.name = flags.str("scheme");
+  if (const std::uint64_t samples = flags.u64("samples"); samples > 0) {
+    plan.scheme.cbs.sample_count = samples;
+    plan.scheme.nicbs.sample_count = samples;
+    plan.scheme.naive.sample_count = samples;
+  }
+  plan.seed = flags.u64("seed");
+  plan.pump_threads = static_cast<unsigned>(flags.u64("pump-threads"));
+  plan.max_task_retries = flags.u64("max-retries");
+
+  SupervisorNode supervisor(plan, slots);
+  transport.add_local(supervisor);
+  supervisor.start(transport);
+  transport.run([&] { return supervisor.done(); });
+  transport.close_all();  // drains the final verdict frames
+
+  // Per-task log, then per-worker reputation (one grid round per worker).
+  ReputationLedger::Params reputation_params;
+  ReputationLedger ledger(reputation_params);
+  struct WorkerTally {
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;
+    std::size_t aborted = 0;
+  };
+  std::map<std::uint32_t, WorkerTally> tallies;
+  std::size_t accepted = 0, rejected = 0, aborted = 0;
+  for (const SupervisorNode::TaskOutcome& outcome : supervisor.outcomes()) {
+    std::printf("gridd: verdict task=%" PRIu64
+                " peer=%u status=%s detail=\"%s\"\n",
+                outcome.task.value, outcome.peer.value,
+                to_string(outcome.verdict.status),
+                outcome.verdict.detail.c_str());
+    WorkerTally& tally = tallies[outcome.peer.value];
+    if (outcome.verdict.status == VerdictStatus::kAborted) {
+      ++aborted;
+      ++tally.aborted;
+      continue;  // an abort is not an accusation: reputation unchanged
+    }
+    const bool ok = outcome.verdict.accepted();
+    ok ? ++accepted : ++rejected;
+    ok ? ++tally.accepted : ++tally.rejected;
+    ledger.record(outcome.peer.value, ok);
+  }
+  for (const auto& [peer, tally] : tallies) {
+    const auto agent = agents.find(peer);
+    std::printf("gridd: worker %u agent=%s accepted=%zu rejected=%zu "
+                "aborted=%zu trust=%.2f flagged=%s\n",
+                peer, agent != agents.end() ? agent->second.c_str() : "?",
+                tally.accepted, tally.rejected, tally.aborted,
+                ledger.trust(peer),
+                tally.rejected > 0 ? "yes" : "no");
+  }
+  std::printf("gridd: summary scheme=%s workload=%s tasks=%zu accepted=%zu "
+              "rejected=%zu aborted=%zu reassigned=%" PRIu64
+              " verification_evals=%" PRIu64 " bytes=%" PRIu64 "\n",
+              flags.str("scheme").c_str(), flags.str("workload").c_str(),
+              accepted + rejected + aborted, accepted, rejected, aborted,
+              supervisor.tasks_reassigned(),
+              supervisor.verification_evaluations(),
+              transport.stats().total_bytes);
+  std::fflush(stdout);
+
+  if (rejected > 0) {
+    return cli::kExitRejected;
+  }
+  if (aborted > 0) {
+    return cli::kExitIncomplete;
+  }
+  return cli::kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::map<std::string, std::string> spec{
+      {"host", "127.0.0.1"},
+      {"port", "0"},
+      {"workers", "3"},
+      {"workload", "test"},
+      {"workload-seed", "1"},
+      {"scheme", "cbs"},
+      {"samples", "0"},
+      {"domain-begin", "0"},
+      {"domain-end", "3072"},
+      {"seed", "1"},
+      {"pump-threads", "1"},
+      {"max-retries", "2"},
+      {"idle-timeout-ms", "1000"},
+  };
+  std::optional<cli::Flags> flags;
+  try {
+    flags.emplace(argc, argv, spec);
+  } catch (const ugc::Error& error) {
+    std::fprintf(stderr, "gridd: %s (try --help)\n", error.what());
+    return cli::kExitUsage;
+  }
+  if (flags->help()) {
+    flags->print_usage(
+        "gridd",
+        "Supervisor daemon: registers --workers gridworkers, assigns "
+        "--workload over [--domain-begin, --domain-end) under --scheme, "
+        "verifies over TCP, prints verdicts, and exits 0/2/3.");
+    return cli::kExitOk;
+  }
+  try {
+    return run_gridd(*flags);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "gridd: %s\n", error.what());
+    return cli::kExitError;
+  }
+}

@@ -1,0 +1,168 @@
+// gridworker — the uncheatable-grid participant client.
+//
+// Connects to a gridd supervisor, introduces itself (Hello), and serves
+// task assignments through the same ParticipantNode the simulated grid
+// runs: resolve the workload, compute (honestly or per --cheat), commit,
+// answer challenges, report screener hits, collect the verdict. Exits when
+// the supervisor closes the connection.
+//
+//   --cheat none                      honest (default)
+//   --cheat semi-honest[:r[,q]]       compute only an r-fraction, guess the
+//                                     rest (each guess right with prob. q)
+//   --cheat adaptive[:k[,r[,q]]]      honest for k accepted rounds, then
+//                                     semi-honest — the sleeper agent
+//   --screener faithful|suppress|fabricate   §2.2 malicious screener conduct
+//
+// Exit status: 0 clean run (even when caught cheating — the *supervisor*
+// judges), 3 when the connection ended with a task still unresolved, 1 on
+// runtime failure, 64 on usage errors.
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/cli.h"
+#include "core/cheating.h"
+#include "grid/participant_node.h"
+#include "net/tcp_transport.h"
+
+namespace {
+
+using namespace ugc;
+
+// Parses a --cheat spec ("semi-honest:0.5,0.2") into an HonestyPolicy.
+std::shared_ptr<const HonestyPolicy> parse_cheat(const std::string& spec,
+                                                 std::uint64_t seed) {
+  const std::size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  std::vector<double> args;
+  if (colon != std::string::npos) {
+    std::string rest = spec.substr(colon + 1);
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      const std::string part = rest.substr(0, comma);
+      char* end = nullptr;
+      const double value = std::strtod(part.c_str(), &end);
+      check(end != nullptr && *end == '\0' && !part.empty(),
+            "--cheat: '", part, "' is not a number");
+      args.push_back(value);
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    }
+  }
+  const auto arg = [&args](std::size_t i, double fallback) {
+    return i < args.size() ? args[i] : fallback;
+  };
+
+  if (kind.empty() || kind == "none" || kind == "honest") {
+    return make_honest_policy();
+  }
+  if (kind == "semi-honest") {
+    return make_semi_honest_cheater(
+        {arg(0, 0.5), arg(1, 0.0), seed});
+  }
+  if (kind == "adaptive") {
+    return make_adaptive_cheater(
+        {static_cast<std::size_t>(arg(0, 3)), arg(1, 0.5), arg(2, 0.0),
+         seed});
+  }
+  throw Error(concat("--cheat: unknown policy '", kind,
+                     "' (none | semi-honest[:r[,q]] | adaptive[:k[,r[,q]]])"));
+}
+
+ScreenerConduct parse_conduct(const std::string& name) {
+  if (name == "faithful") {
+    return ScreenerConduct::kFaithful;
+  }
+  if (name == "suppress") {
+    return ScreenerConduct::kSuppress;
+  }
+  if (name == "fabricate") {
+    return ScreenerConduct::kFabricate;
+  }
+  throw Error(concat("--screener: unknown conduct '", name,
+                     "' (faithful | suppress | fabricate)"));
+}
+
+int run_gridworker(const cli::Flags& flags) {
+  const std::uint64_t seed = flags.u64("seed");
+  ParticipantNode::Options options;
+  options.policy = parse_cheat(flags.str("cheat"), seed);
+  options.screener_conduct = parse_conduct(flags.str("screener"));
+  options.conduct_seed = seed;
+  ParticipantNode node(options);
+
+  net::TcpTransportOptions transport_options;
+  transport_options.quiescence_timeout_ms = flags.u64("idle-timeout-ms");
+  net::TcpTransport transport(transport_options);
+  const GridNodeId self = transport.add_local(node);
+
+  const auto [host, port] = cli::parse_endpoint(flags.str("connect"));
+  const GridNodeId supervisor = transport.connect(host, port);
+  transport.send(self, supervisor,
+                 Hello{kGridProtocol, flags.str("agent")});
+  std::printf("gridworker %s: connected to %s:%u policy=%s\n",
+              flags.str("agent").c_str(), host.c_str(), port,
+              node.policy().name().c_str());
+  std::fflush(stdout);
+
+  // Serve until the supervisor hangs up: the protocol has no "grid over"
+  // message — a real volunteer just loses the connection.
+  bool supervisor_gone = false;
+  transport.on_peer_disconnected = [&](GridNodeId) {
+    supervisor_gone = true;
+  };
+  transport.run([&] { return supervisor_gone; });
+
+  for (const auto& [task, verdict] : node.verdicts()) {
+    std::printf("gridworker %s: task=%" PRIu64 " status=%s\n",
+                flags.str("agent").c_str(), task.value,
+                to_string(verdict.status));
+  }
+  std::printf("gridworker %s: done tasks=%zu unresolved=%zu "
+              "evaluations=%" PRIu64 " bytes_sent=%" PRIu64 "\n",
+              flags.str("agent").c_str(), node.verdicts().size(),
+              node.active_tasks(), node.honest_evaluations(),
+              transport.stats().bytes_sent(self));
+  std::fflush(stdout);
+  // Incomplete = the connection ended with work unresolved: no verdict ever
+  // arrived, or a task was still mid-exchange.
+  return node.verdicts().empty() || node.active_tasks() > 0
+             ? cli::kExitIncomplete
+             : cli::kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::map<std::string, std::string> spec{
+      {"connect", "127.0.0.1:7001"},
+      {"agent", "gridworker"},
+      {"cheat", "none"},
+      {"screener", "faithful"},
+      {"seed", "1"},
+      {"idle-timeout-ms", "1000"},
+  };
+  std::optional<cli::Flags> flags;
+  try {
+    flags.emplace(argc, argv, spec);
+  } catch (const ugc::Error& error) {
+    std::fprintf(stderr, "gridworker: %s (try --help)\n", error.what());
+    return cli::kExitUsage;
+  }
+  if (flags->help()) {
+    flags->print_usage(
+        "gridworker",
+        "Participant client: connects to a gridd supervisor and serves "
+        "verification-scheme exchanges, honestly or per --cheat.");
+    return cli::kExitOk;
+  }
+  try {
+    return run_gridworker(*flags);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "gridworker: %s\n", error.what());
+    return cli::kExitError;
+  }
+}

@@ -12,7 +12,7 @@
 
 #include "core/cbs.h"
 #include "core/sequential.h"
-#include "grid/thread_pool.h"
+#include "common/parallel.h"
 #include "workloads/keysearch.h"
 
 using namespace ugc;

@@ -12,7 +12,7 @@
 #include "core/analysis.h"
 #include "core/nicbs.h"
 #include "core/retry_attacker.h"
-#include "grid/thread_pool.h"
+#include "common/parallel.h"
 #include "workloads/keysearch.h"
 
 using namespace ugc;

@@ -7,7 +7,7 @@
 
 #include "core/analysis.h"
 #include "core/cbs.h"
-#include "grid/thread_pool.h"
+#include "common/parallel.h"
 #include "workloads/keysearch.h"
 
 using namespace ugc;

@@ -18,7 +18,7 @@ std::optional<GridNodeId> BrokerNode::worker_of(TaskId task) const {
 }
 
 void BrokerNode::on_message(GridNodeId from, const Message& message,
-                            SimNetwork& network) {
+                            Transport& transport) {
   const TaskId task = task_of(message);
 
   if (std::holds_alternative<TaskAssignment>(message)) {
@@ -27,7 +27,7 @@ void BrokerNode::on_message(GridNodeId from, const Message& message,
       // the task instead of re-routing it (which would strand the first
       // worker's upstream traffic and bill the work twice).
       ++relayed_downstream_;
-      network.send(id(), existing->second.worker, message);
+      transport.send(id(), existing->second.worker, message);
       return;
     }
     // New work from a supervisor: schedule round-robin and remember the
@@ -36,7 +36,7 @@ void BrokerNode::on_message(GridNodeId from, const Message& message,
     next_worker_ = (next_worker_ + 1) % workers_.size();
     routes_[task] = Route{from, worker};
     ++assignments_[worker.value];
-    network.send(id(), worker, message);
+    transport.send(id(), worker, message);
     return;
   }
 
@@ -47,10 +47,10 @@ void BrokerNode::on_message(GridNodeId from, const Message& message,
   const Route& route = it->second;
   if (from == route.supervisor) {
     ++relayed_downstream_;
-    network.send(id(), route.worker, message);
+    transport.send(id(), route.worker, message);
   } else if (from == route.worker) {
     ++relayed_upstream_;
-    network.send(id(), route.supervisor, message);
+    transport.send(id(), route.supervisor, message);
   }
 }
 

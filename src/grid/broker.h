@@ -4,7 +4,7 @@
 #include <optional>
 #include <vector>
 
-#include "grid/network.h"
+#include "grid/transport.h"
 
 namespace ugc {
 
@@ -18,7 +18,7 @@ class BrokerNode final : public GridNode {
   explicit BrokerNode(std::vector<GridNodeId> workers);
 
   void on_message(GridNodeId from, const Message& message,
-                  SimNetwork& network) override;
+                  Transport& transport) override;
 
   // How many tasks each worker received (round-robin order).
   const std::map<std::uint32_t, std::size_t>& assignments_per_worker() const {

@@ -2,7 +2,7 @@
 
 #include <cstdint>
 
-#include "grid/network.h"
+#include "grid/transport.h"
 
 namespace ugc {
 

@@ -8,9 +8,9 @@
 
 namespace ugc {
 
-GridNodeId SimNetwork::add_node(GridNode& node) {
+GridNodeId SimTransport::add_node(GridNode& node) {
   const GridNodeId id{static_cast<std::uint32_t>(nodes_.size())};
-  node.id_ = id;
+  assign_id(node, id);
   nodes_.push_back(&node);
   return id;
 }
@@ -23,9 +23,9 @@ constexpr std::size_t kMaxPooledBuffers = 256;
 
 }  // namespace
 
-void SimNetwork::set_fault_plan(const FaultPlan& plan) {
+void SimTransport::set_fault_plan(const FaultPlan& plan) {
   check(stats_.total_messages == 0,
-        "SimNetwork::set_fault_plan: must be installed before any traffic");
+        "SimTransport::set_fault_plan: must be installed before any traffic");
   plan_ = plan;
   faults_enabled_ = plan_.any();
   fault_rng_ = Rng(plan_.seed);
@@ -54,28 +54,28 @@ void SimNetwork::set_fault_plan(const FaultPlan& plan) {
   }
 }
 
-const LinkFaults& SimNetwork::faults_for(GridNodeId from, GridNodeId to) const {
+const LinkFaults& SimTransport::faults_for(GridNodeId from, GridNodeId to) const {
   const auto it = plan_.link_overrides.find({from.value, to.value});
   return it != plan_.link_overrides.end() ? it->second : plan_.faults;
 }
 
-SimNetwork::NodeFaultState* SimNetwork::fault_state(std::uint32_t node) {
+SimTransport::NodeFaultState* SimTransport::fault_state(std::uint32_t node) {
   const auto it = node_faults_.find(node);
   return it == node_faults_.end() ? nullptr : &it->second;
 }
 
-bool SimNetwork::offline(GridNodeId node) const {
+bool SimTransport::offline(GridNodeId node) const {
   const auto it = node_faults_.find(node.value);
   return it != node_faults_.end() && it->second.offline;
 }
 
-void SimNetwork::recycle(Bytes payload) {
+void SimTransport::recycle(Bytes payload) {
   if (buffer_pool_.size() < kMaxPooledBuffers) {
     buffer_pool_.push_back(std::move(payload));
   }
 }
 
-void SimNetwork::enqueue(Pending pending, const LinkFaults& faults, Rng& rng) {
+void SimTransport::enqueue(Pending pending, const LinkFaults& faults, Rng& rng) {
   if (rng.unit_real() < faults.stall) {
     ++fault_stats_.stalled;
     parked_.push_back(std::move(pending));
@@ -91,10 +91,10 @@ void SimNetwork::enqueue(Pending pending, const LinkFaults& faults, Rng& rng) {
   queue_.push_back(std::move(pending));
 }
 
-void SimNetwork::send(GridNodeId from, GridNodeId to, const Message& message) {
-  check(from.value < nodes_.size(), "SimNetwork::send: unknown sender ",
+void SimTransport::send(GridNodeId from, GridNodeId to, const Message& message) {
+  check(from.value < nodes_.size(), "SimTransport::send: unknown sender ",
         from.value);
-  check(to.value < nodes_.size(), "SimNetwork::send: unknown recipient ",
+  check(to.value < nodes_.size(), "SimTransport::send: unknown recipient ",
         to.value);
 
   Bytes payload;
@@ -105,17 +105,7 @@ void SimNetwork::send(GridNodeId from, GridNodeId to, const Message& message) {
   encode_message_into(message, payload);
   const std::uint64_t size = payload.size();
 
-  ++stats_.total_messages;
-  stats_.total_bytes += size;
-  auto& link = stats_.links[{from.value, to.value}];
-  ++link.messages;
-  link.bytes += size;
-  auto& sent = stats_.sent_by[from.value];
-  ++sent.messages;
-  sent.bytes += size;
-  auto& received = stats_.received_by[to.value];
-  ++received.messages;
-  received.bytes += size;
+  stats_.record(from, to, size);
 
   Pending pending{from, to, std::move(payload), false};
   if (!faults_enabled_) {
@@ -144,21 +134,14 @@ void SimNetwork::send(GridNodeId from, GridNodeId to, const Message& message) {
   if (fault_rng_.unit_real() < faults.duplicate) {
     ++fault_stats_.duplicated;
     // The duplicate crosses the wire too: meter it like any other frame.
-    ++stats_.total_messages;
-    stats_.total_bytes += size;
-    ++link.messages;
-    link.bytes += size;
-    ++sent.messages;
-    sent.bytes += size;
-    ++received.messages;
-    received.bytes += size;
+    stats_.record(from, to, size);
     Pending copy{from, to, pending.payload, pending.corrupted};
     enqueue(std::move(copy), faults, fault_rng_);
   }
   enqueue(std::move(pending), faults, fault_rng_);
 }
 
-bool SimNetwork::deliver_one() {
+bool SimTransport::deliver_one() {
   if (queue_.empty()) {
     return false;
   }
@@ -220,7 +203,7 @@ bool SimNetwork::deliver_one() {
   return true;
 }
 
-std::size_t SimNetwork::run(std::size_t max_deliveries) {
+std::size_t SimTransport::run(std::size_t max_deliveries) {
   std::size_t delivered = 0;
   for (;;) {
     bool progressed = true;
@@ -229,7 +212,7 @@ std::size_t SimNetwork::run(std::size_t max_deliveries) {
       while (deliver_one()) {
         ++delivered;
         check(delivered <= max_deliveries,
-              "SimNetwork::run: exceeded ", max_deliveries,
+              "SimTransport::run: exceeded ", max_deliveries,
               " deliveries — protocol loop?");
         progressed = true;
       }
@@ -255,22 +238,6 @@ std::size_t SimNetwork::run(std::size_t max_deliveries) {
     }
   }
   return delivered;
-}
-
-TaskId task_of(const Message& message) {
-  struct Visitor {
-    TaskId operator()(const TaskAssignment& m) { return m.task; }
-    TaskId operator()(const Commitment& m) { return m.task; }
-    TaskId operator()(const SampleChallenge& m) { return m.task; }
-    TaskId operator()(const ProofResponse& m) { return m.task; }
-    TaskId operator()(const NiCbsProof& m) { return m.commitment.task; }
-    TaskId operator()(const ResultsUpload& m) { return m.task; }
-    TaskId operator()(const ScreenerReport& m) { return m.task; }
-    TaskId operator()(const RingerReport& m) { return m.task; }
-    TaskId operator()(const Verdict& m) { return m.task; }
-    TaskId operator()(const BatchProofResponse& m) { return m.task; }
-  };
-  return std::visit(Visitor{}, message);
 }
 
 }  // namespace ugc

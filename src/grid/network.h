@@ -7,38 +7,13 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "grid/transport.h"
 #include "wire/messages.h"
 
 namespace ugc {
 
-class SimNetwork;
-
-// Per-link / per-node traffic counters.
-struct LinkStats {
-  std::uint64_t messages = 0;
-  std::uint64_t bytes = 0;
-};
-
-struct NetworkStats {
-  std::uint64_t total_messages = 0;
-  std::uint64_t total_bytes = 0;
-  // Directed link (from, to) -> stats.
-  std::map<std::pair<std::uint32_t, std::uint32_t>, LinkStats> links;
-  std::map<std::uint32_t, LinkStats> sent_by;
-  std::map<std::uint32_t, LinkStats> received_by;
-
-  std::uint64_t bytes_sent(GridNodeId node) const {
-    const auto it = sent_by.find(node.value);
-    return it == sent_by.end() ? 0 : it->second.bytes;
-  }
-  std::uint64_t bytes_received(GridNodeId node) const {
-    const auto it = received_by.find(node.value);
-    return it == received_by.end() ? 0 : it->second.bytes;
-  }
-};
-
 // ---------------------------------------------------------------------------
-// Fault injection. A FaultPlan turns the reliable FIFO network into a
+// Fault injection. A FaultPlan turns the reliable FIFO transport into a
 // hostile one: per-link message drop, duplication, reordering, single-bit
 // corruption, latency spikes (stalls), and participant crash/rejoin. All
 // faults are drawn from one seed-driven Rng in send order, so a scenario is
@@ -108,66 +83,26 @@ struct FaultStats {
   friend bool operator==(const FaultStats&, const FaultStats&) = default;
 };
 
-// A node in the simulated grid (supervisor, participant, or broker).
-// Implementations react to decoded messages and may send further messages
-// through the network they were handed.
-class GridNode {
- public:
-  virtual ~GridNode() = default;
-
-  GridNode() = default;
-  GridNode(const GridNode&) = delete;
-  GridNode& operator=(const GridNode&) = delete;
-
-  virtual void on_message(GridNodeId from, const Message& message,
-                          SimNetwork& network) = 0;
-
-  // Called by SimNetwork::run() whenever the delivery queue drains. Nodes
-  // that buffer work across deliveries (the supervisor's parallel session
-  // pump) process it here and return true; the default does nothing. run()
-  // keeps alternating deliver/flush until both go quiet.
-  virtual bool flush(SimNetwork& network) {
-    (void)network;
-    return false;
-  }
-
-  // Called when a FaultPlan crashes this node: all in-progress protocol
-  // state must be discarded, as a real process restart would lose it.
-  virtual void on_crash() {}
-
-  // Called when deliveries, flushes, and stalled frames are all exhausted —
-  // the network-level timeout signal. Nodes with unresolved work (the
-  // supervisor's retry/re-assignment logic) act here and return true to
-  // keep the run going; returning false everywhere ends the run.
-  virtual bool on_quiescent(SimNetwork& network) {
-    (void)network;
-    return false;
-  }
-
-  GridNodeId id() const { return id_; }
-
- private:
-  friend class SimNetwork;
-  GridNodeId id_{};
-};
-
-// Deterministic in-process message-passing network with exact byte metering.
+// Deterministic in-process Transport with exact byte metering — the
+// simulation/testing implementation of the Transport interface (the
+// production one is net/tcp_transport.h).
 //
 // Every send() serializes the message through the wire codec, charges the
 // directed link with the encoded size, and queues it FIFO; run() delivers
 // until the grid goes quiet. Single-threaded and deterministic: the same
 // seed-driven scenario always produces the same traffic — including every
 // injected fault when a FaultPlan is set.
-class SimNetwork {
+class SimTransport final : public Transport {
  public:
-  // Registers a node and assigns its id. The node must outlive the network.
+  // Registers a node and assigns its id. The node must outlive the
+  // transport.
   GridNodeId add_node(GridNode& node);
 
   // Installs a fault plan. Must be called before any traffic flows.
   void set_fault_plan(const FaultPlan& plan);
 
   // Encodes, meters, and queues a message (subject to the fault plan).
-  void send(GridNodeId from, GridNodeId to, const Message& message);
+  void send(GridNodeId from, GridNodeId to, const Message& message) override;
 
   // Delivers the next queued message (decoding it back through the codec).
   // Returns false when the queue is empty.
@@ -181,11 +116,11 @@ class SimNetwork {
   // number of delivery attempts.
   std::size_t run(std::size_t max_deliveries = 1'000'000);
 
-  const NetworkStats& stats() const { return stats_; }
+  const NetworkStats& stats() const override { return stats_; }
   const FaultStats& fault_stats() const { return fault_stats_; }
   std::size_t pending() const { return queue_.size() + parked_.size(); }
 
-  bool offline(GridNodeId node) const;
+  bool offline(GridNodeId node) const override;
 
  private:
   struct Pending {
@@ -224,8 +159,7 @@ class SimNetwork {
   std::map<std::uint32_t, NodeFaultState> node_faults_;
 };
 
-// Routing helper: the task a protocol message belongs to (used by the
-// broker, which routes purely on task ids without understanding payloads).
-TaskId task_of(const Message& message);
+// Historical name, kept so existing simulations/tests read naturally.
+using SimNetwork = SimTransport;
 
 }  // namespace ugc

@@ -40,9 +40,9 @@ ScreenerReport ParticipantNode::conduct_report(const Task& task,
 }
 
 void ParticipantNode::drain(GridNodeId supervisor, ActiveTask& active,
-                            SimNetwork& network) {
+                            Transport& transport) {
   while (auto message = active.session->next_message()) {
-    network.send(id(), supervisor, to_message(*message));
+    transport.send(id(), supervisor, to_message(*message));
   }
   const std::uint64_t evaluations = active.session->honest_evaluations();
   honest_evaluations_ += evaluations - active.counted_evaluations;
@@ -50,9 +50,9 @@ void ParticipantNode::drain(GridNodeId supervisor, ActiveTask& active,
 }
 
 void ParticipantNode::on_message(GridNodeId from, const Message& message,
-                                 SimNetwork& network) {
+                                 Transport& transport) {
   if (const auto* assignment = std::get_if<TaskAssignment>(&message)) {
-    handle_assignment(from, *assignment, network);
+    handle_assignment(from, *assignment, transport);
     return;
   }
   if (const auto* verdict = std::get_if<Verdict>(&message)) {
@@ -67,7 +67,7 @@ void ParticipantNode::on_message(GridNodeId from, const Message& message,
     }
     ActiveTask& active = it->second;
     active.session->on_message(*scheme_message);
-    drain(from, active, network);
+    drain(from, active, transport);
     if (active.session->finished()) {
       active_.erase(it);
     }
@@ -78,7 +78,7 @@ void ParticipantNode::on_message(GridNodeId from, const Message& message,
 
 void ParticipantNode::handle_assignment(GridNodeId supervisor,
                                         const TaskAssignment& m,
-                                        SimNetwork& network) {
+                                        Transport& transport) {
   if (!assigned_.insert(m.task).second) {
     // A duplicated (or stalled-and-replayed) assignment frame must be
     // idempotent: re-opening the session would discard in-flight protocol
@@ -96,8 +96,8 @@ void ParticipantNode::handle_assignment(GridNodeId supervisor,
       scheme.open_participant(
           ParticipantContext{task, m.scheme, m.ringer_images, policy_}),
       0};
-  drain(supervisor, active, network);
-  network.send(id(), supervisor,
+  drain(supervisor, active, transport);
+  transport.send(id(), supervisor,
                conduct_report(task, active.session->screener_report()));
   if (!active.session->finished()) {
     active_.insert_or_assign(task.id, std::move(active));

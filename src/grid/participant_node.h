@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "core/cheating.h"
-#include "grid/network.h"
+#include "grid/transport.h"
 #include "scheme/registry.h"
 #include "workloads/registry.h"
 
@@ -33,7 +33,7 @@ class ParticipantNode final : public GridNode {
   explicit ParticipantNode(Options options);
 
   void on_message(GridNodeId from, const Message& message,
-                  SimNetwork& network) override;
+                  Transport& transport) override;
 
   // FaultPlan crash: every in-progress session dies with the process. Past
   // verdicts and the evaluation counter survive (they model work already
@@ -42,6 +42,10 @@ class ParticipantNode final : public GridNode {
 
   // Verdicts received from the supervisor, by task.
   const std::map<TaskId, Verdict>& verdicts() const { return verdicts_; }
+
+  // Assignments still mid-protocol (no verdict yet). Non-zero when the
+  // connection dies mid-exchange — how a real client knows work was lost.
+  std::size_t active_tasks() const { return active_.size(); }
 
   // Genuine f evaluations across all tasks (the participant's real work).
   std::uint64_t honest_evaluations() const { return honest_evaluations_; }
@@ -57,9 +61,9 @@ class ParticipantNode final : public GridNode {
   };
 
   void handle_assignment(GridNodeId supervisor, const TaskAssignment& m,
-                         SimNetwork& network);
+                         Transport& transport);
   // Sends the session's pending messages and updates the work accounting.
-  void drain(GridNodeId supervisor, ActiveTask& active, SimNetwork& network);
+  void drain(GridNodeId supervisor, ActiveTask& active, Transport& transport);
   // Applies this node's ScreenerConduct to an honest report.
   ScreenerReport conduct_report(const Task& task, ScreenerReport honest);
 

@@ -39,7 +39,7 @@ Task SupervisorNode::task_for(TaskId id, const Domain& domain) const {
   return Task::make(id, domain, counting_f_, bundle_.screener);
 }
 
-void SupervisorNode::assign_group(GroupState& group, SimNetwork& network) {
+void SupervisorNode::assign_group(GroupState& group, Transport& transport) {
   const std::size_t replicas = group.slots.size();
 
   SupervisorContext context;
@@ -75,15 +75,15 @@ void SupervisorNode::assign_group(GroupState& group, SimNetwork& network) {
     assignment.workload_seed = plan_.workload_seed;
     assignment.scheme = plan_.scheme;
     assignment.ringer_images = session->planted_images(id);
-    network.send(this->id(), slots_[group.slots[replica]], assignment);
+    transport.send(this->id(), slots_[group.slots[replica]], assignment);
   }
   sessions_.push_back(SessionSlot{std::move(session), {}});
   // Some schemes speak first from the supervisor side; flush any opening
   // messages right behind the assignments.
-  drain(*sessions_.back().session, network);
+  drain(*sessions_.back().session, transport);
 }
 
-void SupervisorNode::start(SimNetwork& network) {
+void SupervisorNode::start(Transport& transport) {
   check(!started_, "SupervisorNode::start: already started");
   started_ = true;
 
@@ -101,33 +101,33 @@ void SupervisorNode::start(SimNetwork& network) {
     groups_.push_back(std::move(group));
   }
   for (GroupState& group : groups_) {
-    assign_group(group, network);
+    assign_group(group, transport);
   }
 }
 
 void SupervisorNode::settle(TaskState& state, Verdict verdict,
-                            SimNetwork& network) {
+                            Transport& transport) {
   if (state.verdict.has_value()) {
     return;  // first verdict wins; late duplicates are dropped
   }
   state.verdict = verdict;
-  network.send(this->id(), state.peer, verdict);
+  transport.send(this->id(), state.peer, verdict);
 }
 
-void SupervisorNode::drain(SupervisorSession& session, SimNetwork& network) {
+void SupervisorNode::drain(SupervisorSession& session, Transport& transport) {
   while (auto out = session.next_message()) {
     const auto it = tasks_.find(out->task);
     if (it == tasks_.end() || it->second.superseded) {
       continue;  // session addressed a task this node no longer runs
     }
-    network.send(this->id(), it->second.peer, to_message(out->message));
+    transport.send(this->id(), it->second.peer, to_message(out->message));
   }
   while (auto verdict = session.next_verdict()) {
     const auto it = tasks_.find(verdict->task);
     if (it == tasks_.end() || it->second.superseded) {
       continue;
     }
-    settle(it->second, std::move(*verdict), network);
+    settle(it->second, std::move(*verdict), transport);
   }
   while (auto hits = session.next_hits()) {
     const auto it = tasks_.find(hits->task);
@@ -165,7 +165,7 @@ void SupervisorNode::handle_report(TaskState& state,
 }
 
 void SupervisorNode::on_message(GridNodeId from, const Message& message,
-                                SimNetwork& network) {
+                                Transport& transport) {
   const TaskId id = task_of(message);
   const auto it = tasks_.find(id);
   if (it == tasks_.end()) {
@@ -195,10 +195,10 @@ void SupervisorNode::on_message(GridNodeId from, const Message& message,
     return;
   }
   slot.session->on_message(id, *scheme_message);
-  drain(*slot.session, network);
+  drain(*slot.session, transport);
 }
 
-bool SupervisorNode::flush(SimNetwork& network) {
+bool SupervisorNode::flush(Transport& transport) {
   if (!parallel_pump()) {
     return false;
   }
@@ -227,12 +227,12 @@ bool SupervisorNode::flush(SimNetwork& network) {
   // deterministic regardless of thread count.
   for (const std::size_t i : pending_) {
     sessions_[i].inbox.clear();
-    drain(*sessions_[i].session, network);
+    drain(*sessions_[i].session, transport);
   }
   return true;
 }
 
-bool SupervisorNode::on_quiescent(SimNetwork& network) {
+bool SupervisorNode::on_quiescent(Transport& transport) {
   if (!started_) {
     return false;
   }
@@ -259,7 +259,7 @@ bool SupervisorNode::on_quiescent(SimNetwork& network) {
           settle(state,
                  Verdict{id, VerdictStatus::kAborted, std::nullopt,
                          concat("aborted after ", group.retries, " retries")},
-                 network);
+                 transport);
         }
       }
       progressed = true;
@@ -277,12 +277,12 @@ bool SupervisorNode::on_quiescent(SimNetwork& network) {
       state.verdict = Verdict{id, VerdictStatus::kAborted, std::nullopt,
                               concat("superseded by retry ", group.retries)};
       // Tell the (possibly slow-but-honest) old peer to drop the task.
-      network.send(this->id(), state.peer, *state.verdict);
+      transport.send(this->id(), state.peer, *state.verdict);
     }
     for (std::size_t& slot : group.slots) {
       slot = (slot + 1) % slots_.size();
     }
-    assign_group(group, network);
+    assign_group(group, transport);
     progressed = true;
   }
   return progressed;

@@ -8,7 +8,7 @@
 
 #include "common/rng.h"
 #include "core/scheme_config.h"
-#include "grid/network.h"
+#include "grid/transport.h"
 #include "scheme/registry.h"
 #include "workloads/registry.h"
 
@@ -64,18 +64,18 @@ class SupervisorNode final : public GridNode {
   SupervisorNode(Plan plan, std::vector<GridNodeId> slots);
 
   // Sends out all assignments. Call once, before the network runs.
-  void start(SimNetwork& network);
+  void start(Transport& transport);
 
   void on_message(GridNodeId from, const Message& message,
-                  SimNetwork& network) override;
+                  Transport& transport) override;
 
   // Parallel session pump: drains every non-empty session inbox over
   // parallel_for, then merges outputs in session order. No-op (returns
   // false) under the serial pump or when nothing is buffered.
-  bool flush(SimNetwork& network) override;
+  bool flush(Transport& transport) override;
 
   // Timeout/retry: re-assigns or aborts groups stuck without verdicts.
-  bool on_quiescent(SimNetwork& network) override;
+  bool on_quiescent(Transport& transport) override;
 
   // True once every live (non-superseded) task has a verdict.
   bool done() const;
@@ -142,12 +142,12 @@ class SupervisorNode final : public GridNode {
   bool parallel_pump() const { return plan_.pump_threads != 1; }
 
   Task task_for(TaskId id, const Domain& domain) const;
-  void settle(TaskState& state, Verdict verdict, SimNetwork& network);
+  void settle(TaskState& state, Verdict verdict, Transport& transport);
   // Opens a fresh session for the group's current slots, creates task
   // states, and sends the assignments (start and every retry).
-  void assign_group(GroupState& group, SimNetwork& network);
+  void assign_group(GroupState& group, Transport& transport);
   // Routes a session's queued messages / verdicts / hits into the grid.
-  void drain(SupervisorSession& session, SimNetwork& network);
+  void drain(SupervisorSession& session, Transport& transport);
   // Generic screener-report handling (validation against the domain plus a
   // recompute check), applied only when the scheme trusts reports.
   void handle_report(TaskState& state, const ScreenerReport& report);

@@ -1,0 +1,37 @@
+#include "grid/transport.h"
+
+namespace ugc {
+
+void NetworkStats::record(GridNodeId from, GridNodeId to,
+                          std::uint64_t bytes) {
+  ++total_messages;
+  total_bytes += bytes;
+  auto& link = links[{from.value, to.value}];
+  ++link.messages;
+  link.bytes += bytes;
+  auto& sent = sent_by[from.value];
+  ++sent.messages;
+  sent.bytes += bytes;
+  auto& received = received_by[to.value];
+  ++received.messages;
+  received.bytes += bytes;
+}
+
+TaskId task_of(const Message& message) {
+  struct Visitor {
+    TaskId operator()(const TaskAssignment& m) { return m.task; }
+    TaskId operator()(const Commitment& m) { return m.task; }
+    TaskId operator()(const SampleChallenge& m) { return m.task; }
+    TaskId operator()(const ProofResponse& m) { return m.task; }
+    TaskId operator()(const NiCbsProof& m) { return m.commitment.task; }
+    TaskId operator()(const ResultsUpload& m) { return m.task; }
+    TaskId operator()(const ScreenerReport& m) { return m.task; }
+    TaskId operator()(const RingerReport& m) { return m.task; }
+    TaskId operator()(const Verdict& m) { return m.task; }
+    TaskId operator()(const BatchProofResponse& m) { return m.task; }
+    TaskId operator()(const Hello&) { return TaskId{0}; }
+  };
+  return std::visit(Visitor{}, message);
+}
+
+}  // namespace ugc

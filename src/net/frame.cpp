@@ -1,0 +1,82 @@
+#include "net/frame.h"
+
+namespace ugc::net {
+
+namespace {
+
+// Little-endian u32, assembled explicitly (matching the wire codec's
+// endianness discipline rather than the host's).
+std::uint32_t read_header(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void append_frame(BytesView payload, Bytes& out, std::size_t max_frame_size) {
+  if (payload.size() > max_frame_size) {
+    throw FrameError(concat("append_frame: payload of ", payload.size(),
+                            " bytes exceeds the ", max_frame_size,
+                            "-byte frame cap"));
+  }
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<std::uint8_t>(length));
+  out.push_back(static_cast<std::uint8_t>(length >> 8));
+  out.push_back(static_cast<std::uint8_t>(length >> 16));
+  out.push_back(static_cast<std::uint8_t>(length >> 24));
+  append(out, payload);
+}
+
+void FrameDecoder::check_usable() const {
+  if (poisoned_) {
+    throw FrameError(
+        "FrameDecoder: stream already poisoned by an oversized length");
+  }
+}
+
+void FrameDecoder::feed(BytesView data) {
+  check_usable();
+  // Compact before growing: everything before consumed_ has been handed
+  // out, and the next() views over it are invalidated by this call anyway.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  append(buffer_, data);
+  // Reject a hostile header eagerly — the peer has announced an oversized
+  // frame even if its payload never arrives.
+  if (buffer_.size() >= kFrameHeaderSize) {
+    const std::uint32_t length = read_header(buffer_.data());
+    if (length > max_frame_size_) {
+      poisoned_ = true;
+      throw FrameError(concat("frame length ", length, " exceeds the ",
+                              max_frame_size_, "-byte cap"));
+    }
+  }
+}
+
+std::optional<BytesView> FrameDecoder::next() {
+  check_usable();
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderSize) {
+    return std::nullopt;
+  }
+  const std::uint32_t length = read_header(buffer_.data() + consumed_);
+  if (length > max_frame_size_) {
+    poisoned_ = true;
+    throw FrameError(concat("frame length ", length, " exceeds the ",
+                            max_frame_size_, "-byte cap"));
+  }
+  if (available < kFrameHeaderSize + length) {
+    return std::nullopt;
+  }
+  const BytesView payload =
+      BytesView(buffer_).subspan(consumed_ + kFrameHeaderSize, length);
+  consumed_ += kFrameHeaderSize + length;
+  return payload;
+}
+
+}  // namespace ugc::net

@@ -1,0 +1,92 @@
+#pragma once
+
+// ---------------------------------------------------------------------------
+// Layering note (mirrors src/grid's): src/net is the *real-transport* layer.
+// It knows about bytes, sockets, frames, and timers — never about schemes,
+// tasks, or verdicts. Its only upward dependencies are the wire codec (to
+// turn frames back into Messages) and grid/transport.h (the Transport +
+// GridNode interface it implements); everything protocol-shaped stays in
+// grid/ and scheme/, written once against Transport& and reused unchanged
+// over SimTransport and TcpTransport. Nothing under src/ may include net/
+// except net/ itself — only apps/, tests/, and bench/ sit above it.
+// ---------------------------------------------------------------------------
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace ugc::net {
+
+// Raised on a framing violation (a length prefix the peer is not allowed to
+// send). Distinct from WireError: a FrameError poisons the whole stream —
+// resynchronizing is impossible once a length field is untrusted — so the
+// connection must be dropped, while a WireError invalidates only one frame.
+class FrameError : public Error {
+ public:
+  explicit FrameError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+// TCP is a byte stream; frames put the message boundaries back. A frame is
+//
+//   [ length u32, little-endian | payload (length bytes) ]
+//
+// where the payload is exactly one wire-v2 encoded Message
+// (encode_message_into / decode_message). 4 GiB lengths are nonsense for
+// this protocol, so decoders cap the length much lower and treat anything
+// above it as hostile.
+inline constexpr std::size_t kFrameHeaderSize = 4;
+
+// Default payload cap. The largest legitimate frames are batched proof
+// responses (tens of KB at paper-scale sample counts); 64 MiB leaves three
+// orders of magnitude of headroom while keeping a hostile 0xffffffff length
+// from reserving 4 GiB.
+inline constexpr std::size_t kDefaultMaxFrameSize = 64u << 20;
+
+// Appends [header | payload] to `out` (which is NOT cleared: senders batch
+// several frames into one write buffer). Throws FrameError if `payload`
+// exceeds `max_frame_size` — the local protocol stack never produces such a
+// message, so hitting this is a bug, not traffic.
+void append_frame(BytesView payload, Bytes& out,
+                  std::size_t max_frame_size = kDefaultMaxFrameSize);
+
+// Incremental frame decoder: feed() raw bytes exactly as recv() hands them
+// over — any split, including mid-header — and next() yields complete
+// payloads in order. Single-owner, no internal locking (one decoder per
+// connection, driven by the event loop thread).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_size = kDefaultMaxFrameSize)
+      : max_frame_size_(max_frame_size) {}
+
+  // Appends raw stream bytes. Throws FrameError as soon as a header
+  // announcing more than max_frame_size is visible (without buffering the
+  // hostile payload); after that the decoder is poisoned and every further
+  // call throws — drop the connection.
+  void feed(BytesView data);
+
+  // Returns the next complete frame payload, or nullopt when more bytes are
+  // needed. The view aliases the decoder's internal buffer: it is valid
+  // until the next feed()/next() call, long enough to decode_message it or
+  // copy it out (same discipline as WireReader::view).
+  std::optional<BytesView> next();
+
+  // Bytes buffered but not yet returned as a frame. Non-zero at EOF means
+  // the peer died mid-frame (or mid-header) — a truncated stream the caller
+  // should report, since silently ignoring a partial frame hides lost
+  // traffic.
+  std::size_t bytes_pending() const { return buffer_.size() - consumed_; }
+
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  void check_usable() const;
+
+  std::size_t max_frame_size_;
+  Bytes buffer_;
+  std::size_t consumed_ = 0;  // prefix of buffer_ already handed out
+  bool poisoned_ = false;
+};
+
+}  // namespace ugc::net

@@ -1,0 +1,424 @@
+#include "net/tcp_transport.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+#include "wire/codec.h"
+
+namespace ugc::net {
+
+TcpTransport::TcpTransport(TcpTransportOptions options)
+    : options_(options),
+      wheel_(options.tick_ms),
+      epoch_(std::chrono::steady_clock::now()),
+      read_scratch_(64 * 1024) {}
+
+TcpTransport::~TcpTransport() = default;
+
+std::uint64_t TcpTransport::now_ms() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+GridNodeId TcpTransport::add_local(GridNode& node) {
+  check(local_ == nullptr,
+        "TcpTransport::add_local: one local protocol node per transport "
+        "(run a second transport for a second node)");
+  const GridNodeId id{next_id_++};
+  assign_id(node, id);
+  local_ = &node;
+  return id;
+}
+
+void TcpTransport::listen(const std::string& host, std::uint16_t port) {
+  check(!listener_.valid(), "TcpTransport::listen: already listening");
+  listener_ = tcp_listen(host, port);
+}
+
+std::uint16_t TcpTransport::port() const {
+  check(listener_.valid(), "TcpTransport::port: not listening");
+  return local_port(listener_);
+}
+
+GridNodeId TcpTransport::connect(const std::string& host, std::uint16_t port) {
+  const GridNodeId id{next_id_++};
+  Peer peer;
+  peer.socket = tcp_connect(host, port);
+  peer.decoder = FrameDecoder(options_.max_frame_size);
+  peer.accepted = false;
+  peers_.emplace(id.value, std::move(peer));
+  return id;
+}
+
+void TcpTransport::accept_pending() {
+  for (;;) {
+    Socket socket = tcp_accept(listener_);
+    if (!socket.valid()) {
+      return;
+    }
+    const GridNodeId id{next_id_++};
+    Peer peer;
+    peer.socket = std::move(socket);
+    peer.decoder = FrameDecoder(options_.max_frame_size);
+    peer.accepted = true;
+    peers_.emplace(id.value, std::move(peer));
+    arm_quiescence(now_ms());
+  }
+}
+
+void TcpTransport::send(GridNodeId from, GridNodeId to,
+                        const Message& message) {
+  check(to.value < next_id_, "TcpTransport::send: unknown recipient ",
+        to.value);
+  const auto it = peers_.find(to.value);
+  if (it == peers_.end() || it->second.failed) {
+    return;  // peer is gone; the frame is lost, like any in-flight traffic
+  }
+  Peer& peer = it->second;
+
+  encode_message_into(message, encode_scratch_);
+  // A message the local stack cannot frame is a local bug (or a
+  // misconfigured max_frame_size), never the recipient's fault: fail loudly
+  // instead of letting a FrameError masquerade as a peer violation.
+  check(encode_scratch_.size() <= options_.max_frame_size,
+        "TcpTransport::send: ", encode_scratch_.size(),
+        "-byte message exceeds the ", options_.max_frame_size,
+        "-byte frame cap (raise TcpTransportOptions::max_frame_size)");
+  stats_.record(from, to, encode_scratch_.size());
+  append_frame(encode_scratch_, peer.write_buffer, options_.max_frame_size);
+  if (peer.write_buffer.size() - peer.write_offset >
+      options_.max_write_buffer) {
+    // The peer stopped draining its socket; cutting it loose beats
+    // buffering without bound. Its tasks time out through on_quiescent.
+    drop_peer(to, "write backpressure cap exceeded");
+    return;
+  }
+  // Opportunistic write: most frames fit the socket buffer, so the common
+  // case never waits for the next poll round.
+  service_write(to, peer);
+}
+
+bool TcpTransport::offline(GridNodeId node) const {
+  if (local_ != nullptr && node == local_->id()) {
+    return false;
+  }
+  const auto it = peers_.find(node.value);
+  return it == peers_.end() || it->second.failed;
+}
+
+const NetworkStats& TcpTransport::stats() const { return stats_; }
+
+std::vector<GridNodeId> TcpTransport::connected_peers() const {
+  std::vector<GridNodeId> out;
+  out.reserve(peers_.size());
+  for (const auto& [id, peer] : peers_) {
+    if (!peer.failed) {
+      out.push_back(GridNodeId{id});
+    }
+  }
+  return out;
+}
+
+std::optional<Hello> TcpTransport::hello_of(GridNodeId peer) const {
+  const auto it = peers_.find(peer.value);
+  return it == peers_.end() ? std::nullopt : it->second.hello;
+}
+
+void TcpTransport::drop_peer(GridNodeId id, const char* why) {
+  (void)why;  // kept for debugger visibility; peers drop silently otherwise
+  const auto it = peers_.find(id.value);
+  if (it == peers_.end() || it->second.failed) {
+    return;
+  }
+  // Deferred teardown: drop_peer can fire while a caller still holds this
+  // Peer& (mid-dispatch, mid-send), so only mark and close here; reap()
+  // erases at the top of the next loop round.
+  Peer& peer = it->second;
+  peer.failed = true;
+  if (peer.decoder.bytes_pending() > 0 && !peer.decoder.poisoned()) {
+    // The stream died mid-frame: in-flight traffic was genuinely lost.
+    // (Poisoned streams also leave bytes behind, but those are a framing
+    // violation, not truncation — keep the counters distinct.)
+    ++streams_truncated_;
+  }
+  peer.socket.close();
+  doomed_.push_back(id.value);
+}
+
+void TcpTransport::reap() {
+  for (const std::uint32_t raw : doomed_) {
+    if (peers_.erase(raw) > 0 && on_peer_disconnected) {
+      on_peer_disconnected(GridNodeId{raw});
+    }
+  }
+  doomed_.clear();
+}
+
+void TcpTransport::dispatch(GridNodeId from, Peer& peer, BytesView payload) {
+  Message message;
+  try {
+    message = decode_message(payload);
+  } catch (const WireError&) {
+    // Hostile or corrupt bytes reject cleanly and cost only this frame.
+    ++frames_undecodable_;
+    return;
+  }
+
+  if (const auto* hello = std::get_if<Hello>(&message)) {
+    if (!peer.accepted) {
+      return;  // connectors don't get greeted; ignore stray Hellos
+    }
+    if (peer.greeted) {
+      // One connection is one identity: a repeated Hello must not re-fire
+      // registration (a cheater could otherwise fill every worker slot of
+      // a gridd from a single connection).
+      return;
+    }
+    if (hello->protocol != kGridProtocol) {
+      throw FrameError(concat("peer speaks grid protocol ", hello->protocol,
+                              ", this build speaks ", kGridProtocol));
+    }
+    peer.greeted = true;
+    peer.hello = *hello;
+    if (on_peer_hello) {
+      on_peer_hello(from, *hello);
+    }
+    return;
+  }
+  if (peer.accepted && !peer.greeted) {
+    // Protocol traffic before the handshake: not a grid client.
+    throw FrameError("protocol frame before Hello");
+  }
+
+  if (local_ != nullptr) {
+    stats_.record(from, local_->id(), payload.size());
+    local_->on_message(from, message, *this);
+  }
+}
+
+bool TcpTransport::service_read(GridNodeId id, Peer& peer) {
+  bool progressed = false;
+  // Fairness bound: one peer gets at most this many recv() rounds before
+  // control returns to poll(), so a flooding (or simply bulk-uploading)
+  // peer cannot starve the other connections, the accept queue, or the
+  // timer wheel. Whatever remains buffered re-arms POLLIN immediately.
+  for (int round = 0; !peer.failed && round < 16; ++round) {
+    const IoResult result =
+        read_some(peer.socket, std::span<std::uint8_t>(read_scratch_));
+    if (result.status == IoStatus::kOk) {
+      progressed = true;
+      try {
+        peer.decoder.feed(BytesView(read_scratch_.data(), result.bytes));
+        while (const auto frame = peer.decoder.next()) {
+          dispatch(id, peer, *frame);
+          if (peer.failed) {
+            break;  // a dispatch side effect (backpressure) doomed it
+          }
+        }
+      } catch (const FrameError&) {
+        // Oversized length, pre-Hello traffic, or a protocol mismatch: the
+        // stream is unusable.
+        drop_peer(id, "framing violation");
+        return true;
+      }
+      continue;
+    }
+    if (result.status == IoStatus::kWouldBlock) {
+      return progressed;
+    }
+    // Orderly EOF or a connection error.
+    drop_peer(id, result.status == IoStatus::kClosed ? "eof" : "io error");
+    return true;
+  }
+  return progressed;
+}
+
+bool TcpTransport::service_write(GridNodeId id, Peer& peer) {
+  bool progressed = false;
+  while (!peer.failed && peer.write_offset < peer.write_buffer.size()) {
+    const IoResult result = write_some(
+        peer.socket,
+        BytesView(peer.write_buffer).subspan(peer.write_offset));
+    if (result.status == IoStatus::kOk) {
+      if (result.bytes == 0) {
+        return progressed;  // kernel took nothing; try again next round
+      }
+      peer.write_offset += result.bytes;
+      progressed = true;
+      continue;
+    }
+    if (result.status == IoStatus::kWouldBlock) {
+      return progressed;
+    }
+    // EPIPE/ECONNRESET and friends: the connection is dead — drop it here
+    // rather than waiting for the read path to notice (close_all only
+    // services writes, so it depends on this branch to stop draining).
+    drop_peer(id, "write error");
+    return true;
+  }
+  if (peer.write_offset > 0) {
+    peer.write_buffer.erase(
+        peer.write_buffer.begin(),
+        peer.write_buffer.begin() +
+            static_cast<std::ptrdiff_t>(peer.write_offset));
+    peer.write_offset = 0;
+  }
+  return progressed;
+}
+
+bool TcpTransport::pump_local_flush() {
+  if (local_ == nullptr) {
+    return false;
+  }
+  bool any = false;
+  while (local_->flush(*this)) {
+    any = true;
+  }
+  return any;
+}
+
+void TcpTransport::arm_quiescence(std::uint64_t now) {
+  if (quiescence_timer_.has_value()) {
+    wheel_.cancel(*quiescence_timer_);
+  }
+  quiescence_timer_ = wheel_.schedule(now, options_.quiescence_timeout_ms);
+}
+
+void TcpTransport::run(const std::function<bool()>& done) {
+  arm_quiescence(now_ms());
+  std::vector<pollfd> fds;
+  std::vector<std::uint32_t> fd_peers;
+
+  for (;;) {
+    // Reap first so a disconnect observed last round is visible to the
+    // predicate now — a gridworker waiting on its supervisor's EOF must
+    // not sleep one extra poll timeout.
+    reap();
+    if (done()) {
+      break;
+    }
+    fds.clear();
+    fd_peers.clear();
+    if (listener_.valid()) {
+      fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+      fd_peers.push_back(UINT32_MAX);
+    }
+    for (auto& [id, peer] : peers_) {
+      if (peer.failed) {
+        continue;
+      }
+      short events = POLLIN;
+      if (peer.write_offset < peer.write_buffer.size()) {
+        events |= POLLOUT;
+      }
+      fds.push_back(pollfd{peer.socket.fd(), events, 0});
+      fd_peers.push_back(id);
+    }
+
+    // Sleep until I/O or the next timer; the wheel's earliest deadline caps
+    // the wait so quiescence can't be missed.
+    const std::uint64_t now_before = now_ms();
+    std::uint64_t timeout = options_.tick_ms * 10;
+    if (const auto deadline = wheel_.next_deadline_ms()) {
+      timeout = *deadline > now_before ? *deadline - now_before : 0;
+    }
+    const int ready = ::poll(fds.data(), fds.size(),
+                             static_cast<int>(std::min<std::uint64_t>(
+                                 timeout, 1000)));
+    if (ready < 0 && errno != EINTR) {
+      throw SocketError(concat("poll: ", std::strerror(errno)));
+    }
+
+    bool progressed = false;
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) {
+        continue;
+      }
+      if (fd_peers[i] == UINT32_MAX) {
+        accept_pending();
+        progressed = true;
+        continue;
+      }
+      const GridNodeId id{fd_peers[i]};
+      const auto it = peers_.find(id.value);
+      if (it == peers_.end() || it->second.failed) {
+        continue;  // dropped earlier in this round
+      }
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        progressed |= service_read(id, it->second);
+      }
+      if (!it->second.failed && (fds[i].revents & POLLOUT) != 0) {
+        progressed |= service_write(id, it->second);
+      }
+    }
+
+    progressed |= pump_local_flush();
+
+    const std::uint64_t now = now_ms();
+    if (progressed) {
+      arm_quiescence(now);
+      continue;
+    }
+    fired_scratch_.clear();
+    wheel_.advance(now, fired_scratch_);
+    for (const TimerWheel::TimerId id : fired_scratch_) {
+      if (quiescence_timer_ == id) {
+        quiescence_timer_.reset();
+        // The grid went quiet for a full timeout: same contract as
+        // SimTransport's quiescence — flush first, then the timeout hook.
+        pump_local_flush();
+        if (local_ != nullptr) {
+          local_->on_quiescent(*this);
+        }
+        arm_quiescence(now_ms());
+      }
+    }
+  }
+}
+
+void TcpTransport::close_all(std::uint64_t drain_timeout_ms) {
+  const std::uint64_t deadline = now_ms() + drain_timeout_ms;
+  std::vector<pollfd> fds;
+  std::vector<std::uint32_t> fd_peers;
+  for (;;) {
+    reap();
+    fds.clear();
+    fd_peers.clear();
+    for (auto& [id, peer] : peers_) {
+      if (peer.failed) {
+        continue;
+      }
+      if (peer.write_offset < peer.write_buffer.size()) {
+        fds.push_back(pollfd{peer.socket.fd(), POLLOUT, 0});
+        fd_peers.push_back(id);
+      }
+    }
+    if (fds.empty() || now_ms() >= deadline) {
+      break;
+    }
+    const int ready = ::poll(fds.data(), fds.size(), 50);
+    if (ready < 0 && errno != EINTR) {
+      break;
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & POLLOUT) == 0) {
+        continue;
+      }
+      const auto it = peers_.find(fd_peers[i]);
+      if (it != peers_.end() && !it->second.failed) {
+        service_write(GridNodeId{fd_peers[i]}, it->second);
+      }
+    }
+  }
+  peers_.clear();
+  doomed_.clear();
+  listener_.close();
+}
+
+}  // namespace ugc::net

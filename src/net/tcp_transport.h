@@ -1,0 +1,149 @@
+#pragma once
+
+// Asynchronous TCP implementation of the Transport interface (see
+// net/frame.h for the src/net layering note): a poll()-driven event loop
+// over non-blocking sockets, shipping each wire-v2 encoded Message as one
+// 4-byte length-prefixed frame. This is the substrate the real executables
+// (apps/gridd, apps/gridworker) run the unchanged supervisor/participant
+// protocol over.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "grid/transport.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/timer_wheel.h"
+
+namespace ugc::net {
+
+struct TcpTransportOptions {
+  // Per-frame payload cap, enforced on both sides (see net/frame.h).
+  std::size_t max_frame_size = kDefaultMaxFrameSize;
+  // Per-peer write-queue backpressure cap: a peer that stops draining its
+  // socket is disconnected once this much is queued for it, instead of
+  // buffering without bound. Generous — the largest protocol burst is one
+  // batched proof response per in-flight task.
+  std::size_t max_write_buffer = 32u << 20;
+  // Idle period after which GridNode::on_quiescent fires — the real-clock
+  // stand-in for SimTransport's exact quiescence, driving the same
+  // retry/abort path. Raise it for slow workers or WAN links.
+  std::uint64_t quiescence_timeout_ms = 1000;
+  // Timer-wheel granularity.
+  std::uint64_t tick_ms = 10;
+};
+
+// One TcpTransport hosts exactly one local protocol node (gridd's
+// SupervisorNode, gridworker's ParticipantNode) and any number of remote
+// peers, each a framed TCP connection addressed by its GridNodeId — a star,
+// which is exactly the supervisor/participant topology (a broker would run
+// its own transport). Single-threaded: every callback fires on the thread
+// inside run().
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TcpTransportOptions options = {});
+  ~TcpTransport() override;
+
+  // Registers the one local protocol node; all inbound protocol frames are
+  // delivered to it. Must be called before those frames arrive (gridd
+  // registers its supervisor after the workers' Hellos, which the transport
+  // itself consumes).
+  GridNodeId add_local(GridNode& node);
+
+  // Server side: bind + listen; every accepted connection becomes a peer.
+  // An accepted peer must introduce itself with a Hello frame (protocol ==
+  // kGridProtocol) before any protocol traffic, or it is dropped.
+  void listen(const std::string& host, std::uint16_t port);
+  std::uint16_t port() const;
+  bool listening() const { return listener_.valid(); }
+
+  // Client side: connect out; the remote end becomes a peer (no Hello is
+  // expected back — the acceptor authenticates, the connector trusts).
+  // Blocks until the TCP handshake completes.
+  GridNodeId connect(const std::string& host, std::uint16_t port);
+
+  // Transport: encodes, meters, frames, and queues for the peer `to`.
+  // Sending to a vanished peer is a quiet no-op (the message is lost, as it
+  // would be on the wire); sending to an id that was never a peer throws.
+  void send(GridNodeId from, GridNodeId to, const Message& message) override;
+
+  bool offline(GridNodeId node) const override;
+  const NetworkStats& stats() const override;
+
+  // Fired from inside run(). on_peer_hello only for accepted peers.
+  std::function<void(GridNodeId, const Hello&)> on_peer_hello;
+  std::function<void(GridNodeId)> on_peer_disconnected;
+
+  // Drives the event loop until `done()` returns true: polls sockets,
+  // accepts, reads frames and dispatches them to the local node, drains
+  // write queues, pumps GridNode::flush whenever delivery goes quiet, and
+  // fires GridNode::on_quiescent after quiescence_timeout_ms of silence.
+  // Re-enterable: call again with a new predicate to continue.
+  void run(const std::function<bool()>& done);
+
+  // Drains pending writes (bounded by `drain_timeout_ms`), then closes
+  // every peer and the listener.
+  void close_all(std::uint64_t drain_timeout_ms = 2000);
+
+  // Peers that are still connected, in id order.
+  std::vector<GridNodeId> connected_peers() const;
+  // The Hello an accepted peer introduced itself with.
+  std::optional<Hello> hello_of(GridNodeId peer) const;
+
+  // Inbound frames that failed decode_message (hostile or corrupt bytes —
+  // counted and dropped, never fatal), and streams that ended mid-frame.
+  std::uint64_t frames_undecodable() const { return frames_undecodable_; }
+  std::uint64_t streams_truncated() const { return streams_truncated_; }
+
+ private:
+  struct Peer {
+    Socket socket;
+    FrameDecoder decoder;
+    Bytes write_buffer;            // framed bytes not yet accepted by send()
+    std::size_t write_offset = 0;  // prefix already written
+    bool accepted = false;         // true: inbound (must Hello first)
+    bool greeted = false;          // Hello seen (accepted peers)
+    bool failed = false;           // doomed; erased at the next reap()
+    std::optional<Hello> hello;
+  };
+
+  std::uint64_t now_ms() const;
+  void arm_quiescence(std::uint64_t now);
+  void accept_pending();
+  // Reads until would-block or the per-round fairness bound; decodes and
+  // dispatches every complete frame. Returns true on any progress.
+  bool service_read(GridNodeId id, Peer& peer);
+  // Writes queued bytes until would-block. Returns true on any progress.
+  bool service_write(GridNodeId id, Peer& peer);
+  void dispatch(GridNodeId from, Peer& peer, BytesView payload);
+  // Marks the peer dead and closes its socket; safe mid-iteration (the map
+  // entry survives until reap()).
+  void drop_peer(GridNodeId id, const char* why);
+  // Erases doomed peers and fires on_peer_disconnected.
+  void reap();
+  bool pump_local_flush();
+
+  TcpTransportOptions options_;
+  Socket listener_;
+  GridNode* local_ = nullptr;
+  std::map<std::uint32_t, Peer> peers_;
+  std::vector<std::uint32_t> doomed_;
+  std::uint32_t next_id_ = 0;
+  NetworkStats stats_;
+  TimerWheel wheel_;
+  std::optional<TimerWheel::TimerId> quiescence_timer_;
+  std::chrono::steady_clock::time_point epoch_;
+  Bytes encode_scratch_;
+  Bytes read_scratch_;  // recv target, sized once, reused for every read
+  std::vector<TimerWheel::TimerId> fired_scratch_;
+  std::uint64_t frames_undecodable_ = 0;
+  std::uint64_t streams_truncated_ = 0;
+};
+
+}  // namespace ugc::net

@@ -1,0 +1,115 @@
+#pragma once
+
+// Hashed timing wheel (see net/frame.h for the src/net layering note):
+// timers hash into `slot_count` buckets by expiry tick, so schedule/cancel
+// are O(1) and advancing visits only the slots the clock actually crossed —
+// the classic Varghese–Lauck scheme every production event loop uses in
+// some form. The transport drives its quiescence timeout (the signal behind
+// GridNode::on_quiescent's retry/abort path) and any future per-peer
+// deadlines through one wheel instead of a heap, keeping the event loop's
+// per-activity cost flat no matter how many peers are armed.
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+
+namespace ugc::net {
+
+class TimerWheel {
+ public:
+  using TimerId = std::uint64_t;
+
+  explicit TimerWheel(std::uint64_t tick_ms = 10, std::size_t slot_count = 256)
+      : tick_ms_(tick_ms), slots_(slot_count) {
+    check(tick_ms_ > 0, "TimerWheel: tick must be positive");
+    check(slot_count > 0, "TimerWheel: need at least one slot");
+  }
+
+  // Arms a timer `delay_ms` after `now_ms` (clamped to one tick minimum so
+  // a zero delay still fires on the *next* advance, never re-entrantly).
+  TimerId schedule(std::uint64_t now_ms, std::uint64_t delay_ms) {
+    const std::uint64_t deadline = now_ms + (delay_ms < tick_ms_ ? tick_ms_ : delay_ms);
+    const std::uint64_t deadline_tick = (deadline + tick_ms_ - 1) / tick_ms_;
+    const TimerId id = next_id_++;
+    std::list<Entry>& slot = slots_[deadline_tick % slots_.size()];
+    slot.push_front(Entry{id, deadline_tick});
+    index_.emplace(id, slot.begin());
+    ++armed_;
+    return id;
+  }
+
+  // Disarms a timer; false if it already fired (or never existed).
+  bool cancel(TimerId id) {
+    const auto it = index_.find(id);
+    if (it == index_.end()) {
+      return false;
+    }
+    const std::uint64_t tick = it->second->deadline_tick;
+    slots_[tick % slots_.size()].erase(it->second);
+    index_.erase(it);
+    --armed_;
+    return true;
+  }
+
+  // Advances the wheel to `now_ms`, appending every expired TimerId to
+  // `fired` (in tick order; order within one tick is unspecified).
+  void advance(std::uint64_t now_ms, std::vector<TimerId>& fired) {
+    const std::uint64_t now_tick = now_ms / tick_ms_;
+    while (current_tick_ <= now_tick) {
+      std::list<Entry>& slot = slots_[current_tick_ % slots_.size()];
+      for (auto it = slot.begin(); it != slot.end();) {
+        // Same slot, later lap: an entry whose deadline hashes here but is
+        // beyond the current tick stays armed.
+        if (it->deadline_tick <= current_tick_) {
+          fired.push_back(it->id);
+          index_.erase(it->id);
+          it = slot.erase(it);
+          --armed_;
+        } else {
+          ++it;
+        }
+      }
+      if (current_tick_ == now_tick) {
+        break;
+      }
+      ++current_tick_;
+    }
+  }
+
+  // The earliest possible expiry, in ms — what an event loop should cap its
+  // poll timeout at. nullopt when nothing is armed.
+  std::optional<std::uint64_t> next_deadline_ms() const {
+    std::optional<std::uint64_t> best;
+    for (const std::list<Entry>& slot : slots_) {
+      for (const Entry& entry : slot) {
+        const std::uint64_t deadline = entry.deadline_tick * tick_ms_;
+        if (!best.has_value() || deadline < *best) {
+          best = deadline;
+        }
+      }
+    }
+    return best;
+  }
+
+  std::size_t armed() const { return armed_; }
+  std::uint64_t tick_ms() const { return tick_ms_; }
+
+ private:
+  struct Entry {
+    TimerId id;
+    std::uint64_t deadline_tick;
+  };
+
+  std::uint64_t tick_ms_;
+  std::vector<std::list<Entry>> slots_;
+  std::unordered_map<TimerId, std::list<Entry>::iterator> index_;
+  std::uint64_t current_tick_ = 0;
+  TimerId next_id_ = 1;
+  std::size_t armed_ = 0;
+};
+
+}  // namespace ugc::net

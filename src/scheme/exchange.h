@@ -34,7 +34,9 @@ struct SchemeExchangeResult {
 // per task (all driven by `policy`) and a supervisor session over the whole
 // group, then relays SchemeMessages between them until every task has a
 // verdict. The quickest way to drive a scheme without the grid — and the
-// reference for what a transport must do with the session API.
+// reference for what a Transport implementation must do with the session
+// API (grid/transport.h): SimTransport and the TCP transport in src/net/
+// both reduce to this relay loop, plus framing, routing, and timeouts.
 //
 // `verifier` may be null, in which case results are checked by recomputing
 // through tasks[0].f. Throws ugc::Error if the exchange stalls before all

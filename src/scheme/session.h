@@ -24,7 +24,11 @@ namespace ugc {
 //
 // The grid nodes (and the in-process exchange helper) relay SchemeMessages
 // between the two sides without understanding them; adding a scheme is one
-// SchemeRegistry entry, not a cross-cutting edit.
+// SchemeRegistry entry, not a cross-cutting edit. Nothing here knows what
+// carries the messages either: the nodes pump sessions identically over the
+// deterministic SimTransport and the real TCP transport (grid/transport.h,
+// src/net/), so a scheme written against this API runs on a live grid
+// (apps/gridd, apps/gridworker) unchanged.
 // ---------------------------------------------------------------------------
 
 // Everything a participant needs to open one session.

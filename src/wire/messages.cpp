@@ -334,6 +334,18 @@ Verdict decode_verdict(WireReader& r) {
   return m;
 }
 
+void encode_payload(WireWriter& w, const Hello& m) {
+  w.u16(m.protocol);
+  w.str(m.agent);
+}
+
+Hello decode_hello(WireReader& r) {
+  Hello m;
+  m.protocol = r.u16();
+  m.agent = r.str();
+  return m;
+}
+
 }  // namespace
 
 const char* to_string(MessageType type) {
@@ -358,6 +370,8 @@ const char* to_string(MessageType type) {
       return "verdict";
     case MessageType::kBatchProofResponse:
       return "batch-proof-response";
+    case MessageType::kHello:
+      return "hello";
   }
   return "unknown";
 }
@@ -392,6 +406,7 @@ MessageType message_type(const Message& message) {
     MessageType operator()(const BatchProofResponse&) {
       return MessageType::kBatchProofResponse;
     }
+    MessageType operator()(const Hello&) { return MessageType::kHello; }
   };
   return std::visit(Visitor{}, message);
 }
@@ -442,6 +457,8 @@ Message decode_message(BytesView data) {
         return decode_verdict(reader);
       case MessageType::kBatchProofResponse:
         return decode_batch_proof_response(reader);
+      case MessageType::kHello:
+        return decode_hello(reader);
     }
     throw WireError(concat("unknown message type ", int{type}));
   }();

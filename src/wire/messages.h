@@ -28,6 +28,7 @@ enum class MessageType : std::uint8_t {
   kRingerReport = 8,
   kVerdict = 9,
   kBatchProofResponse = 10,
+  kHello = 11,
 };
 
 const char* to_string(MessageType type);
@@ -53,10 +54,28 @@ struct TaskAssignment {
 // (ResultsUpload lives in core/protocol.h with the other protocol value
 // types; it is re-exported here through that include.)
 
+// Participant -> supervisor, first frame on a real (TCP) connection: "I am
+// a worker, speaking protocol `protocol`, calling myself `agent`". The
+// supervisor registers the connection as an assignment slot (or drops it on
+// a protocol mismatch). Task-less control traffic — the simulated grid
+// never sends it (registration there is SimTransport::add_node), and grid
+// nodes ignore it if it ever reaches them.
+struct Hello {
+  // Independent of the wire-envelope version: bumps when the *handshake or
+  // grid semantics* change incompatibly, not when a message gains a field.
+  std::uint16_t protocol = 1;
+  std::string agent;
+
+  friend bool operator==(const Hello&, const Hello&) = default;
+};
+
+// The handshake revision gridd/gridworker currently speak.
+inline constexpr std::uint16_t kGridProtocol = 1;
+
 using Message =
     std::variant<TaskAssignment, Commitment, SampleChallenge, ProofResponse,
                  NiCbsProof, ResultsUpload, ScreenerReport, RingerReport,
-                 Verdict, BatchProofResponse>;
+                 Verdict, BatchProofResponse, Hello>;
 
 MessageType message_type(const Message& message);
 

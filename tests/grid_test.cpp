@@ -7,7 +7,7 @@
 #include "grid/participant_node.h"
 #include "grid/simulation.h"
 #include "grid/supervisor_node.h"
-#include "grid/thread_pool.h"
+#include "common/parallel.h"
 
 namespace ugc {
 namespace {
@@ -16,7 +16,7 @@ namespace {
 class RecordingNode final : public GridNode {
  public:
   void on_message(GridNodeId from, const Message& message,
-                  SimNetwork& network) override {
+                  Transport& network) override {
     received.push_back({from, message_type(message)});
     if (echo_to.has_value()) {
       network.send(id(), *echo_to, message);

@@ -20,7 +20,7 @@ namespace {
 class RecordingNode final : public GridNode {
  public:
   void on_message(GridNodeId from, const Message& message,
-                  SimNetwork&) override {
+                  Transport&) override {
     received.push_back({from, message_type(message)});
   }
   void on_crash() override { ++crashes; }

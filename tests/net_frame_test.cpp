@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "net/frame.h"
+#include "net/timer_wheel.h"
+#include "wire/codec.h"
+#include "wire/messages.h"
+
+namespace ugc {
+namespace {
+
+using net::FrameDecoder;
+using net::FrameError;
+using net::append_frame;
+using net::kFrameHeaderSize;
+
+Bytes frame_of(BytesView payload) {
+  Bytes out;
+  append_frame(payload, out);
+  return out;
+}
+
+TEST(Frame, AppendFramePrefixesLittleEndianLength) {
+  const Bytes framed = frame_of(to_bytes("abc"));
+  ASSERT_EQ(framed.size(), kFrameHeaderSize + 3);
+  EXPECT_EQ(framed[0], 3u);
+  EXPECT_EQ(framed[1], 0u);
+  EXPECT_EQ(framed[2], 0u);
+  EXPECT_EQ(framed[3], 0u);
+  EXPECT_EQ(framed[4], 'a');
+}
+
+TEST(Frame, AppendFrameDoesNotClearItsBuffer) {
+  Bytes out = to_bytes("prefix");
+  append_frame(to_bytes("x"), out);
+  EXPECT_EQ(out.size(), 6 + kFrameHeaderSize + 1);
+}
+
+TEST(Frame, AppendFrameRejectsOversizedPayload) {
+  Bytes out;
+  const Bytes payload(128, 0xaa);
+  EXPECT_THROW(append_frame(payload, out, 127), FrameError);
+}
+
+TEST(Frame, RoundTripSingleFrame) {
+  FrameDecoder decoder;
+  decoder.feed(frame_of(to_bytes("hello frame")));
+  const auto payload = decoder.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(to_string(*payload), "hello frame");
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.bytes_pending(), 0u);
+}
+
+TEST(Frame, PartialReadsAcrossEveryBoundary) {
+  // Two frames, fed one byte at a time: the decoder must reassemble both
+  // regardless of where recv() happened to split the stream.
+  Bytes stream = frame_of(to_bytes("first"));
+  append_frame(to_bytes("second, longer payload"), stream);
+
+  FrameDecoder decoder;
+  std::vector<std::string> frames;
+  for (const std::uint8_t byte : stream) {
+    decoder.feed(BytesView(&byte, 1));
+    while (const auto payload = decoder.next()) {
+      frames.push_back(to_string(*payload));
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], "first");
+  EXPECT_EQ(frames[1], "second, longer payload");
+  EXPECT_EQ(decoder.bytes_pending(), 0u);
+}
+
+TEST(Frame, SeveralFramesInOneFeed) {
+  Bytes stream;
+  for (int i = 0; i < 5; ++i) {
+    append_frame(to_bytes(concat("frame-", i)), stream);
+  }
+  FrameDecoder decoder;
+  decoder.feed(stream);
+  for (int i = 0; i < 5; ++i) {
+    const auto payload = decoder.next();
+    ASSERT_TRUE(payload.has_value()) << "frame " << i;
+    EXPECT_EQ(to_string(*payload), concat("frame-", i));
+  }
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(Frame, EmptyPayloadIsAValidFrame) {
+  // Framing carries zero-length payloads; rejecting nonsense bytes is the
+  // wire codec's job (decode_message throws on an empty buffer).
+  FrameDecoder decoder;
+  decoder.feed(frame_of({}));
+  const auto payload = decoder.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_TRUE(payload->empty());
+  EXPECT_THROW(decode_message(*payload), WireError);
+}
+
+TEST(Frame, OversizedLengthRejectedAtTheHeader) {
+  // The hostile header alone must poison the stream — before any of the
+  // announced payload arrives, so a peer cannot make us reserve 4 GiB.
+  FrameDecoder decoder(1024);
+  Bytes header{0xff, 0xff, 0xff, 0xff};
+  EXPECT_THROW(decoder.feed(header), FrameError);
+  EXPECT_TRUE(decoder.poisoned());
+  // A poisoned stream stays dead: resynchronization is impossible.
+  EXPECT_THROW(decoder.feed(to_bytes("x")), FrameError);
+  EXPECT_THROW(decoder.next(), FrameError);
+}
+
+TEST(Frame, OversizedLengthRejectedMidStream) {
+  FrameDecoder decoder(64);
+  Bytes stream = frame_of(to_bytes("ok"));
+  stream.push_back(0xff);  // start of a hostile header
+  stream.push_back(0xff);
+  stream.push_back(0xff);
+  stream.push_back(0x7f);
+  decoder.feed(stream);
+  // The good frame decodes; the hostile header then kills the stream.
+  const auto payload = decoder.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(to_string(*payload), "ok");
+  EXPECT_THROW(decoder.next(), FrameError);
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(Frame, ExactCapLengthIsAccepted) {
+  FrameDecoder decoder(8);
+  decoder.feed(frame_of(Bytes(8, 0x11)));
+  const auto payload = decoder.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(payload->size(), 8u);
+}
+
+TEST(Frame, MidFrameDisconnectLeavesBytesPending) {
+  // A peer dying mid-frame (or mid-header) must be detectable: the decoder
+  // reports the truncated tail instead of silently swallowing it.
+  const Bytes framed = frame_of(to_bytes("truncated in flight"));
+
+  for (std::size_t cut = 1; cut < framed.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.feed(BytesView(framed).first(cut));
+    EXPECT_FALSE(decoder.next().has_value()) << "cut at " << cut;
+    EXPECT_EQ(decoder.bytes_pending(), cut) << "cut at " << cut;
+  }
+}
+
+TEST(Frame, PendingDropsToZeroOnlyAfterACompleteFrame) {
+  const Bytes framed = frame_of(to_bytes("abc"));
+  FrameDecoder decoder;
+  decoder.feed(BytesView(framed).first(framed.size() - 1));
+  EXPECT_FALSE(decoder.next().has_value());
+  decoder.feed(BytesView(framed).last(1));
+  ASSERT_TRUE(decoder.next().has_value());
+  EXPECT_EQ(decoder.bytes_pending(), 0u);
+}
+
+TEST(Frame, ViewsValidUntilNextFeed) {
+  // next() views alias the internal buffer across next() calls within one
+  // feed; a later feed() may compact and invalidate them (documented).
+  Bytes stream = frame_of(to_bytes("aa"));
+  append_frame(to_bytes("bb"), stream);
+  FrameDecoder decoder;
+  decoder.feed(stream);
+  const auto first = decoder.next();
+  const auto second = decoder.next();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(to_string(*first), "aa");
+  EXPECT_EQ(to_string(*second), "bb");
+}
+
+// ------------------------------------------------------------- timer wheel
+
+TEST(TimerWheel, FiresAtTheDeadline) {
+  net::TimerWheel wheel(10);
+  const auto id = wheel.schedule(0, 50);
+  std::vector<net::TimerWheel::TimerId> fired;
+  wheel.advance(40, fired);
+  EXPECT_TRUE(fired.empty());
+  wheel.advance(60, fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], id);
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(TimerWheel, CancelDisarms) {
+  net::TimerWheel wheel(10);
+  const auto id = wheel.schedule(0, 30);
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_FALSE(wheel.cancel(id));
+  std::vector<net::TimerWheel::TimerId> fired;
+  wheel.advance(1000, fired);
+  EXPECT_TRUE(fired.empty());
+}
+
+TEST(TimerWheel, ZeroDelayFiresOnNextAdvanceNotReentrantly) {
+  net::TimerWheel wheel(10);
+  wheel.schedule(100, 0);
+  std::vector<net::TimerWheel::TimerId> fired;
+  wheel.advance(100, fired);
+  EXPECT_TRUE(fired.empty());  // clamped to one tick ahead
+  wheel.advance(120, fired);
+  EXPECT_EQ(fired.size(), 1u);
+}
+
+TEST(TimerWheel, LongDelaysSurviveWheelLaps) {
+  // A deadline far beyond slot_count * tick hashes into a slot the cursor
+  // passes many times; it must fire only on the right lap.
+  net::TimerWheel wheel(1, 8);  // tiny wheel: 8 ms horizon
+  const auto id = wheel.schedule(0, 100);
+  std::vector<net::TimerWheel::TimerId> fired;
+  for (std::uint64_t t = 0; t < 100; t += 7) {
+    wheel.advance(t, fired);
+    EXPECT_TRUE(fired.empty()) << "at " << t;
+  }
+  wheel.advance(101, fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], id);
+}
+
+TEST(TimerWheel, NextDeadlineTracksEarliestTimer) {
+  net::TimerWheel wheel(10);
+  EXPECT_FALSE(wheel.next_deadline_ms().has_value());
+  wheel.schedule(0, 200);
+  const auto late = wheel.next_deadline_ms();
+  wheel.schedule(0, 50);
+  const auto early = wheel.next_deadline_ms();
+  ASSERT_TRUE(late.has_value());
+  ASSERT_TRUE(early.has_value());
+  EXPECT_LT(*early, *late);
+}
+
+TEST(TimerWheel, ManyTimersAllFireExactlyOnce) {
+  net::TimerWheel wheel(5, 16);
+  std::vector<net::TimerWheel::TimerId> expected;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    expected.push_back(wheel.schedule(0, 10 + i * 13));
+  }
+  std::vector<net::TimerWheel::TimerId> fired;
+  for (std::uint64_t t = 0; t <= 10 + 99 * 13 + 5; t += 3) {
+    wheel.advance(t, fired);
+  }
+  std::sort(fired.begin(), fired.end());
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+}  // namespace
+}  // namespace ugc

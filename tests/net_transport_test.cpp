@@ -1,0 +1,325 @@
+// In-process end-to-end coverage for the TCP transport: real loopback
+// sockets, real poll loops, the unchanged SupervisorNode/ParticipantNode
+// protocol — supervisor on the test thread, each worker on its own thread
+// with its own TcpTransport (exactly the gridd/gridworker split, minus the
+// processes). Runs under the ASan CI leg, which the process-level e2e
+// script does not.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cheating.h"
+#include "grid/participant_node.h"
+#include "grid/supervisor_node.h"
+#include "net/socket.h"
+#include "net/tcp_transport.h"
+
+namespace ugc {
+namespace {
+
+net::TcpTransportOptions fast_options() {
+  net::TcpTransportOptions options;
+  // Everything is loopback: a tight quiescence timeout keeps the abort
+  // paths reachable in test time without risking premature retries.
+  options.quiescence_timeout_ms = 300;
+  return options;
+}
+
+struct WorkerResult {
+  std::map<TaskId, Verdict> verdicts;
+  std::uint64_t evaluations = 0;
+};
+
+// Runs one gridworker-shaped participant until the supervisor hangs up.
+WorkerResult run_worker(std::uint16_t port, const std::string& agent,
+                        std::shared_ptr<const HonestyPolicy> policy) {
+  ParticipantNode::Options options;
+  options.policy = std::move(policy);
+  ParticipantNode node(options);
+
+  net::TcpTransport transport(fast_options());
+  const GridNodeId self = transport.add_local(node);
+  const GridNodeId supervisor = transport.connect("127.0.0.1", port);
+  transport.send(self, supervisor, Hello{kGridProtocol, agent});
+
+  bool supervisor_gone = false;
+  transport.on_peer_disconnected = [&](GridNodeId) {
+    supervisor_gone = true;
+  };
+  transport.run([&] { return supervisor_gone; });
+  return WorkerResult{node.verdicts(), node.honest_evaluations()};
+}
+
+TEST(TcpTransport, FullSchemeExchangeCatchesTheCheater) {
+  for (const std::string scheme : {"cbs", "ni-cbs"}) {
+    net::TcpTransport server(fast_options());
+    server.listen("127.0.0.1", 0);
+    const std::uint16_t port = server.port();
+
+    std::vector<WorkerResult> results(3);
+    std::vector<std::thread> workers;
+    workers.emplace_back([&, port] {
+      results[0] = run_worker(port, "honest-a", nullptr);
+    });
+    workers.emplace_back([&, port] {
+      results[1] = run_worker(port, "honest-b", nullptr);
+    });
+    workers.emplace_back([&, port] {
+      results[2] = run_worker(port, "cheater",
+                              make_semi_honest_cheater({0.5, 0.0, 1234}));
+    });
+
+    std::vector<GridNodeId> slots;
+    std::map<std::uint32_t, std::string> agents;
+    server.on_peer_hello = [&](GridNodeId peer, const Hello& hello) {
+      slots.push_back(peer);
+      agents[peer.value] = hello.agent;
+    };
+    server.run([&] { return slots.size() == 3; });
+
+    SupervisorNode::Plan plan;
+    plan.domain = Domain(0, 3 * 512);
+    plan.workload = "test";
+    plan.scheme.name = scheme;
+    plan.seed = 42;
+    SupervisorNode supervisor(plan, slots);
+    server.add_local(supervisor);
+    supervisor.start(server);
+    server.run([&] { return supervisor.done(); });
+
+    std::map<std::string, Verdict> by_agent;
+    for (const SupervisorNode::TaskOutcome& outcome : supervisor.outcomes()) {
+      by_agent[agents.at(outcome.peer.value)] = outcome.verdict;
+    }
+    server.close_all();
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+
+    ASSERT_EQ(by_agent.size(), 3u) << scheme;
+    EXPECT_TRUE(by_agent.at("honest-a").accepted()) << scheme;
+    EXPECT_TRUE(by_agent.at("honest-b").accepted()) << scheme;
+    EXPECT_FALSE(by_agent.at("cheater").accepted()) << scheme;
+    EXPECT_NE(by_agent.at("cheater").status, VerdictStatus::kAborted)
+        << scheme << ": a cheater must be *accused*, not timed out";
+
+    // The workers saw the same verdicts the supervisor settled on, and the
+    // honest ones did the full domain's work.
+    for (const WorkerResult& result : results) {
+      ASSERT_EQ(result.verdicts.size(), 1u) << scheme;
+    }
+    EXPECT_TRUE(results[0].verdicts.begin()->second.accepted()) << scheme;
+    EXPECT_TRUE(results[1].verdicts.begin()->second.accepted()) << scheme;
+    EXPECT_FALSE(results[2].verdicts.begin()->second.accepted()) << scheme;
+    EXPECT_GE(results[0].evaluations, 512u) << scheme;
+
+    // Byte metering ran on both sides of every link.
+    EXPECT_GT(server.stats().total_bytes, 0u) << scheme;
+  }
+}
+
+TEST(TcpTransport, ProtocolMismatchDropsThePeer) {
+  net::TcpTransport server(fast_options());
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  bool dropped = false;
+  bool greeted = false;
+  server.on_peer_hello = [&](GridNodeId, const Hello&) { greeted = true; };
+  server.on_peer_disconnected = [&](GridNodeId) { dropped = true; };
+
+  std::thread client([port] {
+    net::TcpTransport transport(fast_options());
+    struct : GridNode {
+      void on_message(GridNodeId, const Message&, Transport&) override {}
+    } sink;
+    const GridNodeId self = transport.add_local(sink);
+    const GridNodeId server_id = transport.connect("127.0.0.1", port);
+    transport.send(self, server_id, Hello{999, "from-the-future"});
+    bool gone = false;
+    transport.on_peer_disconnected = [&](GridNodeId) { gone = true; };
+    transport.run([&] { return gone; });
+  });
+
+  server.run([&] { return dropped; });
+  server.close_all();
+  client.join();
+  EXPECT_TRUE(dropped);
+  EXPECT_FALSE(greeted);
+}
+
+TEST(TcpTransport, ProtocolTrafficBeforeHelloDropsThePeer) {
+  net::TcpTransport server(fast_options());
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  bool dropped = false;
+  server.on_peer_disconnected = [&](GridNodeId) { dropped = true; };
+
+  std::thread client([port] {
+    net::TcpTransport transport(fast_options());
+    struct : GridNode {
+      void on_message(GridNodeId, const Message&, Transport&) override {}
+    } sink;
+    const GridNodeId self = transport.add_local(sink);
+    const GridNodeId server_id = transport.connect("127.0.0.1", port);
+    // No Hello: straight to (what claims to be) protocol traffic.
+    transport.send(self, server_id, Commitment{TaskId{1}, 4, Bytes(32, 1)});
+    bool gone = false;
+    transport.on_peer_disconnected = [&](GridNodeId) { gone = true; };
+    transport.run([&] { return gone; });
+  });
+
+  server.run([&] { return dropped; });
+  server.close_all();
+  client.join();
+  EXPECT_TRUE(dropped);
+}
+
+TEST(TcpTransport, HostileFrameLengthDropsThePeerNotTheServer) {
+  net::TcpTransport server(fast_options());
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  bool dropped = false;
+  server.on_peer_disconnected = [&](GridNodeId) { dropped = true; };
+
+  // A raw socket speaking garbage: a 0xffffffff length announcement.
+  net::Socket raw = net::tcp_connect("127.0.0.1", port);
+  const Bytes hostile{0xff, 0xff, 0xff, 0xff, 0x00};
+  (void)net::write_some(raw, hostile);
+
+  server.run([&] { return dropped; });
+  EXPECT_TRUE(dropped);
+  EXPECT_TRUE(server.connected_peers().empty());
+
+  // The server must still accept and serve a well-behaved peer afterwards.
+  bool greeted = false;
+  server.on_peer_hello = [&](GridNodeId, const Hello&) { greeted = true; };
+  std::thread client([port] {
+    net::TcpTransport transport(fast_options());
+    struct : GridNode {
+      void on_message(GridNodeId, const Message&, Transport&) override {}
+    } sink;
+    const GridNodeId self = transport.add_local(sink);
+    const GridNodeId server_id = transport.connect("127.0.0.1", port);
+    transport.send(self, server_id, Hello{kGridProtocol, "fine"});
+    bool gone = false;
+    transport.on_peer_disconnected = [&](GridNodeId) { gone = true; };
+    transport.run([&] { return gone; });
+  });
+  server.run([&] { return greeted; });
+  server.close_all();
+  client.join();
+  EXPECT_TRUE(greeted);
+}
+
+TEST(TcpTransport, RepeatedHelloRegistersOnlyOnce) {
+  // One connection is one worker slot: a cheater replaying Hello must not
+  // fill a gridd's registration quota from a single connection.
+  net::TcpTransport server(fast_options());
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  std::size_t hellos = 0;
+  bool dropped = false;
+  server.on_peer_hello = [&](GridNodeId, const Hello&) { ++hellos; };
+  server.on_peer_disconnected = [&](GridNodeId) { dropped = true; };
+
+  net::Socket raw = net::tcp_connect("127.0.0.1", port);
+  Bytes stream;
+  for (int i = 0; i < 3; ++i) {
+    net::append_frame(encode_message(Message{Hello{kGridProtocol, "dup"}}),
+                      stream);
+  }
+  (void)net::write_some(raw, stream);
+  raw.close();
+  server.run([&] { return dropped; });
+  server.close_all();
+  EXPECT_EQ(hellos, 1u);
+}
+
+TEST(TcpTransport, UndecodableFramesAreCountedAndDropped) {
+  net::TcpTransport server(fast_options());
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  net::Socket raw = net::tcp_connect("127.0.0.1", port);
+  // A well-formed *frame* whose payload is not a decodable message, then a
+  // clean disconnect.
+  Bytes stream;
+  net::append_frame(to_bytes("not a wire message"), stream);
+  (void)net::write_some(raw, stream);
+  raw.close();
+
+  bool dropped = false;
+  server.on_peer_disconnected = [&](GridNodeId) { dropped = true; };
+  server.run([&] { return dropped; });
+  server.close_all();
+  EXPECT_EQ(server.frames_undecodable(), 1u);
+}
+
+TEST(TcpTransport, MidFrameDisconnectCountsATruncatedStream) {
+  net::TcpTransport server(fast_options());
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  net::Socket raw = net::tcp_connect("127.0.0.1", port);
+  // Announce 100 bytes, send 3, vanish.
+  const Bytes partial{100, 0, 0, 0, 0xaa, 0xbb, 0xcc};
+  (void)net::write_some(raw, partial);
+  raw.close();
+
+  bool dropped = false;
+  server.on_peer_disconnected = [&](GridNodeId) { dropped = true; };
+  server.run([&] { return dropped; });
+  server.close_all();
+  EXPECT_EQ(server.streams_truncated(), 1u);
+}
+
+TEST(TcpTransport, SendToAVanishedPeerIsAQuietNoOp) {
+  net::TcpTransport server(fast_options());
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  struct : GridNode {
+    void on_message(GridNodeId, const Message&, Transport&) override {}
+  } sink;
+  const GridNodeId self = server.add_local(sink);
+
+  GridNodeId peer{};
+  bool greeted = false;
+  server.on_peer_hello = [&](GridNodeId id, const Hello&) {
+    peer = id;
+    greeted = true;
+  };
+  {
+    net::Socket raw = net::tcp_connect("127.0.0.1", port);
+    Bytes stream;
+    net::append_frame(encode_message(Message{Hello{kGridProtocol, "w"}}),
+                      stream);
+    (void)net::write_some(raw, stream);
+    server.run([&] { return greeted; });
+    // raw closes here: the peer vanishes.
+  }
+  bool dropped = false;
+  server.on_peer_disconnected = [&](GridNodeId) { dropped = true; };
+  server.run([&] { return dropped; });
+
+  // Both sends must be loss, not crash: one to the reaped peer, one to a
+  // never-seen id (the latter is a programming error and throws).
+  server.send(self, peer, Verdict{TaskId{1}, VerdictStatus::kAborted,
+                                  std::nullopt, "gone"});
+  EXPECT_THROW(server.send(self, GridNodeId{12345},
+                           Verdict{TaskId{1}, VerdictStatus::kAborted,
+                                   std::nullopt, "never existed"}),
+               Error);
+  server.close_all();
+}
+
+}  // namespace
+}  // namespace ugc

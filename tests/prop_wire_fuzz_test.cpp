@@ -40,7 +40,7 @@ SampleProof gen_sample_proof(Rng& rng) {
 // One random message of every variant, chosen uniformly.
 Message gen_message(Rng& rng) {
   const TaskId task{gen_range(rng, 1, 1 << 16)};
-  switch (rng.uniform(10)) {
+  switch (rng.uniform(11)) {
     case 0: {
       TaskAssignment m;
       m.task = task;
@@ -120,6 +120,12 @@ Message gen_message(Rng& rng) {
         m.failed_sample = LeafIndex{gen_range(rng, 0, 1 << 20)};
       }
       m.detail = rng.bernoulli(0.5) ? "some detail" : "";
+      return m;
+    }
+    case 9: {
+      Hello m;
+      m.protocol = static_cast<std::uint16_t>(gen_range(rng, 0, 1 << 16));
+      m.agent = rng.bernoulli(0.5) ? concat("agent-", rng.uniform(1000)) : "";
       return m;
     }
     default: {

@@ -78,7 +78,8 @@ TEST(ToString, MessageTypeExhaustive) {
        MessageType::kSampleChallenge, MessageType::kProofResponse,
        MessageType::kNiCbsProof, MessageType::kResultsUpload,
        MessageType::kScreenerReport, MessageType::kRingerReport,
-       MessageType::kVerdict, MessageType::kBatchProofResponse});
+       MessageType::kVerdict, MessageType::kBatchProofResponse,
+       MessageType::kHello});
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/rng.h"
+#include "grid/transport.h"
 #include "wire/codec.h"
 #include "wire/messages.h"
 
@@ -233,6 +234,17 @@ TEST(Messages, VerdictRoundTripAllStatuses) {
   with_sample.status = VerdictStatus::kWrongResult;
   with_sample.failed_sample = LeafIndex{77};
   expect_round_trip(with_sample);
+}
+
+TEST(Messages, HelloRoundTrip) {
+  expect_round_trip(Hello{kGridProtocol, "gridworker"});
+  expect_round_trip(Hello{0xffff, ""});
+}
+
+TEST(Messages, HelloIsNotASchemeMessage) {
+  EXPECT_FALSE(to_scheme_message(Message{Hello{kGridProtocol, "w"}})
+                   .has_value());
+  EXPECT_EQ(task_of(Message{Hello{kGridProtocol, "w"}}), TaskId{0});
 }
 
 TEST(Messages, EmptyCollectionsRoundTrip) {
