@@ -1,7 +1,9 @@
 // gridd — the uncheatable-grid supervisor daemon.
 //
-// Listens for gridworker connections, registers each worker as an
-// assignment slot (Hello handshake), partitions the domain, and drives the
+// Listens for gridworker connections, authenticates each with the
+// challenge–response handshake (auth/handshake.h), registers it as an
+// assignment slot under its durable worker id — refusing identities whose
+// persistent reputation bans them — partitions the domain, and drives the
 // full verification protocol — commit, sample, verify, accuse — over real
 // TCP through the same SupervisorNode the simulated grid runs. When every
 // task has settled it prints a per-task verdict log, a per-worker
@@ -29,18 +31,38 @@
 #include <vector>
 
 #include "apps/cli.h"
-#include "grid/reputation.h"
 #include "grid/supervisor_node.h"
 #include "net/tcp_transport.h"
+#include "store/durable_ledger.h"
 
 namespace {
 
 using namespace ugc;
 
 int run_gridd(const cli::Flags& flags) {
+  // Reputation outlives the process when --state-dir is set: the ledger's
+  // Beta posteriors are keyed by durable worker id and loaded back on the
+  // next start, so a ban sticks across restarts.
+  store::ReputationParams reputation_params;
+  reputation_params.ban_threshold = flags.f64("ban-threshold");
+  reputation_params.min_observations = flags.u64("min-observations");
+  const std::string state_dir = flags.str("state-dir");
+  store::DurableReputationLedger ledger(
+      reputation_params, state_dir.empty()
+                             ? store::make_memory_reputation_store()
+                             : store::make_file_reputation_store(state_dir));
+  std::printf("gridd: reputation %s records=%zu banned=%zu\n",
+              state_dir.empty() ? "in-memory" : state_dir.c_str(),
+              ledger.size(), ledger.banned_count());
+
   net::TcpTransportOptions options;
   options.quiescence_timeout_ms = flags.u64("idle-timeout-ms");
   net::TcpTransport transport(options);
+  net::AuthOptions auth_options;
+  auth_options.is_banned = [&ledger](const auth::WorkerId& id) {
+    return ledger.banned(id);
+  };
+  transport.require_auth(std::move(auth_options));
   const std::uint64_t port = flags.u64("port");
   check(port <= 65535, "--port ", flags.str("port"),
         " out of range (0 = ephemeral, else 1-65535)");
@@ -49,16 +71,35 @@ int run_gridd(const cli::Flags& flags) {
               transport.port());
   std::fflush(stdout);
 
-  // Registration: a connection becomes an assignment slot once its Hello
-  // arrives (the transport enforces Hello-first and protocol match).
+  // Registration: a connection becomes an assignment slot once its proof
+  // verifies (the transport refuses bad proofs, banned identities, and
+  // anything pre-proof before this fires).
   const std::size_t worker_count = flags.u64("workers");
   std::vector<GridNodeId> slots;
-  std::map<std::uint32_t, std::string> agents;
-  transport.on_peer_hello = [&](GridNodeId peer, const Hello& hello) {
+  std::map<std::uint32_t, auth::AuthInfo> identities;
+  transport.on_peer_authenticated = [&](GridNodeId peer,
+                                        const auth::AuthInfo& info) {
     slots.push_back(peer);
-    agents[peer.value] = hello.agent;
-    std::printf("gridd: worker %u registered agent=%s (%zu/%zu)\n",
-                peer.value, hello.agent.c_str(), slots.size(), worker_count);
+    identities[peer.value] = info;
+    std::printf("gridd: worker %u registered agent=%s id=%s trust=%.2f "
+                "(%zu/%zu)\n",
+                peer.value, info.agent.c_str(), info.worker_id.prefix().c_str(),
+                ledger.trust(info.worker_id), slots.size(), worker_count);
+    std::fflush(stdout);
+  };
+  transport.on_auth_refused = [&](GridNodeId peer,
+                                  auth::HandshakeStatus status,
+                                  const auth::AuthInfo& info) {
+    if (status == auth::HandshakeStatus::kBanned) {
+      std::printf("gridd: refused peer %u status=%s agent=%s id=%s "
+                  "trust=%.2f\n",
+                  peer.value, auth::to_string(status), info.agent.c_str(),
+                  info.worker_id.prefix().c_str(),
+                  ledger.trust(info.worker_id));
+    } else {
+      std::printf("gridd: refused peer %u status=%s\n", peer.value,
+                  auth::to_string(status));
+    }
     std::fflush(stdout);
   };
   transport.on_peer_disconnected = [&](GridNodeId peer) {
@@ -87,9 +128,9 @@ int run_gridd(const cli::Flags& flags) {
   transport.run([&] { return supervisor.done(); });
   transport.close_all();  // drains the final verdict frames
 
-  // Per-task log, then per-worker reputation (one grid round per worker).
-  ReputationLedger::Params reputation_params;
-  ReputationLedger ledger(reputation_params);
+  // Per-task log, then per-worker reputation — folded into the durable
+  // ledger under each worker's proven identity, so standing (and bans)
+  // carry to the next run.
   struct WorkerTally {
     std::size_t accepted = 0;
     std::size_t rejected = 0;
@@ -97,10 +138,17 @@ int run_gridd(const cli::Flags& flags) {
   };
   std::map<std::uint32_t, WorkerTally> tallies;
   std::size_t accepted = 0, rejected = 0, aborted = 0;
+  const auto identity_of = [&](std::uint32_t peer) -> const auth::AuthInfo& {
+    static const auth::AuthInfo unknown{auth::WorkerId{}, "?"};
+    const auto it = identities.find(peer);
+    return it != identities.end() ? it->second : unknown;
+  };
   for (const SupervisorNode::TaskOutcome& outcome : supervisor.outcomes()) {
+    const auth::AuthInfo& who = identity_of(outcome.peer.value);
     std::printf("gridd: verdict task=%" PRIu64
-                " peer=%u status=%s detail=\"%s\"\n",
-                outcome.task.value, outcome.peer.value,
+                " peer=%u agent=%s id=%s status=%s detail=\"%s\"\n",
+                outcome.task.value, outcome.peer.value, who.agent.c_str(),
+                who.worker_id.prefix().c_str(),
                 to_string(outcome.verdict.status),
                 outcome.verdict.detail.c_str());
     WorkerTally& tally = tallies[outcome.peer.value];
@@ -112,25 +160,29 @@ int run_gridd(const cli::Flags& flags) {
     const bool ok = outcome.verdict.accepted();
     ok ? ++accepted : ++rejected;
     ok ? ++tally.accepted : ++tally.rejected;
-    ledger.record(outcome.peer.value, ok);
+    ledger.record(identity_of(outcome.peer.value).worker_id, ok);
   }
   for (const auto& [peer, tally] : tallies) {
-    const auto agent = agents.find(peer);
-    std::printf("gridd: worker %u agent=%s accepted=%zu rejected=%zu "
-                "aborted=%zu trust=%.2f flagged=%s\n",
-                peer, agent != agents.end() ? agent->second.c_str() : "?",
+    const auth::AuthInfo& who = identity_of(peer);
+    std::printf("gridd: worker %u agent=%s id=%s accepted=%zu rejected=%zu "
+                "aborted=%zu trust=%.2f observations=%" PRIu64
+                " flagged=%s banned=%s\n",
+                peer, who.agent.c_str(), who.worker_id.prefix().c_str(),
                 tally.accepted, tally.rejected, tally.aborted,
-                ledger.trust(peer),
-                tally.rejected > 0 ? "yes" : "no");
+                ledger.trust(who.worker_id),
+                ledger.observations(who.worker_id),
+                tally.rejected > 0 ? "yes" : "no",
+                ledger.banned(who.worker_id) ? "yes" : "no");
   }
   std::printf("gridd: summary scheme=%s workload=%s tasks=%zu accepted=%zu "
               "rejected=%zu aborted=%zu reassigned=%" PRIu64
-              " verification_evals=%" PRIu64 " bytes=%" PRIu64 "\n",
+              " verification_evals=%" PRIu64 " bytes=%" PRIu64
+              " refused=%" PRIu64 "\n",
               flags.str("scheme").c_str(), flags.str("workload").c_str(),
               accepted + rejected + aborted, accepted, rejected, aborted,
               supervisor.tasks_reassigned(),
               supervisor.verification_evaluations(),
-              transport.stats().total_bytes);
+              transport.stats().total_bytes, transport.handshakes_refused());
   std::fflush(stdout);
 
   if (rejected > 0) {
@@ -159,6 +211,9 @@ int main(int argc, char** argv) {
       {"pump-threads", "1"},
       {"max-retries", "2"},
       {"idle-timeout-ms", "1000"},
+      {"state-dir", ""},
+      {"ban-threshold", "0.5"},
+      {"min-observations", "2"},
   };
   std::optional<cli::Flags> flags;
   try {
@@ -170,9 +225,10 @@ int main(int argc, char** argv) {
   if (flags->help()) {
     flags->print_usage(
         "gridd",
-        "Supervisor daemon: registers --workers gridworkers, assigns "
-        "--workload over [--domain-begin, --domain-end) under --scheme, "
-        "verifies over TCP, prints verdicts, and exits 0/2/3.");
+        "Supervisor daemon: authenticates and registers --workers "
+        "gridworkers, assigns --workload over [--domain-begin, "
+        "--domain-end) under --scheme, verifies over TCP, prints verdicts, "
+        "persists reputation in --state-dir, and exits 0/2/3.");
     return cli::kExitOk;
   }
   try {

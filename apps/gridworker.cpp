@@ -1,10 +1,13 @@
 // gridworker — the uncheatable-grid participant client.
 //
-// Connects to a gridd supervisor, introduces itself (Hello), and serves
-// task assignments through the same ParticipantNode the simulated grid
-// runs: resolve the workload, compute (honestly or per --cheat), commit,
-// answer challenges, report screener hits, collect the verdict. Exits when
-// the supervisor closes the connection.
+// Connects to a gridd supervisor (retrying with backoff while it comes
+// up), proves its durable identity in the challenge–response handshake
+// (auth/handshake.h; --identity-file persists the key so reputation
+// accumulates across runs), and serves task assignments through the same
+// ParticipantNode the simulated grid runs: resolve the workload, compute
+// (honestly or per --cheat), commit, answer challenges, report screener
+// hits, collect the verdict. Exits when the supervisor closes the
+// connection.
 //
 //   --cheat none                      honest (default)
 //   --cheat semi-honest[:r[,q]]       compute only an r-fraction, guess the
@@ -19,12 +22,16 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <chrono>
 #include <map>
 #include <optional>
+#include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/cli.h"
+#include "auth/identity.h"
 #include "core/cheating.h"
 #include "grid/participant_node.h"
 #include "net/tcp_transport.h"
@@ -86,6 +93,19 @@ ScreenerConduct parse_conduct(const std::string& name) {
                      "' (faithful | suppress | fabricate)"));
 }
 
+// Fresh entropy for key generation (the identity must be unique per
+// worker, so the deterministic --seed stream is exactly wrong for it).
+auth::WorkerIdentity make_identity(const std::string& identity_file) {
+  std::random_device device;
+  Rng rng((static_cast<std::uint64_t>(device()) << 32) ^ device() ^
+          static_cast<std::uint64_t>(
+              std::chrono::steady_clock::now().time_since_epoch().count()));
+  if (identity_file.empty()) {
+    return auth::WorkerIdentity::generate(rng);  // ephemeral: one run only
+  }
+  return auth::load_or_create_identity(identity_file, rng);
+}
+
 int run_gridworker(const cli::Flags& flags) {
   const std::uint64_t seed = flags.u64("seed");
   ParticipantNode::Options options;
@@ -94,18 +114,40 @@ int run_gridworker(const cli::Flags& flags) {
   options.conduct_seed = seed;
   ParticipantNode node(options);
 
+  const auth::WorkerIdentity identity =
+      make_identity(flags.str("identity-file"));
+
   net::TcpTransportOptions transport_options;
   transport_options.quiescence_timeout_ms = flags.u64("idle-timeout-ms");
   net::TcpTransport transport(transport_options);
+  transport.use_identity(identity, flags.str("agent"));
   const GridNodeId self = transport.add_local(node);
 
+  // Bounded connect retry: a worker is typically launched alongside its
+  // supervisor, so losing the race to gridd's listen() must not be fatal.
   const auto [host, port] = cli::parse_endpoint(flags.str("connect"));
-  const GridNodeId supervisor = transport.connect(host, port);
-  transport.send(self, supervisor,
-                 Hello{kGridProtocol, flags.str("agent")});
-  std::printf("gridworker %s: connected to %s:%u policy=%s\n",
+  const std::uint64_t retries = flags.u64("connect-retries");
+  std::uint64_t backoff_ms = flags.u64("connect-backoff-ms");
+  std::optional<GridNodeId> connected;
+  for (std::uint64_t attempt = 0; !connected.has_value(); ++attempt) {
+    try {
+      connected = transport.connect(host, port);
+    } catch (const net::SocketError& error) {
+      if (attempt >= retries) {
+        throw;
+      }
+      std::fprintf(stderr,
+                   "gridworker %s: connect to %s:%u failed (%s); retry %"
+                   PRIu64 "/%" PRIu64 " in %" PRIu64 " ms\n",
+                   flags.str("agent").c_str(), host.c_str(), port,
+                   error.what(), attempt + 1, retries, backoff_ms);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min<std::uint64_t>(backoff_ms * 2, 2000);
+    }
+  }
+  std::printf("gridworker %s: connected to %s:%u id=%s policy=%s\n",
               flags.str("agent").c_str(), host.c_str(), port,
-              node.policy().name().c_str());
+              identity.id().prefix().c_str(), node.policy().name().c_str());
   std::fflush(stdout);
 
   // Serve until the supervisor hangs up: the protocol has no "grid over"
@@ -116,6 +158,13 @@ int run_gridworker(const cli::Flags& flags) {
   };
   transport.run([&] { return supervisor_gone; });
 
+  if (node.verdicts().empty() && node.active_tasks() == 0) {
+    // Disconnected before any task: the supervisor refused the handshake
+    // (banned or failed proof) or shut down early.
+    std::printf("gridworker %s: disconnected before any assignment "
+                "(refused or supervisor gone)\n",
+                flags.str("agent").c_str());
+  }
   for (const auto& [task, verdict] : node.verdicts()) {
     std::printf("gridworker %s: task=%" PRIu64 " status=%s\n",
                 flags.str("agent").c_str(), task.value,
@@ -144,6 +193,9 @@ int main(int argc, char** argv) {
       {"screener", "faithful"},
       {"seed", "1"},
       {"idle-timeout-ms", "1000"},
+      {"identity-file", ""},
+      {"connect-retries", "10"},
+      {"connect-backoff-ms", "100"},
   };
   std::optional<cli::Flags> flags;
   try {

@@ -1,0 +1,77 @@
+#include "auth/handshake.h"
+
+#include "common/error.h"
+#include "crypto/hmac.h"
+
+namespace ugc::auth {
+
+Bytes handshake_nonce(Rng& rng) { return rng.bytes(kHandshakeNonceSize); }
+
+Bytes hello_proof_mac(BytesView public_key, BytesView nonce,
+                      std::uint16_t protocol, std::string_view agent) {
+  check(nonce.size() == kHandshakeNonceSize, "hello_proof_mac: expected ",
+        kHandshakeNonceSize, "-byte nonce, got ", nonce.size());
+  Bytes message;
+  message.reserve(nonce.size() + 2 + agent.size());
+  append(message, nonce);
+  message.push_back(static_cast<std::uint8_t>(protocol));
+  message.push_back(static_cast<std::uint8_t>(protocol >> 8));
+  append(message, to_bytes(agent));
+  return hmac_sha256(public_key, message);
+}
+
+HelloProof make_hello_proof(const WorkerIdentity& identity, BytesView nonce,
+                            std::uint16_t protocol, std::string agent) {
+  HelloProof proof;
+  proof.protocol = protocol;
+  proof.agent = std::move(agent);
+  proof.public_key = identity.public_key();
+  proof.mac =
+      hello_proof_mac(identity.public_key(), nonce, protocol, proof.agent);
+  return proof;
+}
+
+const char* to_string(HandshakeStatus status) {
+  switch (status) {
+    case HandshakeStatus::kOk:
+      return "ok";
+    case HandshakeStatus::kBadProtocol:
+      return "bad-protocol";
+    case HandshakeStatus::kBadKey:
+      return "bad-key";
+    case HandshakeStatus::kBadMac:
+      return "bad-mac";
+    case HandshakeStatus::kBanned:
+      return "banned";
+    case HandshakeStatus::kUnauthenticated:
+      return "unauthenticated";
+  }
+  return "unknown";
+}
+
+HandshakeStatus verify_hello_proof(const HelloProof& proof, BytesView nonce,
+                                   std::uint16_t protocol,
+                                   const BanCheck& is_banned, AuthInfo& info) {
+  if (proof.protocol != protocol) {
+    return HandshakeStatus::kBadProtocol;
+  }
+  if (proof.public_key.size() != kPublicKeySize) {
+    return HandshakeStatus::kBadKey;
+  }
+  const Bytes expected =
+      hello_proof_mac(proof.public_key, nonce, protocol, proof.agent);
+  // Not constant-time; the MAC key travels on the same plaintext channel,
+  // so timing is not the cheapest attack here (see the header's threat
+  // model).
+  if (!equal_bytes(expected, proof.mac)) {
+    return HandshakeStatus::kBadMac;
+  }
+  info.worker_id = worker_id_of(proof.public_key);
+  info.agent = proof.agent;
+  if (is_banned && is_banned(info.worker_id)) {
+    return HandshakeStatus::kBanned;
+  }
+  return HandshakeStatus::kOk;
+}
+
+}  // namespace ugc::auth

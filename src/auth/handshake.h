@@ -1,0 +1,87 @@
+#pragma once
+
+// Authenticated Hello: the challenge–response handshake that turns a TCP
+// connection into a *worker identity* (see auth/identity.h for the key
+// material and src/auth's layering note).
+//
+// Protocol (acceptor = supervisor, connector = worker):
+//
+//   1. supervisor -> worker   HelloChallenge{protocol, nonce}
+//        nonce = kHandshakeNonceSize fresh random bytes, one per accepted
+//        connection, never reused.
+//   2. worker -> supervisor   HelloProof{protocol, agent, public_key, mac}
+//        mac = HMAC-SHA256(key = public_key,
+//                          msg = nonce || protocol_le16 || agent)
+//   3. supervisor verifies: protocol matches, key well-formed, MAC binds
+//      this nonce, and worker_id(public_key) is not banned. Any failure
+//      drops the connection before a single scheme frame is accepted.
+//
+// What this buys (and what it doesn't): the worker id is the digest of the
+// public key, so reputation — including bans — survives reconnects and
+// supervisor restarts, and a banned cheater cannot re-enter without
+// abandoning its accumulated standing (the paper's economics, made
+// durable). The MAC binds the proof to the connection's fresh nonce, so a
+// recorded handshake replayed later fails. What it does NOT provide is
+// eavesdropper resistance: the channel is plaintext TCP, so an attacker who
+// can read the wire learns the public key and could impersonate it —
+// channel encryption (TLS) is the ROADMAP item that closes that gap, and
+// the on-disk secret key is the seam a signature-based upgrade would prove
+// ownership through.
+
+#include <functional>
+
+#include "auth/identity.h"
+#include "wire/messages.h"
+
+namespace ugc::auth {
+
+inline constexpr std::size_t kHandshakeNonceSize = 32;
+
+// Fresh per-connection challenge nonce.
+Bytes handshake_nonce(Rng& rng);
+
+// The proof MAC: HMAC-SHA256(public_key, nonce || protocol_le16 || agent).
+// The nonce is fixed-width, so the concatenation is unambiguous.
+Bytes hello_proof_mac(BytesView public_key, BytesView nonce,
+                      std::uint16_t protocol, std::string_view agent);
+
+// Worker side of step 2: mints the proof for `nonce`.
+HelloProof make_hello_proof(const WorkerIdentity& identity, BytesView nonce,
+                            std::uint16_t protocol, std::string agent);
+
+// Why a handshake was (or wasn't) accepted. Order is stable for logs.
+enum class HandshakeStatus : std::uint8_t {
+  kOk = 0,
+  kBadProtocol,  // proof speaks a different grid protocol revision
+  kBadKey,       // public key is not kPublicKeySize bytes
+  kBadMac,       // MAC does not bind this connection's nonce (or is forged)
+  kBanned,       // identity verified, but its reputation bans it
+  // Not produced by verify_hello_proof: the transport reports this when an
+  // auth-required grid sees a plain Hello or scheme traffic before any
+  // proof at all.
+  kUnauthenticated,
+};
+
+const char* to_string(HandshakeStatus status);
+
+// The identity a successful handshake established.
+struct AuthInfo {
+  WorkerId worker_id;
+  std::string agent;
+
+  friend bool operator==(const AuthInfo&, const AuthInfo&) = default;
+};
+
+// Reputation hook: true when the id must be refused at Hello. A null
+// function bans nobody.
+using BanCheck = std::function<bool(const WorkerId&)>;
+
+// Supervisor side of step 3. `nonce` is the challenge this connection was
+// sent. On kOk (and on kBanned, where the identity did verify) `info` is
+// filled in; on kBadKey/kBadMac the claimed identity is unproven and `info`
+// is left untouched.
+HandshakeStatus verify_hello_proof(const HelloProof& proof, BytesView nonce,
+                                   std::uint16_t protocol,
+                                   const BanCheck& is_banned, AuthInfo& info);
+
+}  // namespace ugc::auth

@@ -1,0 +1,139 @@
+#include "auth/identity.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/hex.h"
+#include "crypto/hash_function.h"
+
+namespace ugc::auth {
+
+namespace {
+
+constexpr std::string_view kPublicKeyTag = "ugc.worker.pk.v1";
+constexpr std::string_view kWorkerIdTag = "ugc.worker.id.v1";
+constexpr std::string_view kIdentityFileHeader = "ugc-worker-identity-v1";
+
+// SHA-256(tag || payload) without materializing the concatenation.
+void tagged_digest(std::string_view tag, BytesView payload,
+                   std::span<std::uint8_t> out) {
+  const auto context = default_hash().new_context();
+  context->update(to_bytes(tag));
+  context->update(payload);
+  context->finish(out);
+}
+
+}  // namespace
+
+std::string WorkerId::hex() const { return to_hex(view()); }
+
+std::string WorkerId::prefix() const { return hex().substr(0, 12); }
+
+WorkerId WorkerId::from_hex(std::string_view hex) {
+  return from_bytes(ugc::from_hex(hex));
+}
+
+WorkerId WorkerId::from_bytes(BytesView raw) {
+  check(raw.size() == kWorkerIdSize, "WorkerId: expected ", kWorkerIdSize,
+        " bytes, got ", raw.size());
+  WorkerId id;
+  std::memcpy(id.digest.data(), raw.data(), kWorkerIdSize);
+  return id;
+}
+
+Bytes derive_public_key(BytesView secret_key) {
+  check(secret_key.size() == kSecretKeySize, "derive_public_key: expected ",
+        kSecretKeySize, "-byte secret key, got ", secret_key.size());
+  Bytes out(kPublicKeySize);
+  tagged_digest(kPublicKeyTag, secret_key, out);
+  return out;
+}
+
+WorkerId worker_id_of(BytesView public_key) {
+  check(public_key.size() == kPublicKeySize, "worker_id_of: expected ",
+        kPublicKeySize, "-byte public key, got ", public_key.size());
+  WorkerId id;
+  tagged_digest(kWorkerIdTag, public_key, id.digest);
+  return id;
+}
+
+WorkerIdentity::WorkerIdentity(Bytes secret_key)
+    : secret_key_(std::move(secret_key)),
+      public_key_(derive_public_key(secret_key_)),
+      id_(worker_id_of(public_key_)) {}
+
+WorkerIdentity WorkerIdentity::generate(Rng& rng) {
+  return WorkerIdentity(rng.bytes(kSecretKeySize));
+}
+
+WorkerIdentity load_identity_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  check(fd >= 0, "identity file '", path, "': ", std::strerror(errno));
+  std::string text;
+  char buffer[256];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n <= 0) {
+      break;
+    }
+    text.append(buffer, static_cast<std::size_t>(n));
+    check(text.size() <= 4096, "identity file '", path,
+          "' is implausibly large");
+  }
+  ::close(fd);
+
+  const std::size_t newline = text.find('\n');
+  check(newline != std::string::npos &&
+            std::string_view(text).substr(0, newline) == kIdentityFileHeader,
+        "identity file '", path, "': missing '", kIdentityFileHeader,
+        "' header");
+  std::string_view key_hex = std::string_view(text).substr(newline + 1);
+  while (!key_hex.empty() && (key_hex.back() == '\n' || key_hex.back() == '\r')) {
+    key_hex.remove_suffix(1);
+  }
+  check(key_hex.size() == 2 * kSecretKeySize, "identity file '", path,
+        "': expected ", 2 * kSecretKeySize, " hex chars, got ",
+        key_hex.size());
+  return WorkerIdentity(from_hex(key_hex));
+}
+
+void save_identity_file(const std::string& path,
+                        const WorkerIdentity& identity) {
+  // 0600 from the first byte: the secret must never be world-readable,
+  // even transiently.
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0600);
+  check(fd >= 0, "identity file '", path, "': ", std::strerror(errno));
+  const std::string text = concat(kIdentityFileHeader, "\n",
+                                  to_hex(identity.secret_key()), "\n");
+  std::size_t written = 0;
+  while (written < text.size()) {
+    const ssize_t n =
+        ::write(fd, text.data() + written, text.size() - written);
+    if (n < 0) {
+      const std::string why = std::strerror(errno);
+      ::close(fd);
+      throw Error(concat("identity file '", path, "': ", why));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  ::fsync(fd);
+  ::close(fd);
+}
+
+WorkerIdentity load_or_create_identity(const std::string& path, Rng& rng) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0) {
+    return load_identity_file(path);
+  }
+  WorkerIdentity identity = WorkerIdentity::generate(rng);
+  save_identity_file(path, identity);
+  return identity;
+}
+
+}  // namespace ugc::auth

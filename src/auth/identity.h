@@ -1,0 +1,112 @@
+#pragma once
+
+// ---------------------------------------------------------------------------
+// Layering note: src/auth is the *identity* layer. It knows about keys,
+// digests, and files — never about sockets, frames, schemes, or tasks. Its
+// only dependencies are common/ and crypto/; wire/ ships its structs as raw
+// bytes, net/ drives its handshake verdicts, and store/ keys reputation by
+// its WorkerId. Nothing under src/ below net/ may include auth/ except
+// auth/, store/, and net/ themselves.
+// ---------------------------------------------------------------------------
+//
+// Durable worker identity. The paper's reputation economics only bite if an
+// identity is an asset a worker can lose: a banned cheater must not be able
+// to shed its record by reconnecting under a fresh transient peer id. So a
+// worker's name on the grid is cryptographic, not positional:
+//
+//   secret key  sk   32 random bytes, generated once, kept on disk
+//   public key  pk = SHA-256("ugc.worker.pk.v1" || sk)
+//   worker id   id = SHA-256("ugc.worker.id.v1" || pk)
+//
+// The worker id is what supervisors ban, pay, and persist reputation under;
+// the public key is what the Hello handshake transmits and MACs with (see
+// auth/handshake.h for the exact protocol and its threat model); the secret
+// key never leaves the worker's disk — it exists so a future asymmetric
+// upgrade (real signatures, TLS client certs) can prove ownership of pk
+// without revealing it, and so a leaked pk does not leak the root secret.
+
+#include <array>
+#include <compare>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace ugc::auth {
+
+// Sizes are all one SHA-256 digest.
+inline constexpr std::size_t kSecretKeySize = 32;
+inline constexpr std::size_t kPublicKeySize = 32;
+inline constexpr std::size_t kWorkerIdSize = 32;
+
+// A worker's durable name: the digest of its public identity key. Value
+// type, totally ordered, so it keys maps and persists byte-for-byte.
+struct WorkerId {
+  std::array<std::uint8_t, kWorkerIdSize> digest{};
+
+  auto operator<=>(const WorkerId&) const = default;
+
+  BytesView view() const { return BytesView(digest.data(), digest.size()); }
+
+  // Full lowercase hex (64 chars).
+  std::string hex() const;
+
+  // Short display form: the first 12 hex chars, enough to tell workers
+  // apart in logs without drowning them.
+  std::string prefix() const;
+
+  // Inverse of hex(). Throws ugc::Error on anything but 64 hex chars.
+  static WorkerId from_hex(std::string_view hex);
+
+  // Adopts a raw 32-byte digest (throws on any other length).
+  static WorkerId from_bytes(BytesView raw);
+};
+
+// Derives the public identity key from a secret key (throws unless the
+// secret is kSecretKeySize bytes).
+Bytes derive_public_key(BytesView secret_key);
+
+// Derives the durable worker id from a public identity key (throws unless
+// the key is kPublicKeySize bytes).
+WorkerId worker_id_of(BytesView public_key);
+
+// A worker's keypair. Immutable once constructed; the derived public key
+// and id are computed eagerly so hot paths never re-hash.
+class WorkerIdentity {
+ public:
+  // Adopts an existing secret key (throws unless kSecretKeySize bytes).
+  explicit WorkerIdentity(Bytes secret_key);
+
+  // Fresh identity from the given randomness source.
+  static WorkerIdentity generate(Rng& rng);
+
+  const Bytes& secret_key() const { return secret_key_; }
+  const Bytes& public_key() const { return public_key_; }
+  const WorkerId& id() const { return id_; }
+
+ private:
+  Bytes secret_key_;
+  Bytes public_key_;
+  WorkerId id_;
+};
+
+// ---------------------------------------------------------------- key files
+// Identity file format (one identity per file, hex so operators can cat it):
+//
+//   ugc-worker-identity-v1
+//   <64 hex chars of secret key>
+//
+// Created with owner-only permissions (0600): the secret IS the identity.
+
+// Parses an identity file. Throws ugc::Error on a missing file, a bad
+// header, or a malformed key.
+WorkerIdentity load_identity_file(const std::string& path);
+
+// Writes `identity` to `path` (overwrites), mode 0600.
+void save_identity_file(const std::string& path, const WorkerIdentity& identity);
+
+// The gridworker start-up path: load `path` if it exists, otherwise
+// generate a fresh identity from `rng` and persist it there first.
+WorkerIdentity load_or_create_identity(const std::string& path, Rng& rng);
+
+}  // namespace ugc::auth

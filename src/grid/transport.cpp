@@ -30,6 +30,8 @@ TaskId task_of(const Message& message) {
     TaskId operator()(const Verdict& m) { return m.task; }
     TaskId operator()(const BatchProofResponse& m) { return m.task; }
     TaskId operator()(const Hello&) { return TaskId{0}; }
+    TaskId operator()(const HelloChallenge&) { return TaskId{0}; }
+    TaskId operator()(const HelloProof&) { return TaskId{0}; }
   };
   return std::visit(Visitor{}, message);
 }

@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <random>
 
 #include "common/error.h"
 #include "wire/codec.h"
@@ -46,6 +48,31 @@ std::uint16_t TcpTransport::port() const {
   return local_port(listener_);
 }
 
+void TcpTransport::require_auth(AuthOptions options) {
+  check(!auth_.has_value(), "TcpTransport::require_auth: already required");
+  std::uint64_t seed = options.nonce_seed;
+  if (seed == 0) {
+    // Entropy for the challenge stream: nonces must be unpredictable or the
+    // anti-replay property is theater. random_device is the OS pool; the
+    // clock xor guards against a degenerate random_device.
+    std::random_device device;
+    seed = (static_cast<std::uint64_t>(device()) << 32) ^ device() ^
+           static_cast<std::uint64_t>(
+               std::chrono::steady_clock::now().time_since_epoch().count());
+    if (seed == 0) {
+      seed = 1;
+    }
+  }
+  nonce_rng_.emplace(seed);
+  auth_ = std::move(options);
+}
+
+void TcpTransport::use_identity(const auth::WorkerIdentity& identity,
+                                std::string agent) {
+  identity_ = identity;
+  agent_ = std::move(agent);
+}
+
 GridNodeId TcpTransport::connect(const std::string& host, std::uint16_t port) {
   const GridNodeId id{next_id_++};
   Peer peer;
@@ -67,9 +94,39 @@ void TcpTransport::accept_pending() {
     peer.socket = std::move(socket);
     peer.decoder = FrameDecoder(options_.max_frame_size);
     peer.accepted = true;
-    peers_.emplace(id.value, std::move(peer));
+    auto [it, inserted] = peers_.emplace(id.value, std::move(peer));
+    if (auth_.has_value()) {
+      // Open the handshake: one fresh nonce per connection, burned when the
+      // proof arrives — the replay barrier.
+      it->second.nonce = auth::handshake_nonce(*nonce_rng_);
+      HelloChallenge challenge;
+      challenge.protocol = kGridProtocol;
+      challenge.nonce = it->second.nonce;
+      queue_control_frame(id, it->second, Message(std::move(challenge)));
+    }
     arm_quiescence(now_ms());
   }
+}
+
+void TcpTransport::queue_control_frame(GridNodeId to, Peer& peer,
+                                       const Message& message) {
+  encode_message_into(message, encode_scratch_);
+  check(encode_scratch_.size() <= options_.max_frame_size,
+        "TcpTransport: ", encode_scratch_.size(),
+        "-byte handshake frame exceeds the ", options_.max_frame_size,
+        "-byte frame cap");
+  append_frame(encode_scratch_, peer.write_buffer, options_.max_frame_size);
+  service_write(to, peer);
+}
+
+void TcpTransport::refuse_handshake(GridNodeId from,
+                                    auth::HandshakeStatus status,
+                                    const auth::AuthInfo& info) {
+  ++handshakes_refused_;
+  if (on_auth_refused) {
+    on_auth_refused(from, status, info);
+  }
+  throw FrameError(concat("handshake refused: ", auth::to_string(status)));
 }
 
 void TcpTransport::send(GridNodeId from, GridNodeId to,
@@ -130,6 +187,11 @@ std::optional<Hello> TcpTransport::hello_of(GridNodeId peer) const {
   return it == peers_.end() ? std::nullopt : it->second.hello;
 }
 
+std::optional<auth::AuthInfo> TcpTransport::auth_of(GridNodeId peer) const {
+  const auto it = peers_.find(peer.value);
+  return it == peers_.end() ? std::nullopt : it->second.auth;
+}
+
 void TcpTransport::drop_peer(GridNodeId id, const char* why) {
   (void)why;  // kept for debugger visibility; peers drop silently otherwise
   const auto it = peers_.find(id.value);
@@ -170,6 +232,59 @@ void TcpTransport::dispatch(GridNodeId from, Peer& peer, BytesView payload) {
     return;
   }
 
+  if (const auto* challenge = std::get_if<HelloChallenge>(&message)) {
+    if (peer.accepted) {
+      // Acceptors challenge; a client challenging the server is hostile.
+      throw FrameError("HelloChallenge from a connecting peer");
+    }
+    if (challenge->protocol != kGridProtocol) {
+      throw FrameError(concat("peer speaks grid protocol ",
+                              challenge->protocol, ", this build speaks ",
+                              kGridProtocol));
+    }
+    if (challenge->nonce.size() != auth::kHandshakeNonceSize) {
+      throw FrameError("malformed handshake nonce");
+    }
+    if (identity_.has_value()) {
+      queue_control_frame(
+          from, peer,
+          Message(auth::make_hello_proof(*identity_, challenge->nonce,
+                                         kGridProtocol, agent_)));
+    }
+    // No identity armed: ignore; the server will refuse our plain Hello.
+    return;
+  }
+  if (const auto* proof = std::get_if<HelloProof>(&message)) {
+    if (!peer.accepted) {
+      return;  // servers don't prove themselves to clients; ignore
+    }
+    if (!auth_.has_value()) {
+      throw FrameError("HelloProof on an unauthenticated grid");
+    }
+    if (peer.greeted) {
+      return;  // one connection is one identity, same rule as plain Hello
+    }
+    auth::AuthInfo info;
+    const auth::HandshakeStatus status = auth::verify_hello_proof(
+        *proof, peer.nonce, kGridProtocol, auth_->is_banned, info);
+    // Burn the nonce either way: each challenge verifies at most one proof.
+    peer.nonce.clear();
+    if (status != auth::HandshakeStatus::kOk) {
+      refuse_handshake(from, status, info);
+    }
+    peer.greeted = true;
+    peer.auth = info;
+    // Synthesize the Hello so hello-driven callers (and hello_of) see the
+    // same shape on both handshake flavors.
+    peer.hello = Hello{kGridProtocol, info.agent};
+    if (on_peer_authenticated) {
+      on_peer_authenticated(from, info);
+    }
+    if (on_peer_hello) {
+      on_peer_hello(from, *peer.hello);
+    }
+    return;
+  }
   if (const auto* hello = std::get_if<Hello>(&message)) {
     if (!peer.accepted) {
       return;  // connectors don't get greeted; ignore stray Hellos
@@ -179,6 +294,11 @@ void TcpTransport::dispatch(GridNodeId from, Peer& peer, BytesView payload) {
       // registration (a cheater could otherwise fill every worker slot of
       // a gridd from a single connection).
       return;
+    }
+    if (auth_.has_value()) {
+      // This grid requires a proof; an anonymous Hello is a refusal, not a
+      // registration.
+      refuse_handshake(from, auth::HandshakeStatus::kUnauthenticated, {});
     }
     if (hello->protocol != kGridProtocol) {
       throw FrameError(concat("peer speaks grid protocol ", hello->protocol,
@@ -193,6 +313,9 @@ void TcpTransport::dispatch(GridNodeId from, Peer& peer, BytesView payload) {
   }
   if (peer.accepted && !peer.greeted) {
     // Protocol traffic before the handshake: not a grid client.
+    if (auth_.has_value()) {
+      refuse_handshake(from, auth::HandshakeStatus::kUnauthenticated, {});
+    }
     throw FrameError("protocol frame before Hello");
   }
 

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "auth/handshake.h"
+#include "common/rng.h"
 #include "grid/transport.h"
 #include "net/frame.h"
 #include "net/socket.h"
@@ -39,6 +41,17 @@ struct TcpTransportOptions {
   std::uint64_t tick_ms = 10;
 };
 
+// Acceptor-side handshake policy for require_auth().
+struct AuthOptions {
+  // Reputation hook consulted after a proof verifies; a null function bans
+  // nobody. Called from inside run().
+  auth::BanCheck is_banned;
+  // Challenge-nonce RNG seed; 0 (the default) seeds from entropy. Fixing it
+  // makes handshakes reproducible — for tests only, since predictable
+  // nonces surrender the anti-replay property.
+  std::uint64_t nonce_seed = 0;
+};
+
 // One TcpTransport hosts exactly one local protocol node (gridd's
 // SupervisorNode, gridworker's ParticipantNode) and any number of remote
 // peers, each a framed TCP connection addressed by its GridNodeId — a star,
@@ -60,6 +73,19 @@ class TcpTransport final : public Transport {
   // An accepted peer must introduce itself with a Hello frame (protocol ==
   // kGridProtocol) before any protocol traffic, or it is dropped.
   void listen(const std::string& host, std::uint16_t port);
+
+  // Upgrades the acceptor to the authenticated handshake (auth/handshake.h):
+  // every accepted connection is sent a fresh HelloChallenge and must answer
+  // with a verifying HelloProof before any scheme traffic. Bad proofs,
+  // replayed stale nonces, banned identities, plain Hellos, and pre-proof
+  // scheme frames are all refused (counted in handshakes_refused(), reported
+  // through on_auth_refused, connection dropped). Call before run().
+  void require_auth(AuthOptions options);
+
+  // Arms the connector side: when a server challenges, answer with a proof
+  // minted from this identity under this agent name. Without it a challenge
+  // is ignored and an auth-requiring server will refuse us.
+  void use_identity(const auth::WorkerIdentity& identity, std::string agent);
   std::uint16_t port() const;
   bool listening() const { return listener_.valid(); }
 
@@ -76,9 +102,19 @@ class TcpTransport final : public Transport {
   bool offline(GridNodeId node) const override;
   const NetworkStats& stats() const override;
 
-  // Fired from inside run(). on_peer_hello only for accepted peers.
+  // Fired from inside run(). on_peer_hello only for accepted peers (on an
+  // authenticated grid it fires right after on_peer_authenticated, with a
+  // Hello synthesized from the proof, so hello-driven callers are
+  // indifferent to the handshake flavor).
   std::function<void(GridNodeId, const Hello&)> on_peer_hello;
   std::function<void(GridNodeId)> on_peer_disconnected;
+  // Authenticated-handshake outcomes (require_auth grids only). On refusal,
+  // `info` carries the proven identity for kBanned and is empty otherwise —
+  // an unverified claim is not worth reporting as an identity.
+  std::function<void(GridNodeId, const auth::AuthInfo&)> on_peer_authenticated;
+  std::function<void(GridNodeId, auth::HandshakeStatus,
+                     const auth::AuthInfo& info)>
+      on_auth_refused;
 
   // Drives the event loop until `done()` returns true: polls sockets,
   // accepts, reads frames and dispatches them to the local node, drains
@@ -95,11 +131,15 @@ class TcpTransport final : public Transport {
   std::vector<GridNodeId> connected_peers() const;
   // The Hello an accepted peer introduced itself with.
   std::optional<Hello> hello_of(GridNodeId peer) const;
+  // The identity a peer proved at handshake (require_auth grids only).
+  std::optional<auth::AuthInfo> auth_of(GridNodeId peer) const;
 
   // Inbound frames that failed decode_message (hostile or corrupt bytes —
   // counted and dropped, never fatal), and streams that ended mid-frame.
   std::uint64_t frames_undecodable() const { return frames_undecodable_; }
   std::uint64_t streams_truncated() const { return streams_truncated_; }
+  // Connections refused by the authenticated handshake.
+  std::uint64_t handshakes_refused() const { return handshakes_refused_; }
 
  private:
   struct Peer {
@@ -111,6 +151,8 @@ class TcpTransport final : public Transport {
     bool greeted = false;          // Hello seen (accepted peers)
     bool failed = false;           // doomed; erased at the next reap()
     std::optional<Hello> hello;
+    Bytes nonce;                   // outstanding challenge (auth acceptor)
+    std::optional<auth::AuthInfo> auth;  // proven identity, once greeted
   };
 
   std::uint64_t now_ms() const;
@@ -122,6 +164,14 @@ class TcpTransport final : public Transport {
   // Writes queued bytes until would-block. Returns true on any progress.
   bool service_write(GridNodeId id, Peer& peer);
   void dispatch(GridNodeId from, Peer& peer, BytesView payload);
+  // Encodes, frames, and queues a handshake control frame for `peer`,
+  // bypassing NetworkStats (the meter counts scheme traffic, comparable
+  // across transports; the handshake is TcpTransport plumbing).
+  void queue_control_frame(GridNodeId to, Peer& peer, const Message& message);
+  // Counts the refusal, reports it, and poisons the stream.
+  [[noreturn]] void refuse_handshake(GridNodeId from,
+                                     auth::HandshakeStatus status,
+                                     const auth::AuthInfo& info);
   // Marks the peer dead and closes its socket; safe mid-iteration (the map
   // entry survives until reap()).
   void drop_peer(GridNodeId id, const char* why);
@@ -144,6 +194,11 @@ class TcpTransport final : public Transport {
   std::vector<TimerWheel::TimerId> fired_scratch_;
   std::uint64_t frames_undecodable_ = 0;
   std::uint64_t streams_truncated_ = 0;
+  std::uint64_t handshakes_refused_ = 0;
+  std::optional<AuthOptions> auth_;       // acceptor: challenge + verify
+  std::optional<Rng> nonce_rng_;          // challenge-nonce stream
+  std::optional<auth::WorkerIdentity> identity_;  // connector: answer
+  std::string agent_;
 };
 
 }  // namespace ugc::net

@@ -1,0 +1,60 @@
+#include "store/durable_ledger.h"
+
+#include "common/error.h"
+
+namespace ugc::store {
+
+DurableReputationLedger::DurableReputationLedger(
+    ReputationParams params, std::unique_ptr<ReputationStore> store)
+    : params_(params), store_(std::move(store)) {
+  check(store_ != nullptr, "DurableReputationLedger: null store");
+  check(params_.prior_alpha > 0.0 && params_.prior_beta > 0.0,
+        "DurableReputationLedger: Beta prior parameters must be positive");
+}
+
+void DurableReputationLedger::record(const WorkerId& id, bool accepted) {
+  ReputationRecord record = store_->get(id).value_or(
+      ReputationRecord{params_.prior_alpha, params_.prior_beta, 0});
+  const bool was_banned = banned(record);
+  (accepted ? record.alpha : record.beta) += 1.0;
+  record.observations += 1;
+  store_->put(id, record);
+  if (!was_banned && banned(record)) {
+    store_->sync();
+  }
+}
+
+double DurableReputationLedger::trust(const WorkerId& id) const {
+  const auto record = store_->get(id);
+  if (!record) {
+    return params_.prior_alpha / (params_.prior_alpha + params_.prior_beta);
+  }
+  return record->trust();
+}
+
+std::uint64_t DurableReputationLedger::observations(const WorkerId& id) const {
+  const auto record = store_->get(id);
+  return record ? record->observations : 0;
+}
+
+bool DurableReputationLedger::banned(const WorkerId& id) const {
+  const auto record = store_->get(id);
+  return record && banned(*record);
+}
+
+std::size_t DurableReputationLedger::banned_count() const {
+  std::size_t count = 0;
+  for (const auto& [id, record] : store_->snapshot()) {
+    if (banned(record)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+bool DurableReputationLedger::banned(const ReputationRecord& record) const {
+  return record.observations >= params_.min_observations &&
+         record.trust() < params_.ban_threshold;
+}
+
+}  // namespace ugc::store

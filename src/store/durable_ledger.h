@@ -1,0 +1,60 @@
+#pragma once
+
+// The persistent counterpart of grid/reputation.h's ReputationLedger: the
+// same Beta–Bernoulli posterior and ban rule, but keyed by durable worker
+// id (auth/identity.h) and written through a ReputationStore so standing
+// survives gridd restarts. The in-simulation ledger stays as is — it models
+// one process's lifetime; this one models the grid's.
+
+#include <cstdint>
+#include <memory>
+
+#include "store/reputation_store.h"
+
+namespace ugc::store {
+
+// Same knobs as ReputationLedger::Params (grid/reputation.h), duplicated
+// here so the persistence layer does not pull in the simulation stack.
+struct ReputationParams {
+  // Beta prior over "this worker's task is accepted".
+  double prior_alpha = 1.0;
+  double prior_beta = 1.0;
+  // Workers whose posterior-mean trust falls below this (after at least
+  // min_observations verdicts) are refused at Hello.
+  double ban_threshold = 0.5;
+  std::uint64_t min_observations = 2;
+};
+
+class DurableReputationLedger {
+ public:
+  // Takes ownership of the backend. Existing records are served as-is —
+  // the posterior lives in the store, the params only interpret it.
+  DurableReputationLedger(ReputationParams params,
+                          std::unique_ptr<ReputationStore> store);
+
+  // Folds one verdict into the worker's posterior and writes it through.
+  // The moment a record transitions into the banned region the store is
+  // sync()ed: a ban is the one fact a crash must never roll back.
+  void record(const WorkerId& id, bool accepted);
+
+  // Posterior mean acceptance probability (the prior for unseen ids).
+  double trust(const WorkerId& id) const;
+
+  std::uint64_t observations(const WorkerId& id) const;
+
+  bool banned(const WorkerId& id) const;
+
+  std::size_t size() const { return store_->size(); }
+  std::size_t banned_count() const;
+
+  const ReputationStore& store() const { return *store_; }
+  const ReputationParams& params() const { return params_; }
+
+ private:
+  bool banned(const ReputationRecord& record) const;
+
+  ReputationParams params_;
+  std::unique_ptr<ReputationStore> store_;
+};
+
+}  // namespace ugc::store

@@ -1,0 +1,293 @@
+// Crash-safe file backend for ReputationStore: an append-only log of record
+// updates plus a periodically rewritten snapshot (see reputation_store.h for
+// the on-disk contract). Durability discipline:
+//
+//   put()    one O(1) length-prefixed append; no fsync (batched)
+//   sync()   fsync the log — the ledger's ban barrier
+//   compact  snapshot.tmp -> fsync -> rename -> fsync(dir) -> truncate log
+//   open     read snapshot, replay log, truncate away any torn tail
+//
+// A crash can therefore lose at most the un-synced suffix of recent updates
+// — never a synced ban, and never the store's integrity: a half-appended
+// entry is detected by its length prefix and dropped on the next open.
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+
+#include "common/error.h"
+#include "store/reputation_store.h"
+#include "wire/codec.h"
+
+namespace ugc::store {
+
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x53524755;  // "UGRS"
+constexpr std::uint16_t kSnapshotVersion = 1;
+// worker id (32 raw) + alpha f64 + beta f64 + observations u64.
+constexpr std::size_t kRecordPayloadSize = kWorkerIdSize + 8 + 8 + 8;
+
+[[noreturn]] void raise_io(const std::string& path, const char* op) {
+  throw Error(concat("reputation store '", path, "': ", op, ": ",
+                     std::strerror(errno)));
+}
+
+void write_all(int fd, const std::string& path, BytesView data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written,
+                              data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      raise_io(path, "write");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+Bytes read_whole_file(int fd, const std::string& path) {
+  Bytes out;
+  std::uint8_t buffer[64 * 1024];
+  if (::lseek(fd, 0, SEEK_SET) < 0) {
+    raise_io(path, "lseek");
+  }
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      raise_io(path, "read");
+    }
+    if (n == 0) {
+      return out;
+    }
+    append(out, BytesView(buffer, static_cast<std::size_t>(n)));
+  }
+}
+
+// mkdir -p: each prefix of `directory` in turn, tolerating what exists.
+void ensure_directory(const std::string& directory) {
+  check(!directory.empty(), "reputation store: empty state directory");
+  std::string prefix;
+  std::size_t start = 0;
+  while (start <= directory.size()) {
+    std::size_t slash = directory.find('/', start);
+    if (slash == std::string::npos) {
+      slash = directory.size();
+    }
+    prefix = directory.substr(0, slash);
+    start = slash + 1;
+    if (prefix.empty() || prefix == ".") {
+      continue;
+    }
+    if (::mkdir(prefix.c_str(), 0755) < 0 && errno != EEXIST) {
+      raise_io(prefix, "mkdir");
+    }
+  }
+}
+
+void serialize_record(WireWriter& w, const WorkerId& id,
+                      const ReputationRecord& record) {
+  w.raw(id.view());
+  w.f64(record.alpha);
+  w.f64(record.beta);
+  w.u64(record.observations);
+}
+
+std::pair<WorkerId, ReputationRecord> parse_record(WireReader& r) {
+  std::array<std::uint8_t, kWorkerIdSize> raw;
+  for (std::uint8_t& byte : raw) {
+    byte = r.u8();
+  }
+  ReputationRecord record;
+  record.alpha = r.f64();
+  record.beta = r.f64();
+  record.observations = r.u64();
+  return {WorkerId{raw}, record};
+}
+
+class FileReputationStore final : public ReputationStore {
+ public:
+  FileReputationStore(std::string directory, FileStoreOptions options)
+      : directory_(std::move(directory)),
+        options_(options),
+        snapshot_path_(directory_ + "/reputation.snapshot"),
+        log_path_(directory_ + "/reputation.log") {
+    check(options_.compact_after_log_entries >= 1,
+          "FileStoreOptions: compact_after_log_entries must be >= 1");
+    ensure_directory(directory_);
+    load_snapshot();
+    open_and_replay_log();
+  }
+
+  ~FileReputationStore() override {
+    if (log_fd_ >= 0) {
+      ::close(log_fd_);
+    }
+  }
+
+  std::optional<ReputationRecord> get(const WorkerId& id) const override {
+    const auto it = records_.find(id);
+    return it == records_.end() ? std::nullopt
+                                : std::optional<ReputationRecord>(it->second);
+  }
+
+  void put(const WorkerId& id, const ReputationRecord& record) override {
+    records_.insert_or_assign(id, record);
+    WireWriter writer(std::move(entry_scratch_));
+    writer.u32(kRecordPayloadSize);
+    serialize_record(writer, id, record);
+    entry_scratch_ = writer.take();
+    write_all(log_fd_, log_path_, entry_scratch_);
+    if (++log_entries_ >= options_.compact_after_log_entries) {
+      compact();
+    }
+  }
+
+  void sync() override {
+    if (::fsync(log_fd_) < 0) {
+      raise_io(log_path_, "fsync");
+    }
+  }
+
+  std::vector<std::pair<WorkerId, ReputationRecord>> snapshot()
+      const override {
+    return {records_.begin(), records_.end()};
+  }
+
+  std::size_t size() const override { return records_.size(); }
+
+ private:
+  void load_snapshot() {
+    const int fd = ::open(snapshot_path_.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      check(errno == ENOENT, "reputation store '", snapshot_path_, "': ",
+            std::strerror(errno));
+      return;  // first run: no snapshot yet
+    }
+    const Bytes data = read_whole_file(fd, snapshot_path_);
+    ::close(fd);
+    // Snapshots are written atomically (tmp + rename), so a malformed one
+    // is real corruption, not a crash artifact: fail loudly.
+    try {
+      WireReader reader(data);
+      check(reader.u32() == kSnapshotMagic, "bad snapshot magic");
+      check(reader.u16() == kSnapshotVersion, "bad snapshot version");
+      const std::uint64_t count = reader.varint();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        records_.insert(parse_record(reader));
+      }
+      reader.expect_done();
+    } catch (const Error& error) {
+      throw Error(concat("reputation store '", snapshot_path_,
+                         "' is corrupt: ", error.what()));
+    }
+  }
+
+  void open_and_replay_log() {
+    log_fd_ = ::open(log_path_.c_str(),
+                     O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    if (log_fd_ < 0) {
+      raise_io(log_path_, "open");
+    }
+    const Bytes data = read_whole_file(log_fd_, log_path_);
+    std::size_t valid = 0;
+    WireReader reader(data);
+    while (reader.remaining() >= 4) {
+      try {
+        const std::uint32_t length = reader.u32();
+        if (length != kRecordPayloadSize || reader.remaining() < length) {
+          break;  // torn or foreign tail
+        }
+        const auto [id, record] = parse_record(reader);
+        records_.insert_or_assign(id, record);
+      } catch (const WireError&) {
+        break;
+      }
+      valid = data.size() - reader.remaining();
+      ++log_entries_;
+    }
+    if (valid < data.size()) {
+      // A crash mid-append left a torn tail: drop it now so the poison
+      // cannot accumulate (the lost suffix was never acknowledged by
+      // sync(), so nothing durable is lost).
+      if (::ftruncate(log_fd_, static_cast<off_t>(valid)) < 0) {
+        raise_io(log_path_, "ftruncate");
+      }
+    }
+  }
+
+  void compact() {
+    const std::string tmp_path = snapshot_path_ + ".tmp";
+    WireWriter writer;
+    writer.u32(kSnapshotMagic);
+    writer.u16(kSnapshotVersion);
+    writer.varint(records_.size());
+    for (const auto& [id, record] : records_) {
+      serialize_record(writer, id, record);
+    }
+
+    const int fd = ::open(tmp_path.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      raise_io(tmp_path, "open");
+    }
+    write_all(fd, tmp_path, writer.buffer());
+    if (::fsync(fd) < 0) {
+      ::close(fd);
+      raise_io(tmp_path, "fsync");
+    }
+    ::close(fd);
+    if (::rename(tmp_path.c_str(), snapshot_path_.c_str()) < 0) {
+      raise_io(snapshot_path_, "rename");
+    }
+    sync_directory();
+    // Every logged update is now in the snapshot: restart the log.
+    if (::ftruncate(log_fd_, 0) < 0) {
+      raise_io(log_path_, "ftruncate");
+    }
+    if (::fsync(log_fd_) < 0) {
+      raise_io(log_path_, "fsync");
+    }
+    log_entries_ = 0;
+  }
+
+  // Makes the rename itself durable: fsync the containing directory.
+  void sync_directory() {
+    const int fd = ::open(directory_.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      raise_io(directory_, "open");
+    }
+    if (::fsync(fd) < 0) {
+      ::close(fd);
+      raise_io(directory_, "fsync");
+    }
+    ::close(fd);
+  }
+
+  std::string directory_;
+  FileStoreOptions options_;
+  std::string snapshot_path_;
+  std::string log_path_;
+  int log_fd_ = -1;
+  std::size_t log_entries_ = 0;
+  std::map<WorkerId, ReputationRecord> records_;
+  Bytes entry_scratch_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReputationStore> make_file_reputation_store(
+    const std::string& directory, FileStoreOptions options) {
+  return std::make_unique<FileReputationStore>(directory, options);
+}
+
+}  // namespace ugc::store

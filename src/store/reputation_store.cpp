@@ -1,0 +1,41 @@
+#include "store/reputation_store.h"
+
+#include <map>
+
+namespace ugc::store {
+
+namespace {
+
+// The simulation/test backend: a plain ordered map, no durability.
+class MemoryReputationStore final : public ReputationStore {
+ public:
+  std::optional<ReputationRecord> get(const WorkerId& id) const override {
+    const auto it = records_.find(id);
+    return it == records_.end() ? std::nullopt
+                                : std::optional<ReputationRecord>(it->second);
+  }
+
+  void put(const WorkerId& id, const ReputationRecord& record) override {
+    records_.insert_or_assign(id, record);
+  }
+
+  void sync() override {}
+
+  std::vector<std::pair<WorkerId, ReputationRecord>> snapshot()
+      const override {
+    return {records_.begin(), records_.end()};
+  }
+
+  std::size_t size() const override { return records_.size(); }
+
+ private:
+  std::map<WorkerId, ReputationRecord> records_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReputationStore> make_memory_reputation_store() {
+  return std::make_unique<MemoryReputationStore>();
+}
+
+}  // namespace ugc::store

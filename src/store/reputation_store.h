@@ -1,0 +1,106 @@
+#pragma once
+
+// ---------------------------------------------------------------------------
+// Layering note: src/store is the *persistence* layer. It knows about
+// records, files, and durability barriers — never about schemes, verdicts,
+// transports, or sockets. Its dependencies are common/, crypto (via
+// auth/identity.h for WorkerId), and wire/codec.h (the record serializer);
+// grid code and apps sit above it. Backends are swappable behind
+// ReputationStore so simulations and tests run on the in-memory store while
+// gridd runs the crash-safe file store — the same pattern a real deployment
+// would use to slot in LMDB or RocksDB.
+// ---------------------------------------------------------------------------
+//
+// What is stored: the ReputationLedger's Beta posterior per durable worker
+// id (auth/identity.h). This is the asset a worker accumulates across runs
+// and the thing a ban destroys — so it must survive gridd restarts, which
+// is the whole point of this layer.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "auth/identity.h"
+
+namespace ugc::store {
+
+// The store's key is the durable identity from src/auth.
+using auth::WorkerId;
+using auth::kWorkerIdSize;
+
+// One worker's Beta posterior over "its task is accepted", plus the
+// observation count the ban rule gates on. Mirrors the in-simulation
+// ReputationLedger's per-participant record, keyed durably instead of by
+// transient participant index.
+struct ReputationRecord {
+  double alpha = 1.0;
+  double beta = 1.0;
+  std::uint64_t observations = 0;
+
+  double trust() const { return alpha / (alpha + beta); }
+
+  friend bool operator==(const ReputationRecord&, const ReputationRecord&) =
+      default;
+};
+
+// Small embedded key-value store for reputation records. Implementations
+// keep the full map in memory (worker populations are small next to the
+// domains they compute); what differs is durability:
+//
+//   make_memory_reputation_store  — nothing survives the process; the
+//     backend for simulations and tests.
+//   make_file_reputation_store    — append-only log + snapshot compaction
+//     in a state directory; survives crashes and restarts.
+//
+// Single-owner, no internal locking: gridd drives it from the event-loop
+// thread, the same discipline as every other per-process structure here.
+class ReputationStore {
+ public:
+  virtual ~ReputationStore() = default;
+
+  ReputationStore() = default;
+  ReputationStore(const ReputationStore&) = delete;
+  ReputationStore& operator=(const ReputationStore&) = delete;
+
+  virtual std::optional<ReputationRecord> get(const WorkerId& id) const = 0;
+
+  // Inserts or overwrites. File backends append to the log here (an O(1)
+  // write) and compact when the log outgrows its snapshot.
+  virtual void put(const WorkerId& id, const ReputationRecord& record) = 0;
+
+  // Durability barrier: returns only once every put() so far is on stable
+  // storage (fsync for the file backend, no-op in memory). The ledger calls
+  // this the moment a record transitions into the banned region — a ban
+  // must never be lost to a crash.
+  virtual void sync() = 0;
+
+  // Every record, in worker-id order (load path + tests + status lines).
+  virtual std::vector<std::pair<WorkerId, ReputationRecord>> snapshot()
+      const = 0;
+
+  virtual std::size_t size() const = 0;
+};
+
+std::unique_ptr<ReputationStore> make_memory_reputation_store();
+
+struct FileStoreOptions {
+  // Compact (rewrite the snapshot, truncate the log) once the log holds
+  // this many entries; keeps replay-on-open O(population), not O(history).
+  std::size_t compact_after_log_entries = 1024;
+};
+
+// Crash-safe file backend rooted at `directory` (created if missing):
+//
+//   reputation.snapshot   full map, rewritten atomically (tmp + rename)
+//   reputation.log        append-only [len u32 | record] entries since the
+//                         snapshot; a torn tail (crash mid-append) is
+//                         detected on open, dropped, and truncated away
+//
+// Open cost is one snapshot read plus a log replay, bounded by compaction.
+std::unique_ptr<ReputationStore> make_file_reputation_store(
+    const std::string& directory, FileStoreOptions options = {});
+
+}  // namespace ugc::store

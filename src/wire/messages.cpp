@@ -346,6 +346,34 @@ Hello decode_hello(WireReader& r) {
   return m;
 }
 
+void encode_payload(WireWriter& w, const HelloChallenge& m) {
+  w.u16(m.protocol);
+  w.bytes(m.nonce);
+}
+
+HelloChallenge decode_hello_challenge(WireReader& r) {
+  HelloChallenge m;
+  m.protocol = r.u16();
+  m.nonce = r.bytes();
+  return m;
+}
+
+void encode_payload(WireWriter& w, const HelloProof& m) {
+  w.u16(m.protocol);
+  w.str(m.agent);
+  w.bytes(m.public_key);
+  w.bytes(m.mac);
+}
+
+HelloProof decode_hello_proof(WireReader& r) {
+  HelloProof m;
+  m.protocol = r.u16();
+  m.agent = r.str();
+  m.public_key = r.bytes();
+  m.mac = r.bytes();
+  return m;
+}
+
 }  // namespace
 
 const char* to_string(MessageType type) {
@@ -372,6 +400,10 @@ const char* to_string(MessageType type) {
       return "batch-proof-response";
     case MessageType::kHello:
       return "hello";
+    case MessageType::kHelloChallenge:
+      return "hello-challenge";
+    case MessageType::kHelloProof:
+      return "hello-proof";
   }
   return "unknown";
 }
@@ -407,6 +439,12 @@ MessageType message_type(const Message& message) {
       return MessageType::kBatchProofResponse;
     }
     MessageType operator()(const Hello&) { return MessageType::kHello; }
+    MessageType operator()(const HelloChallenge&) {
+      return MessageType::kHelloChallenge;
+    }
+    MessageType operator()(const HelloProof&) {
+      return MessageType::kHelloProof;
+    }
   };
   return std::visit(Visitor{}, message);
 }
@@ -459,6 +497,10 @@ Message decode_message(BytesView data) {
         return decode_batch_proof_response(reader);
       case MessageType::kHello:
         return decode_hello(reader);
+      case MessageType::kHelloChallenge:
+        return decode_hello_challenge(reader);
+      case MessageType::kHelloProof:
+        return decode_hello_proof(reader);
     }
     throw WireError(concat("unknown message type ", int{type}));
   }();

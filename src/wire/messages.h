@@ -29,6 +29,8 @@ enum class MessageType : std::uint8_t {
   kVerdict = 9,
   kBatchProofResponse = 10,
   kHello = 11,
+  kHelloChallenge = 12,
+  kHelloProof = 13,
 };
 
 const char* to_string(MessageType type);
@@ -72,10 +74,44 @@ struct Hello {
 // The handshake revision gridd/gridworker currently speak.
 inline constexpr std::uint16_t kGridProtocol = 1;
 
+// ---------------------------------------------------------------------------
+// Authenticated handshake (src/auth). Strictly additive message types: the
+// plaintext Hello above keeps its wire bytes and its meaning on grids that
+// do not require authentication (SimTransport, tests). On an authenticated
+// grid the supervisor opens every accepted connection with a HelloChallenge
+// and the worker answers with a HelloProof; nothing else is accepted first.
+// The protocol fields, key/mac derivations, and the threat model live in
+// auth/handshake.h — these structs are just the bytes.
+// ---------------------------------------------------------------------------
+
+// Supervisor -> connecting worker, first frame on an authenticated grid:
+// "prove who you are against this fresh nonce".
+struct HelloChallenge {
+  std::uint16_t protocol = 1;  // same revision space as Hello::protocol
+  Bytes nonce;                 // auth::kHandshakeNonceSize random bytes
+
+  friend bool operator==(const HelloChallenge&, const HelloChallenge&) =
+      default;
+};
+
+// Worker -> supervisor, answering a HelloChallenge: the worker's public
+// identity key (whose digest is its durable worker id) plus an HMAC over
+// nonce‖protocol‖agent proving the proof was minted for this connection —
+// a recorded proof replayed against a later nonce fails the MAC.
+struct HelloProof {
+  std::uint16_t protocol = 1;
+  std::string agent;
+  Bytes public_key;  // auth::kPublicKeySize bytes
+  Bytes mac;         // HMAC-SHA256, see auth::hello_proof_mac
+
+  friend bool operator==(const HelloProof&, const HelloProof&) = default;
+};
+
 using Message =
     std::variant<TaskAssignment, Commitment, SampleChallenge, ProofResponse,
                  NiCbsProof, ResultsUpload, ScreenerReport, RingerReport,
-                 Verdict, BatchProofResponse, Hello>;
+                 Verdict, BatchProofResponse, Hello, HelloChallenge,
+                 HelloProof>;
 
 MessageType message_type(const Message& message);
 

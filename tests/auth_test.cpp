@@ -1,0 +1,214 @@
+// src/auth unit tests: key derivation, identity files, and the
+// challenge–response proof verifier (every refusal class).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <set>
+#include <string>
+
+#include "auth/handshake.h"
+#include "auth/identity.h"
+#include "common/error.h"
+#include "common/hex.h"
+#include "common/rng.h"
+
+namespace ugc::auth {
+namespace {
+
+// A throwaway directory, removed (with its contents) on scope exit.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char templ[] = "/tmp/ugc_auth_test_XXXXXX";
+    const char* made = ::mkdtemp(templ);
+    if (made == nullptr) {
+      throw Error("mkdtemp failed");
+    }
+    path = made;
+  }
+  ~TempDir() {
+    const std::string cmd = "rm -rf '" + path + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+  std::string file(const char* name) const { return path + "/" + name; }
+};
+
+// ------------------------------------------------------------- derivation
+
+TEST(Identity, DerivationIsDeterministic) {
+  Rng rng(1);
+  const Bytes secret = rng.bytes(kSecretKeySize);
+  const Bytes pk1 = derive_public_key(secret);
+  const Bytes pk2 = derive_public_key(secret);
+  EXPECT_EQ(pk1, pk2);
+  EXPECT_EQ(pk1.size(), kPublicKeySize);
+  EXPECT_EQ(worker_id_of(pk1), worker_id_of(pk2));
+  // Domain tags separate the chain: pk must not echo sk, and the id must
+  // not echo pk.
+  EXPECT_NE(pk1, secret);
+  EXPECT_NE(worker_id_of(pk1).hex(), to_hex(pk1));
+}
+
+TEST(Identity, DistinctSecretsGiveDistinctIds) {
+  Rng rng(2);
+  std::set<std::string> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.insert(WorkerIdentity::generate(rng).id().hex());
+  }
+  EXPECT_EQ(ids.size(), 64u);
+}
+
+TEST(Identity, RejectsWrongSizedKeys) {
+  EXPECT_THROW(derive_public_key(Bytes(31, 0)), Error);
+  EXPECT_THROW(worker_id_of(Bytes(33, 0)), Error);
+  EXPECT_THROW(WorkerIdentity(Bytes(0)), Error);
+}
+
+TEST(Identity, WorkerIdHexRoundTrip) {
+  Rng rng(3);
+  const WorkerId id = WorkerIdentity::generate(rng).id();
+  EXPECT_EQ(id.hex().size(), 64u);
+  EXPECT_EQ(WorkerId::from_hex(id.hex()), id);
+  EXPECT_EQ(WorkerId::from_bytes(id.view()), id);
+  EXPECT_EQ(id.prefix(), id.hex().substr(0, 12));
+  EXPECT_THROW(WorkerId::from_hex("xyz"), Error);
+  EXPECT_THROW(WorkerId::from_bytes(Bytes(16, 0)), Error);
+}
+
+// -------------------------------------------------------------- key files
+
+TEST(IdentityFile, SaveLoadRoundTrip) {
+  TempDir dir;
+  Rng rng(4);
+  const WorkerIdentity original = WorkerIdentity::generate(rng);
+  save_identity_file(dir.file("id"), original);
+  const WorkerIdentity loaded = load_identity_file(dir.file("id"));
+  EXPECT_EQ(loaded.secret_key(), original.secret_key());
+  EXPECT_EQ(loaded.id(), original.id());
+
+  struct stat st {};
+  ASSERT_EQ(::stat(dir.file("id").c_str(), &st), 0);
+  EXPECT_EQ(st.st_mode & 0777, 0600u) << "identity file must be owner-only";
+}
+
+TEST(IdentityFile, LoadOrCreatePersistsAcrossCalls) {
+  TempDir dir;
+  Rng rng(5);
+  const WorkerIdentity first = load_or_create_identity(dir.file("id"), rng);
+  // Second call must load, not regenerate — this is what makes a
+  // gridworker's reputation durable across restarts.
+  const WorkerIdentity second = load_or_create_identity(dir.file("id"), rng);
+  EXPECT_EQ(first.id(), second.id());
+}
+
+TEST(IdentityFile, LoadRejectsGarbage) {
+  TempDir dir;
+  EXPECT_THROW(load_identity_file(dir.file("missing")), Error);
+  {
+    std::FILE* f = std::fopen(dir.file("bad").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not-an-identity-file\nzz\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(load_identity_file(dir.file("bad")), Error);
+}
+
+// --------------------------------------------------------------- handshake
+
+struct HandshakeFixture {
+  Rng rng{6};
+  WorkerIdentity identity = WorkerIdentity::generate(rng);
+  Bytes nonce = handshake_nonce(rng);
+  HelloProof proof =
+      make_hello_proof(identity, nonce, kGridProtocol, "agent-7");
+};
+
+TEST(Handshake, GoodProofVerifiesAndYieldsIdentity) {
+  HandshakeFixture fx;
+  AuthInfo info;
+  EXPECT_EQ(verify_hello_proof(fx.proof, fx.nonce, kGridProtocol, {}, info),
+            HandshakeStatus::kOk);
+  EXPECT_EQ(info.worker_id, fx.identity.id());
+  EXPECT_EQ(info.agent, "agent-7");
+}
+
+TEST(Handshake, TamperedAgentIsRefused) {
+  HandshakeFixture fx;
+  fx.proof.agent = "someone-else";  // MAC binds the agent name
+  AuthInfo info;
+  EXPECT_EQ(verify_hello_proof(fx.proof, fx.nonce, kGridProtocol, {}, info),
+            HandshakeStatus::kBadMac);
+}
+
+TEST(Handshake, StaleNonceIsRefused) {
+  HandshakeFixture fx;
+  const Bytes fresh = handshake_nonce(fx.rng);
+  AuthInfo info;
+  // A proof minted for an earlier connection's nonce — the replay case.
+  EXPECT_EQ(verify_hello_proof(fx.proof, fresh, kGridProtocol, {}, info),
+            HandshakeStatus::kBadMac);
+}
+
+TEST(Handshake, ForgedMacIsRefused) {
+  HandshakeFixture fx;
+  fx.proof.mac[0] ^= 1;
+  AuthInfo info;
+  EXPECT_EQ(verify_hello_proof(fx.proof, fx.nonce, kGridProtocol, {}, info),
+            HandshakeStatus::kBadMac);
+}
+
+TEST(Handshake, WrongProtocolIsRefused) {
+  HandshakeFixture fx;
+  AuthInfo info;
+  EXPECT_EQ(verify_hello_proof(fx.proof, fx.nonce, kGridProtocol + 1, {},
+                               info),
+            HandshakeStatus::kBadProtocol);
+}
+
+TEST(Handshake, MalformedKeyIsRefused) {
+  HandshakeFixture fx;
+  fx.proof.public_key.pop_back();
+  AuthInfo info;
+  EXPECT_EQ(verify_hello_proof(fx.proof, fx.nonce, kGridProtocol, {}, info),
+            HandshakeStatus::kBadKey);
+}
+
+TEST(Handshake, BannedIdentityIsRefusedButReported) {
+  HandshakeFixture fx;
+  const WorkerId banned_id = fx.identity.id();
+  AuthInfo info;
+  EXPECT_EQ(verify_hello_proof(
+                fx.proof, fx.nonce, kGridProtocol,
+                [&](const WorkerId& id) { return id == banned_id; }, info),
+            HandshakeStatus::kBanned);
+  // The identity did verify; the refusal log needs to know who it was.
+  EXPECT_EQ(info.worker_id, banned_id);
+  EXPECT_EQ(info.agent, "agent-7");
+}
+
+TEST(Handshake, NonceSizeIsEnforcedByMacHelper) {
+  HandshakeFixture fx;
+  EXPECT_THROW(
+      hello_proof_mac(fx.identity.public_key(), Bytes(8, 0), kGridProtocol,
+                      "a"),
+      Error);
+}
+
+TEST(Handshake, StatusNamesAreExhaustive) {
+  std::set<std::string> names;
+  for (const HandshakeStatus status :
+       {HandshakeStatus::kOk, HandshakeStatus::kBadProtocol,
+        HandshakeStatus::kBadKey, HandshakeStatus::kBadMac,
+        HandshakeStatus::kBanned, HandshakeStatus::kUnauthenticated}) {
+    const std::string name = to_string(status);
+    EXPECT_NE(name, "unknown");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
+  }
+}
+
+}  // namespace
+}  // namespace ugc::auth

@@ -63,12 +63,14 @@ LOG="$WORKDIR/gridd.log"
 # A ~50%-honest cheater escapes 33 CBS samples with probability ~2^-33:
 # rejection is deterministic for practical purposes.
 [ "$GRIDD_STATUS" -eq 2 ] || fail "gridd exit=$GRIDD_STATUS, want 2 (cheat detected)"
-grep -Eq "worker [0-9]+ agent=cheater-1 accepted=0 rejected=1 .* flagged=yes" "$LOG" \
+grep -Eq "worker [0-9]+ agent=cheater-1 id=[0-9a-f]+ accepted=0 rejected=1 .* flagged=yes" "$LOG" \
   || fail "cheater not flagged"
 for agent in honest-1 honest-2; do
-  grep -Eq "worker [0-9]+ agent=$agent accepted=1 rejected=0 .* flagged=no" "$LOG" \
+  grep -Eq "worker [0-9]+ agent=$agent id=[0-9a-f]+ accepted=1 rejected=0 .* flagged=no" "$LOG" \
     || fail "honest worker $agent not cleanly accepted"
 done
+# Every registration went through the authenticated handshake.
+[ "$(grep -c "registered agent=" "$LOG")" -eq 3 ] || fail "expected 3 authenticated registrations"
 grep -q "summary scheme=$SCHEME .* accepted=2 rejected=1 aborted=0" "$LOG" \
   || fail "summary line mismatch"
 

@@ -7,11 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "auth/handshake.h"
+#include "auth/identity.h"
 #include "core/cheating.h"
 #include "grid/participant_node.h"
 #include "grid/supervisor_node.h"
@@ -319,6 +323,297 @@ TEST(TcpTransport, SendToAVanishedPeerIsAQuietNoOp) {
                                    std::nullopt, "never existed"}),
                Error);
   server.close_all();
+}
+
+// ------------------------------------------------- authenticated handshake
+
+// Blocking helpers for raw-socket peers (the sockets are non-blocking).
+Message read_message_blocking(net::Socket& socket) {
+  net::FrameDecoder decoder;
+  std::uint8_t buffer[4096];
+  for (int spins = 0; spins < 2000; ++spins) {
+    const net::IoResult result =
+        net::read_some(socket, std::span<std::uint8_t>(buffer));
+    if (result.status == net::IoStatus::kOk) {
+      decoder.feed(BytesView(buffer, result.bytes));
+      if (const auto frame = decoder.next()) {
+        return decode_message(*frame);
+      }
+      continue;
+    }
+    if (result.status == net::IoStatus::kWouldBlock) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;
+    }
+    throw Error("peer closed before a full frame arrived");
+  }
+  throw Error("timed out waiting for a frame");
+}
+
+void write_frame_blocking(net::Socket& socket, const Message& message) {
+  Bytes stream;
+  net::append_frame(encode_message(message), stream);
+  std::size_t sent = 0;
+  while (sent < stream.size()) {
+    const net::IoResult result =
+        net::write_some(socket, BytesView(stream).subspan(sent));
+    if (result.status == net::IoStatus::kOk) {
+      sent += result.bytes;
+    } else if (result.status == net::IoStatus::kWouldBlock) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    } else {
+      throw Error("peer closed mid-write");
+    }
+  }
+}
+
+void drain_until_closed(net::Socket& socket) {
+  std::uint8_t buffer[4096];
+  for (int spins = 0; spins < 2000; ++spins) {
+    const net::IoResult result =
+        net::read_some(socket, std::span<std::uint8_t>(buffer));
+    if (result.status == net::IoStatus::kClosed ||
+        result.status == net::IoStatus::kError) {
+      return;
+    }
+    if (result.status == net::IoStatus::kWouldBlock) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+}
+
+TEST(TcpTransportAuth, AuthenticatedExchangeEstablishesDurableIdentity) {
+  net::TcpTransport server(fast_options());
+  server.require_auth({});
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  Rng rng(77);
+  const auth::WorkerIdentity identity = auth::WorkerIdentity::generate(rng);
+
+  WorkerResult result;
+  std::thread worker([&, port] {
+    ParticipantNode::Options options;
+    ParticipantNode node(options);
+    net::TcpTransport transport(fast_options());
+    transport.use_identity(identity, "worker-auth");
+    transport.add_local(node);
+    transport.connect("127.0.0.1", port);
+    bool gone = false;
+    transport.on_peer_disconnected = [&](GridNodeId) { gone = true; };
+    transport.run([&] { return gone; });
+    result = WorkerResult{node.verdicts(), node.honest_evaluations()};
+  });
+
+  std::vector<GridNodeId> slots;
+  std::optional<auth::AuthInfo> seen;
+  std::optional<Hello> hello_seen;
+  server.on_peer_authenticated = [&](GridNodeId peer,
+                                     const auth::AuthInfo& info) {
+    slots.push_back(peer);
+    seen = info;
+  };
+  server.on_peer_hello = [&](GridNodeId, const Hello& hello) {
+    hello_seen = hello;
+  };
+  server.run([&] { return slots.size() == 1; });
+
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(seen->worker_id, identity.id());
+  EXPECT_EQ(seen->agent, "worker-auth");
+  // The synthesized Hello keeps hello-driven callers working unchanged.
+  ASSERT_TRUE(hello_seen.has_value());
+  EXPECT_EQ(hello_seen->agent, "worker-auth");
+  ASSERT_TRUE(server.auth_of(slots[0]).has_value());
+  EXPECT_EQ(server.auth_of(slots[0])->worker_id, identity.id());
+
+  // The scheme runs unchanged on top of the authenticated connection.
+  SupervisorNode::Plan plan;
+  plan.domain = Domain(0, 512);
+  plan.workload = "test";
+  plan.scheme.name = "cbs";
+  plan.seed = 5;
+  SupervisorNode supervisor(plan, slots);
+  server.add_local(supervisor);
+  supervisor.start(server);
+  server.run([&] { return supervisor.done(); });
+  server.close_all();
+  worker.join();
+
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  EXPECT_TRUE(result.verdicts.begin()->second.accepted());
+  EXPECT_EQ(server.handshakes_refused(), 0u);
+}
+
+TEST(TcpTransportAuth, ForgedProofIsRefused) {
+  net::TcpTransport server(fast_options());
+  server.require_auth({});
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  Rng rng(78);
+  const auth::WorkerIdentity identity = auth::WorkerIdentity::generate(rng);
+  std::thread attacker([&, port] {
+    net::Socket raw = net::tcp_connect("127.0.0.1", port);
+    const auto challenge =
+        std::get<HelloChallenge>(read_message_blocking(raw));
+    HelloProof proof = auth::make_hello_proof(identity, challenge.nonce,
+                                              kGridProtocol, "forger");
+    proof.mac[0] ^= 1;
+    write_frame_blocking(raw, Message{proof});
+    drain_until_closed(raw);
+  });
+
+  std::optional<auth::HandshakeStatus> refused;
+  bool dropped = false;
+  server.on_auth_refused = [&](GridNodeId, auth::HandshakeStatus status,
+                               const auth::AuthInfo&) { refused = status; };
+  server.on_peer_disconnected = [&](GridNodeId) { dropped = true; };
+  server.run([&] { return dropped; });
+  server.close_all();
+  attacker.join();
+
+  EXPECT_EQ(refused, auth::HandshakeStatus::kBadMac);
+  EXPECT_EQ(server.handshakes_refused(), 1u);
+  EXPECT_TRUE(server.connected_peers().empty());
+}
+
+TEST(TcpTransportAuth, ReplayedStaleProofIsRefused) {
+  net::TcpTransport server(fast_options());
+  server.require_auth({});
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  Rng rng(79);
+  const auth::WorkerIdentity identity = auth::WorkerIdentity::generate(rng);
+  std::thread attacker([&, port] {
+    // First connection: a perfectly honest handshake, recorded.
+    net::Socket first = net::tcp_connect("127.0.0.1", port);
+    const auto challenge1 =
+        std::get<HelloChallenge>(read_message_blocking(first));
+    const HelloProof recorded = auth::make_hello_proof(
+        identity, challenge1.nonce, kGridProtocol, "victim");
+    write_frame_blocking(first, Message{recorded});
+
+    // Second connection: replay the recorded proof against a fresh nonce.
+    net::Socket second = net::tcp_connect("127.0.0.1", port);
+    const auto challenge2 =
+        std::get<HelloChallenge>(read_message_blocking(second));
+    EXPECT_NE(challenge1.nonce, challenge2.nonce)
+        << "nonces must be fresh per connection";
+    write_frame_blocking(second, Message{recorded});
+    drain_until_closed(second);
+    first.close();
+  });
+
+  std::size_t authenticated = 0;
+  std::optional<auth::HandshakeStatus> refused;
+  server.on_peer_authenticated = [&](GridNodeId, const auth::AuthInfo&) {
+    ++authenticated;
+  };
+  server.on_auth_refused = [&](GridNodeId, auth::HandshakeStatus status,
+                               const auth::AuthInfo&) { refused = status; };
+  server.run([&] { return refused.has_value(); });
+  server.close_all();
+  attacker.join();
+
+  EXPECT_EQ(authenticated, 1u) << "the original handshake was genuine";
+  EXPECT_EQ(refused, auth::HandshakeStatus::kBadMac)
+      << "a stale proof must not bind a fresh nonce";
+  EXPECT_EQ(server.handshakes_refused(), 1u);
+}
+
+TEST(TcpTransportAuth, BannedIdentityIsRefusedAtHello) {
+  Rng rng(80);
+  const auth::WorkerIdentity identity = auth::WorkerIdentity::generate(rng);
+
+  net::TcpTransport server(fast_options());
+  net::AuthOptions auth_options;
+  auth_options.is_banned = [&](const auth::WorkerId& id) {
+    return id == identity.id();
+  };
+  server.require_auth(std::move(auth_options));
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  std::thread worker([&, port] {
+    struct : GridNode {
+      void on_message(GridNodeId, const Message&, Transport&) override {}
+    } sink;
+    net::TcpTransport transport(fast_options());
+    transport.use_identity(identity, "banned-worker");
+    transport.add_local(sink);
+    transport.connect("127.0.0.1", port);
+    bool gone = false;
+    transport.on_peer_disconnected = [&](GridNodeId) { gone = true; };
+    transport.run([&] { return gone; });
+  });
+
+  std::optional<auth::HandshakeStatus> refused;
+  std::optional<auth::AuthInfo> info;
+  server.on_auth_refused = [&](GridNodeId, auth::HandshakeStatus status,
+                               const auth::AuthInfo& who) {
+    refused = status;
+    info = who;
+  };
+  server.run([&] { return refused.has_value(); });
+  server.close_all();
+  worker.join();
+
+  EXPECT_EQ(refused, auth::HandshakeStatus::kBanned);
+  // The proof verified, so the refusal names the banned identity.
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->worker_id, identity.id());
+  EXPECT_EQ(info->agent, "banned-worker");
+  EXPECT_EQ(server.handshakes_refused(), 1u);
+}
+
+TEST(TcpTransportAuth, PlainHelloIsRefusedWhenAuthIsRequired) {
+  net::TcpTransport server(fast_options());
+  server.require_auth({});
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  net::Socket raw = net::tcp_connect("127.0.0.1", port);
+  Bytes stream;
+  net::append_frame(encode_message(Message{Hello{kGridProtocol, "legacy"}}),
+                    stream);
+  (void)net::write_some(raw, stream);
+
+  std::optional<auth::HandshakeStatus> refused;
+  bool greeted = false;
+  server.on_peer_hello = [&](GridNodeId, const Hello&) { greeted = true; };
+  server.on_auth_refused = [&](GridNodeId, auth::HandshakeStatus status,
+                               const auth::AuthInfo&) { refused = status; };
+  server.run([&] { return refused.has_value(); });
+  server.close_all();
+
+  EXPECT_EQ(refused, auth::HandshakeStatus::kUnauthenticated);
+  EXPECT_FALSE(greeted);
+  EXPECT_EQ(server.handshakes_refused(), 1u);
+}
+
+TEST(TcpTransportAuth, SchemeTrafficBeforeProofIsRefused) {
+  net::TcpTransport server(fast_options());
+  server.require_auth({});
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  net::Socket raw = net::tcp_connect("127.0.0.1", port);
+  Bytes stream;
+  net::append_frame(
+      encode_message(Message{Commitment{TaskId{1}, 4, Bytes(32, 1)}}),
+      stream);
+  (void)net::write_some(raw, stream);
+
+  std::optional<auth::HandshakeStatus> refused;
+  server.on_auth_refused = [&](GridNodeId, auth::HandshakeStatus status,
+                               const auth::AuthInfo&) { refused = status; };
+  server.run([&] { return refused.has_value(); });
+  server.close_all();
+
+  EXPECT_EQ(refused, auth::HandshakeStatus::kUnauthenticated);
+  EXPECT_EQ(server.handshakes_refused(), 1u);
 }
 
 }  // namespace

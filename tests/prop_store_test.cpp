@@ -1,0 +1,153 @@
+// Property suite for the persistence layer: random verdict sequences
+// pushed through the crash-safe file backend — interleaved with reopens
+// and aggressive compaction — must leave the durable ledger byte-for-byte
+// equivalent to the same sequence played against the in-memory backend.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "auth/identity.h"
+#include "common/error.h"
+#include "store/durable_ledger.h"
+#include "prop.h"
+#include "store/reputation_store.h"
+
+namespace ugc::store {
+namespace {
+
+using proptest::Failure;
+using proptest::gen_range;
+using proptest::Property;
+using proptest::prop_check;
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char templ[] = "/tmp/ugc_prop_store_XXXXXX";
+    const char* made = ::mkdtemp(templ);
+    if (made == nullptr) {
+      throw Error("mkdtemp failed");
+    }
+    path = made;
+  }
+  ~TempDir() {
+    const std::string cmd = "rm -rf '" + path + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+};
+
+struct Verdict {
+  std::uint8_t worker;  // small population: collisions are the point
+  bool accepted;
+  bool reopen_after;  // close and reopen the file store after this verdict
+};
+
+struct Sequence {
+  std::vector<Verdict> verdicts;
+  std::size_t compact_after;  // 1..4: compaction fires constantly
+  std::uint64_t min_observations;
+};
+
+WorkerId id_of(std::uint8_t tag) {
+  WorkerId id;
+  id.digest.fill(tag);
+  return id;
+}
+
+Property<Sequence> sequence_property() {
+  Property<Sequence> prop;
+  prop.name = "file-backed ledger replays any verdict sequence exactly";
+  prop.gen = [](Rng& rng) {
+    Sequence s;
+    s.compact_after = gen_range(rng, 1, 4);
+    s.min_observations = gen_range(rng, 1, 3);
+    const std::uint64_t count = gen_range(rng, 1, 40);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      s.verdicts.push_back(Verdict{
+          static_cast<std::uint8_t>(gen_range(rng, 1, 5)),
+          rng.bernoulli(0.6), rng.bernoulli(0.15)});
+    }
+    return s;
+  };
+  prop.shrink = [](const Sequence& s) {
+    std::vector<Sequence> out;
+    if (s.verdicts.size() > 1) {
+      Sequence half = s;
+      half.verdicts.resize(s.verdicts.size() / 2);
+      out.push_back(std::move(half));
+      Sequence tail = s;
+      tail.verdicts.erase(tail.verdicts.begin());
+      out.push_back(std::move(tail));
+    }
+    return out;
+  };
+  prop.show = [](const Sequence& s) {
+    std::string text = concat("compact_after=", s.compact_after,
+                              " min_obs=", s.min_observations, " [");
+    for (const Verdict& v : s.verdicts) {
+      text += concat(int(v.worker), v.accepted ? "+" : "-",
+                     v.reopen_after ? "R " : " ");
+    }
+    return text + "]";
+  };
+  return prop;
+}
+
+TEST(PropStore, prop_random_verdict_sequences_survive_the_file_backend) {
+  prop_check(sequence_property(), [](const Sequence& s) -> Failure {
+    TempDir dir;
+    ReputationParams params;
+    params.min_observations = s.min_observations;
+    FileStoreOptions options;
+    options.compact_after_log_entries = s.compact_after;
+
+    // Reference: the same sequence against the in-memory backend.
+    DurableReputationLedger reference(params, make_memory_reputation_store());
+    auto durable = std::make_unique<DurableReputationLedger>(
+        params, make_file_reputation_store(dir.path, options));
+
+    for (const Verdict& v : s.verdicts) {
+      reference.record(id_of(v.worker), v.accepted);
+      durable->record(id_of(v.worker), v.accepted);
+      if (v.reopen_after) {
+        durable.reset();  // destructor closes the log fd
+        durable = std::make_unique<DurableReputationLedger>(
+            params, make_file_reputation_store(dir.path, options));
+      }
+    }
+
+    // One final reopen: everything must have reached disk structures that
+    // replay, not just the live process's map.
+    durable.reset();
+    DurableReputationLedger replayed(
+        params, make_file_reputation_store(dir.path, options));
+
+    if (replayed.size() != reference.size()) {
+      return concat("population mismatch: file=", replayed.size(),
+                    " memory=", reference.size());
+    }
+    for (const auto& [id, expected] : reference.store().snapshot()) {
+      const auto got = replayed.store().get(id);
+      if (!got.has_value()) {
+        return concat("worker ", id.prefix(), " missing after replay");
+      }
+      if (!(*got == expected)) {
+        return concat("worker ", id.prefix(), " diverged: file={",
+                      got->alpha, ",", got->beta, ",", got->observations,
+                      "} memory={", expected.alpha, ",", expected.beta, ",",
+                      expected.observations, "}");
+      }
+      if (replayed.banned(id) != reference.banned(id)) {
+        return concat("ban verdict diverged for worker ", id.prefix());
+      }
+    }
+    return {};
+  });
+}
+
+}  // namespace
+}  // namespace ugc::store

@@ -40,7 +40,7 @@ SampleProof gen_sample_proof(Rng& rng) {
 // One random message of every variant, chosen uniformly.
 Message gen_message(Rng& rng) {
   const TaskId task{gen_range(rng, 1, 1 << 16)};
-  switch (rng.uniform(11)) {
+  switch (rng.uniform(13)) {
     case 0: {
       TaskAssignment m;
       m.task = task;
@@ -126,6 +126,20 @@ Message gen_message(Rng& rng) {
       Hello m;
       m.protocol = static_cast<std::uint16_t>(gen_range(rng, 0, 1 << 16));
       m.agent = rng.bernoulli(0.5) ? concat("agent-", rng.uniform(1000)) : "";
+      return m;
+    }
+    case 10: {
+      HelloChallenge m;
+      m.protocol = static_cast<std::uint16_t>(gen_range(rng, 0, 1 << 16));
+      m.nonce = gen_bytes(rng, gen_range(rng, 0, 48));
+      return m;
+    }
+    case 11: {
+      HelloProof m;
+      m.protocol = static_cast<std::uint16_t>(gen_range(rng, 0, 1 << 16));
+      m.agent = rng.bernoulli(0.5) ? concat("agent-", rng.uniform(1000)) : "";
+      m.public_key = gen_bytes(rng, gen_range(rng, 0, 48));
+      m.mac = gen_bytes(rng, 32);
       return m;
     }
     default: {

@@ -1,0 +1,237 @@
+// src/store unit tests: both ReputationStore backends, crash-tail recovery,
+// snapshot compaction, and the DurableReputationLedger's ban boundary.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "auth/identity.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "store/durable_ledger.h"
+#include "store/reputation_store.h"
+
+namespace ugc::store {
+namespace {
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char templ[] = "/tmp/ugc_store_test_XXXXXX";
+    const char* made = ::mkdtemp(templ);
+    if (made == nullptr) {
+      throw Error("mkdtemp failed");
+    }
+    path = made;
+  }
+  ~TempDir() {
+    const std::string cmd = "rm -rf '" + path + "'";
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+};
+
+WorkerId id_of(std::uint8_t tag) {
+  WorkerId id;
+  id.digest.fill(tag);
+  return id;
+}
+
+// Contract shared by both backends.
+void exercise_store(ReputationStore& store) {
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.get(id_of(1)).has_value());
+
+  store.put(id_of(1), ReputationRecord{2.0, 1.0, 1});
+  store.put(id_of(2), ReputationRecord{1.0, 3.0, 2});
+  EXPECT_EQ(store.size(), 2u);
+  ASSERT_TRUE(store.get(id_of(1)).has_value());
+  EXPECT_EQ(store.get(id_of(1))->alpha, 2.0);
+
+  store.put(id_of(1), ReputationRecord{5.0, 1.0, 4});  // overwrite
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.get(id_of(1))->alpha, 5.0);
+  EXPECT_EQ(store.get(id_of(1))->observations, 4u);
+
+  const auto all = store.snapshot();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first, id_of(1));  // worker-id order
+  EXPECT_EQ(all[1].first, id_of(2));
+  store.sync();  // must be callable any time
+}
+
+TEST(MemoryStore, Contract) {
+  const auto store = make_memory_reputation_store();
+  exercise_store(*store);
+}
+
+TEST(FileStore, Contract) {
+  TempDir dir;
+  const auto store = make_file_reputation_store(dir.path);
+  exercise_store(*store);
+}
+
+TEST(FileStore, CreatesMissingDirectories) {
+  TempDir dir;
+  const auto store = make_file_reputation_store(dir.path + "/nested/state");
+  store->put(id_of(1), ReputationRecord{2.0, 1.0, 1});
+  EXPECT_EQ(store->size(), 1u);
+}
+
+TEST(FileStore, RecordsSurviveReopen) {
+  TempDir dir;
+  {
+    const auto store = make_file_reputation_store(dir.path);
+    store->put(id_of(1), ReputationRecord{3.0, 1.0, 2});
+    store->put(id_of(2), ReputationRecord{1.0, 4.0, 3});
+    store->sync();
+  }
+  const auto reopened = make_file_reputation_store(dir.path);
+  EXPECT_EQ(reopened->size(), 2u);
+  ASSERT_TRUE(reopened->get(id_of(2)).has_value());
+  EXPECT_EQ(*reopened->get(id_of(2)), (ReputationRecord{1.0, 4.0, 3}));
+}
+
+TEST(FileStore, CompactionPreservesEveryRecordAndTruncatesLog) {
+  TempDir dir;
+  FileStoreOptions options;
+  options.compact_after_log_entries = 4;
+  {
+    const auto store = make_file_reputation_store(dir.path, options);
+    for (std::uint8_t i = 1; i <= 10; ++i) {
+      store->put(id_of(i), ReputationRecord{1.0 + i, 1.0, i});
+    }
+  }
+  // Compaction fired at least twice; the log holds only the post-snapshot
+  // suffix.
+  struct stat st {};
+  ASSERT_EQ(::stat((dir.path + "/reputation.snapshot").c_str(), &st), 0);
+  EXPECT_GT(st.st_size, 0);
+  const auto reopened = make_file_reputation_store(dir.path, options);
+  EXPECT_EQ(reopened->size(), 10u);
+  for (std::uint8_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(reopened->get(id_of(i)).has_value()) << int(i);
+    EXPECT_EQ(reopened->get(id_of(i))->alpha, 1.0 + i);
+  }
+}
+
+TEST(FileStore, TornLogTailIsDroppedOnOpen) {
+  TempDir dir;
+  {
+    const auto store = make_file_reputation_store(dir.path);
+    store->put(id_of(1), ReputationRecord{2.0, 1.0, 1});
+    store->put(id_of(2), ReputationRecord{3.0, 1.0, 2});
+    store->sync();
+  }
+  const std::string log = dir.path + "/reputation.log";
+  struct stat st {};
+  ASSERT_EQ(::stat(log.c_str(), &st), 0);
+  // Simulate a crash mid-append: chop the last entry in half.
+  ASSERT_EQ(::truncate(log.c_str(), st.st_size - 20), 0);
+
+  const auto reopened = make_file_reputation_store(dir.path);
+  EXPECT_EQ(reopened->size(), 1u);
+  EXPECT_TRUE(reopened->get(id_of(1)).has_value());
+  EXPECT_FALSE(reopened->get(id_of(2)).has_value());
+  // And the poison is gone: the next open replays cleanly too.
+  reopened->put(id_of(3), ReputationRecord{1.0, 1.0, 1});
+  const auto again = make_file_reputation_store(dir.path);
+  EXPECT_EQ(again->size(), 2u);
+}
+
+TEST(FileStore, CorruptSnapshotFailsLoudly) {
+  TempDir dir;
+  {
+    FileStoreOptions options;
+    options.compact_after_log_entries = 1;  // force a snapshot immediately
+    const auto store = make_file_reputation_store(dir.path, options);
+    store->put(id_of(1), ReputationRecord{2.0, 1.0, 1});
+  }
+  std::FILE* f = std::fopen((dir.path + "/reputation.snapshot").c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("garbage", f);
+  std::fclose(f);
+  EXPECT_THROW(make_file_reputation_store(dir.path), Error);
+}
+
+// ------------------------------------------------------------------ ledger
+
+TEST(DurableLedger, UnseenWorkerHasPriorTrustAndNoBan) {
+  DurableReputationLedger ledger({}, make_memory_reputation_store());
+  EXPECT_DOUBLE_EQ(ledger.trust(id_of(1)), 0.5);
+  EXPECT_EQ(ledger.observations(id_of(1)), 0u);
+  EXPECT_FALSE(ledger.banned(id_of(1)));
+  EXPECT_EQ(ledger.size(), 0u);
+}
+
+TEST(DurableLedger, PosteriorTracksVerdicts) {
+  DurableReputationLedger ledger({}, make_memory_reputation_store());
+  ledger.record(id_of(1), true);
+  ledger.record(id_of(1), true);
+  ledger.record(id_of(1), false);
+  // Beta(1+2, 1+1): mean 3/5.
+  EXPECT_DOUBLE_EQ(ledger.trust(id_of(1)), 0.6);
+  EXPECT_EQ(ledger.observations(id_of(1)), 3u);
+  EXPECT_FALSE(ledger.banned(id_of(1)));
+}
+
+TEST(DurableLedger, TrustExactlyAtThresholdIsNotBanned) {
+  // The ban rule is strict `<`: a worker sitting exactly on the threshold
+  // keeps its standing. One accept + one reject leaves the posterior at
+  // Beta(2, 2) — trust exactly 0.5, the default threshold.
+  DurableReputationLedger ledger({}, make_memory_reputation_store());
+  ledger.record(id_of(1), true);
+  ledger.record(id_of(1), false);
+  EXPECT_DOUBLE_EQ(ledger.trust(id_of(1)), 0.5);
+  EXPECT_EQ(ledger.observations(id_of(1)), 2u);
+  EXPECT_FALSE(ledger.banned(id_of(1)));
+  // One more rejection tips it below: Beta(2, 3), trust 0.4.
+  ledger.record(id_of(1), false);
+  EXPECT_TRUE(ledger.banned(id_of(1)));
+  EXPECT_EQ(ledger.banned_count(), 1u);
+}
+
+TEST(DurableLedger, MinObservationsGatesTheBan) {
+  ReputationParams params;
+  params.min_observations = 3;
+  DurableReputationLedger ledger(params, make_memory_reputation_store());
+  // Two straight rejections: trust 1/4, but only 2 observations — an early
+  // accusation must not be a life sentence yet.
+  ledger.record(id_of(1), false);
+  ledger.record(id_of(1), false);
+  EXPECT_LT(ledger.trust(id_of(1)), params.ban_threshold);
+  EXPECT_FALSE(ledger.banned(id_of(1)));
+  // The third observation crosses the gate.
+  ledger.record(id_of(1), false);
+  EXPECT_TRUE(ledger.banned(id_of(1)));
+}
+
+TEST(DurableLedger, BansSurviveReopen) {
+  TempDir dir;
+  ReputationParams params;
+  params.min_observations = 1;
+  {
+    DurableReputationLedger ledger(params,
+                                   make_file_reputation_store(dir.path));
+    ledger.record(id_of(9), false);  // trust 1/3 < 0.5, banned (and synced)
+    EXPECT_TRUE(ledger.banned(id_of(9)));
+  }
+  DurableReputationLedger reopened(params,
+                                   make_file_reputation_store(dir.path));
+  EXPECT_TRUE(reopened.banned(id_of(9)));
+  EXPECT_EQ(reopened.observations(id_of(9)), 1u);
+}
+
+TEST(DurableLedger, RejectsDegeneratePriors) {
+  ReputationParams params;
+  params.prior_alpha = 0.0;
+  EXPECT_THROW(
+      DurableReputationLedger(params, make_memory_reputation_store()), Error);
+  EXPECT_THROW(DurableReputationLedger({}, nullptr), Error);
+}
+
+}  // namespace
+}  // namespace ugc::store

@@ -79,7 +79,8 @@ TEST(ToString, MessageTypeExhaustive) {
        MessageType::kNiCbsProof, MessageType::kResultsUpload,
        MessageType::kScreenerReport, MessageType::kRingerReport,
        MessageType::kVerdict, MessageType::kBatchProofResponse,
-       MessageType::kHello});
+       MessageType::kHello, MessageType::kHelloChallenge,
+       MessageType::kHelloProof});
 }
 
 }  // namespace

@@ -247,6 +247,26 @@ TEST(Messages, HelloIsNotASchemeMessage) {
   EXPECT_EQ(task_of(Message{Hello{kGridProtocol, "w"}}), TaskId{0});
 }
 
+TEST(Messages, HelloChallengeRoundTrip) {
+  expect_round_trip(HelloChallenge{kGridProtocol, Bytes(32, 0xa5)});
+  expect_round_trip(HelloChallenge{0xffff, {}});
+}
+
+TEST(Messages, HelloProofRoundTrip) {
+  expect_round_trip(
+      HelloProof{kGridProtocol, "gridworker", Bytes(32, 0x11), Bytes(32, 0x22)});
+  expect_round_trip(HelloProof{0, "", {}, {}});
+}
+
+TEST(Messages, HandshakeMessagesAreNotSchemeMessages) {
+  const Message challenge{HelloChallenge{kGridProtocol, Bytes(32, 1)}};
+  const Message proof{HelloProof{kGridProtocol, "w", Bytes(32, 2), Bytes(32, 3)}};
+  EXPECT_FALSE(to_scheme_message(challenge).has_value());
+  EXPECT_FALSE(to_scheme_message(proof).has_value());
+  EXPECT_EQ(task_of(challenge), TaskId{0});
+  EXPECT_EQ(task_of(proof), TaskId{0});
+}
+
 TEST(Messages, EmptyCollectionsRoundTrip) {
   expect_round_trip(SampleChallenge{TaskId{1}, {}});
   expect_round_trip(ProofResponse{TaskId{1}, {}});
