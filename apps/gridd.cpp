@@ -57,6 +57,8 @@ int run_gridd(const cli::Flags& flags) {
 
   net::TcpTransportOptions options;
   options.quiescence_timeout_ms = flags.u64("idle-timeout-ms");
+  options.io_threads = static_cast<unsigned>(flags.u64("io-threads"));
+  options.engine = net::parse_engine_backend(flags.str("engine"));
   net::TcpTransport transport(options);
   net::AuthOptions auth_options;
   auth_options.is_banned = [&ledger](const auth::WorkerId& id) {
@@ -174,15 +176,20 @@ int run_gridd(const cli::Flags& flags) {
                 tally.rejected > 0 ? "yes" : "no",
                 ledger.banned(who.worker_id) ? "yes" : "no");
   }
+  const net::TcpIoStats io = transport.io_stats();
   std::printf("gridd: summary scheme=%s workload=%s tasks=%zu accepted=%zu "
               "rejected=%zu aborted=%zu reassigned=%" PRIu64
               " verification_evals=%" PRIu64 " bytes=%" PRIu64
-              " refused=%" PRIu64 "\n",
+              " refused=%" PRIu64 " engine=%s io_loops=%u "
+              "write_queue_hwm=%zu undecodable=%" PRIu64 " truncated=%" PRIu64
+              "\n",
               flags.str("scheme").c_str(), flags.str("workload").c_str(),
               accepted + rejected + aborted, accepted, rejected, aborted,
               supervisor.tasks_reassigned(),
               supervisor.verification_evaluations(),
-              transport.stats().total_bytes, transport.handshakes_refused());
+              transport.stats().total_bytes, io.handshakes_refused,
+              io.engine.c_str(), io.io_loops, io.write_queue_hwm,
+              io.frames_undecodable, io.streams_truncated);
   std::fflush(stdout);
 
   if (rejected > 0) {
@@ -211,6 +218,8 @@ int main(int argc, char** argv) {
       {"pump-threads", "1"},
       {"max-retries", "2"},
       {"idle-timeout-ms", "1000"},
+      {"io-threads", "1"},
+      {"engine", "auto"},
       {"state-dir", ""},
       {"ban-threshold", "0.5"},
       {"min-observations", "2"},

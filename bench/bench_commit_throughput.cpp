@@ -96,14 +96,19 @@ double pairs_per_sec_streaming(const std::vector<Bytes>& leaves,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool require_parallel = false;
   std::string out_path = "BENCH_commit.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--require-parallel") == 0) {
+      require_parallel = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--require-parallel] [--out PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -117,6 +122,15 @@ int main(int argc, char** argv) {
                  "warning: hardware_threads=%u — the parallel columns are "
                  "not meaningful on this host\n",
                  hw_threads);
+    // Numbers recorded for the repo must come from a host where the
+    // parallel columns measure parallelism; CI passes --require-parallel so
+    // a single-core runner refuses loudly instead of recording nonsense.
+    if (require_parallel) {
+      std::fprintf(stderr,
+                   "error: --require-parallel: refusing to run on a "
+                   "single-threaded host\n");
+      return 3;
+    }
   }
 
   std::printf("== commitment throughput (hash cost in ns, rates in leaves/s) "

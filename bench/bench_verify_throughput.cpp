@@ -257,14 +257,19 @@ struct PumpRow {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool require_parallel = false;
   std::string out_path = "BENCH_verify.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--require-parallel") == 0) {
+      require_parallel = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--require-parallel] [--out PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -276,6 +281,14 @@ int main(int argc, char** argv) {
                  "warning: hardware_threads=%u — the parallel-pump columns "
                  "are not meaningful on this host\n",
                  hw_threads);
+    // CI's bench legs pass --require-parallel: pump-thread scaling numbers
+    // from a single-core runner would record contention, not parallelism.
+    if (require_parallel) {
+      std::fprintf(stderr,
+                   "error: --require-parallel: refusing to run on a "
+                   "single-threaded host\n");
+      return 3;
+    }
   }
   const double min_seconds = smoke ? 0.02 : 0.25;
 

@@ -94,6 +94,30 @@ class GridNode {
 //     in-process, with fault injection; the simulation/testing substrate.
 //   TcpTransport (net/tcp_transport.h) — asynchronous non-blocking TCP with
 //     length-prefixed frames; the production substrate gridd/gridworker run.
+//
+// Threading contract (what protocol code may assume, what transports must
+// guarantee):
+//
+//   1. Every GridNode callback — on_message, flush, on_quiescent, on_crash —
+//      fires on ONE thread, the protocol thread (the caller of SimTransport's
+//      delivery loop, or the thread inside TcpTransport::run()). Nodes never
+//      need their own locking; a node's state is only ever touched from that
+//      thread.
+//   2. send() and stats() are protocol-thread-only. Calling send() from any
+//      other thread is a contract violation, not a supported path: transports
+//      are free to touch unsynchronized per-peer state (write queues, stats
+//      maps) inside send(). Callbacks may call send() freely — they are
+//      already on the protocol thread.
+//   3. Transports MAY run I/O on other threads. TcpTransport in multi-loop
+//      mode owns each accepted peer on exactly one of N event-loop threads
+//      (reads, writes, and timers for that fd happen only there) and hands
+//      decoded messages to the protocol thread through a mailbox; replies
+//      queued by send() travel back to the owning loop the same way. Peer
+//      ownership never migrates between loops for the life of a connection.
+//   4. The narrow exception: TcpTransport::AuthOptions::is_banned runs on a
+//      loop thread (it gates the handshake before a peer exists to the
+//      protocol layer), so that callback must be thread-safe. Everything
+//      else the grid layer supplies stays on the protocol thread.
 class Transport {
  public:
   virtual ~Transport() = default;

@@ -46,7 +46,8 @@ void Socket::close() {
   }
 }
 
-Socket tcp_listen(const std::string& host, std::uint16_t port, int backlog) {
+Socket tcp_listen(const std::string& host, std::uint16_t port, int backlog,
+                  bool reuse_port) {
   Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
   if (!socket.valid()) {
     fail("socket");
@@ -56,6 +57,16 @@ Socket tcp_listen(const std::string& host, std::uint16_t port, int backlog) {
   if (::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
                    sizeof(one)) < 0) {
     fail("setsockopt(SO_REUSEADDR)");
+  }
+  if (reuse_port) {
+#ifdef SO_REUSEPORT
+    if (::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof(one)) < 0) {
+      fail("setsockopt(SO_REUSEPORT)");
+    }
+#else
+    throw SocketError("SO_REUSEPORT is not supported on this platform");
+#endif
   }
   const sockaddr_in address = make_address(host, port);
   if (::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&address),
@@ -132,6 +143,32 @@ IoResult read_some(const Socket& socket, std::span<std::uint8_t> buffer) {
     return {IoStatus::kWouldBlock, 0};
   }
   return {IoStatus::kError, 0};
+}
+
+bool reuse_port_supported() {
+#ifdef SO_REUSEPORT
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::pair<Socket, Socket> make_wake_pipe() {
+  int fds[2];
+  if (::pipe(fds) < 0) {
+    fail("pipe");
+  }
+  Socket read_end(fds[0]);
+  Socket write_end(fds[1]);
+  set_nonblocking(read_end.fd());
+  set_nonblocking(write_end.fd());
+  return {std::move(read_end), std::move(write_end)};
+}
+
+void drain_wake_pipe(const Socket& read_end) {
+  std::uint8_t buffer[256];
+  while (::read(read_end.fd(), buffer, sizeof(buffer)) > 0) {
+  }
 }
 
 IoResult write_some(const Socket& socket, BytesView data) {

@@ -63,9 +63,18 @@ struct IoResult {
 };
 
 // Binds and listens on `host`:`port` (port 0 = ephemeral), returning a
-// non-blocking listener. Throws SocketError on failure.
+// non-blocking listener. Throws SocketError on failure. With `reuse_port`
+// the listener is bound SO_REUSEPORT, so several listeners can share one
+// port and the kernel load-balances accepts across them — the sharded
+// accept path of the multi-loop transport (one listener per event loop, no
+// accept lock, no thundering herd).
 Socket tcp_listen(const std::string& host, std::uint16_t port,
-                  int backlog = 64);
+                  int backlog = 64, bool reuse_port = false);
+
+// Whether this platform accepted a SO_REUSEPORT bind at least once (probed
+// lazily by the transport; kernels without it fall back to a single
+// accepting loop that hands sockets off).
+bool reuse_port_supported();
 
 // The port a listener actually bound (resolves port 0).
 std::uint16_t local_port(const Socket& socket);
@@ -85,5 +94,15 @@ IoResult read_some(const Socket& socket, std::span<std::uint8_t> buffer);
 
 // Non-blocking write of as much of `data` as the kernel accepts.
 IoResult write_some(const Socket& socket, BytesView data);
+
+// A non-blocking self-pipe: `first` is the read end, `second` the write
+// end. The multi-loop transport registers the read end with each loop's
+// event engine and pokes the write end to wake a sleeping loop (mailbox
+// submissions from the protocol thread). Writes that find the pipe full
+// are dropped — a full pipe already guarantees a wakeup is pending.
+std::pair<Socket, Socket> make_wake_pipe();
+
+// Drains every pending byte from a wake pipe's read end.
+void drain_wake_pipe(const Socket& read_end);
 
 }  // namespace ugc::net

@@ -1,25 +1,51 @@
 #include "net/tcp_transport.h"
 
-#include <poll.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <random>
+#include <utility>
 
 #include "common/error.h"
 #include "wire/codec.h"
 
 namespace ugc::net {
 
-TcpTransport::TcpTransport(TcpTransportOptions options)
-    : options_(options),
-      wheel_(options.tick_ms),
-      epoch_(std::chrono::steady_clock::now()),
-      read_scratch_(64 * 1024) {}
+namespace {
 
-TcpTransport::~TcpTransport() = default;
+// Engine tokens: peer ids live below 2^32, so the loop-local fds get the
+// space above.
+constexpr std::uint64_t kListenerToken = std::uint64_t{1} << 32;
+constexpr std::uint64_t kWakeToken = std::uint64_t{1} << 33;
+
+void poke(const Socket& wake_write) {
+  if (!wake_write.valid()) {
+    return;  // loop threads not running; tasks drain when they start
+  }
+  const std::uint8_t byte = 1;
+  // A full pipe already guarantees a pending wakeup; drop the byte.
+  (void)!::write(wake_write.fd(), &byte, 1);
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(TcpTransportOptions options)
+    : options_(options), epoch_(std::chrono::steady_clock::now()) {
+  const unsigned count = options_.io_threads < 1 ? 1 : options_.io_threads;
+  for (unsigned i = 0; i < count; ++i) {
+    auto loop = std::make_unique<Loop>(TimerWheel(options_.tick_ms));
+    loop->index = i;
+    loop->engine = make_event_engine(options_.engine);
+    loop->read_scratch.resize(64 * 1024);
+    loops_.push_back(std::move(loop));
+  }
+}
+
+TcpTransport::~TcpTransport() { stop_threads(); }
 
 std::uint64_t TcpTransport::now_ms() const {
   return static_cast<std::uint64_t>(
@@ -31,22 +57,44 @@ std::uint64_t TcpTransport::now_ms() const {
 GridNodeId TcpTransport::add_local(GridNode& node) {
   check(local_ == nullptr,
         "TcpTransport::add_local: one local protocol node per transport "
-        "(run a second transport for a second node)");
+        "(run a second transport for a second node, or clear_local first)");
   const GridNodeId id{next_id_++};
   assign_id(node, id);
   local_ = &node;
   return id;
 }
 
+void TcpTransport::clear_local() { local_ = nullptr; }
+
 void TcpTransport::listen(const std::string& host, std::uint16_t port) {
-  check(!listener_.valid(), "TcpTransport::listen: already listening");
-  listener_ = tcp_listen(host, port);
+  Loop& first = *loops_[0];
+  check(!first.listener.valid(), "TcpTransport::listen: already listening");
+  check(!threads_started_, "TcpTransport::listen: call before run()");
+  if (threaded() && options_.sharded_accept && reuse_port_supported()) {
+    // Sharded accept: one SO_REUSEPORT listener per loop, the kernel
+    // balances connections across them — no accept lock, no handoff.
+    first.listener = tcp_listen(host, port, options_.listen_backlog, true);
+    const std::uint16_t actual = local_port(first.listener);
+    first.engine->add(first.listener.fd(), kListenerToken, Interest::kRead);
+    for (std::size_t i = 1; i < loops_.size(); ++i) {
+      Loop& loop = *loops_[i];
+      loop.listener = tcp_listen(host, actual, options_.listen_backlog, true);
+      loop.engine->add(loop.listener.fd(), kListenerToken, Interest::kRead);
+    }
+    dispatch_accept_ = false;
+    return;
+  }
+  first.listener = tcp_listen(host, port, options_.listen_backlog);
+  first.engine->add(first.listener.fd(), kListenerToken, Interest::kRead);
+  dispatch_accept_ = threaded();
 }
 
 std::uint16_t TcpTransport::port() const {
-  check(listener_.valid(), "TcpTransport::port: not listening");
-  return local_port(listener_);
+  check(loops_[0]->listener.valid(), "TcpTransport::port: not listening");
+  return local_port(loops_[0]->listener);
 }
+
+bool TcpTransport::listening() const { return loops_[0]->listener.valid(); }
 
 void TcpTransport::require_auth(AuthOptions options) {
   check(!auth_.has_value(), "TcpTransport::require_auth: already required");
@@ -73,109 +121,210 @@ void TcpTransport::use_identity(const auth::WorkerIdentity& identity,
   agent_ = std::move(agent);
 }
 
+TcpTransport::Loop& TcpTransport::loop_for_new_connection() {
+  if (!threaded()) {
+    return *loops_[0];
+  }
+  return *loops_[next_connect_loop_++ % loops_.size()];
+}
+
 GridNodeId TcpTransport::connect(const std::string& host, std::uint16_t port) {
   const GridNodeId id{next_id_++};
-  Peer peer;
-  peer.socket = tcp_connect(host, port);
-  peer.decoder = FrameDecoder(options_.max_frame_size);
-  peer.accepted = false;
-  peers_.emplace(id.value, std::move(peer));
+  Socket socket = tcp_connect(host, port);
+  Loop& loop = loop_for_new_connection();
+  {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    peer_index_.emplace(id.value, PeerRef{loop.index, true});
+  }
+  if (!threaded()) {
+    adopt_connection(loop, id.value, std::move(socket), false);
+  } else {
+    // std::function requires copyable closures; park the move-only socket
+    // in shared storage for the hop to the owning loop.
+    auto shared = std::make_shared<Socket>(std::move(socket));
+    submit(loop, [this, &loop, id, shared] {
+      adopt_connection(loop, id.value, std::move(*shared), false);
+    });
+  }
   return id;
 }
 
-void TcpTransport::accept_pending() {
+void TcpTransport::accept_pending(Loop& loop) {
   for (;;) {
-    Socket socket = tcp_accept(listener_);
+    Socket socket = tcp_accept(loop.listener);
     if (!socket.valid()) {
       return;
     }
     const GridNodeId id{next_id_++};
-    Peer peer;
-    peer.socket = std::move(socket);
-    peer.decoder = FrameDecoder(options_.max_frame_size);
-    peer.accepted = true;
-    auto [it, inserted] = peers_.emplace(id.value, std::move(peer));
-    if (auth_.has_value()) {
-      // Open the handshake: one fresh nonce per connection, burned when the
-      // proof arrives — the replay barrier.
-      it->second.nonce = auth::handshake_nonce(*nonce_rng_);
-      HelloChallenge challenge;
-      challenge.protocol = kGridProtocol;
-      challenge.nonce = it->second.nonce;
-      queue_control_frame(id, it->second, Message(std::move(challenge)));
+    std::size_t target = loop.index;
+    if (dispatch_accept_) {
+      // Fallback sharding: this loop accepted for everyone; spread the
+      // connections round-robin. (next_accept_loop_ is touched only by the
+      // one accepting loop.)
+      target = next_accept_loop_++ % loops_.size();
     }
-    arm_quiescence(now_ms());
+    {
+      std::lock_guard<std::mutex> lock(index_mutex_);
+      peer_index_.emplace(id.value, PeerRef{target, true});
+    }
+    if (target == loop.index) {
+      adopt_connection(loop, id.value, std::move(socket), true);
+    } else {
+      Loop& owner = *loops_[target];
+      auto shared = std::make_shared<Socket>(std::move(socket));
+      submit(owner, [this, &owner, id, shared] {
+        adopt_connection(owner, id.value, std::move(*shared), true);
+      });
+    }
   }
 }
 
-void TcpTransport::queue_control_frame(GridNodeId to, Peer& peer,
+void TcpTransport::adopt_connection(Loop& loop, std::uint32_t id,
+                                    Socket socket, bool accepted) {
+  Peer incoming;
+  incoming.socket = std::move(socket);
+  incoming.decoder = FrameDecoder(options_.max_frame_size);
+  incoming.accepted = accepted;
+  auto [it, inserted] = loop.peers.emplace(id, std::move(incoming));
+  Peer& peer = it->second;
+  loop.engine->add(peer.socket.fd(), id, Interest::kRead);
+  peer.armed = Interest::kRead;
+  if (accepted && auth_.has_value()) {
+    // Open the handshake: one fresh nonce per connection, burned when the
+    // proof arrives — the replay barrier. The nonce stream is shared by
+    // every accepting loop, hence the lock (handshake-time only).
+    {
+      std::lock_guard<std::mutex> lock(nonce_mutex_);
+      peer.nonce = auth::handshake_nonce(*nonce_rng_);
+    }
+    HelloChallenge challenge;
+    challenge.protocol = kGridProtocol;
+    challenge.nonce = peer.nonce;
+    queue_control_frame(loop, GridNodeId{id}, peer,
+                        Message(std::move(challenge)));
+  }
+}
+
+void TcpTransport::finish_enqueue(Loop& loop, GridNodeId to, Peer& peer) {
+  const std::size_t pending = peer.write_buffer.size() - peer.write_offset;
+  std::size_t hwm = loop.write_queue_hwm.load(std::memory_order_relaxed);
+  while (pending > hwm &&
+         !loop.write_queue_hwm.compare_exchange_weak(
+             hwm, pending, std::memory_order_relaxed)) {
+  }
+  if (pending > options_.max_write_buffer) {
+    // The peer stopped draining its socket; cutting it loose beats
+    // buffering without bound. Its tasks time out through on_quiescent.
+    drop_peer(loop, to, "write backpressure cap exceeded");
+    return;
+  }
+  service_write(loop, to, peer);
+  sync_interest(loop, to, peer);
+}
+
+void TcpTransport::queue_control_frame(Loop& loop, GridNodeId to, Peer& peer,
                                        const Message& message) {
-  encode_message_into(message, encode_scratch_);
-  check(encode_scratch_.size() <= options_.max_frame_size,
-        "TcpTransport: ", encode_scratch_.size(),
+  encode_message_into(message, loop.encode_scratch);
+  check(loop.encode_scratch.size() <= options_.max_frame_size,
+        "TcpTransport: ", loop.encode_scratch.size(),
         "-byte handshake frame exceeds the ", options_.max_frame_size,
         "-byte frame cap");
-  append_frame(encode_scratch_, peer.write_buffer, options_.max_frame_size);
-  service_write(to, peer);
+  append_frame(loop.encode_scratch, peer.write_buffer,
+               options_.max_frame_size);
+  finish_enqueue(loop, to, peer);
 }
 
 void TcpTransport::refuse_handshake(GridNodeId from,
                                     auth::HandshakeStatus status,
                                     const auth::AuthInfo& info) {
   ++handshakes_refused_;
-  if (on_auth_refused) {
-    on_auth_refused(from, status, info);
-  }
+  Event event;
+  event.kind = Event::Kind::kAuthRefused;
+  event.peer = from;
+  event.status = status;
+  event.info = info;
+  emit(std::move(event));
   throw FrameError(concat("handshake refused: ", auth::to_string(status)));
 }
 
 void TcpTransport::send(GridNodeId from, GridNodeId to,
                         const Message& message) {
-  check(to.value < next_id_, "TcpTransport::send: unknown recipient ",
-        to.value);
-  const auto it = peers_.find(to.value);
-  if (it == peers_.end() || it->second.failed) {
-    return;  // peer is gone; the frame is lost, like any in-flight traffic
+  check(to.value < next_id_.load(),
+        "TcpTransport::send: unknown recipient ", to.value);
+  std::size_t loop_index = 0;
+  {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    const auto it = peer_index_.find(to.value);
+    if (it == peer_index_.end() || !it->second.alive) {
+      return;  // peer is gone; the frame is lost, like any in-flight traffic
+    }
+    loop_index = it->second.loop;
   }
-  Peer& peer = it->second;
+  Loop& loop = *loops_[loop_index];
 
-  encode_message_into(message, encode_scratch_);
-  // A message the local stack cannot frame is a local bug (or a
-  // misconfigured max_frame_size), never the recipient's fault: fail loudly
-  // instead of letting a FrameError masquerade as a peer violation.
-  check(encode_scratch_.size() <= options_.max_frame_size,
-        "TcpTransport::send: ", encode_scratch_.size(),
-        "-byte message exceeds the ", options_.max_frame_size,
-        "-byte frame cap (raise TcpTransportOptions::max_frame_size)");
-  stats_.record(from, to, encode_scratch_.size());
-  append_frame(encode_scratch_, peer.write_buffer, options_.max_frame_size);
-  if (peer.write_buffer.size() - peer.write_offset >
-      options_.max_write_buffer) {
-    // The peer stopped draining its socket; cutting it loose beats
-    // buffering without bound. Its tasks time out through on_quiescent.
-    drop_peer(to, "write backpressure cap exceeded");
+  if (!threaded()) {
+    const auto it = loop.peers.find(to.value);
+    if (it == loop.peers.end() || it->second.failed) {
+      return;
+    }
+    Peer& peer = it->second;
+    encode_message_into(message, loop.encode_scratch);
+    // A message the local stack cannot frame is a local bug (or a
+    // misconfigured max_frame_size), never the recipient's fault: fail
+    // loudly instead of letting a FrameError masquerade as a peer
+    // violation.
+    check(loop.encode_scratch.size() <= options_.max_frame_size,
+          "TcpTransport::send: ", loop.encode_scratch.size(),
+          "-byte message exceeds the ", options_.max_frame_size,
+          "-byte frame cap (raise TcpTransportOptions::max_frame_size)");
+    stats_.record(from, to, loop.encode_scratch.size());
+    append_frame(loop.encode_scratch, peer.write_buffer,
+                 options_.max_frame_size);
+    finish_enqueue(loop, to, peer);
     return;
   }
-  // Opportunistic write: most frames fit the socket buffer, so the common
-  // case never waits for the next poll round.
-  service_write(to, peer);
+
+  // Threaded: encode on the protocol thread (reusing one scratch — send()
+  // is single-caller by contract), then hand the framed bytes to the loop
+  // that owns the peer.
+  encode_message_into(message, send_scratch_);
+  check(send_scratch_.size() <= options_.max_frame_size,
+        "TcpTransport::send: ", send_scratch_.size(),
+        "-byte message exceeds the ", options_.max_frame_size,
+        "-byte frame cap (raise TcpTransportOptions::max_frame_size)");
+  stats_.record(from, to, send_scratch_.size());
+  Bytes framed;
+  framed.reserve(send_scratch_.size() + 4);
+  append_frame(send_scratch_, framed, options_.max_frame_size);
+  submit(loop, [this, &loop, to, framed = std::move(framed)] {
+    const auto it = loop.peers.find(to.value);
+    if (it == loop.peers.end() || it->second.failed) {
+      return;  // vanished between submit and execution
+    }
+    Peer& peer = it->second;
+    peer.write_buffer.insert(peer.write_buffer.end(), framed.begin(),
+                             framed.end());
+    finish_enqueue(loop, to, peer);
+  });
 }
 
 bool TcpTransport::offline(GridNodeId node) const {
   if (local_ != nullptr && node == local_->id()) {
     return false;
   }
-  const auto it = peers_.find(node.value);
-  return it == peers_.end() || it->second.failed;
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  const auto it = peer_index_.find(node.value);
+  return it == peer_index_.end() || !it->second.alive;
 }
 
 const NetworkStats& TcpTransport::stats() const { return stats_; }
 
 std::vector<GridNodeId> TcpTransport::connected_peers() const {
   std::vector<GridNodeId> out;
-  out.reserve(peers_.size());
-  for (const auto& [id, peer] : peers_) {
-    if (!peer.failed) {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  out.reserve(peer_index_.size());
+  for (const auto& [id, ref] : peer_index_) {
+    if (ref.alive) {
       out.push_back(GridNodeId{id});
     }
   }
@@ -183,19 +332,45 @@ std::vector<GridNodeId> TcpTransport::connected_peers() const {
 }
 
 std::optional<Hello> TcpTransport::hello_of(GridNodeId peer) const {
-  const auto it = peers_.find(peer.value);
-  return it == peers_.end() ? std::nullopt : it->second.hello;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = registry_.find(peer.value);
+  return it == registry_.end() ? std::nullopt : it->second.hello;
 }
 
 std::optional<auth::AuthInfo> TcpTransport::auth_of(GridNodeId peer) const {
-  const auto it = peers_.find(peer.value);
-  return it == peers_.end() ? std::nullopt : it->second.auth;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = registry_.find(peer.value);
+  return it == registry_.end() ? std::nullopt : it->second.auth;
 }
 
-void TcpTransport::drop_peer(GridNodeId id, const char* why) {
+TcpIoStats TcpTransport::io_stats() const {
+  TcpIoStats out;
+  out.engine = loops_[0]->engine->name();
+  out.io_loops = static_cast<unsigned>(loops_.size());
+  out.peers_per_loop.assign(loops_.size(), 0);
+  {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    for (const auto& [id, ref] : peer_index_) {
+      if (ref.alive && ref.loop < out.peers_per_loop.size()) {
+        ++out.peers_per_loop[ref.loop];
+      }
+    }
+  }
+  for (const auto& loop : loops_) {
+    out.write_queue_hwm =
+        std::max(out.write_queue_hwm,
+                 loop->write_queue_hwm.load(std::memory_order_relaxed));
+  }
+  out.frames_undecodable = frames_undecodable_.load();
+  out.streams_truncated = streams_truncated_.load();
+  out.handshakes_refused = handshakes_refused_.load();
+  return out;
+}
+
+void TcpTransport::drop_peer(Loop& loop, GridNodeId id, const char* why) {
   (void)why;  // kept for debugger visibility; peers drop silently otherwise
-  const auto it = peers_.find(id.value);
-  if (it == peers_.end() || it->second.failed) {
+  const auto it = loop.peers.find(id.value);
+  if (it == loop.peers.end() || it->second.failed) {
     return;
   }
   // Deferred teardown: drop_peer can fire while a caller still holds this
@@ -209,20 +384,94 @@ void TcpTransport::drop_peer(GridNodeId id, const char* why) {
     // violation, not truncation — keep the counters distinct.)
     ++streams_truncated_;
   }
+  loop.engine->remove(peer.socket.fd());
   peer.socket.close();
-  doomed_.push_back(id.value);
-}
-
-void TcpTransport::reap() {
-  for (const std::uint32_t raw : doomed_) {
-    if (peers_.erase(raw) > 0 && on_peer_disconnected) {
-      on_peer_disconnected(GridNodeId{raw});
+  loop.doomed.push_back(id.value);
+  {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    const auto ref = peer_index_.find(id.value);
+    if (ref != peer_index_.end()) {
+      ref->second.alive = false;
     }
   }
-  doomed_.clear();
 }
 
-void TcpTransport::dispatch(GridNodeId from, Peer& peer, BytesView payload) {
+void TcpTransport::reap(Loop& loop) {
+  for (const std::uint32_t raw : loop.doomed) {
+    if (loop.peers.erase(raw) > 0) {
+      {
+        std::lock_guard<std::mutex> lock(index_mutex_);
+        peer_index_.erase(raw);
+      }
+      Event event;
+      event.kind = Event::Kind::kDisconnected;
+      event.peer = GridNodeId{raw};
+      emit(std::move(event));
+    }
+  }
+  loop.doomed.clear();
+}
+
+void TcpTransport::emit(Event event) {
+  if (!threaded()) {
+    deliver(event);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    inbox_.push_back(std::move(event));
+  }
+  inbox_cv_.notify_one();
+}
+
+void TcpTransport::deliver(Event& event) {
+  switch (event.kind) {
+    case Event::Kind::kMessage:
+      if (local_ != nullptr) {
+        stats_.record(event.peer, local_->id(), event.bytes);
+        local_->on_message(event.peer, event.message, *this);
+      }
+      return;
+    case Event::Kind::kHello: {
+      {
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        registry_[event.peer.value].hello = event.hello;
+      }
+      if (on_peer_hello) {
+        on_peer_hello(event.peer, event.hello);
+      }
+      return;
+    }
+    case Event::Kind::kAuthenticated: {
+      {
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        registry_[event.peer.value].auth = event.info;
+      }
+      if (on_peer_authenticated) {
+        on_peer_authenticated(event.peer, event.info);
+      }
+      return;
+    }
+    case Event::Kind::kAuthRefused:
+      if (on_auth_refused) {
+        on_auth_refused(event.peer, event.status, event.info);
+      }
+      return;
+    case Event::Kind::kDisconnected: {
+      {
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        registry_.erase(event.peer.value);
+      }
+      if (on_peer_disconnected) {
+        on_peer_disconnected(event.peer);
+      }
+      return;
+    }
+  }
+}
+
+void TcpTransport::dispatch(Loop& loop, GridNodeId from, Peer& peer,
+                            BytesView payload) {
   Message message;
   try {
     message = decode_message(payload);
@@ -247,7 +496,7 @@ void TcpTransport::dispatch(GridNodeId from, Peer& peer, BytesView payload) {
     }
     if (identity_.has_value()) {
       queue_control_frame(
-          from, peer,
+          loop, from, peer,
           Message(auth::make_hello_proof(*identity_, challenge->nonce,
                                          kGridProtocol, agent_)));
     }
@@ -277,12 +526,16 @@ void TcpTransport::dispatch(GridNodeId from, Peer& peer, BytesView payload) {
     // Synthesize the Hello so hello-driven callers (and hello_of) see the
     // same shape on both handshake flavors.
     peer.hello = Hello{kGridProtocol, info.agent};
-    if (on_peer_authenticated) {
-      on_peer_authenticated(from, info);
-    }
-    if (on_peer_hello) {
-      on_peer_hello(from, *peer.hello);
-    }
+    Event authed;
+    authed.kind = Event::Kind::kAuthenticated;
+    authed.peer = from;
+    authed.info = info;
+    emit(std::move(authed));
+    Event greeted;
+    greeted.kind = Event::Kind::kHello;
+    greeted.peer = from;
+    greeted.hello = *peer.hello;
+    emit(std::move(greeted));
     return;
   }
   if (const auto* hello = std::get_if<Hello>(&message)) {
@@ -306,9 +559,11 @@ void TcpTransport::dispatch(GridNodeId from, Peer& peer, BytesView payload) {
     }
     peer.greeted = true;
     peer.hello = *hello;
-    if (on_peer_hello) {
-      on_peer_hello(from, *hello);
-    }
+    Event event;
+    event.kind = Event::Kind::kHello;
+    event.peer = from;
+    event.hello = *hello;
+    emit(std::move(event));
     return;
   }
   if (peer.accepted && !peer.greeted) {
@@ -319,27 +574,30 @@ void TcpTransport::dispatch(GridNodeId from, Peer& peer, BytesView payload) {
     throw FrameError("protocol frame before Hello");
   }
 
-  if (local_ != nullptr) {
-    stats_.record(from, local_->id(), payload.size());
-    local_->on_message(from, message, *this);
-  }
+  Event event;
+  event.kind = Event::Kind::kMessage;
+  event.peer = from;
+  event.bytes = payload.size();
+  event.message = std::move(message);
+  emit(std::move(event));
 }
 
-bool TcpTransport::service_read(GridNodeId id, Peer& peer) {
+bool TcpTransport::service_read(Loop& loop, GridNodeId id, Peer& peer) {
   bool progressed = false;
   // Fairness bound: one peer gets at most this many recv() rounds before
-  // control returns to poll(), so a flooding (or simply bulk-uploading)
+  // control returns to the engine, so a flooding (or simply bulk-uploading)
   // peer cannot starve the other connections, the accept queue, or the
-  // timer wheel. Whatever remains buffered re-arms POLLIN immediately.
+  // timer wheel. Whatever remains buffered re-arms readiness immediately
+  // (both backends are level-triggered for exactly this reason).
   for (int round = 0; !peer.failed && round < 16; ++round) {
     const IoResult result =
-        read_some(peer.socket, std::span<std::uint8_t>(read_scratch_));
+        read_some(peer.socket, std::span<std::uint8_t>(loop.read_scratch));
     if (result.status == IoStatus::kOk) {
       progressed = true;
       try {
-        peer.decoder.feed(BytesView(read_scratch_.data(), result.bytes));
+        peer.decoder.feed(BytesView(loop.read_scratch.data(), result.bytes));
         while (const auto frame = peer.decoder.next()) {
-          dispatch(id, peer, *frame);
+          dispatch(loop, id, peer, *frame);
           if (peer.failed) {
             break;  // a dispatch side effect (backpressure) doomed it
           }
@@ -347,7 +605,7 @@ bool TcpTransport::service_read(GridNodeId id, Peer& peer) {
       } catch (const FrameError&) {
         // Oversized length, pre-Hello traffic, or a protocol mismatch: the
         // stream is unusable.
-        drop_peer(id, "framing violation");
+        drop_peer(loop, id, "framing violation");
         return true;
       }
       continue;
@@ -356,13 +614,14 @@ bool TcpTransport::service_read(GridNodeId id, Peer& peer) {
       return progressed;
     }
     // Orderly EOF or a connection error.
-    drop_peer(id, result.status == IoStatus::kClosed ? "eof" : "io error");
+    drop_peer(loop, id,
+              result.status == IoStatus::kClosed ? "eof" : "io error");
     return true;
   }
   return progressed;
 }
 
-bool TcpTransport::service_write(GridNodeId id, Peer& peer) {
+bool TcpTransport::service_write(Loop& loop, GridNodeId id, Peer& peer) {
   bool progressed = false;
   while (!peer.failed && peer.write_offset < peer.write_buffer.size()) {
     const IoResult result = write_some(
@@ -382,7 +641,7 @@ bool TcpTransport::service_write(GridNodeId id, Peer& peer) {
     // EPIPE/ECONNRESET and friends: the connection is dead — drop it here
     // rather than waiting for the read path to notice (close_all only
     // services writes, so it depends on this branch to stop draining).
-    drop_peer(id, "write error");
+    drop_peer(loop, id, "write error");
     return true;
   }
   if (peer.write_offset > 0) {
@@ -393,6 +652,20 @@ bool TcpTransport::service_write(GridNodeId id, Peer& peer) {
     peer.write_offset = 0;
   }
   return progressed;
+}
+
+void TcpTransport::sync_interest(Loop& loop, GridNodeId id, Peer& peer) {
+  if (peer.failed || !peer.socket.valid()) {
+    return;
+  }
+  const Interest desired = peer.write_offset < peer.write_buffer.size()
+                               ? Interest::kReadWrite
+                               : Interest::kRead;
+  if (desired == peer.armed) {
+    return;
+  }
+  loop.engine->modify(peer.socket.fd(), id.value, desired);
+  peer.armed = desired;
 }
 
 bool TcpTransport::pump_local_flush() {
@@ -407,77 +680,63 @@ bool TcpTransport::pump_local_flush() {
 }
 
 void TcpTransport::arm_quiescence(std::uint64_t now) {
-  if (quiescence_timer_.has_value()) {
-    wheel_.cancel(*quiescence_timer_);
+  Loop& loop = *loops_[0];
+  if (loop.quiescence_timer.has_value()) {
+    loop.wheel.cancel(*loop.quiescence_timer);
   }
-  quiescence_timer_ = wheel_.schedule(now, options_.quiescence_timeout_ms);
+  loop.quiescence_timer =
+      loop.wheel.schedule(now, options_.quiescence_timeout_ms);
 }
 
 void TcpTransport::run(const std::function<bool()>& done) {
-  arm_quiescence(now_ms());
-  std::vector<pollfd> fds;
-  std::vector<std::uint32_t> fd_peers;
+  if (threaded()) {
+    run_threaded(done);
+  } else {
+    run_single(done);
+  }
+}
 
+void TcpTransport::run_single(const std::function<bool()>& done) {
+  Loop& loop = *loops_[0];
+  arm_quiescence(now_ms());
   for (;;) {
     // Reap first so a disconnect observed last round is visible to the
     // predicate now — a gridworker waiting on its supervisor's EOF must
-    // not sleep one extra poll timeout.
-    reap();
+    // not sleep one extra wait timeout.
+    reap(loop);
     if (done()) {
       break;
-    }
-    fds.clear();
-    fd_peers.clear();
-    if (listener_.valid()) {
-      fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
-      fd_peers.push_back(UINT32_MAX);
-    }
-    for (auto& [id, peer] : peers_) {
-      if (peer.failed) {
-        continue;
-      }
-      short events = POLLIN;
-      if (peer.write_offset < peer.write_buffer.size()) {
-        events |= POLLOUT;
-      }
-      fds.push_back(pollfd{peer.socket.fd(), events, 0});
-      fd_peers.push_back(id);
     }
 
     // Sleep until I/O or the next timer; the wheel's earliest deadline caps
     // the wait so quiescence can't be missed.
     const std::uint64_t now_before = now_ms();
     std::uint64_t timeout = options_.tick_ms * 10;
-    if (const auto deadline = wheel_.next_deadline_ms()) {
+    if (const auto deadline = loop.wheel.next_deadline_ms()) {
       timeout = *deadline > now_before ? *deadline - now_before : 0;
     }
-    const int ready = ::poll(fds.data(), fds.size(),
-                             static_cast<int>(std::min<std::uint64_t>(
-                                 timeout, 1000)));
-    if (ready < 0 && errno != EINTR) {
-      throw SocketError(concat("poll: ", std::strerror(errno)));
-    }
+    loop.engine->wait(
+        static_cast<int>(std::min<std::uint64_t>(timeout, 1000)),
+        loop.ready_scratch);
 
     bool progressed = false;
-    for (std::size_t i = 0; i < fds.size(); ++i) {
-      if (fds[i].revents == 0) {
-        continue;
-      }
-      if (fd_peers[i] == UINT32_MAX) {
-        accept_pending();
+    for (const ReadyEvent& event : loop.ready_scratch) {
+      if (event.token == kListenerToken) {
+        accept_pending(loop);
         progressed = true;
         continue;
       }
-      const GridNodeId id{fd_peers[i]};
-      const auto it = peers_.find(id.value);
-      if (it == peers_.end() || it->second.failed) {
+      const GridNodeId id{static_cast<std::uint32_t>(event.token)};
+      const auto it = loop.peers.find(id.value);
+      if (it == loop.peers.end() || it->second.failed) {
         continue;  // dropped earlier in this round
       }
-      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-        progressed |= service_read(id, it->second);
+      if (event.readable || event.error) {
+        progressed |= service_read(loop, id, it->second);
       }
-      if (!it->second.failed && (fds[i].revents & POLLOUT) != 0) {
-        progressed |= service_write(id, it->second);
+      if (!it->second.failed && event.writable) {
+        progressed |= service_write(loop, id, it->second);
+        sync_interest(loop, id, it->second);
       }
     }
 
@@ -488,11 +747,11 @@ void TcpTransport::run(const std::function<bool()>& done) {
       arm_quiescence(now);
       continue;
     }
-    fired_scratch_.clear();
-    wheel_.advance(now, fired_scratch_);
-    for (const TimerWheel::TimerId id : fired_scratch_) {
-      if (quiescence_timer_ == id) {
-        quiescence_timer_.reset();
+    loop.fired_scratch.clear();
+    loop.wheel.advance(now, loop.fired_scratch);
+    for (const TimerWheel::TimerId timer : loop.fired_scratch) {
+      if (loop.quiescence_timer == timer) {
+        loop.quiescence_timer.reset();
         // The grid went quiet for a full timeout: same contract as
         // SimTransport's quiescence — flush first, then the timeout hook.
         pump_local_flush();
@@ -505,43 +764,294 @@ void TcpTransport::run(const std::function<bool()>& done) {
   }
 }
 
-void TcpTransport::close_all(std::uint64_t drain_timeout_ms) {
-  const std::uint64_t deadline = now_ms() + drain_timeout_ms;
-  std::vector<pollfd> fds;
-  std::vector<std::uint32_t> fd_peers;
+void TcpTransport::run_threaded(const std::function<bool()>& done) {
+  start_threads();
+  const auto quiescence =
+      std::chrono::milliseconds(options_.quiescence_timeout_ms);
+  auto deadline = std::chrono::steady_clock::now() + quiescence;
+  std::vector<Event> batch;
   for (;;) {
-    reap();
-    fds.clear();
-    fd_peers.clear();
-    for (auto& [id, peer] : peers_) {
-      if (peer.failed) {
-        continue;
-      }
-      if (peer.write_offset < peer.write_buffer.size()) {
-        fds.push_back(pollfd{peer.socket.fd(), POLLOUT, 0});
-        fd_peers.push_back(id);
-      }
-    }
-    if (fds.empty() || now_ms() >= deadline) {
+    if (done()) {
       break;
     }
-    const int ready = ::poll(fds.data(), fds.size(), 50);
-    if (ready < 0 && errno != EINTR) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(inbox_mutex_);
+      inbox_cv_.wait_until(lock, deadline, [&] { return !inbox_.empty(); });
+      while (!inbox_.empty()) {
+        batch.push_back(std::move(inbox_.front()));
+        inbox_.pop_front();
+      }
+    }
+    if (!batch.empty()) {
+      for (Event& event : batch) {
+        deliver(event);
+      }
+      pump_local_flush();
+      deadline = std::chrono::steady_clock::now() + quiescence;
+      continue;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      // Quiet for a full timeout across every loop: flush, then the
+      // timeout hook — the same contract the single-loop wheel drives.
+      pump_local_flush();
+      if (local_ != nullptr) {
+        local_->on_quiescent(*this);
+      }
+      deadline = std::chrono::steady_clock::now() + quiescence;
+    }
+  }
+}
+
+void TcpTransport::submit(Loop& loop, std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(loop.tasks_mutex);
+    loop.tasks.push_back(std::move(task));
+  }
+  poke(loop.wake_write);
+}
+
+void TcpTransport::start_threads() {
+  if (threads_started_) {
+    return;
+  }
+  stop_ = false;
+  for (auto& loop_ptr : loops_) {
+    Loop& loop = *loop_ptr;
+    auto pipe = make_wake_pipe();
+    loop.wake_read = std::move(pipe.first);
+    loop.wake_write = std::move(pipe.second);
+    loop.engine->add(loop.wake_read.fd(), kWakeToken, Interest::kRead);
+    loop.thread = std::thread([this, &loop] { loop_thread(loop); });
+  }
+  threads_started_ = true;
+}
+
+void TcpTransport::stop_threads() {
+  if (!threads_started_) {
+    return;
+  }
+  stop_ = true;
+  for (auto& loop : loops_) {
+    poke(loop->wake_write);
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) {
+      loop->thread.join();
+    }
+  }
+  for (auto& loop : loops_) {
+    loop->engine->remove(loop->wake_read.fd());
+    loop->wake_read.close();
+    loop->wake_write.close();
+    loop->thread = std::thread();
+  }
+  threads_started_ = false;
+  stop_ = false;
+}
+
+void TcpTransport::loop_thread(Loop& loop) {
+  std::vector<std::function<void()>> tasks;
+  try {
+    for (;;) {
+      tasks.clear();
+      {
+        std::lock_guard<std::mutex> lock(loop.tasks_mutex);
+        tasks.swap(loop.tasks);
+      }
+      for (auto& task : tasks) {
+        task();
+      }
+      reap(loop);
+      if (stop_.load()) {
+        break;
+      }
+
+      int timeout = -1;
+      if (loop.wheel.armed()) {
+        const std::uint64_t now = now_ms();
+        std::uint64_t wait = 0;
+        if (const auto deadline = loop.wheel.next_deadline_ms()) {
+          wait = *deadline > now ? *deadline - now : 0;
+        }
+        timeout = static_cast<int>(std::min<std::uint64_t>(wait, 1000));
+      }
+      loop.engine->wait(timeout, loop.ready_scratch);
+
+      for (const ReadyEvent& event : loop.ready_scratch) {
+        if (event.token == kWakeToken) {
+          drain_wake_pipe(loop.wake_read);
+          continue;
+        }
+        if (event.token == kListenerToken) {
+          accept_pending(loop);
+          continue;
+        }
+        const GridNodeId id{static_cast<std::uint32_t>(event.token)};
+        const auto it = loop.peers.find(id.value);
+        if (it == loop.peers.end() || it->second.failed) {
+          continue;
+        }
+        if (event.readable || event.error) {
+          service_read(loop, id, it->second);
+        }
+        if (!it->second.failed && event.writable) {
+          service_write(loop, id, it->second);
+          sync_interest(loop, id, it->second);
+        }
+      }
+
+      if (loop.wheel.armed()) {
+        loop.fired_scratch.clear();
+        loop.wheel.advance(now_ms(), loop.fired_scratch);
+      }
+    }
+  } catch (const std::exception&) {
+    // A catastrophic loop failure (engine syscall error) downs this loop;
+    // its peers go quiet and the protocol layer times them out through
+    // on_quiescent. The surviving loops keep the grid up.
+  }
+}
+
+void TcpTransport::drain_and_close(Loop& loop, std::uint64_t deadline_ms) {
+  reap(loop);
+  // Stop accepting, and demote every peer to write-only interest so the
+  // wait below wakes exactly when the kernel can take more bytes — readable
+  // peers must not busy-wake a loop that is only draining.
+  if (loop.listener.valid()) {
+    loop.engine->remove(loop.listener.fd());
+  }
+  for (auto& [id, peer] : loop.peers) {
+    if (peer.failed || !peer.socket.valid()) {
+      continue;
+    }
+    if (peer.write_offset < peer.write_buffer.size()) {
+      loop.engine->modify(peer.socket.fd(), id, Interest::kWrite);
+      peer.armed = Interest::kWrite;
+    } else {
+      loop.engine->remove(peer.socket.fd());
+      peer.armed = Interest::kNone;
+    }
+  }
+  for (;;) {
+    reap(loop);
+    bool pending = false;
+    for (const auto& [id, peer] : loop.peers) {
+      if (!peer.failed && peer.write_offset < peer.write_buffer.size()) {
+        pending = true;
+        break;
+      }
+    }
+    const std::uint64_t now = now_ms();
+    if (!pending || now >= deadline_ms) {
       break;
     }
-    for (std::size_t i = 0; i < fds.size(); ++i) {
-      if ((fds[i].revents & POLLOUT) == 0) {
+    // The sleep is bounded by the real drain deadline (and any armed
+    // timer), not a constant interval: an idle drain sleeps until a socket
+    // turns writable, a near-due deadline is honored on time.
+    std::uint64_t timeout = deadline_ms - now;
+    if (loop.wheel.armed()) {
+      if (const auto wheel_deadline = loop.wheel.next_deadline_ms()) {
+        timeout = std::min(
+            timeout, *wheel_deadline > now ? *wheel_deadline - now : 0);
+      }
+    }
+    loop.engine->wait(
+        static_cast<int>(std::min<std::uint64_t>(
+            timeout,
+            static_cast<std::uint64_t>(std::numeric_limits<int>::max()))),
+        loop.ready_scratch);
+    for (const ReadyEvent& event : loop.ready_scratch) {
+      if (event.token == kWakeToken) {
+        drain_wake_pipe(loop.wake_read);
         continue;
       }
-      const auto it = peers_.find(fd_peers[i]);
-      if (it != peers_.end() && !it->second.failed) {
-        service_write(GridNodeId{fd_peers[i]}, it->second);
+      if (event.token == kListenerToken) {
+        continue;  // already deregistered; stale report
+      }
+      const GridNodeId id{static_cast<std::uint32_t>(event.token)};
+      const auto it = loop.peers.find(id.value);
+      if (it == loop.peers.end() || it->second.failed) {
+        continue;
+      }
+      if (event.writable || event.error) {
+        service_write(loop, id, it->second);
+        if (!it->second.failed &&
+            it->second.write_offset >= it->second.write_buffer.size()) {
+          loop.engine->remove(it->second.socket.fd());
+          it->second.armed = Interest::kNone;
+        }
       }
     }
   }
-  peers_.clear();
-  doomed_.clear();
-  listener_.close();
+  // Teardown: whatever didn't drain is abandoned, silently (close_all is
+  // the transport's funeral, not a disconnect).
+  {
+    std::lock_guard<std::mutex> index_lock(index_mutex_);
+    std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+    for (const auto& [id, peer] : loop.peers) {
+      peer_index_.erase(id);
+      registry_.erase(id);
+    }
+  }
+  for (auto& [id, peer] : loop.peers) {
+    if (!peer.failed && peer.socket.valid()) {
+      loop.engine->remove(peer.socket.fd());
+    }
+  }
+  loop.peers.clear();
+  loop.doomed.clear();
+  loop.listener.close();
+}
+
+void TcpTransport::close_all(std::uint64_t drain_timeout_ms) {
+  const std::uint64_t deadline = now_ms() + drain_timeout_ms;
+  if (!threaded()) {
+    drain_and_close(*loops_[0], deadline);
+    return;
+  }
+  if (!threads_started_) {
+    // Loops never ran: nothing is registered with the kernel beyond what
+    // RAII tears down. Drop parked tasks (their shared sockets close) and
+    // local state.
+    for (auto& loop : loops_) {
+      {
+        std::lock_guard<std::mutex> lock(loop->tasks_mutex);
+        loop->tasks.clear();
+      }
+      loop->peers.clear();
+      loop->doomed.clear();
+      loop->listener.close();
+    }
+    std::lock_guard<std::mutex> index_lock(index_mutex_);
+    std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+    peer_index_.clear();
+    registry_.clear();
+    return;
+  }
+  // Each loop drains its own peers on its own thread; wait for all of them
+  // (with a slack bound in case a loop died), then stop the threads.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t done_count = 0;
+  for (auto& loop_ptr : loops_) {
+    Loop& loop = *loop_ptr;
+    submit(loop, [this, &loop, deadline, &done_mutex, &done_cv,
+                  &done_count] {
+      drain_and_close(loop, deadline);
+      {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        ++done_count;
+      }
+      done_cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait_for(lock, std::chrono::milliseconds(drain_timeout_ms + 1000),
+                     [&] { return done_count == loops_.size(); });
+  }
+  stop_threads();
 }
 
 }  // namespace ugc::net

@@ -1,24 +1,53 @@
 #pragma once
 
 // Asynchronous TCP implementation of the Transport interface (see
-// net/frame.h for the src/net layering note): a poll()-driven event loop
-// over non-blocking sockets, shipping each wire-v2 encoded Message as one
-// 4-byte length-prefixed frame. This is the substrate the real executables
-// (apps/gridd, apps/gridworker) run the unchanged supervisor/participant
-// protocol over.
+// net/frame.h for the src/net layering note): readiness-driven event loops
+// (net/event_engine.h — epoll where available, poll() as the portable
+// fallback) over non-blocking sockets, shipping each wire-v2 encoded
+// Message as one 4-byte length-prefixed frame. This is the substrate the
+// real executables (apps/gridd, apps/gridworker, apps/gridload) run the
+// unchanged supervisor/participant protocol over.
+//
+// Threading model (the contract grid/transport.h documents from the
+// GridNode side):
+//
+//   io_threads == 1 (default) — everything runs on the thread inside
+//     run(): accepts, reads, writes, timers, and every callback. The
+//     historical single-loop behavior, byte-for-byte.
+//   io_threads == N — N event loops, each on its own thread, each owning a
+//     disjoint set of peers: a connection is accepted, read, written, and
+//     reaped on exactly one loop, so the frame hot path (recv → decode →
+//     encode → send) shares no state across loops and takes no cross-loop
+//     lock. Accepts shard via SO_REUSEPORT (one listener per loop, the
+//     kernel balances) with an accept-and-dispatch fallback. Decoded
+//     protocol messages and peer lifecycle events cross one seam — a
+//     mailbox drained by the thread inside run() — so GridNode callbacks
+//     still all fire on that one protocol thread, and the supervisor's
+//     parallel session pump (fed via flush) fans the verification work
+//     back out itself.
+//
+// send() may be called from the protocol thread (inside a GridNode
+// callback) or from the owning thread before/after run(); it must not be
+// called from arbitrary threads concurrently.
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "auth/handshake.h"
 #include "common/rng.h"
 #include "grid/transport.h"
+#include "net/event_engine.h"
 #include "net/frame.h"
 #include "net/socket.h"
 #include "net/timer_wheel.h"
@@ -39,12 +68,28 @@ struct TcpTransportOptions {
   std::uint64_t quiescence_timeout_ms = 1000;
   // Timer-wheel granularity.
   std::uint64_t tick_ms = 10;
+  // Event loops. 1 = the classic inline loop on the run() thread; N > 1 =
+  // N loop threads with per-loop peer ownership (see the header note).
+  unsigned io_threads = 1;
+  // Readiness backend for every loop (kAuto = epoll where supported).
+  EngineBackend engine = EngineBackend::kAuto;
+  // Multi-loop accept sharding: per-loop SO_REUSEPORT listeners when true
+  // (and supported); false forces the accept-and-dispatch fallback, where
+  // loop 0 accepts and hands connections round-robin to the other loops.
+  bool sharded_accept = true;
+  // Listen backlog: a thousand workers racing one gridd must queue, not
+  // bounce (the kernel clamps to somaxconn).
+  int listen_backlog = 1024;
 };
 
 // Acceptor-side handshake policy for require_auth().
 struct AuthOptions {
   // Reputation hook consulted after a proof verifies; a null function bans
-  // nobody. Called from inside run().
+  // nobody. With io_threads == 1 it is called from inside run(); in
+  // multi-loop mode it is called from the I/O loop threads, so it must be
+  // thread-safe if identities can authenticate while the protocol node is
+  // mutating the reputation store (gridd authenticates its whole roster
+  // before the supervisor starts, so a plain store is fine there).
   auth::BanCheck is_banned;
   // Challenge-nonce RNG seed; 0 (the default) seeds from entropy. Fixing it
   // makes handshakes reproducible — for tests only, since predictable
@@ -52,12 +97,27 @@ struct AuthOptions {
   std::uint64_t nonce_seed = 0;
 };
 
+// I/O-layer counters (distinct from Transport::stats(), which meters
+// protocol traffic identically across transports). Everything a load run
+// needs to attribute a disconnect or a stall: which loop owned how many
+// fds, how deep write queues got before draining, and what was refused or
+// undecodable.
+struct TcpIoStats {
+  std::string engine;                       // backend actually in use
+  unsigned io_loops = 1;
+  std::vector<std::size_t> peers_per_loop;  // live peers owned by each loop
+  std::size_t write_queue_hwm = 0;          // bytes, max over all peers/loops
+  std::uint64_t frames_undecodable = 0;
+  std::uint64_t streams_truncated = 0;
+  std::uint64_t handshakes_refused = 0;
+};
+
 // One TcpTransport hosts exactly one local protocol node (gridd's
 // SupervisorNode, gridworker's ParticipantNode) and any number of remote
 // peers, each a framed TCP connection addressed by its GridNodeId — a star,
 // which is exactly the supervisor/participant topology (a broker would run
-// its own transport). Single-threaded: every callback fires on the thread
-// inside run().
+// its own transport). Every GridNode callback fires on the thread inside
+// run(), whatever io_threads is.
 class TcpTransport final : public Transport {
  public:
   explicit TcpTransport(TcpTransportOptions options = {});
@@ -69,9 +129,16 @@ class TcpTransport final : public Transport {
   // itself consumes).
   GridNodeId add_local(GridNode& node);
 
+  // Detaches the current local node so a successor can be added — the seam
+  // gridload's repeated supervisor waves run through. Call only between
+  // run() invocations; frames arriving while no node is attached are
+  // dropped, exactly as before add_local.
+  void clear_local();
+
   // Server side: bind + listen; every accepted connection becomes a peer.
   // An accepted peer must introduce itself with a Hello frame (protocol ==
-  // kGridProtocol) before any protocol traffic, or it is dropped.
+  // kGridProtocol) before any protocol traffic, or it is dropped. Call
+  // before run().
   void listen(const std::string& host, std::uint16_t port);
 
   // Upgrades the acceptor to the authenticated handshake (auth/handshake.h):
@@ -87,7 +154,7 @@ class TcpTransport final : public Transport {
   // is ignored and an auth-requiring server will refuse us.
   void use_identity(const auth::WorkerIdentity& identity, std::string agent);
   std::uint16_t port() const;
-  bool listening() const { return listener_.valid(); }
+  bool listening() const;
 
   // Client side: connect out; the remote end becomes a peer (no Hello is
   // expected back — the acceptor authenticates, the connector trusts).
@@ -116,15 +183,17 @@ class TcpTransport final : public Transport {
                      const auth::AuthInfo& info)>
       on_auth_refused;
 
-  // Drives the event loop until `done()` returns true: polls sockets,
-  // accepts, reads frames and dispatches them to the local node, drains
-  // write queues, pumps GridNode::flush whenever delivery goes quiet, and
-  // fires GridNode::on_quiescent after quiescence_timeout_ms of silence.
-  // Re-enterable: call again with a new predicate to continue.
+  // Drives the protocol until `done()` returns true: accepts, reads frames
+  // and dispatches them to the local node, drains write queues, pumps
+  // GridNode::flush whenever delivery goes quiet, and fires
+  // GridNode::on_quiescent after quiescence_timeout_ms of silence. With
+  // io_threads == 1 this thread also performs all I/O; otherwise the loop
+  // threads do and this thread drains their mailbox. Re-enterable: call
+  // again with a new predicate to continue.
   void run(const std::function<bool()>& done);
 
   // Drains pending writes (bounded by `drain_timeout_ms`), then closes
-  // every peer and the listener.
+  // every peer and the listener, and stops any loop threads.
   void close_all(std::uint64_t drain_timeout_ms = 2000);
 
   // Peers that are still connected, in id order.
@@ -141,6 +210,10 @@ class TcpTransport final : public Transport {
   // Connections refused by the authenticated handshake.
   std::uint64_t handshakes_refused() const { return handshakes_refused_; }
 
+  // Snapshot of the I/O-layer counters (see TcpIoStats).
+  TcpIoStats io_stats() const;
+  unsigned io_loops() const { return static_cast<unsigned>(loops_.size()); }
+
  private:
   struct Peer {
     Socket socket;
@@ -150,55 +223,158 @@ class TcpTransport final : public Transport {
     bool accepted = false;         // true: inbound (must Hello first)
     bool greeted = false;          // Hello seen (accepted peers)
     bool failed = false;           // doomed; erased at the next reap()
+    Interest armed = Interest::kNone;  // current engine registration
     std::optional<Hello> hello;
     Bytes nonce;                   // outstanding challenge (auth acceptor)
     std::optional<auth::AuthInfo> auth;  // proven identity, once greeted
   };
 
+  // One event loop: engine + wheel + the peers it owns. With io_threads ==
+  // 1 there is exactly one, driven inline by run(); otherwise each runs on
+  // its own thread and owns its slice of the fd space.
+  struct Loop {
+    std::size_t index = 0;
+    std::unique_ptr<EventEngine> engine;
+    TimerWheel wheel;
+    Socket listener;
+    std::map<std::uint32_t, Peer> peers;
+    std::vector<std::uint32_t> doomed;
+    Bytes encode_scratch;
+    Bytes read_scratch;  // recv target, sized once, reused for every read
+    std::vector<ReadyEvent> ready_scratch;
+    std::vector<TimerWheel::TimerId> fired_scratch;
+    std::optional<TimerWheel::TimerId> quiescence_timer;  // single-loop only
+    std::atomic<std::size_t> write_queue_hwm{0};
+    // Cross-thread plumbing (multi-loop only): closures submitted by the
+    // protocol thread (sends, adopted connections), plus the wake pipe that
+    // interrupts a sleeping engine wait.
+    Socket wake_read;
+    Socket wake_write;
+    std::mutex tasks_mutex;
+    std::vector<std::function<void()>> tasks;
+    std::thread thread;
+
+    explicit Loop(TimerWheel wheel_in) : wheel(std::move(wheel_in)) {}
+  };
+
+  // A peer lifecycle or protocol event crossing the loop → protocol-thread
+  // mailbox (multi-loop mode); delivered inline in single-loop mode.
+  struct Event {
+    enum class Kind {
+      kMessage,
+      kHello,
+      kAuthenticated,
+      kAuthRefused,
+      kDisconnected,
+    };
+    Kind kind = Kind::kMessage;
+    GridNodeId peer{};
+    std::size_t bytes = 0;  // payload size (kMessage), for metering
+    Message message;
+    Hello hello;
+    auth::HandshakeStatus status = auth::HandshakeStatus::kOk;
+    auth::AuthInfo info;
+  };
+
+  bool threaded() const { return loops_.size() > 1; }
   std::uint64_t now_ms() const;
+  Loop& loop_for_new_connection();
+  void submit(Loop& loop, std::function<void()> task);
+  void start_threads();
+  void stop_threads();
+  void loop_thread(Loop& loop);
+  void run_single(const std::function<bool()>& done);
+  void run_threaded(const std::function<bool()>& done);
+  // Routes an event to the protocol thread: posted to the mailbox in
+  // threaded mode, delivered inline otherwise.
+  void emit(Event event);
+  void deliver(Event& event);
   void arm_quiescence(std::uint64_t now);
-  void accept_pending();
+  void accept_pending(Loop& loop);
+  // Installs a connection on `loop` (engine registration, auth challenge).
+  void adopt_connection(Loop& loop, std::uint32_t id, Socket socket,
+                        bool accepted);
   // Reads until would-block or the per-round fairness bound; decodes and
   // dispatches every complete frame. Returns true on any progress.
-  bool service_read(GridNodeId id, Peer& peer);
+  bool service_read(Loop& loop, GridNodeId id, Peer& peer);
   // Writes queued bytes until would-block. Returns true on any progress.
-  bool service_write(GridNodeId id, Peer& peer);
-  void dispatch(GridNodeId from, Peer& peer, BytesView payload);
+  bool service_write(Loop& loop, GridNodeId id, Peer& peer);
+  // Re-arms the engine registration to match the peer's pending writes.
+  void sync_interest(Loop& loop, GridNodeId id, Peer& peer);
+  void dispatch(Loop& loop, GridNodeId from, Peer& peer, BytesView payload);
+  // After bytes joined a peer's write queue: tracks the high-water mark,
+  // enforces the backpressure cap, writes opportunistically (most frames
+  // fit the socket buffer without waiting for a readiness round), and
+  // re-arms write interest. Loop-thread context (or single-loop).
+  void finish_enqueue(Loop& loop, GridNodeId to, Peer& peer);
   // Encodes, frames, and queues a handshake control frame for `peer`,
   // bypassing NetworkStats (the meter counts scheme traffic, comparable
   // across transports; the handshake is TcpTransport plumbing).
-  void queue_control_frame(GridNodeId to, Peer& peer, const Message& message);
+  void queue_control_frame(Loop& loop, GridNodeId to, Peer& peer,
+                           const Message& message);
   // Counts the refusal, reports it, and poisons the stream.
   [[noreturn]] void refuse_handshake(GridNodeId from,
                                      auth::HandshakeStatus status,
                                      const auth::AuthInfo& info);
   // Marks the peer dead and closes its socket; safe mid-iteration (the map
   // entry survives until reap()).
-  void drop_peer(GridNodeId id, const char* why);
-  // Erases doomed peers and fires on_peer_disconnected.
-  void reap();
+  void drop_peer(Loop& loop, GridNodeId id, const char* why);
+  // Erases doomed peers and emits disconnect events.
+  void reap(Loop& loop);
   bool pump_local_flush();
+  // Bounded write-drain used by close_all: waits on writability alone (the
+  // drain deadline caps the sleep — no constant-interval spinning), then
+  // closes everything the loop owns.
+  void drain_and_close(Loop& loop, std::uint64_t deadline_ms);
 
   TcpTransportOptions options_;
-  Socket listener_;
+  std::vector<std::unique_ptr<Loop>> loops_;
   GridNode* local_ = nullptr;
-  std::map<std::uint32_t, Peer> peers_;
-  std::vector<std::uint32_t> doomed_;
-  std::uint32_t next_id_ = 0;
+  std::atomic<std::uint32_t> next_id_{0};
   NetworkStats stats_;
-  TimerWheel wheel_;
-  std::optional<TimerWheel::TimerId> quiescence_timer_;
   std::chrono::steady_clock::time_point epoch_;
-  Bytes encode_scratch_;
-  Bytes read_scratch_;  // recv target, sized once, reused for every read
-  std::vector<TimerWheel::TimerId> fired_scratch_;
-  std::uint64_t frames_undecodable_ = 0;
-  std::uint64_t streams_truncated_ = 0;
-  std::uint64_t handshakes_refused_ = 0;
-  std::optional<AuthOptions> auth_;       // acceptor: challenge + verify
-  std::optional<Rng> nonce_rng_;          // challenge-nonce stream
+  Bytes send_scratch_;  // protocol-thread encode buffer (threaded sends)
+
+  // Peer id → owning loop + liveness. The only cross-loop index; touched at
+  // connection setup/teardown and by sends, never per frame.
+  struct PeerRef {
+    std::size_t loop = 0;
+    bool alive = true;
+  };
+  mutable std::mutex index_mutex_;
+  std::map<std::uint32_t, PeerRef> peer_index_;
+
+  // Protocol-thread registry behind hello_of/auth_of (loop threads own the
+  // Peer structs, so lookups must not reach into them).
+  struct PeerInfo {
+    std::optional<Hello> hello;
+    std::optional<auth::AuthInfo> auth;
+  };
+  mutable std::mutex registry_mutex_;
+  std::map<std::uint32_t, PeerInfo> registry_;
+
+  // Loop → protocol-thread mailbox (threaded mode).
+  std::mutex inbox_mutex_;
+  std::condition_variable inbox_cv_;
+  std::deque<Event> inbox_;
+
+  std::atomic<bool> stop_{false};
+  bool threads_started_ = false;
+
+  std::atomic<std::uint64_t> frames_undecodable_{0};
+  std::atomic<std::uint64_t> streams_truncated_{0};
+  std::atomic<std::uint64_t> handshakes_refused_{0};
+
+  std::optional<AuthOptions> auth_;  // acceptor: challenge + verify
+  std::mutex nonce_mutex_;           // loops mint challenge nonces
+  std::optional<Rng> nonce_rng_;     // challenge-nonce stream
   std::optional<auth::WorkerIdentity> identity_;  // connector: answer
   std::string agent_;
+  std::size_t next_connect_loop_ = 0;
+  // Accept-and-dispatch fallback (multi-loop without SO_REUSEPORT): loop 0
+  // accepts and hands connections round-robin to the other loops.
+  bool dispatch_accept_ = false;
+  std::size_t next_accept_loop_ = 0;
 };
 
 }  // namespace ugc::net

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <map>
 #include <optional>
 #include <string>
@@ -30,6 +31,13 @@ net::TcpTransportOptions fast_options() {
   // Everything is loopback: a tight quiescence timeout keeps the abort
   // paths reachable in test time without risking premature retries.
   options.quiescence_timeout_ms = 300;
+  // The whole suite runs once per event-engine backend: the default run
+  // exercises kAuto (epoll on Linux), and CTest re-runs it with
+  // UGC_NET_ENGINE=poll (see CMakeLists) so every transport behavior here
+  // is proven backend-independent.
+  if (const char* engine = std::getenv("UGC_NET_ENGINE")) {
+    options.engine = net::parse_engine_backend(engine);
+  }
   return options;
 }
 

@@ -9,11 +9,16 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "net/event_engine.h"
 #include "net/frame.h"
+#include "net/socket.h"
 #include "prop.h"
 #include "wire/codec.h"
 #include "wire/messages.h"
@@ -206,6 +211,84 @@ TEST(prop_net_frame, BitFlipsNeverCrashTheNetDecodePath) {
         }
         return {};
       });
+}
+
+// The same split-invariance property, run through a real kernel pipe
+// serviced by each event-engine backend: random chunks go in the write
+// end, a readiness-driven loop pulls whatever the engine reports readable
+// and feeds the decoder. This is the exact byte path a TcpTransport loop
+// runs, so both backends must reassemble every stream identically.
+TEST(prop_net_frame, AnySplitReassemblesThroughEitherEngineBackend) {
+  std::vector<net::EngineBackend> backends{net::EngineBackend::kPoll};
+  if (net::epoll_supported()) {
+    backends.push_back(net::EngineBackend::kEpoll);
+  }
+  for (const net::EngineBackend backend : backends) {
+    prop_check(
+        stream_property(concat("engine-driven reassembly (",
+                               net::to_string(backend), ")")),
+        [backend](const StreamCase& c) -> Failure {
+          const auto engine = net::make_event_engine(backend);
+          auto [read_end, write_end] = net::make_wake_pipe();
+          engine->add(read_end.fd(), 1, net::Interest::kRead);
+
+          Rng rng(c.seed);
+          FrameDecoder decoder;
+          std::vector<Bytes> frames;
+          Bytes scratch(4096);
+          std::vector<net::ReadyEvent> ready;
+          std::size_t cursor = 0;
+          for (;;) {
+            if (cursor < c.stream.size()) {
+              const std::size_t chunk =
+                  1 + rng.uniform(
+                          std::min<std::size_t>(c.stream.size() - cursor, 17));
+              const ssize_t wrote = ::write(
+                  write_end.fd(), c.stream.data() + cursor, chunk);
+              if (wrote > 0) {
+                cursor += static_cast<std::size_t>(wrote);
+              }
+            }
+            engine->wait(0, ready);
+            for (const net::ReadyEvent& event : ready) {
+              if (!event.readable && !event.error) {
+                continue;
+              }
+              // A pipe, not a socket: plain read(), not read_some()/recv().
+              const ssize_t got =
+                  ::read(read_end.fd(), scratch.data(), scratch.size());
+              if (got <= 0) {
+                continue;
+              }
+              decoder.feed(
+                  BytesView(scratch.data(), static_cast<std::size_t>(got)));
+              while (const auto frame = decoder.next()) {
+                frames.emplace_back(frame->begin(), frame->end());
+              }
+            }
+            if (cursor >= c.stream.size() && ready.empty()) {
+              break;  // everything written and the pipe has gone quiet
+            }
+          }
+          if (frames.size() != c.payloads.size()) {
+            return concat(net::to_string(backend), ": decoded ",
+                          frames.size(), " frames, expected ",
+                          c.payloads.size());
+          }
+          for (std::size_t i = 0; i < frames.size(); ++i) {
+            if (frames[i] != c.payloads[i]) {
+              return concat(net::to_string(backend), ": frame ", i,
+                            " mismatch");
+            }
+          }
+          if (decoder.bytes_pending() != 0) {
+            return concat(net::to_string(backend), ": ",
+                          decoder.bytes_pending(),
+                          " bytes pending after a complete stream");
+          }
+          return {};
+        });
+  }
 }
 
 }  // namespace
