@@ -24,6 +24,7 @@
 //   wait
 
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <map>
 #include <optional>
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "apps/cli.h"
+#include "grid/chaos.h"
 #include "grid/supervisor_node.h"
 #include "net/tcp_transport.h"
 #include "store/durable_ledger.h"
@@ -59,6 +61,17 @@ int run_gridd(const cli::Flags& flags) {
   options.quiescence_timeout_ms = flags.u64("idle-timeout-ms");
   options.io_threads = static_cast<unsigned>(flags.u64("io-threads"));
   options.engine = net::parse_engine_backend(flags.str("engine"));
+  options.quiescence.adaptive = flags.u64("adaptive-idle") != 0;
+  options.quiescence.floor_ms = flags.u64("idle-floor-ms");
+  options.quiescence.ceiling_ms = flags.u64("idle-ceiling-ms");
+  options.shed_watermark = flags.u64("shed-watermark");
+  options.evict_stalled_after_ms = flags.u64("evict-after-ms");
+  const std::string chaos_level = flags.str("chaos");
+  if (chaos_level != "off") {
+    options.chaos = make_chaos_plan(chaos_level, flags.u64("chaos-seed"));
+    std::printf("gridd: chaos level=%s seed=%" PRIu64 "\n",
+                chaos_level.c_str(), options.chaos->seed);
+  }
   net::TcpTransport transport(options);
   net::AuthOptions auth_options;
   auth_options.is_banned = [&ledger](const auth::WorkerId& id) {
@@ -75,12 +88,36 @@ int run_gridd(const cli::Flags& flags) {
 
   // Registration: a connection becomes an assignment slot once its proof
   // verifies (the transport refuses bad proofs, banned identities, and
-  // anything pre-proof before this fires).
+  // anything pre-proof before this fires). After the grid starts, a proof
+  // from an already-registered durable identity is a reconnect: the slot
+  // re-aims at the fresh connection (SupervisorNode::replace_slot) so retry
+  // traffic reaches the surviving worker instead of the dead socket.
   const std::size_t worker_count = flags.u64("workers");
   std::vector<GridNodeId> slots;
   std::map<std::uint32_t, auth::AuthInfo> identities;
+  std::map<auth::WorkerId, std::size_t> slot_of;
+  SupervisorNode* supervisor_ptr = nullptr;
   transport.on_peer_authenticated = [&](GridNodeId peer,
                                         const auth::AuthInfo& info) {
+    if (supervisor_ptr != nullptr) {
+      const auto it = slot_of.find(info.worker_id);
+      if (it == slot_of.end()) {
+        std::printf("gridd: peer %u agent=%s id=%s arrived mid-run with no "
+                    "slot, ignoring\n",
+                    peer.value, info.agent.c_str(),
+                    info.worker_id.prefix().c_str());
+        std::fflush(stdout);
+        return;
+      }
+      supervisor_ptr->replace_slot(it->second, peer);
+      identities[peer.value] = info;
+      std::printf("gridd: worker %u reconnected agent=%s id=%s slot=%zu\n",
+                  peer.value, info.agent.c_str(),
+                  info.worker_id.prefix().c_str(), it->second);
+      std::fflush(stdout);
+      return;
+    }
+    slot_of[info.worker_id] = slots.size();
     slots.push_back(peer);
     identities[peer.value] = info;
     std::printf("gridd: worker %u registered agent=%s id=%s trust=%.2f "
@@ -125,6 +162,7 @@ int run_gridd(const cli::Flags& flags) {
   plan.max_task_retries = flags.u64("max-retries");
 
   SupervisorNode supervisor(plan, slots);
+  supervisor_ptr = &supervisor;
   transport.add_local(supervisor);
   supervisor.start(transport);
   transport.run([&] { return supervisor.done(); });
@@ -182,6 +220,7 @@ int run_gridd(const cli::Flags& flags) {
               " verification_evals=%" PRIu64 " bytes=%" PRIu64
               " refused=%" PRIu64 " engine=%s io_loops=%u "
               "write_queue_hwm=%zu undecodable=%" PRIu64 " truncated=%" PRIu64
+              " shed=%" PRIu64 " evicted=%" PRIu64 " idle_timeout_ms=%" PRIu64
               "\n",
               flags.str("scheme").c_str(), flags.str("workload").c_str(),
               accepted + rejected + aborted, accepted, rejected, aborted,
@@ -189,7 +228,14 @@ int run_gridd(const cli::Flags& flags) {
               supervisor.verification_evaluations(),
               transport.stats().total_bytes, io.handshakes_refused,
               io.engine.c_str(), io.io_loops, io.write_queue_hwm,
-              io.frames_undecodable, io.streams_truncated);
+              io.frames_undecodable, io.streams_truncated, io.frames_shed,
+              io.peers_evicted, io.quiescence_timeout_ms);
+  if (options.chaos.has_value()) {
+    std::printf("gridd: chaos accept_resets=%" PRIu64 " disconnects=%" PRIu64
+                " frames_delayed=%" PRIu64 " read_stalls=%" PRIu64 "\n",
+                io.chaos_accept_resets, io.chaos_disconnects,
+                io.chaos_frames_delayed, io.chaos_read_stalls);
+  }
   std::fflush(stdout);
 
   if (rejected > 0) {
@@ -204,6 +250,9 @@ int run_gridd(const cli::Flags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A worker vanishing mid-write must surface as EPIPE on the send path
+  // (counted, peer dropped), never as a process-killing signal.
+  std::signal(SIGPIPE, SIG_IGN);
   const std::map<std::string, std::string> spec{
       {"host", "127.0.0.1"},
       {"port", "0"},
@@ -218,6 +267,13 @@ int main(int argc, char** argv) {
       {"pump-threads", "1"},
       {"max-retries", "2"},
       {"idle-timeout-ms", "1000"},
+      {"adaptive-idle", "0"},
+      {"idle-floor-ms", "100"},
+      {"idle-ceiling-ms", "10000"},
+      {"shed-watermark", "0"},
+      {"evict-after-ms", "0"},
+      {"chaos", "off"},
+      {"chaos-seed", "1"},
       {"io-threads", "1"},
       {"engine", "auto"},
       {"state-dir", ""},

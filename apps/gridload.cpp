@@ -31,10 +31,14 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cmath>
+#include <condition_variable>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -46,6 +50,7 @@
 #include "auth/identity.h"
 #include "common/stopwatch.h"
 #include "core/cheating.h"
+#include "grid/chaos.h"
 #include "grid/participant_node.h"
 #include "grid/supervisor_node.h"
 #include "net/event_engine.h"
@@ -142,6 +147,21 @@ class WorkerArmy {
         deadline_hit_ = true;
         break;
       }
+      {
+        std::lock_guard<std::mutex> lock(progress_mutex_);
+        progress_.created = created;
+        progress_.live = live_;
+        progress_.verdict_latencies = latencies_ms_.size();
+        progress_.elapsed_s = clock.elapsed_seconds();
+        progress_.states.resize(conns_.size());
+        for (std::size_t i = 0; i < conns_.size(); ++i) {
+          const Conn& conn = *conns_[i];
+          progress_.states[i] = conn.done            ? 'd'
+                                : conn.node == nullptr ? 'c'
+                                : conn.verdicts_seen > 0 ? 'v'
+                                                         : 'l';
+        }
+      }
       engine->wait(created < config_.workers ? 0 : 200, ready);
       const double now_ms = clock.elapsed_seconds() * 1000.0;
       for (const net::ReadyEvent& event : ready) {
@@ -168,7 +188,8 @@ class WorkerArmy {
     // Whatever is still open at the deadline is abandoned.
     for (std::size_t i = 0; i < conns_.size(); ++i) {
       if (!conns_[i]->done) {
-        close_conn(*engine, static_cast<std::uint64_t>(i), *conns_[i]);
+        close_conn(*engine, static_cast<std::uint64_t>(i), *conns_[i],
+                   /*allow_retry=*/false);
       }
     }
   }
@@ -179,6 +200,47 @@ class WorkerArmy {
   std::size_t connect_failures() const { return connect_failures_; }
   bool deadline_hit() const { return deadline_hit_; }
   double connect_seconds() const { return connect_seconds_; }
+
+  // Thread-safe mid-run snapshot for the runtime watchdog: the army loop
+  // refreshes it once per round, so a hung run still shows its last known
+  // per-worker state. `states` is one byte per worker: 'c' connecting /
+  // failed, 'l' live without a verdict yet, 'v' live with >=1 verdict,
+  // 'd' done (connection closed).
+  struct Progress {
+    std::size_t created = 0;
+    std::size_t live = 0;
+    std::size_t verdict_latencies = 0;
+    double elapsed_s = 0.0;
+    std::string states;
+  };
+  Progress progress() const {
+    std::lock_guard<std::mutex> lock(progress_mutex_);
+    return progress_;
+  }
+  void dump_progress(FILE* out) const {
+    const Progress p = progress();
+    std::size_t live_idle = 0, live_verdict = 0, done = 0;
+    std::string stuck;
+    for (std::size_t i = 0; i < p.states.size(); ++i) {
+      switch (p.states[i]) {
+        case 'l':
+          ++live_idle;
+          if (stuck.size() < 120) {
+            stuck += concat(stuck.empty() ? "" : ",", i);
+          }
+          break;
+        case 'v': ++live_verdict; break;
+        case 'd': ++done; break;
+        default: break;
+      }
+    }
+    std::fprintf(out,
+                 "gridload: army created=%zu live=%zu done=%zu "
+                 "awaiting_first_verdict=%zu live_with_verdict=%zu "
+                 "latencies_recorded=%zu elapsed=%.1fs stuck_workers=[%s]\n",
+                 p.created, p.live, done, live_idle, live_verdict,
+                 p.verdict_latencies, p.elapsed_s, stuck.c_str());
+  }
 
  private:
   struct Conn {
@@ -193,6 +255,7 @@ class WorkerArmy {
     std::unique_ptr<WorkerLink> link;
     std::map<std::uint64_t, double> assign_ms;  // task -> assignment time
     std::size_t verdicts_seen = 0;
+    int reconnects_left = 3;
     bool done = false;
   };
 
@@ -226,13 +289,33 @@ class WorkerArmy {
     conns_.push_back(std::move(conn));
   }
 
-  void close_conn(net::EventEngine& engine, std::uint64_t /*token*/,
-                  Conn& conn) {
+  void close_conn(net::EventEngine& engine, std::uint64_t token,
+                  Conn& conn, bool allow_retry = true) {
     if (conn.done) {
       return;
     }
     engine.remove(conn.socket.fd());
     conn.socket.close();
+    // A cut before the work resolved is a fault (chaos accept reset or
+    // mid-stream disconnect), not the grid ending: come back under the
+    // same identity, like gridworker does. The supervisor side re-aims
+    // the slot at the fresh connection.
+    if (allow_retry && conn.reconnects_left > 0 &&
+        (conn.verdicts_seen == 0 || conn.node->active_tasks() > 0)) {
+      --conn.reconnects_left;
+      conn.node->on_crash();  // in-flight sessions died with the socket
+      conn.decoder = net::FrameDecoder();
+      conn.write_buffer.clear();
+      conn.write_offset = 0;
+      try {
+        conn.socket = net::tcp_connect(config_.host, config_.port);
+        engine.add(conn.socket.fd(), token, net::Interest::kRead);
+        conn.armed = net::Interest::kRead;
+        return;  // still live
+      } catch (const net::SocketError&) {
+        // Listener really is gone: fall through and finish the worker.
+      }
+    }
     conn.done = true;
     --live_;
     if (conn.verdicts_seen > 0) {
@@ -348,6 +431,63 @@ class WorkerArmy {
   std::vector<double> latencies_ms_;
   double connect_seconds_ = 0.0;
   bool deadline_hit_ = false;
+  mutable std::mutex progress_mutex_;
+  Progress progress_;
+};
+
+// CI hang guard: a detached timer that waits out --max-runtime-s, dumps the
+// current army's last-known per-worker state, and hard-exits non-zero.
+// _Exit (not abort/exception) because the point is a *bounded* failure: no
+// destructor or join can deadlock on whatever wedged the run.
+class RuntimeWatchdog {
+ public:
+  void start(std::uint64_t limit_s) {
+    if (limit_s == 0 || thread_.joinable()) {
+      return;
+    }
+    thread_ = std::thread([this, limit_s] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (cv_.wait_for(lock, std::chrono::seconds(limit_s),
+                       [this] { return done_; })) {
+        return;
+      }
+      std::fprintf(stderr,
+                   "gridload: WATCHDOG — still running after %" PRIu64
+                   " s (%s); dumping state and exiting\n",
+                   limit_s, context_.c_str());
+      if (army_ != nullptr) {
+        army_->dump_progress(stderr);
+      }
+      std::fflush(nullptr);
+      std::_Exit(cli::kExitIncomplete);
+    });
+  }
+
+  // Points the watchdog at the run currently in flight.
+  void observe(const WorkerArmy* army, std::string context) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    army_ = army;
+    context_ = std::move(context);
+  }
+
+  ~RuntimeWatchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  const WorkerArmy* army_ = nullptr;
+  std::string context_;
+  std::thread thread_;
 };
 
 double percentile(std::vector<double> sorted, double p) {
@@ -364,6 +504,8 @@ double percentile(std::vector<double> sorted, double p) {
 struct SweepConfig {
   net::EngineBackend engine;
   unsigned io_threads;
+  std::string chaos_level = "off";  // make_chaos_plan level for this run
+  bool adaptive_idle = false;
 };
 
 struct RunResult {
@@ -378,6 +520,10 @@ struct RunResult {
   std::vector<std::size_t> peers_per_loop;
   std::size_t write_queue_hwm = 0;
   std::uint64_t refused = 0, undecodable = 0, truncated = 0;
+  std::string chaos = "off";
+  std::uint64_t frames_shed = 0, peers_evicted = 0;
+  std::uint64_t chaos_disconnects = 0, chaos_resets = 0;
+  std::uint64_t idle_timeout_ms = 0;
   std::size_t connect_failures = 0;
   bool deadline_hit = false;
 };
@@ -390,21 +536,46 @@ struct RunResult {
 // the regime readiness-driven dispatch exists for.
 RunResult run_grid(const cli::Flags& flags, std::size_t workers,
                    std::size_t active, std::size_t cheaters,
-                   SweepConfig config) {
+                   SweepConfig config, RuntimeWatchdog* watchdog = nullptr) {
   net::TcpTransportOptions options;
   options.io_threads = config.io_threads;
   options.engine = config.engine;
   options.quiescence_timeout_ms = flags.u64("idle-timeout-ms");
+  options.shed_watermark = flags.u64("shed-watermark");
+  options.evict_stalled_after_ms = flags.u64("evict-after-ms");
+  if (config.chaos_level != "off") {
+    const std::uint64_t chaos_seed = flags.u64("chaos-seed");
+    options.chaos = make_chaos_plan(
+        config.chaos_level, chaos_seed != 0 ? chaos_seed : flags.u64("seed"));
+  }
+  if (config.adaptive_idle) {
+    options.quiescence.adaptive = true;
+  }
   net::TcpTransport transport(options);
   transport.require_auth({});  // no ban list: a load test bans nobody
   transport.listen("127.0.0.1", 0);
 
+  // Identity-keyed registration: an army worker that was cut (chaos accept
+  // reset / mid-stream disconnect) reconnects under the same durable id,
+  // and its slot must re-aim at the fresh connection instead of counting
+  // twice — exactly the gridd reconnect path.
   std::vector<GridNodeId> slots;
+  std::map<auth::WorkerId, std::size_t> slot_of;
   std::map<std::uint32_t, std::string> agents;
+  SupervisorNode* supervisor_ptr = nullptr;
   transport.on_peer_authenticated = [&](GridNodeId peer,
                                         const auth::AuthInfo& info) {
-    slots.push_back(peer);
     agents[peer.value] = info.agent;
+    if (const auto it = slot_of.find(info.worker_id); it != slot_of.end()) {
+      slots[it->second] = peer;
+      // Idle workers (slot >= active) hold no supervisor assignment slot.
+      if (supervisor_ptr != nullptr && it->second < active) {
+        supervisor_ptr->replace_slot(it->second, peer);
+      }
+      return;
+    }
+    slot_of[info.worker_id] = slots.size();
+    slots.push_back(peer);
   };
 
   WorkerArmy::Config army_config;
@@ -414,9 +585,15 @@ RunResult run_grid(const cli::Flags& flags, std::size_t workers,
   army_config.seed = flags.u64("seed");
   army_config.deadline_ms = flags.u64("deadline-ms");
   WorkerArmy army(army_config);
+  if (watchdog != nullptr) {
+    watchdog->observe(&army, concat("engine=", net::to_string(config.engine),
+                                    " io_threads=", config.io_threads,
+                                    " chaos=", config.chaos_level));
+  }
   std::thread army_thread([&army] { army.run(); });
 
   RunResult result;
+  result.chaos = config.chaos_level;
   try {
     Stopwatch clock;
     const double registration_deadline_s =
@@ -447,6 +624,7 @@ RunResult run_grid(const cli::Flags& flags, std::size_t workers,
     plan.max_task_retries = flags.u64("max-retries");
 
     SupervisorNode supervisor(plan, active_slots);
+    supervisor_ptr = &supervisor;
     transport.add_local(supervisor);
     Stopwatch protocol_clock;
     supervisor.start(transport);
@@ -462,6 +640,11 @@ RunResult run_grid(const cli::Flags& flags, std::size_t workers,
     result.refused = io.handshakes_refused;
     result.undecodable = io.frames_undecodable;
     result.truncated = io.streams_truncated;
+    result.frames_shed = io.frames_shed;
+    result.peers_evicted = io.peers_evicted;
+    result.chaos_disconnects = io.chaos_disconnects;
+    result.chaos_resets = io.chaos_accept_resets;
+    result.idle_timeout_ms = io.quiescence_timeout_ms;
     transport.close_all();
 
     for (const SupervisorNode::TaskOutcome& outcome : supervisor.outcomes()) {
@@ -514,16 +697,19 @@ RunResult run_grid(const cli::Flags& flags, std::size_t workers,
 }
 
 void print_result(const RunResult& result) {
-  std::printf("gridload: engine=%s io_loops=%u connect=%.2fs (%.0f/s) "
+  std::printf("gridload: engine=%s io_loops=%u chaos=%s connect=%.2fs (%.0f/s) "
               "protocol=%.2fs total=%.2fs exchanges/s=%.0f verdicts=%zu (%.0f/s) "
               "accepted=%zu rejected=%zu aborted=%zu honest_accusations=%zu "
-              "p50=%.1fms p99=%.1fms hwm=%zu\n",
-              result.engine.c_str(), result.io_loops, result.connect_s,
+              "p50=%.1fms p99=%.1fms hwm=%zu shed=%" PRIu64 " evicted=%" PRIu64
+              " idle_timeout_ms=%" PRIu64 "\n",
+              result.engine.c_str(), result.io_loops, result.chaos.c_str(),
+              result.connect_s,
               result.connects_per_s, result.protocol_s, result.total_s,
               result.exchanges_per_s, result.verdicts, result.verdicts_per_s,
               result.accepted, result.rejected, result.aborted,
               result.honest_accusations, result.p50_ms, result.p99_ms,
-              result.write_queue_hwm);
+              result.write_queue_hwm, result.frames_shed, result.peers_evicted,
+              result.idle_timeout_ms);
   std::printf("gridload:   peers_per_loop=[");
   for (std::size_t i = 0; i < result.peers_per_loop.size(); ++i) {
     std::printf("%s%zu", i == 0 ? "" : ",", result.peers_per_loop[i]);
@@ -558,9 +744,16 @@ void emit_json_run(FILE* json, const RunResult& result, bool first) {
   std::fprintf(json,
                "], \"write_queue_hwm\": %zu, \"handshakes_refused\": %" PRIu64
                ", \"frames_undecodable\": %" PRIu64
-               ", \"streams_truncated\": %" PRIu64 "}",
+               ", \"streams_truncated\": %" PRIu64
+               ", \"chaos\": \"%s\", \"frames_shed\": %" PRIu64
+               ", \"peers_evicted\": %" PRIu64
+               ", \"chaos_disconnects\": %" PRIu64
+               ", \"chaos_accept_resets\": %" PRIu64
+               ", \"idle_timeout_ms\": %" PRIu64 "}",
                result.write_queue_hwm, result.refused, result.undecodable,
-               result.truncated);
+               result.truncated, result.chaos.c_str(), result.frames_shed,
+               result.peers_evicted, result.chaos_disconnects,
+               result.chaos_resets, result.idle_timeout_ms);
 }
 
 int run_gridload(const cli::Flags& flags, bool smoke) {
@@ -585,6 +778,13 @@ int run_gridload(const cli::Flags& flags, bool smoke) {
   if (smoke && min_exchanges == 0.0) {
     min_exchanges = 50.0;  // the CI floor: catastrophic regressions only
   }
+  const bool chaos_mode = flags.u64("chaos") != 0;
+
+  // A load test that hangs is worse than one that fails: the watchdog
+  // bounds the whole process and dumps the army's last-known per-worker
+  // state instead of letting CI time the job out with nothing to show.
+  RuntimeWatchdog watchdog;
+  watchdog.start(flags.u64("max-runtime-s"));
 
   // External mode: army only, against a running gridd.
   if (!flags.str("connect").empty()) {
@@ -598,6 +798,7 @@ int run_gridload(const cli::Flags& flags, bool smoke) {
     config.deadline_ms = flags.u64("deadline-ms");
     config.engine = net::parse_engine_backend(flags.str("engine"));
     WorkerArmy army(config);
+    watchdog.observe(&army, concat("external ", host, ":", port));
     Stopwatch clock;
     army.run();
     const double total_s = clock.elapsed_seconds();
@@ -621,40 +822,59 @@ int run_gridload(const cli::Flags& flags, bool smoke) {
   }
 
   // Sweep mode: same population, one transport configuration at a time.
+  // --chaos swaps the axis: instead of comparing engines on a clean wire,
+  // it holds the engine fixed (epoll x1 where available, adaptive
+  // quiescence on) and degrades the network — off / light / heavy — to
+  // record the verdict-latency degradation curve.
   const unsigned io_threads =
       std::max<unsigned>(2, static_cast<unsigned>(flags.u64("io-threads")));
   std::vector<SweepConfig> sweep;
-  sweep.push_back({net::EngineBackend::kPoll, 1});
-  if (net::epoll_supported()) {
-    sweep.push_back({net::EngineBackend::kEpoll, 1});
-    sweep.push_back({net::EngineBackend::kEpoll, io_threads});
+  if (chaos_mode) {
+    const net::EngineBackend engine = net::epoll_supported()
+                                          ? net::EngineBackend::kEpoll
+                                          : net::EngineBackend::kPoll;
+    for (const char* level : {"off", "light", "heavy"}) {
+      sweep.push_back({engine, 1, level, true});
+    }
+  } else {
+    sweep.push_back({net::EngineBackend::kPoll, 1});
+    if (net::epoll_supported()) {
+      sweep.push_back({net::EngineBackend::kEpoll, 1});
+      sweep.push_back({net::EngineBackend::kEpoll, io_threads});
+    }
   }
 
   std::printf("gridload: sweep workers=%zu active=%zu cheaters=%zu points=%" PRIu64
-              " samples=%" PRIu64 " scheme=%s workload=%s%s\n",
+              " samples=%" PRIu64 " scheme=%s workload=%s%s%s\n",
               workers, active, cheaters, flags.u64("points"),
               flags.u64("samples"),
               flags.str("scheme").c_str(), flags.str("workload").c_str(),
-              smoke ? "  [smoke]" : "");
+              chaos_mode ? "  [chaos]" : "", smoke ? "  [smoke]" : "");
   std::fflush(stdout);
 
   // Unrecorded warm-up: the first grid of the process pays page faults and
   // allocator growth that would otherwise bias whichever config runs first.
   const std::size_t warm = std::min<std::size_t>(workers, 100);
-  run_grid(flags, warm, warm, 0, sweep.front());
+  run_grid(flags, warm, warm, 0, sweep.front(), &watchdog);
 
   std::vector<RunResult> results;
   for (const SweepConfig& config : sweep) {
-    results.push_back(run_grid(flags, workers, active, cheaters, config));
+    results.push_back(
+        run_grid(flags, workers, active, cheaters, config, &watchdog));
     print_result(results.back());
   }
 
-  const RunResult& baseline = results.front();       // poll x1
-  const RunResult& contender = results.back();       // epoll xN (or poll)
-  const double ratio = baseline.exchanges_per_s > 0
-                           ? contender.exchanges_per_s /
-                                 baseline.exchanges_per_s
-                           : 0.0;
+  // Headline ratio: engine sweep compares throughput (multi-loop epoll vs
+  // poll); the chaos sweep compares p99 verdict latency (heavy vs clean) —
+  // how much WAN hostility stretches the tail while verdicts stay correct.
+  const RunResult& baseline = results.front();  // poll x1 / chaos off
+  const RunResult& contender = results.back();  // epoll xN / chaos heavy
+  const double ratio =
+      chaos_mode ? (baseline.p99_ms > 0 ? contender.p99_ms / baseline.p99_ms
+                                        : 0.0)
+                 : (baseline.exchanges_per_s > 0
+                        ? contender.exchanges_per_s / baseline.exchanges_per_s
+                        : 0.0);
 
   const std::string out_path = flags.str("out");
   FILE* json = std::fopen(out_path.c_str(), "w");
@@ -664,32 +884,40 @@ int run_gridload(const cli::Flags& flags, bool smoke) {
     return cli::kExitError;
   }
   std::fprintf(json,
-               "{\n  \"smoke\": %s,\n  \"hardware_threads\": %u,\n"
+               "{\n  \"smoke\": %s,\n  \"chaos\": %s,\n"
+               "  \"hardware_threads\": %u,\n"
                "  \"workers\": %zu,\n  \"active_workers\": %zu,\n"
                "  \"cheaters\": %zu,\n"
                "  \"points_per_worker\": %" PRIu64 ",\n"
                "  \"samples\": %" PRIu64 ",\n  \"scheme\": \"%s\",\n"
                "  \"workload\": \"%s\",\n  \"runs\": [\n",
-               smoke ? "true" : "false",
+               smoke ? "true" : "false", chaos_mode ? "true" : "false",
                std::thread::hardware_concurrency(), workers, active, cheaters,
                flags.u64("points"), flags.u64("samples"),
                flags.str("scheme").c_str(), flags.str("workload").c_str());
   for (std::size_t i = 0; i < results.size(); ++i) {
     emit_json_run(json, results[i], i == 0);
   }
-  std::fprintf(json,
-               "\n  ],\n  \"multi_loop_epoll_vs_single_loop_poll\": %.3f\n}\n",
+  std::fprintf(json, "\n  ],\n  \"%s\": %.3f\n}\n",
+               chaos_mode ? "chaos_heavy_vs_off_p99"
+                          : "multi_loop_epoll_vs_single_loop_poll",
                ratio);
   std::fclose(json);
-  std::printf("gridload: multi-loop epoll vs single-loop poll = %.2fx\n",
-              ratio);
+  if (chaos_mode) {
+    std::printf("gridload: heavy chaos vs clean wire p99 = %.2fx\n", ratio);
+  } else {
+    std::printf("gridload: multi-loop epoll vs single-loop poll = %.2fx\n",
+                ratio);
+  }
   std::printf("gridload: wrote %s\n", out_path.c_str());
   std::fflush(stdout);
 
   std::size_t honest_accusations = 0;
+  std::size_t rejected = 0;
   bool incomplete = false;
   for (const RunResult& result : results) {
     honest_accusations += result.honest_accusations;
+    rejected += result.rejected;
     incomplete = incomplete || result.deadline_hit ||
                  result.connect_failures > 0 || result.verdicts < active;
   }
@@ -703,7 +931,19 @@ int run_gridload(const cli::Flags& flags, bool smoke) {
     std::fprintf(stderr, "gridload: FAIL — run incomplete\n");
     return cli::kExitIncomplete;
   }
-  if (min_exchanges > 0 && contender.exchanges_per_s < min_exchanges) {
+  if (chaos_mode && cheaters > 0 && rejected == 0) {
+    // Chaos must degrade latency, never detection: a hostile wire that
+    // lets every cheater walk means the protocol drowned, not the network.
+    std::fprintf(stderr,
+                 "gridload: FAIL — no cheater caught across the chaos "
+                 "sweep (cheaters=%zu)\n",
+                 cheaters);
+    return cli::kExitIncomplete;
+  }
+  if (!chaos_mode && min_exchanges > 0 &&
+      contender.exchanges_per_s < min_exchanges) {
+    // The throughput floor is a clean-wire gate: heavy chaos is *supposed*
+    // to be slow.
     std::fprintf(stderr,
                  "gridload: FAIL — %.1f exchanges/s below the %.1f floor\n",
                  contender.exchanges_per_s, min_exchanges);
@@ -715,6 +955,9 @@ int run_gridload(const cli::Flags& flags, bool smoke) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Thousands of sockets churning means writes into freshly-closed peers
+  // are routine; they must come back as EPIPE, not kill the harness.
+  std::signal(SIGPIPE, SIG_IGN);
   // --smoke is a bare switch (CI muscle memory from the bench binaries);
   // peel it off before the "--flag value" parser sees it.
   bool smoke = false;
@@ -744,6 +987,11 @@ int main(int argc, char** argv) {
       {"max-retries", "2"},
       {"deadline-ms", "180000"},
       {"min-exchanges-per-s", "0"},
+      {"chaos", "0"},
+      {"chaos-seed", "0"},
+      {"shed-watermark", "0"},
+      {"evict-after-ms", "0"},
+      {"max-runtime-s", "900"},
       {"out", "BENCH_grid.json"},
   };
   std::optional<cli::Flags> flags;
@@ -760,7 +1008,9 @@ int main(int argc, char** argv) {
         "(honest + --cheaters) against a supervisor — self-hosted sweep "
         "over poll/epoll/multi-loop configs emitting BENCH_grid.json, or "
         "an external gridd via --connect. --smoke shrinks the population "
-        "and enforces the CI gates.");
+        "and enforces the CI gates; --chaos 1 sweeps WAN fault levels "
+        "(off/light/heavy) instead of engines; --max-runtime-s bounds the "
+        "whole process with a state-dumping watchdog.");
     return cli::kExitOk;
   }
   try {

@@ -6,8 +6,10 @@
 // accumulates across runs), and serves task assignments through the same
 // ParticipantNode the simulated grid runs: resolve the workload, compute
 // (honestly or per --cheat), commit, answer challenges, report screener
-// hits, collect the verdict. Exits when the supervisor closes the
-// connection.
+// hits, collect the verdict. If the connection drops mid-exchange it
+// reconnects under the same identity (up to --reconnects attempts with
+// exponential backoff) and resumes; it exits when the supervisor closes
+// the connection with no work left unresolved.
 //
 //   --cheat none                      honest (default)
 //   --cheat semi-honest[:r[,q]]       compute only an r-fraction, guess the
@@ -152,12 +154,58 @@ int run_gridworker(const cli::Flags& flags) {
   std::fflush(stdout);
 
   // Serve until the supervisor hangs up: the protocol has no "grid over"
-  // message — a real volunteer just loses the connection.
+  // message — a real volunteer just loses the connection. If the link died
+  // with a task still mid-exchange, the drop was a fault, not the grid
+  // ending: reconnect with bounded backoff and resume under the same
+  // durable identity (gridd re-aims our slot; the quiescence retry re-sends
+  // the work, so in-flight session state is written off with on_crash()).
   bool supervisor_gone = false;
   transport.on_peer_disconnected = [&](GridNodeId) {
     supervisor_gone = true;
   };
-  transport.run([&] { return supervisor_gone; });
+  const std::uint64_t reconnects = flags.u64("reconnects");
+  std::uint64_t reconnects_used = 0;
+  for (;;) {
+    transport.run([&] { return supervisor_gone; });
+    // Settled = the supervisor hung up with nothing mid-exchange and at
+    // least one verdict in hand: the grid ended, not the link. A cut
+    // before ANY verdict is indistinguishable from a refusal, so it
+    // retries too — a refused (banned) worker just burns its bounded
+    // budget and exits incomplete as before.
+    const bool settled =
+        node.active_tasks() == 0 && !node.verdicts().empty();
+    if (settled || reconnects_used >= reconnects) {
+      break;
+    }
+    std::uint64_t reconnect_backoff_ms = flags.u64("connect-backoff-ms");
+    std::optional<GridNodeId> again;
+    while (!again.has_value() && reconnects_used < reconnects) {
+      ++reconnects_used;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(reconnect_backoff_ms));
+      reconnect_backoff_ms = std::min<std::uint64_t>(
+          reconnect_backoff_ms * 2, 5000);
+      try {
+        again = transport.connect(host, port);
+      } catch (const net::SocketError& error) {
+        std::fprintf(stderr,
+                     "gridworker %s: reconnect %" PRIu64 "/%" PRIu64
+                     " failed (%s)\n",
+                     flags.str("agent").c_str(), reconnects_used, reconnects,
+                     error.what());
+      }
+    }
+    if (!again.has_value()) {
+      break;  // budget exhausted: exit below with the work unresolved
+    }
+    node.on_crash();  // in-flight sessions died with the old connection
+    supervisor_gone = false;
+    std::printf("gridworker %s: reconnected to %s:%u (attempt %" PRIu64
+                "/%" PRIu64 ")\n",
+                flags.str("agent").c_str(), host.c_str(), port,
+                reconnects_used, reconnects);
+    std::fflush(stdout);
+  }
 
   if (node.verdicts().empty() && node.active_tasks() == 0) {
     // Disconnected before any task: the supervisor refused the handshake
@@ -171,11 +219,14 @@ int run_gridworker(const cli::Flags& flags) {
                 flags.str("agent").c_str(), task.value,
                 to_string(verdict.status));
   }
+  const net::TcpIoStats io = transport.io_stats();
   std::printf("gridworker %s: done tasks=%zu unresolved=%zu "
-              "evaluations=%" PRIu64 " bytes_sent=%" PRIu64 "\n",
+              "evaluations=%" PRIu64 " bytes_sent=%" PRIu64
+              " undecodable=%" PRIu64 " truncated=%" PRIu64 "\n",
               flags.str("agent").c_str(), node.verdicts().size(),
               node.active_tasks(), node.honest_evaluations(),
-              transport.stats().bytes_sent(self));
+              transport.stats().bytes_sent(self), io.frames_undecodable,
+              io.streams_truncated);
   std::fflush(stdout);
   // Incomplete = the connection ended with work unresolved: no verdict ever
   // arrived, or a task was still mid-exchange.
@@ -198,6 +249,7 @@ int main(int argc, char** argv) {
       {"identity-file", ""},
       {"connect-retries", "10"},
       {"connect-backoff-ms", "100"},
+      {"reconnects", "5"},
   };
   std::optional<cli::Flags> flags;
   try {

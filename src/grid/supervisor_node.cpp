@@ -105,6 +105,21 @@ void SupervisorNode::start(Transport& transport) {
   }
 }
 
+void SupervisorNode::replace_slot(std::size_t slot_index, GridNodeId peer) {
+  check(slot_index < slots_.size(),
+        "SupervisorNode::replace_slot: slot ", slot_index, " of ",
+        slots_.size());
+  slots_[slot_index] = peer;
+  for (auto& [id, state] : tasks_) {
+    if (state.superseded || state.verdict.has_value()) {
+      continue;
+    }
+    if (state.slot_index == slot_index) {
+      state.peer = peer;
+    }
+  }
+}
+
 void SupervisorNode::settle(TaskState& state, Verdict verdict,
                             Transport& transport) {
   if (state.verdict.has_value()) {

@@ -109,6 +109,15 @@ class SupervisorNode final : public GridNode {
   // Tasks re-assigned to a different peer after a timeout.
   std::uint64_t tasks_reassigned() const { return tasks_reassigned_; }
 
+  // Reconnect support: points assignment slot `slot_index` at a new peer
+  // (a worker that dropped and came back on a fresh connection gets a
+  // fresh GridNodeId). Unsettled, non-superseded tasks targeting the slot
+  // re-aim at the new peer, so the stale-peer guard admits its traffic
+  // and the next timeout retry reaches the reconnected worker instead of
+  // the dead connection. Messages lost in flight are not replayed — the
+  // quiescence retry path re-assigns the group as usual.
+  void replace_slot(std::size_t slot_index, GridNodeId peer);
+
  private:
   struct TaskState {
     Domain domain{0, 1};

@@ -34,7 +34,9 @@ void poke(const Socket& wake_write) {
 }  // namespace
 
 TcpTransport::TcpTransport(TcpTransportOptions options)
-    : options_(options), epoch_(std::chrono::steady_clock::now()) {
+    : options_(options),
+      epoch_(std::chrono::steady_clock::now()),
+      quiescence_estimator_(options.quiescence) {
   const unsigned count = options_.io_threads < 1 ? 1 : options_.io_threads;
   for (unsigned i = 0; i < count; ++i) {
     auto loop = std::make_unique<Loop>(TimerWheel(options_.tick_ms));
@@ -189,6 +191,16 @@ void TcpTransport::adopt_connection(Loop& loop, std::uint32_t id,
   Peer& peer = it->second;
   loop.engine->add(peer.socket.fd(), id, Interest::kRead);
   peer.armed = Interest::kRead;
+  if (options_.chaos.has_value() && options_.chaos->any()) {
+    // One deterministic sampler per connection: the plan seed plus the
+    // peer id fully determine every draw this link will ever make.
+    peer.chaos = std::make_unique<ChaosLink>(*options_.chaos, id);
+    if (accepted && peer.chaos->sample_accept_reset()) {
+      chaos_accept_resets_.fetch_add(1, std::memory_order_relaxed);
+      drop_peer(loop, GridNodeId{id}, "chaos accept reset");
+      return;
+    }
+  }
   if (accepted && auth_.has_value()) {
     // Open the handshake: one fresh nonce per connection, burned when the
     // proof arrives — the replay barrier. The nonce stream is shared by
@@ -222,6 +234,145 @@ void TcpTransport::finish_enqueue(Loop& loop, GridNodeId to, Peer& peer) {
   sync_interest(loop, to, peer);
 }
 
+void TcpTransport::enqueue_framed(Loop& loop, GridNodeId to, Peer& peer,
+                                  BytesView framed, bool control) {
+  if (!control && options_.shed_watermark > 0 &&
+      peer.write_buffer.size() - peer.write_offset > options_.shed_watermark) {
+    // Overload policy: drop whole protocol frames for a backlogged peer
+    // rather than queue toward the kill cap — its tasks retry or abort
+    // through on_quiescent while the connection (and every other peer's
+    // latency) survives. Handshake frames are never shed.
+    frames_shed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (peer.chaos != nullptr && peer.chaos->delays()) {
+    const std::uint64_t now = now_ms();
+    const std::uint64_t release = peer.chaos->release_ms(framed.size(), now);
+    if (release > now || !peer.delayed.empty()) {
+      // Held in flight until its sampled release (FIFO: releases are
+      // monotone per link, and nothing may overtake an earlier frame).
+      chaos_frames_delayed_.fetch_add(1, std::memory_order_relaxed);
+      peer.delayed.emplace_back(release, Bytes(framed.begin(), framed.end()));
+      schedule_peer_wakeup(loop, to, peer, release);
+      return;
+    }
+  }
+  if (peer.chaos != nullptr && peer.chaos->sample_disconnect()) {
+    chaos_disconnects_.fetch_add(1, std::memory_order_relaxed);
+    drop_peer(loop, to, "chaos mid-stream disconnect");
+    return;
+  }
+  peer.write_buffer.insert(peer.write_buffer.end(), framed.begin(),
+                           framed.end());
+  finish_enqueue(loop, to, peer);
+}
+
+void TcpTransport::schedule_peer_wakeup(Loop& loop, GridNodeId id, Peer& peer,
+                                        std::uint64_t at_ms) {
+  if (peer.failed) {
+    return;
+  }
+  if (peer.wakeup.has_value()) {
+    if (peer.wakeup_at_ms <= at_ms) {
+      return;  // already waking at least as early
+    }
+    if (loop.wheel.cancel(*peer.wakeup)) {
+      loop.peer_timers.erase(*peer.wakeup);
+    }
+    peer.wakeup.reset();
+  }
+  const std::uint64_t now = now_ms();
+  const TimerWheel::TimerId timer =
+      loop.wheel.schedule(now, at_ms > now ? at_ms - now : 0);
+  loop.peer_timers.emplace(timer, id.value);
+  peer.wakeup = timer;
+  peer.wakeup_at_ms = at_ms;
+}
+
+bool TcpTransport::service_peer_wakeup(Loop& loop, GridNodeId id, Peer& peer) {
+  if (peer.failed) {
+    return false;
+  }
+  const std::uint64_t now = now_ms();
+  if (options_.evict_stalled_after_ms > 0 && peer.write_stuck_since_ms > 0 &&
+      now - peer.write_stuck_since_ms >= options_.evict_stalled_after_ms) {
+    // The peer has taken nothing off its socket for the whole window:
+    // evict it now instead of waiting for the byte cap — one slow
+    // consumer must not hold queue memory and retry budget hostage.
+    peers_evicted_.fetch_add(1, std::memory_order_relaxed);
+    drop_peer(loop, id, "write queue stalled; evicted");
+    return true;
+  }
+  if (peer.stalled_until_ms > 0 && now >= peer.stalled_until_ms) {
+    peer.stalled_until_ms = 0;  // stall episode over: resume reading
+    sync_interest(loop, id, peer);
+  }
+  bool appended = false;
+  while (!peer.failed && !peer.delayed.empty() &&
+         peer.delayed.front().first <= now) {
+    const Bytes frame = std::move(peer.delayed.front().second);
+    peer.delayed.pop_front();
+    if (peer.chaos->sample_disconnect()) {
+      // The connection dies under a frame in flight.
+      chaos_disconnects_.fetch_add(1, std::memory_order_relaxed);
+      drop_peer(loop, id, "chaos mid-stream disconnect");
+      break;
+    }
+    peer.write_buffer.insert(peer.write_buffer.end(), frame.begin(),
+                             frame.end());
+    appended = true;
+  }
+  if (appended && !peer.failed) {
+    finish_enqueue(loop, id, peer);
+  }
+  if (!peer.failed) {
+    std::uint64_t next = 0;
+    if (!peer.delayed.empty()) {
+      next = peer.delayed.front().first;
+    }
+    if (peer.stalled_until_ms > now &&
+        (next == 0 || peer.stalled_until_ms < next)) {
+      next = peer.stalled_until_ms;
+    }
+    if (options_.evict_stalled_after_ms > 0 && peer.write_stuck_since_ms > 0) {
+      const std::uint64_t evict_at =
+          peer.write_stuck_since_ms + options_.evict_stalled_after_ms;
+      if (next == 0 || evict_at < next) {
+        next = evict_at;
+      }
+    }
+    if (next > 0) {
+      schedule_peer_wakeup(loop, id, peer, next);
+    }
+  }
+  return appended;
+}
+
+bool TcpTransport::chaos_stall_read(Loop& loop, GridNodeId id, Peer& peer) {
+  if (peer.chaos == nullptr || peer.failed) {
+    return false;
+  }
+  const std::uint64_t now = now_ms();
+  if (peer.stalled_until_ms > now) {
+    return true;  // still deaf from an earlier draw
+  }
+  const auto stall = peer.chaos->sample_stall_ms();
+  if (!stall.has_value()) {
+    return false;
+  }
+  // Go deaf: park read interest (level-triggered engines would otherwise
+  // busy-wake on the buffered bytes) and let the wakeup timer resume.
+  chaos_read_stalls_.fetch_add(1, std::memory_order_relaxed);
+  peer.stalled_until_ms = now + *stall;
+  sync_interest(loop, id, peer);
+  schedule_peer_wakeup(loop, id, peer, peer.stalled_until_ms);
+  return true;
+}
+
+std::uint64_t TcpTransport::effective_quiescence_ms() const {
+  return quiescence_estimator_.timeout_ms(options_.quiescence_timeout_ms);
+}
+
 void TcpTransport::queue_control_frame(Loop& loop, GridNodeId to, Peer& peer,
                                        const Message& message) {
   encode_message_into(message, loop.encode_scratch);
@@ -229,9 +380,16 @@ void TcpTransport::queue_control_frame(Loop& loop, GridNodeId to, Peer& peer,
         "TcpTransport: ", loop.encode_scratch.size(),
         "-byte handshake frame exceeds the ", options_.max_frame_size,
         "-byte frame cap");
-  append_frame(loop.encode_scratch, peer.write_buffer,
+  if (peer.chaos == nullptr) {
+    append_frame(loop.encode_scratch, peer.write_buffer,
+                 options_.max_frame_size);
+    finish_enqueue(loop, to, peer);
+    return;
+  }
+  loop.frame_scratch.clear();
+  append_frame(loop.encode_scratch, loop.frame_scratch,
                options_.max_frame_size);
-  finish_enqueue(loop, to, peer);
+  enqueue_framed(loop, to, peer, BytesView(loop.frame_scratch), true);
 }
 
 void TcpTransport::refuse_handshake(GridNodeId from,
@@ -278,9 +436,17 @@ void TcpTransport::send(GridNodeId from, GridNodeId to,
           "-byte message exceeds the ", options_.max_frame_size,
           "-byte frame cap (raise TcpTransportOptions::max_frame_size)");
     stats_.record(from, to, loop.encode_scratch.size());
-    append_frame(loop.encode_scratch, peer.write_buffer,
+    if (peer.chaos == nullptr && options_.shed_watermark == 0) {
+      // Clean fast path: frame straight into the write queue, no staging.
+      append_frame(loop.encode_scratch, peer.write_buffer,
+                   options_.max_frame_size);
+      finish_enqueue(loop, to, peer);
+      return;
+    }
+    loop.frame_scratch.clear();
+    append_frame(loop.encode_scratch, loop.frame_scratch,
                  options_.max_frame_size);
-    finish_enqueue(loop, to, peer);
+    enqueue_framed(loop, to, peer, BytesView(loop.frame_scratch), false);
     return;
   }
 
@@ -301,10 +467,7 @@ void TcpTransport::send(GridNodeId from, GridNodeId to,
     if (it == loop.peers.end() || it->second.failed) {
       return;  // vanished between submit and execution
     }
-    Peer& peer = it->second;
-    peer.write_buffer.insert(peer.write_buffer.end(), framed.begin(),
-                             framed.end());
-    finish_enqueue(loop, to, peer);
+    enqueue_framed(loop, to, it->second, BytesView(framed), false);
   });
 }
 
@@ -364,6 +527,13 @@ TcpIoStats TcpTransport::io_stats() const {
   out.frames_undecodable = frames_undecodable_.load();
   out.streams_truncated = streams_truncated_.load();
   out.handshakes_refused = handshakes_refused_.load();
+  out.frames_shed = frames_shed_.load();
+  out.peers_evicted = peers_evicted_.load();
+  out.chaos_accept_resets = chaos_accept_resets_.load();
+  out.chaos_disconnects = chaos_disconnects_.load();
+  out.chaos_frames_delayed = chaos_frames_delayed_.load();
+  out.chaos_read_stalls = chaos_read_stalls_.load();
+  out.quiescence_timeout_ms = effective_quiescence_ms();
   return out;
 }
 
@@ -378,6 +548,11 @@ void TcpTransport::drop_peer(Loop& loop, GridNodeId id, const char* why) {
   // erases at the top of the next loop round.
   Peer& peer = it->second;
   peer.failed = true;
+  if (peer.wakeup.has_value()) {
+    loop.wheel.cancel(*peer.wakeup);
+    loop.peer_timers.erase(*peer.wakeup);
+    peer.wakeup.reset();
+  }
   if (peer.decoder.bytes_pending() > 0 && !peer.decoder.poisoned()) {
     // The stream died mid-frame: in-flight traffic was genuinely lost.
     // (Poisoned streams also leave bytes behind, but those are a framing
@@ -428,6 +603,14 @@ void TcpTransport::deliver(Event& event) {
   switch (event.kind) {
     case Event::Kind::kMessage:
       if (local_ != nullptr) {
+        // Feed the adaptive-quiescence estimator with this peer's
+        // inter-message gap — the real WAN cadence, jitter included.
+        const std::uint64_t now = now_ms();
+        const auto last = last_message_ms_.find(event.peer.value);
+        if (last != last_message_ms_.end() && now >= last->second) {
+          quiescence_estimator_.record_gap(now - last->second);
+        }
+        last_message_ms_[event.peer.value] = now;
         stats_.record(event.peer, local_->id(), event.bytes);
         local_->on_message(event.peer, event.message, *this);
       }
@@ -458,6 +641,7 @@ void TcpTransport::deliver(Event& event) {
       }
       return;
     case Event::Kind::kDisconnected: {
+      last_message_ms_.erase(event.peer.value);
       {
         std::lock_guard<std::mutex> lock(registry_mutex_);
         registry_.erase(event.peer.value);
@@ -624,19 +808,25 @@ bool TcpTransport::service_read(Loop& loop, GridNodeId id, Peer& peer) {
 bool TcpTransport::service_write(Loop& loop, GridNodeId id, Peer& peer) {
   bool progressed = false;
   while (!peer.failed && peer.write_offset < peer.write_buffer.size()) {
+    const std::size_t want = peer.write_buffer.size() - peer.write_offset;
+    const std::size_t clamped =
+        peer.chaos != nullptr ? peer.chaos->clamp_write(want) : want;
     const IoResult result = write_some(
         peer.socket,
-        BytesView(peer.write_buffer).subspan(peer.write_offset));
+        BytesView(peer.write_buffer).subspan(peer.write_offset, clamped));
     if (result.status == IoStatus::kOk) {
       if (result.bytes == 0) {
-        return progressed;  // kernel took nothing; try again next round
+        break;  // kernel took nothing; try again next round
       }
       peer.write_offset += result.bytes;
       progressed = true;
+      if (clamped < want) {
+        break;  // chaos short write: yield; level-trigger re-wakes us
+      }
       continue;
     }
     if (result.status == IoStatus::kWouldBlock) {
-      return progressed;
+      break;
     }
     // EPIPE/ECONNRESET and friends: the connection is dead — drop it here
     // rather than waiting for the read path to notice (close_all only
@@ -644,12 +834,24 @@ bool TcpTransport::service_write(Loop& loop, GridNodeId id, Peer& peer) {
     drop_peer(loop, id, "write error");
     return true;
   }
-  if (peer.write_offset > 0) {
-    peer.write_buffer.erase(
-        peer.write_buffer.begin(),
-        peer.write_buffer.begin() +
-            static_cast<std::ptrdiff_t>(peer.write_offset));
+  if (!peer.failed && peer.write_offset >= peer.write_buffer.size() &&
+      peer.write_offset > 0) {
+    peer.write_buffer.clear();
     peer.write_offset = 0;
+  }
+  if (!peer.failed) {
+    // Eviction bookkeeping: mark when a backlog first appeared, clear it
+    // the moment the queue fully drains.
+    if (peer.write_offset >= peer.write_buffer.size()) {
+      peer.write_stuck_since_ms = 0;
+    } else if (peer.write_stuck_since_ms == 0) {
+      peer.write_stuck_since_ms = now_ms();
+      if (options_.evict_stalled_after_ms > 0) {
+        schedule_peer_wakeup(
+            loop, id, peer,
+            peer.write_stuck_since_ms + options_.evict_stalled_after_ms);
+      }
+    }
   }
   return progressed;
 }
@@ -658,9 +860,16 @@ void TcpTransport::sync_interest(Loop& loop, GridNodeId id, Peer& peer) {
   if (peer.failed || !peer.socket.valid()) {
     return;
   }
-  const Interest desired = peer.write_offset < peer.write_buffer.size()
-                               ? Interest::kReadWrite
-                               : Interest::kRead;
+  const bool want_write = peer.write_offset < peer.write_buffer.size();
+  const bool want_read = peer.stalled_until_ms == 0;  // deaf while stalled
+  Interest desired = Interest::kNone;
+  if (want_read && want_write) {
+    desired = Interest::kReadWrite;
+  } else if (want_read) {
+    desired = Interest::kRead;
+  } else if (want_write) {
+    desired = Interest::kWrite;
+  }
   if (desired == peer.armed) {
     return;
   }
@@ -684,8 +893,7 @@ void TcpTransport::arm_quiescence(std::uint64_t now) {
   if (loop.quiescence_timer.has_value()) {
     loop.wheel.cancel(*loop.quiescence_timer);
   }
-  loop.quiescence_timer =
-      loop.wheel.schedule(now, options_.quiescence_timeout_ms);
+  loop.quiescence_timer = loop.wheel.schedule(now, effective_quiescence_ms());
 }
 
 void TcpTransport::run(const std::function<bool()>& done) {
@@ -731,7 +939,8 @@ void TcpTransport::run_single(const std::function<bool()>& done) {
       if (it == loop.peers.end() || it->second.failed) {
         continue;  // dropped earlier in this round
       }
-      if (event.readable || event.error) {
+      if ((event.readable && !chaos_stall_read(loop, id, it->second)) ||
+          event.error) {
         progressed |= service_read(loop, id, it->second);
       }
       if (!it->second.failed && event.writable) {
@@ -742,13 +951,17 @@ void TcpTransport::run_single(const std::function<bool()>& done) {
 
     progressed |= pump_local_flush();
 
-    const std::uint64_t now = now_ms();
     if (progressed) {
-      arm_quiescence(now);
-      continue;
+      // Re-arm before advancing, so the quiescence timer can never fire
+      // out of a round that saw traffic.
+      arm_quiescence(now_ms());
     }
+    // Always advance the wheel — peer-service timers (chaos releases,
+    // stall ends, eviction deadlines) must fire on time even while the
+    // grid is busy, not only on idle rounds.
     loop.fired_scratch.clear();
-    loop.wheel.advance(now, loop.fired_scratch);
+    loop.wheel.advance(now_ms(), loop.fired_scratch);
+    bool released = false;
     for (const TimerWheel::TimerId timer : loop.fired_scratch) {
       if (loop.quiescence_timer == timer) {
         loop.quiescence_timer.reset();
@@ -759,16 +972,34 @@ void TcpTransport::run_single(const std::function<bool()>& done) {
           local_->on_quiescent(*this);
         }
         arm_quiescence(now_ms());
+        continue;
       }
+      const auto owner = loop.peer_timers.find(timer);
+      if (owner == loop.peer_timers.end()) {
+        continue;  // canceled peer timer that still fired this round
+      }
+      const GridNodeId id{owner->second};
+      loop.peer_timers.erase(owner);
+      const auto it = loop.peers.find(id.value);
+      if (it == loop.peers.end() || it->second.failed) {
+        continue;
+      }
+      it->second.wakeup.reset();
+      released |= service_peer_wakeup(loop, id, it->second);
+    }
+    if (released) {
+      // Chaos frames reaching the wire count as traffic for quiescence.
+      arm_quiescence(now_ms());
     }
   }
 }
 
 void TcpTransport::run_threaded(const std::function<bool()>& done) {
   start_threads();
-  const auto quiescence =
-      std::chrono::milliseconds(options_.quiescence_timeout_ms);
-  auto deadline = std::chrono::steady_clock::now() + quiescence;
+  // The deadline re-reads effective_quiescence_ms() at every re-arm: in
+  // adaptive mode the window tracks the gap estimator as samples land.
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(effective_quiescence_ms());
   std::vector<Event> batch;
   for (;;) {
     if (done()) {
@@ -788,7 +1019,8 @@ void TcpTransport::run_threaded(const std::function<bool()>& done) {
         deliver(event);
       }
       pump_local_flush();
-      deadline = std::chrono::steady_clock::now() + quiescence;
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(effective_quiescence_ms());
       continue;
     }
     if (std::chrono::steady_clock::now() >= deadline) {
@@ -798,7 +1030,8 @@ void TcpTransport::run_threaded(const std::function<bool()>& done) {
       if (local_ != nullptr) {
         local_->on_quiescent(*this);
       }
-      deadline = std::chrono::steady_clock::now() + quiescence;
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(effective_quiescence_ms());
     }
   }
 }
@@ -892,7 +1125,8 @@ void TcpTransport::loop_thread(Loop& loop) {
         if (it == loop.peers.end() || it->second.failed) {
           continue;
         }
-        if (event.readable || event.error) {
+        if ((event.readable && !chaos_stall_read(loop, id, it->second)) ||
+            event.error) {
           service_read(loop, id, it->second);
         }
         if (!it->second.failed && event.writable) {
@@ -904,6 +1138,22 @@ void TcpTransport::loop_thread(Loop& loop) {
       if (loop.wheel.armed()) {
         loop.fired_scratch.clear();
         loop.wheel.advance(now_ms(), loop.fired_scratch);
+        for (const TimerWheel::TimerId timer : loop.fired_scratch) {
+          // Threaded loops arm only peer-service timers (quiescence lives
+          // on the protocol thread's deadline).
+          const auto owner = loop.peer_timers.find(timer);
+          if (owner == loop.peer_timers.end()) {
+            continue;
+          }
+          const GridNodeId id{owner->second};
+          loop.peer_timers.erase(owner);
+          const auto it = loop.peers.find(id.value);
+          if (it == loop.peers.end() || it->second.failed) {
+            continue;
+          }
+          it->second.wakeup.reset();
+          service_peer_wakeup(loop, id, it->second);
+        }
       }
     }
   } catch (const std::exception&) {
@@ -935,9 +1185,47 @@ void TcpTransport::drain_and_close(Loop& loop, std::uint64_t deadline_ms) {
   }
   for (;;) {
     reap(loop);
+    // Funeral drain still honors the chaos latency model: frames whose
+    // release time has come move into the write queue (a verdict sampled
+    // with WAN delay must not be dropped just because the grid finished
+    // first). No disconnect sampling here — chaos had its chance while
+    // the session was live; the funeral's only job is delivery.
+    const std::uint64_t release_now = now_ms();
+    for (auto& [id, peer] : loop.peers) {
+      if (peer.failed || !peer.socket.valid()) {
+        continue;
+      }
+      bool appended = false;
+      while (!peer.delayed.empty() &&
+             peer.delayed.front().first <= release_now) {
+        const Bytes frame = std::move(peer.delayed.front().second);
+        peer.delayed.pop_front();
+        peer.write_buffer.insert(peer.write_buffer.end(), frame.begin(),
+                                 frame.end());
+        appended = true;
+      }
+      if (appended) {
+        service_write(loop, GridNodeId{id}, peer);
+        if (peer.failed || !peer.socket.valid()) {
+          continue;
+        }
+        if (peer.write_offset < peer.write_buffer.size()) {
+          if (peer.armed == Interest::kNone) {
+            loop.engine->add(peer.socket.fd(), id, Interest::kWrite);
+          } else {
+            loop.engine->modify(peer.socket.fd(), id, Interest::kWrite);
+          }
+          peer.armed = Interest::kWrite;
+        } else if (peer.armed != Interest::kNone) {
+          loop.engine->remove(peer.socket.fd());
+          peer.armed = Interest::kNone;
+        }
+      }
+    }
     bool pending = false;
     for (const auto& [id, peer] : loop.peers) {
-      if (!peer.failed && peer.write_offset < peer.write_buffer.size()) {
+      if (!peer.failed && (peer.write_offset < peer.write_buffer.size() ||
+                           !peer.delayed.empty())) {
         pending = true;
         break;
       }
@@ -1001,6 +1289,7 @@ void TcpTransport::drain_and_close(Loop& loop, std::uint64_t deadline_ms) {
   }
   loop.peers.clear();
   loop.doomed.clear();
+  loop.peer_timers.clear();  // any still-armed timers fire into nothing
   loop.listener.close();
 }
 

@@ -46,6 +46,7 @@
 
 #include "auth/handshake.h"
 #include "common/rng.h"
+#include "grid/chaos.h"
 #include "grid/transport.h"
 #include "net/event_engine.h"
 #include "net/frame.h"
@@ -80,6 +81,28 @@ struct TcpTransportOptions {
   // Listen backlog: a thousand workers racing one gridd must queue, not
   // bounce (the kernel clamps to somaxconn).
   int listen_backlog = 1024;
+  // Seeded fault injection (grid/chaos.h): when set, every peer of this
+  // transport gets a deterministic ChaosLink sampled from the plan —
+  // outbound frames pay WAN latency/bandwidth before reaching the socket,
+  // reads stall, writes shorten, connections reset at accept time and die
+  // mid-stream. Reproducible from plan.seed; nullopt = the real network,
+  // zero overhead on the hot path.
+  std::optional<ChaosPlan> chaos;
+  // Adaptive quiescence (grid/chaos.h): when quiescence.adaptive is true
+  // the timeout tracks observed inter-message gaps (SRTT + 4·RTTVAR,
+  // clamped to [floor_ms, ceiling_ms]) instead of staying pinned at
+  // quiescence_timeout_ms — WAN jitter stretches the timeout instead of
+  // tripping retries.
+  QuiescencePolicy quiescence;
+  // Load shedding: above this many queued-but-unsent bytes for one peer,
+  // new protocol frames for it are dropped (counted in frames_shed)
+  // instead of queued — the connection survives and control/handshake
+  // frames are exempt. 0 = off. Distinct from max_write_buffer, which
+  // kills the connection outright.
+  std::size_t shed_watermark = 0;
+  // Slow-peer eviction: a peer whose write queue has not fully drained
+  // for this long is disconnected (counted in peers_evicted). 0 = off.
+  std::uint64_t evict_stalled_after_ms = 0;
 };
 
 // Acceptor-side handshake policy for require_auth().
@@ -110,6 +133,17 @@ struct TcpIoStats {
   std::uint64_t frames_undecodable = 0;
   std::uint64_t streams_truncated = 0;
   std::uint64_t handshakes_refused = 0;
+  // Degradation policies (see TcpTransportOptions):
+  std::uint64_t frames_shed = 0;    // dropped above shed_watermark
+  std::uint64_t peers_evicted = 0;  // cut for a stalled write queue
+  // Chaos injection (options.chaos only; all zero on a real network):
+  std::uint64_t chaos_accept_resets = 0;
+  std::uint64_t chaos_disconnects = 0;
+  std::uint64_t chaos_frames_delayed = 0;
+  std::uint64_t chaos_read_stalls = 0;
+  // The quiescence timeout currently in force (tracks the adaptive
+  // estimate when quiescence.adaptive is set).
+  std::uint64_t quiescence_timeout_ms = 0;
 };
 
 // One TcpTransport hosts exactly one local protocol node (gridd's
@@ -227,6 +261,19 @@ class TcpTransport final : public Transport {
     std::optional<Hello> hello;
     Bytes nonce;                   // outstanding challenge (auth acceptor)
     std::optional<auth::AuthInfo> auth;  // proven identity, once greeted
+    // Chaos state (options.chaos only; null link = clean connection):
+    std::unique_ptr<ChaosLink> chaos;
+    // Frames held until their sampled release time (framed bytes ready to
+    // join write_buffer), FIFO by construction (releases are monotone).
+    std::deque<std::pair<std::uint64_t, Bytes>> delayed;
+    std::uint64_t stalled_until_ms = 0;  // read interest parked until then
+    // Degradation bookkeeping (always on): when the current write backlog
+    // started, 0 = drained. Drives evict_stalled_after_ms.
+    std::uint64_t write_stuck_since_ms = 0;
+    // One wheel timer services this peer's chaos releases, stall ends,
+    // and eviction deadline; re-armed to the earliest of them.
+    std::optional<TimerWheel::TimerId> wakeup;
+    std::uint64_t wakeup_at_ms = 0;
   };
 
   // One event loop: engine + wheel + the peers it owns. With io_threads ==
@@ -240,10 +287,14 @@ class TcpTransport final : public Transport {
     std::map<std::uint32_t, Peer> peers;
     std::vector<std::uint32_t> doomed;
     Bytes encode_scratch;
+    Bytes frame_scratch;  // framed-bytes staging for the chaos/shed path
     Bytes read_scratch;  // recv target, sized once, reused for every read
     std::vector<ReadyEvent> ready_scratch;
     std::vector<TimerWheel::TimerId> fired_scratch;
     std::optional<TimerWheel::TimerId> quiescence_timer;  // single-loop only
+    // Peer-service timers (chaos releases / stall ends / eviction): fired
+    // id -> owning peer. Loop-thread-only, like the peers map.
+    std::map<TimerWheel::TimerId, std::uint32_t> peer_timers;
     std::atomic<std::size_t> write_queue_hwm{0};
     // Cross-thread plumbing (multi-loop only): closures submitted by the
     // protocol thread (sends, adopted connections), plus the wake pipe that
@@ -307,6 +358,23 @@ class TcpTransport final : public Transport {
   // fit the socket buffer without waiting for a readiness round), and
   // re-arms write interest. Loop-thread context (or single-loop).
   void finish_enqueue(Loop& loop, GridNodeId to, Peer& peer);
+  // The enqueue front door: sheds above the watermark (protocol frames
+  // only), detours through the chaos delay queue when the peer's link has
+  // latency, otherwise appends to write_buffer and finishes. `framed`
+  // carries the 4-byte length prefix already. Loop-thread context.
+  void enqueue_framed(Loop& loop, GridNodeId to, Peer& peer, BytesView framed,
+                      bool control);
+  // Moves due delayed frames onto the wire, ends read stalls, enforces
+  // eviction, and re-arms the peer's wakeup timer. Returns true if frames
+  // hit the write path (progress, for quiescence purposes).
+  bool service_peer_wakeup(Loop& loop, GridNodeId id, Peer& peer);
+  // Arms (or pulls earlier) the peer's single service timer.
+  void schedule_peer_wakeup(Loop& loop, GridNodeId id, Peer& peer,
+                            std::uint64_t at_ms);
+  // The quiescence timeout currently in force (adaptive or fixed).
+  std::uint64_t effective_quiescence_ms() const;
+  // Chaos read-stall entry: true when the read must be skipped this round.
+  bool chaos_stall_read(Loop& loop, GridNodeId id, Peer& peer);
   // Encodes, frames, and queues a handshake control frame for `peer`,
   // bypassing NetworkStats (the meter counts scheme traffic, comparable
   // across transports; the handshake is TcpTransport plumbing).
@@ -364,6 +432,18 @@ class TcpTransport final : public Transport {
   std::atomic<std::uint64_t> frames_undecodable_{0};
   std::atomic<std::uint64_t> streams_truncated_{0};
   std::atomic<std::uint64_t> handshakes_refused_{0};
+  std::atomic<std::uint64_t> frames_shed_{0};
+  std::atomic<std::uint64_t> peers_evicted_{0};
+  std::atomic<std::uint64_t> chaos_accept_resets_{0};
+  std::atomic<std::uint64_t> chaos_disconnects_{0};
+  std::atomic<std::uint64_t> chaos_frames_delayed_{0};
+  std::atomic<std::uint64_t> chaos_read_stalls_{0};
+
+  // Adaptive quiescence (protocol-thread-only, like stats_): observed
+  // inter-message gaps per peer feed the estimator; the effective timeout
+  // is read when (re-)arming quiescence.
+  AdaptiveTimeout quiescence_estimator_;
+  std::map<std::uint32_t, std::uint64_t> last_message_ms_;
 
   std::optional<AuthOptions> auth_;  // acceptor: challenge + verify
   std::mutex nonce_mutex_;           // loops mint challenge nonces

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Chaos-at-the-socket end-to-end: gridd with seeded WAN fault injection
+# (latency, throttling, partial writes, read stalls, mid-stream
+# disconnects, accept-time resets) versus gridworker processes that
+# reconnect-and-resume. Two modes:
+#
+#   strict (default) — fixed chaos seed, light chaos. The grid must still
+#     work: the cheater is caught (gridd exit 2), no honest worker is
+#     flagged, and the chaos counters appear in gridd's summary. This is
+#     the per-PR regression gate.
+#
+#   invariant — randomized chaos seed (echoed for replay), any level. The
+#     only assertion is the paper's fairness line: chaos may slow or abort
+#     the grid, but an honest worker is NEVER accused. This is the nightly
+#     randomized leg; on failure, rerun with the echoed seed.
+#
+# usage: chaos_grid.sh <gridd> <gridworker> [strict|invariant] [level] [seed]
+set -u
+
+GRIDD=${1:?path to gridd}
+GRIDWORKER=${2:?path to gridworker}
+MODE=${3:-strict}
+LEVEL=${4:-light}
+SEED=${5:-}
+
+if [ -z "$SEED" ]; then
+  if [ "$MODE" = strict ]; then
+    SEED=12021
+  else
+    SEED=$(( (RANDOM << 15 | RANDOM) + 1 ))
+  fi
+fi
+echo "chaos_grid: mode=$MODE level=$LEVEL seed=$SEED (replay: $0 $GRIDD $GRIDWORKER $MODE $LEVEL $SEED)"
+
+WORKDIR=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null; wait 2>/dev/null; rm -rf "$WORKDIR"' EXIT
+
+fail() {
+  echo "FAIL: $* (chaos seed=$SEED level=$LEVEL)" >&2
+  echo "---- gridd.log ----" >&2; cat "$WORKDIR/gridd.log" >&2 || true
+  for w in honest-1 honest-2 cheater-1; do
+    echo "---- $w.log ----" >&2; cat "$WORKDIR/$w.log" >&2 || true
+  done
+  exit 1
+}
+
+# Adaptive quiescence is the point under WAN latency: the loopback-tuned
+# retry timer must stretch itself instead of starving the exchange.
+"$GRIDD" --port 0 --workers 3 --workload test --scheme cbs \
+         --domain-begin 0 --domain-end 3072 --seed 7 \
+         --chaos "$LEVEL" --chaos-seed "$SEED" \
+         --adaptive-idle 1 --idle-timeout-ms 2000 \
+         --idle-floor-ms 200 --idle-ceiling-ms 8000 \
+         >"$WORKDIR/gridd.log" 2>&1 &
+GRIDD_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^gridd: listening on [0-9.]*:\([0-9]*\)$/\1/p' \
+         "$WORKDIR/gridd.log" 2>/dev/null | head -1)
+  [ -n "$PORT" ] && break
+  kill -0 "$GRIDD_PID" 2>/dev/null || fail "gridd died before listening"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "gridd never printed its port"
+
+# Generous budgets: a chaotic link cuts connections mid-exchange, and the
+# whole point is that workers come back and resume.
+WORKER_ARGS=(--connect "127.0.0.1:$PORT" --reconnects 8 \
+             --connect-retries 10 --idle-timeout-ms 2000)
+"$GRIDWORKER" "${WORKER_ARGS[@]}" --agent honest-1 \
+              >"$WORKDIR/honest-1.log" 2>&1 &
+"$GRIDWORKER" "${WORKER_ARGS[@]}" --agent honest-2 \
+              >"$WORKDIR/honest-2.log" 2>&1 &
+"$GRIDWORKER" "${WORKER_ARGS[@]}" --agent cheater-1 \
+              --cheat semi-honest:0.5 --seed 99 \
+              >"$WORKDIR/cheater-1.log" 2>&1 &
+
+wait "$GRIDD_PID"; GRIDD_STATUS=$?
+wait
+
+LOG="$WORKDIR/gridd.log"
+
+# Both modes: the fairness invariant. Chaos must never convert an honest
+# worker into an accused one — neither in gridd's ledger nor in a verdict
+# the worker itself saw.
+grep -Eq "agent=honest-[0-9]+ .* flagged=yes" "$LOG" \
+  && fail "an honest worker was flagged under chaos"
+for agent in honest-1 honest-2; do
+  grep -Eq "status=(wrong-result|root-mismatch|malformed)" "$WORKDIR/$agent.log" \
+    && fail "honest worker $agent received a rejection verdict"
+done
+grep -q "gridd: chaos level=$LEVEL seed=$SEED" "$LOG" \
+  || fail "chaos banner missing (injection not armed?)"
+
+if [ "$MODE" = invariant ]; then
+  # Randomized chaos may legitimately end in catch (2), clean finish (0),
+  # or abort-starved incomplete (3) — anything else is a crash.
+  case "$GRIDD_STATUS" in
+    0|2|3) ;;
+    *) fail "gridd exit=$GRIDD_STATUS, want 0/2/3 under randomized chaos" ;;
+  esac
+  echo "PASS: invariant held under chaos seed=$SEED level=$LEVEL (gridd exit=$GRIDD_STATUS)"
+  exit 0
+fi
+
+# Strict mode: light chaos with the pinned seed must not stop the grid
+# from doing its actual job.
+[ "$GRIDD_STATUS" -eq 2 ] || fail "gridd exit=$GRIDD_STATUS, want 2 (cheat detected)"
+grep -Eq "agent=cheater-1 id=[0-9a-f]+ accepted=0 rejected=1 .* flagged=yes" "$LOG" \
+  || fail "cheater not flagged"
+for agent in honest-1 honest-2; do
+  grep -Eq "agent=$agent id=[0-9a-f]+ accepted=1 rejected=0" "$LOG" \
+    || fail "honest worker $agent not cleanly accepted"
+done
+grep -Eq "summary scheme=cbs .* accepted=2 rejected=1 aborted=0" "$LOG" \
+  || fail "summary line mismatch"
+grep -Eq "idle_timeout_ms=[0-9]+" "$LOG" \
+  || fail "adaptive idle timeout missing from summary"
+grep -Eq "gridd: chaos accept_resets=[0-9]+ disconnects=[0-9]+" "$LOG" \
+  || fail "chaos counter line missing from summary"
+
+echo "PASS: chaotic wire (seed=$SEED) slowed the grid but changed no verdict"

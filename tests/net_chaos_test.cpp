@@ -1,0 +1,499 @@
+// Chaos-layer coverage: the deterministic fault model (grid/chaos.h) on
+// its own, the LatencyTransport that replays it on a virtual clock, and
+// the real TCP stack degrading gracefully under the same plans — accept
+// resets, delayed and dropped frames, read stalls, forced short writes,
+// load shedding, slow-peer eviction, and the SIGPIPE-free write path.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/cheating.h"
+#include "grid/chaos.h"
+#include "grid/participant_node.h"
+#include "grid/supervisor_node.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/tcp_transport.h"
+#include "wire/codec.h"
+
+namespace ugc {
+namespace {
+
+net::TcpTransportOptions fast_options() {
+  net::TcpTransportOptions options;
+  options.quiescence_timeout_ms = 300;
+  if (const char* engine = std::getenv("UGC_NET_ENGINE")) {
+    options.engine = net::parse_engine_backend(engine);
+  }
+  return options;
+}
+
+ChaosPlan busy_plan() {
+  ChaosPlan plan;
+  plan.seed = 99;
+  plan.base_rtt_ms = 8.0;
+  plan.jitter_ms = 4.0;
+  plan.bandwidth_bytes_per_s = 2e6;
+  plan.partial_write_cap = 128;
+  plan.stall_rate = 0.1;
+  plan.stall_ms = 20;
+  plan.disconnect_rate = 0.05;
+  plan.accept_reset_rate = 0.2;
+  return plan;
+}
+
+TEST(ChaosPlan, NamedLevelsAndDefaults) {
+  EXPECT_FALSE(ChaosPlan{}.any());
+  EXPECT_FALSE(make_chaos_plan("off", 7).any());
+  const ChaosPlan light = make_chaos_plan("light", 7);
+  const ChaosPlan heavy = make_chaos_plan("heavy", 7);
+  EXPECT_TRUE(light.any());
+  EXPECT_TRUE(heavy.any());
+  EXPECT_GT(heavy.base_rtt_ms, light.base_rtt_ms);
+  EXPECT_GT(heavy.stall_rate, light.stall_rate);
+  EXPECT_EQ(light.seed, 7u);
+  EXPECT_THROW(make_chaos_plan("catastrophic", 7), Error);
+}
+
+TEST(ChaosLink, SameSeedAndLinkReplayIdentically) {
+  const ChaosPlan plan = busy_plan();
+  ChaosLink a(plan, 3);
+  ChaosLink b(plan, 3);
+  ChaosLink other(plan, 4);
+  bool any_difference_from_other = false;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t now = static_cast<std::uint64_t>(i) * 5;
+    const std::uint64_t ra = a.release_ms(1000, now);
+    const std::uint64_t rb = b.release_ms(1000, now);
+    EXPECT_EQ(ra, rb);
+    EXPECT_EQ(a.sample_disconnect(), b.sample_disconnect());
+    EXPECT_EQ(a.sample_stall_ms(), b.sample_stall_ms());
+    EXPECT_EQ(a.sample_accept_reset(), b.sample_accept_reset());
+    if (other.release_ms(1000, now) != ra) {
+      any_difference_from_other = true;
+    }
+  }
+  EXPECT_TRUE(any_difference_from_other)
+      << "distinct links must draw from distinct streams";
+}
+
+TEST(ChaosLink, ReleaseTimesAreMonotoneAndNeverEarly) {
+  ChaosLink link(busy_plan(), 12);
+  std::uint64_t previous = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t now = static_cast<std::uint64_t>(i % 7) * 11;
+    const std::uint64_t release = link.release_ms(64 + 512 * (i % 5), now);
+    EXPECT_GE(release, now) << "a frame cannot arrive before it was sent";
+    EXPECT_GE(release, previous) << "chaos must not reorder a TCP stream";
+    previous = release;
+  }
+}
+
+TEST(ChaosLink, ClampWriteHonorsTheCap) {
+  ChaosPlan plan;
+  plan.partial_write_cap = 100;
+  ChaosLink capped(plan, 1);
+  EXPECT_EQ(capped.clamp_write(5000), 100u);
+  EXPECT_EQ(capped.clamp_write(40), 40u);
+  ChaosLink uncapped(ChaosPlan{}, 1);
+  EXPECT_EQ(uncapped.clamp_write(5000), 5000u);
+}
+
+TEST(AdaptiveTimeout, TracksGapsWithinTheClamp) {
+  QuiescencePolicy policy;
+  policy.adaptive = true;
+  policy.floor_ms = 50;
+  policy.ceiling_ms = 400;
+  AdaptiveTimeout timeout(policy);
+  // Until enough samples accumulate the fallback rules — but already
+  // clamped, so a loopback-tuned default can't overshoot the ceiling.
+  EXPECT_EQ(timeout.timeout_ms(300), 300u);
+  EXPECT_EQ(timeout.timeout_ms(1000), policy.ceiling_ms);
+  for (int i = 0; i < 8; ++i) {
+    timeout.record_gap(40);
+  }
+  const std::uint64_t adapted = timeout.timeout_ms(300);
+  EXPECT_GE(adapted, policy.floor_ms);
+  EXPECT_LE(adapted, policy.ceiling_ms);
+  EXPECT_LT(adapted, 300u) << "steady 40ms gaps must beat the 300ms fallback";
+  // Huge gaps saturate at the ceiling, never beyond.
+  for (int i = 0; i < 8; ++i) {
+    timeout.record_gap(10000);
+  }
+  EXPECT_EQ(timeout.timeout_ms(1000), policy.ceiling_ms);
+
+  AdaptiveTimeout fixed;  // non-adaptive: fallback verbatim, always
+  for (int i = 0; i < 8; ++i) {
+    fixed.record_gap(40);
+  }
+  EXPECT_EQ(fixed.timeout_ms(777), 777u);
+}
+
+// Counts messages; replies to nothing — traffic into it just disappears
+// from the protocol's point of view.
+struct CountingSink final : GridNode {
+  std::size_t received = 0;
+  void on_message(GridNodeId, const Message&, Transport&) override {
+    ++received;
+  }
+};
+
+TEST(LatencyTransport, ReplaysTheSamePlanIdentically) {
+  const auto run_once = [](std::uint64_t seed) {
+    ChaosPlan plan = busy_plan();
+    plan.seed = seed;
+    plan.accept_reset_rate = 0;  // no accept phase in the sim transport
+    LatencyTransport::Options options;
+    options.plan = plan;
+    options.quiescence_timeout_ms = 500;
+    LatencyTransport net(options);
+    CountingSink sink;
+    const GridNodeId to = net.add_node(sink);
+    CountingSink sender;
+    const GridNodeId from = net.add_node(sender);
+    for (int i = 0; i < 50; ++i) {
+      net.send(from, to, Hello{kGridProtocol, "chaotic"});
+    }
+    const std::size_t delivered = net.run();
+    return std::tuple{delivered, net.now_ms(), net.frames_dropped(),
+                      sink.received};
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(std::get<1>(run_once(5)), std::get<1>(run_once(6)))
+      << "different seeds should trace different virtual clocks";
+  // Frames land despite the chaos, minus exactly the sampled disconnects.
+  const auto [delivered, now, dropped, received] = run_once(5);
+  EXPECT_EQ(delivered, received);
+  EXPECT_EQ(delivered + dropped, 50u);
+  EXPECT_GT(now, 0u);
+}
+
+TEST(LatencyTransport, HonestGridSettlesWithoutAccusationsUnderLatency) {
+  // Latency well past the fixed timeout: the adaptive policy must stretch
+  // the quiescence window instead of letting retries exhaust into limbo,
+  // and no amount of slowness may convert into a rejection.
+  ChaosPlan plan;
+  plan.seed = 21;
+  plan.base_rtt_ms = 120.0;
+  plan.jitter_ms = 60.0;
+  plan.bandwidth_bytes_per_s = 1e6;
+  LatencyTransport::Options options;
+  options.plan = plan;
+  options.quiescence_timeout_ms = 40;  // hopeless for a 120ms-RTT link
+  options.quiescence.adaptive = true;
+  options.quiescence.floor_ms = 20;
+  options.quiescence.ceiling_ms = 5000;
+  LatencyTransport net(options);
+
+  ParticipantNode honest_a{{}}, honest_b{{}};
+  const GridNodeId a = net.add_node(honest_a);
+  const GridNodeId b = net.add_node(honest_b);
+  SupervisorNode::Plan grid;
+  grid.domain = Domain(0, 2 * 256);
+  grid.scheme.name = "cbs";
+  grid.seed = 11;
+  SupervisorNode supervisor(grid, {a, b});
+  net.add_node(supervisor);
+  supervisor.start(net);
+  net.run();
+
+  ASSERT_TRUE(supervisor.done());
+  for (const SupervisorNode::TaskOutcome& outcome : supervisor.outcomes()) {
+    EXPECT_TRUE(outcome.verdict.accepted() ||
+                outcome.verdict.status == VerdictStatus::kAborted)
+        << "honest worker rejected: " << outcome.verdict.detail;
+  }
+  EXPECT_GT(net.frames_delayed(), 0u);
+  EXPECT_GE(net.current_timeout_ms(), 20u);  // the estimator stays clamped
+}
+
+TEST(LatencyTransport, ReplaceSlotReroutesTheRetryToTheNewPeer) {
+  // Slot 0 starts as a black hole; after the assignment is lost to it, the
+  // slot is re-pointed at a live participant (the reconnect path). The
+  // quiescence retry must reach the replacement and settle accepted.
+  LatencyTransport::Options options;
+  options.quiescence_timeout_ms = 100;
+  LatencyTransport net(options);
+
+  CountingSink black_hole;
+  const GridNodeId dead = net.add_node(black_hole);
+  ParticipantNode honest{{}};
+  const GridNodeId live = net.add_node(honest);
+
+  SupervisorNode::Plan grid;
+  grid.domain = Domain(0, 256);
+  grid.scheme.name = "cbs";
+  grid.seed = 5;
+  SupervisorNode supervisor(grid, {dead});
+  net.add_node(supervisor);
+  supervisor.start(net);
+  // The initial assignment is in flight toward the black hole; the worker
+  // "reconnects" before anything times out.
+  supervisor.replace_slot(0, live);
+  net.run();
+
+  ASSERT_TRUE(supervisor.done());
+  const std::vector<SupervisorNode::TaskOutcome> outcomes =
+      supervisor.outcomes();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].verdict.accepted())
+      << outcomes[0].verdict.detail;
+  EXPECT_EQ(outcomes[0].peer.value, live.value);
+  EXPECT_GT(black_hole.received, 0u)
+      << "the first assignment should have gone to the dead slot";
+}
+
+// ---------------------------------------------------------------- real TCP
+
+// Runs one participant until the supervisor hangs up.
+std::map<TaskId, Verdict> run_worker(std::uint16_t port,
+                                     const std::string& agent,
+                                     std::shared_ptr<const HonestyPolicy>
+                                         policy = nullptr) {
+  ParticipantNode::Options options;
+  options.policy = std::move(policy);
+  ParticipantNode node(options);
+  net::TcpTransport transport(fast_options());
+  const GridNodeId self = transport.add_local(node);
+  const GridNodeId supervisor = transport.connect("127.0.0.1", port);
+  transport.send(self, supervisor, Hello{kGridProtocol, agent});
+  bool gone = false;
+  transport.on_peer_disconnected = [&](GridNodeId) { gone = true; };
+  transport.run([&] { return gone; });
+  return node.verdicts();
+}
+
+TEST(TcpChaos, AcceptResetCutsTheConnectionAndCounts) {
+  net::TcpTransportOptions options = fast_options();
+  options.chaos.emplace();
+  options.chaos->seed = 3;
+  options.chaos->accept_reset_rate = 1.0;  // every accept dies
+  net::TcpTransport server(options);
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  bool greeted = false;
+  server.on_peer_hello = [&](GridNodeId, const Hello&) { greeted = true; };
+  std::thread client([port] { run_worker(port, "doomed"); });
+  server.run([&] { return server.io_stats().chaos_accept_resets >= 1; });
+  server.close_all();
+  client.join();
+  EXPECT_FALSE(greeted) << "a reset connection must never register";
+  EXPECT_GE(server.io_stats().chaos_accept_resets, 1u);
+  EXPECT_TRUE(server.connected_peers().empty());
+}
+
+TEST(TcpChaos, FullExchangeStillCatchesTheCheaterUnderChaos) {
+  // Latency, throttling, short writes, and read stalls on every server
+  // link — but no lost traffic — must change timing only: honest workers
+  // accepted, the cheater accused, nothing aborted.
+  net::TcpTransportOptions options = fast_options();
+  options.chaos.emplace();
+  options.chaos->seed = 17;
+  options.chaos->base_rtt_ms = 5.0;
+  options.chaos->jitter_ms = 3.0;
+  options.chaos->bandwidth_bytes_per_s = 4e6;
+  options.chaos->partial_write_cap = 64;
+  options.chaos->stall_rate = 0.05;
+  options.chaos->stall_ms = 20;
+  options.quiescence.adaptive = true;
+  options.quiescence.floor_ms = 200;
+  options.quiescence.ceiling_ms = 3000;
+  net::TcpTransport server(options);
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  std::vector<std::thread> workers;
+  workers.emplace_back([port] { run_worker(port, "honest-a"); });
+  workers.emplace_back([port] { run_worker(port, "honest-b"); });
+  workers.emplace_back([port] {
+    run_worker(port, "cheater", make_semi_honest_cheater({0.3, 0.0, 77}));
+  });
+
+  std::vector<GridNodeId> slots;
+  std::map<std::uint32_t, std::string> agents;
+  server.on_peer_hello = [&](GridNodeId peer, const Hello& hello) {
+    slots.push_back(peer);
+    agents[peer.value] = hello.agent;
+  };
+  server.run([&] { return slots.size() == 3; });
+
+  SupervisorNode::Plan plan;
+  plan.domain = Domain(0, 3 * 256);
+  plan.scheme.name = "cbs";
+  plan.scheme.cbs.sample_count = 6;
+  plan.seed = 42;
+  SupervisorNode supervisor(plan, slots);
+  server.add_local(supervisor);
+  supervisor.start(server);
+  server.run([&] { return supervisor.done(); });
+
+  std::map<std::string, Verdict> by_agent;
+  for (const SupervisorNode::TaskOutcome& outcome : supervisor.outcomes()) {
+    by_agent[agents.at(outcome.peer.value)] = outcome.verdict;
+  }
+  const net::TcpIoStats io = server.io_stats();
+  server.close_all();
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+
+  ASSERT_EQ(by_agent.size(), 3u);
+  EXPECT_TRUE(by_agent.at("honest-a").accepted());
+  EXPECT_TRUE(by_agent.at("honest-b").accepted());
+  EXPECT_FALSE(by_agent.at("cheater").accepted());
+  EXPECT_NE(by_agent.at("cheater").status, VerdictStatus::kAborted);
+  EXPECT_GT(io.chaos_frames_delayed, 0u)
+      << "the latency model should have touched real frames";
+}
+
+TEST(TcpChaos, MidStreamDisconnectsNeverConvertToAccusations) {
+  // Every released frame has a 30% chance of killing its connection, and
+  // the workers do not reconnect: most tasks die. The one forbidden
+  // outcome is an honest worker rejected.
+  net::TcpTransportOptions options = fast_options();
+  options.quiescence_timeout_ms = 200;
+  options.chaos.emplace();
+  options.chaos->seed = 29;
+  options.chaos->disconnect_rate = 0.3;
+  net::TcpTransport server(options);
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  std::vector<std::thread> workers;
+  workers.emplace_back([port] { run_worker(port, "honest-a"); });
+  workers.emplace_back([port] { run_worker(port, "honest-b"); });
+
+  std::vector<GridNodeId> slots;
+  server.on_peer_hello = [&](GridNodeId peer, const Hello&) {
+    slots.push_back(peer);
+  };
+  server.run([&] { return slots.size() == 2; });
+
+  SupervisorNode::Plan plan;
+  plan.domain = Domain(0, 2 * 128);
+  plan.scheme.name = "cbs";
+  plan.seed = 8;
+  plan.max_task_retries = 1;
+  SupervisorNode supervisor(plan, slots);
+  server.add_local(supervisor);
+  supervisor.start(server);
+  server.run([&] { return supervisor.done(); });
+  server.close_all();
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+
+  for (const SupervisorNode::TaskOutcome& outcome : supervisor.outcomes()) {
+    EXPECT_TRUE(outcome.verdict.accepted() ||
+                outcome.verdict.status == VerdictStatus::kAborted)
+        << "an honest worker on a dying link must abort, never be accused";
+  }
+}
+
+TEST(TcpChaos, ShedWatermarkDropsProtocolFramesBeyondTheBacklog) {
+  net::TcpTransportOptions options = fast_options();
+  options.shed_watermark = 2048;
+  net::TcpTransport server(options);
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  CountingSink sink;
+  const GridNodeId self = server.add_local(sink);
+  std::optional<GridNodeId> peer;
+  server.on_peer_hello = [&](GridNodeId id, const Hello&) { peer = id; };
+
+  net::Socket raw = net::tcp_connect("127.0.0.1", port);
+  Bytes hello;
+  net::append_frame(encode_message(Message{Hello{kGridProtocol, "mute"}}),
+                    hello);
+  (void)net::write_some(raw, hello);
+  server.run([&] { return peer.has_value(); });
+
+  // The peer never reads; once the kernel socket buffer fills, userspace
+  // backlog crosses the watermark and the enqueue path must start shedding
+  // whole frames instead of growing the queue toward the kill cap.
+  const Message bulk{Hello{kGridProtocol, std::string(256 * 1024, 'x')}};
+  for (int i = 0; i < 64; ++i) {
+    server.send(self, *peer, bulk);
+  }
+  const net::TcpIoStats io = server.io_stats();
+  EXPECT_GT(io.frames_shed, 0u);
+  EXPECT_LE(io.write_queue_hwm, options.shed_watermark + 256 * 1024 + 4096)
+      << "the backlog must stay bounded near the watermark plus one frame";
+  server.close_all();
+}
+
+TEST(TcpChaos, StalledWriterIsEvictedAfterTheDeadline) {
+  net::TcpTransportOptions options = fast_options();
+  options.evict_stalled_after_ms = 150;
+  net::TcpTransport server(options);
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  CountingSink sink;
+  const GridNodeId self = server.add_local(sink);
+  std::optional<GridNodeId> peer;
+  bool dropped = false;
+  server.on_peer_hello = [&](GridNodeId id, const Hello&) { peer = id; };
+  server.on_peer_disconnected = [&](GridNodeId) { dropped = true; };
+
+  net::Socket raw = net::tcp_connect("127.0.0.1", port);
+  Bytes hello;
+  net::append_frame(encode_message(Message{Hello{kGridProtocol, "deaf"}}),
+                    hello);
+  (void)net::write_some(raw, hello);
+  server.run([&] { return peer.has_value(); });
+
+  // Swamp the kernel buffer of a peer that never reads: the write queue
+  // jams, and after evict_stalled_after_ms the transport must cut the
+  // peer loose rather than carry the backlog forever.
+  const Message bulk{Hello{kGridProtocol, std::string(256 * 1024, 'y')}};
+  for (int i = 0; i < 64 && !dropped; ++i) {
+    server.send(self, *peer, bulk);
+    server.run([&] { return true; });  // one service round
+  }
+  server.run([&] { return dropped; });
+  EXPECT_TRUE(dropped);
+  EXPECT_GE(server.io_stats().peers_evicted, 1u);
+  server.close_all();
+}
+
+TEST(TcpChaos, WriteIntoAClosedSocketFailsWithoutASignal) {
+  // Regression for the SIGPIPE class of failure: the raw write path must
+  // surface a dead peer as IoStatus::kError, not a process-killing signal.
+  // SIGPIPE keeps its default disposition here on purpose — if the socket
+  // layer ever loses MSG_NOSIGNAL, this test dies instead of failing.
+  net::Socket listener = net::tcp_listen("127.0.0.1", 0);
+  const std::uint16_t port = net::local_port(listener);
+  net::Socket client = net::tcp_connect("127.0.0.1", port);
+  net::Socket accepted;
+  while (!accepted.valid()) {
+    accepted = net::tcp_accept(listener);
+  }
+  accepted.close();  // the reader vanishes
+
+  const Bytes payload(64 * 1024, 0xab);
+  net::IoStatus status = net::IoStatus::kOk;
+  for (int i = 0; i < 64; ++i) {
+    const net::IoResult result = net::write_some(client, payload);
+    if (result.status != net::IoStatus::kOk &&
+        result.status != net::IoStatus::kWouldBlock) {
+      status = result.status;
+      break;
+    }
+    // A wedged non-blocking write needs the kernel to notice the RST.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(status, net::IoStatus::kError);
+}
+
+}  // namespace
+}  // namespace ugc

@@ -237,6 +237,69 @@ TEST(TimerWheel, NextDeadlineTracksEarliestTimer) {
   EXPECT_LT(*early, *late);
 }
 
+TEST(TimerWheel, CancelRacingExpiryNeitherFiresNorDoubleCounts) {
+  net::TimerWheel wheel(10);
+  std::vector<net::TimerWheel::TimerId> fired;
+  // Cancel at the brink: the cursor is one tick short of the deadline.
+  const auto id = wheel.schedule(0, 50);
+  wheel.advance(49, fired);
+  EXPECT_TRUE(fired.empty());
+  EXPECT_TRUE(wheel.cancel(id));
+  wheel.advance(500, fired);
+  EXPECT_TRUE(fired.empty());
+  // The mirror race: expiry wins, the late cancel must report "too late"
+  // (the transport relies on this to know a wakeup already happened).
+  const auto late = wheel.schedule(500, 30);
+  wheel.advance(540, fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], late);
+  EXPECT_FALSE(wheel.cancel(late)) << "a fired timer is spent";
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(TimerWheel, MultiLapTimerSurvivesCancellationOfItsSlotMate) {
+  // Two timers hashing into nearby slots of a tiny wheel, many laps out;
+  // cancelling one must not disturb the other's lap accounting.
+  net::TimerWheel wheel(1, 4);  // 4ms horizon: everything below laps
+  std::vector<net::TimerWheel::TimerId> fired;
+  const auto keep = wheel.schedule(0, 37);
+  const auto drop = wheel.schedule(0, 41);
+  EXPECT_TRUE(wheel.cancel(drop));
+  for (std::uint64_t t = 0; t <= 36; ++t) {
+    wheel.advance(t, fired);
+    EXPECT_TRUE(fired.empty()) << "at " << t;
+  }
+  wheel.advance(38, fired);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], keep);
+  wheel.advance(500, fired);
+  EXPECT_EQ(fired.size(), 1u) << "the cancelled slot-mate must stay dead";
+}
+
+TEST(TimerWheel, ReArmedQuiescenceFiresExactlyOncePerStallEpisode) {
+  // The transport's quiescence pattern: one armed timer per stall episode,
+  // firing exactly once however long time keeps advancing afterwards, and
+  // re-armed only when the next episode begins.
+  net::TimerWheel wheel(10);
+  std::vector<net::TimerWheel::TimerId> fired;
+  std::size_t episodes = 0;
+  auto id = wheel.schedule(0, 100);
+  for (std::uint64_t t = 0; t <= 2000; t += 10) {
+    wheel.advance(t, fired);
+    if (!fired.empty()) {
+      ASSERT_EQ(fired.size(), 1u) << "at " << t;
+      EXPECT_EQ(fired[0], id);
+      ++episodes;
+      fired.clear();
+      if (episodes < 3) {
+        id = wheel.schedule(t, 100);  // the next stall episode begins
+      }
+    }
+  }
+  EXPECT_EQ(episodes, 3u) << "three armed episodes, three firings, no more";
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
 TEST(TimerWheel, ManyTimersAllFireExactlyOnce) {
   net::TimerWheel wheel(5, 16);
   std::vector<net::TimerWheel::TimerId> expected;

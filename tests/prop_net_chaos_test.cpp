@@ -1,0 +1,334 @@
+// The PR-8 headline guarantee, property-tested over real sockets: across
+// hundreds of seeded chaos plans — WAN latency, bandwidth throttling,
+// forced short writes, read stalls, mid-stream disconnects, accept-time
+// resets — an honest worker is NEVER accused. Slow is fine, aborted is
+// fine; rejected is the one outcome chaos must not be able to produce,
+// because it is exactly how a supervisor would bleed its honest volunteers
+// (the paper's guarantees are vacuous once honesty stops paying).
+//
+// Four suites x 125 default iterations = 500 chaos plans per run, every
+// one over real loopback TCP with the full SupervisorNode/ParticipantNode
+// protocol. PROP_ITERS scales the count (CI's nightly chaos leg raises
+// it); PROP_SEED replays a failure. Time compression: the plans use
+// few-millisecond latencies with realistic *rates*, so a full run stays
+// in CI time while walking the same code paths as a real WAN.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/cheating.h"
+#include "grid/chaos.h"
+#include "grid/participant_node.h"
+#include "grid/supervisor_node.h"
+#include "net/tcp_transport.h"
+#include "prop.h"
+
+namespace ugc {
+namespace {
+
+using proptest::Failure;
+using proptest::Property;
+using proptest::gen_range;
+using proptest::gen_unit;
+using proptest::prop_check;
+
+// 125 cases per suite by default (4 suites = 500 plans), PROP_ITERS wins.
+proptest::Config chaos_config() {
+  proptest::Config config;
+  config.iterations =
+      static_cast<int>(proptest::env_u64("PROP_ITERS", 125));
+  return config;
+}
+
+struct ChaosCase {
+  std::uint64_t seed = 1;
+  ChaosPlan plan;
+  std::size_t workers = 2;
+  std::size_t cheaters = 0;
+  std::uint64_t points = 64;
+  std::uint64_t samples = 1;
+  bool reconnect = false;  // workers come back after a cut (gridworker-style)
+};
+
+std::string show_case(const ChaosCase& c) {
+  return concat("seed=", c.seed, " workers=", c.workers, " cheaters=",
+                c.cheaters, " rtt=", c.plan.base_rtt_ms, "ms jitter=",
+                c.plan.jitter_ms, "ms bw=", c.plan.bandwidth_bytes_per_s,
+                " cap=", c.plan.partial_write_cap, " stall=",
+                c.plan.stall_rate, "x", c.plan.stall_ms, "ms disc=",
+                c.plan.disconnect_rate, " reset=", c.plan.accept_reset_rate,
+                c.reconnect ? " reconnect" : "");
+}
+
+net::EngineBackend engine_from_env() {
+  if (const char* engine = std::getenv("UGC_NET_ENGINE")) {
+    return net::parse_engine_backend(engine);
+  }
+  return net::EngineBackend::kAuto;
+}
+
+// One worker process in miniature. With `reconnect`, a cut connection is
+// retried under the same agent name (the server re-aims the slot), writing
+// off in-flight sessions exactly like gridworker's resume path.
+void run_prop_worker(std::uint16_t port, const std::string& agent,
+                     bool cheater, const ChaosCase& c,
+                     std::atomic<int>& finished) {
+  ParticipantNode::Options options;
+  if (cheater) {
+    options.policy = make_semi_honest_cheater({0.5, 0.0, c.seed});
+  }
+  options.conduct_seed = c.seed;
+  ParticipantNode node(options);
+  net::TcpTransportOptions transport_options;
+  transport_options.quiescence_timeout_ms = 500;
+  transport_options.engine = engine_from_env();
+  net::TcpTransport transport(transport_options);
+  const GridNodeId self = transport.add_local(node);
+  int budget = c.reconnect ? 3 : 0;
+  try {
+    GridNodeId supervisor = transport.connect("127.0.0.1", port);
+    transport.send(self, supervisor, Hello{kGridProtocol, agent});
+    bool gone = false;
+    transport.on_peer_disconnected = [&](GridNodeId) { gone = true; };
+    for (;;) {
+      transport.run([&] { return gone; });
+      const bool settled =
+          node.active_tasks() == 0 && !node.verdicts().empty();
+      if (settled || budget <= 0) {
+        break;
+      }
+      --budget;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      node.on_crash();  // in-flight sessions died with the connection
+      supervisor = transport.connect("127.0.0.1", port);
+      transport.send(self, supervisor, Hello{kGridProtocol, agent});
+      gone = false;
+    }
+  } catch (const net::SocketError&) {
+    // Cut and the listener is gone too: the worker gives up cleanly.
+  }
+  finished.fetch_add(1);
+}
+
+// Hosts one chaotic grid and checks the invariant. Registration tolerates
+// workers the chaos kills before they ever say Hello; the protocol runs
+// over whatever population survived.
+Failure run_chaos_case(const ChaosCase& c) {
+  net::TcpTransportOptions options;
+  options.quiescence_timeout_ms = 150;
+  options.quiescence.adaptive = true;
+  options.quiescence.floor_ms = 60;
+  options.quiescence.ceiling_ms = 1500;
+  options.engine = engine_from_env();
+  if (c.plan.any()) {
+    options.chaos = c.plan;
+  }
+  net::TcpTransport server(options);
+  server.listen("127.0.0.1", 0);
+  const std::uint16_t port = server.port();
+
+  std::atomic<int> finished{0};
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < c.workers; ++i) {
+    const bool cheater = i < c.cheaters;
+    const std::string agent = concat(cheater ? "cheater-" : "honest-", i);
+    threads.emplace_back([&, port, agent, cheater] {
+      run_prop_worker(port, agent, cheater, c, finished);
+    });
+  }
+  const auto join_all = [&] {
+    server.close_all();
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  };
+
+  // Agent-keyed registration with the reconnect re-aim (the gridd path):
+  // a returning agent replaces its slot instead of counting twice.
+  std::vector<GridNodeId> slots;
+  std::map<std::string, std::size_t> slot_of;
+  std::map<std::uint32_t, std::string> agents;
+  SupervisorNode* supervisor_ptr = nullptr;
+  server.on_peer_hello = [&](GridNodeId peer, const Hello& hello) {
+    agents[peer.value] = hello.agent;
+    if (const auto it = slot_of.find(hello.agent); it != slot_of.end()) {
+      slots[it->second] = peer;
+      if (supervisor_ptr != nullptr) {
+        supervisor_ptr->replace_slot(it->second, peer);
+      }
+      return;
+    }
+    slot_of[hello.agent] = slots.size();
+    slots.push_back(peer);
+  };
+
+  Stopwatch watch;
+  server.run([&] {
+    return slots.size() >= c.workers ||
+           (finished.load() > 0 &&
+            slots.size() + static_cast<std::size_t>(finished.load()) >=
+                c.workers) ||
+           watch.elapsed_seconds() > 15.0;
+  });
+  if (slots.empty()) {
+    join_all();
+    return {};  // chaos killed everyone before Hello: nothing to verify
+  }
+
+  SupervisorNode::Plan plan;
+  plan.domain = Domain(0, slots.size() * c.points);
+  plan.scheme.name = "cbs";
+  plan.scheme.cbs.sample_count = c.samples;
+  plan.seed = c.seed;
+  plan.max_task_retries = 2;
+  SupervisorNode supervisor(plan, slots);
+  supervisor_ptr = &supervisor;
+  server.add_local(supervisor);
+  supervisor.start(server);
+  server.run(
+      [&] { return supervisor.done() || watch.elapsed_seconds() > 30.0; });
+  const bool done = supervisor.done();
+  std::vector<SupervisorNode::TaskOutcome> outcomes = supervisor.outcomes();
+  join_all();
+
+  if (!done) {
+    return concat("grid failed to settle within 30s (",
+                  outcomes.size(), " outcomes)");
+  }
+  for (const SupervisorNode::TaskOutcome& outcome : outcomes) {
+    const auto it = agents.find(outcome.peer.value);
+    const std::string agent =
+        it != agents.end() ? it->second : std::string("?");
+    const bool honest = agent.rfind("honest", 0) == 0;
+    const bool rejected = !outcome.verdict.accepted() &&
+                          outcome.verdict.status != VerdictStatus::kAborted;
+    if (honest && rejected) {
+      return concat("honest worker '", agent, "' accused: ",
+                    outcome.verdict.detail);
+    }
+  }
+  return {};
+}
+
+// Smaller-chaos candidates: each dial halved toward silence, so a failing
+// plan shrinks to the single fault that causes the accusation.
+std::vector<ChaosCase> shrink_case(const ChaosCase& c) {
+  std::vector<ChaosCase> out;
+  const auto with = [&](auto mutate) {
+    ChaosCase smaller = c;
+    mutate(smaller);
+    out.push_back(smaller);
+  };
+  if (c.plan.base_rtt_ms > 0) {
+    with([](ChaosCase& s) { s.plan.base_rtt_ms = 0; s.plan.jitter_ms = 0; });
+  }
+  if (c.plan.bandwidth_bytes_per_s > 0) {
+    with([](ChaosCase& s) { s.plan.bandwidth_bytes_per_s = 0; });
+  }
+  if (c.plan.partial_write_cap > 0) {
+    with([](ChaosCase& s) { s.plan.partial_write_cap = 0; });
+  }
+  if (c.plan.stall_rate > 0) {
+    with([](ChaosCase& s) { s.plan.stall_rate = 0; });
+  }
+  if (c.plan.disconnect_rate > 0) {
+    with([](ChaosCase& s) { s.plan.disconnect_rate = 0; });
+  }
+  if (c.plan.accept_reset_rate > 0) {
+    with([](ChaosCase& s) { s.plan.accept_reset_rate = 0; });
+  }
+  if (c.workers > 2) {
+    with([](ChaosCase& s) { s.workers -= 1; });
+  }
+  return out;
+}
+
+TEST(PropNetChaos, prop_latency_and_throttling_never_accuse) {
+  Property<ChaosCase> prop;
+  prop.name = "honest workers survive latency/bandwidth/short-write chaos";
+  prop.gen = [](Rng& rng) {
+    ChaosCase c;
+    c.seed = rng.next();
+    c.plan.seed = c.seed;
+    c.plan.base_rtt_ms = gen_unit(rng, 25.0);
+    c.plan.jitter_ms = gen_unit(rng, 10.0);
+    c.plan.bandwidth_bytes_per_s =
+        rng.bernoulli(0.5) ? 0.0 : 1e6 + gen_unit(rng, 7e6);
+    const std::size_t caps[] = {0, 1, 64, 512};
+    c.plan.partial_write_cap = caps[rng.uniform(4)];
+    return c;
+  };
+  prop.shrink = shrink_case;
+  prop.show = show_case;
+  prop_check(prop, run_chaos_case, chaos_config());
+}
+
+TEST(PropNetChaos, prop_read_stalls_never_accuse) {
+  Property<ChaosCase> prop;
+  prop.name = "honest workers survive read-stall chaos";
+  prop.gen = [](Rng& rng) {
+    ChaosCase c;
+    c.seed = rng.next();
+    c.plan.seed = c.seed;
+    c.plan.base_rtt_ms = gen_unit(rng, 8.0);
+    c.plan.stall_rate = gen_unit(rng, 0.15);
+    c.plan.stall_ms = gen_range(rng, 10, 60);
+    const std::size_t caps[] = {0, 1, 128};
+    c.plan.partial_write_cap = caps[rng.uniform(3)];
+    return c;
+  };
+  prop.shrink = shrink_case;
+  prop.show = show_case;
+  prop_check(prop, run_chaos_case, chaos_config());
+}
+
+TEST(PropNetChaos, prop_disconnects_and_resets_never_accuse) {
+  Property<ChaosCase> prop;
+  prop.name = "honest workers survive disconnect/reset chaos";
+  prop.gen = [](Rng& rng) {
+    ChaosCase c;
+    c.seed = rng.next();
+    c.plan.seed = c.seed;
+    c.plan.base_rtt_ms = gen_unit(rng, 6.0);
+    c.plan.disconnect_rate = gen_unit(rng, 0.03);
+    c.plan.accept_reset_rate = gen_unit(rng, 0.15);
+    c.workers = 2 + rng.uniform(2);
+    c.cheaters = rng.uniform(2);  // a cheater in the mix half the time
+    return c;
+  };
+  prop.shrink = shrink_case;
+  prop.show = show_case;
+  prop_check(prop, run_chaos_case, chaos_config());
+}
+
+TEST(PropNetChaos, prop_reconnecting_workers_resume_and_are_never_accused) {
+  Property<ChaosCase> prop;
+  prop.name = "reconnect-and-resume never converts to an accusation";
+  prop.gen = [](Rng& rng) {
+    ChaosCase c;
+    c.seed = rng.next();
+    c.plan.seed = c.seed;
+    c.plan.base_rtt_ms = gen_unit(rng, 5.0);
+    c.plan.disconnect_rate = 0.005 + gen_unit(rng, 0.025);
+    c.plan.accept_reset_rate = gen_unit(rng, 0.1);
+    c.workers = 2 + rng.uniform(2);
+    c.cheaters = rng.uniform(2);
+    c.reconnect = true;
+    return c;
+  };
+  prop.shrink = shrink_case;
+  prop.show = show_case;
+  prop_check(prop, run_chaos_case, chaos_config());
+}
+
+}  // namespace
+}  // namespace ugc
