@@ -109,7 +109,10 @@ int run_gridd(const cli::Flags& flags) {
         std::fflush(stdout);
         return;
       }
-      supervisor_ptr->replace_slot(it->second, peer);
+      // With the transport the node also replays an EpochResume + fresh
+      // assignment, so a pipelined worker restarts at the verified frontier
+      // instead of epoch 0.
+      supervisor_ptr->replace_slot(it->second, peer, &transport);
       identities[peer.value] = info;
       std::printf("gridd: worker %u reconnected agent=%s id=%s slot=%zu\n",
                   peer.value, info.agent.c_str(),
@@ -157,6 +160,9 @@ int run_gridd(const cli::Flags& flags) {
     plan.scheme.nicbs.sample_count = samples;
     plan.scheme.naive.sample_count = samples;
   }
+  plan.scheme.pipeline.epochs = flags.u64("epochs");
+  plan.scheme.pipeline.samples_per_epoch = flags.u64("epoch-samples");
+  plan.scheme.pipeline.window_epochs = flags.u64("epoch-window");
   plan.seed = flags.u64("seed");
   plan.pump_threads = static_cast<unsigned>(flags.u64("pump-threads"));
   plan.max_task_retries = flags.u64("max-retries");
@@ -217,7 +223,8 @@ int run_gridd(const cli::Flags& flags) {
   const net::TcpIoStats io = transport.io_stats();
   std::printf("gridd: summary scheme=%s workload=%s tasks=%zu accepted=%zu "
               "rejected=%zu aborted=%zu reassigned=%" PRIu64
-              " verification_evals=%" PRIu64 " bytes=%" PRIu64
+              " verification_evals=%" PRIu64 " stale_frames=%" PRIu64
+              " bytes=%" PRIu64
               " refused=%" PRIu64 " engine=%s io_loops=%u "
               "write_queue_hwm=%zu undecodable=%" PRIu64 " truncated=%" PRIu64
               " shed=%" PRIu64 " evicted=%" PRIu64 " idle_timeout_ms=%" PRIu64
@@ -226,6 +233,7 @@ int run_gridd(const cli::Flags& flags) {
               accepted + rejected + aborted, accepted, rejected, aborted,
               supervisor.tasks_reassigned(),
               supervisor.verification_evaluations(),
+              supervisor.stale_frames_dropped(),
               transport.stats().total_bytes, io.handshakes_refused,
               io.engine.c_str(), io.io_loops, io.write_queue_hwm,
               io.frames_undecodable, io.streams_truncated, io.frames_shed,
@@ -261,6 +269,9 @@ int main(int argc, char** argv) {
       {"workload-seed", "1"},
       {"scheme", "cbs"},
       {"samples", "0"},
+      {"epochs", "1"},
+      {"epoch-samples", "8"},
+      {"epoch-window", "4"},
       {"domain-begin", "0"},
       {"domain-end", "3072"},
       {"seed", "1"},

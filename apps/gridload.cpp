@@ -97,7 +97,11 @@ class WorkerArmy {
     std::string host = "127.0.0.1";
     std::uint16_t port = 0;
     std::size_t workers = 0;
-    std::size_t cheaters = 0;  // the first `cheaters` workers semi-cheat
+    std::size_t cheaters = 0;  // the first `cheaters` workers cheat
+    // Pipelined runs use mid-computation defectors instead of semi-honest
+    // cheaters: each defects halfway through its own assignment, which is
+    // the adversary epoch streaming exists to catch early.
+    bool defectors = false;
     std::uint64_t seed = 1;
     // New connections opened per army loop round. Real volunteers arrive
     // independently — one accept wakeup each — so the default of 1 keeps
@@ -256,6 +260,11 @@ class WorkerArmy {
     std::map<std::uint64_t, double> assign_ms;  // task -> assignment time
     std::size_t verdicts_seen = 0;
     int reconnects_left = 3;
+    std::uint64_t seed = 0;
+    // Defector cheaters pick their defection input from the assignment's
+    // domain (its midpoint), so the policy is installed on first sight of
+    // a TaskAssignment rather than at connect time.
+    bool defect_pending = false;
     bool done = false;
   };
 
@@ -265,8 +274,11 @@ class WorkerArmy {
     const bool cheater = index < config_.cheaters;
     conn->agent = concat(cheater ? "cheater-" : "honest-", index);
     conn->identity = auth::WorkerIdentity::generate(rng);
+    conn->seed = config_.seed + index;
     ParticipantNode::Options options;
-    if (cheater) {
+    if (cheater && config_.defectors) {
+      conn->defect_pending = true;  // policy installed on first assignment
+    } else if (cheater) {
       options.policy =
           make_semi_honest_cheater({0.5, 0.0, config_.seed + index});
     }
@@ -339,6 +351,18 @@ class WorkerArmy {
     }
     if (const auto* assignment = std::get_if<TaskAssignment>(&message)) {
       conn.assign_ms.emplace(assignment->task.value, now_ms);
+      if (conn.defect_pending) {
+        // Rebuild the (still stateless) node around a defector that turns
+        // dishonest at the midpoint of the domain it was just handed.
+        ParticipantNode::Options options;
+        options.policy = make_defector_cheater(
+            {(assignment->domain_begin + assignment->domain_end) / 2, 0.0,
+             conn.seed});
+        options.conduct_seed = conn.seed;
+        conn.node = std::make_unique<ParticipantNode>(std::move(options));
+        WorkerLink::bind(*conn.node, GridNodeId{1});
+        conn.defect_pending = false;
+      }
     }
     conn.node->on_message(GridNodeId{0}, message, *conn.link);
     if (conn.node->verdicts().size() > conn.verdicts_seen) {
@@ -526,6 +550,12 @@ struct RunResult {
   std::uint64_t idle_timeout_ms = 0;
   std::size_t connect_failures = 0;
   bool deadline_hit = false;
+  // Pipelined verification: epochs elapsed before each cheater was caught
+  // (catch epoch + 1, summed over rejected tasks with a failed sample) vs
+  // the one-shot cost of running every task's full epoch count first.
+  std::uint64_t pipeline_epochs = 1;
+  std::uint64_t wasted_epochs = 0;
+  std::uint64_t one_shot_epochs = 0;
 };
 
 // One full grid run: hosts the supervisor transport under `config`, throws
@@ -582,6 +612,7 @@ RunResult run_grid(const cli::Flags& flags, std::size_t workers,
   army_config.port = transport.port();
   army_config.workers = workers;
   army_config.cheaters = cheaters;
+  army_config.defectors = flags.u64("epochs") > 1;
   army_config.seed = flags.u64("seed");
   army_config.deadline_ms = flags.u64("deadline-ms");
   WorkerArmy army(army_config);
@@ -620,6 +651,11 @@ RunResult run_grid(const cli::Flags& flags, std::size_t workers,
       plan.scheme.nicbs.sample_count = samples;
       plan.scheme.naive.sample_count = samples;
     }
+    const std::uint64_t epochs = flags.u64("epochs");
+    plan.scheme.pipeline.epochs = epochs;
+    if (const std::uint64_t samples = flags.u64("samples"); samples > 0) {
+      plan.scheme.pipeline.samples_per_epoch = samples;
+    }
     plan.seed = flags.u64("seed");
     plan.max_task_retries = flags.u64("max-retries");
 
@@ -647,6 +683,12 @@ RunResult run_grid(const cli::Flags& flags, std::size_t workers,
     result.idle_timeout_ms = io.quiescence_timeout_ms;
     transport.close_all();
 
+    result.pipeline_epochs = std::max<std::uint64_t>(epochs, 1);
+    // Every task's domain is `points` wide; replicate the scheme's epoch
+    // split so a rejected task's failed sample maps back to a catch epoch.
+    const std::vector<Domain> epoch_chunks =
+        Domain(0, flags.u64("points")).split(std::min<std::uint64_t>(
+            result.pipeline_epochs, flags.u64("points")));
     for (const SupervisorNode::TaskOutcome& outcome : supervisor.outcomes()) {
       ++result.verdicts;
       if (outcome.verdict.status == VerdictStatus::kAborted) {
@@ -660,6 +702,20 @@ RunResult run_grid(const cli::Flags& flags, std::size_t workers,
         const auto it = agents.find(outcome.peer.value);
         if (it != agents.end() && it->second.starts_with("honest")) {
           ++result.honest_accusations;
+        }
+        // One-shot verification only accuses after all epochs are computed;
+        // pipelined accuses at the epoch holding the failed sample.
+        result.one_shot_epochs += epoch_chunks.size();
+        if (outcome.verdict.failed_sample.has_value()) {
+          const std::uint64_t sample = outcome.verdict.failed_sample->value;
+          for (std::size_t e = 0; e < epoch_chunks.size(); ++e) {
+            if (sample < epoch_chunks[e].end()) {  // chunks start at 0
+              result.wasted_epochs += e + 1;
+              break;
+            }
+          }
+        } else {
+          result.wasted_epochs += epoch_chunks.size();
         }
       }
     }
@@ -719,6 +775,12 @@ void print_result(const RunResult& result) {
               result.refused, result.undecodable, result.truncated,
               result.connect_failures,
               result.deadline_hit ? " DEADLINE-HIT" : "");
+  if (result.pipeline_epochs > 1) {
+    std::printf("gridload:   pipelined epochs=%" PRIu64
+                " wasted_epochs=%" PRIu64 " one_shot_epochs=%" PRIu64 "\n",
+                result.pipeline_epochs, result.wasted_epochs,
+                result.one_shot_epochs);
+  }
   std::fflush(stdout);
 }
 
@@ -749,11 +811,16 @@ void emit_json_run(FILE* json, const RunResult& result, bool first) {
                ", \"peers_evicted\": %" PRIu64
                ", \"chaos_disconnects\": %" PRIu64
                ", \"chaos_accept_resets\": %" PRIu64
-               ", \"idle_timeout_ms\": %" PRIu64 "}",
+               ", \"idle_timeout_ms\": %" PRIu64
+               ", \"pipeline_epochs\": %" PRIu64
+               ", \"wasted_epochs\": %" PRIu64
+               ", \"one_shot_epochs\": %" PRIu64 "}",
                result.write_queue_hwm, result.refused, result.undecodable,
                result.truncated, result.chaos.c_str(), result.frames_shed,
                result.peers_evicted, result.chaos_disconnects,
-               result.chaos_resets, result.idle_timeout_ms);
+               result.chaos_resets, result.idle_timeout_ms,
+               result.pipeline_epochs, result.wasted_epochs,
+               result.one_shot_epochs);
 }
 
 int run_gridload(const cli::Flags& flags, bool smoke) {
@@ -889,11 +956,12 @@ int run_gridload(const cli::Flags& flags, bool smoke) {
                "  \"workers\": %zu,\n  \"active_workers\": %zu,\n"
                "  \"cheaters\": %zu,\n"
                "  \"points_per_worker\": %" PRIu64 ",\n"
-               "  \"samples\": %" PRIu64 ",\n  \"scheme\": \"%s\",\n"
+               "  \"samples\": %" PRIu64 ",\n  \"epochs\": %" PRIu64 ",\n"
+               "  \"scheme\": \"%s\",\n"
                "  \"workload\": \"%s\",\n  \"runs\": [\n",
                smoke ? "true" : "false", chaos_mode ? "true" : "false",
                std::thread::hardware_concurrency(), workers, active, cheaters,
-               flags.u64("points"), flags.u64("samples"),
+               flags.u64("points"), flags.u64("samples"), flags.u64("epochs"),
                flags.str("scheme").c_str(), flags.str("workload").c_str());
   for (std::size_t i = 0; i < results.size(); ++i) {
     emit_json_run(json, results[i], i == 0);
@@ -978,6 +1046,7 @@ int main(int argc, char** argv) {
       {"cheaters", "auto"},
       {"points", "4"},
       {"samples", "1"},
+      {"epochs", "1"},
       {"scheme", "cbs"},
       {"workload", "test"},
       {"seed", "1"},
@@ -1009,8 +1078,11 @@ int main(int argc, char** argv) {
         "over poll/epoll/multi-loop configs emitting BENCH_grid.json, or "
         "an external gridd via --connect. --smoke shrinks the population "
         "and enforces the CI gates; --chaos 1 sweeps WAN fault levels "
-        "(off/light/heavy) instead of engines; --max-runtime-s bounds the "
-        "whole process with a state-dumping watchdog.");
+        "(off/light/heavy) instead of engines; --epochs N with --scheme "
+        "pipelined-cbs streams per-epoch commitments (cheaters become "
+        "mid-run defectors; BENCH_grid.json gains wasted-epoch columns); "
+        "--max-runtime-s bounds the whole process with a state-dumping "
+        "watchdog.");
     return cli::kExitOk;
   }
   try {

@@ -16,6 +16,9 @@
 //                                     rest (each guess right with prob. q)
 //   --cheat adaptive[:k[,r[,q]]]      honest for k accepted rounds, then
 //                                     semi-honest — the sleeper agent
+//   --cheat defector:x[,q]            honest below input x, guess from x on
+//                                     — the mid-computation defector that
+//                                     pipelined verification exists to catch
 //   --screener faithful|suppress|fabricate   §2.2 malicious screener conduct
 //
 // Exit status: 0 clean run (even when caught cheating — the *supervisor*
@@ -77,8 +80,15 @@ std::shared_ptr<const HonestyPolicy> parse_cheat(const std::string& spec,
         {static_cast<std::size_t>(arg(0, 3)), arg(1, 0.5), arg(2, 0.0),
          seed});
   }
+  if (kind == "defector") {
+    check(!args.empty(), "--cheat: defector needs the defection input, "
+          "e.g. defector:2048[,q]");
+    return make_defector_cheater(
+        {static_cast<std::uint64_t>(args[0]), arg(1, 0.0), seed});
+  }
   throw Error(concat("--cheat: unknown policy '", kind,
-                     "' (none | semi-honest[:r[,q]] | adaptive[:k[,r[,q]]])"));
+                     "' (none | semi-honest[:r[,q]] | adaptive[:k[,r[,q]]] | "
+                     "defector:x[,q])"));
 }
 
 ScreenerConduct parse_conduct(const std::string& name) {

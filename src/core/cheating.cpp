@@ -113,6 +113,38 @@ std::string ColludingCheater::name() const {
   return concat("colluding(k=", leaked_.size(), ")");
 }
 
+DefectorCheater::DefectorCheater(Params params) : params_(params) {
+  check(params_.guess_accuracy >= 0.0 && params_.guess_accuracy <= 1.0,
+        "DefectorCheater: guess_accuracy must be in [0, 1]");
+}
+
+bool DefectorCheater::computes_honestly(LeafIndex i) const {
+  return i.value < params_.defect_from;
+}
+
+HonestyPolicy::LeafDecision DefectorCheater::decide(LeafIndex i,
+                                                    const Task& task) const {
+  const std::uint64_t x = task.domain.input(i);
+  if (x < params_.defect_from) {
+    return {task.f->evaluate(x), true};
+  }
+  // Same stateless per-input draws as SemiHonestCheater, keyed by the
+  // absolute input so epoch sub-tasks and the whole task agree.
+  Rng lucky(params_.seed ^ (7 * 0x9e3779b97f4a7c15ULL) ^
+            (x * 0xd1342543de82ef95ULL));
+  if (lucky.unit_real() < params_.guess_accuracy) {
+    return {task.f->evaluate(x), false};  // the lucky guess (paper's q)
+  }
+  Rng junk(params_.seed ^ (11 * 0x9e3779b97f4a7c15ULL) ^
+           (x * 0xd1342543de82ef95ULL));
+  return {junk.bytes(task.f->result_size()), false};
+}
+
+std::string DefectorCheater::name() const {
+  return concat("defector(from=", params_.defect_from,
+                ", q=", params_.guess_accuracy, ")");
+}
+
 std::shared_ptr<HonestyPolicy> make_honest_policy() {
   return std::make_shared<HonestPolicy>();
 }
@@ -130,6 +162,11 @@ std::shared_ptr<AdaptiveCheater> make_adaptive_cheater(
 std::shared_ptr<HonestyPolicy> make_colluding_cheater(
     std::vector<std::uint64_t> leaked, std::uint64_t seed) {
   return std::make_shared<ColludingCheater>(std::move(leaked), seed);
+}
+
+std::shared_ptr<HonestyPolicy> make_defector_cheater(
+    DefectorCheater::Params params) {
+  return std::make_shared<DefectorCheater>(params);
 }
 
 const char* to_string(ScreenerConduct conduct) {

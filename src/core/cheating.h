@@ -139,6 +139,34 @@ class ColludingCheater final : public HonestyPolicy {
   std::uint64_t seed_;
 };
 
+// The pipelined-verification attacker: honest for every input below an
+// absolute domain position `defect_from`, a guesser from there on. Keyed on
+// the absolute input x = domain.input(i) — not the local leaf index — so
+// the switch-over lands on a well-defined epoch boundary when a long task
+// is split into epochs (the mid-computation defector pipelined verification
+// exists to catch: an honest prefix, then garbage).
+class DefectorCheater final : public HonestyPolicy {
+ public:
+  struct Params {
+    std::uint64_t defect_from = 0;  // first absolute input x done dishonestly
+    double guess_accuracy = 0.0;    // q = Pr[guess == f(x)] once defected
+    std::uint64_t seed = 0;
+  };
+
+  explicit DefectorCheater(Params params);
+
+  LeafDecision decide(LeafIndex i, const Task& task) const override;
+  // Interprets the index as the absolute input (exact when the task's
+  // domain begins at 0; decide() always resolves through the task).
+  bool computes_honestly(LeafIndex i) const override;
+  std::string name() const override;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
 std::shared_ptr<HonestyPolicy> make_honest_policy();
 std::shared_ptr<HonestyPolicy> make_semi_honest_cheater(
     SemiHonestCheater::Params params);
@@ -146,6 +174,8 @@ std::shared_ptr<AdaptiveCheater> make_adaptive_cheater(
     AdaptiveCheater::Params params);
 std::shared_ptr<HonestyPolicy> make_colluding_cheater(
     std::vector<std::uint64_t> leaked, std::uint64_t seed);
+std::shared_ptr<HonestyPolicy> make_defector_cheater(
+    DefectorCheater::Params params);
 
 // The *malicious* model of §2.2: the participant may do all the f-work but
 // corrupt the screener channel — computing S(x, z) for junk z, or silently

@@ -175,4 +175,54 @@ struct NiCbsProof {
   friend bool operator==(const NiCbsProof&, const NiCbsProof&) = default;
 };
 
+// ---------------------------------------------------------------------------
+// Pipelined (epoched) verification: the long-running-task protocol cuts the
+// domain into epochs (Domain::split) and runs commit/challenge/respond per
+// epoch while the computation continues, so a cheater is accused
+// mid-computation. Epoch indices are 0-based; sample indices inside epoch
+// messages are LOCAL to that epoch's subdomain.
+// ---------------------------------------------------------------------------
+
+// Participant -> supervisor: the Merkle commitment over epoch `epoch`'s
+// subdomain, streamed as soon as that slice of the computation completes.
+struct EpochCommitment {
+  TaskId task;
+  std::uint64_t epoch = 0;
+  std::uint64_t epoch_count = 0;  // echoed for validation
+  Commitment commitment;          // commitment.task == task; root over epoch
+
+  friend bool operator==(const EpochCommitment&, const EpochCommitment&) =
+      default;
+};
+
+// Supervisor -> participant: sample challenge against one epoch commitment.
+struct EpochChallenge {
+  TaskId task;
+  std::uint64_t epoch = 0;
+  std::vector<LeafIndex> samples;  // local to the epoch subdomain
+
+  friend bool operator==(const EpochChallenge&, const EpochChallenge&) =
+      default;
+};
+
+// Participant -> supervisor: proofs for one epoch challenge.
+struct EpochProofResponse {
+  TaskId task;
+  std::uint64_t epoch = 0;
+  ProofResponse response;  // response.task == task
+
+  friend bool operator==(const EpochProofResponse&, const EpochProofResponse&) =
+      default;
+};
+
+// Supervisor -> participant: epoch `epoch` verified; the participant may
+// retire its tree and advance the in-flight window. The terminal verdict
+// still arrives as a plain Verdict once the final epoch clears.
+struct EpochAck {
+  TaskId task;
+  std::uint64_t epoch = 0;
+
+  friend bool operator==(const EpochAck&, const EpochAck&) = default;
+};
+
 }  // namespace ugc

@@ -51,6 +51,8 @@ struct SchemeConfig {
   CbsConfig cbs;
   NiCbsConfig nicbs;
   RingerConfig ringer;
+  // Epoched verification (scheme "pipelined-cbs"); epochs <= 1 = one-shot.
+  PipelineConfig pipeline;
 
   friend bool operator==(const SchemeConfig&, const SchemeConfig&) = default;
 };

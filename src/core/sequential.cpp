@@ -111,6 +111,43 @@ std::size_t Sprt::fixed_m_equivalent(const SprtConfig& config) {
       std::log(config.false_accept) / std::log(config.pass_prob_cheater)));
 }
 
+RollingSprt::RollingSprt(SprtConfig config, std::size_t window_epochs)
+    : config_(config), window_epochs_(window_epochs) {
+  validate(config_);
+  check(window_epochs_ >= 1, "RollingSprt: window_epochs must be >= 1");
+  reject_threshold_ =
+      std::log((1.0 - config_.false_accept) / config_.false_reject);
+  llr_pass_ =
+      safe_log_ratio(config_.pass_prob_cheater, config_.pass_prob_honest);
+  llr_fail_ = safe_log_ratio(1.0 - config_.pass_prob_cheater,
+                             1.0 - config_.pass_prob_honest);
+}
+
+SprtDecision RollingSprt::observe(bool pass) {
+  check(decision_ == SprtDecision::kContinue,
+        "RollingSprt::observe: test already decided (", to_string(decision_),
+        ")");
+  ++observations_;
+  pass ? ++passes_ : ++fails_;
+  pass ? ++epoch_passes_ : ++epoch_fails_;
+  if (log_likelihood_ratio() >= reject_threshold_) {
+    decision_ = SprtDecision::kReject;
+  }
+  return decision_;
+}
+
+void RollingSprt::end_epoch() {
+  window_.emplace_back(epoch_passes_, epoch_fails_);
+  epoch_passes_ = 0;
+  epoch_fails_ = 0;
+  while (window_.size() > window_epochs_) {
+    const auto [passes, fails] = window_.front();
+    window_.pop_front();
+    passes_ -= passes;
+    fails_ -= fails;
+  }
+}
+
 AdaptiveCbsSupervisor::AdaptiveCbsSupervisor(
     Task task, TreeSettings tree, SprtConfig sprt,
     std::shared_ptr<const ResultVerifier> verifier, Rng rng)

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
+#include <utility>
 
 #include "common/rng.h"
 #include "core/settings.h"
@@ -67,6 +69,57 @@ class Sprt {
   double reject_threshold_;  // log((1 - beta) / alpha)
   double llr_pass_;
   double llr_fail_;
+  std::size_t observations_ = 0;
+  SprtDecision decision_ = SprtDecision::kContinue;
+};
+
+// Rolling-window SPRT for pipelined (epoched) verification. The one-shot
+// Sprt accumulates evidence forever, which dilutes a late defector: a
+// cheater honest for the first k epochs banks k·samples passing
+// observations, and its post-defection failures must first pay that credit
+// back. The rolling variant instead scores the log-likelihood ratio over
+// only the last `window_epochs` epochs of observations, so the evidence a
+// defector faces is always about its *recent* conduct.
+//
+// Asymmetric by design: kReject is terminal (accusation), but there is no
+// mid-stream kAccept — an accept decision would let a sleeper bank a clean
+// window and defect after it. Acceptance is structural: every epoch
+// verified and the final epoch acknowledged (the pipelined supervisor
+// session decides that, not the test).
+class RollingSprt {
+ public:
+  RollingSprt(SprtConfig config, std::size_t window_epochs);
+
+  // Records one pass/fail observation in the current epoch. With
+  // pass_prob_honest == 1 any failure is immediately conclusive (the
+  // paper's zero-tolerance rule), exactly like the one-shot test.
+  SprtDecision observe(bool pass);
+
+  // Closes the current epoch; observations older than `window_epochs`
+  // epochs stop counting toward the ratio.
+  void end_epoch();
+
+  SprtDecision decision() const { return decision_; }
+  std::size_t observations() const { return observations_; }
+
+  // Windowed log(P[data|cheater] / P[data|honest]).
+  double log_likelihood_ratio() const {
+    return static_cast<double>(passes_) * llr_pass_ +
+           static_cast<double>(fails_) * llr_fail_;
+  }
+
+ private:
+  SprtConfig config_;
+  std::size_t window_epochs_;
+  double reject_threshold_;
+  double llr_pass_;
+  double llr_fail_;
+  std::uint64_t passes_ = 0;  // within the window
+  std::uint64_t fails_ = 0;
+  // Per-epoch (passes, fails), most recent last; bounded by window_epochs.
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> window_;
+  std::uint64_t epoch_passes_ = 0;
+  std::uint64_t epoch_fails_ = 0;
   std::size_t observations_ = 0;
   SprtDecision decision_ = SprtDecision::kContinue;
 };

@@ -50,6 +50,31 @@ struct SprtConfig {
   friend bool operator==(const SprtConfig&, const SprtConfig&) = default;
 };
 
+// Pipelined (epoched) verification parameters. A long-running task is cut
+// into `epochs` contiguous subdomains (Domain::split); the participant
+// commits each epoch as it completes and the supervisor samples it
+// immediately, so a cheater is accused mid-computation and the wasted work
+// is bounded by O(one epoch) instead of the whole domain. `epochs <= 1`
+// keeps the classic one-shot protocol.
+struct PipelineConfig {
+  // Number of epochs the domain is split into. 1 = one-shot (disabled).
+  std::uint64_t epochs = 1;
+  // Samples the supervisor challenges per epoch commitment.
+  std::size_t samples_per_epoch = 8;
+  // How many epochs the participant may compute ahead of the supervisor's
+  // acknowledgement (1 = strict lock-step).
+  std::size_t max_inflight = 1;
+  // Rolling-window SPRT: evidence accumulates over the last `window_epochs`
+  // epochs' samples, so a cheater who defects late is still judged on
+  // recent behavior rather than diluted by an honest prefix.
+  std::size_t window_epochs = 4;
+
+  bool enabled() const { return epochs > 1; }
+
+  friend bool operator==(const PipelineConfig&, const PipelineConfig&) =
+      default;
+};
+
 // Interactive CBS protocol parameters (§3.1).
 struct CbsConfig {
   TreeSettings tree;

@@ -128,13 +128,13 @@ void AdaptiveTimeout::record_gap(std::uint64_t gap_ms) {
 }
 
 std::uint64_t AdaptiveTimeout::timeout_ms(std::uint64_t fallback_ms) const {
-  if (!policy_.adaptive) {
-    return fallback_ms;
-  }
-  // Until the estimate is trustworthy, clamp the configured fallback so a
-  // loopback-tuned default can't fire before the first WAN frames land.
+  // Every path honors [floor_ms, ceiling_ms] — including the non-adaptive
+  // one and the warm-up fallback. Previously the non-adaptive path returned
+  // the configured fallback verbatim, so a fallback below the floor could
+  // fire before a slow link's first frames landed (and one above the
+  // ceiling could stall shutdown past the policy's own bound).
   double estimate = static_cast<double>(fallback_ms);
-  if (samples_ >= 4) {
+  if (policy_.adaptive && samples_ >= 4) {
     estimate = policy_.multiplier * (srtt_ms_ + 4.0 * rttvar_ms_);
   }
   estimate = std::max(estimate, static_cast<double>(policy_.floor_ms));

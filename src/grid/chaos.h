@@ -125,8 +125,9 @@ class ChaosLink {
 };
 
 // How the quiescence timeout is chosen. `adaptive == false` keeps the
-// configured fixed timeout byte-for-byte; adaptive mode tracks the
-// traffic's own gap distribution and clamps to [floor_ms, ceiling_ms].
+// configured fixed timeout; adaptive mode tracks the traffic's own gap
+// distribution. Either way the result is clamped to [floor_ms,
+// ceiling_ms] — the bounds are policy, not an adaptive-only detail.
 struct QuiescencePolicy {
   bool adaptive = false;
   std::uint64_t floor_ms = 100;
@@ -137,7 +138,8 @@ struct QuiescencePolicy {
 // TCP-RTO-shaped estimator (RFC 6298 weights) over inter-message gaps:
 // timeout = clamp(multiplier * (SRTT + 4 * RTTVAR), floor, ceiling). The
 // fallback timeout applies until enough samples accumulate, and always
-// when the policy is not adaptive.
+// when the policy is not adaptive — clamped to [floor_ms, ceiling_ms] in
+// every case.
 class AdaptiveTimeout {
  public:
   AdaptiveTimeout() = default;

@@ -49,6 +49,22 @@ void ParticipantNode::drain(GridNodeId supervisor, ActiveTask& active,
   active.counted_evaluations = evaluations;
 }
 
+void ParticipantNode::report_new_hits(GridNodeId supervisor,
+                                      ActiveTask& active,
+                                      Transport& transport) {
+  const ScreenerReport honest = active.session->screener_report();
+  if (honest.hits.size() <= active.reported_hits) {
+    return;  // nothing new (one-shot schemes always land here)
+  }
+  if (conduct_ == ScreenerConduct::kFaithful) {
+    ScreenerReport delta{honest.task, {}};
+    delta.hits.assign(honest.hits.begin() + active.reported_hits,
+                      honest.hits.end());
+    transport.send(id(), supervisor, std::move(delta));
+  }
+  active.reported_hits = honest.hits.size();
+}
+
 void ParticipantNode::on_message(GridNodeId from, const Message& message,
                                  Transport& transport) {
   if (const auto* assignment = std::get_if<TaskAssignment>(&message)) {
@@ -60,6 +76,12 @@ void ParticipantNode::on_message(GridNodeId from, const Message& message,
     active_.erase(verdict->task);  // the protocol for this task is over
     return;
   }
+  if (const auto* resume = std::get_if<EpochResume>(&message)) {
+    // Arrives ahead of a re-sent assignment; the next session for this
+    // task opens at the supervisor's verified frontier.
+    resume_[resume->task] = resume->epoch;
+    return;
+  }
   if (const auto scheme_message = to_scheme_message(message)) {
     const auto it = active_.find(task_of(*scheme_message));
     if (it == active_.end()) {
@@ -68,6 +90,7 @@ void ParticipantNode::on_message(GridNodeId from, const Message& message,
     ActiveTask& active = it->second;
     active.session->on_message(*scheme_message);
     drain(from, active, transport);
+    report_new_hits(from, active, transport);
     if (active.session->finished()) {
       active_.erase(it);
     }
@@ -79,11 +102,14 @@ void ParticipantNode::on_message(GridNodeId from, const Message& message,
 void ParticipantNode::handle_assignment(GridNodeId supervisor,
                                         const TaskAssignment& m,
                                         Transport& transport) {
-  if (!assigned_.insert(m.task).second) {
+  if (!assigned_.insert(m.task).second && !resume_.contains(m.task)) {
     // A duplicated (or stalled-and-replayed) assignment frame must be
     // idempotent: re-opening the session would discard in-flight protocol
-    // state and redo the whole computation. Re-assignment after a crash is
-    // unaffected — the supervisor always retries under a fresh task id.
+    // state and redo the whole computation. The one exception is a re-sent
+    // assignment the supervisor announced with an EpochResume (pipelined
+    // crash recovery) — that one re-opens, resuming at the verified
+    // frontier. Timeout re-assignment is unaffected either way (the
+    // supervisor retries under a fresh task id).
     return;
   }
   const WorkloadBundle bundle =
@@ -92,13 +118,16 @@ void ParticipantNode::handle_assignment(GridNodeId supervisor,
                                bundle.f, bundle.screener);
   const VerificationScheme& scheme = schemes_->resolve(m.scheme);
 
-  ActiveTask active{
-      scheme.open_participant(
-          ParticipantContext{task, m.scheme, m.ringer_images, policy_}),
-      0};
+  ParticipantContext context{task, m.scheme, m.ringer_images, policy_};
+  if (const auto it = resume_.find(m.task); it != resume_.end()) {
+    context.resume_epoch = it->second;
+    resume_.erase(it);
+  }
+  ActiveTask active{scheme.open_participant(std::move(context)), 0};
   drain(supervisor, active, transport);
-  transport.send(id(), supervisor,
-               conduct_report(task, active.session->screener_report()));
+  ScreenerReport honest = active.session->screener_report();
+  active.reported_hits = honest.hits.size();
+  transport.send(id(), supervisor, conduct_report(task, std::move(honest)));
   if (!active.session->finished()) {
     active_.insert_or_assign(task.id, std::move(active));
   }

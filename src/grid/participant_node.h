@@ -58,12 +58,22 @@ class ParticipantNode final : public GridNode {
     // Evaluations already folded into honest_evaluations_ (sessions report
     // running totals; the node accumulates deltas after every drain).
     std::uint64_t counted_evaluations = 0;
+    // Screener hits already transmitted. One-shot schemes report everything
+    // at assignment time; pipelined sessions keep discovering hits as later
+    // epochs are swept, and the node ships each new batch as a delta
+    // ScreenerReport after the drain that surfaced it.
+    std::size_t reported_hits = 0;
   };
 
   void handle_assignment(GridNodeId supervisor, const TaskAssignment& m,
                          Transport& transport);
   // Sends the session's pending messages and updates the work accounting.
   void drain(GridNodeId supervisor, ActiveTask& active, Transport& transport);
+  // Ships screener hits discovered since the last report (faithful conduct
+  // only — suppression stays silent and fabrication already fired its junk
+  // with the initial report). No frame is sent when nothing is new.
+  void report_new_hits(GridNodeId supervisor, ActiveTask& active,
+                       Transport& transport);
   // Applies this node's ScreenerConduct to an honest report.
   ScreenerReport conduct_report(const Task& task, ScreenerReport honest);
 
@@ -74,8 +84,14 @@ class ParticipantNode final : public GridNode {
   std::uint64_t conduct_seed_;
   std::map<TaskId, ActiveTask> active_;
   // Every assignment ever accepted (survives crashes, like verdicts_):
-  // duplicate assignment frames are dropped instead of restarting work.
+  // duplicate assignment frames are dropped instead of restarting work. A
+  // re-sent assignment for a task with no live session and no verdict (the
+  // pipelined crash-recovery path) re-opens instead.
   std::set<TaskId> assigned_;
+  // Resume points received via EpochResume, consumed by the next
+  // assignment for that task (the supervisor sends the resume frame ahead
+  // of the re-built assignment).
+  std::map<TaskId, std::uint64_t> resume_;
   std::map<TaskId, Verdict> verdicts_;
   std::uint64_t honest_evaluations_ = 0;
 };

@@ -105,7 +105,8 @@ void SupervisorNode::start(Transport& transport) {
   }
 }
 
-void SupervisorNode::replace_slot(std::size_t slot_index, GridNodeId peer) {
+void SupervisorNode::replace_slot(std::size_t slot_index, GridNodeId peer,
+                                  Transport* transport) {
   check(slot_index < slots_.size(),
         "SupervisorNode::replace_slot: slot ", slot_index, " of ",
         slots_.size());
@@ -114,9 +115,32 @@ void SupervisorNode::replace_slot(std::size_t slot_index, GridNodeId peer) {
     if (state.superseded || state.verdict.has_value()) {
       continue;
     }
-    if (state.slot_index == slot_index) {
-      state.peer = peer;
+    if (state.slot_index != slot_index) {
+      continue;
     }
+    state.peer = peer;
+    if (transport == nullptr) {
+      continue;
+    }
+    // Pipelined re-entry: ship the resume point ahead of the re-built
+    // assignment so the replacement attempt starts computing at the first
+    // unverified epoch instead of redoing acknowledged work (or idling
+    // until the quiescence retry re-assigns the whole group).
+    const SessionSlot& slot = sessions_[state.session_index];
+    const auto epoch = slot.session->resume_epoch(id);
+    if (!epoch.has_value()) {
+      continue;  // one-shot scheme: nothing to resume mid-protocol
+    }
+    transport->send(this->id(), peer, EpochResume{id, *epoch});
+    TaskAssignment assignment;
+    assignment.task = id;
+    assignment.domain_begin = state.domain.begin();
+    assignment.domain_end = state.domain.end();
+    assignment.workload = plan_.workload;
+    assignment.workload_seed = plan_.workload_seed;
+    assignment.scheme = plan_.scheme;
+    assignment.ringer_images = slot.session->planted_images(id);
+    transport->send(this->id(), peer, assignment);
   }
 }
 
@@ -184,13 +208,15 @@ void SupervisorNode::on_message(GridNodeId from, const Message& message,
   const TaskId id = task_of(message);
   const auto it = tasks_.find(id);
   if (it == tasks_.end()) {
-    return;  // stale or misrouted traffic
+    ++stale_frames_dropped_;  // stale or misrouted traffic
+    return;
   }
   TaskState& state = it->second;
   if (state.superseded || from != state.peer) {
     // A superseded attempt's peer (or anyone spoofing one) cannot reach the
     // replacement session: duplicated or stalled frames from a pre-retry
-    // epoch die here.
+    // attempt die here — counted, no longer silent.
+    ++stale_frames_dropped_;
     return;
   }
 

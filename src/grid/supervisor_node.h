@@ -109,6 +109,13 @@ class SupervisorNode final : public GridNode {
   // Tasks re-assigned to a different peer after a timeout.
   std::uint64_t tasks_reassigned() const { return tasks_reassigned_; }
 
+  // Frames the stale-traffic guard dropped: unknown/retired task ids, plus
+  // anything arriving from other than the task's current peer (late frames
+  // from a superseded pre-retry attempt, spoofed senders). Observability
+  // for what was previously a silent drop — a rising counter during a
+  // fault-free run means misrouted or forged traffic.
+  std::uint64_t stale_frames_dropped() const { return stale_frames_dropped_; }
+
   // Reconnect support: points assignment slot `slot_index` at a new peer
   // (a worker that dropped and came back on a fresh connection gets a
   // fresh GridNodeId). Unsettled, non-superseded tasks targeting the slot
@@ -116,7 +123,14 @@ class SupervisorNode final : public GridNode {
   // and the next timeout retry reaches the reconnected worker instead of
   // the dead connection. Messages lost in flight are not replayed — the
   // quiescence retry path re-assigns the group as usual.
-  void replace_slot(std::size_t slot_index, GridNodeId peer);
+  //
+  // With a transport, additionally re-enters pipelined tasks in place: for
+  // each re-aimed task whose session exposes a resume epoch, sends
+  // EpochResume (the verified frontier) followed by the re-built
+  // TaskAssignment, so the replacement attempt resumes computing at the
+  // first unverified epoch instead of waiting out a timeout retry.
+  void replace_slot(std::size_t slot_index, GridNodeId peer,
+                    Transport* transport = nullptr);
 
  private:
   struct TaskState {
@@ -174,6 +188,7 @@ class SupervisorNode final : public GridNode {
   std::map<TaskId, TaskState> tasks_;
   std::uint64_t next_task_ = 1;
   std::uint64_t tasks_reassigned_ = 0;
+  std::uint64_t stale_frames_dropped_ = 0;
   bool started_ = false;
 };
 

@@ -32,6 +32,11 @@ TaskId task_of(const Message& message) {
     TaskId operator()(const Hello&) { return TaskId{0}; }
     TaskId operator()(const HelloChallenge&) { return TaskId{0}; }
     TaskId operator()(const HelloProof&) { return TaskId{0}; }
+    TaskId operator()(const EpochCommitment& m) { return m.task; }
+    TaskId operator()(const EpochChallenge& m) { return m.task; }
+    TaskId operator()(const EpochProofResponse& m) { return m.task; }
+    TaskId operator()(const EpochAck& m) { return m.task; }
+    TaskId operator()(const EpochResume& m) { return m.task; }
   };
   return std::visit(Visitor{}, message);
 }

@@ -11,6 +11,10 @@ TaskId task_of(const SchemeMessage& message) {
     TaskId operator()(const NiCbsProof& m) { return m.commitment.task; }
     TaskId operator()(const ResultsUpload& m) { return m.task; }
     TaskId operator()(const RingerReport& m) { return m.task; }
+    TaskId operator()(const EpochCommitment& m) { return m.task; }
+    TaskId operator()(const EpochChallenge& m) { return m.task; }
+    TaskId operator()(const EpochProofResponse& m) { return m.task; }
+    TaskId operator()(const EpochAck& m) { return m.task; }
   };
   return std::visit(Visitor{}, message);
 }

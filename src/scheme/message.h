@@ -14,7 +14,9 @@ namespace ugc {
 // handled uniformly by the grid nodes, outside any scheme.
 using SchemeMessage =
     std::variant<Commitment, SampleChallenge, ProofResponse,
-                 BatchProofResponse, NiCbsProof, ResultsUpload, RingerReport>;
+                 BatchProofResponse, NiCbsProof, ResultsUpload, RingerReport,
+                 EpochCommitment, EpochChallenge, EpochProofResponse,
+                 EpochAck>;
 
 // The task a scheme message belongs to.
 TaskId task_of(const SchemeMessage& message);

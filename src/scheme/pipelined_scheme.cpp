@@ -1,0 +1,349 @@
+#include "scheme/pipelined_scheme.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/sequential.h"
+#include "core/verification.h"
+
+namespace ugc {
+
+namespace {
+
+// Both sides derive the identical epoch layout from the shipped config, so
+// the clamp must match bit-for-bit: at least one epoch, and never more
+// epochs than inputs (Domain::split rejects empty parts).
+std::uint64_t effective_epochs(const PipelineConfig& pipeline,
+                               const Domain& domain) {
+  return std::min(std::max<std::uint64_t>(pipeline.epochs, 1), domain.size());
+}
+
+Task epoch_task(const Task& task, const Domain& subdomain) {
+  return Task::make(task.id, subdomain, task.f, task.screener);
+}
+
+class PipelinedParticipantSession final : public QueuedParticipantSession {
+ public:
+  explicit PipelinedParticipantSession(ParticipantContext context)
+      : task_(std::move(context.task)),
+        tree_(context.config.cbs.tree),
+        policy_(context.policy != nullptr ? std::move(context.policy)
+                                          : make_honest_policy()),
+        epochs_(effective_epochs(context.config.pipeline, task_.domain)),
+        max_inflight_(
+            std::max<std::size_t>(context.config.pipeline.max_inflight, 1)),
+        domains_(task_.domain.split(epochs_)),
+        acked_(std::min(context.resume_epoch, epochs_)),
+        next_compute_(acked_) {
+    advance();
+  }
+
+  void on_message(const SchemeMessage& message) override {
+    if (const auto* challenge = std::get_if<EpochChallenge>(&message)) {
+      if (challenge->task != task_.id) {
+        return;
+      }
+      const auto it = live_.find(challenge->epoch);
+      if (it == live_.end()) {
+        return;  // unknown or already-retired epoch
+      }
+      try {
+        ProofResponse response{task_.id,
+                               it->second->prove(challenge->samples)};
+        push(EpochProofResponse{task_.id, challenge->epoch,
+                                std::move(response)});
+      } catch (const Error&) {
+        // Out-of-range samples (hostile or corrupted challenge): drop.
+      }
+    } else if (const auto* ack = std::get_if<EpochAck>(&message)) {
+      if (ack->task != task_.id || ack->epoch >= epochs_) {
+        return;
+      }
+      acked_ = std::max(acked_, ack->epoch + 1);
+      while (!live_.empty() && live_.begin()->first < acked_) {
+        retire(live_.begin());
+      }
+      advance();
+    }
+  }
+
+  ScreenerReport screener_report() const override {
+    ScreenerReport report{task_.id, retired_hits_};
+    for (const auto& [epoch, engine] : live_) {
+      const auto& hits = engine->hits();
+      report.hits.insert(report.hits.end(), hits.begin(), hits.end());
+    }
+    return report;
+  }
+
+  std::uint64_t honest_evaluations() const override {
+    std::uint64_t total = retired_evaluations_;
+    for (const auto& [epoch, engine] : live_) {
+      total += engine->metrics().honest_evaluations;
+    }
+    return total;
+  }
+
+  // Stays open until the node closes it on the terminal verdict.
+  bool finished() const override { return false; }
+
+ private:
+  // Computes (and commits) epochs until the in-flight window is full. This
+  // is where the "pipeline" lives: the next epoch's sweep starts while
+  // earlier commitments are still being sampled.
+  void advance() {
+    while (next_compute_ < epochs_ &&
+           next_compute_ < acked_ + max_inflight_) {
+      const std::uint64_t epoch = next_compute_++;
+      auto engine = std::make_unique<ParticipantEngine>(
+          epoch_task(task_, domains_[epoch]), tree_, policy_);
+      const Commitment commitment = engine->commit();
+      live_.emplace(epoch, std::move(engine));
+      push(EpochCommitment{task_.id, epoch, epochs_, commitment});
+    }
+  }
+
+  void retire(std::map<std::uint64_t,
+                       std::unique_ptr<ParticipantEngine>>::iterator it) {
+    const auto& engine = *it->second;
+    retired_evaluations_ += engine.metrics().honest_evaluations;
+    retired_hits_.insert(retired_hits_.end(), engine.hits().begin(),
+                         engine.hits().end());
+    live_.erase(it);
+  }
+
+  Task task_;
+  TreeSettings tree_;
+  std::shared_ptr<const HonestyPolicy> policy_;
+  std::uint64_t epochs_;
+  std::size_t max_inflight_;
+  std::vector<Domain> domains_;
+  std::uint64_t acked_;         // epochs [0, acked_) are verified
+  std::uint64_t next_compute_;  // first epoch not yet swept
+  // Unacknowledged epoch engines, keyed by epoch (ordered for reporting).
+  std::map<std::uint64_t, std::unique_ptr<ParticipantEngine>> live_;
+  std::uint64_t retired_evaluations_ = 0;
+  std::vector<ScreenerHit> retired_hits_;
+};
+
+class PipelinedSupervisorSession final : public QueuedSupervisorSession {
+ public:
+  explicit PipelinedSupervisorSession(SupervisorContext context)
+      : pipeline_(context.config.pipeline),
+        tree_(context.config.cbs.tree),
+        verifier_(std::move(context.verifier)),
+        rng_(context.seed),
+        task_(std::move(context.tasks.at(0))),
+        epochs_(effective_epochs(pipeline_, task_.domain)),
+        samples_per_epoch_(
+            std::max<std::size_t>(pipeline_.samples_per_epoch, 1)),
+        max_inflight_(std::max<std::size_t>(pipeline_.max_inflight, 1)),
+        domains_(task_.domain.split(epochs_)),
+        sprt_(context.config.cbs.sprt,
+              std::max<std::size_t>(pipeline_.window_epochs, 1)) {
+    check(context.tasks.size() == 1,
+          "PipelinedSupervisorSession: expected exactly one task per group");
+    check(verifier_ != nullptr, "PipelinedSupervisorSession: verifier required");
+  }
+
+  void on_message(TaskId task, const SchemeMessage& message) override {
+    if (task != task_.id || settled(task)) {
+      return;
+    }
+    if (const auto* commitment = std::get_if<EpochCommitment>(&message)) {
+      handle_commitment(*commitment);
+    } else if (const auto* response =
+                   std::get_if<EpochProofResponse>(&message)) {
+      handle_response(*response);
+    }
+  }
+
+  std::optional<std::uint64_t> resume_epoch(TaskId task) const override {
+    if (task != task_.id || settled(task)) {
+      return std::nullopt;
+    }
+    return frontier_;
+  }
+
+ private:
+  void handle_commitment(const EpochCommitment& m) {
+    if (m.epoch >= epochs_ || m.epoch_count != epochs_) {
+      settle_malformed(m.epoch, "bad epoch index or count");
+      return;
+    }
+    if (m.epoch < frontier_ || m.epoch >= frontier_ + max_inflight_) {
+      return;  // stale (already verified) or ahead of the flow window
+    }
+    if (m.commitment.task != task_.id ||
+        m.commitment.leaf_count != domains_[m.epoch].size()) {
+      settle_malformed(m.epoch, "commitment shape mismatch");
+      return;
+    }
+    const auto it = commitments_.find(m.epoch);
+    if (it != commitments_.end()) {
+      if (it->second.root != m.commitment.root) {
+        // Two different roots for one epoch is conclusive by itself: the
+        // participant (or a replacement resuming deterministically) cannot
+        // honestly disagree with its own earlier commitment.
+        Verdict verdict;
+        verdict.task = task_.id;
+        verdict.status = VerdictStatus::kRootMismatch;
+        verdict.detail = concat("epoch ", m.epoch, "/", epochs_,
+                                ": conflicting commitment roots");
+        settle(std::move(verdict));
+        return;
+      }
+      // Same root again: a resumed attempt re-announcing an unverified
+      // epoch. Re-challenge with FRESH samples — reusing positions would
+      // hand a colluding replacement the sampled set.
+    } else {
+      commitments_.emplace(m.epoch, m.commitment);
+    }
+    challenge(m.epoch);
+  }
+
+  void challenge(std::uint64_t epoch) {
+    std::vector<LeafIndex> samples;
+    samples.reserve(samples_per_epoch_);
+    for (std::size_t i = 0; i < samples_per_epoch_; ++i) {
+      samples.push_back(LeafIndex{rng_.uniform(domains_[epoch].size())});
+    }
+    outstanding_[epoch] = samples;
+    push(task_.id, EpochChallenge{task_.id, epoch, std::move(samples)});
+  }
+
+  void handle_response(const EpochProofResponse& m) {
+    const auto challenge_it = outstanding_.find(m.epoch);
+    if (challenge_it == outstanding_.end()) {
+      return;  // unsolicited or duplicate response
+    }
+    const std::vector<LeafIndex> samples = std::move(challenge_it->second);
+    outstanding_.erase(challenge_it);
+
+    if (m.response.task != task_.id ||
+        m.response.proofs.size() != samples.size()) {
+      settle_malformed(m.epoch, "response shape mismatch");
+      return;
+    }
+
+    // Verify sample by sample (not the whole batch at once) so every
+    // outcome feeds the rolling SPRT individually — with a noisy-channel
+    // config a single bad proof is evidence, not an instant verdict.
+    const Task sub_task = epoch_task(task_, domains_[m.epoch]);
+    const Commitment& commitment = commitments_.at(m.epoch);
+    std::vector<BytesView> sibling_views;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const SampleProof& proof = m.response.proofs[i];
+      sibling_views.assign(proof.siblings.begin(), proof.siblings.end());
+      const SampleProofView proof_view{proof.index, proof.result,
+                                       sibling_views};
+      const ProofResponseView response_view{
+          task_.id, std::span<const SampleProofView>(&proof_view, 1)};
+      const Verdict sample_verdict = verify_sample_proofs(
+          sub_task, tree_, commitment,
+          std::span<const LeafIndex>(&samples[i], 1), response_view,
+          *verifier_, &metrics_, scratch_);
+      count_verified(1);
+      if (sample_verdict.status == VerdictStatus::kMalformed) {
+        settle_malformed(m.epoch, sample_verdict.detail);
+        return;
+      }
+      if (sprt_.observe(sample_verdict.accepted()) == SprtDecision::kReject) {
+        Verdict verdict;
+        verdict.task = task_.id;
+        verdict.status = sample_verdict.accepted()
+                             ? VerdictStatus::kWrongResult
+                             : sample_verdict.status;
+        if (sample_verdict.failed_sample.has_value()) {
+          verdict.failed_sample = global_index(m.epoch, samples[i]);
+        }
+        verdict.detail =
+            concat("epoch ", m.epoch, "/", epochs_, ": sprt reject after ",
+                   sprt_.observations(), " samples (", sample_verdict.detail,
+                   ")");
+        settle(std::move(verdict));
+        return;
+      }
+    }
+
+    // Epoch sampled clean: acknowledge so the participant can retire the
+    // tree, slide the SPRT window, and advance the verified frontier.
+    verified_.insert(m.epoch);
+    push(task_.id, EpochAck{task_.id, m.epoch});
+    sprt_.end_epoch();
+    while (verified_.contains(frontier_)) {
+      verified_.erase(frontier_);
+      ++frontier_;
+    }
+    if (frontier_ == epochs_) {
+      Verdict verdict;
+      verdict.task = task_.id;
+      verdict.status = VerdictStatus::kAccepted;
+      verdict.detail = concat("pipelined: ", epochs_, " epochs verified, ",
+                              sprt_.observations(), " samples");
+      settle(std::move(verdict));
+    }
+  }
+
+  LeafIndex global_index(std::uint64_t epoch, LeafIndex local) const {
+    return LeafIndex{domains_[epoch].begin() - task_.domain.begin() +
+                     local.value};
+  }
+
+  void settle_malformed(std::uint64_t epoch, std::string_view detail) {
+    Verdict verdict;
+    verdict.task = task_.id;
+    verdict.status = VerdictStatus::kMalformed;
+    verdict.detail = concat("epoch ", epoch, "/", epochs_, ": ", detail);
+    settle(std::move(verdict));
+  }
+
+  PipelineConfig pipeline_;
+  TreeSettings tree_;
+  std::shared_ptr<const ResultVerifier> verifier_;
+  Rng rng_;
+  Task task_;
+  std::uint64_t epochs_;
+  std::size_t samples_per_epoch_;
+  std::size_t max_inflight_;
+  std::vector<Domain> domains_;
+  RollingSprt sprt_;
+  std::uint64_t frontier_ = 0;  // epochs [0, frontier_) are verified
+  std::map<std::uint64_t, Commitment> commitments_;
+  std::map<std::uint64_t, std::vector<LeafIndex>> outstanding_;
+  std::set<std::uint64_t> verified_;  // verified epochs >= frontier_
+  SupervisorMetrics metrics_;
+  VerifyScratch scratch_;
+};
+
+class PipelinedScheme final : public VerificationScheme {
+ public:
+  std::string name() const override { return "pipelined-cbs"; }
+
+  std::unique_ptr<ParticipantSession> open_participant(
+      ParticipantContext context) const override {
+    return std::make_unique<PipelinedParticipantSession>(std::move(context));
+  }
+  std::unique_ptr<SupervisorSession> open_supervisor(
+      SupervisorContext context) const override {
+    return std::make_unique<PipelinedSupervisorSession>(std::move(context));
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<const VerificationScheme> make_pipelined_scheme() {
+  return std::make_shared<PipelinedScheme>();
+}
+
+}  // namespace ugc

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <memory>
+
+#include "scheme/session.h"
+
+namespace ugc {
+
+// Pipelined (epoched) CBS: the long-running-task variant. The task's domain
+// is cut into PipelineConfig::epochs contiguous slices (Domain::split); the
+// participant sweeps them in order and streams an EpochCommitment the moment
+// each slice completes, while the supervisor samples every epoch as it
+// lands and accuses *mid-computation* — a cheater defecting at epoch k is
+// caught while epochs k+1..E are still uncomputed, bounding wasted grid
+// work to O(one epoch) instead of O(the whole task).
+//
+// Flow control is ack-based: the participant keeps at most
+// PipelineConfig::max_inflight unacknowledged epoch trees alive, retiring
+// each (and its Merkle tree) on EpochAck. Accusation strength comes from a
+// rolling-window SPRT (core/sequential.h) over the last
+// PipelineConfig::window_epochs epochs, so a defector's honest prefix never
+// dilutes the evidence against its recent conduct. Acceptance is
+// structural: every epoch sampled clean, in order.
+//
+// Crash recovery: SupervisorSession::resume_epoch exposes the first
+// unverified epoch; a replacement attempt resumes computing there
+// (ParticipantContext::resume_epoch, shipped via the grid's EpochResume)
+// instead of redoing acknowledged work.
+std::shared_ptr<const VerificationScheme> make_pipelined_scheme();
+
+}  // namespace ugc

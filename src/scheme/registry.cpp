@@ -3,6 +3,7 @@
 #include "common/error.h"
 #include "scheme/cbs_scheme.h"
 #include "scheme/nicbs_scheme.h"
+#include "scheme/pipelined_scheme.h"
 #include "scheme/ringer_scheme.h"
 #include "scheme/upload_schemes.h"
 
@@ -15,6 +16,7 @@ SchemeRegistry& SchemeRegistry::global() {
     r.register_scheme(make_naive_sampling_scheme());
     r.register_scheme(make_cbs_scheme());
     r.register_scheme(make_nicbs_scheme());
+    r.register_scheme(make_pipelined_scheme());
     r.register_scheme(make_ringer_scheme());
     return r;
   }();

@@ -40,6 +40,10 @@ struct ParticipantContext {
   // ringer scheme's planted images; empty for other schemes).
   std::vector<Bytes> assignment_images;
   std::shared_ptr<const HonestyPolicy> policy;  // null = honest
+  // Pipelined schemes only: the first epoch still unverified on the
+  // supervisor side. A reconnecting worker resumes computing there instead
+  // of redoing its already-acknowledged epochs (EpochResume carries it).
+  std::uint64_t resume_epoch = 0;
 };
 
 // Everything the supervisor needs to open one session. Covers one
@@ -117,6 +121,14 @@ class SupervisorSession {
 
   // Drains self-established screener hits (see TaskHits).
   virtual std::optional<TaskHits> next_hits() { return std::nullopt; }
+
+  // Pipelined schemes only: the first epoch of `task` still unverified, so
+  // a replacement attempt (reconnect, retry) can resume there rather than
+  // from scratch. One-shot schemes — and settled tasks — return nullopt.
+  virtual std::optional<std::uint64_t> resume_epoch(TaskId task) const {
+    (void)task;
+    return std::nullopt;
+  }
 
   // ResultVerifier invocations so far.
   virtual std::uint64_t results_verified() const = 0;

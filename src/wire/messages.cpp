@@ -172,6 +172,16 @@ void encode_payload(WireWriter& w, const TaskAssignment& m) {
   for (const Bytes& image : m.ringer_images) {
     w.bytes(image);
   }
+  // Trailing-optional pipeline section: written only for non-default
+  // configs, so every pre-pipeline assignment keeps its exact v2 bytes
+  // (pinned by the wire golden test) and old decoders reading a classic
+  // assignment see nothing new.
+  if (m.scheme.pipeline != PipelineConfig{}) {
+    w.varint(m.scheme.pipeline.epochs);
+    w.varint(m.scheme.pipeline.samples_per_epoch);
+    w.varint(m.scheme.pipeline.max_inflight);
+    w.varint(m.scheme.pipeline.window_epochs);
+  }
 }
 
 TaskAssignment decode_task_assignment(WireReader& r) {
@@ -185,6 +195,12 @@ TaskAssignment decode_task_assignment(WireReader& r) {
   const std::uint64_t image_count = r.varint();
   for (std::uint64_t i = 0; i < image_count; ++i) {
     m.ringer_images.push_back(r.bytes());
+  }
+  if (!r.done()) {  // the optional pipeline section (see encode_payload)
+    m.scheme.pipeline.epochs = r.varint();
+    m.scheme.pipeline.samples_per_epoch = r.varint();
+    m.scheme.pipeline.max_inflight = r.varint();
+    m.scheme.pipeline.window_epochs = r.varint();
   }
   return m;
 }
@@ -374,6 +390,80 @@ HelloProof decode_hello_proof(WireReader& r) {
   return m;
 }
 
+void encode_payload(WireWriter& w, const EpochCommitment& m) {
+  w.u64(m.task.value);
+  w.varint(m.epoch);
+  w.varint(m.epoch_count);
+  write_commitment(w, m.commitment);
+}
+
+EpochCommitment decode_epoch_commitment(WireReader& r) {
+  EpochCommitment m;
+  m.task = TaskId{r.u64()};
+  m.epoch = r.varint();
+  m.epoch_count = r.varint();
+  m.commitment = read_commitment(r);
+  return m;
+}
+
+void encode_payload(WireWriter& w, const EpochChallenge& m) {
+  w.u64(m.task.value);
+  w.varint(m.epoch);
+  w.varint(m.samples.size());
+  for (const LeafIndex index : m.samples) {
+    w.varint(index.value);
+  }
+}
+
+EpochChallenge decode_epoch_challenge(WireReader& r) {
+  EpochChallenge m;
+  m.task = TaskId{r.u64()};
+  m.epoch = r.varint();
+  const std::uint64_t count = r.varint();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    m.samples.push_back(LeafIndex{r.varint()});
+  }
+  return m;
+}
+
+void encode_payload(WireWriter& w, const EpochProofResponse& m) {
+  w.u64(m.task.value);
+  w.varint(m.epoch);
+  write_proof_response(w, m.response);
+}
+
+EpochProofResponse decode_epoch_proof_response(WireReader& r) {
+  EpochProofResponse m;
+  m.task = TaskId{r.u64()};
+  m.epoch = r.varint();
+  m.response = read_proof_response(r);
+  return m;
+}
+
+void encode_payload(WireWriter& w, const EpochAck& m) {
+  w.u64(m.task.value);
+  w.varint(m.epoch);
+}
+
+EpochAck decode_epoch_ack(WireReader& r) {
+  EpochAck m;
+  m.task = TaskId{r.u64()};
+  m.epoch = r.varint();
+  return m;
+}
+
+void encode_payload(WireWriter& w, const EpochResume& m) {
+  w.u64(m.task.value);
+  w.varint(m.epoch);
+}
+
+EpochResume decode_epoch_resume(WireReader& r) {
+  EpochResume m;
+  m.task = TaskId{r.u64()};
+  m.epoch = r.varint();
+  return m;
+}
+
 }  // namespace
 
 const char* to_string(MessageType type) {
@@ -404,6 +494,16 @@ const char* to_string(MessageType type) {
       return "hello-challenge";
     case MessageType::kHelloProof:
       return "hello-proof";
+    case MessageType::kEpochCommitment:
+      return "epoch-commitment";
+    case MessageType::kEpochChallenge:
+      return "epoch-challenge";
+    case MessageType::kEpochProofResponse:
+      return "epoch-proof-response";
+    case MessageType::kEpochAck:
+      return "epoch-ack";
+    case MessageType::kEpochResume:
+      return "epoch-resume";
   }
   return "unknown";
 }
@@ -444,6 +544,19 @@ MessageType message_type(const Message& message) {
     }
     MessageType operator()(const HelloProof&) {
       return MessageType::kHelloProof;
+    }
+    MessageType operator()(const EpochCommitment&) {
+      return MessageType::kEpochCommitment;
+    }
+    MessageType operator()(const EpochChallenge&) {
+      return MessageType::kEpochChallenge;
+    }
+    MessageType operator()(const EpochProofResponse&) {
+      return MessageType::kEpochProofResponse;
+    }
+    MessageType operator()(const EpochAck&) { return MessageType::kEpochAck; }
+    MessageType operator()(const EpochResume&) {
+      return MessageType::kEpochResume;
     }
   };
   return std::visit(Visitor{}, message);
@@ -501,6 +614,16 @@ Message decode_message(BytesView data) {
         return decode_hello_challenge(reader);
       case MessageType::kHelloProof:
         return decode_hello_proof(reader);
+      case MessageType::kEpochCommitment:
+        return decode_epoch_commitment(reader);
+      case MessageType::kEpochChallenge:
+        return decode_epoch_challenge(reader);
+      case MessageType::kEpochProofResponse:
+        return decode_epoch_proof_response(reader);
+      case MessageType::kEpochAck:
+        return decode_epoch_ack(reader);
+      case MessageType::kEpochResume:
+        return decode_epoch_resume(reader);
     }
     throw WireError(concat("unknown message type ", int{type}));
   }();

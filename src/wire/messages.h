@@ -31,6 +31,11 @@ enum class MessageType : std::uint8_t {
   kHello = 11,
   kHelloChallenge = 12,
   kHelloProof = 13,
+  kEpochCommitment = 14,
+  kEpochChallenge = 15,
+  kEpochProofResponse = 16,
+  kEpochAck = 17,
+  kEpochResume = 18,
 };
 
 const char* to_string(MessageType type);
@@ -107,11 +112,24 @@ struct HelloProof {
   friend bool operator==(const HelloProof&, const HelloProof&) = default;
 };
 
+// Supervisor -> reconnecting participant, sent immediately before the
+// re-sent TaskAssignment of a pipelined task: "your first `epoch` epochs are
+// already verified — resume there instead of recomputing from scratch".
+// Grid-only control traffic (like TaskAssignment, it never enters a scheme
+// session; the participant node folds it into the session context).
+struct EpochResume {
+  TaskId task;
+  std::uint64_t epoch = 0;  // first epoch still unverified
+
+  friend bool operator==(const EpochResume&, const EpochResume&) = default;
+};
+
 using Message =
     std::variant<TaskAssignment, Commitment, SampleChallenge, ProofResponse,
                  NiCbsProof, ResultsUpload, ScreenerReport, RingerReport,
                  Verdict, BatchProofResponse, Hello, HelloChallenge,
-                 HelloProof>;
+                 HelloProof, EpochCommitment, EpochChallenge,
+                 EpochProofResponse, EpochAck, EpochResume>;
 
 MessageType message_type(const Message& message);
 

@@ -133,12 +133,76 @@ TEST(SemiHonestCheater, NameDescribesParameters) {
   EXPECT_EQ(policy.name(), "semi-honest(r=0.5, q=0.25)");
 }
 
+TEST(DefectorCheater, HonestBeforeTheBoundaryGuessesAfter) {
+  // make_test_task's domain starts at input 1000; defect mid-domain.
+  const Task task = make_test_task(64);
+  const DefectorCheater policy({/*defect_from=*/1032, 0.0, 5});
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto decision = policy.decide(LeafIndex{i}, task);
+    const Bytes truth = task.f->evaluate(task.domain.input(LeafIndex{i}));
+    if (i < 32) {
+      EXPECT_TRUE(decision.honest);
+      EXPECT_EQ(decision.value, truth);
+    } else {
+      EXPECT_FALSE(decision.honest);
+      EXPECT_NE(decision.value, truth);  // q = 0: guesses are junk
+      EXPECT_EQ(decision.value.size(), truth.size());
+    }
+  }
+  // computes_honestly interprets its index as the absolute input.
+  EXPECT_TRUE(policy.computes_honestly(LeafIndex{1031}));
+  EXPECT_FALSE(policy.computes_honestly(LeafIndex{1032}));
+}
+
+TEST(DefectorCheater, EpochSubTaskAgreesWithTheWholeTask) {
+  // The defection boundary is keyed on the absolute input, so a sub-task
+  // over one epoch's subdomain makes exactly the decisions the whole-task
+  // view would — the property pipelined verification relies on.
+  const Task whole = make_test_task(64);
+  const DefectorCheater policy({1032, 0.25, 5});
+  const std::vector<Domain> epochs = whole.domain.split(4);
+  for (std::size_t e = 0; e < epochs.size(); ++e) {
+    const Task sub = Task::make(whole.id, epochs[e], whole.f, nullptr);
+    for (std::uint64_t i = 0; i < epochs[e].size(); ++i) {
+      const std::uint64_t global = 16 * e + i;
+      const auto from_sub = policy.decide(LeafIndex{i}, sub);
+      const auto from_whole = policy.decide(LeafIndex{global}, whole);
+      EXPECT_EQ(from_sub.honest, from_whole.honest);
+      EXPECT_EQ(from_sub.value, from_whole.value);
+    }
+  }
+}
+
+TEST(DefectorCheater, LuckyGuessesMatchTheTrueValue) {
+  const Task task = make_test_task(16);
+  const DefectorCheater policy({/*defect_from=*/0, /*guess_accuracy=*/1.0, 7});
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const auto decision = policy.decide(LeafIndex{i}, task);
+    EXPECT_FALSE(decision.honest);  // still not billed as honest work
+    EXPECT_EQ(decision.value,
+              task.f->evaluate(task.domain.input(LeafIndex{i})));
+  }
+}
+
+TEST(DefectorCheater, RejectsBadParams) {
+  EXPECT_THROW(DefectorCheater({0, -0.1, 1}), Error);
+  EXPECT_THROW(DefectorCheater({0, 1.1, 1}), Error);
+}
+
+TEST(DefectorCheater, NameDescribesParameters) {
+  const DefectorCheater policy({1160, 0.25, 1});
+  EXPECT_EQ(policy.name(), "defector(from=1160, q=0.25)");
+}
+
 TEST(PolicyFactories, ProduceWorkingPolicies) {
   const Task task = make_test_task(8);
   const auto honest = make_honest_policy();
   EXPECT_TRUE(honest->decide(LeafIndex{0}, task).honest);
   const auto cheater = make_semi_honest_cheater({0.0, 0.0, 3});
   EXPECT_FALSE(cheater->decide(LeafIndex{0}, task).honest);
+  const auto defector = make_defector_cheater({1004, 0.0, 3});
+  EXPECT_TRUE(defector->decide(LeafIndex{0}, task).honest);
+  EXPECT_FALSE(defector->decide(LeafIndex{7}, task).honest);
 }
 
 }  // namespace

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# End-to-end pipelined verification: one gridd supervisor streaming
+# 8-epoch commitments from three gridworker processes — two honest, one
+# defector that computes honestly until the midpoint of its assignment
+# and guesses from there. Asserts that
+#   - gridd exits with status 2 (the defector's task rejected),
+#   - the accusation lands mid-stream: the verdict detail names an epoch
+#     strictly before the last, so at most one epoch of work past the
+#     defection point was wasted (one-shot verification would pay all 8),
+#   - both honest workers are accepted across every epoch, none flagged,
+#   - every worker process exits 0 with a verdict in hand.
+#
+# Workers are started (and therefore registered) one at a time so slot
+# order is deterministic: the defector lands in slot 2 with domain
+# [2048, 3072) and defects from input 2560 — epoch 4 of its 8.
+#
+# usage: pipelined_grid.sh <gridd> <gridworker>
+set -u
+
+GRIDD=${1:?path to gridd}
+GRIDWORKER=${2:?path to gridworker}
+
+WORKDIR=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null; wait 2>/dev/null; rm -rf "$WORKDIR"' EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  echo "---- gridd.log ----" >&2; cat "$WORKDIR/gridd.log" >&2 || true
+  for w in honest-1 honest-2 defector-1; do
+    echo "---- $w.log ----" >&2; cat "$WORKDIR/$w.log" >&2 || true
+  done
+  exit 1
+}
+
+# Ephemeral port: gridd binds port 0 and prints the port it got.
+"$GRIDD" --port 0 --workers 3 --workload test --scheme pipelined-cbs \
+         --epochs 8 --epoch-samples 4 \
+         --domain-begin 0 --domain-end 3072 --seed 7 \
+         --idle-timeout-ms 2000 >"$WORKDIR/gridd.log" 2>&1 &
+GRIDD_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^gridd: listening on [0-9.]*:\([0-9]*\)$/\1/p' \
+         "$WORKDIR/gridd.log" 2>/dev/null | head -1)
+  [ -n "$PORT" ] && break
+  kill -0 "$GRIDD_PID" 2>/dev/null || fail "gridd died before listening"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "gridd never printed its port"
+
+# Sequential registration pins agents to slots (and so to subdomains).
+await_registration() {
+  for _ in $(seq 1 100); do
+    [ "$(grep -c "registered agent=" "$WORKDIR/gridd.log")" -ge "$1" ] && return 0
+    sleep 0.1
+  done
+  fail "worker $1 never registered"
+}
+
+"$GRIDWORKER" --connect "127.0.0.1:$PORT" --agent honest-1 \
+              >"$WORKDIR/honest-1.log" 2>&1 &
+W1=$!
+await_registration 1
+"$GRIDWORKER" --connect "127.0.0.1:$PORT" --agent honest-2 \
+              >"$WORKDIR/honest-2.log" 2>&1 &
+W2=$!
+await_registration 2
+"$GRIDWORKER" --connect "127.0.0.1:$PORT" --agent defector-1 \
+              --cheat defector:2560 --seed 99 \
+              >"$WORKDIR/defector-1.log" 2>&1 &
+W3=$!
+
+wait "$GRIDD_PID"; GRIDD_STATUS=$?
+wait "$W1"; W1_STATUS=$?
+wait "$W2"; W2_STATUS=$?
+wait "$W3"; W3_STATUS=$?
+
+LOG="$WORKDIR/gridd.log"
+
+[ "$GRIDD_STATUS" -eq 2 ] || fail "gridd exit=$GRIDD_STATUS, want 2 (defector caught)"
+# The accusation must name an epoch before the last: caught mid-stream,
+# not at settlement. The defection epoch is 4; sampling lands on it.
+grep -Eq 'status=wrong-result detail="epoch [0-6]/8' "$LOG" \
+  || fail "no mid-stream epoch accusation in the verdict detail"
+grep -Eq "worker [0-9]+ agent=defector-1 id=[0-9a-f]+ accepted=0 rejected=1 .* flagged=yes" "$LOG" \
+  || fail "defector not flagged"
+for agent in honest-1 honest-2; do
+  grep -Eq "worker [0-9]+ agent=$agent id=[0-9a-f]+ accepted=1 rejected=0 .* flagged=no" "$LOG" \
+    || fail "honest worker $agent not cleanly accepted"
+done
+grep -q "summary scheme=pipelined-cbs .* accepted=2 rejected=1 aborted=0" "$LOG" \
+  || fail "summary line mismatch"
+
+for status_var in W1_STATUS:honest-1 W2_STATUS:honest-2 W3_STATUS:defector-1; do
+  status=${status_var%%:*}; agent=${status_var##*:}
+  [ "${!status}" -eq 0 ] || fail "worker $agent exit=${!status}, want 0"
+done
+grep -q "status=accepted" "$WORKDIR/honest-1.log" || fail "honest-1 saw no accepted verdict"
+grep -q "status=accepted" "$WORKDIR/honest-2.log" || fail "honest-2 saw no accepted verdict"
+grep -q "status=wrong-result" "$WORKDIR/defector-1.log" \
+  || fail "defector saw no rejection verdict"
+
+echo "PASS: pipelined grid accused the defector mid-stream and paid the honest workers"

@@ -128,6 +128,115 @@ TEST(TaskOf, ExtractsTaskFromEveryMessageType) {
   a.task = TaskId{13};
   a.domain_end = 1;
   EXPECT_EQ(task_of(Message{a}), TaskId{13});
+  EXPECT_EQ(task_of(Message{EpochCommitment{TaskId{14}, 0, 2, {}}}),
+            TaskId{14});
+  EXPECT_EQ(task_of(Message{EpochChallenge{TaskId{15}, 0, {}}}), TaskId{15});
+  EXPECT_EQ(task_of(Message{EpochProofResponse{TaskId{16}, 0, {}}}),
+            TaskId{16});
+  EXPECT_EQ(task_of(Message{EpochAck{TaskId{17}, 0}}), TaskId{17});
+  EXPECT_EQ(task_of(Message{EpochResume{TaskId{18}, 0}}), TaskId{18});
+}
+
+// ------------------------------------------------- stale-traffic counting
+
+TEST(SupervisorNodeStale, LateReportFromStaleSenderNeverCreditsAnAttempt) {
+  SimNetwork net;
+  RecordingNode black_hole;
+  ParticipantNode honest{{}};
+  const GridNodeId dead = net.add_node(black_hole);
+  const GridNodeId live = net.add_node(honest);
+
+  SupervisorNode::Plan plan;
+  plan.domain = Domain(0, 256);
+  plan.scheme.name = "cbs";
+  plan.seed = 3;
+  // Accept reports verbatim: any stale frame that slipped the guard would
+  // land in the task's hit list, making the assertion below conclusive.
+  plan.validate_reported_hits = false;
+  SupervisorNode supervisor(plan, {dead, live});
+  net.add_node(supervisor);
+  supervisor.start(net);
+  // run() pumps to quiescence, which fires the timeout hook: group 0's
+  // attempt in the black hole (task 1) is superseded and retried on the
+  // live worker's slot, so the whole grid settles.
+  net.run();
+  ASSERT_TRUE(supervisor.done());
+
+  // Nothing counted yet: all traffic so far was current.
+  EXPECT_EQ(supervisor.stale_frames_dropped(), 0u);
+
+  // A report for the live worker's task arriving from the WRONG sender
+  // must die at the guard, not credit the task.
+  supervisor.on_message(
+      dead, Message{ScreenerReport{TaskId{2}, {{7, "spoofed"}}}}, net);
+  EXPECT_EQ(supervisor.stale_frames_dropped(), 1u);
+  // Unknown task id: counted too.
+  supervisor.on_message(
+      dead, Message{ScreenerReport{TaskId{99}, {{7, "spoofed"}}}}, net);
+  EXPECT_EQ(supervisor.stale_frames_dropped(), 2u);
+  // The dead attempt's peer reports a "discovery" for its superseded task:
+  // counted and dropped — it cannot credit the replacement attempt.
+  supervisor.on_message(
+      dead, Message{ScreenerReport{TaskId{1}, {{7, "spoofed"}}}}, net);
+  EXPECT_EQ(supervisor.stale_frames_dropped(), 3u);
+
+  for (const SupervisorNode::TaskOutcome& outcome : supervisor.outcomes()) {
+    EXPECT_TRUE(outcome.verdict.accepted()) << outcome.verdict.detail;
+  }
+  const std::vector<ScreenerHit> hits = supervisor.accepted_hits();
+  EXPECT_TRUE(std::none_of(hits.begin(), hits.end(),
+                           [](const ScreenerHit& hit) {
+                             return hit.report == "spoofed";
+                           }))
+      << "a stale frame credited an attempt it must not reach";
+}
+
+// ------------------------------------------- pipelined crash re-entry
+
+TEST(SupervisorNodePipelined, ReplacementWorkerResumesAtTheFrontier) {
+  SimNetwork net;
+  ParticipantNode worker_a{{}}, worker_b{{}};
+  const GridNodeId a = net.add_node(worker_a);
+  const GridNodeId b = net.add_node(worker_b);
+
+  SupervisorNode::Plan plan;
+  plan.domain = Domain(0, 128);
+  plan.scheme.name = "pipelined-cbs";
+  plan.scheme.pipeline.epochs = 4;  // 32 inputs per epoch
+  plan.scheme.pipeline.samples_per_epoch = 2;
+  plan.seed = 13;
+  SupervisorNode supervisor(plan, {a});
+  net.add_node(supervisor);
+  supervisor.start(net);
+
+  // Step frame by frame until worker A has swept three epochs — by then at
+  // least two are acknowledged, so the verified frontier is past epoch 1.
+  int guard = 0;
+  while (worker_a.honest_evaluations() < 96) {
+    ASSERT_TRUE(net.deliver_one()) << "pipelined exchange stalled";
+    ASSERT_LT(++guard, 500);
+  }
+
+  // Worker A "dies"; a replacement with the same durable identity takes
+  // the slot. The 3-argument replace_slot announces the resume point
+  // (EpochResume) and re-sends the assignment to the new peer, so B picks
+  // up at the frontier instead of redoing verified epochs.
+  supervisor.replace_slot(0, b, &net);
+  net.run();
+
+  ASSERT_TRUE(supervisor.done());
+  const std::vector<SupervisorNode::TaskOutcome> outcomes =
+      supervisor.outcomes();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].verdict.accepted()) << outcomes[0].verdict.detail;
+  EXPECT_EQ(outcomes[0].peer.value, b.value);
+  // The replacement computed only the unverified suffix (at most the last
+  // two epochs), never the whole 128-input domain.
+  EXPECT_GT(worker_b.honest_evaluations(), 0u);
+  EXPECT_LE(worker_b.honest_evaluations(), 64u);
+  // Worker A's in-flight traffic from before the hand-off arrived from a
+  // sender the task no longer belongs to: dropped and counted.
+  EXPECT_GT(supervisor.stale_frames_dropped(), 0u);
 }
 
 // -------------------------------------------------------------- threadpool

@@ -129,11 +129,53 @@ TEST(AdaptiveTimeout, TracksGapsWithinTheClamp) {
   }
   EXPECT_EQ(timeout.timeout_ms(1000), policy.ceiling_ms);
 
-  AdaptiveTimeout fixed;  // non-adaptive: fallback verbatim, always
+  // Non-adaptive: the fallback rules regardless of recorded gaps (but is
+  // still clamped — see the boundary test below).
+  AdaptiveTimeout fixed;
   for (int i = 0; i < 8; ++i) {
     fixed.record_gap(40);
   }
   EXPECT_EQ(fixed.timeout_ms(777), 777u);
+}
+
+TEST(AdaptiveTimeout, FallbackIsClampedOnEveryPath) {
+  QuiescencePolicy policy;  // non-adaptive
+  policy.floor_ms = 200;
+  policy.ceiling_ms = 5000;
+  const AdaptiveTimeout fixed(policy);
+  // Below the floor: a loopback-tuned fallback cannot fire before a slow
+  // link's first frames land.
+  EXPECT_EQ(fixed.timeout_ms(50), policy.floor_ms);
+  // Above the ceiling: the policy's upper bound binds the fallback too.
+  EXPECT_EQ(fixed.timeout_ms(60000), policy.ceiling_ms);
+  // In range: passed through unchanged.
+  EXPECT_EQ(fixed.timeout_ms(1234), 1234u);
+
+  // Adaptive warm-up (fewer than 4 samples) clamps identically.
+  policy.adaptive = true;
+  AdaptiveTimeout warming(policy);
+  warming.record_gap(40);
+  EXPECT_EQ(warming.timeout_ms(50), policy.floor_ms);
+  EXPECT_EQ(warming.timeout_ms(60000), policy.ceiling_ms);
+}
+
+TEST(AdaptiveTimeout, DegenerateFloorEqualsCeiling) {
+  QuiescencePolicy policy;
+  policy.floor_ms = 750;
+  policy.ceiling_ms = 750;
+  const AdaptiveTimeout fixed(policy);
+  // floor == ceiling pins the timeout no matter the fallback.
+  EXPECT_EQ(fixed.timeout_ms(1), 750u);
+  EXPECT_EQ(fixed.timeout_ms(750), 750u);
+  EXPECT_EQ(fixed.timeout_ms(100000), 750u);
+
+  QuiescencePolicy adaptive = policy;
+  adaptive.adaptive = true;
+  AdaptiveTimeout pinned(adaptive);
+  for (int i = 0; i < 8; ++i) {
+    pinned.record_gap(10);  // estimate far below the floor
+  }
+  EXPECT_EQ(pinned.timeout_ms(1), 750u);
 }
 
 // Counts messages; replies to nothing — traffic into it just disappears

@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cheating.h"
+#include "core/task.h"
+#include "scheme/exchange.h"
+#include "scheme/registry.h"
+#include "scheme/session.h"
+#include "prop.h"
+#include "test_util.h"
+
+namespace ugc {
+namespace {
+
+using proptest::Failure;
+using proptest::Property;
+using proptest::gen_range;
+using proptest::prop_check;
+using testing::make_test_task;
+
+SchemeConfig pipelined_config(std::uint64_t epochs,
+                              std::size_t samples_per_epoch = 4,
+                              std::size_t max_inflight = 1,
+                              std::size_t window_epochs = 4) {
+  SchemeConfig config;
+  config.name = "pipelined-cbs";
+  config.pipeline.epochs = epochs;
+  config.pipeline.samples_per_epoch = samples_per_epoch;
+  config.pipeline.max_inflight = max_inflight;
+  config.pipeline.window_epochs = window_epochs;
+  return config;
+}
+
+const VerificationScheme& pipelined_scheme() {
+  return SchemeRegistry::global().by_name("pipelined-cbs");
+}
+
+// ------------------------------------------------------------ honest runs
+
+TEST(PipelinedScheme, HonestParticipantAcceptedAcrossEpochs) {
+  const Task task = make_test_task(256);
+  const SchemeConfig config = pipelined_config(8);
+  const SchemeExchangeResult result =
+      run_scheme_exchange(pipelined_scheme(), task, config, nullptr);
+  ASSERT_TRUE(result.all_accepted()) << result.verdicts.front().detail;
+  EXPECT_NE(result.verdicts.front().detail.find("pipelined"),
+            std::string::npos);
+  // Every input genuinely evaluated, exactly once across the epoch sweep.
+  EXPECT_EQ(result.participant_evaluations, 256u);
+  // samples_per_epoch checks per epoch, every epoch sampled.
+  EXPECT_EQ(result.results_verified, 8u * 4u);
+}
+
+TEST(PipelinedScheme, HonestAcceptedWithDeepInflightWindow) {
+  const Task task = make_test_task(300);
+  // 7 epochs over 300 inputs: uneven split, several epochs in flight.
+  const SchemeConfig config = pipelined_config(7, 3, 3, 2);
+  const SchemeExchangeResult result =
+      run_scheme_exchange(pipelined_scheme(), task, config, nullptr);
+  ASSERT_TRUE(result.all_accepted()) << result.verdicts.front().detail;
+  EXPECT_EQ(result.participant_evaluations, 300u);
+  EXPECT_EQ(result.results_verified, 7u * 3u);
+}
+
+TEST(PipelinedScheme, EpochCountIsClampedToDomainSize) {
+  // More epochs than inputs must degrade gracefully, not throw on an
+  // empty subdomain.
+  const Task task = make_test_task(3);
+  const SchemeConfig config = pipelined_config(64);
+  const SchemeExchangeResult result =
+      run_scheme_exchange(pipelined_scheme(), task, config, nullptr);
+  ASSERT_TRUE(result.all_accepted()) << result.verdicts.front().detail;
+  EXPECT_EQ(result.participant_evaluations, 3u);
+}
+
+TEST(PipelinedScheme, ScreenerHitsStreamAcrossEpochs) {
+  const Task task =
+      make_test_task(128, 1, 16, std::make_shared<testing::ModScreener>(32));
+  const SchemeConfig config = pipelined_config(4);
+  const SchemeExchangeResult result =
+      run_scheme_exchange(pipelined_scheme(), task, config, nullptr);
+  ASSERT_TRUE(result.all_accepted());
+  // Domain [1000, 1128) holds 4 multiples of 32: 1024, 1056, 1088, 1120 —
+  // one per epoch, so hits must survive engine retirement.
+  ASSERT_EQ(result.reports.size(), 1u);
+  EXPECT_EQ(result.reports.front().hits.size(), 4u);
+}
+
+// -------------------------------------------------- the mid-task defector
+
+// The tentpole scenario: a worker honest through epoch 4 that starts
+// guessing at the epoch-5 boundary is accused *in* epoch 5 — not after the
+// whole task — and the wasted (already-computed) work is the honest prefix,
+// never the full domain.
+TEST(PipelinedScheme, DefectorIsCaughtAtItsDefectionEpoch) {
+  const Task task = make_test_task(256);  // domain [1000, 1256), 32/epoch
+  const SchemeConfig config = pipelined_config(8);
+  const auto cheater =
+      make_defector_cheater({/*defect_from=*/1160, /*guess_accuracy=*/0.0,
+                             /*seed=*/9});
+  const SchemeExchangeResult result =
+      run_scheme_exchange(pipelined_scheme(), task, config, cheater);
+
+  ASSERT_EQ(result.verdicts.size(), 1u);
+  const Verdict& verdict = result.verdicts.front();
+  EXPECT_FALSE(verdict.accepted());
+  EXPECT_EQ(verdict.status, VerdictStatus::kWrongResult);
+  // Accused inside the defection epoch (inputs 1160..1191 = leaves 160..191).
+  ASSERT_TRUE(verdict.failed_sample.has_value());
+  EXPECT_GE(verdict.failed_sample->value, 160u);
+  EXPECT_LT(verdict.failed_sample->value, 192u);
+  EXPECT_NE(verdict.detail.find("epoch 5/8"), std::string::npos)
+      << verdict.detail;
+  // Wasted-work bound: only the honest prefix was ever computed; epochs 6
+  // and 7 never ran (one-shot CBS would have swept all 256 first).
+  EXPECT_EQ(result.participant_evaluations, 160u);
+}
+
+TEST(PropPipelined, prop_defector_caught_at_its_defection_epoch) {
+  struct Case {
+    std::uint64_t epochs;
+    std::uint64_t defect_epoch;
+    std::uint64_t per_epoch;
+    std::size_t max_inflight;
+    std::uint64_t seed;
+  };
+  Property<Case> prop;
+  prop.name = "defector accused in its defection epoch, honest runs clean";
+  prop.gen = [](Rng& rng) {
+    Case c;
+    c.epochs = gen_range(rng, 2, 8);
+    c.defect_epoch = gen_range(rng, 1, c.epochs - 1);
+    c.per_epoch = gen_range(rng, 8, 40);
+    c.max_inflight = static_cast<std::size_t>(gen_range(rng, 1, 3));
+    c.seed = rng.next();
+    return c;
+  };
+  prop.show = [](const Case& c) {
+    return concat("epochs=", c.epochs, " defect_epoch=", c.defect_epoch,
+                  " per_epoch=", c.per_epoch, " inflight=", c.max_inflight,
+                  " seed=", c.seed);
+  };
+  prop_check(prop, [](const Case& c) -> Failure {
+    const std::uint64_t n = c.epochs * c.per_epoch;
+    const Task task = make_test_task(n);
+    const SchemeConfig config =
+        pipelined_config(c.epochs, 4, c.max_inflight, 2);
+
+    // Zero honest accusations, at any epoch/window geometry.
+    const SchemeExchangeResult honest = run_scheme_exchange(
+        pipelined_scheme(), task, config, nullptr, nullptr, c.seed);
+    if (!honest.all_accepted()) {
+      return concat("honest worker accused: ",
+                    honest.verdicts.front().detail);
+    }
+
+    // The defector flips at an exact epoch boundary; an equal split places
+    // epoch k at absolute inputs [begin + k*per_epoch, ...).
+    const std::uint64_t defect_leaf = c.defect_epoch * c.per_epoch;
+    const auto cheater = make_defector_cheater(
+        {task.domain.begin() + defect_leaf, 0.0, c.seed});
+    const SchemeExchangeResult caught = run_scheme_exchange(
+        pipelined_scheme(), task, config, cheater, nullptr, c.seed);
+    const Verdict& verdict = caught.verdicts.front();
+    if (verdict.accepted()) {
+      return concat("defector accepted: ", verdict.detail);
+    }
+    const std::string tag = concat("epoch ", c.defect_epoch, "/", c.epochs);
+    if (verdict.detail.find(tag) == std::string::npos) {
+      return concat("expected accusation in '", tag, "', got: ",
+                    verdict.detail);
+    }
+    if (!verdict.failed_sample.has_value() ||
+        verdict.failed_sample->value < defect_leaf ||
+        verdict.failed_sample->value >= defect_leaf + c.per_epoch) {
+      return concat("failed_sample outside the defection epoch, detail: ",
+                    verdict.detail);
+    }
+    // Wasted-work bound: only the honest prefix is ever genuinely
+    // computed, regardless of how many epochs were speculatively in
+    // flight (the speculative ones are all guessed, hence free).
+    if (caught.participant_evaluations != defect_leaf) {
+      return concat("expected ", defect_leaf, " honest evaluations, got ",
+                    caught.participant_evaluations);
+    }
+    return {};
+  });
+}
+
+// ------------------------------------------------------------ crash resume
+
+// Drives one relay half-step: deliver everything the participant has
+// queued, then everything the supervisor queued back. Returns false once
+// neither side had traffic (the exchange is idle).
+bool pump_once(ParticipantSession& participant, SupervisorSession& supervisor,
+               TaskId task) {
+  bool moved = false;
+  while (auto message = participant.next_message()) {
+    supervisor.on_message(task, *message);
+    moved = true;
+  }
+  while (auto out = supervisor.next_message()) {
+    participant.on_message(out->message);
+    moved = true;
+  }
+  return moved;
+}
+
+TEST(PipelinedScheme, ReplacementResumesAtTheVerifiedFrontier) {
+  const Task task = make_test_task(128, 7);  // 4 epochs of 32
+  const SchemeConfig config = pipelined_config(4, 2);
+  const auto verifier = std::make_shared<RecomputeVerifier>(task.f);
+  const auto supervisor = pipelined_scheme().open_supervisor(
+      SupervisorContext{{task}, config, verifier, 42});
+
+  // First attempt: run until epochs 0 and 1 are verified, then "crash"
+  // (drop the session; its undelivered traffic is lost).
+  {
+    const auto first = pipelined_scheme().open_participant(
+        ParticipantContext{task, config, {}, nullptr});
+    int guard = 0;
+    while (supervisor->resume_epoch(task.id) != std::uint64_t{2}) {
+      ASSERT_TRUE(pump_once(*first, *supervisor, task.id)) << "stalled";
+      ASSERT_LT(++guard, 100);
+    }
+    // One extra half-step so epoch 2's commitment reaches the supervisor
+    // before the crash — the replacement re-announces that same epoch.
+    pump_once(*first, *supervisor, task.id);
+  }
+
+  // Replacement opens at the supervisor's frontier and recommits epoch 2
+  // (same deterministic root): the supervisor must re-challenge with fresh
+  // samples and carry the run to acceptance.
+  ParticipantContext resumed{task, config, {}, nullptr};
+  resumed.resume_epoch = *supervisor->resume_epoch(task.id);
+  const auto second = pipelined_scheme().open_participant(std::move(resumed));
+  std::optional<Verdict> verdict;
+  for (int guard = 0; !verdict && guard < 100; ++guard) {
+    pump_once(*second, *supervisor, task.id);
+    verdict = supervisor->next_verdict();
+  }
+  ASSERT_TRUE(verdict.has_value()) << "exchange stalled after resume";
+  EXPECT_TRUE(verdict->accepted()) << verdict->detail;
+  // The replacement only computed the unverified suffix — epochs 2 and 3.
+  EXPECT_EQ(second->honest_evaluations(), 64u);
+  // Settled tasks stop advertising a resume point.
+  EXPECT_EQ(supervisor->resume_epoch(task.id), std::nullopt);
+}
+
+TEST(PipelinedScheme, DishonestReplacementTripsTheRootConflictCheck) {
+  const Task task = make_test_task(128, 7);
+  const SchemeConfig config = pipelined_config(4, 2);
+  const auto verifier = std::make_shared<RecomputeVerifier>(task.f);
+  const auto supervisor = pipelined_scheme().open_supervisor(
+      SupervisorContext{{task}, config, verifier, 42});
+  {
+    const auto first = pipelined_scheme().open_participant(
+        ParticipantContext{task, config, {}, nullptr});
+    int guard = 0;
+    while (supervisor->resume_epoch(task.id) != std::uint64_t{2}) {
+      ASSERT_TRUE(pump_once(*first, *supervisor, task.id)) << "stalled";
+      ASSERT_LT(++guard, 100);
+    }
+    pump_once(*first, *supervisor, task.id);  // epoch 2's commit lands
+  }
+
+  // A cheating replacement cannot honestly reproduce epoch 2's root; two
+  // different roots for one epoch is conclusive on its own.
+  ParticipantContext resumed{
+      task, config, {},
+      make_semi_honest_cheater({/*honesty_ratio=*/0.0, 0.0, /*seed=*/5})};
+  resumed.resume_epoch = *supervisor->resume_epoch(task.id);
+  const auto second = pipelined_scheme().open_participant(std::move(resumed));
+  std::optional<Verdict> verdict;
+  for (int guard = 0; !verdict && guard < 100; ++guard) {
+    pump_once(*second, *supervisor, task.id);
+    verdict = supervisor->next_verdict();
+  }
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->status, VerdictStatus::kRootMismatch);
+  EXPECT_NE(verdict->detail.find("conflicting commitment roots"),
+            std::string::npos)
+      << verdict->detail;
+}
+
+}  // namespace
+}  // namespace ugc

@@ -40,7 +40,7 @@ SampleProof gen_sample_proof(Rng& rng) {
 // One random message of every variant, chosen uniformly.
 Message gen_message(Rng& rng) {
   const TaskId task{gen_range(rng, 1, 1 << 16)};
-  switch (rng.uniform(13)) {
+  switch (rng.uniform(18)) {
     case 0: {
       TaskAssignment m;
       m.task = task;
@@ -51,6 +51,14 @@ Message gen_message(Rng& rng) {
       m.scheme.kind = static_cast<SchemeKind>(rng.uniform(5));
       if (rng.bernoulli(0.3)) {
         m.scheme.name = "custom+scheme";
+      }
+      if (rng.bernoulli(0.5)) {
+        // Exercise the trailing pipeline section about half the time, so
+        // both the legacy and the extended assignment layouts get fuzzed.
+        m.scheme.pipeline.epochs = gen_range(rng, 2, 64);
+        m.scheme.pipeline.samples_per_epoch = gen_range(rng, 1, 16);
+        m.scheme.pipeline.max_inflight = gen_range(rng, 1, 4);
+        m.scheme.pipeline.window_epochs = gen_range(rng, 1, 8);
       }
       const std::uint64_t images = gen_range(rng, 0, 3);
       for (std::uint64_t i = 0; i < images; ++i) {
@@ -142,7 +150,7 @@ Message gen_message(Rng& rng) {
       m.mac = gen_bytes(rng, 32);
       return m;
     }
-    default: {
+    case 12: {
       BatchProofResponse m;
       m.task = task;
       const std::uint64_t count = gen_range(rng, 0, 6);
@@ -156,6 +164,38 @@ Message gen_message(Rng& rng) {
       }
       return m;
     }
+    case 13: {
+      EpochCommitment m;
+      m.task = task;
+      m.epoch = gen_range(rng, 0, 63);
+      m.epoch_count = gen_range(rng, 1, 64);
+      m.commitment =
+          Commitment{task, gen_range(rng, 0, 1 << 20), gen_bytes(rng, 32)};
+      return m;
+    }
+    case 14: {
+      EpochChallenge m{task, gen_range(rng, 0, 63), {}};
+      const std::uint64_t count = gen_range(rng, 0, 12);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        m.samples.push_back(LeafIndex{gen_range(rng, 0, 1 << 20)});
+      }
+      return m;
+    }
+    case 15: {
+      EpochProofResponse m;
+      m.task = task;
+      m.epoch = gen_range(rng, 0, 63);
+      m.response.task = task;
+      const std::uint64_t count = gen_range(rng, 0, 6);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        m.response.proofs.push_back(gen_sample_proof(rng));
+      }
+      return m;
+    }
+    case 16:
+      return EpochAck{task, gen_range(rng, 0, 1ULL << 40)};
+    default:
+      return EpochResume{task, gen_range(rng, 0, 1ULL << 40)};
   }
 }
 

@@ -23,7 +23,10 @@ TEST(SchemeRegistry, AllBuiltinsResolvableByKindAndName) {
     EXPECT_EQ(scheme.name(), to_string(kind));
     EXPECT_EQ(&registry.by_name(scheme.name()), &scheme);
   }
-  EXPECT_EQ(registry.names().size(), 5u);
+  // Five kind-addressed builtins plus the name-only "pipelined-cbs".
+  EXPECT_EQ(registry.names().size(), 6u);
+  ASSERT_TRUE(registry.contains("pipelined-cbs"));
+  EXPECT_EQ(registry.by_name("pipelined-cbs").kind(), std::nullopt);
 }
 
 TEST(SchemeRegistry, ResolvePrefersNameOverKind) {

@@ -229,5 +229,87 @@ TEST(AdaptiveCbs, ApiMisuseThrows) {
   EXPECT_THROW(supervisor.next_challenge(), Error);  // unanswered
 }
 
+// ----------------------------------------------------------- RollingSprt
+
+TEST(RollingSprt, ZeroToleranceFailureIsImmediatelyConclusive) {
+  RollingSprt sprt(SprtConfig{}, 4);  // p0 = 1: any failure is conclusive
+  EXPECT_EQ(sprt.observe(true), SprtDecision::kContinue);
+  EXPECT_EQ(sprt.observe(true), SprtDecision::kContinue);
+  EXPECT_EQ(sprt.observe(false), SprtDecision::kReject);
+  EXPECT_EQ(sprt.observations(), 3u);
+  EXPECT_THROW(sprt.observe(true), Error);  // terminal, like the one-shot
+}
+
+TEST(RollingSprt, NeverIssuesAMidStreamAccept) {
+  // However long the clean streak, the decision stays kContinue — a
+  // mid-stream accept would let a sleeper bank a clean window and defect
+  // after it. Acceptance is structural (all epochs verified), not here.
+  RollingSprt sprt(SprtConfig{}, 2);
+  for (int epoch = 0; epoch < 16; ++epoch) {
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(sprt.observe(true), SprtDecision::kContinue);
+    }
+    sprt.end_epoch();
+  }
+  EXPECT_EQ(sprt.decision(), SprtDecision::kContinue);
+}
+
+TEST(RollingSprt, WindowForgetsStaleEvidence) {
+  // Noisy channel: a failure is evidence, not instantly conclusive.
+  // llr_fail = log(0.5/0.1) ≈ 1.609, reject at log(0.999/0.001) ≈ 6.907 —
+  // so 4 failures continue, a 5th within one window rejects.
+  SprtConfig noisy;
+  noisy.pass_prob_honest = 0.9;
+  noisy.pass_prob_cheater = 0.5;
+  noisy.false_reject = 1e-3;
+  noisy.false_accept = 1e-3;
+
+  RollingSprt fresh(noisy, 1);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(fresh.observe(false), SprtDecision::kContinue);
+  }
+  EXPECT_EQ(fresh.observe(false), SprtDecision::kReject);
+
+  // The same 8 failures spread across distant epochs never reject: a
+  // 1-epoch window only ever scores the most recent conduct.
+  RollingSprt rolling(noisy, 1);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(rolling.observe(false), SprtDecision::kContinue);
+  }
+  rolling.end_epoch();
+  rolling.end_epoch();  // quiet epoch: the 4 failures slide out
+  EXPECT_NEAR(rolling.log_likelihood_ratio(), 0.0, 1e-12);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(rolling.observe(false), SprtDecision::kContinue);
+  }
+  // ... while a cumulative Sprt over the identical stream is long decided.
+  Sprt cumulative(noisy);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(cumulative.observe(false), SprtDecision::kContinue);
+  }
+  EXPECT_EQ(cumulative.observe(false), SprtDecision::kReject);
+}
+
+TEST(RollingSprt, PassesOffsetFailuresInsideTheWindow) {
+  SprtConfig noisy;
+  noisy.pass_prob_honest = 0.9;
+  noisy.pass_prob_cheater = 0.5;
+  noisy.false_reject = 1e-3;
+  noisy.false_accept = 1e-3;
+  RollingSprt sprt(noisy, 4);
+  // Alternate pass/fail: each pair nets ≈ 1.02 of evidence, so the mixed
+  // stream takes far longer to condemn than a pure failure burst.
+  int observations = 0;
+  while (sprt.decision() == SprtDecision::kContinue && observations < 100) {
+    sprt.observe(observations % 2 == 0);
+    ++observations;
+  }
+  EXPECT_GT(observations, 10);
+}
+
+TEST(RollingSprt, RejectsDegenerateWindow) {
+  EXPECT_THROW(RollingSprt(SprtConfig{}, 0), Error);
+}
+
 }  // namespace
 }  // namespace ugc

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "common/hex.h"
 #include "common/rng.h"
 #include "grid/transport.h"
 #include "wire/codec.h"
@@ -275,6 +276,128 @@ TEST(Messages, EmptyCollectionsRoundTrip) {
   expect_round_trip(RingerReport{TaskId{1}, {}});
 }
 
+// ------------------------------------------------------- epoch messages
+
+TEST(Messages, EpochMessagesRoundTrip) {
+  expect_round_trip(EpochCommitment{TaskId{7}, 3, 8, sample_commitment()});
+  expect_round_trip(EpochCommitment{TaskId{7}, 0, 1, Commitment{}});
+  expect_round_trip(EpochChallenge{
+      TaskId{7}, 3, {LeafIndex{0}, LeafIndex{12345}, LeafIndex{1ULL << 40}}});
+  expect_round_trip(EpochChallenge{TaskId{7}, 0, {}});
+  expect_round_trip(EpochProofResponse{TaskId{7}, 3, sample_response()});
+  expect_round_trip(EpochProofResponse{TaskId{7}, 0, ProofResponse{}});
+  expect_round_trip(EpochAck{TaskId{7}, 1ULL << 50});
+  expect_round_trip(EpochResume{TaskId{7}, 1ULL << 50});
+}
+
+TEST(Messages, AssignmentPipelineSectionRoundTrips) {
+  // Non-default pipeline parameters survive the trailing optional section…
+  TaskAssignment with_pipeline = sample_assignment();
+  with_pipeline.scheme.pipeline.epochs = 16;
+  with_pipeline.scheme.pipeline.samples_per_epoch = 3;
+  with_pipeline.scheme.pipeline.max_inflight = 2;
+  with_pipeline.scheme.pipeline.window_epochs = 5;
+  expect_round_trip(with_pipeline);
+  // …and a default pipeline encodes exactly like the pre-epoch format, so
+  // old decoders (and the golden bytes) are unaffected.
+  ASSERT_EQ(sample_assignment().scheme.pipeline, PipelineConfig{});
+  Bytes legacy = encode_message(Message{sample_assignment()});
+  Bytes pipelined = encode_message(Message{with_pipeline});
+  EXPECT_GT(pipelined.size(), legacy.size());
+}
+
+TEST(Messages, EpochResumeIsGridOnly) {
+  // EpochResume re-enters through the node (it precedes a re-sent
+  // assignment); sessions never see it.
+  const Message resume{EpochResume{TaskId{5}, 2}};
+  EXPECT_EQ(to_scheme_message(resume), std::nullopt);
+  EXPECT_EQ(task_of(resume), TaskId{5});
+  EXPECT_THROW(decode_scheme_message(encode_message(resume)), WireError);
+}
+
+TEST(Messages, TruncatedEpochMessagesThrowCleanly) {
+  for (const Message message :
+       {Message{EpochCommitment{TaskId{7}, 3, 8, sample_commitment()}},
+        Message{EpochChallenge{TaskId{7}, 3, {LeafIndex{1}, LeafIndex{9}}}},
+        Message{EpochProofResponse{TaskId{7}, 3, sample_response()}},
+        Message{EpochAck{TaskId{7}, 3}},
+        Message{EpochResume{TaskId{7}, 3}}}) {
+    const Bytes encoded = encode_message(message);
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{1}, encoded.size() / 2,
+          encoded.size() - 1}) {
+      Bytes truncated(encoded.begin(),
+                      encoded.begin() + static_cast<std::ptrdiff_t>(keep));
+      EXPECT_THROW(decode_message(truncated), WireError);
+    }
+  }
+}
+
+// ------------------------------------------------------------ golden bytes
+
+// Pinned wire-v2 encodings, captured before the epoch message types landed.
+// A mismatch here means a change broke compatibility with deployed peers —
+// wire changes must be additive (new message types or trailing sections).
+TEST(Messages, GoldenPreEpochEncodingsAreByteStable) {
+  const std::pair<Message, const char*> golden[] = {
+      {Message{sample_assignment()},
+       "010200030000000000000040420f000000000080841e00000000000"
+       "96b6579736561726368630000000000000003106d792d637573746f"
+       "6d2d736368656d650305020000000000110000012b8716d9cef7ef3"
+       "f000000000000d03f8dedb5a0f7c6b03efca9f1d24d62503f922100"
+       "01080000004001802015d2040000000000000205696d672d6105696"
+       "d672d62"},
+      {Message{sample_commitment()},
+       "020200070000000000000080081c612d33322d627974652d726f6f7"
+       "42d636f6d6d69746d656e74212121"},
+      {Message{SampleChallenge{TaskId{7}, {LeafIndex{0}, LeafIndex{12345}}}},
+       "03020007000000000000000200b960"},
+      {Message{sample_response()},
+       "0402000700000000000000030008726573756c742d3003047369623"
+       "00b7369626c696e672d6f6e65006408726573756c742d3103047369"
+       "62300b7369626c696e672d6f6e6500c80108726573756c742d32030"
+       "4736962300b7369626c696e672d6f6e6500"},
+      {Message{NiCbsProof{sample_commitment(), sample_response()}},
+       "050200070000000000000080081c612d33322d627974652d726f6f7"
+       "42d636f6d6d69746d656e74212121070000000000000003000872657"
+       "3756c742d300304736962300b7369626c696e672d6f6e6500640872"
+       "6573756c742d310304736962300b7369626c696e672d6f6e6500c80"
+       "108726573756c742d320304736962300b7369626c696e672d6f6e65"
+       "00"},
+      {Message{ResultsUpload{TaskId{2}, {to_bytes("r0"), to_bytes("r1")}}},
+       "060200020000000000000002027230027231"},
+      {Message{ScreenerReport{TaskId{2},
+                              {ScreenerHit{5, "signal at 5"},
+                               ScreenerHit{700, "hit"}}}},
+       "07020002000000000000000205000000000000000b7369676e616c2"
+       "061742035bc0200000000000003686974"},
+      {Message{RingerReport{TaskId{4}, {1, 2, 3}}},
+       "0802000400000000000000030100000000000000020000000000000"
+       "00300000000000000"},
+      {Message{BatchProofResponse{TaskId{11},
+                                  {{LeafIndex{0}, to_bytes("r0")},
+                                   {LeafIndex{7}, to_bytes("r7")}},
+                                  {to_bytes("sib-a"), Bytes{}}}},
+       "0a02000b0000000000000002000272300702723702057369622d6100"},
+      {Message{Verdict{TaskId{9}, VerdictStatus::kWrongResult, LeafIndex{77},
+                       "details here"}},
+       "090200090000000000000001014d0c64657461696c732068657265"},
+      {Message{Hello{kGridProtocol, "gridworker"}},
+       "0b020001000a67726964776f726b6572"},
+      {Message{HelloChallenge{kGridProtocol, Bytes(8, 0xa5)}},
+       "0c0200010008a5a5a5a5a5a5a5a5"},
+      {Message{HelloProof{kGridProtocol, "gridworker", Bytes(4, 0x11),
+                          Bytes(4, 0x22)}},
+       "0d020001000a67726964776f726b657204111111110422222222"},
+  };
+  for (const auto& [message, expected] : golden) {
+    EXPECT_EQ(to_hex(encode_message(message)), expected)
+        << "message variant index " << message.index();
+    // The pinned bytes must also still decode to the same value.
+    EXPECT_EQ(decode_message(from_hex(expected)), message);
+  }
+}
+
 // --------------------------------------------------- scheme-message envelope
 
 // Every SchemeMessage alternative must survive the envelope unchanged.
@@ -299,6 +422,12 @@ TEST(SchemeMessages, EveryAlternativeRoundTrips) {
   expect_scheme_round_trip(ResultsUpload{
       TaskId{2}, {to_bytes("a"), Bytes{}, to_bytes("c")}});
   expect_scheme_round_trip(RingerReport{TaskId{4}, {9, 1ULL << 40}});
+  expect_scheme_round_trip(EpochCommitment{TaskId{7}, 2, 4,
+                                           sample_commitment()});
+  expect_scheme_round_trip(EpochChallenge{TaskId{7}, 2, {LeafIndex{11}}});
+  expect_scheme_round_trip(EpochProofResponse{TaskId{7}, 2,
+                                              sample_response()});
+  expect_scheme_round_trip(EpochAck{TaskId{7}, 2});
 }
 
 TEST(SchemeMessages, TaskOfMatchesEveryAlternative) {
@@ -312,6 +441,13 @@ TEST(SchemeMessages, TaskOfMatchesEveryAlternative) {
       TaskId{9});
   EXPECT_EQ(task_of(SchemeMessage{ResultsUpload{TaskId{10}, {}}}), TaskId{10});
   EXPECT_EQ(task_of(SchemeMessage{RingerReport{TaskId{11}, {}}}), TaskId{11});
+  EXPECT_EQ(task_of(SchemeMessage{EpochCommitment{TaskId{12}, 0, 1, {}}}),
+            TaskId{12});
+  EXPECT_EQ(task_of(SchemeMessage{EpochChallenge{TaskId{13}, 0, {}}}),
+            TaskId{13});
+  EXPECT_EQ(task_of(SchemeMessage{EpochProofResponse{TaskId{14}, 0, {}}}),
+            TaskId{14});
+  EXPECT_EQ(task_of(SchemeMessage{EpochAck{TaskId{15}, 0}}), TaskId{15});
 }
 
 TEST(SchemeMessages, GridOnlyTypesAreNotSchemeMessages) {
@@ -341,6 +477,8 @@ TEST(Messages, MessageTypeNamesAreStable) {
   EXPECT_STREQ(to_string(MessageType::kTaskAssignment), "task-assignment");
   EXPECT_STREQ(to_string(MessageType::kNiCbsProof), "nicbs-proof");
   EXPECT_STREQ(to_string(MessageType::kVerdict), "verdict");
+  EXPECT_STREQ(to_string(MessageType::kEpochCommitment), "epoch-commitment");
+  EXPECT_STREQ(to_string(MessageType::kEpochResume), "epoch-resume");
 }
 
 TEST(Messages, UnknownTypeRejected) {
