@@ -23,6 +23,7 @@
 //   gridworker --connect 127.0.0.1:7001 --cheat semi-honest:0.5 &
 //   wait
 
+#include <algorithm>
 #include <cinttypes>
 #include <csignal>
 #include <cstdio>
@@ -42,6 +43,20 @@ namespace {
 using namespace ugc;
 
 int run_gridd(const cli::Flags& flags) {
+  // Engine probe: e2e scripts ask "can this kernel construct <backend>?"
+  // before pinning a whole run to it (tests/e2e/loopback_grid.sh skips its
+  // uring leg when this exits nonzero). Exit 0 = constructible here.
+  if (const std::string probe = flags.str("probe-engine"); !probe.empty()) {
+    const net::EngineBackend backend = net::parse_engine_backend(probe);
+    const bool supported =
+        backend == net::EngineBackend::kUring   ? net::uring_supported()
+        : backend == net::EngineBackend::kEpoll ? net::epoll_supported()
+                                                : true;  // auto/poll
+    std::printf("gridd: engine %s %s\n", probe.c_str(),
+                supported ? "supported" : "unsupported");
+    return supported ? cli::kExitOk : cli::kExitError;
+  }
+
   // Reputation outlives the process when --state-dir is set: the ledger's
   // Beta posteriors are keyed by durable worker id and loaded back on the
   // next start, so a ban sticks across restarts.
@@ -82,8 +97,12 @@ int run_gridd(const cli::Flags& flags) {
   check(port <= 65535, "--port ", flags.str("port"),
         " out of range (0 = ephemeral, else 1-65535)");
   transport.listen(flags.str("host"), static_cast<std::uint16_t>(port));
-  std::printf("gridd: listening on %s:%u\n", flags.str("host").c_str(),
-              transport.port());
+  // io_stats().engine is the *resolved* backend: under --engine auto this
+  // says which of uring/epoll/poll actually got constructed.
+  const net::TcpIoStats boot = transport.io_stats();
+  std::printf("gridd: listening on %s:%u engine=%s io_loops=%u\n",
+              flags.str("host").c_str(), transport.port(),
+              boot.engine.c_str(), boot.io_loops);
   std::fflush(stdout);
 
   // Registration: a connection becomes an assignment slot once its proof
@@ -163,6 +182,8 @@ int run_gridd(const cli::Flags& flags) {
   plan.scheme.pipeline.epochs = flags.u64("epochs");
   plan.scheme.pipeline.samples_per_epoch = flags.u64("epoch-samples");
   plan.scheme.pipeline.window_epochs = flags.u64("epoch-window");
+  plan.scheme.pipeline.max_inflight =
+      std::max<std::size_t>(1, flags.u64("epoch-inflight"));
   plan.seed = flags.u64("seed");
   plan.pump_threads = static_cast<unsigned>(flags.u64("pump-threads"));
   plan.max_task_retries = flags.u64("max-retries");
@@ -226,6 +247,8 @@ int run_gridd(const cli::Flags& flags) {
               " verification_evals=%" PRIu64 " stale_frames=%" PRIu64
               " bytes=%" PRIu64
               " refused=%" PRIu64 " engine=%s io_loops=%u "
+              "read_calls=%" PRIu64 " write_calls=%" PRIu64
+              " frames_per_write=%.2f "
               "write_queue_hwm=%zu undecodable=%" PRIu64 " truncated=%" PRIu64
               " shed=%" PRIu64 " evicted=%" PRIu64 " idle_timeout_ms=%" PRIu64
               "\n",
@@ -235,7 +258,8 @@ int run_gridd(const cli::Flags& flags) {
               supervisor.verification_evaluations(),
               supervisor.stale_frames_dropped(),
               transport.stats().total_bytes, io.handshakes_refused,
-              io.engine.c_str(), io.io_loops, io.write_queue_hwm,
+              io.engine.c_str(), io.io_loops, io.read_calls, io.write_calls,
+              io.frames_per_write_mean, io.write_queue_hwm,
               io.frames_undecodable, io.streams_truncated, io.frames_shed,
               io.peers_evicted, io.quiescence_timeout_ms);
   if (options.chaos.has_value()) {
@@ -272,6 +296,7 @@ int main(int argc, char** argv) {
       {"epochs", "1"},
       {"epoch-samples", "8"},
       {"epoch-window", "4"},
+      {"epoch-inflight", "1"},
       {"domain-begin", "0"},
       {"domain-end", "3072"},
       {"seed", "1"},
@@ -287,6 +312,7 @@ int main(int argc, char** argv) {
       {"chaos-seed", "1"},
       {"io-threads", "1"},
       {"engine", "auto"},
+      {"probe-engine", ""},
       {"state-dir", ""},
       {"ban-threshold", "0.5"},
       {"min-observations", "2"},

@@ -66,14 +66,19 @@ using namespace ugc;
 
 // Transport façade for one army connection: ParticipantNode sends through
 // it, and the bytes land framed on that connection's write queue. Node ids
-// are per-link fictions (the army's loop routes by socket, not id).
+// are per-link fictions (the army's loop routes by socket, not id). The
+// encode scratch is pooled: every link on the (single-threaded) army loop
+// shares ONE buffer, so a 5000-worker army holds one encode-sized
+// allocation instead of 5000 that each grow to the largest message ever
+// sent on that link.
 class WorkerLink final : public Transport {
  public:
-  explicit WorkerLink(Bytes& write_buffer) : write_buffer_(&write_buffer) {}
+  WorkerLink(Bytes& write_buffer, Bytes& encode_scratch)
+      : write_buffer_(&write_buffer), scratch_(&encode_scratch) {}
 
   void send(GridNodeId, GridNodeId, const Message& message) override {
-    encode_message_into(message, scratch_);
-    net::append_frame(scratch_, *write_buffer_);
+    encode_message_into(message, *scratch_);
+    net::append_frame(*scratch_, *write_buffer_);
   }
 
   const NetworkStats& stats() const override { return stats_; }
@@ -83,7 +88,7 @@ class WorkerLink final : public Transport {
 
  private:
   Bytes* write_buffer_;
-  Bytes scratch_;
+  Bytes* scratch_;  // shared by all links; valid only on the army thread
   NetworkStats stats_;
 };
 
@@ -117,6 +122,7 @@ class WorkerArmy {
 
   void run() {
     auto engine = net::make_event_engine(config_.engine);
+    engine_name_ = engine->name();  // resolved: what kAuto actually picked
     Rng rng(config_.seed ^ 0x9e3779b97f4a7c15ull);
     Bytes read_scratch(64 * 1024);
     std::vector<net::ReadyEvent> ready;
@@ -204,6 +210,7 @@ class WorkerArmy {
   std::size_t connect_failures() const { return connect_failures_; }
   bool deadline_hit() const { return deadline_hit_; }
   double connect_seconds() const { return connect_seconds_; }
+  const std::string& resolved_engine() const { return engine_name_; }
 
   // Thread-safe mid-run snapshot for the runtime watchdog: the army loop
   // refreshes it once per round, so a hung run still shows its last known
@@ -284,7 +291,8 @@ class WorkerArmy {
     }
     options.conduct_seed = config_.seed + index;
     conn->node = std::make_unique<ParticipantNode>(std::move(options));
-    conn->link = std::make_unique<WorkerLink>(conn->write_buffer);
+    conn->link =
+        std::make_unique<WorkerLink>(conn->write_buffer, encode_scratch_);
     WorkerLink::bind(*conn->node, GridNodeId{1});
     try {
       conn->socket = net::tcp_connect(config_.host, config_.port);
@@ -448,6 +456,8 @@ class WorkerArmy {
   }
 
   Config config_;
+  std::string engine_name_;
+  Bytes encode_scratch_;  // pooled encode buffer, shared by every WorkerLink
   std::vector<std::unique_ptr<Conn>> conns_;
   std::size_t live_ = 0;
   std::size_t completed_ = 0;
@@ -533,7 +543,8 @@ struct SweepConfig {
 };
 
 struct RunResult {
-  std::string engine;
+  std::string engine;            // resolved: what actually got constructed
+  std::string engine_requested;  // what the sweep asked for (kAuto may differ)
   unsigned io_loops = 1;
   double connect_s = 0, protocol_s = 0, total_s = 0;
   double connects_per_s = 0, exchanges_per_s = 0, verdicts_per_s = 0;
@@ -543,6 +554,10 @@ struct RunResult {
   double p50_ms = 0, p99_ms = 0;
   std::vector<std::size_t> peers_per_loop;
   std::size_t write_queue_hwm = 0;
+  // Syscall economy of the supervisor's write side: how many frames each
+  // vectored write carried on average (the batching headline).
+  std::uint64_t read_calls = 0, write_calls = 0;
+  double frames_per_write_mean = 0.0;
   std::uint64_t refused = 0, undecodable = 0, truncated = 0;
   std::string chaos = "off";
   std::uint64_t frames_shed = 0, peers_evicted = 0;
@@ -656,6 +671,13 @@ RunResult run_grid(const cli::Flags& flags, std::size_t workers,
     if (const std::uint64_t samples = flags.u64("samples"); samples > 0) {
       plan.scheme.pipeline.samples_per_epoch = samples;
     }
+    // Epochs in flight before the participant must see an ack. 1 is strict
+    // lock-step (one frame per write, nothing to coalesce); >1 lets workers
+    // stream commitment bursts, which is what the supervisor's vectored
+    // write path batches — the frames_per_write column only moves off 1.0
+    // with inflight headroom.
+    plan.scheme.pipeline.max_inflight =
+        std::max<std::size_t>(1, flags.u64("epoch-inflight"));
     plan.seed = flags.u64("seed");
     plan.max_task_retries = flags.u64("max-retries");
 
@@ -670,9 +692,13 @@ RunResult run_grid(const cli::Flags& flags, std::size_t workers,
 
     const net::TcpIoStats io = transport.io_stats();
     result.engine = io.engine;
+    result.engine_requested = net::to_string(config.engine);
     result.io_loops = io.io_loops;
     result.peers_per_loop = io.peers_per_loop;
     result.write_queue_hwm = io.write_queue_hwm;
+    result.read_calls = io.read_calls;
+    result.write_calls = io.write_calls;
+    result.frames_per_write_mean = io.frames_per_write_mean;
     result.refused = io.handshakes_refused;
     result.undecodable = io.frames_undecodable;
     result.truncated = io.streams_truncated;
@@ -753,12 +779,14 @@ RunResult run_grid(const cli::Flags& flags, std::size_t workers,
 }
 
 void print_result(const RunResult& result) {
-  std::printf("gridload: engine=%s io_loops=%u chaos=%s connect=%.2fs (%.0f/s) "
+  std::printf("gridload: engine=%s(requested %s) io_loops=%u chaos=%s "
+              "connect=%.2fs (%.0f/s) "
               "protocol=%.2fs total=%.2fs exchanges/s=%.0f verdicts=%zu (%.0f/s) "
               "accepted=%zu rejected=%zu aborted=%zu honest_accusations=%zu "
               "p50=%.1fms p99=%.1fms hwm=%zu shed=%" PRIu64 " evicted=%" PRIu64
               " idle_timeout_ms=%" PRIu64 "\n",
-              result.engine.c_str(), result.io_loops, result.chaos.c_str(),
+              result.engine.c_str(), result.engine_requested.c_str(),
+              result.io_loops, result.chaos.c_str(),
               result.connect_s,
               result.connects_per_s, result.protocol_s, result.total_s,
               result.exchanges_per_s, result.verdicts, result.verdicts_per_s,
@@ -770,10 +798,12 @@ void print_result(const RunResult& result) {
   for (std::size_t i = 0; i < result.peers_per_loop.size(); ++i) {
     std::printf("%s%zu", i == 0 ? "" : ",", result.peers_per_loop[i]);
   }
-  std::printf("] refused=%" PRIu64 " undecodable=%" PRIu64
+  std::printf("] read_calls=%" PRIu64 " write_calls=%" PRIu64
+              " frames_per_write=%.2f refused=%" PRIu64 " undecodable=%" PRIu64
               " truncated=%" PRIu64 " connect_failures=%zu%s\n",
-              result.refused, result.undecodable, result.truncated,
-              result.connect_failures,
+              result.read_calls, result.write_calls,
+              result.frames_per_write_mean, result.refused, result.undecodable,
+              result.truncated, result.connect_failures,
               result.deadline_hit ? " DEADLINE-HIT" : "");
   if (result.pipeline_epochs > 1) {
     std::printf("gridload:   pipelined epochs=%" PRIu64
@@ -787,14 +817,16 @@ void print_result(const RunResult& result) {
 void emit_json_run(FILE* json, const RunResult& result, bool first) {
   std::fprintf(
       json,
-      "%s    {\"engine\": \"%s\", \"io_threads\": %u, \"connect_s\": %.3f, "
+      "%s    {\"engine\": \"%s\", \"engine_requested\": \"%s\", "
+      "\"io_threads\": %u, \"connect_s\": %.3f, "
       "\"connects_per_sec\": %.1f, \"protocol_s\": %.3f, \"total_s\": %.3f, "
       "\"exchanges_per_sec\": %.1f, \"messages\": %" PRIu64 ", "
       "\"verdicts\": %zu, \"verdicts_per_sec\": %.1f, \"accepted\": %zu, "
       "\"rejected\": %zu, \"aborted\": %zu, \"honest_accusations\": %zu, "
       "\"p50_verdict_ms\": %.2f, \"p99_verdict_ms\": %.2f, "
       "\"peers_per_loop\": [",
-      first ? "" : ",\n", result.engine.c_str(), result.io_loops,
+      first ? "" : ",\n", result.engine.c_str(),
+      result.engine_requested.c_str(), result.io_loops,
       result.connect_s, result.connects_per_s, result.protocol_s,
       result.total_s, result.exchanges_per_s, result.messages, result.verdicts,
       result.verdicts_per_s, result.accepted, result.rejected, result.aborted,
@@ -804,7 +836,10 @@ void emit_json_run(FILE* json, const RunResult& result, bool first) {
                  result.peers_per_loop[i]);
   }
   std::fprintf(json,
-               "], \"write_queue_hwm\": %zu, \"handshakes_refused\": %" PRIu64
+               "], \"write_queue_hwm\": %zu, \"read_calls\": %" PRIu64
+               ", \"write_calls\": %" PRIu64
+               ", \"frames_per_write_mean\": %.3f"
+               ", \"handshakes_refused\": %" PRIu64
                ", \"frames_undecodable\": %" PRIu64
                ", \"streams_truncated\": %" PRIu64
                ", \"chaos\": \"%s\", \"frames_shed\": %" PRIu64
@@ -815,7 +850,9 @@ void emit_json_run(FILE* json, const RunResult& result, bool first) {
                ", \"pipeline_epochs\": %" PRIu64
                ", \"wasted_epochs\": %" PRIu64
                ", \"one_shot_epochs\": %" PRIu64 "}",
-               result.write_queue_hwm, result.refused, result.undecodable,
+               result.write_queue_hwm, result.read_calls, result.write_calls,
+               result.frames_per_write_mean,
+               result.refused, result.undecodable,
                result.truncated, result.chaos.c_str(), result.frames_shed,
                result.peers_evicted, result.chaos_disconnects,
                result.chaos_resets, result.idle_timeout_ms,
@@ -871,10 +908,11 @@ int run_gridload(const cli::Flags& flags, bool smoke) {
     const double total_s = clock.elapsed_seconds();
     std::vector<double> latencies = army.latencies_ms();
     std::sort(latencies.begin(), latencies.end());
-    std::printf("gridload: external %s:%u workers=%zu cheaters=%zu "
+    std::printf("gridload: external %s:%u engine=%s workers=%zu cheaters=%zu "
                 "completed=%zu connect_failures=%zu total=%.2fs "
                 "verdict_latencies=%zu p50=%.1fms p99=%.1fms%s\n",
-                host.c_str(), port, workers, cheaters, army.completed(),
+                host.c_str(), port, army.resolved_engine().c_str(), workers,
+                cheaters, army.completed(),
                 army.connect_failures(), total_s, latencies.size(),
                 percentile(latencies, 0.50), percentile(latencies, 0.99),
                 army.deadline_hit() ? " DEADLINE-HIT" : "");
@@ -909,6 +947,13 @@ int run_gridload(const cli::Flags& flags, bool smoke) {
       sweep.push_back({net::EngineBackend::kEpoll, 1});
       sweep.push_back({net::EngineBackend::kEpoll, io_threads});
     }
+    // The full engine matrix: uring joins wherever the kernel has it, in
+    // both loop shapes, so BENCH_grid.json carries a like-for-like
+    // uring-vs-epoll comparison on the same population.
+    if (net::uring_supported()) {
+      sweep.push_back({net::EngineBackend::kUring, 1});
+      sweep.push_back({net::EngineBackend::kUring, io_threads});
+    }
   }
 
   std::printf("gridload: sweep workers=%zu active=%zu cheaters=%zu points=%" PRIu64
@@ -931,17 +976,43 @@ int run_gridload(const cli::Flags& flags, bool smoke) {
     print_result(results.back());
   }
 
-  // Headline ratio: engine sweep compares throughput (multi-loop epoll vs
-  // poll); the chaos sweep compares p99 verdict latency (heavy vs clean) —
-  // how much WAN hostility stretches the tail while verdicts stay correct.
+  // Headline ratios: the engine sweep compares throughput (multi-loop epoll
+  // vs single-loop poll, plus single-loop uring vs single-loop epoll — the
+  // pure syscall-economy comparison); the chaos sweep compares p99 verdict
+  // latency (heavy vs clean) — how much WAN hostility stretches the tail
+  // while verdicts stay correct.
+  const auto find_run = [&](const char* engine,
+                            bool multi_loop) -> const RunResult* {
+    for (const RunResult& result : results) {
+      if (result.engine == engine &&
+          (multi_loop ? result.io_loops > 1 : result.io_loops == 1)) {
+        return &result;
+      }
+    }
+    return nullptr;
+  };
   const RunResult& baseline = results.front();  // poll x1 / chaos off
-  const RunResult& contender = results.back();  // epoll xN / chaos heavy
+  const RunResult* multi_epoll =
+      chaos_mode ? nullptr : find_run("epoll", true);
+  const RunResult& contender = chaos_mode
+                                   ? results.back()  // chaos heavy
+                                   : (multi_epoll != nullptr ? *multi_epoll
+                                                             : results.back());
   const double ratio =
       chaos_mode ? (baseline.p99_ms > 0 ? contender.p99_ms / baseline.p99_ms
                                         : 0.0)
                  : (baseline.exchanges_per_s > 0
                         ? contender.exchanges_per_s / baseline.exchanges_per_s
                         : 0.0);
+  const RunResult* epoll_single = chaos_mode ? nullptr : find_run("epoll", false);
+  const RunResult* uring_single = chaos_mode ? nullptr : find_run("uring", false);
+  const bool have_uring_ratio =
+      epoll_single != nullptr && uring_single != nullptr &&
+      epoll_single->exchanges_per_s > 0;
+  const double uring_vs_epoll =
+      have_uring_ratio
+          ? uring_single->exchanges_per_s / epoll_single->exchanges_per_s
+          : 0.0;
 
   const std::string out_path = flags.str("out");
   FILE* json = std::fopen(out_path.c_str(), "w");
@@ -966,16 +1037,24 @@ int run_gridload(const cli::Flags& flags, bool smoke) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     emit_json_run(json, results[i], i == 0);
   }
-  std::fprintf(json, "\n  ],\n  \"%s\": %.3f\n}\n",
+  std::fprintf(json, "\n  ],\n  \"%s\": %.3f",
                chaos_mode ? "chaos_heavy_vs_off_p99"
                           : "multi_loop_epoll_vs_single_loop_poll",
                ratio);
+  if (have_uring_ratio) {
+    std::fprintf(json, ",\n  \"uring_vs_epoll\": %.3f", uring_vs_epoll);
+  }
+  std::fprintf(json, "\n}\n");
   std::fclose(json);
   if (chaos_mode) {
     std::printf("gridload: heavy chaos vs clean wire p99 = %.2fx\n", ratio);
   } else {
     std::printf("gridload: multi-loop epoll vs single-loop poll = %.2fx\n",
                 ratio);
+    if (have_uring_ratio) {
+      std::printf("gridload: single-loop uring vs single-loop epoll = %.2fx\n",
+                  uring_vs_epoll);
+    }
   }
   std::printf("gridload: wrote %s\n", out_path.c_str());
   std::fflush(stdout);
@@ -1047,6 +1126,7 @@ int main(int argc, char** argv) {
       {"points", "4"},
       {"samples", "1"},
       {"epochs", "1"},
+      {"epoch-inflight", "1"},
       {"scheme", "cbs"},
       {"workload", "test"},
       {"seed", "1"},

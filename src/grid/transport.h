@@ -114,6 +114,12 @@ class GridNode {
 //      decoded messages to the protocol thread through a mailbox; replies
 //      queued by send() travel back to the owning loop the same way. Peer
 //      ownership never migrates between loops for the life of a connection.
+//      This holds for every readiness backend, io_uring included: a loop's
+//      ring is single-owner like its epoll/poll set, submissions and
+//      completions for a peer's fd are issued and reaped only on the owning
+//      loop thread, and batched vectored writes flush on that thread — so
+//      no completion, partial write, or buffer recycle ever touches a peer
+//      from anywhere but its owner.
 //   4. The narrow exception: TcpTransport::AuthOptions::is_banned runs on a
 //      loop thread (it gates the handshake before a peer exists to the
 //      protocol layer), so that callback must be thread-safe. Everything

@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -177,6 +178,24 @@ IoResult write_some(const Socket& socket, BytesView data) {
   }
   const ssize_t n =
       ::send(socket.fd(), data.data(), data.size(), MSG_NOSIGNAL);
+  if (n >= 0) {
+    return {IoStatus::kOk, static_cast<std::size_t>(n)};
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    return {IoStatus::kWouldBlock, 0};
+  }
+  return {IoStatus::kError, 0};
+}
+
+IoResult write_vec(const Socket& socket, const struct iovec* iov,
+                   std::size_t count) {
+  if (count == 0) {
+    return {IoStatus::kOk, 0};
+  }
+  msghdr message{};
+  message.msg_iov = const_cast<struct iovec*>(iov);  // sendmsg never writes it
+  message.msg_iovlen = count;
+  const ssize_t n = ::sendmsg(socket.fd(), &message, MSG_NOSIGNAL);
   if (n >= 0) {
     return {IoStatus::kOk, static_cast<std::size_t>(n)};
   }

@@ -14,6 +14,8 @@
 #include "common/bytes.h"
 #include "common/error.h"
 
+struct iovec;  // <sys/uio.h>; forward-declared so this header stays OS-free
+
 namespace ugc::net {
 
 // Raised on socket/syscall failures (with errno text). Framing and codec
@@ -94,6 +96,13 @@ IoResult read_some(const Socket& socket, std::span<std::uint8_t> buffer);
 
 // Non-blocking write of as much of `data` as the kernel accepts.
 IoResult write_some(const Socket& socket, BytesView data);
+
+// Non-blocking vectored write: one sendmsg over the iovec array, so a write
+// queue of several frames reaches the kernel as a single syscall. Same
+// semantics as write_some — partial acceptance reports kOk with the byte
+// count, and the caller resumes from wherever the kernel stopped.
+IoResult write_vec(const Socket& socket, const struct iovec* iov,
+                   std::size_t count);
 
 // A non-blocking self-pipe: `first` is the read end, `second` the write
 // end. The multi-loop transport registers the read end with each loop's

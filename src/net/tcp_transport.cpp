@@ -1,5 +1,6 @@
 #include "net/tcp_transport.h"
 
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -21,6 +22,28 @@ namespace {
 // space above.
 constexpr std::uint64_t kListenerToken = std::uint64_t{1} << 32;
 constexpr std::uint64_t kWakeToken = std::uint64_t{1} << 33;
+
+// Vectored-write fan-in: at most this many queued frames join one sendmsg.
+// Comfortably under IOV_MAX everywhere, and past ~64 frames per syscall the
+// batching win has long flattened out.
+constexpr std::size_t kMaxWriteIov = 64;
+
+// Frame-pool retention caps: buffers above the capacity cap are freed
+// rather than recycled (one giant proof batch must not pin its footprint
+// forever), and the pool itself stays bounded.
+constexpr std::size_t kFramePoolKeepCapacity = 64 * 1024;
+constexpr std::size_t kFramePoolMaxBuffers = 256;
+
+// frames-completed-per-write histogram buckets: 0, 1, 2, 3, 4–7, 8–15, 16+.
+std::size_t frames_per_write_bucket(std::size_t frames) {
+  if (frames <= 3) {
+    return frames;
+  }
+  if (frames <= 7) {
+    return 4;
+  }
+  return frames <= 15 ? 5 : 6;
+}
 
 void poke(const Socket& wake_write) {
   if (!wake_write.valid()) {
@@ -217,8 +240,29 @@ void TcpTransport::adopt_connection(Loop& loop, std::uint32_t id,
   }
 }
 
+Bytes TcpTransport::acquire_frame() {
+  std::lock_guard<std::mutex> lock(frame_pool_mutex_);
+  if (frame_pool_.empty()) {
+    return Bytes();
+  }
+  Bytes frame = std::move(frame_pool_.back());
+  frame_pool_.pop_back();
+  return frame;
+}
+
+void TcpTransport::release_frame(Bytes frame) {
+  if (frame.capacity() == 0 || frame.capacity() > kFramePoolKeepCapacity) {
+    return;  // nothing worth keeping, or too big to pin
+  }
+  frame.clear();
+  std::lock_guard<std::mutex> lock(frame_pool_mutex_);
+  if (frame_pool_.size() < kFramePoolMaxBuffers) {
+    frame_pool_.push_back(std::move(frame));
+  }
+}
+
 void TcpTransport::finish_enqueue(Loop& loop, GridNodeId to, Peer& peer) {
-  const std::size_t pending = peer.write_buffer.size() - peer.write_offset;
+  const std::size_t pending = peer.write_pending;
   std::size_t hwm = loop.write_queue_hwm.load(std::memory_order_relaxed);
   while (pending > hwm &&
          !loop.write_queue_hwm.compare_exchange_weak(
@@ -230,19 +274,51 @@ void TcpTransport::finish_enqueue(Loop& loop, GridNodeId to, Peer& peer) {
     drop_peer(loop, to, "write backpressure cap exceeded");
     return;
   }
-  service_write(loop, to, peer);
-  sync_interest(loop, to, peer);
+  // No immediate write: the peer joins the flush list and the whole burst
+  // it is part of goes out in one vectored write just before the next
+  // engine wait (flush_pending) — that deferral is where frames-per-write
+  // comes from.
+  if (!peer.flush_queued) {
+    peer.flush_queued = true;
+    loop.flush_list.push_back(to.value);
+  }
+}
+
+bool TcpTransport::flush_pending(Loop& loop) {
+  bool progressed = false;
+  while (!loop.flush_list.empty()) {
+    loop.flush_scratch.clear();
+    loop.flush_scratch.swap(loop.flush_list);
+    for (const std::uint32_t raw : loop.flush_scratch) {
+      const auto it = loop.peers.find(raw);
+      if (it == loop.peers.end()) {
+        continue;  // reaped while dirty
+      }
+      Peer& peer = it->second;
+      peer.flush_queued = false;
+      if (peer.failed) {
+        continue;
+      }
+      const GridNodeId id{raw};
+      progressed |= service_write(loop, id, peer);
+      if (!peer.failed) {
+        sync_interest(loop, id, peer);
+      }
+    }
+  }
+  return progressed;
 }
 
 void TcpTransport::enqueue_framed(Loop& loop, GridNodeId to, Peer& peer,
-                                  BytesView framed, bool control) {
+                                  Bytes framed, bool control) {
   if (!control && options_.shed_watermark > 0 &&
-      peer.write_buffer.size() - peer.write_offset > options_.shed_watermark) {
+      peer.write_pending > options_.shed_watermark) {
     // Overload policy: drop whole protocol frames for a backlogged peer
     // rather than queue toward the kill cap — its tasks retry or abort
     // through on_quiescent while the connection (and every other peer's
     // latency) survives. Handshake frames are never shed.
     frames_shed_.fetch_add(1, std::memory_order_relaxed);
+    release_frame(std::move(framed));
     return;
   }
   if (peer.chaos != nullptr && peer.chaos->delays()) {
@@ -252,7 +328,7 @@ void TcpTransport::enqueue_framed(Loop& loop, GridNodeId to, Peer& peer,
       // Held in flight until its sampled release (FIFO: releases are
       // monotone per link, and nothing may overtake an earlier frame).
       chaos_frames_delayed_.fetch_add(1, std::memory_order_relaxed);
-      peer.delayed.emplace_back(release, Bytes(framed.begin(), framed.end()));
+      peer.delayed.emplace_back(release, std::move(framed));
       schedule_peer_wakeup(loop, to, peer, release);
       return;
     }
@@ -260,10 +336,11 @@ void TcpTransport::enqueue_framed(Loop& loop, GridNodeId to, Peer& peer,
   if (peer.chaos != nullptr && peer.chaos->sample_disconnect()) {
     chaos_disconnects_.fetch_add(1, std::memory_order_relaxed);
     drop_peer(loop, to, "chaos mid-stream disconnect");
+    release_frame(std::move(framed));
     return;
   }
-  peer.write_buffer.insert(peer.write_buffer.end(), framed.begin(),
-                           framed.end());
+  peer.write_pending += framed.size();
+  peer.write_queue.push_back(std::move(framed));
   finish_enqueue(loop, to, peer);
 }
 
@@ -310,16 +387,17 @@ bool TcpTransport::service_peer_wakeup(Loop& loop, GridNodeId id, Peer& peer) {
   bool appended = false;
   while (!peer.failed && !peer.delayed.empty() &&
          peer.delayed.front().first <= now) {
-    const Bytes frame = std::move(peer.delayed.front().second);
+    Bytes frame = std::move(peer.delayed.front().second);
     peer.delayed.pop_front();
     if (peer.chaos->sample_disconnect()) {
       // The connection dies under a frame in flight.
       chaos_disconnects_.fetch_add(1, std::memory_order_relaxed);
       drop_peer(loop, id, "chaos mid-stream disconnect");
+      release_frame(std::move(frame));
       break;
     }
-    peer.write_buffer.insert(peer.write_buffer.end(), frame.begin(),
-                             frame.end());
+    peer.write_pending += frame.size();
+    peer.write_queue.push_back(std::move(frame));
     appended = true;
   }
   if (appended && !peer.failed) {
@@ -380,16 +458,9 @@ void TcpTransport::queue_control_frame(Loop& loop, GridNodeId to, Peer& peer,
         "TcpTransport: ", loop.encode_scratch.size(),
         "-byte handshake frame exceeds the ", options_.max_frame_size,
         "-byte frame cap");
-  if (peer.chaos == nullptr) {
-    append_frame(loop.encode_scratch, peer.write_buffer,
-                 options_.max_frame_size);
-    finish_enqueue(loop, to, peer);
-    return;
-  }
-  loop.frame_scratch.clear();
-  append_frame(loop.encode_scratch, loop.frame_scratch,
-               options_.max_frame_size);
-  enqueue_framed(loop, to, peer, BytesView(loop.frame_scratch), true);
+  Bytes framed = acquire_frame();
+  append_frame(loop.encode_scratch, framed, options_.max_frame_size);
+  enqueue_framed(loop, to, peer, std::move(framed), true);
 }
 
 void TcpTransport::refuse_handshake(GridNodeId from,
@@ -436,17 +507,9 @@ void TcpTransport::send(GridNodeId from, GridNodeId to,
           "-byte message exceeds the ", options_.max_frame_size,
           "-byte frame cap (raise TcpTransportOptions::max_frame_size)");
     stats_.record(from, to, loop.encode_scratch.size());
-    if (peer.chaos == nullptr && options_.shed_watermark == 0) {
-      // Clean fast path: frame straight into the write queue, no staging.
-      append_frame(loop.encode_scratch, peer.write_buffer,
-                   options_.max_frame_size);
-      finish_enqueue(loop, to, peer);
-      return;
-    }
-    loop.frame_scratch.clear();
-    append_frame(loop.encode_scratch, loop.frame_scratch,
-                 options_.max_frame_size);
-    enqueue_framed(loop, to, peer, BytesView(loop.frame_scratch), false);
+    Bytes framed = acquire_frame();
+    append_frame(loop.encode_scratch, framed, options_.max_frame_size);
+    enqueue_framed(loop, to, peer, std::move(framed), false);
     return;
   }
 
@@ -459,15 +522,15 @@ void TcpTransport::send(GridNodeId from, GridNodeId to,
         "-byte message exceeds the ", options_.max_frame_size,
         "-byte frame cap (raise TcpTransportOptions::max_frame_size)");
   stats_.record(from, to, send_scratch_.size());
-  Bytes framed;
-  framed.reserve(send_scratch_.size() + 4);
+  Bytes framed = acquire_frame();
   append_frame(send_scratch_, framed, options_.max_frame_size);
-  submit(loop, [this, &loop, to, framed = std::move(framed)] {
+  submit(loop, [this, &loop, to, framed = std::move(framed)]() mutable {
     const auto it = loop.peers.find(to.value);
     if (it == loop.peers.end() || it->second.failed) {
-      return;  // vanished between submit and execution
+      release_frame(std::move(framed));  // vanished between submit and run
+      return;
     }
-    enqueue_framed(loop, to, it->second, BytesView(framed), false);
+    enqueue_framed(loop, to, it->second, std::move(framed), false);
   });
 }
 
@@ -527,6 +590,17 @@ TcpIoStats TcpTransport::io_stats() const {
   out.frames_undecodable = frames_undecodable_.load();
   out.streams_truncated = streams_truncated_.load();
   out.handshakes_refused = handshakes_refused_.load();
+  out.read_calls = read_calls_.load(std::memory_order_relaxed);
+  out.write_calls = write_calls_.load(std::memory_order_relaxed);
+  out.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  out.frames_per_write.reserve(frames_per_write_hist_.size());
+  for (const auto& bucket : frames_per_write_hist_) {
+    out.frames_per_write.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  out.frames_per_write_mean =
+      out.write_calls > 0 ? static_cast<double>(out.frames_sent) /
+                                static_cast<double>(out.write_calls)
+                          : 0.0;
   out.frames_shed = frames_shed_.load();
   out.peers_evicted = peers_evicted_.load();
   out.chaos_accept_resets = chaos_accept_resets_.load();
@@ -561,6 +635,17 @@ void TcpTransport::drop_peer(Loop& loop, GridNodeId id, const char* why) {
   }
   loop.engine->remove(peer.socket.fd());
   peer.socket.close();
+  // Recycle the frames it never drained (and the chaos-delayed ones).
+  while (!peer.write_queue.empty()) {
+    release_frame(std::move(peer.write_queue.front()));
+    peer.write_queue.pop_front();
+  }
+  peer.write_pending = 0;
+  peer.write_front_offset = 0;
+  while (!peer.delayed.empty()) {
+    release_frame(std::move(peer.delayed.front().second));
+    peer.delayed.pop_front();
+  }
   loop.doomed.push_back(id.value);
   {
     std::lock_guard<std::mutex> lock(index_mutex_);
@@ -774,6 +859,7 @@ bool TcpTransport::service_read(Loop& loop, GridNodeId id, Peer& peer) {
   // timer wheel. Whatever remains buffered re-arms readiness immediately
   // (both backends are level-triggered for exactly this reason).
   for (int round = 0; !peer.failed && round < 16; ++round) {
+    read_calls_.fetch_add(1, std::memory_order_relaxed);
     const IoResult result =
         read_some(peer.socket, std::span<std::uint8_t>(loop.read_scratch));
     if (result.status == IoStatus::kOk) {
@@ -805,20 +891,72 @@ bool TcpTransport::service_read(Loop& loop, GridNodeId id, Peer& peer) {
   return progressed;
 }
 
+std::size_t TcpTransport::advance_write_queue(Peer& peer,
+                                              std::size_t written) {
+  peer.write_pending -= written;
+  std::size_t frames = 0;
+  while (written > 0) {
+    Bytes& front = peer.write_queue.front();
+    const std::size_t left = front.size() - peer.write_front_offset;
+    if (written < left) {
+      peer.write_front_offset += written;  // resume mid-frame next time
+      break;
+    }
+    written -= left;
+    peer.write_front_offset = 0;
+    release_frame(std::move(front));
+    peer.write_queue.pop_front();
+    ++frames;
+  }
+  return frames;
+}
+
 bool TcpTransport::service_write(Loop& loop, GridNodeId id, Peer& peer) {
   bool progressed = false;
-  while (!peer.failed && peer.write_offset < peer.write_buffer.size()) {
-    const std::size_t want = peer.write_buffer.size() - peer.write_offset;
-    const std::size_t clamped =
-        peer.chaos != nullptr ? peer.chaos->clamp_write(want) : want;
-    const IoResult result = write_some(
-        peer.socket,
-        BytesView(peer.write_buffer).subspan(peer.write_offset, clamped));
+  while (!peer.failed && peer.write_pending > 0) {
+    // Gather the queue front into one vectored write: every queued frame
+    // (up to the fan-in cap) goes out in a single sendmsg.
+    iovec iov[kMaxWriteIov];
+    std::size_t iov_count = 0;
+    std::size_t want = 0;
+    std::size_t skip = peer.write_front_offset;
+    for (const Bytes& frame : peer.write_queue) {
+      if (iov_count == kMaxWriteIov) {
+        break;
+      }
+      iov[iov_count].iov_base =
+          const_cast<std::uint8_t*>(frame.data() + skip);
+      iov[iov_count].iov_len = frame.size() - skip;
+      want += iov[iov_count].iov_len;
+      ++iov_count;
+      skip = 0;
+    }
+    std::size_t clamped = want;
+    if (peer.chaos != nullptr) {
+      // The chaos short-write model composes with batching: trim the iovec
+      // tail to the clamped byte count, and resumption picks up mid-frame.
+      clamped = peer.chaos->clamp_write(want);
+      std::size_t budget = clamped;
+      std::size_t used = 0;
+      while (used < iov_count && budget > 0) {
+        if (iov[used].iov_len > budget) {
+          iov[used].iov_len = budget;
+        }
+        budget -= iov[used].iov_len;
+        ++used;
+      }
+      iov_count = used;
+    }
+    write_calls_.fetch_add(1, std::memory_order_relaxed);
+    const IoResult result = write_vec(peer.socket, iov, iov_count);
     if (result.status == IoStatus::kOk) {
       if (result.bytes == 0) {
         break;  // kernel took nothing; try again next round
       }
-      peer.write_offset += result.bytes;
+      const std::size_t frames = advance_write_queue(peer, result.bytes);
+      frames_sent_.fetch_add(frames, std::memory_order_relaxed);
+      frames_per_write_hist_[frames_per_write_bucket(frames)].fetch_add(
+          1, std::memory_order_relaxed);
       progressed = true;
       if (clamped < want) {
         break;  // chaos short write: yield; level-trigger re-wakes us
@@ -834,15 +972,10 @@ bool TcpTransport::service_write(Loop& loop, GridNodeId id, Peer& peer) {
     drop_peer(loop, id, "write error");
     return true;
   }
-  if (!peer.failed && peer.write_offset >= peer.write_buffer.size() &&
-      peer.write_offset > 0) {
-    peer.write_buffer.clear();
-    peer.write_offset = 0;
-  }
   if (!peer.failed) {
     // Eviction bookkeeping: mark when a backlog first appeared, clear it
     // the moment the queue fully drains.
-    if (peer.write_offset >= peer.write_buffer.size()) {
+    if (peer.write_pending == 0) {
       peer.write_stuck_since_ms = 0;
     } else if (peer.write_stuck_since_ms == 0) {
       peer.write_stuck_since_ms = now_ms();
@@ -860,7 +993,7 @@ void TcpTransport::sync_interest(Loop& loop, GridNodeId id, Peer& peer) {
   if (peer.failed || !peer.socket.valid()) {
     return;
   }
-  const bool want_write = peer.write_offset < peer.write_buffer.size();
+  const bool want_write = peer.write_pending > 0;
   const bool want_read = peer.stalled_until_ms == 0;  // deaf while stalled
   Interest desired = Interest::kNone;
   if (want_read && want_write) {
@@ -915,6 +1048,10 @@ void TcpTransport::run_single(const std::function<bool()>& done) {
     if (done()) {
       break;
     }
+
+    // Everything this round enqueued goes out now, one vectored write per
+    // dirty peer, so the wait below starts with the kernel already fed.
+    flush_pending(loop);
 
     // Sleep until I/O or the next timer; the wheel's earliest deadline caps
     // the wait so quiescence can't be missed.
@@ -1100,6 +1237,10 @@ void TcpTransport::loop_thread(Loop& loop) {
         break;
       }
 
+      // Flush this round's enqueues (tasks above included) as batched
+      // vectored writes before sleeping.
+      flush_pending(loop);
+
       int timeout = -1;
       if (loop.wheel.armed()) {
         const std::uint64_t now = now_ms();
@@ -1165,6 +1306,11 @@ void TcpTransport::loop_thread(Loop& loop) {
 
 void TcpTransport::drain_and_close(Loop& loop, std::uint64_t deadline_ms) {
   reap(loop);
+  // Frames enqueued since the last round haven't been written yet
+  // (batched-flush discipline): give them one pass before deciding who
+  // still owes the kernel bytes.
+  flush_pending(loop);
+  reap(loop);
   // Stop accepting, and demote every peer to write-only interest so the
   // wait below wakes exactly when the kernel can take more bytes — readable
   // peers must not busy-wake a loop that is only draining.
@@ -1175,7 +1321,7 @@ void TcpTransport::drain_and_close(Loop& loop, std::uint64_t deadline_ms) {
     if (peer.failed || !peer.socket.valid()) {
       continue;
     }
-    if (peer.write_offset < peer.write_buffer.size()) {
+    if (peer.write_pending > 0) {
       loop.engine->modify(peer.socket.fd(), id, Interest::kWrite);
       peer.armed = Interest::kWrite;
     } else {
@@ -1198,10 +1344,10 @@ void TcpTransport::drain_and_close(Loop& loop, std::uint64_t deadline_ms) {
       bool appended = false;
       while (!peer.delayed.empty() &&
              peer.delayed.front().first <= release_now) {
-        const Bytes frame = std::move(peer.delayed.front().second);
+        Bytes frame = std::move(peer.delayed.front().second);
         peer.delayed.pop_front();
-        peer.write_buffer.insert(peer.write_buffer.end(), frame.begin(),
-                                 frame.end());
+        peer.write_pending += frame.size();
+        peer.write_queue.push_back(std::move(frame));
         appended = true;
       }
       if (appended) {
@@ -1209,7 +1355,7 @@ void TcpTransport::drain_and_close(Loop& loop, std::uint64_t deadline_ms) {
         if (peer.failed || !peer.socket.valid()) {
           continue;
         }
-        if (peer.write_offset < peer.write_buffer.size()) {
+        if (peer.write_pending > 0) {
           if (peer.armed == Interest::kNone) {
             loop.engine->add(peer.socket.fd(), id, Interest::kWrite);
           } else {
@@ -1224,8 +1370,7 @@ void TcpTransport::drain_and_close(Loop& loop, std::uint64_t deadline_ms) {
     }
     bool pending = false;
     for (const auto& [id, peer] : loop.peers) {
-      if (!peer.failed && (peer.write_offset < peer.write_buffer.size() ||
-                           !peer.delayed.empty())) {
+      if (!peer.failed && (peer.write_pending > 0 || !peer.delayed.empty())) {
         pending = true;
         break;
       }
@@ -1264,8 +1409,7 @@ void TcpTransport::drain_and_close(Loop& loop, std::uint64_t deadline_ms) {
       }
       if (event.writable || event.error) {
         service_write(loop, id, it->second);
-        if (!it->second.failed &&
-            it->second.write_offset >= it->second.write_buffer.size()) {
+        if (!it->second.failed && it->second.write_pending == 0) {
           loop.engine->remove(it->second.socket.fd());
           it->second.armed = Interest::kNone;
         }
@@ -1289,6 +1433,7 @@ void TcpTransport::drain_and_close(Loop& loop, std::uint64_t deadline_ms) {
   }
   loop.peers.clear();
   loop.doomed.clear();
+  loop.flush_list.clear();
   loop.peer_timers.clear();  // any still-armed timers fire into nothing
   loop.listener.close();
 }

@@ -2,11 +2,19 @@
 
 // Asynchronous TCP implementation of the Transport interface (see
 // net/frame.h for the src/net layering note): readiness-driven event loops
-// (net/event_engine.h — epoll where available, poll() as the portable
-// fallback) over non-blocking sockets, shipping each wire-v2 encoded
-// Message as one 4-byte length-prefixed frame. This is the substrate the
-// real executables (apps/gridd, apps/gridworker, apps/gridload) run the
-// unchanged supervisor/participant protocol over.
+// (net/event_engine.h — io_uring where the kernel has it, epoll where
+// available, poll() as the portable fallback) over non-blocking sockets,
+// shipping each wire-v2 encoded Message as one 4-byte length-prefixed
+// frame. This is the substrate the real executables (apps/gridd,
+// apps/gridworker, apps/gridload) run the unchanged supervisor/participant
+// protocol over.
+//
+// The write side is batched: each peer queues whole framed messages and
+// flushes them once per loop round through one vectored write (writev
+// semantics via sendmsg), so a protocol burst of N frames to one peer costs
+// one syscall, not N. Frame buffers are pooled and recycled once the kernel
+// has the bytes. TcpIoStats reports the syscall counts and the
+// frames-per-write distribution the batching is judged by.
 //
 // Threading model (the contract grid/transport.h documents from the
 // GridNode side):
@@ -30,6 +38,7 @@
 // callback) or from the owning thread before/after run(); it must not be
 // called from arbitrary threads concurrently.
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -133,6 +142,15 @@ struct TcpIoStats {
   std::uint64_t frames_undecodable = 0;
   std::uint64_t streams_truncated = 0;
   std::uint64_t handshakes_refused = 0;
+  // Syscall accounting (the batching PR's scoreboard): every recv and every
+  // sendmsg the loops issue, the frames fully delivered, and how many whole
+  // frames each sendmsg completed — buckets 0, 1, 2, 3, 4–7, 8–15, 16+.
+  // A mean above 1 is the vectored write path coalescing a burst.
+  std::uint64_t read_calls = 0;
+  std::uint64_t write_calls = 0;
+  std::uint64_t frames_sent = 0;
+  std::vector<std::uint64_t> frames_per_write;
+  double frames_per_write_mean = 0.0;
   // Degradation policies (see TcpTransportOptions):
   std::uint64_t frames_shed = 0;    // dropped above shed_watermark
   std::uint64_t peers_evicted = 0;  // cut for a stalled write queue
@@ -252,8 +270,13 @@ class TcpTransport final : public Transport {
   struct Peer {
     Socket socket;
     FrameDecoder decoder;
-    Bytes write_buffer;            // framed bytes not yet accepted by send()
-    std::size_t write_offset = 0;  // prefix already written
+    // Write queue: whole framed messages awaiting the kernel, flushed as
+    // one vectored write per loop round (pooled buffers, returned to the
+    // frame pool once fully written).
+    std::deque<Bytes> write_queue;
+    std::size_t write_front_offset = 0;  // bytes of front() already written
+    std::size_t write_pending = 0;       // unsent bytes across the queue
+    bool flush_queued = false;     // already on the loop's flush list
     bool accepted = false;         // true: inbound (must Hello first)
     bool greeted = false;          // Hello seen (accepted peers)
     bool failed = false;           // doomed; erased at the next reap()
@@ -264,7 +287,7 @@ class TcpTransport final : public Transport {
     // Chaos state (options.chaos only; null link = clean connection):
     std::unique_ptr<ChaosLink> chaos;
     // Frames held until their sampled release time (framed bytes ready to
-    // join write_buffer), FIFO by construction (releases are monotone).
+    // join write_queue), FIFO by construction (releases are monotone).
     std::deque<std::pair<std::uint64_t, Bytes>> delayed;
     std::uint64_t stalled_until_ms = 0;  // read interest parked until then
     // Degradation bookkeeping (always on): when the current write backlog
@@ -287,8 +310,12 @@ class TcpTransport final : public Transport {
     std::map<std::uint32_t, Peer> peers;
     std::vector<std::uint32_t> doomed;
     Bytes encode_scratch;
-    Bytes frame_scratch;  // framed-bytes staging for the chaos/shed path
     Bytes read_scratch;  // recv target, sized once, reused for every read
+    // Peers with frames enqueued this round, flushed in one vectored write
+    // each just before the next engine wait (flush_scratch is the swap
+    // target, so a flush can enqueue more without invalidating iteration).
+    std::vector<std::uint32_t> flush_list;
+    std::vector<std::uint32_t> flush_scratch;
     std::vector<ReadyEvent> ready_scratch;
     std::vector<TimerWheel::TimerId> fired_scratch;
     std::optional<TimerWheel::TimerId> quiescence_timer;  // single-loop only
@@ -348,22 +375,39 @@ class TcpTransport final : public Transport {
   // Reads until would-block or the per-round fairness bound; decodes and
   // dispatches every complete frame. Returns true on any progress.
   bool service_read(Loop& loop, GridNodeId id, Peer& peer);
-  // Writes queued bytes until would-block. Returns true on any progress.
+  // Flushes the peer's write queue until would-block: up to kMaxWriteIov
+  // queued frames per vectored write, partial writes resumed from the exact
+  // byte the kernel (or the chaos clamp) stopped at. Returns true on any
+  // progress.
   bool service_write(Loop& loop, GridNodeId id, Peer& peer);
+  // Advances the queue past `written` bytes, recycling fully-written frames
+  // into the pool. Returns how many frames completed (for the histogram).
+  std::size_t advance_write_queue(Peer& peer, std::size_t written);
   // Re-arms the engine registration to match the peer's pending writes.
   void sync_interest(Loop& loop, GridNodeId id, Peer& peer);
   void dispatch(Loop& loop, GridNodeId from, Peer& peer, BytesView payload);
-  // After bytes joined a peer's write queue: tracks the high-water mark,
-  // enforces the backpressure cap, writes opportunistically (most frames
-  // fit the socket buffer without waiting for a readiness round), and
-  // re-arms write interest. Loop-thread context (or single-loop).
+  // After frames joined a peer's write queue: tracks the high-water mark,
+  // enforces the backpressure cap, and puts the peer on the loop's flush
+  // list — the actual write happens once per round (flush_pending), so a
+  // burst of sends coalesces into one vectored write. Loop-thread context
+  // (or single-loop).
   void finish_enqueue(Loop& loop, GridNodeId to, Peer& peer);
+  // Drains the loop's flush list: one service_write + interest re-arm per
+  // dirty peer. Called just before every engine wait. Returns true on any
+  // write progress.
+  bool flush_pending(Loop& loop);
   // The enqueue front door: sheds above the watermark (protocol frames
   // only), detours through the chaos delay queue when the peer's link has
-  // latency, otherwise appends to write_buffer and finishes. `framed`
-  // carries the 4-byte length prefix already. Loop-thread context.
-  void enqueue_framed(Loop& loop, GridNodeId to, Peer& peer, BytesView framed,
+  // latency, otherwise moves the frame onto write_queue and finishes.
+  // `framed` carries the 4-byte length prefix already and is consumed
+  // (queued, delayed, or recycled). Loop-thread context.
+  void enqueue_framed(Loop& loop, GridNodeId to, Peer& peer, Bytes framed,
                       bool control);
+  // Frame-buffer pool shared by every enqueue path: acquire an empty Bytes
+  // (recycled capacity where available), release it once the kernel has the
+  // bytes. Keeps the per-message hot path allocation-free at steady state.
+  Bytes acquire_frame();
+  void release_frame(Bytes frame);
   // Moves due delayed frames onto the wire, ends read stalls, enforces
   // eviction, and re-arms the peer's wakeup timer. Returns true if frames
   // hit the write path (progress, for quiescence purposes).
@@ -432,6 +476,16 @@ class TcpTransport final : public Transport {
   std::atomic<std::uint64_t> frames_undecodable_{0};
   std::atomic<std::uint64_t> streams_truncated_{0};
   std::atomic<std::uint64_t> handshakes_refused_{0};
+  // Syscall/batching accounting (see TcpIoStats): bumped relaxed on the
+  // loop threads' hot paths, snapshotted by io_stats().
+  std::atomic<std::uint64_t> read_calls_{0};
+  std::atomic<std::uint64_t> write_calls_{0};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::array<std::atomic<std::uint64_t>, 7> frames_per_write_hist_{};
+  // Frame-buffer pool (acquire_frame/release_frame): shared by the protocol
+  // thread's encode path and every loop's write path.
+  std::mutex frame_pool_mutex_;
+  std::vector<Bytes> frame_pool_;
   std::atomic<std::uint64_t> frames_shed_{0};
   std::atomic<std::uint64_t> peers_evicted_{0};
   std::atomic<std::uint64_t> chaos_accept_resets_{0};

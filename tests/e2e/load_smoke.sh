@@ -36,7 +36,7 @@ GRIDD_PID=$!
 
 PORT=""
 for _ in $(seq 1 100); do
-  PORT=$(sed -n 's/^gridd: listening on [0-9.]*:\([0-9]*\)$/\1/p' \
+  PORT=$(sed -n 's/^gridd: listening on [0-9.]*:\([0-9]*\).*/\1/p' \
          "$WORKDIR/gridd.log" 2>/dev/null | head -1)
   [ -n "$PORT" ] && break
   kill -0 "$GRIDD_PID" 2>/dev/null || fail "gridd died before listening"

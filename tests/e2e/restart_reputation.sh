@@ -48,7 +48,7 @@ wait_for_line() {  # wait_for_line <file> <pattern> <what>
 GRIDD_PID=$!
 wait_for_line "$WORKDIR/run1-gridd.log" "^gridd: listening" "run-1 gridd to listen"
 kill -0 "$GRIDD_PID" 2>/dev/null || fail "run-1 gridd died at startup"
-PORT=$(sed -n 's/^gridd: listening on [0-9.]*:\([0-9]*\)$/\1/p' \
+PORT=$(sed -n 's/^gridd: listening on [0-9.]*:\([0-9]*\).*/\1/p' \
        "$WORKDIR/run1-gridd.log" | head -1)
 [ -n "$PORT" ] || fail "run-1 gridd never printed its port"
 

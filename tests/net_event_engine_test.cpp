@@ -1,8 +1,8 @@
 // Backend-conformance tests for the readiness engine (src/net/event_engine).
-// Every test runs against both backends — epoll (Linux) and the portable
-// poll() fallback — through the same TEST_P body: the two must be
-// behaviorally interchangeable, because TcpTransport picks between them at
-// runtime and every higher layer assumes the choice is invisible.
+// Every test runs against all three backends — io_uring and epoll (Linux)
+// and the portable poll() fallback — through the same TEST_P body: they
+// must be behaviorally interchangeable, because TcpTransport picks between
+// them at runtime and every higher layer assumes the choice is invisible.
 
 #include <gtest/gtest.h>
 
@@ -29,6 +29,10 @@ class EventEngineBackend : public ::testing::TestWithParam<EngineBackend> {
   void SetUp() override {
     if (GetParam() == EngineBackend::kEpoll && !net::epoll_supported()) {
       GTEST_SKIP() << "epoll not available on this platform";
+    }
+    if (GetParam() == EngineBackend::kUring && !net::uring_supported()) {
+      GTEST_SKIP() << "io_uring not available on this kernel (missing, "
+                      "disabled, or pre-5.11) — uring backend untested here";
     }
     engine_ = net::make_event_engine(GetParam());
   }
@@ -155,13 +159,15 @@ TEST_P(EventEngineBackend, ManyFdsOnlyReadyOnesReported) {
 
 INSTANTIATE_TEST_SUITE_P(
     Backends, EventEngineBackend,
-    ::testing::Values(EngineBackend::kPoll, EngineBackend::kEpoll),
+    ::testing::Values(EngineBackend::kPoll, EngineBackend::kEpoll,
+                      EngineBackend::kUring),
     [](const ::testing::TestParamInfo<EngineBackend>& info) {
       return std::string(to_string(info.param));
     });
 
 TEST(EventEngineFactory, ParseBackendRoundTrips) {
   EXPECT_EQ(net::parse_engine_backend("auto"), EngineBackend::kAuto);
+  EXPECT_EQ(net::parse_engine_backend("uring"), EngineBackend::kUring);
   EXPECT_EQ(net::parse_engine_backend("epoll"), EngineBackend::kEpoll);
   EXPECT_EQ(net::parse_engine_backend("poll"), EngineBackend::kPoll);
   EXPECT_THROW(net::parse_engine_backend("kqueue"), Error);
@@ -169,9 +175,21 @@ TEST(EventEngineFactory, ParseBackendRoundTrips) {
 
 TEST(EventEngineFactory, AutoPicksTheBestAvailableBackend) {
   const auto engine = net::make_event_engine(EngineBackend::kAuto);
-  EXPECT_EQ(engine->name(),
-            net::epoll_supported() ? std::string("epoll")
-                                   : std::string("poll"));
+  const char* expected = net::uring_supported()   ? "uring"
+                         : net::epoll_supported() ? "epoll"
+                                                  : "poll";
+  EXPECT_EQ(std::string(engine->name()), expected);
+}
+
+TEST(EventEngineFactory, ExplicitUringFailsLoudlyWhereUnsupported) {
+  // kAuto falls back; an explicit --engine uring must not silently demote.
+  if (net::uring_supported()) {
+    EXPECT_EQ(std::string(
+                  net::make_event_engine(EngineBackend::kUring)->name()),
+              "uring");
+  } else {
+    EXPECT_THROW(net::make_event_engine(EngineBackend::kUring), Error);
+  }
 }
 
 }  // namespace
